@@ -1,0 +1,128 @@
+// E9 — ablation micro-benchmarks for load-update coalescing and the
+// ull_runqueue load-balancing policy (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/coalesce.hpp"
+#include "core/horse_resume.hpp"
+#include "core/ull_manager.hpp"
+#include "sched/run_queue.hpp"
+#include "vmm/resume_engine.hpp"
+
+namespace {
+
+using namespace horse;
+
+/// Vanilla step ⑤: n locked αx+β updates.
+void BM_LoadUpdateIterative(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sched::RunQueue queue(0);
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(queue.update_load_enqueue());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LoadUpdateIterative)->Arg(1)->Arg(8)->Arg(36)->Arg(256)->Arg(1024);
+
+/// HORSE step ⑤ with pause-time precompute: one locked FMA.
+void BM_LoadUpdateCoalescedPrecomputed(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sched::RunQueue queue(0);
+  core::LoadCoalescer coalescer(queue.pelt().params());
+  const auto pre = coalescer.precompute(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queue.apply_precomputed_load(pre.alpha_n, pre.beta_geo_sum));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LoadUpdateCoalescedPrecomputed)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(36)
+    ->Arg(256)
+    ->Arg(1024);
+
+/// Coalesced without precompute (pow() at resume): shows why the paper
+/// moves the computation to pause time.
+void BM_LoadUpdateCoalescedInline(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sched::RunQueue queue(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.update_load_coalesced(n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LoadUpdateCoalescedInline)->Arg(1)->Arg(36)->Arg(1024);
+
+/// Pause-time precompute itself (pow + divide).
+void BM_CoalescePrecompute(benchmark::State& state) {
+  core::LoadCoalescer coalescer;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coalescer.precompute(n));
+  }
+}
+BENCHMARK(BM_CoalescePrecompute)->Arg(1)->Arg(36)->Arg(1024);
+
+/// ull_runqueue assignment across queue counts (§4.1.3 load balancing).
+void BM_UllAssignment(benchmark::State& state) {
+  const auto queues = static_cast<std::uint32_t>(state.range(0));
+  sched::CpuTopology topology(16);
+  core::HorseConfig config;
+  config.num_ull_runqueues = queues;
+  core::UllRunQueueManager manager(topology, config);
+  vmm::SandboxConfig sandbox_config;
+  sandbox_config.name = "probe";
+  sandbox_config.num_vcpus = 1;
+  sandbox_config.memory_mb = 1;
+  sandbox_config.ull = true;
+  vmm::Sandbox sandbox(1, sandbox_config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.assign(sandbox));
+  }
+}
+BENCHMARK(BM_UllAssignment)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Full HORSE pause path (the cost HORSE adds off the critical path) vs
+/// vanilla pause, per vCPU count.
+void BM_PausePath(benchmark::State& state) {
+  const auto vcpus = static_cast<std::uint32_t>(state.range(0));
+  const bool horse = state.range(1) != 0;
+  sched::CpuTopology topology(8);
+  std::unique_ptr<vmm::ResumeEngine> engine;
+  if (horse) {
+    engine = std::make_unique<core::HorseResumeEngine>(
+        topology, vmm::VmmProfile::firecracker());
+  } else {
+    engine = std::make_unique<vmm::ResumeEngine>(
+        topology, vmm::VmmProfile::firecracker());
+  }
+  vmm::SandboxConfig config;
+  config.name = "probe";
+  config.num_vcpus = vcpus;
+  config.memory_mb = 1;
+  config.ull = horse;
+  vmm::Sandbox sandbox(1, config);
+  (void)engine->start(sandbox);
+  for (auto _ : state) {
+    (void)engine->pause(sandbox);
+    state.PauseTiming();
+    (void)engine->resume(sandbox);
+    state.ResumeTiming();
+  }
+  state.SetLabel(horse ? "horse" : "vanilla");
+  (void)engine->destroy(sandbox);
+}
+BENCHMARK(BM_PausePath)
+    ->Args({1, 0})
+    ->Args({36, 0})
+    ->Args({1, 1})
+    ->Args({36, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// E5 — §5.2: CPU and memory overhead of HORSE.
+//
+// Setup mirrors the paper: 10 1-vCPU CPU-burner sandboxes run in the
+// background; 10 uLL sandboxes occupy the ull_runqueue (resumed); 10 more
+// uLL sandboxes are paused for 5 s and then resumed, sweeping the uLL
+// vCPU count. Reported:
+//   * memory held by the 𝒫²𝒮ℳ precomputed structures of the 10 paused
+//     sandboxes (paper: ≈528 KB, ≈0.11% of the ≈5 GB of sandbox memory —
+//     kernel-scale structures; ours are user-space but same order logic);
+//   * extra pause-path cost per sandbox (precompute + index build);
+//   * index-maintenance CPU share over the 5 s pause window, assuming the
+//     ull_runqueue mutates 100×/s (each mutation triggers a refresh of
+//     every stale index — §4.1.3);
+//   * median HORSE resume latency (the transient §5.2 resume cost).
+#include <iostream>
+#include <memory>
+
+#include "core/horse_resume.hpp"
+#include "metrics/reporter.hpp"
+#include "metrics/stats.hpp"
+#include "workloads/cpu_burner.hpp"
+
+namespace {
+
+using namespace horse;
+
+constexpr int kSandboxesPerRole = 10;
+constexpr double kPauseWindowSeconds = 5.0;
+constexpr int kQueueMutationsPerSecond = 100;
+const std::vector<std::uint32_t> kVcpuSweep{1, 4, 8, 16, 36};
+
+std::unique_ptr<vmm::Sandbox> make_ull(sched::SandboxId id,
+                                       std::uint32_t vcpus) {
+  vmm::SandboxConfig config;
+  config.name = "ull";
+  config.num_vcpus = vcpus;
+  config.memory_mb = 512;  // the paper's per-sandbox allocation
+  config.ull = true;
+  return std::make_unique<vmm::Sandbox>(id, config);
+}
+
+}  // namespace
+
+int main() {
+  metrics::TextTable table(
+      "Sec 5.2: HORSE overhead (10 burners + 10 occupants + 10 paused uLL)",
+      {"ull vcpus", "p2sm memory", "mem % of guest", "pause extra/sb",
+       "maint CPU %", "resume median"});
+
+  for (const std::uint32_t vcpus : kVcpuSweep) {
+    sched::CpuTopology topology(12);
+    core::HorseResumeEngine horse(topology, vmm::VmmProfile::firecracker());
+    sched::CpuTopology vanilla_topology(12);
+    vmm::ResumeEngine vanilla(vanilla_topology, vmm::VmmProfile::firecracker());
+
+    // Background burners (sysbench stand-in), with a little real burn.
+    std::vector<std::unique_ptr<vmm::Sandbox>> burners;
+    for (int i = 0; i < kSandboxesPerRole; ++i) {
+      vmm::SandboxConfig config;
+      config.name = "burner";
+      config.num_vcpus = 1;
+      config.memory_mb = 512;
+      auto sandbox = std::make_unique<vmm::Sandbox>(100 + i, config);
+      (void)horse.start(*sandbox);
+      burners.push_back(std::move(sandbox));
+    }
+    workloads::CpuBurnerFunction burner_fn(2'000);
+    workloads::Request burn_request;
+    (void)burner_fn.invoke(burn_request);
+
+    // Occupants: resumed uLL sandboxes populating the reserved queue, so
+    // the paused sandboxes' arrayB snapshots are non-trivial.
+    std::vector<std::unique_ptr<vmm::Sandbox>> occupants;
+    std::size_t guest_bytes = 0;
+    for (int i = 0; i < kSandboxesPerRole; ++i) {
+      auto sandbox = make_ull(200 + i, vcpus);
+      (void)horse.start(*sandbox);
+      (void)horse.pause(*sandbox);
+      (void)horse.resume(*sandbox);
+      guest_bytes += static_cast<std::size_t>(512) * 1024 * 1024;
+      occupants.push_back(std::move(sandbox));
+    }
+
+    // Measured sandboxes: HORSE pause vs vanilla pause, per sandbox.
+    std::vector<std::unique_ptr<vmm::Sandbox>> paused;
+    metrics::SampleStats horse_pause;
+    for (int i = 0; i < kSandboxesPerRole; ++i) {
+      auto sandbox = make_ull(300 + i, vcpus);
+      (void)horse.start(*sandbox);
+      util::Stopwatch watch;
+      (void)horse.pause(*sandbox);
+      horse_pause.add(static_cast<double>(watch.elapsed()));
+      guest_bytes += static_cast<std::size_t>(512) * 1024 * 1024;
+      paused.push_back(std::move(sandbox));
+    }
+    metrics::SampleStats vanilla_pause;
+    for (int i = 0; i < kSandboxesPerRole; ++i) {
+      auto sandbox = make_ull(400 + i, vcpus);
+      sandbox->guest_memory().clear();  // vanilla twin, memory irrelevant
+      (void)vanilla.start(*sandbox);
+      util::Stopwatch watch;
+      (void)vanilla.pause(*sandbox);
+      vanilla_pause.add(static_cast<double>(watch.elapsed()));
+      (void)vanilla.destroy(*sandbox);
+    }
+
+    const std::size_t p2sm_bytes = horse.ull_manager().total_index_bytes();
+    const double mem_fraction =
+        static_cast<double>(p2sm_bytes) / static_cast<double>(guest_bytes);
+    const double pause_extra =
+        horse_pause.percentile(50) - vanilla_pause.percentile(50);
+
+    // Index maintenance over the 5 s pause window: every queue mutation
+    // invalidates the paused sandboxes' indexes; refresh() rebuilds them.
+    const int refreshes = static_cast<int>(kPauseWindowSeconds) *
+                          kQueueMutationsPerSecond;
+    sched::RunQueue& ull_queue =
+        topology.queue(horse.ull_manager().ull_cpus().front());
+    util::Stopwatch maintenance_watch;
+    for (int i = 0; i < refreshes; ++i) {
+      ull_queue.bump_version();  // a scheduler mutation of the queue
+      (void)horse.ull_manager().refresh();
+    }
+    const double maintenance_cpu =
+        static_cast<double>(maintenance_watch.elapsed()) /
+        (kPauseWindowSeconds * 1e9 * static_cast<double>(topology.num_cpus()));
+
+    // Resume the paused sandboxes; median latency.
+    metrics::SampleStats resumes;
+    for (auto& sandbox : paused) {
+      (void)horse.ull_manager().refresh();
+      vmm::ResumeBreakdown bd;
+      (void)horse.resume(*sandbox, &bd);
+      resumes.add(static_cast<double>(bd.total()));
+    }
+
+    table.add_row(
+        {std::to_string(vcpus),
+         metrics::format_double(static_cast<double>(p2sm_bytes) / 1024.0, 1) +
+             " KB",
+         metrics::format_percent(mem_fraction, 4),
+         metrics::format_nanos(pause_extra),
+         metrics::format_percent(maintenance_cpu, 4),
+         metrics::format_nanos(resumes.percentile(50))});
+
+    for (auto& sandbox : paused) {
+      (void)horse.destroy(*sandbox);
+    }
+    for (auto& sandbox : occupants) {
+      (void)horse.destroy(*sandbox);
+    }
+    for (auto& sandbox : burners) {
+      (void)horse.destroy(*sandbox);
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper bands: ~528 KB of 𝒫²𝒮ℳ structures for 10 paused uLL "
+               "sandboxes (~0.11% of guest memory); pause CPU overhead "
+               "<=0.3%; resume CPU increase <=2.7%.\n";
+  return 0;
+}

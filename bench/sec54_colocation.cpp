@@ -1,0 +1,83 @@
+// E7 — §5.4: impact of HORSE on colocated longer-running functions.
+//
+// Thumbnail invocations arrive per a (synthetic) Azure-trace 30 s window;
+// in parallel, 10 uLL sandboxes resume every second, with the uLL vCPU
+// count swept 1→36. Reported: thumbnail mean / p95 / p99 latency under
+// vanilla and HORSE, and HORSE's relative p99 change.
+//
+// Paper bands: Δmean = Δp95 = 0; Δp99 <= 0.00107% (≈30 µs) at 36 vCPUs,
+// caused by 𝒫²𝒮ℳ merge threads preempting a longer-running function.
+#include <iostream>
+
+#include "faas/colocation.hpp"
+#include "metrics/reporter.hpp"
+
+namespace {
+
+using namespace horse;
+
+const std::vector<std::uint32_t> kVcpuSweep{1, 8, 16, 36};
+
+}  // namespace
+
+int main() {
+  const auto costs = sim::CostModel::defaults(vmm::VmmProfile::firecracker());
+  const auto arrivals =
+      faas::default_thumbnail_arrivals(30 * util::kSecond, /*seed=*/42);
+  std::cout << "thumbnail arrivals in 30 s window: " << arrivals.size()
+            << "\n\n";
+
+  metrics::TextTable table(
+      "Sec 5.4: thumbnail latency, vanilla vs HORSE (30 s Azure window)",
+      {"ull vcpus", "mean vanil", "mean horse", "p95 vanil", "p95 horse",
+       "p99 vanil", "p99 horse", "d(p99)", "preempts"});
+  metrics::TextTable energy_table(
+      "Sec 5.4 (extension): DVFS/energy outcome over the window",
+      {"ull vcpus", "mean freq vanil", "mean freq horse", "energy vanil",
+       "energy horse", "d(energy)"});
+
+  for (const std::uint32_t vcpus : kVcpuSweep) {
+    faas::ColocationParams params;
+    params.num_cpus = 12;
+    params.ull_vcpus = vcpus;
+    params.duration = 30 * util::kSecond;
+
+    params.mode = faas::ColocationMode::kVanilla;
+    const auto vanilla = faas::ColocationExperiment(params, costs).run(arrivals);
+    params.mode = faas::ColocationMode::kHorse;
+    const auto horse = faas::ColocationExperiment(params, costs).run(arrivals);
+
+    const double dp99 =
+        vanilla.p99_ns == 0.0 ? 0.0
+                              : (horse.p99_ns - vanilla.p99_ns) / vanilla.p99_ns;
+    table.add_row({std::to_string(vcpus),
+                   metrics::format_nanos(vanilla.mean_ns),
+                   metrics::format_nanos(horse.mean_ns),
+                   metrics::format_nanos(vanilla.p95_ns),
+                   metrics::format_nanos(horse.p95_ns),
+                   metrics::format_nanos(vanilla.p99_ns),
+                   metrics::format_nanos(horse.p99_ns),
+                   metrics::format_percent(dp99, 5),
+                   std::to_string(horse.preemptions)});
+    const double denergy =
+        vanilla.energy_joules == 0.0
+            ? 0.0
+            : (horse.energy_joules - vanilla.energy_joules) /
+                  vanilla.energy_joules;
+    energy_table.add_row(
+        {std::to_string(vcpus),
+         metrics::format_double(vanilla.mean_freq_khz / 1000.0, 0) + " MHz",
+         metrics::format_double(horse.mean_freq_khz / 1000.0, 0) + " MHz",
+         metrics::format_double(vanilla.energy_joules, 1) + " J",
+         metrics::format_double(horse.energy_joules, 1) + " J",
+         metrics::format_percent(denergy, 3)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\n";
+  energy_table.print(std::cout);
+  std::cout << "\nPaper bands: no mean/p95 difference (uLL isolation on the "
+               "reserved queue); p99 overhead <= 0.00107% (~30 us) at 36 "
+               "vCPUs from merge-thread preemption.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// horsectl: command-line control plane over the HORSE engine, speaking
+// the same line protocol a Firecracker-style API socket would.
+//
+//   $ ./horsectl                 # interactive REPL
+//   $ echo "create id=1 vcpus=4 memory_mb=64 ull
+//           start id=1
+//           pause id=1
+//           resume id=1" | ./horsectl
+//
+// Commands: create/start/pause/resume/hotplug/unplug/destroy/state/list,
+// plus `help` and `quit`. Resume replies include the measured latency, so
+// the REPL doubles as a hands-on demo of the fast path: create a sandbox
+// with and without `ull` and compare the `resume` timings.
+#include <iostream>
+#include <string>
+
+#include "core/horse_resume.hpp"
+#include "vmm/api.hpp"
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  create  id=<n> vcpus=<n> memory_mb=<n> [ull]
+  start   id=<n>
+  pause   id=<n>
+  resume  id=<n>          (prints the measured resume latency)
+  hotplug id=<n>          (add a vCPU to a paused sandbox)
+  unplug  id=<n>          (remove the last vCPU of a paused sandbox)
+  destroy id=<n>
+  state   id=<n>
+  list
+  help
+  quit
+)";
+
+}  // namespace
+
+int main() {
+  using namespace horse;
+
+  sched::CpuTopology topology(8);
+  core::HorseResumeEngine engine(topology, vmm::VmmProfile::firecracker());
+  vmm::ApiServer api(engine);
+
+  const bool interactive = true;
+  if (interactive) {
+    std::cout << "horsectl — HORSE control plane (8 CPUs, 1 reserved "
+                 "ull_runqueue). Type 'help'.\n";
+  }
+
+  std::string line;
+  while (std::cout << "> " && std::getline(std::cin, line)) {
+    // Trim leading whitespace so heredoc-style input works.
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) {
+      continue;
+    }
+    line = line.substr(start);
+    if (line == "quit" || line == "exit") {
+      break;
+    }
+    if (line == "help") {
+      std::cout << kHelp;
+      continue;
+    }
+    const auto response = api.handle(line);
+    if (response.ok()) {
+      std::cout << (response.body.empty() ? "ok" : response.body) << "\n";
+    } else {
+      std::cout << "error: " << response.status.to_report() << "\n";
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Replay a serverless trace against the platform.
+//
+//   $ ./trace_replay [azure_invocations.csv]
+//
+// With a CSV argument, reads the Azure Public Dataset invocations-per-
+// minute format; without one, generates a statistically similar synthetic
+// trace. Functions alternate between a uLL NAT (HORSE fast path) and the
+// thumbnail generator (vanilla warm starts), and the replay reports
+// per-class latency statistics.
+#include <fstream>
+#include <iostream>
+
+#include "faas/platform.hpp"
+#include "metrics/reporter.hpp"
+#include "metrics/stats.hpp"
+#include "trace/azure_reader.hpp"
+#include "trace/synthetic.hpp"
+#include "workloads/nat.hpp"
+#include "workloads/thumbnail.hpp"
+
+int main(int argc, char** argv) {
+  using namespace horse;
+
+  // --- load or synthesise the trace --------------------------------------
+  trace::ArrivalSchedule schedule;
+  std::size_t function_count = 0;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    const auto rows = trace::AzureTraceReader::parse(file);
+    if (!rows) {
+      std::cerr << "parse error: " << rows.status().to_report() << "\n";
+      return 1;
+    }
+    function_count = rows->size();
+    schedule = trace::AzureTraceReader::expand(*rows, 11);
+    std::cout << "loaded " << function_count << " functions from " << argv[1]
+              << "\n";
+  } else {
+    trace::SyntheticTraceParams params;
+    params.num_functions = 8;
+    params.num_minutes = 1;
+    params.top_rate_per_minute = 60.0;
+    params.seed = 11;
+    function_count = params.num_functions;
+    schedule = trace::SyntheticAzureTrace(params).generate_schedule();
+    std::cout << "no CSV given; synthesised " << function_count
+              << " functions (Azure-like distributions)\n";
+  }
+  // Keep the replay bounded.
+  schedule = schedule.window(0, 60 * util::kSecond);
+  std::cout << "replaying " << schedule.size() << " invocations\n\n";
+
+  // --- platform with one uLL and one long-running function ----------------
+  faas::PlatformConfig config;
+  config.num_cpus = 4;
+  faas::Platform platform(config);
+
+  faas::FunctionSpec nat_spec;
+  nat_spec.name = "nat";
+  nat_spec.implementation = std::make_shared<workloads::NatFunction>(256);
+  nat_spec.sandbox.name = "nat-sb";
+  nat_spec.sandbox.num_vcpus = 1;
+  nat_spec.sandbox.memory_mb = 16;
+  nat_spec.sandbox.ull = true;
+  const auto nat = *platform.registry().add(std::move(nat_spec));
+
+  faas::FunctionSpec thumb_spec;
+  thumb_spec.name = "thumbnail";
+  thumb_spec.implementation =
+      std::make_shared<workloads::ThumbnailFunction>(128, 8);
+  thumb_spec.sandbox.name = "thumbnail-sb";
+  thumb_spec.sandbox.num_vcpus = 2;
+  thumb_spec.sandbox.memory_mb = 64;
+  const auto thumbnail = *platform.registry().add(std::move(thumb_spec));
+
+  (void)platform.provision(nat, 1);
+  (void)platform.provision(thumbnail, 1);
+
+  // --- replay --------------------------------------------------------------
+  metrics::SampleStats ull_latency;
+  metrics::SampleStats long_latency;
+  util::Nanos previous = 0;
+  for (const auto& arrival : schedule.arrivals()) {
+    platform.advance_time(arrival.time - previous);
+    previous = arrival.time;
+    const bool ull = arrival.function_id % 2 == 0;
+    workloads::Request request;
+    util::Expected<faas::InvocationRecord> record{
+        util::Status{util::StatusCode::kInternal, "unset"}};
+    if (ull) {
+      request.header = "src=10.1.2.3 dst=203.0.113.9 port=8080 proto=tcp";
+      record = platform.invoke(nat, request, faas::StartMode::kHorse);
+    } else {
+      request.threshold = static_cast<std::int32_t>(arrival.function_id);
+      record = platform.invoke(thumbnail, request, faas::StartMode::kWarm);
+    }
+    if (!record) {
+      std::cerr << "invoke failed: " << record.status().to_report() << "\n";
+      return 1;
+    }
+    const auto total = static_cast<double>(record->init_time + record->exec_time);
+    (ull ? ull_latency : long_latency).add(total);
+  }
+
+  metrics::TextTable table("trace replay results",
+                           {"class", "invocations", "mean", "p95", "p99"});
+  table.add_row({"uLL (nat, HORSE)", std::to_string(ull_latency.size()),
+                 metrics::format_nanos(ull_latency.summarize().mean),
+                 metrics::format_nanos(ull_latency.percentile(95)),
+                 metrics::format_nanos(ull_latency.percentile(99))});
+  table.add_row({"long (thumbnail, warm)", std::to_string(long_latency.size()),
+                 metrics::format_nanos(long_latency.summarize().mean),
+                 metrics::format_nanos(long_latency.percentile(95)),
+                 metrics::format_nanos(long_latency.percentile(99))});
+  table.print(std::cout);
+  return 0;
+}

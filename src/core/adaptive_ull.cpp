@@ -1,0 +1,41 @@
+#include "core/adaptive_ull.hpp"
+
+namespace horse::core {
+
+std::size_t AdaptiveUllScaler::observe(std::uint64_t triggers,
+                                       util::Nanos window) {
+  if (window <= 0) {
+    return manager_.ull_cpus().size();
+  }
+  const double rate = static_cast<double>(triggers) * 1e9 /
+                      static_cast<double>(window);
+  if (!seeded_) {
+    ewma_rate_ = rate;
+    seeded_ = true;
+  } else {
+    ewma_rate_ = params_.ewma_alpha * rate +
+                 (1.0 - params_.ewma_alpha) * ewma_rate_;
+  }
+
+  const auto queues = manager_.ull_cpus().size();
+  const double capacity =
+      static_cast<double>(queues) * params_.triggers_per_queue_per_sec;
+
+  if (ewma_rate_ > params_.grow_threshold * capacity &&
+      queues < params_.max_queues) {
+    if (manager_.grow().is_ok()) {
+      ++grows_;
+    }
+  } else if (queues > 1) {
+    const double shrunk_capacity = static_cast<double>(queues - 1) *
+                                   params_.triggers_per_queue_per_sec;
+    if (ewma_rate_ < params_.shrink_threshold * shrunk_capacity) {
+      if (manager_.shrink().is_ok()) {
+        ++shrinks_;
+      }
+    }
+  }
+  return manager_.ull_cpus().size();
+}
+
+}  // namespace horse::core

@@ -1,0 +1,71 @@
+// Adaptive ull_runqueue scaling (§4.1.3's extension).
+//
+// "In the case of a high frequency of uLL workload triggers, we can
+// increase the number of ull_runqueue." This controller turns that into a
+// policy: an exponentially-weighted trigger-rate estimate drives grow /
+// shrink decisions against per-queue capacity targets, with hysteresis so
+// the queue count does not flap around a boundary rate.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/ull_manager.hpp"
+#include "util/time.hpp"
+
+namespace horse::core {
+
+struct AdaptiveUllParams {
+  /// Target sustained uLL triggers per second per reserved queue. One
+  /// ull_runqueue handles vastly more than any real trigger rate (a
+  /// resume is sub-µs); the default keeps tail isolation comfortable.
+  double triggers_per_queue_per_sec = 50'000.0;
+  /// Grow above this fraction of capacity, shrink below that fraction of
+  /// the post-shrink capacity (hysteresis band).
+  double grow_threshold = 0.8;
+  double shrink_threshold = 0.4;
+  /// EWMA smoothing factor per observation window.
+  double ewma_alpha = 0.3;
+  std::uint32_t max_queues = 8;
+
+  void validate() const {
+    if (!(triggers_per_queue_per_sec > 0.0)) {
+      throw std::invalid_argument("adaptive ull: bad capacity");
+    }
+    if (!(grow_threshold > shrink_threshold) || grow_threshold > 1.0 ||
+        shrink_threshold < 0.0) {
+      throw std::invalid_argument("adaptive ull: thresholds must satisfy "
+                                  "0 <= shrink < grow <= 1");
+    }
+    if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+      throw std::invalid_argument("adaptive ull: alpha in (0,1]");
+    }
+  }
+};
+
+class AdaptiveUllScaler {
+ public:
+  AdaptiveUllScaler(UllRunQueueManager& manager, AdaptiveUllParams params = {})
+      : manager_(manager), params_(params) {
+    params_.validate();
+  }
+
+  /// Feed one observation window: `triggers` uLL resumes over `window`
+  /// nanoseconds. May grow or shrink the reserved set (at most one step
+  /// per observation). Returns the resulting queue count.
+  std::size_t observe(std::uint64_t triggers, util::Nanos window);
+
+  [[nodiscard]] double rate_estimate() const noexcept { return ewma_rate_; }
+  [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
+  [[nodiscard]] std::uint64_t shrinks() const noexcept { return shrinks_; }
+
+ private:
+  UllRunQueueManager& manager_;
+  AdaptiveUllParams params_;
+  double ewma_rate_ = 0.0;
+  bool seeded_ = false;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+};
+
+}  // namespace horse::core

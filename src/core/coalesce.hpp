@@ -1,0 +1,58 @@
+// Load-update coalescing (§4.2).
+//
+// The vanilla resume applies the PELT enqueue update L(x) = αx + β once
+// per vCPU under the run queue's load lock. Applying an affine map n times
+// is itself affine:
+//
+//   Lⁿ(x) = αⁿ·x + β·Σ_{i=0}^{n-1} αⁱ = αⁿ·x + β·(1-αⁿ)/(1-α)
+//
+// so both factors can be precomputed at *pause* time from the sandbox's
+// vCPU count and applied at resume as a single locked multiply-add.
+//
+// Note: the paper's §4.2.1 prints the series bound as (1-α^{n-1}); the sum
+// of the first n powers α⁰..α^{n-1} is (1-αⁿ)/(1-α). We implement the
+// mathematically consistent form — it is the one that matches n iterative
+// applications exactly, which the equivalence tests verify.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sched/pelt.hpp"
+#include "vmm/sandbox.hpp"
+
+namespace horse::core {
+
+class LoadCoalescer {
+ public:
+  explicit LoadCoalescer(sched::PeltParams params = {}) : tracker_(params) {}
+
+  [[nodiscard]] const sched::PeltLoadTracker& tracker() const noexcept {
+    return tracker_;
+  }
+
+  /// Pause-time precomputation (§4.2.2): αⁿ and the geometric-series term
+  /// for n = the sandbox's vCPU count, stored on the sandbox.
+  [[nodiscard]] vmm::CoalescePrecompute precompute(std::uint32_t n) const noexcept {
+    vmm::CoalescePrecompute out;
+    const double alpha = tracker_.params().alpha;
+    out.alpha_n = std::pow(alpha, static_cast<double>(n));
+    out.beta_geo_sum =
+        tracker_.params().beta * (1.0 - out.alpha_n) / (1.0 - alpha);
+    out.valid = true;
+    return out;
+  }
+
+  /// Resume-time application given a precompute; pure function used by
+  /// tests. Production code applies it through
+  /// RunQueue::apply_precomputed_load() under the load lock.
+  [[nodiscard]] static double apply(const vmm::CoalescePrecompute& pre,
+                                    double load) noexcept {
+    return pre.alpha_n * load + pre.beta_geo_sum;
+  }
+
+ private:
+  sched::PeltLoadTracker tracker_;
+};
+
+}  // namespace horse::core

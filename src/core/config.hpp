@@ -1,0 +1,44 @@
+// HORSE runtime configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+
+namespace horse::core {
+
+enum class MergeMode : std::uint8_t {
+  /// Issue the splices from the resuming thread. Fastest when the run
+  /// count is small or cores are scarce.
+  kSequential,
+  /// Dispatch one pre-armed worker per task chunk (Algorithm 1's
+  /// thread-per-key model).
+  kParallel,
+};
+
+struct HorseConfig {
+  /// Number of reserved ull_runqueues (§4.1.3: one by default, more "in
+  /// the case of a high frequency of uLL workload triggers").
+  std::uint32_t num_ull_runqueues = 1;
+  MergeMode merge_mode = MergeMode::kSequential;
+  /// Workers in the parallel crew (ignored in sequential mode). 0 = one
+  /// per hardware thread, capped at 8.
+  std::size_t crew_size = 0;
+
+  [[nodiscard]] std::size_t effective_crew_size() const {
+    if (crew_size != 0) {
+      return crew_size;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : std::min<std::size_t>(hw, 8);
+  }
+
+  void validate() const {
+    if (num_ull_runqueues == 0) {
+      throw std::invalid_argument("HorseConfig: need at least one ull_runqueue");
+    }
+  }
+};
+
+}  // namespace horse::core

@@ -1,0 +1,240 @@
+#include "core/horse_resume.hpp"
+
+#include <utility>
+
+namespace horse::core {
+
+HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
+                                     vmm::VmmProfile profile,
+                                     HorseConfig config, HorseFeatures features)
+    : vmm::ResumeEngine(topology, std::move(profile)),
+      config_(config),
+      features_(features),
+      ull_(topology, config),
+      coalescer_(topology.queue(0).pelt().params()) {
+  config_.validate();
+  if (config_.merge_mode == MergeMode::kParallel) {
+    auto crew = std::make_unique<ParallelMergeCrew>(config_.effective_crew_size());
+    crew_ = crew.get();
+    executor_ = std::move(crew);
+  } else {
+    executor_ = std::make_unique<SequentialMergeExecutor>();
+  }
+}
+
+void HorseResumeEngine::arm_crew() noexcept {
+  if (crew_ != nullptr) {
+    crew_->arm();
+  }
+}
+
+void HorseResumeEngine::disarm_crew() noexcept {
+  if (crew_ != nullptr) {
+    crew_->disarm();
+  }
+}
+
+util::Status HorseResumeEngine::pause_locked(vmm::Sandbox& sandbox) {
+  // Vanilla park first: dequeue vCPUs, build the credit-sorted merge_vcpus.
+  if (util::Status status = ResumeEngine::pause_locked(sandbox);
+      !status.is_ok()) {
+    return status;
+  }
+  if (!sandbox.config().ull) {
+    return util::Status::ok();
+  }
+
+  // §4.1.3: the target ull_runqueue is chosen when pausing, balancing by
+  // the number of paused sandboxes per reserved queue.
+  const sched::CpuId cpu = ull_.assign(sandbox);
+  for (const auto& vcpu : sandbox.vcpus()) {
+    vcpu->last_cpu = cpu;
+  }
+
+  if (features_.use_coalescing) {
+    // §4.2.2: precompute the coalescing factors from the vCPU count.
+    sandbox.coalesce() = coalescer_.precompute(sandbox.num_vcpus());
+  }
+  if (features_.use_p2sm) {
+    return ull_.track(sandbox);
+  }
+  return util::Status::ok();
+}
+
+util::Status HorseResumeEngine::hotplug_vcpu_locked(vmm::Sandbox& sandbox) {
+  if (!sandbox.config().ull || !features_.use_p2sm) {
+    if (util::Status status = ResumeEngine::hotplug_vcpu_locked(sandbox);
+        !status.is_ok()) {
+      return status;
+    }
+  } else {
+    P2smIndex* index = ull_.index_of(sandbox.id());
+    const auto assignment = ull_.assignment(sandbox.id());
+    if (index == nullptr || !assignment) {
+      return {util::StatusCode::kFailedPrecondition,
+              "hotplug: sandbox not tracked by the ull manager"};
+    }
+    auto vcpu = sandbox.add_vcpu();
+    if (!vcpu) {
+      return vcpu.status();
+    }
+    sched::RunQueue& queue = topology_.queue(*assignment);
+    (*vcpu)->last_cpu = *assignment;
+    util::LockGuard guard(queue.lock());
+    if (!index->fresh(queue)) {
+      index->rebuild(sandbox.merge_vcpus(), queue);
+    }
+    // §4.1.1 incremental insert: position search in A plus a run update.
+    if (util::Status status =
+            index->insert_into_a(sandbox.merge_vcpus(), **vcpu, queue);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  if (features_.use_coalescing && sandbox.config().ull) {
+    sandbox.coalesce() = coalescer_.precompute(sandbox.num_vcpus());
+  }
+  return util::Status::ok();
+}
+
+util::Status HorseResumeEngine::unplug_vcpu_locked(vmm::Sandbox& sandbox) {
+  if (!sandbox.config().ull || !features_.use_p2sm) {
+    if (util::Status status = ResumeEngine::unplug_vcpu_locked(sandbox);
+        !status.is_ok()) {
+      return status;
+    }
+  } else {
+    if (sandbox.state() != vmm::SandboxState::kPaused) {
+      return {util::StatusCode::kFailedPrecondition,
+              "unplug: sandbox must be paused"};
+    }
+    if (sandbox.num_vcpus() <= 1) {
+      return {util::StatusCode::kFailedPrecondition,
+              "unplug: at least one vCPU must remain"};
+    }
+    P2smIndex* index = ull_.index_of(sandbox.id());
+    if (index == nullptr) {
+      return {util::StatusCode::kFailedPrecondition,
+              "unplug: sandbox not tracked by the ull manager"};
+    }
+    sched::Vcpu& victim = sandbox.vcpu(sandbox.num_vcpus() - 1);
+    // §4.1.1 incremental delete: O(m) run walk, unlinks from A.
+    if (util::Status status =
+            index->remove_from_a(sandbox.merge_vcpus(), victim);
+        !status.is_ok()) {
+      return status;
+    }
+    if (util::Status status = sandbox.remove_last_vcpu(); !status.is_ok()) {
+      return status;
+    }
+  }
+  if (features_.use_coalescing && sandbox.config().ull) {
+    sandbox.coalesce() = coalescer_.precompute(sandbox.num_vcpus());
+  }
+  return util::Status::ok();
+}
+
+util::Status HorseResumeEngine::resume_fallback_merge(
+    vmm::Sandbox& sandbox, sched::CpuId cpu, vmm::ResumeBreakdown& breakdown) {
+  // coal-only ablation: step ④ stays the vanilla per-vCPU sorted walk, but
+  // onto the single assigned queue so the coalesced step-⑤ update is exact.
+  util::Stopwatch watch;
+  sched::RunQueue& queue = topology_.queue(cpu);
+  while (!sandbox.merge_vcpus().empty()) {
+    sched::Vcpu& vcpu = sandbox.merge_vcpus().pop_front();
+    util::LockGuard guard(queue.lock());
+    queue.insert_sorted(vcpu);
+  }
+  breakdown.merge += watch.elapsed() +
+                     static_cast<util::Nanos>(sandbox.num_vcpus()) *
+                         profile_.resume_per_vcpu_tax;
+  return util::Status::ok();
+}
+
+util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
+                                       vmm::ResumeBreakdown* breakdown) {
+  if (!sandbox.config().ull) {
+    return ResumeEngine::resume(sandbox, breakdown);
+  }
+
+  vmm::ResumeBreakdown local;
+  vmm::ResumeBreakdown& bd = breakdown != nullptr ? *breakdown : local;
+  bd = {};
+
+  if (util::Status status = run_prologue(sandbox, bd); !status.is_ok()) {
+    return status;
+  }
+
+  const auto assignment = ull_.assignment(sandbox.id());
+  if (!assignment) {
+    resume_lock_.unlock();
+    return assignment.status();
+  }
+  const sched::CpuId cpu = *assignment;
+  sched::RunQueue& queue = topology_.queue(cpu);
+  const std::uint32_t n = sandbox.num_vcpus();
+
+  // --- step ④: one 𝒫²𝒮ℳ merge (or the coal-only fallback) ---------------
+  if (features_.use_p2sm) {
+    util::Stopwatch watch;
+    P2smIndex* index = ull_.index_of(sandbox.id());
+    util::LockGuard guard(queue.lock());
+    if (index == nullptr || !index->fresh(queue)) {
+      // Stale-index fallback: rebuild inline. This charges the rebuild to
+      // the resume (honest accounting); UllRunQueueManager::refresh() run
+      // off the critical path keeps this branch cold.
+      if (index == nullptr) {
+        resume_lock_.unlock();
+        return {util::StatusCode::kFailedPrecondition,
+                "horse: sandbox not tracked (was pause() skipped?)"};
+      }
+      index->rebuild(sandbox.merge_vcpus(), queue);
+    }
+    if (util::Status status =
+            index->merge(sandbox.merge_vcpus(), queue, *executor_);
+        !status.is_ok()) {
+      resume_lock_.unlock();
+      return status;
+    }
+    // Per-vCPU byte writes so the scheduler-facing state is consistent.
+    // (In the kernel patch the equivalent bits live in the vCPU's
+    // already-touched cache lines; ~2 ns each here, bounded by 36 vCPUs.)
+    for (const auto& vcpu : sandbox.vcpus()) {
+      vcpu->state = sched::VcpuState::kRunnable;
+      vcpu->last_cpu = cpu;
+    }
+    bd.merge = watch.elapsed() + profile_.resume_per_vcpu_tax;
+  } else {
+    if (util::Status status = resume_fallback_merge(sandbox, cpu, bd);
+        !status.is_ok()) {
+      resume_lock_.unlock();
+      return status;
+    }
+  }
+
+  // --- step ⑤: load update, coalesced or iterative ------------------------
+  {
+    util::Stopwatch watch;
+    if (features_.use_coalescing) {
+      const vmm::CoalescePrecompute& pre = sandbox.coalesce();
+      if (pre.valid) {
+        queue.apply_precomputed_load(pre.alpha_n, pre.beta_geo_sum);
+      } else {
+        queue.update_load_coalesced(n);
+      }
+    } else {
+      // ppsm-only ablation: n iterative lock round-trips, as vanilla.
+      for (std::uint32_t i = 0; i < n; ++i) {
+        queue.update_load_enqueue();
+      }
+    }
+    bd.load_update = watch.elapsed();
+  }
+
+  run_epilogue(sandbox, bd);
+  sandbox.coalesce().valid = false;
+  ull_.untrack(sandbox.id());
+  return util::Status::ok();
+}
+
+}  // namespace horse::core

@@ -1,0 +1,86 @@
+// HorseResumeEngine — the paper's fast resume path (§4).
+//
+// Same six-step skeleton as the vanilla ResumeEngine, with the two
+// contested steps replaced:
+//
+//   ④ becomes one 𝒫²𝒮ℳ merge of the sandbox's pre-sorted merge_vcpus
+//     list into its assigned ull_runqueue — O(1) splices instead of an
+//     O(|queue|) sorted walk per vCPU;
+//   ⑤ becomes a single coalesced load update from pause-time precomputed
+//     factors instead of n lock round-trips.
+//
+// The pause path does the extra work that buys this: assign a reserved
+// queue (load-balanced by paused-sandbox count), precompute the coalescing
+// factors, and build the 𝒫²𝒮ℳ index. Individual feature toggles exist so
+// the Figure-3 ablation (vanil / ppsm / coal / horse) runs through one
+// engine.
+#pragma once
+
+#include <memory>
+
+#include "core/coalesce.hpp"
+#include "core/config.hpp"
+#include "core/merge_crew.hpp"
+#include "core/ull_manager.hpp"
+#include "vmm/resume_engine.hpp"
+
+namespace horse::core {
+
+struct HorseFeatures {
+  bool use_p2sm = true;
+  bool use_coalescing = true;
+
+  [[nodiscard]] static HorseFeatures all() { return {true, true}; }
+  [[nodiscard]] static HorseFeatures ppsm_only() { return {true, false}; }
+  [[nodiscard]] static HorseFeatures coalescing_only() { return {false, true}; }
+};
+
+class HorseResumeEngine final : public vmm::ResumeEngine {
+ public:
+  HorseResumeEngine(sched::CpuTopology& topology, vmm::VmmProfile profile,
+                    HorseConfig config = {},
+                    HorseFeatures features = HorseFeatures::all());
+
+  [[nodiscard]] UllRunQueueManager& ull_manager() noexcept { return ull_; }
+  [[nodiscard]] const HorseConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const HorseFeatures& features() const noexcept { return features_; }
+  [[nodiscard]] MergeExecutor& executor() noexcept { return *executor_; }
+
+  /// Pre-arm / disarm the parallel crew around a resume burst (no-op in
+  /// sequential mode).
+  void arm_crew() noexcept;
+  void disarm_crew() noexcept;
+
+  /// HORSE resume: prologue, then 𝒫²𝒮ℳ merge (step ④) and coalesced load
+  /// update (step ⑤), then epilogue. Falls back to the vanilla loop for
+  /// non-uLL sandboxes or disabled features.
+  util::Status resume(vmm::Sandbox& sandbox,
+                      vmm::ResumeBreakdown* breakdown = nullptr) override;
+
+ protected:
+  /// HORSE pause: vanilla park + queue assignment + coalesce precompute +
+  /// 𝒫²𝒮ℳ index build. Only uLL-flagged sandboxes get the fast path;
+  /// others fall back to vanilla behaviour entirely.
+  util::Status pause_locked(vmm::Sandbox& sandbox) override;
+
+  /// Hot(un)plug with fast-path repair: the new/removed vCPU flows
+  /// through the 𝒫²𝒮ℳ index's incremental insert/remove (§4.1.1's O(n)
+  /// and O(m) operations) and the coalescing factors are recomputed for
+  /// the new vCPU count.
+  util::Status hotplug_vcpu_locked(vmm::Sandbox& sandbox) override;
+  util::Status unplug_vcpu_locked(vmm::Sandbox& sandbox) override;
+
+ private:
+  util::Status resume_fallback_merge(vmm::Sandbox& sandbox,
+                                     sched::CpuId cpu,
+                                     vmm::ResumeBreakdown& breakdown);
+
+  HorseConfig config_;
+  HorseFeatures features_;
+  UllRunQueueManager ull_;
+  LoadCoalescer coalescer_;
+  std::unique_ptr<MergeExecutor> executor_;
+  ParallelMergeCrew* crew_ = nullptr;  // non-null in parallel mode
+};
+
+}  // namespace horse::core

@@ -1,0 +1,96 @@
+#include "core/merge_crew.hpp"
+
+#include "util/spinlock.hpp"
+
+namespace horse::core {
+
+ParallelMergeCrew::ParallelMergeCrew(std::size_t num_workers)
+    : slots_(num_workers == 0 ? 1 : num_workers) {
+  const std::size_t n = slots_.size();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this, i](std::stop_token stop) { worker_loop(i, stop); });
+  }
+}
+
+ParallelMergeCrew::~ParallelMergeCrew() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    worker.request_stop();
+  }
+  // jthread destructors join; worker_loop exits on shutdown_.
+}
+
+void ParallelMergeCrew::arm() noexcept {
+  armed_.store(true, std::memory_order_release);
+}
+
+void ParallelMergeCrew::disarm() noexcept {
+  armed_.store(false, std::memory_order_release);
+}
+
+void ParallelMergeCrew::execute(std::span<const SpliceTask> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  const bool was_armed = armed();
+  if (!was_armed) {
+    arm();
+  }
+
+  // Chunk tasks across workers; each worker w handles
+  // tasks[w*chunk .. min((w+1)*chunk, n)).
+  const std::size_t n_workers = slots_.size();
+  const std::size_t chunk = (tasks.size() + n_workers - 1) / n_workers;
+  std::size_t dispatched = 0;
+  for (std::size_t w = 0; w < n_workers && dispatched < tasks.size(); ++w) {
+    WorkerSlot& slot = slots_[w];
+    const std::size_t count = std::min(chunk, tasks.size() - dispatched);
+    slot.tasks = tasks.data() + dispatched;
+    slot.count = count;
+    dispatched += count;
+    // Publish: the generation bump releases the task pointer/count.
+    slot.generation.fetch_add(1, std::memory_order_release);
+  }
+
+  // Wait for completion: each dispatched worker acknowledges by matching
+  // completed to generation.
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    WorkerSlot& slot = slots_[w];
+    const std::uint64_t target = slot.generation.load(std::memory_order_acquire);
+    while (slot.completed.load(std::memory_order_acquire) != target) {
+      util::cpu_relax();
+    }
+  }
+
+  if (!was_armed) {
+    disarm();
+  }
+}
+
+void ParallelMergeCrew::worker_loop(std::size_t index, std::stop_token stop) {
+  WorkerSlot& slot = slots_[index];
+  std::uint64_t seen = 0;
+  while (!stop.stop_requested() && !shutdown_.load(std::memory_order_acquire)) {
+    const std::uint64_t gen = slot.generation.load(std::memory_order_acquire);
+    if (gen == seen) {
+      if (armed_.load(std::memory_order_acquire)) {
+        util::cpu_relax();
+      } else {
+        // Disarmed: yield the core instead of burning it. A futex would be
+        // cheaper still, but yield keeps wake-up latency bounded at one
+        // scheduling quantum without platform-specific code.
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    seen = gen;
+    for (std::size_t i = 0; i < slot.count; ++i) {
+      execute_splice(slot.tasks[i]);
+    }
+    slot.completed.store(seen, std::memory_order_release);
+  }
+}
+
+}  // namespace horse::core

@@ -1,0 +1,106 @@
+// Execution of the 𝒫²𝒮ℳ splice set.
+//
+// Algorithm 1 of the paper assigns one thread per posA key, each doing two
+// pointer rewrites. Inside a hypervisor those "threads" are per-CPU
+// workers signalled by IPI; in user space, spawning a std::thread per
+// resume (~20 µs) would be three orders of magnitude more expensive than
+// the work itself. MergeCrew therefore keeps a fixed set of pre-armed
+// workers that spin-wait on a generation counter while armed — dispatch is
+// one atomic store, completion is observed through per-worker done flags.
+//
+// A sequential executor is also provided: on machines with few cores (or
+// when the splice count is small) issuing the two writes per run from the
+// resuming thread is faster than any cross-core signalling. HorseConfig
+// selects the mode; both are semantically identical and tested as such.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace horse::core {
+
+/// One splice: link chain [head..tail] right after `anchor`.
+/// Field-level disjointness across tasks (guaranteed by 𝒫²𝒮ℳ's
+/// construction: distinct anchors, runs partition A) makes the set safe to
+/// execute concurrently without locks.
+struct SpliceTask {
+  util::ListHook* anchor = nullptr;
+  util::ListHook* head = nullptr;
+  util::ListHook* tail = nullptr;
+};
+
+/// Execute one splice: the two boundary rewrites of Algorithm 1 (four
+/// pointer stores for a doubly-linked queue).
+inline void execute_splice(const SpliceTask& task) noexcept {
+  util::ListHook* after = task.anchor->next;
+  task.anchor->next = task.head;
+  task.head->prev = task.anchor;
+  task.tail->next = after;
+  after->prev = task.tail;
+}
+
+class MergeExecutor {
+ public:
+  virtual ~MergeExecutor() = default;
+  /// Execute every task; returns when all splices are globally visible.
+  virtual void execute(std::span<const SpliceTask> tasks) = 0;
+};
+
+/// Runs the splices from the calling thread. O(#runs) with a ~1 ns
+/// constant; the right choice when #runs is small or cores are scarce.
+class SequentialMergeExecutor final : public MergeExecutor {
+ public:
+  void execute(std::span<const SpliceTask> tasks) override {
+    for (const SpliceTask& task : tasks) {
+      execute_splice(task);
+    }
+  }
+};
+
+/// Pre-armed parallel crew. Workers spin while armed (call arm() before a
+/// resume burst, disarm() after — armed workers burn their cores, exactly
+/// like the high-priority merge threads in §4.1.3 preempt whatever runs
+/// on the target queue's CPUs). While disarmed, workers block cheaply.
+class ParallelMergeCrew final : public MergeExecutor {
+ public:
+  explicit ParallelMergeCrew(std::size_t num_workers);
+  ~ParallelMergeCrew() override;
+
+  ParallelMergeCrew(const ParallelMergeCrew&) = delete;
+  ParallelMergeCrew& operator=(const ParallelMergeCrew&) = delete;
+
+  void arm() noexcept;
+  void disarm() noexcept;
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Tasks beyond the crew size are chunked across workers. Blocks until
+  /// every splice has completed. Works whether armed (spin dispatch) or
+  /// not (arms temporarily).
+  void execute(std::span<const SpliceTask> tasks) override;
+
+ private:
+  struct alignas(util::kCacheLineSize) WorkerSlot {
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<std::uint64_t> completed{0};
+    const SpliceTask* tasks = nullptr;
+    std::size_t count = 0;
+  };
+
+  void worker_loop(std::size_t index, std::stop_token stop);
+
+  std::vector<WorkerSlot> slots_;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace horse::core

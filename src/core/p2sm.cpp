@@ -1,0 +1,182 @@
+#include "core/p2sm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace horse::core {
+
+namespace {
+
+sched::Vcpu* vcpu_of(util::ListHook* hook) noexcept {
+  return sched::VcpuList::from_hook(hook);
+}
+
+}  // namespace
+
+P2smIndex::AnchorIndex P2smIndex::anchor_for(sched::Credit credit) const noexcept {
+  // First element of B strictly greater than `credit`; everything before
+  // it is <= credit, so the anchor is the element just before it.
+  const auto it =
+      std::upper_bound(credits_b_.begin(), credits_b_.end(), credit);
+  return static_cast<AnchorIndex>(it - credits_b_.begin()) - 1;
+}
+
+void P2smIndex::rebuild(sched::VcpuList& a, sched::RunQueue& b) {
+  array_b_.clear();
+  credits_b_.clear();
+  pos_a_.clear();
+
+  array_b_.reserve(b.size());
+  credits_b_.reserve(b.size());
+  for (sched::Vcpu& vcpu : b.list()) {
+    array_b_.push_back(&vcpu.hook);
+    credits_b_.push_back(vcpu.credit);
+  }
+
+  // Partition A (sorted) into maximal runs per anchor. Anchors are
+  // non-decreasing along A, so a single pass suffices.
+  for (sched::Vcpu& vcpu : a) {
+    const AnchorIndex anchor = anchor_for(vcpu.credit);
+    auto [it, inserted] = pos_a_.try_emplace(anchor);
+    Run& run = it->second;
+    if (inserted) {
+      run.head = &vcpu.hook;
+    }
+    run.tail = &vcpu.hook;
+    ++run.count;
+  }
+
+  built_version_ = b.version();
+  built_ = true;
+  ++stats_.rebuilds;
+}
+
+util::Status P2smIndex::insert_into_a(sched::VcpuList& a, sched::Vcpu& vcpu,
+                                      const sched::RunQueue& b) {
+  if (!fresh(b)) {
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm: index stale; rebuild before A-side updates"};
+  }
+  const AnchorIndex anchor = anchor_for(vcpu.credit);
+  auto it = pos_a_.find(anchor);
+  if (it == pos_a_.end()) {
+    // New run. Its position inside A is immediately before the head of
+    // the next run (runs are ordered by anchor along A), or at A's end.
+    auto next = pos_a_.upper_bound(anchor);
+    if (next == pos_a_.end()) {
+      a.push_back(vcpu);
+    } else {
+      a.insert(sched::VcpuList::iterator(next->second.head), vcpu);
+    }
+    pos_a_.emplace(anchor, Run{&vcpu.hook, &vcpu.hook, 1});
+  } else {
+    // Extend an existing run: walk it to keep A credit-sorted.
+    Run& run = it->second;
+    util::ListHook* node = run.head;
+    util::ListHook* insert_before = nullptr;
+    for (std::size_t i = 0; i < run.count; ++i) {
+      if (vcpu_of(node)->credit > vcpu.credit) {
+        insert_before = node;
+        break;
+      }
+      node = node->next;
+    }
+    if (insert_before == nullptr) {
+      // Belongs after the run's current tail.
+      a.insert(++sched::VcpuList::iterator(run.tail), vcpu);
+      run.tail = &vcpu.hook;
+    } else {
+      a.insert(sched::VcpuList::iterator(insert_before), vcpu);
+      if (insert_before == run.head) {
+        run.head = &vcpu.hook;
+      }
+    }
+    ++run.count;
+  }
+  ++stats_.incremental_inserts;
+  return util::Status::ok();
+}
+
+util::Status P2smIndex::remove_from_a(sched::VcpuList& a, sched::Vcpu& vcpu) {
+  if (!built_) {
+    return {util::StatusCode::kFailedPrecondition, "p2sm: index not built"};
+  }
+  // Find the run containing the vCPU (paper: O(m) worst case — all of A
+  // in one run with the victim last).
+  for (auto it = pos_a_.begin(); it != pos_a_.end(); ++it) {
+    Run& run = it->second;
+    util::ListHook* node = run.head;
+    for (std::size_t i = 0; i < run.count; ++i) {
+      util::ListHook* next = node->next;
+      if (node == &vcpu.hook) {
+        if (run.count == 1) {
+          pos_a_.erase(it);
+        } else {
+          if (run.head == node) {
+            run.head = next;
+          }
+          if (run.tail == node) {
+            run.tail = node->prev;
+          }
+          --run.count;
+        }
+        a.erase(vcpu);
+        ++stats_.incremental_removes;
+        return util::Status::ok();
+      }
+      node = next;
+    }
+  }
+  return {util::StatusCode::kNotFound, "p2sm: vcpu not indexed"};
+}
+
+util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
+                              MergeExecutor& executor) {
+  if (!fresh(b)) {
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm: index stale; cannot O(1)-merge"};
+  }
+  if (a.size() == 0) {
+    return {util::StatusCode::kFailedPrecondition, "p2sm: empty source list"};
+  }
+
+  // Materialise the splice set. task_buffer_ is reused so the steady-state
+  // merge allocates nothing.
+  task_buffer_.clear();
+  task_buffer_.reserve(pos_a_.size());
+  std::size_t total = 0;
+  for (const auto& [anchor, run] : pos_a_) {
+    util::ListHook* anchor_hook =
+        anchor == kBeforeHead ? b.list().sentinel()
+                              : array_b_[static_cast<std::size_t>(anchor)];
+    task_buffer_.push_back(SpliceTask{anchor_hook, run.head, run.tail});
+    total += run.count;
+  }
+  assert(total == a.size());
+
+  // Detach A's container bookkeeping first (O(1)); the nodes themselves
+  // are re-linked by the splices.
+  const auto chain = a.take_all();
+  (void)chain;
+
+  executor.execute(task_buffer_);
+
+  b.list().add_size(total);
+  b.bump_version();
+  built_ = false;  // consumed
+  pos_a_.clear();
+  ++stats_.merges;
+  return util::Status::ok();
+}
+
+std::size_t P2smIndex::memory_bytes() const noexcept {
+  // std::map node: payload + two-child/parent pointers + color (~40 bytes
+  // of overhead per node on libstdc++).
+  constexpr std::size_t kMapNodeOverhead = 40;
+  return array_b_.capacity() * sizeof(util::ListHook*) +
+         credits_b_.capacity() * sizeof(sched::Credit) +
+         task_buffer_.capacity() * sizeof(SpliceTask) +
+         pos_a_.size() * (sizeof(std::pair<AnchorIndex, Run>) + kMapNodeOverhead);
+}
+
+}  // namespace horse::core

@@ -1,0 +1,125 @@
+// 𝒫²𝒮ℳ — parallel precomputed sorted merge (§4.1 of the paper).
+//
+// Merges a sorted vCPU list A (a paused sandbox's `merge_vcpus`) into a
+// sorted run queue B (the reserved ull_runqueue) in O(1) splice
+// operations, by maintaining while the sandbox is paused:
+//
+//   arrayB : position-indexed snapshot of B's nodes (plus their credits,
+//            kept separately so anchor search never chases pointers), and
+//   posA   : anchor position in B  →  the maximal run of consecutive A
+//            elements that belongs immediately after that position.
+//            Key -1 designates "before B's first element"; its anchor is
+//            the queue's sentinel, making the head case uniform.
+//
+// The merge phase turns each posA entry into one SpliceTask (two boundary
+// rewrites). Distinct runs have distinct anchors and each task writes only
+// its own anchor's `next`, its run's boundary pointers, and the *original*
+// successor's `prev` — pairwise-disjoint fields, so the tasks can execute
+// concurrently without locks, which is exactly the paper's Algorithm 1
+// correctness argument.
+//
+// Freshness: the index snapshots B at a specific RunQueue::version(). Any
+// structural change to B invalidates it; UllRunQueueManager rebuilds stale
+// indexes off the resume path (§4.1.3: "the updates are performed each
+// time ull_runqueue is updated").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/merge_crew.hpp"
+#include "sched/run_queue.hpp"
+#include "sched/vcpu.hpp"
+#include "util/status.hpp"
+
+namespace horse::core {
+
+struct P2smStats {
+  std::uint64_t rebuilds = 0;
+  std::uint64_t incremental_inserts = 0;
+  std::uint64_t incremental_removes = 0;
+  std::uint64_t merges = 0;
+};
+
+class P2smIndex {
+ public:
+  /// Anchor position in B; -1 is "before the first element".
+  using AnchorIndex = std::int64_t;
+  static constexpr AnchorIndex kBeforeHead = -1;
+
+  /// A maximal run of consecutive A nodes sharing one anchor.
+  struct Run {
+    util::ListHook* head = nullptr;
+    util::ListHook* tail = nullptr;
+    std::size_t count = 0;
+  };
+
+  P2smIndex() = default;
+
+  // --- precomputation phase (§4.1.1) ------------------------------------
+
+  /// Full recompute: O(|A| + |B|). Caller must hold B's lock or otherwise
+  /// guarantee B is quiescent.
+  void rebuild(sched::VcpuList& a, sched::RunQueue& b);
+
+  /// True when the index still matches B's current structure.
+  [[nodiscard]] bool fresh(const sched::RunQueue& b) const noexcept {
+    return built_ && built_version_ == b.version();
+  }
+  [[nodiscard]] bool built() const noexcept { return built_; }
+  void invalidate() noexcept {
+    built_ = false;
+    pos_a_.clear();
+  }
+
+  /// A-side incremental insert (paper: O(n) position search + O(1) list
+  /// insert). Inserts `vcpu` into A at its sorted position *and* extends
+  /// the appropriate run. Requires a fresh index.
+  util::Status insert_into_a(sched::VcpuList& a, sched::Vcpu& vcpu,
+                             const sched::RunQueue& b);
+
+  /// A-side incremental removal (paper: O(m) run walk). Unlinks `vcpu`
+  /// from A and shrinks/erases its run. Requires a fresh index.
+  util::Status remove_from_a(sched::VcpuList& a, sched::Vcpu& vcpu);
+
+  // --- merge phase (§4.1.2, Algorithm 1) ---------------------------------
+
+  /// Splice all of A into B. O(#runs) splice tasks executed by `executor`
+  /// (possibly in parallel), independent of |A| and |B|. On return A is
+  /// empty, B is sorted and contains every former A element, and the
+  /// index is consumed (invalidated). Caller must hold B's lock if other
+  /// threads may mutate B concurrently.
+  util::Status merge(sched::VcpuList& a, sched::RunQueue& b,
+                     MergeExecutor& executor);
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::size_t run_count() const noexcept { return pos_a_.size(); }
+  [[nodiscard]] std::size_t array_b_size() const noexcept { return array_b_.size(); }
+  [[nodiscard]] const P2smStats& stats() const noexcept { return stats_; }
+
+  /// Approximate heap footprint of the precomputed structures, for the
+  /// §5.2 memory-overhead experiment.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Test hook: the runs in anchor order.
+  [[nodiscard]] const std::map<AnchorIndex, Run>& runs() const noexcept {
+    return pos_a_;
+  }
+
+ private:
+  /// Largest index i with creditsB[i] <= credit, or kBeforeHead.
+  [[nodiscard]] AnchorIndex anchor_for(sched::Credit credit) const noexcept;
+
+  std::vector<util::ListHook*> array_b_;
+  std::vector<sched::Credit> credits_b_;
+  std::map<AnchorIndex, Run> pos_a_;
+  std::vector<SpliceTask> task_buffer_;
+  std::uint64_t built_version_ = 0;
+  bool built_ = false;
+  P2smStats stats_;
+};
+
+}  // namespace horse::core

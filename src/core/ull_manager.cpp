@@ -1,0 +1,139 @@
+#include "core/ull_manager.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace horse::core {
+
+UllRunQueueManager::UllRunQueueManager(sched::CpuTopology& topology,
+                                       const HorseConfig& config)
+    : topology_(topology) {
+  config.validate();
+  if (config.num_ull_runqueues >= topology.num_cpus()) {
+    throw std::invalid_argument(
+        "UllRunQueueManager: cannot reserve every CPU for uLL");
+  }
+  const auto n = static_cast<sched::CpuId>(topology.num_cpus());
+  for (sched::CpuId i = 0; i < config.num_ull_runqueues; ++i) {
+    const sched::CpuId cpu = n - 1 - i;
+    topology.reserve_for_ull(cpu);
+    ull_cpus_.push_back(cpu);
+  }
+}
+
+sched::CpuId UllRunQueueManager::assign(vmm::Sandbox& sandbox) {
+  // Count paused sandboxes per reserved queue; pick the least occupied.
+  std::unordered_map<sched::CpuId, std::size_t> occupancy;
+  for (const sched::CpuId cpu : ull_cpus_) {
+    occupancy[cpu] = 0;
+  }
+  for (const auto& [id, tracked] : tracked_) {
+    ++occupancy[tracked.cpu];
+  }
+  sched::CpuId best = ull_cpus_.front();
+  std::size_t best_count = std::numeric_limits<std::size_t>::max();
+  for (const sched::CpuId cpu : ull_cpus_) {
+    if (occupancy[cpu] < best_count) {
+      best = cpu;
+      best_count = occupancy[cpu];
+    }
+  }
+  assignments_[sandbox.id()] = best;
+  return best;
+}
+
+util::Expected<sched::CpuId> UllRunQueueManager::assignment(
+    sched::SandboxId id) const {
+  const auto it = assignments_.find(id);
+  if (it == assignments_.end()) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "ull: sandbox has no queue assignment"};
+  }
+  return it->second;
+}
+
+util::Status UllRunQueueManager::track(vmm::Sandbox& sandbox) {
+  const auto it = assignments_.find(sandbox.id());
+  if (it == assignments_.end()) {
+    return {util::StatusCode::kFailedPrecondition,
+            "ull: assign() before track()"};
+  }
+  if (sandbox.merge_vcpus().size() == 0) {
+    return {util::StatusCode::kFailedPrecondition,
+            "ull: sandbox has no parked vCPUs (not paused?)"};
+  }
+  Tracked tracked;
+  tracked.sandbox = &sandbox;
+  tracked.cpu = it->second;
+  tracked.index = std::make_unique<P2smIndex>();
+  tracked.index->rebuild(sandbox.merge_vcpus(), topology_.queue(tracked.cpu));
+  tracked_[sandbox.id()] = std::move(tracked);
+  return util::Status::ok();
+}
+
+void UllRunQueueManager::untrack(sched::SandboxId id) {
+  tracked_.erase(id);
+  assignments_.erase(id);
+}
+
+std::size_t UllRunQueueManager::refresh() {
+  std::size_t rebuilt = 0;
+  for (auto& [id, tracked] : tracked_) {
+    sched::RunQueue& queue = topology_.queue(tracked.cpu);
+    if (!tracked.index->fresh(queue)) {
+      tracked.index->rebuild(tracked.sandbox->merge_vcpus(), queue);
+      ++rebuilt;
+    }
+  }
+  return rebuilt;
+}
+
+P2smIndex* UllRunQueueManager::index_of(sched::SandboxId id) {
+  const auto it = tracked_.find(id);
+  return it == tracked_.end() ? nullptr : it->second.index.get();
+}
+
+util::Status UllRunQueueManager::grow() {
+  // Reserved queues are allocated downward from the top CPU; the next
+  // candidate is just below the last one we hold.
+  const sched::CpuId candidate = ull_cpus_.back() - 1;
+  if (ull_cpus_.size() + 1 >= topology_.num_cpus() || candidate == 0 ||
+      topology_.is_reserved(candidate)) {
+    return {util::StatusCode::kResourceExhausted,
+            "ull: cannot reserve another queue"};
+  }
+  topology_.reserve_for_ull(candidate);
+  ull_cpus_.push_back(candidate);
+  return util::Status::ok();
+}
+
+util::Status UllRunQueueManager::shrink() {
+  if (ull_cpus_.size() <= 1) {
+    return {util::StatusCode::kFailedPrecondition,
+            "ull: at least one ull_runqueue must remain"};
+  }
+  const sched::CpuId victim = ull_cpus_.back();
+  for (const auto& [id, cpu] : assignments_) {
+    if (cpu == victim) {
+      return {util::StatusCode::kFailedPrecondition,
+              "ull: paused sandboxes still assigned to the victim queue"};
+    }
+  }
+  if (!topology_.queue(victim).empty()) {
+    return {util::StatusCode::kFailedPrecondition,
+            "ull: victim queue still has runnable uLL vCPUs"};
+  }
+  topology_.unreserve(victim);
+  ull_cpus_.pop_back();
+  return util::Status::ok();
+}
+
+std::size_t UllRunQueueManager::total_index_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [id, tracked] : tracked_) {
+    total += tracked.index->memory_bytes() + sizeof(Tracked);
+  }
+  return total;
+}
+
+}  // namespace horse::core

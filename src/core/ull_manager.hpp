@@ -1,0 +1,95 @@
+// Reserved uLL run-queue management (§4.1.3).
+//
+// HORSE confines uLL sandboxes to a small set of reserved run queues so
+// that 𝒫²𝒮ℳ's precomputed structures only have to track those queues.
+// Responsibilities:
+//   * reserve the queues in the topology (general placement skips them),
+//   * assign each pausing uLL sandbox to the reserved queue with the
+//     fewest paused sandboxes ("the choice … considers the number of
+//     paused sandboxes already associated with each ull_runqueue to
+//     perform load balancing"),
+//   * own one P2smIndex per paused sandbox and keep it fresh whenever its
+//     target queue changes structurally ("the updates are performed each
+//     time ull_runqueue is updated").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/p2sm.hpp"
+#include "sched/topology.hpp"
+#include "util/status.hpp"
+#include "vmm/sandbox.hpp"
+
+namespace horse::core {
+
+class UllRunQueueManager {
+ public:
+  /// Reserves `config.num_ull_runqueues` CPUs, starting from the highest
+  /// CPU id (leaving low ids for general work, as pinned-core setups do).
+  UllRunQueueManager(sched::CpuTopology& topology, const HorseConfig& config);
+
+  [[nodiscard]] const std::vector<sched::CpuId>& ull_cpus() const noexcept {
+    return ull_cpus_;
+  }
+
+  /// Pause-time assignment: least-occupied reserved queue.
+  [[nodiscard]] sched::CpuId assign(vmm::Sandbox& sandbox);
+
+  /// The queue a paused sandbox was assigned to.
+  [[nodiscard]] util::Expected<sched::CpuId> assignment(
+      sched::SandboxId id) const;
+
+  /// Register a paused sandbox and build its 𝒫²𝒮ℳ index against its
+  /// assigned queue. Requires merge_vcpus to be populated (post-pause).
+  util::Status track(vmm::Sandbox& sandbox);
+
+  /// Drop tracking (after resume or destroy).
+  void untrack(sched::SandboxId id);
+
+  /// Rebuild every index whose target queue changed since it was built.
+  /// In a hypervisor this runs from the queue-mutation path; callers here
+  /// invoke it from scheduler ticks / after any ull queue mutation.
+  /// Returns the number of indexes rebuilt.
+  std::size_t refresh();
+
+  /// The index for a paused sandbox; nullptr when untracked.
+  [[nodiscard]] P2smIndex* index_of(sched::SandboxId id);
+
+  [[nodiscard]] std::size_t tracked_count() const noexcept {
+    return tracked_.size();
+  }
+
+  /// Total heap footprint of all precomputed structures (§5.2 memory
+  /// overhead; the paper measures ≈528 KB for 10 paused uLL sandboxes).
+  [[nodiscard]] std::size_t total_index_bytes() const noexcept;
+
+  // --- adaptive scaling (§4.1.3: "In the case of a high frequency of uLL
+  // workload triggers, we can increase the number of ull_runqueue") ------
+
+  /// Reserve one more CPU as a ull_runqueue. Fails with
+  /// kResourceExhausted when growing would leave no general CPU.
+  util::Status grow();
+
+  /// Release the most recently reserved queue back to general duty.
+  /// Fails when only one queue remains or when paused sandboxes are
+  /// still assigned to the victim queue (their indexes target it).
+  util::Status shrink();
+
+ private:
+  struct Tracked {
+    vmm::Sandbox* sandbox = nullptr;
+    sched::CpuId cpu = 0;
+    std::unique_ptr<P2smIndex> index;
+  };
+
+  sched::CpuTopology& topology_;
+  std::vector<sched::CpuId> ull_cpus_;
+  std::unordered_map<sched::SandboxId, Tracked> tracked_;
+  std::unordered_map<sched::SandboxId, sched::CpuId> assignments_;
+};
+
+}  // namespace horse::core

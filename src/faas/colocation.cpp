@@ -1,0 +1,241 @@
+#include "faas/colocation.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "metrics/time_series.hpp"
+#include "sched/credit2.hpp"
+#include "sched/dvfs.hpp"
+#include "sched/energy.hpp"
+#include "sched/topology.hpp"
+#include "sim/cpu_executor.hpp"
+#include "sim/simulation.hpp"
+
+namespace horse::faas {
+
+trace::ArrivalSchedule default_thumbnail_arrivals(util::Nanos duration,
+                                                  std::uint64_t seed) {
+  trace::SyntheticTraceParams params;
+  params.num_functions = 20;
+  params.num_minutes = static_cast<std::uint32_t>(
+      std::max<util::Nanos>(1, duration / (60 * util::kSecond) + 1));
+  params.top_rate_per_minute = 240.0;  // ~4 thumbnail triggers per second
+  params.seed = seed;
+  trace::SyntheticAzureTrace generator(params);
+  const auto full = generator.generate_schedule();
+
+  // Keep the single busiest function, as the paper triggers one function
+  // (the SEBS thumbnail generator) with trace-derived arrival times.
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& arrival : full.arrivals()) {
+    ++counts[arrival.function_id];
+  }
+  std::uint32_t busiest = 0;
+  std::size_t best = 0;
+  for (const auto& [id, count] : counts) {
+    if (count > best) {
+      best = count;
+      busiest = id;
+    }
+  }
+  std::vector<trace::Arrival> filtered;
+  for (const auto& arrival : full.arrivals()) {
+    if (arrival.function_id == busiest && arrival.time < duration) {
+      filtered.push_back(trace::Arrival{arrival.time, 0});
+    }
+  }
+  return trace::ArrivalSchedule(std::move(filtered));
+}
+
+ColocationExperiment::ColocationExperiment(ColocationParams params,
+                                           const sim::CostModel& costs)
+    : params_(params), costs_(costs) {}
+
+ColocationResult ColocationExperiment::run() {
+  return run(default_thumbnail_arrivals(params_.duration, params_.seed));
+}
+
+ColocationResult ColocationExperiment::run(
+    const trace::ArrivalSchedule& arrivals) {
+  sim::Simulation sim;
+  sched::CpuTopology topology(params_.num_cpus);
+  const bool horse = params_.mode == ColocationMode::kHorse;
+
+  std::vector<sched::CpuId> general_cpus;
+  std::vector<sched::CpuId> ull_cpus;
+  if (horse) {
+    for (std::size_t i = 0; i < params_.num_ull_queues; ++i) {
+      const auto cpu = static_cast<sched::CpuId>(params_.num_cpus - 1 - i);
+      topology.reserve_for_ull(cpu);
+      ull_cpus.push_back(cpu);
+    }
+  }
+  for (sched::CpuId cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+    if (!topology.is_reserved(cpu)) {
+      general_cpus.push_back(cpu);
+    }
+  }
+
+  sched::Credit2Scheduler scheduler(topology);
+  sim::CpuExecutor executor(sim, scheduler);
+  util::Xoshiro256 rng(params_.seed);
+  trace::DurationSampler durations(params_.thumbnail_durations,
+                                   params_.seed + 1);
+  metrics::SampleStats latencies;
+
+  // Live vCPU storage: one per in-flight task, reclaimed on completion.
+  std::unordered_map<sched::Vcpu*, std::unique_ptr<sched::Vcpu>> live;
+  std::uint32_t next_vcpu_id = 1;
+
+  auto make_vcpu = [&]() -> sched::Vcpu& {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->id = next_vcpu_id++;
+    sched::Vcpu& ref = *vcpu;
+    live.emplace(&ref, std::move(vcpu));
+    return ref;
+  };
+
+  // Placement by queue occupancy (runnable count) rather than PELT load:
+  // with no decay ticks in this reduced model, load would only accumulate
+  // and amplify placement noise under heavy-tailed service times.
+  auto pick_general = [&]() -> sched::CpuId {
+    sched::CpuId best = general_cpus.front();
+    std::size_t best_depth = topology.queue(best).size() +
+                             (executor.idle(best) ? 0 : 1);
+    for (const sched::CpuId cpu : general_cpus) {
+      const std::size_t depth =
+          topology.queue(cpu).size() + (executor.idle(cpu) ? 0 : 1);
+      if (depth < best_depth) {
+        best = cpu;
+        best_depth = depth;
+      }
+    }
+    return best;
+  };
+
+  // --- thumbnail invocations --------------------------------------------
+  for (const auto& arrival : arrivals.arrivals()) {
+    if (arrival.time >= params_.duration) {
+      continue;
+    }
+    sim.schedule_at(arrival.time, [&, arrival] {
+      const util::Nanos resume =
+          costs_.init_warm(params_.thumbnail_vcpus);
+      const sched::CpuId cpu = pick_general();
+      // The warm resume stalls the target queue for its duration.
+      executor.block_cpu(cpu, resume);
+      const util::Nanos service = durations.sample();
+      const util::Nanos started = arrival.time;
+      sim.schedule_after(resume, [&, cpu, service, started] {
+        sched::Vcpu& vcpu = make_vcpu();
+        executor.submit(vcpu, cpu, service, [&, started](sched::Vcpu& done) {
+          latencies.add(static_cast<double>(sim.now() - started));
+          live.erase(&done);
+        });
+      });
+    });
+  }
+
+  // --- uLL resume bursts ---------------------------------------------------
+  std::uint64_t ull_triggers = 0;
+  const auto seconds =
+      static_cast<std::uint64_t>(params_.duration / util::kSecond);
+  for (std::uint64_t s = 0; s < seconds; ++s) {
+    for (std::uint32_t k = 0; k < params_.ull_per_second; ++k) {
+      const util::Nanos when =
+          static_cast<util::Nanos>(s) * util::kSecond +
+          static_cast<util::Nanos>(rng.uniform01() * 0.9 * util::kSecond);
+      sim.schedule_at(when, [&] {
+        ++ull_triggers;
+        if (horse) {
+          const util::Nanos resume = costs_.horse_resume(params_.ull_vcpus);
+          const sched::CpuId target = ull_cpus.front();
+          executor.block_cpu(target, resume);
+          // 𝒫²𝒮ℳ merge threads preempt general CPUs, one per run chunk.
+          const std::size_t merge_threads = std::min<std::size_t>(
+              params_.ull_vcpus, general_cpus.size());
+          for (std::size_t m = 0; m < merge_threads; ++m) {
+            const auto victim = general_cpus[rng.bounded(general_cpus.size())];
+            executor.block_cpu(victim, params_.merge_preempt_cost);
+          }
+          sim.schedule_after(resume, [&, target] {
+            sched::Vcpu& vcpu = make_vcpu();
+            executor.submit(vcpu, target, params_.ull_exec,
+                            [&](sched::Vcpu& done) { live.erase(&done); });
+          });
+        } else {
+          const util::Nanos resume = costs_.init_warm(params_.ull_vcpus);
+          // Vanilla: the per-vCPU inserts hit the general queues.
+          const std::uint32_t spread =
+              std::min<std::uint32_t>(params_.ull_vcpus,
+                                      static_cast<std::uint32_t>(general_cpus.size()));
+          const util::Nanos share = resume / std::max<std::uint32_t>(1, spread);
+          for (std::uint32_t m = 0; m < spread; ++m) {
+            executor.block_cpu(general_cpus[rng.bounded(general_cpus.size())],
+                               share);
+          }
+          const sched::CpuId cpu = pick_general();
+          sim.schedule_after(resume, [&, cpu] {
+            sched::Vcpu& vcpu = make_vcpu();
+            executor.submit(vcpu, cpu, params_.ull_exec,
+                            [&](sched::Vcpu& done) { live.erase(&done); });
+          });
+        }
+      });
+    }
+  }
+
+  // --- DVFS sampling ------------------------------------------------------
+  // Every 100 ms the governor re-evaluates each queue's PELT load (idle
+  // queues decay in between, as scheduler ticks would make them).
+  sched::DvfsGovernor governor;
+  std::vector<metrics::TimeSeries> freq_traces(topology.num_cpus());
+  constexpr util::Nanos kDvfsInterval = 100 * util::kMillisecond;
+  constexpr std::uint32_t kPeltPeriodsPerSample = 100;  // 1 ms PELT period
+  std::function<void()> sample_dvfs = [&] {
+    for (sched::CpuId cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+      sched::RunQueue& queue = topology.queue(cpu);
+      if (queue.empty() && executor.idle(cpu)) {
+        queue.decay_load(kPeltPeriodsPerSample);
+      } else {
+        // A runnable entity accumulates PELT contribution every period it
+        // stays on the queue; the closed form applies all periods since
+        // the last sample at once (the same arithmetic HORSE coalesces).
+        queue.update_load_coalesced(kPeltPeriodsPerSample);
+      }
+      freq_traces[cpu].record(
+          sim.now(),
+          static_cast<double>(governor.target_freq_khz(queue.load())));
+    }
+    if (sim.now() < params_.duration) {
+      sim.schedule_after(kDvfsInterval, sample_dvfs);
+    }
+  };
+  sim.schedule_at(0, sample_dvfs);
+
+  // Run past the window so queued work drains.
+  sim.run();
+
+  ColocationResult result;
+  const auto summary = latencies.summarize();
+  result.mean_ns = summary.mean;
+  result.p95_ns = latencies.percentile(95.0);
+  result.p99_ns = latencies.percentile(99.0);
+  result.completed = latencies.size();
+  result.preemptions = executor.preemptions();
+  result.ull_triggers = ull_triggers;
+
+  sched::EnergyModel energy;
+  double joules = 0.0;
+  double freq_sum = 0.0;
+  for (sched::CpuId cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+    joules += energy.energy_of_trace(freq_traces[cpu], params_.duration);
+    freq_sum += freq_traces[cpu].time_weighted_mean(params_.duration);
+  }
+  result.energy_joules = joules;
+  result.mean_freq_khz = freq_sum / static_cast<double>(topology.num_cpus());
+  return result;
+}
+
+}  // namespace horse::faas

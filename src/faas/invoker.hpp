@@ -1,0 +1,78 @@
+// Asynchronous invocation frontend.
+//
+// FaaS gateways accept triggers concurrently and queue them toward the
+// control plane; Invoker is that layer over Platform: submissions from
+// any thread fan out to a worker pool, outcomes (status + record) are
+// collected for later draining. The platform's control-plane mutex
+// serializes the actual invocations — what the Invoker adds is admission,
+// backpressure accounting, and a place to observe end-to-end queueing.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "faas/platform.hpp"
+#include "util/thread_pool.hpp"
+
+namespace horse::faas {
+
+class Invoker {
+ public:
+  struct Outcome {
+    FunctionId function = 0;
+    StartMode mode = StartMode::kCold;
+    util::Status status;
+    InvocationRecord record;   // valid when status.is_ok()
+    util::Nanos queueing = 0;  // submit-to-start wait (monotonic clock)
+  };
+
+  Invoker(Platform& platform, std::size_t workers)
+      : platform_(platform), pool_(workers) {}
+
+  Invoker(const Invoker&) = delete;
+  Invoker& operator=(const Invoker&) = delete;
+
+  /// Fire-and-collect: enqueue an invocation. Thread-safe.
+  void submit(FunctionId function, workloads::Request request, StartMode mode) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    const util::Nanos enqueued_at = util::monotonic_now();
+    pool_.submit([this, function, request = std::move(request), mode,
+                  enqueued_at]() mutable {
+      Outcome outcome;
+      outcome.function = function;
+      outcome.mode = mode;
+      outcome.queueing = util::monotonic_now() - enqueued_at;
+      auto result = platform_.invoke(function, request, mode);
+      if (result) {
+        outcome.record = std::move(*result);
+      } else {
+        outcome.status = result.status();
+      }
+      std::lock_guard lock(outcomes_mutex_);
+      outcomes_.push_back(std::move(outcome));
+    });
+  }
+
+  /// Wait for all submitted invocations and take their outcomes.
+  [[nodiscard]] std::vector<Outcome> drain() {
+    pool_.wait_idle();
+    std::lock_guard lock(outcomes_mutex_);
+    std::vector<Outcome> out;
+    out.swap(outcomes_);
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Platform& platform_;
+  util::ThreadPool pool_;
+  std::mutex outcomes_mutex_;
+  std::vector<Outcome> outcomes_;
+  std::atomic<std::uint64_t> submitted_{0};
+};
+
+}  // namespace horse::faas

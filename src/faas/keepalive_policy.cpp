@@ -1,0 +1,107 @@
+#include "faas/keepalive_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace horse::faas {
+
+HybridHistogramPolicy::HybridHistogramPolicy(KeepAlivePolicyConfig config)
+    : config_(config) {
+  if (config_.bin_width <= 0 || config_.num_bins == 0) {
+    throw std::invalid_argument("keep-alive policy: bad histogram shape");
+  }
+  if (config_.head_percentile < 0.0 || config_.tail_percentile > 100.0 ||
+      config_.head_percentile >= config_.tail_percentile) {
+    throw std::invalid_argument("keep-alive policy: bad percentiles");
+  }
+}
+
+void HybridHistogramPolicy::record_invocation(FunctionId function,
+                                              util::Nanos now) {
+  FunctionHistory& history = histories_[function];
+  if (history.bins.empty()) {
+    history.bins.resize(config_.num_bins, 0);
+  }
+  if (history.last_arrival >= 0 && now >= history.last_arrival) {
+    const util::Nanos idle = now - history.last_arrival;
+    const auto bin = static_cast<std::size_t>(idle / config_.bin_width);
+    if (bin < config_.num_bins) {
+      ++history.bins[bin];
+    } else {
+      ++history.oob;
+    }
+    ++history.total;
+  }
+  history.last_arrival = now;
+}
+
+util::Nanos HybridHistogramPolicy::percentile_cutoff(
+    const FunctionHistory& history, double percentile, BinEdge edge) const {
+  // Percentile over the in-bounds histogram mass. The head cut-off
+  // (pre-warm) takes the *lower* edge of the crossing bin — re-provision
+  // before the earliest plausible arrival — while the tail cut-off
+  // (keep-alive) takes the *upper* edge, covering the whole bin.
+  const std::uint64_t in_bounds = history.total - history.oob;
+  if (in_bounds == 0) {
+    return 0;
+  }
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(in_bounds)));
+  std::uint64_t seen = 0;
+  for (std::size_t bin = 0; bin < history.bins.size(); ++bin) {
+    seen += history.bins[bin];
+    if (seen >= std::max<std::uint64_t>(target, 1)) {
+      const std::size_t boundary = edge == BinEdge::kLower ? bin : bin + 1;
+      return static_cast<util::Nanos>(boundary) * config_.bin_width;
+    }
+  }
+  return static_cast<util::Nanos>(history.bins.size()) * config_.bin_width;
+}
+
+KeepAliveDecision HybridHistogramPolicy::decide(FunctionId function) const {
+  KeepAliveDecision decision;
+  decision.keep_alive = config_.fallback_keep_alive;
+
+  const auto it = histories_.find(function);
+  if (it == histories_.end()) {
+    return decision;
+  }
+  const FunctionHistory& history = it->second;
+  if (history.total < config_.min_samples) {
+    return decision;
+  }
+  const double oob_fraction =
+      static_cast<double>(history.oob) / static_cast<double>(history.total);
+  if (oob_fraction > config_.max_oob_fraction) {
+    return decision;
+  }
+
+  const util::Nanos head =
+      percentile_cutoff(history, config_.head_percentile, BinEdge::kLower);
+  const util::Nanos tail =
+      percentile_cutoff(history, config_.tail_percentile, BinEdge::kUpper);
+  // Margins widen the kept window on both sides (pre-warm earlier,
+  // keep longer), as in the ATC'20 policy.
+  decision.prewarm_window = static_cast<util::Nanos>(
+      static_cast<double>(head) * (1.0 - config_.margin));
+  decision.keep_alive = std::max<util::Nanos>(
+      config_.bin_width,
+      static_cast<util::Nanos>(static_cast<double>(tail) *
+                               (1.0 + config_.margin)) -
+          decision.prewarm_window);
+  decision.from_histogram = true;
+  return decision;
+}
+
+std::size_t HybridHistogramPolicy::sample_count(FunctionId function) const {
+  const auto it = histories_.find(function);
+  return it == histories_.end() ? 0 : static_cast<std::size_t>(it->second.total);
+}
+
+std::size_t HybridHistogramPolicy::oob_count(FunctionId function) const {
+  const auto it = histories_.find(function);
+  return it == histories_.end() ? 0 : static_cast<std::size_t>(it->second.oob);
+}
+
+}  // namespace horse::faas

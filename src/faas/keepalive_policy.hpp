@@ -1,0 +1,96 @@
+// Hybrid-histogram keep-alive policy (Shahrad et al., "Serverless in the
+// Wild", USENIX ATC'20 — the production policy of the platform whose
+// traces drive this paper's §5.4 experiment).
+//
+// Fixed keep-alive windows waste memory on rarely-invoked functions and
+// still miss long idle gaps. The hybrid policy tracks a per-function
+// histogram of idle times (gaps between invocations) and derives:
+//
+//   * pre-warm window  — how long after an invocation the sandbox may be
+//     released before being re-provisioned, set from a low percentile of
+//     the idle-time distribution (head cut-off);
+//   * keep-alive window — how long to keep it warm, set from a high
+//     percentile (tail cut-off);
+//   * a fallback to the fixed default when the pattern is not
+//     "representative" (too few samples or out-of-bounds-dominated).
+//
+// Platform wires the keep-alive side into WarmPool eviction; the pre-warm
+// window is exposed for schedulers that re-provision proactively.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "faas/registry.hpp"
+#include "util/time.hpp"
+
+namespace horse::faas {
+
+struct KeepAlivePolicyConfig {
+  /// Histogram bin width (the ATC'20 policy uses 1-minute bins).
+  util::Nanos bin_width = 60 * util::kSecond;
+  /// Number of bins; idle times beyond bin_width*num_bins count as
+  /// out-of-bounds (OOB).
+  std::size_t num_bins = 240;  // 4 hours, as in the production system
+  /// Head/tail percentiles for pre-warm / keep-alive cut-offs.
+  double head_percentile = 5.0;
+  double tail_percentile = 99.0;
+  /// Safety margin applied to both cut-offs (ATC'20 uses 10%).
+  double margin = 0.10;
+  /// Below this many samples the pattern is not representative.
+  std::size_t min_samples = 8;
+  /// If more than this fraction of idle times are OOB, fall back.
+  double max_oob_fraction = 0.5;
+  /// Fallback keep-alive (the fixed-window baseline).
+  util::Nanos fallback_keep_alive = 10LL * 60 * util::kSecond;
+};
+
+struct KeepAliveDecision {
+  /// Time after an invocation during which the sandbox need not be kept
+  /// (it can be released and re-provisioned just-in-time). 0 = keep from
+  /// the start.
+  util::Nanos prewarm_window = 0;
+  /// How long past the pre-warm window to keep the sandbox warm.
+  util::Nanos keep_alive = 0;
+  /// True when derived from the histogram, false on fallback.
+  bool from_histogram = false;
+};
+
+class HybridHistogramPolicy {
+ public:
+  explicit HybridHistogramPolicy(KeepAlivePolicyConfig config = {});
+
+  /// Record an invocation arrival for `function` at time `now` (any
+  /// monotonic clock; only gaps matter).
+  void record_invocation(FunctionId function, util::Nanos now);
+
+  /// Current policy decision for `function`.
+  [[nodiscard]] KeepAliveDecision decide(FunctionId function) const;
+
+  /// Observed idle-time count (in-bounds + OOB) for a function.
+  [[nodiscard]] std::size_t sample_count(FunctionId function) const;
+  [[nodiscard]] std::size_t oob_count(FunctionId function) const;
+
+  [[nodiscard]] const KeepAlivePolicyConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct FunctionHistory {
+    std::vector<std::uint32_t> bins;
+    std::uint64_t total = 0;
+    std::uint64_t oob = 0;
+    util::Nanos last_arrival = -1;
+  };
+
+  enum class BinEdge { kLower, kUpper };
+  [[nodiscard]] util::Nanos percentile_cutoff(const FunctionHistory& history,
+                                              double percentile,
+                                              BinEdge edge) const;
+
+  KeepAlivePolicyConfig config_;
+  std::unordered_map<FunctionId, FunctionHistory> histories_;
+};
+
+}  // namespace horse::faas

@@ -1,0 +1,215 @@
+#include "faas/platform.hpp"
+
+#include <utility>
+
+namespace horse::faas {
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)),
+      topology_(config_.num_cpus),
+      boot_(config_.profile, config_.seed + 1),
+      snapshots_(config_.profile, config_.seed + 2),
+      pool_(config_.warm_pool),
+      keep_alive_policy_(config_.keep_alive_policy) {
+  vanilla_ = std::make_unique<vmm::ResumeEngine>(topology_, config_.profile);
+  horse_ = std::make_unique<core::HorseResumeEngine>(topology_, config_.profile,
+                                                     config_.horse);
+}
+
+void Platform::advance_time(util::Nanos delta) {
+  std::lock_guard lock(control_mutex_);
+  logical_now_ += delta;
+  if (config_.adaptive_keep_alive) {
+    // Refresh per-function keep-alive windows from the idle histograms
+    // before deciding evictions.
+    for (FunctionId id = 0; id < registry_.size(); ++id) {
+      const KeepAliveDecision decision = keep_alive_policy_.decide(id);
+      pool_.set_keep_alive_override(id, decision.keep_alive);
+    }
+  }
+  for (auto& sandbox : pool_.evict_expired(logical_now_)) {
+    (void)horse_->destroy(*sandbox);
+    // unique_ptr destruction frees the sandbox after dequeueing.
+  }
+}
+
+util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::make_sandbox(
+    const FunctionSpec& spec) {
+  auto sandbox =
+      std::make_unique<vmm::Sandbox>(next_sandbox_id_++, spec.sandbox);
+  return sandbox;
+}
+
+util::Status Platform::pause_and_pool(FunctionId function,
+                                      std::unique_ptr<vmm::Sandbox> sandbox) {
+  // Pause through the HORSE engine: uLL sandboxes get their queue
+  // assignment, coalescing precompute, and 𝒫²𝒮ℳ index rebuilt so the next
+  // kHorse resume is fast-path-ready; non-uLL sandboxes take the vanilla
+  // pause inside the same call.
+  if (util::Status status = horse_->pause(*sandbox); !status.is_ok()) {
+    return status;
+  }
+  const sched::SandboxId id = sandbox->id();
+  util::Status status = pool_.put(function, std::move(sandbox), logical_now_);
+  if (!status.is_ok()) {
+    horse_->ull_manager().untrack(id);
+  }
+  return status;
+}
+
+util::Status Platform::provision(FunctionId function, std::size_t count) {
+  std::lock_guard lock(control_mutex_);
+  const auto spec = registry_.find(function);
+  if (!spec) {
+    return spec.status();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    auto sandbox = make_sandbox(**spec);
+    if (!sandbox) {
+      return sandbox.status();
+    }
+    if (util::Status status = horse_->start(**sandbox); !status.is_ok()) {
+      return status;
+    }
+    if (util::Status status = pause_and_pool(function, std::move(*sandbox));
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  pool_.set_provisioned_floor(function, count);
+  return util::Status::ok();
+}
+
+util::Status Platform::ensure_snapshot(FunctionId function) {
+  std::lock_guard lock(control_mutex_);
+  return ensure_snapshot_locked(function);
+}
+
+util::Status Platform::ensure_snapshot_locked(FunctionId function) {
+  if (snapshot_store_.contains(function)) {
+    return util::Status::ok();
+  }
+  const auto spec = registry_.find(function);
+  if (!spec) {
+    return spec.status();
+  }
+  auto sandbox = make_sandbox(**spec);
+  if (!sandbox) {
+    return sandbox.status();
+  }
+  if (util::Status status = horse_->start(**sandbox); !status.is_ok()) {
+    return status;
+  }
+  if (util::Status status = horse_->pause(**sandbox); !status.is_ok()) {
+    return status;
+  }
+  auto snapshot = snapshots_.take(**sandbox);
+  if (!snapshot) {
+    return snapshot.status();
+  }
+  snapshot_store_.emplace(function, std::move(*snapshot));
+  horse_->ull_manager().untrack((*sandbox)->id());
+  return horse_->destroy(**sandbox);
+}
+
+util::Expected<InvocationRecord> Platform::invoke(
+    FunctionId function, const workloads::Request& request, StartMode mode) {
+  std::lock_guard lock(control_mutex_);
+  auto result = invoke_locked(function, request, mode);
+  if (result) {
+    ++counters_.invocations;
+    switch (mode) {
+      case StartMode::kCold: ++counters_.cold; break;
+      case StartMode::kRestore: ++counters_.restore; break;
+      case StartMode::kWarm: ++counters_.warm; break;
+      case StartMode::kHorse: ++counters_.horse; break;
+    }
+  } else {
+    ++counters_.failed;
+  }
+  return result;
+}
+
+util::Expected<InvocationRecord> Platform::invoke_locked(
+    FunctionId function, const workloads::Request& request, StartMode mode) {
+  const auto spec_lookup = registry_.find(function);
+  if (!spec_lookup) {
+    return spec_lookup.status();
+  }
+  const FunctionSpec& spec = **spec_lookup;
+
+  keep_alive_policy_.record_invocation(function, logical_now_);
+
+  InvocationRecord record;
+  record.mode = mode;
+  std::unique_ptr<vmm::Sandbox> sandbox;
+
+  switch (mode) {
+    case StartMode::kCold: {
+      auto boot = boot_.cold_boot(next_sandbox_id_++, spec.sandbox);
+      record.init_modelled = boot.boot_time + config_.warm_dispatch_overhead;
+      sandbox = std::move(boot.sandbox);
+      util::Stopwatch watch;
+      if (util::Status status = horse_->start(*sandbox); !status.is_ok()) {
+        return status;
+      }
+      record.init_time = record.init_modelled + watch.elapsed();
+      break;
+    }
+    case StartMode::kRestore: {
+      if (util::Status status = ensure_snapshot_locked(function);
+          !status.is_ok()) {
+        return status;
+      }
+      auto restored =
+          snapshots_.restore(snapshot_store_.at(function), next_sandbox_id_++);
+      record.init_modelled =
+          restored.modelled_time + config_.warm_dispatch_overhead;
+      sandbox = std::move(restored.sandbox);
+      util::Stopwatch watch;
+      if (util::Status status = horse_->start(*sandbox); !status.is_ok()) {
+        return status;
+      }
+      record.init_time =
+          record.init_modelled + restored.copy_time + watch.elapsed();
+      break;
+    }
+    case StartMode::kWarm:
+    case StartMode::kHorse: {
+      sandbox = pool_.take(function);
+      if (sandbox == nullptr) {
+        return util::Status{util::StatusCode::kUnavailable,
+                            "invoke: no warm sandbox pooled (provision first)"};
+      }
+      util::Status status;
+      if (mode == StartMode::kHorse && spec.sandbox.ull) {
+        status = horse_->resume(*sandbox, &record.resume);
+      } else {
+        // Vanilla warm path; drop any fast-path state the pause installed.
+        horse_->ull_manager().untrack(sandbox->id());
+        sandbox->coalesce().valid = false;
+        status = vanilla_->resume(*sandbox, &record.resume);
+        record.init_modelled = config_.warm_dispatch_overhead;
+      }
+      if (!status.is_ok()) {
+        return status;
+      }
+      record.init_time = record.resume.total() + record.init_modelled;
+      break;
+    }
+  }
+
+  // Run the function body for real.
+  util::Stopwatch exec_watch;
+  record.response = spec.implementation->invoke(request);
+  record.exec_time = exec_watch.elapsed();
+
+  // Keep-alive: re-pause and pool for the next trigger.
+  if (util::Status status = pause_and_pool(function, std::move(sandbox));
+      !status.is_ok()) {
+    return status;
+  }
+  return record;
+}
+
+}  // namespace horse::faas

@@ -1,0 +1,168 @@
+// Platform: the public facade of the library — a single-node FaaS control
+// plane over the scheduler/VMM substrates, speaking the paper's four start
+// strategies.
+//
+//   kCold    — build a sandbox from scratch (modelled guest boot + real
+//              scheduler start), then run the function.
+//   kRestore — materialise the sandbox from a snapshot (real memory-image
+//              copy + modelled device re-init), FaaSnap-style.
+//   kWarm    — take a paused sandbox from the warm pool and resume it
+//              through the *vanilla* resume path.
+//   kHorse   — take a paused uLL sandbox and resume it through the HORSE
+//              fast path (𝒫²𝒮ℳ + coalesced load update).
+//
+// Execution is in-process: the sandbox's vCPUs are really enqueued on the
+// scheduler substrate and the function body really executes; what is
+// modelled (boot, device re-init, dispatch plumbing) is itemised on the
+// returned record so experiments can account modelled vs measured time.
+//
+// After each invocation the sandbox is re-paused and returned to the warm
+// pool (keep-alive); pausing always goes through the HORSE engine so uLL
+// sandboxes are immediately fast-path-ready again.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/horse_resume.hpp"
+#include "faas/keepalive_policy.hpp"
+#include "faas/registry.hpp"
+#include "faas/warm_pool.hpp"
+#include "sched/topology.hpp"
+#include "util/status.hpp"
+#include "vmm/boot.hpp"
+#include "vmm/snapshot.hpp"
+
+namespace horse::faas {
+
+enum class StartMode : std::uint8_t { kCold, kRestore, kWarm, kHorse };
+
+[[nodiscard]] constexpr std::string_view to_string(StartMode mode) noexcept {
+  switch (mode) {
+    case StartMode::kCold: return "cold";
+    case StartMode::kRestore: return "restore";
+    case StartMode::kWarm: return "warm";
+    case StartMode::kHorse: return "horse";
+  }
+  return "unknown";
+}
+
+struct PlatformConfig {
+  std::size_t num_cpus = 8;
+  vmm::VmmProfile profile = vmm::VmmProfile::firecracker();
+  core::HorseConfig horse;
+  WarmPoolConfig warm_pool;
+  /// Derive per-function keep-alive windows from idle-time histograms
+  /// (Shahrad et al. ATC'20) instead of the fixed warm_pool.keep_alive.
+  bool adaptive_keep_alive = false;
+  KeepAlivePolicyConfig keep_alive_policy;
+  /// Generic warm-start dispatch plumbing (request routing, sandbox
+  /// lookup) charged to cold/restore/warm starts; the HORSE fast path
+  /// bypasses it. See sim/cost_model.hpp for the derivation from Table 1.
+  util::Nanos warm_dispatch_overhead = 820;
+  std::uint64_t seed = 1;
+};
+
+/// Lifetime invocation counters (successful invocations only).
+struct PlatformCounters {
+  std::uint64_t invocations = 0;
+  std::uint64_t cold = 0;
+  std::uint64_t restore = 0;
+  std::uint64_t warm = 0;
+  std::uint64_t horse = 0;
+  std::uint64_t failed = 0;
+};
+
+struct InvocationRecord {
+  StartMode mode = StartMode::kCold;
+  /// Total sandbox-initialization latency (modelled + measured parts).
+  util::Nanos init_time = 0;
+  /// Modelled share of init_time (boot / device re-init / dispatch).
+  util::Nanos init_modelled = 0;
+  /// Measured function execution time.
+  util::Nanos exec_time = 0;
+  /// Per-step resume timing (warm/horse modes only).
+  vmm::ResumeBreakdown resume;
+  workloads::Response response;
+
+  [[nodiscard]] double init_fraction() const noexcept {
+    const util::Nanos total = init_time + exec_time;
+    return total == 0 ? 0.0
+                      : static_cast<double>(init_time) /
+                            static_cast<double>(total);
+  }
+};
+
+// Thread-safety: invoke / provision / ensure_snapshot / advance_time are
+// serialized on an internal control-plane mutex, so a Platform may be
+// shared by concurrent frontends (see Invoker). Accessors returning
+// references (registry, warm_pool, engines) hand out unsynchronised
+// objects — configure before going concurrent.
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = {});
+
+  [[nodiscard]] FunctionRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] WarmPool& warm_pool() noexcept { return pool_; }
+  [[nodiscard]] sched::CpuTopology& topology() noexcept { return topology_; }
+  [[nodiscard]] vmm::ResumeEngine& vanilla_engine() noexcept { return *vanilla_; }
+  [[nodiscard]] core::HorseResumeEngine& horse_engine() noexcept {
+    return *horse_;
+  }
+  [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
+
+  /// Provisioned concurrency: create, start once, pause and pool `count`
+  /// sandboxes for `function`, and set the pool's eviction floor.
+  util::Status provision(FunctionId function, std::size_t count);
+
+  /// Make sure a snapshot exists for restore-mode starts.
+  util::Status ensure_snapshot(FunctionId function);
+
+  /// Trigger one invocation with the given start strategy.
+  [[nodiscard]] util::Expected<InvocationRecord> invoke(
+      FunctionId function, const workloads::Request& request, StartMode mode);
+
+  /// Logical platform clock for keep-alive accounting; advanced by the
+  /// caller (experiments drive it from their own schedule).
+  [[nodiscard]] util::Nanos logical_now() const noexcept { return logical_now_; }
+  void advance_time(util::Nanos delta);
+
+  /// The hybrid-histogram keep-alive policy (consulted on advance_time
+  /// when config().adaptive_keep_alive is set; always records arrivals).
+  [[nodiscard]] HybridHistogramPolicy& keep_alive_policy() noexcept {
+    return keep_alive_policy_;
+  }
+
+  [[nodiscard]] PlatformCounters counters() const {
+    std::lock_guard lock(control_mutex_);
+    return counters_;
+  }
+
+ private:
+  [[nodiscard]] util::Expected<std::unique_ptr<vmm::Sandbox>> make_sandbox(
+      const FunctionSpec& spec);
+  util::Status pause_and_pool(FunctionId function,
+                              std::unique_ptr<vmm::Sandbox> sandbox);
+  util::Status ensure_snapshot_locked(FunctionId function);
+  util::Expected<InvocationRecord> invoke_locked(
+      FunctionId function, const workloads::Request& request, StartMode mode);
+
+  PlatformConfig config_;
+  mutable std::mutex control_mutex_;
+  sched::CpuTopology topology_;
+  std::unique_ptr<vmm::ResumeEngine> vanilla_;
+  std::unique_ptr<core::HorseResumeEngine> horse_;
+  vmm::BootModel boot_;
+  vmm::SnapshotManager snapshots_;
+  FunctionRegistry registry_;
+  WarmPool pool_;
+  std::unordered_map<FunctionId, vmm::Snapshot> snapshot_store_;
+  HybridHistogramPolicy keep_alive_policy_;
+  PlatformCounters counters_;
+  sched::SandboxId next_sandbox_id_ = 1;
+  util::Nanos logical_now_ = 0;
+};
+
+}  // namespace horse::faas

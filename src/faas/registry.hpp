@@ -1,0 +1,77 @@
+// Function registry: maps function ids to their implementation and the
+// sandbox shape they require (vCPUs, memory, uLL flag) — the tenant-facing
+// configuration surface of the platform.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+#include "vmm/sandbox.hpp"
+#include "workloads/function.hpp"
+
+namespace horse::faas {
+
+using FunctionId = std::uint32_t;
+
+struct FunctionSpec {
+  std::string name;
+  std::shared_ptr<workloads::Function> implementation;
+  vmm::SandboxConfig sandbox;
+};
+
+class FunctionRegistry {
+ public:
+  /// Register a function; the sandbox config's `ull` flag should be set
+  /// for workloads that need the HORSE fast path. Returns the new id.
+  util::Expected<FunctionId> add(FunctionSpec spec);
+
+  [[nodiscard]] util::Expected<const FunctionSpec*> find(FunctionId id) const;
+  [[nodiscard]] util::Expected<FunctionId> find_by_name(
+      const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+ private:
+  std::vector<FunctionSpec> specs_;
+  std::unordered_map<std::string, FunctionId> by_name_;
+};
+
+inline util::Expected<FunctionId> FunctionRegistry::add(FunctionSpec spec) {
+  if (spec.name.empty() || spec.implementation == nullptr) {
+    return util::Status{util::StatusCode::kInvalidArgument,
+                        "registry: function needs a name and implementation"};
+  }
+  if (by_name_.contains(spec.name)) {
+    return util::Status{util::StatusCode::kAlreadyExists,
+                        "registry: duplicate function name " + spec.name};
+  }
+  const auto id = static_cast<FunctionId>(specs_.size());
+  by_name_.emplace(spec.name, id);
+  specs_.push_back(std::move(spec));
+  return id;
+}
+
+inline util::Expected<const FunctionSpec*> FunctionRegistry::find(
+    FunctionId id) const {
+  if (id >= specs_.size()) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "registry: unknown function id"};
+  }
+  return &specs_[id];
+}
+
+inline util::Expected<FunctionId> FunctionRegistry::find_by_name(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "registry: unknown function " + name};
+  }
+  return it->second;
+}
+
+}  // namespace horse::faas

@@ -1,0 +1,56 @@
+#include "faas/warm_pool.hpp"
+
+namespace horse::faas {
+
+util::Status WarmPool::put(FunctionId function,
+                           std::unique_ptr<vmm::Sandbox> sandbox,
+                           util::Nanos now) {
+  if (sandbox == nullptr || sandbox->state() != vmm::SandboxState::kPaused) {
+    return {util::StatusCode::kFailedPrecondition,
+            "warm pool: only paused sandboxes can be pooled"};
+  }
+  auto& pool = pools_[function];
+  if (pool.size() >= config_.max_per_function) {
+    return {util::StatusCode::kResourceExhausted,
+            "warm pool: per-function cap reached"};
+  }
+  pool.push_back(Entry{std::move(sandbox), now});
+  ++total_;
+  return util::Status::ok();
+}
+
+std::unique_ptr<vmm::Sandbox> WarmPool::take(FunctionId function) {
+  const auto it = pools_.find(function);
+  if (it == pools_.end() || it->second.empty()) {
+    return nullptr;
+  }
+  // LIFO: the most recently parked sandbox has the warmest caches.
+  Entry entry = std::move(it->second.back());
+  it->second.pop_back();
+  --total_;
+  return std::move(entry.sandbox);
+}
+
+std::vector<std::unique_ptr<vmm::Sandbox>> WarmPool::evict_expired(
+    util::Nanos now) {
+  std::vector<std::unique_ptr<vmm::Sandbox>> evicted;
+  for (auto& [function, pool] : pools_) {
+    const std::size_t floor = provisioned_floor(function);
+    const util::Nanos keep_alive = keep_alive_for(function);
+    // Oldest entries are at the front (put appends, take pops the back).
+    while (pool.size() > floor && !pool.empty() &&
+           now - pool.front().parked_at > keep_alive) {
+      evicted.push_back(std::move(pool.front().sandbox));
+      pool.pop_front();
+      --total_;
+    }
+  }
+  return evicted;
+}
+
+std::size_t WarmPool::available(FunctionId function) const {
+  const auto it = pools_.find(function);
+  return it == pools_.end() ? 0 : it->second.size();
+}
+
+}  // namespace horse::faas

@@ -1,0 +1,99 @@
+#include "metrics/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace horse::metrics {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("CsvWriter: need at least one column");
+  }
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double value : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) {
+        os << ',';
+      }
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+}
+
+util::Status CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return {util::StatusCode::kUnavailable, "csv: cannot open " + path};
+  }
+  write(file);
+  return file.good() ? util::Status::ok()
+                     : util::Status{util::StatusCode::kInternal,
+                                    "csv: write failed for " + path};
+}
+
+CsvWriter series_to_csv(const std::string& x_label,
+                        const std::vector<Series>& series) {
+  std::vector<std::string> headers{x_label};
+  for (const auto& s : series) {
+    headers.push_back(s.name);
+  }
+  CsvWriter csv(std::move(headers));
+  if (series.empty()) {
+    return csv;
+  }
+  const std::size_t points = series.front().xs.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<double> row{series.front().xs[i]};
+    for (const auto& s : series) {
+      row.push_back(i < s.ys.size() ? s.ys[i] : 0.0);
+    }
+    csv.add_numeric_row(row);
+  }
+  return csv;
+}
+
+}  // namespace horse::metrics

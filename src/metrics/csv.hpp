@@ -1,0 +1,41 @@
+// CSV emission for benchmark results, so reproduced tables/figures can be
+// post-processed (plotted, diffed against the paper) without scraping the
+// text output. RFC-4180-style quoting for fields containing separators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/reporter.hpp"
+#include "util/status.hpp"
+
+namespace horse::metrics {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Numeric convenience: formats with 6 significant digits.
+  void add_numeric_row(const std::vector<double>& values);
+
+  void write(std::ostream& os) const;
+  /// Write to a file path; parent directory must exist.
+  [[nodiscard]] util::Status write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Quote a field per RFC 4180 when it contains commas/quotes/newlines.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convert figure series to a CSV (x column + one column per series).
+[[nodiscard]] CsvWriter series_to_csv(const std::string& x_label,
+                                      const std::vector<Series>& series);
+
+}  // namespace horse::metrics

@@ -1,0 +1,111 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace horse::metrics {
+
+namespace {
+constexpr int kSubBucketBits = 5;  // log2(kSubBuckets)
+static_assert((1 << kSubBucketBits) == Histogram::kSubBuckets);
+}  // namespace
+
+std::size_t Histogram::bucket_index(util::Nanos value) noexcept {
+  if (value < 0) {
+    value = 0;
+  }
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) {
+    // Group 0 is linear: exact for tiny values.
+    return static_cast<std::size_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int group = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>((v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  const std::size_t index = static_cast<std::size_t>(group) * kSubBuckets + sub;
+  constexpr std::size_t kTotal =
+      static_cast<std::size_t>(kBucketGroups) * kSubBuckets;
+  return std::min(index, kTotal - 1);
+}
+
+util::Nanos Histogram::bucket_midpoint(std::size_t index) noexcept {
+  const std::size_t group = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  if (group == 0) {
+    return static_cast<util::Nanos>(sub);
+  }
+  // Reconstruct the bucket's lower bound, then take the midpoint of its width.
+  const int msb = static_cast<int>(group) + kSubBucketBits - 1;
+  const std::uint64_t lower =
+      (1ULL << msb) | (static_cast<std::uint64_t>(sub) << (msb - kSubBucketBits));
+  const std::uint64_t width = 1ULL << (msb - kSubBucketBits);
+  return static_cast<util::Nanos>(lower + width / 2);
+}
+
+void Histogram::record(util::Nanos value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(util::Nanos value, std::uint64_t count) noexcept {
+  if (count == 0) {
+    return;
+  }
+  buckets_[bucket_index(value)] += count;
+  if (total_count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double Histogram::mean() const noexcept {
+  return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+}
+
+util::Nanos Histogram::quantile(double q) const noexcept {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp to observed extremes so single-bucket histograms report the
+      // exact recorded value rather than a bucket midpoint.
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::clear() noexcept {
+  buckets_.fill(0);
+  total_count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.total_count_ == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (total_count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace horse::metrics

@@ -1,0 +1,59 @@
+// Log-bucketed latency histogram (HDR-histogram style).
+//
+// Latencies in this project span seven orders of magnitude (150 ns HORSE
+// resume to 1.5 s cold boot); a log-linear bucket layout keeps relative
+// quantile error bounded (~1/kSubBuckets) across the whole range with a
+// fixed, allocation-free footprint, which matters because histograms are
+// updated from inside simulated invocation completions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace horse::metrics {
+
+class Histogram {
+ public:
+  static constexpr int kBucketGroups = 40;   // covers up to ~2^40 ns (~18 min)
+  static constexpr int kSubBuckets = 32;     // ~3% relative resolution
+
+  Histogram() = default;
+
+  void record(util::Nanos value) noexcept;
+  void record_n(util::Nanos value, std::uint64_t count) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_count_; }
+  [[nodiscard]] util::Nanos min() const noexcept { return total_count_ ? min_ : 0; }
+  [[nodiscard]] util::Nanos max() const noexcept { return total_count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Quantile in [0,1]; returns a representative value of the bucket the
+  /// quantile falls into. 0 with no samples.
+  [[nodiscard]] util::Nanos quantile(double q) const noexcept;
+
+  [[nodiscard]] util::Nanos p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] util::Nanos p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] util::Nanos p99() const noexcept { return quantile(0.99); }
+
+  void clear() noexcept;
+
+  /// Merge another histogram into this one (used to combine per-thread
+  /// recorders after an experiment).
+  void merge(const Histogram& other) noexcept;
+
+ private:
+  static std::size_t bucket_index(util::Nanos value) noexcept;
+  static util::Nanos bucket_midpoint(std::size_t index) noexcept;
+
+  std::array<std::uint64_t, static_cast<std::size_t>(kBucketGroups) * kSubBuckets>
+      buckets_{};
+  std::uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+  util::Nanos min_ = 0;
+  util::Nanos max_ = 0;
+};
+
+}  // namespace horse::metrics

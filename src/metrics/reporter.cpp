@@ -1,0 +1,115 @@
+#include "metrics/reporter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace horse::metrics {
+
+TextTable::TextTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable requires at least one column");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) {
+      os << '-';
+    }
+    os << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_nanos(double nanos) {
+  char buf[64];
+  if (nanos < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", nanos);
+  } else if (nanos < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", nanos / 1e3);
+  } else if (nanos < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", nanos / 1e9);
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& x_label, const std::vector<Series>& series) {
+  os << "== " << title << " ==\n";
+  if (series.empty()) {
+    os << "(no series)\n";
+    return;
+  }
+  // Build headers: x label then one per series.
+  std::vector<std::string> headers{x_label};
+  for (const auto& s : series) {
+    headers.push_back(s.name);
+  }
+  TextTable body("", headers);
+  const std::size_t points = series.front().xs.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row;
+    row.push_back(format_double(series.front().xs[i], 0));
+    for (const auto& s : series) {
+      row.push_back(i < s.ys.size() ? format_double(s.ys[i], 2) : "-");
+    }
+    body.add_row(std::move(row));
+  }
+  body.print(os);
+}
+
+}  // namespace horse::metrics

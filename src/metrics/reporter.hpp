@@ -1,0 +1,49 @@
+// Plain-text table/series rendering shared by every bench harness, so the
+// reproduced tables and figure series all print in one consistent format
+// that is easy to diff against the paper's numbers.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace horse::metrics {
+
+/// A rectangular text table with a title, column headers, and rows.
+class TextTable {
+ public:
+  TextTable(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers: fixed-precision numbers and time values with unit
+/// auto-scaling (ns / µs / ms / s), matching how the paper quotes values.
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+[[nodiscard]] std::string format_nanos(double nanos);
+[[nodiscard]] std::string format_percent(double fraction, int precision = 2);
+
+/// One (x, y) series of a figure, e.g. resume time vs vCPU count.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Print aligned multi-series data (one x column, one column per series),
+/// the textual equivalent of one paper figure.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& x_label, const std::vector<Series>& series);
+
+}  // namespace horse::metrics

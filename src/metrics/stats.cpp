@@ -1,0 +1,68 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace horse::metrics {
+
+double t_critical_95(std::size_t n) {
+  // Index by degrees of freedom (n - 1); df >= 30 uses z ~ 1.96.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (n < 2) {
+    return 0.0;
+  }
+  const std::size_t df = n - 1;
+  if (df < kTable.size()) {
+    return kTable[df];
+  }
+  return 1.96;
+}
+
+Summary SampleStats::summarize() const {
+  Summary out;
+  out.n = samples_.size();
+  if (out.n == 0) {
+    return out;
+  }
+  double sum = 0.0;
+  out.min = samples_.front();
+  out.max = samples_.front();
+  for (double v : samples_) {
+    sum += v;
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+  }
+  out.mean = sum / static_cast<double>(out.n);
+  if (out.n >= 2) {
+    double sq = 0.0;
+    for (double v : samples_) {
+      const double d = v - out.mean;
+      sq += d * d;
+    }
+    out.stddev = std::sqrt(sq / static_cast<double>(out.n - 1));
+    out.ci95_half = t_critical_95(out.n) * out.stddev /
+                    std::sqrt(static_cast<double>(out.n));
+  }
+  return out;
+}
+
+double SampleStats::percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace horse::metrics

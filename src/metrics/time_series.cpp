@@ -1,0 +1,62 @@
+#include "metrics/time_series.hpp"
+
+#include <algorithm>
+
+namespace horse::metrics {
+
+std::vector<TimeSeries::Point> TimeSeries::resample(util::Nanos interval) const {
+  std::vector<Point> out;
+  if (points_.empty() || interval <= 0) {
+    return out;
+  }
+  // Points are expected in time order (recorders append monotonically);
+  // be robust to violations by working on a sorted copy.
+  std::vector<Point> sorted = points_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Point& lhs, const Point& rhs) {
+                     return lhs.time < rhs.time;
+                   });
+  util::Nanos next = sorted.front().time;
+  std::size_t cursor = 0;
+  double current = sorted.front().value;
+  const util::Nanos last = sorted.back().time;
+  while (next <= last) {
+    while (cursor < sorted.size() && sorted[cursor].time <= next) {
+      current = sorted[cursor].value;
+      ++cursor;
+    }
+    out.push_back({next, current});
+    next += interval;
+  }
+  return out;
+}
+
+double TimeSeries::time_weighted_mean(util::Nanos end) const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  std::vector<Point> sorted = points_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Point& lhs, const Point& rhs) {
+                     return lhs.time < rhs.time;
+                   });
+  if (end <= sorted.front().time) {
+    return sorted.front().value;
+  }
+  double weighted = 0.0;
+  util::Nanos covered = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const util::Nanos start = sorted[i].time;
+    const util::Nanos stop =
+        i + 1 < sorted.size() ? std::min(sorted[i + 1].time, end) : end;
+    if (stop <= start) {
+      continue;
+    }
+    weighted += sorted[i].value * static_cast<double>(stop - start);
+    covered += stop - start;
+  }
+  return covered == 0 ? sorted.back().value
+                      : weighted / static_cast<double>(covered);
+}
+
+}  // namespace horse::metrics

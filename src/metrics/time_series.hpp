@@ -1,0 +1,68 @@
+// Time-indexed measurement recording.
+//
+// The §5.2-style experiments sample CPU/memory/frequency "each 500 ms";
+// TimeSeries is that recorder: (timestamp, value) pairs with summary and
+// window queries, plus fixed-interval resampling for table output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "util/time.hpp"
+
+namespace horse::metrics {
+
+class TimeSeries {
+ public:
+  struct Point {
+    util::Nanos time = 0;
+    double value = 0.0;
+  };
+
+  void record(util::Nanos time, double value) {
+    points_.push_back({time, value});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  /// Summary over all values.
+  [[nodiscard]] Summary summarize() const {
+    SampleStats stats;
+    for (const Point& point : points_) {
+      stats.add(point.value);
+    }
+    return stats.summarize();
+  }
+
+  /// Summary restricted to [begin, end).
+  [[nodiscard]] Summary summarize_window(util::Nanos begin,
+                                         util::Nanos end) const {
+    SampleStats stats;
+    for (const Point& point : points_) {
+      if (point.time >= begin && point.time < end) {
+        stats.add(point.value);
+      }
+    }
+    return stats.summarize();
+  }
+
+  /// Last-value-carried-forward resample at fixed `interval`, starting at
+  /// the first sample's timestamp. Empty input gives an empty output.
+  [[nodiscard]] std::vector<Point> resample(util::Nanos interval) const;
+
+  /// Time-weighted mean: each value holds until the next sample (step
+  /// function), which is how frequency/occupancy averages are defined.
+  [[nodiscard]] double time_weighted_mean(util::Nanos end) const;
+
+  void clear() noexcept { points_.clear(); }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace horse::metrics

@@ -1,0 +1,103 @@
+#include "sched/credit2.hpp"
+
+#include <vector>
+
+namespace horse::sched {
+
+void Credit2Scheduler::trace_event(TraceEvent event, CpuId cpu,
+                                   const Vcpu* vcpu) noexcept {
+  if (trace_ == nullptr) {
+    return;
+  }
+  const util::Nanos when = trace_clock_ ? trace_clock_() : ++trace_seq_;
+  trace_->record(when, event, cpu, vcpu != nullptr ? vcpu->id : 0,
+                 vcpu != nullptr ? vcpu->sandbox : 0);
+}
+
+void Credit2Scheduler::enqueue(Vcpu& vcpu, CpuId cpu) {
+  RunQueue& queue = topology_.queue(cpu);
+  {
+    util::LockGuard guard(queue.lock());
+    queue.insert_sorted(vcpu);
+  }
+  queue.update_load_enqueue();
+}
+
+void Credit2Scheduler::dequeue(Vcpu& vcpu) {
+  RunQueue& queue = topology_.queue(vcpu.last_cpu);
+  util::LockGuard guard(queue.lock());
+  queue.remove(vcpu);
+}
+
+Vcpu* Credit2Scheduler::schedule(CpuId cpu) {
+  RunQueue& queue = topology_.queue(cpu);
+  util::LockGuard guard(queue.lock());
+  Vcpu* next = queue.peek_front();
+  if (next == nullptr) {
+    return nullptr;
+  }
+  if (next->credit <= 0) {
+    reset_credits(queue);
+    next = queue.peek_front();
+  }
+  queue.pop_front();
+  next->state = VcpuState::kRunning;
+  trace_event(TraceEvent::kDispatch, cpu, next);
+  return next;
+}
+
+void Credit2Scheduler::charge_and_requeue(Vcpu& vcpu, util::Nanos ran,
+                                          bool still_runnable) {
+  // Credit burn is inversely proportional to weight: heavier vCPUs burn
+  // slower, as in credit2's burn_credits().
+  const auto burn = static_cast<Credit>(
+      ran * params_.reference_weight / (vcpu.weight == 0 ? 1 : vcpu.weight));
+  vcpu.credit -= burn;
+  vcpu.cpu_time += ran;
+  if (still_runnable) {
+    RunQueue& queue = topology_.queue(vcpu.last_cpu);
+    {
+      util::LockGuard guard(queue.lock());
+      queue.insert_sorted(vcpu);
+    }
+    trace_event(TraceEvent::kRequeue, vcpu.last_cpu, &vcpu);
+  } else {
+    vcpu.state = VcpuState::kOffline;
+  }
+}
+
+Credit2Scheduler::WakeResult Credit2Scheduler::wake(
+    Vcpu& vcpu, const Vcpu* running_on_target) {
+  WakeResult result;
+  CpuId target = vcpu.last_cpu;
+  // Affinity first; fall back when the remembered CPU is reserved (and
+  // the waker is not a uLL vCPU already assigned there) or clearly worse.
+  const bool affinity_valid =
+      target < topology_.num_cpus() &&
+      (!topology_.is_reserved(target) || vcpu.priority > 0 ||
+       vcpu.state == VcpuState::kPaused);
+  const CpuId least = topology_.least_loaded_general();
+  if (!affinity_valid ||
+      topology_.queue(target).size() > topology_.queue(least).size() + 1) {
+    target = least;
+  }
+  enqueue(vcpu, target);
+  result.cpu = target;
+  result.preempt =
+      running_on_target != nullptr && should_preempt(*running_on_target, vcpu);
+  return result;
+}
+
+void Credit2Scheduler::reset_credits(RunQueue& queue) {
+  // credit2 resets by adding reset_credit to every vCPU on the queue; the
+  // relative order is preserved, so the sorted list stays sorted and no
+  // re-sort is needed.
+  for (Vcpu& vcpu : queue.list()) {
+    vcpu.credit += params_.reset_credit;
+  }
+  queue.bump_version();
+  ++credit_resets_;
+  trace_event(TraceEvent::kCreditReset, queue.cpu(), nullptr);
+}
+
+}  // namespace horse::sched

@@ -1,0 +1,73 @@
+// Schedutil-style DVFS governor.
+//
+// The load variable HORSE coalesces exists *for* this governor (§1: "This
+// variable is used for frequency scaling"). Modelling the governor lets
+// tests assert the property that actually matters to correctness: the
+// frequency decisions made from a coalesced load equal the ones made from
+// n iterative updates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/run_queue.hpp"
+#include "sched/topology.hpp"
+
+namespace horse::sched {
+
+struct DvfsParams {
+  std::uint64_t min_freq_khz = 800'000;   // 0.8 GHz
+  std::uint64_t max_freq_khz = 2'400'000; // 2.4 GHz, the paper's Xeon 8360Y
+  /// Load value treated as "fully utilised"; PELT converges to ~1024.
+  double capacity = 1024.0;
+  /// Frequency quantisation step (P-state granularity).
+  std::uint64_t step_khz = 100'000;
+
+  void validate() const {
+    if (min_freq_khz == 0 || max_freq_khz <= min_freq_khz) {
+      throw std::invalid_argument("DvfsParams: need 0 < min < max frequency");
+    }
+    if (!(capacity > 0.0)) {
+      throw std::invalid_argument("DvfsParams: capacity must be positive");
+    }
+    if (step_khz == 0) {
+      throw std::invalid_argument("DvfsParams: step must be positive");
+    }
+  }
+};
+
+class DvfsGovernor {
+ public:
+  explicit DvfsGovernor(DvfsParams params = {}) : params_(params) {
+    params_.validate();
+  }
+
+  [[nodiscard]] const DvfsParams& params() const noexcept { return params_; }
+
+  /// schedutil's next_freq = max_freq * 1.25 * util / capacity, clamped
+  /// and quantised down to a step boundary.
+  [[nodiscard]] std::uint64_t target_freq_khz(double load) const noexcept {
+    const double util = std::clamp(load / params_.capacity, 0.0, 1.0);
+    const double raw = 1.25 * util * static_cast<double>(params_.max_freq_khz);
+    const auto clamped = std::clamp(
+        static_cast<std::uint64_t>(raw), params_.min_freq_khz, params_.max_freq_khz);
+    return clamped - clamped % params_.step_khz;
+  }
+
+  /// Evaluate the whole topology; returns per-CPU frequency decisions.
+  [[nodiscard]] std::vector<std::uint64_t> evaluate(const CpuTopology& topo) const {
+    std::vector<std::uint64_t> freqs;
+    freqs.reserve(topo.num_cpus());
+    for (CpuId cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+      freqs.push_back(target_freq_khz(topo.queue(cpu).load()));
+    }
+    return freqs;
+  }
+
+ private:
+  DvfsParams params_;
+};
+
+}  // namespace horse::sched

@@ -1,0 +1,50 @@
+#include "sched/energy.hpp"
+
+#include <algorithm>
+
+namespace horse::sched {
+
+double EnergyModel::voltage_at(std::uint64_t freq_khz) const noexcept {
+  const auto clamped =
+      std::clamp(freq_khz, params_.min_freq_khz, params_.max_freq_khz);
+  const double span =
+      static_cast<double>(params_.max_freq_khz - params_.min_freq_khz);
+  const double fraction =
+      static_cast<double>(clamped - params_.min_freq_khz) / span;
+  return params_.v_min + fraction * (params_.v_max - params_.v_min);
+}
+
+double EnergyModel::power_at(std::uint64_t freq_khz) const noexcept {
+  const double volts = voltage_at(freq_khz);
+  // C (nF) · f (kHz) · V² → 1e-9 F · 1e3 Hz = 1e-6 W scale factor.
+  const double dynamic = params_.c_eff_nf * static_cast<double>(freq_khz) *
+                         volts * volts * 1e-6;
+  return params_.static_watts + dynamic;
+}
+
+double EnergyModel::energy_of_trace(const metrics::TimeSeries& freq_khz,
+                                    util::Nanos end) const {
+  if (freq_khz.empty()) {
+    return 0.0;
+  }
+  auto points = freq_khz.points();
+  std::stable_sort(points.begin(), points.end(),
+                   [](const metrics::TimeSeries::Point& lhs,
+                      const metrics::TimeSeries::Point& rhs) {
+                     return lhs.time < rhs.time;
+                   });
+  double joules = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const util::Nanos start = points[i].time;
+    const util::Nanos stop =
+        i + 1 < points.size() ? std::min(points[i + 1].time, end) : end;
+    if (stop <= start) {
+      continue;
+    }
+    joules += energy_joules(static_cast<std::uint64_t>(points[i].value),
+                            stop - start);
+  }
+  return joules;
+}
+
+}  // namespace horse::sched

@@ -1,0 +1,76 @@
+// CPU energy model over DVFS decisions.
+//
+// The load variable HORSE coalesces feeds frequency scaling, and
+// frequency scaling exists for energy proportionality (the paper's §1
+// motivates DVFS with the energy literature). This model closes the loop:
+// given the governor's frequency decisions over time, estimate energy as
+//
+//   P(f) = P_static + C_eff · f · V(f)²,   V(f) linear in f between
+//                                          (min_freq, V_min) and
+//                                          (max_freq, V_max)
+//
+// — the standard CMOS dynamic-power approximation. Its role in the test
+// suite is the end-to-end coalescing property: identical frequency
+// decisions ⇒ identical energy, whether load was updated n times or once.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "metrics/time_series.hpp"
+#include "sched/dvfs.hpp"
+#include "util/time.hpp"
+
+namespace horse::sched {
+
+struct EnergyParams {
+  double static_watts = 8.0;        // per-core uncore/leakage share
+  double c_eff_nf = 1.1;            // effective switched capacitance (nF)
+  double v_min = 0.70;              // volts at min frequency
+  double v_max = 1.15;              // volts at max frequency
+  std::uint64_t min_freq_khz = 800'000;
+  std::uint64_t max_freq_khz = 2'400'000;
+
+  void validate() const {
+    if (!(static_watts >= 0.0) || !(c_eff_nf > 0.0)) {
+      throw std::invalid_argument("EnergyParams: bad power constants");
+    }
+    if (!(v_min > 0.0) || !(v_max >= v_min)) {
+      throw std::invalid_argument("EnergyParams: bad voltage range");
+    }
+    if (min_freq_khz == 0 || max_freq_khz <= min_freq_khz) {
+      throw std::invalid_argument("EnergyParams: bad frequency range");
+    }
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {}) : params_(params) {
+    params_.validate();
+  }
+
+  [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+  /// Voltage at a frequency: linear interpolation, clamped to the range.
+  [[nodiscard]] double voltage_at(std::uint64_t freq_khz) const noexcept;
+
+  /// Instantaneous power (watts) at a frequency.
+  [[nodiscard]] double power_at(std::uint64_t freq_khz) const noexcept;
+
+  /// Energy (joules) of holding `freq_khz` for `duration`.
+  [[nodiscard]] double energy_joules(std::uint64_t freq_khz,
+                                     util::Nanos duration) const noexcept {
+    return power_at(freq_khz) * static_cast<double>(duration) / 1e9;
+  }
+
+  /// Energy of a frequency trace (step function: each sample holds until
+  /// the next, the last until `end`).
+  [[nodiscard]] double energy_of_trace(const metrics::TimeSeries& freq_khz,
+                                       util::Nanos end) const;
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace horse::sched

@@ -1,0 +1,80 @@
+#include "sched/idle_governor.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace horse::sched {
+
+const std::vector<CState>& default_cstates() {
+  static const std::vector<CState> kStates{
+      {"C0-poll", 0, 0, 35.0},
+      {"C1", 2 * util::kMicrosecond, 2 * util::kMicrosecond, 22.0},
+      {"C1E", 10 * util::kMicrosecond, 20 * util::kMicrosecond, 15.0},
+      {"C6", 133 * util::kMicrosecond, 600 * util::kMicrosecond, 5.0},
+  };
+  return kStates;
+}
+
+IdleGovernor::IdleGovernor(std::size_t num_cpus, std::vector<CState> states,
+                           Params params)
+    : states_(std::move(states)), params_(params) {
+  if (num_cpus == 0 || states_.empty()) {
+    throw std::invalid_argument("IdleGovernor: need CPUs and states");
+  }
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    if (states_[i].exit_latency < states_[i - 1].exit_latency) {
+      throw std::invalid_argument(
+          "IdleGovernor: states must be ordered shallow to deep");
+    }
+  }
+  if (!(params_.ewma_alpha > 0.0) || params_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("IdleGovernor: alpha in (0,1]");
+  }
+  predictions_.assign(num_cpus, params_.initial_prediction);
+  caps_.assign(num_cpus, std::numeric_limits<util::Nanos>::max());
+  seeded_.assign(num_cpus, false);
+}
+
+std::size_t IdleGovernor::select(std::uint32_t cpu) const {
+  const util::Nanos predicted = predictions_.at(cpu);
+  const util::Nanos cap = caps_.at(cpu);
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].exit_latency > cap) {
+      break;  // deeper states only get more expensive to leave
+    }
+    if (states_[i].target_residency <= predicted) {
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+void IdleGovernor::observe_idle(std::uint32_t cpu, util::Nanos duration) {
+  if (duration < 0) {
+    duration = 0;
+  }
+  util::Nanos& prediction = predictions_.at(cpu);
+  if (!seeded_.at(cpu)) {
+    prediction = duration;
+    seeded_.at(cpu) = true;
+    return;
+  }
+  prediction = static_cast<util::Nanos>(
+      params_.ewma_alpha * static_cast<double>(duration) +
+      (1.0 - params_.ewma_alpha) * static_cast<double>(prediction));
+}
+
+void IdleGovernor::set_latency_cap(std::uint32_t cpu, util::Nanos cap) {
+  caps_.at(cpu) = cap;
+}
+
+util::Nanos IdleGovernor::latency_cap(std::uint32_t cpu) const {
+  return caps_.at(cpu);
+}
+
+util::Nanos IdleGovernor::predicted_idle(std::uint32_t cpu) const {
+  return predictions_.at(cpu);
+}
+
+}  // namespace horse::sched

@@ -1,0 +1,90 @@
+#include "sched/load_balancer.hpp"
+
+#include "util/spinlock.hpp"
+
+namespace horse::sched {
+
+std::size_t LoadBalancer::rebalance() {
+  // Find the busiest and idlest *general* queues by runnable count.
+  bool found = false;
+  CpuId busiest = 0;
+  CpuId idlest = 0;
+  std::size_t busiest_len = 0;
+  std::size_t idlest_len = 0;
+  for (CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+    if (topology_.is_reserved(cpu)) {
+      continue;  // never migrate into or out of ull_runqueues
+    }
+    const std::size_t length = topology_.queue(cpu).size();
+    if (!found) {
+      busiest = idlest = cpu;
+      busiest_len = idlest_len = length;
+      found = true;
+      continue;
+    }
+    if (length > busiest_len) {
+      busiest = cpu;
+      busiest_len = length;
+    }
+    if (length < idlest_len) {
+      idlest = cpu;
+      idlest_len = length;
+    }
+  }
+  if (!found || busiest == idlest || busiest_len == 0) {
+    return 0;
+  }
+  const double ratio = idlest_len == 0
+                           ? static_cast<double>(busiest_len) + 1.0
+                           : static_cast<double>(busiest_len) /
+                                 static_cast<double>(idlest_len);
+  if (ratio <= params_.imbalance_ratio) {
+    return 0;
+  }
+
+  RunQueue& source = topology_.queue(busiest);
+  RunQueue& target = topology_.queue(idlest);
+  std::size_t migrated = 0;
+  while (migrated < params_.max_migrations_per_round &&
+         source.size() > target.size() + 1) {
+    // Steal from the back (highest credit = furthest from dispatch), the
+    // cheapest victim for cache locality, as credit2 does.
+    Vcpu* victim = nullptr;
+    {
+      util::LockGuard guard(source.lock());
+      if (source.empty()) {
+        break;
+      }
+      victim = &source.list().back();
+      source.remove(*victim);
+    }
+    {
+      util::LockGuard guard(target.lock());
+      target.insert_sorted(*victim);
+    }
+    target.update_load_enqueue();
+    if (trace_ != nullptr) {
+      trace_->record(static_cast<util::Nanos>(total_migrations_ + migrated),
+                     TraceEvent::kMigrate, idlest, victim->id,
+                     victim->sandbox);
+    }
+    ++migrated;
+  }
+  total_migrations_ += migrated;
+  return migrated;
+}
+
+void TickDriver::on_tick() {
+  ++ticks_;
+  for (CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+    RunQueue& queue = topology_.queue(cpu);
+    if (queue.empty()) {
+      queue.decay_load(1);
+    }
+  }
+  if (ticks_ % rebalance_every_ == 0) {
+    (void)balancer_.rebalance();
+  }
+}
+
+}  // namespace sched

@@ -1,0 +1,86 @@
+// Periodic load balancing across general run queues.
+//
+// credit2 rebalances by migrating runnable vCPUs from the busiest to the
+// least-busy run queue when their load ratio exceeds a threshold. Beyond
+// fidelity, this matters to HORSE specifically: migrations mutate run
+// queues, which is exactly the event that invalidates 𝒫²𝒮ℳ indexes on
+// reserved queues — so the balancer never touches reserved queues (uLL
+// isolation), and integration tests use it to exercise the
+// staleness/refresh machinery on everything else.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "sched/sched_trace.hpp"
+#include "sched/topology.hpp"
+
+namespace horse::sched {
+
+struct LoadBalancerParams {
+  /// Migrate only when busiest/idlest queue length exceeds this ratio.
+  double imbalance_ratio = 1.5;
+  /// Cap on migrations per rebalance round (credit2 migrates gradually).
+  std::size_t max_migrations_per_round = 2;
+
+  void validate() const {
+    if (!(imbalance_ratio > 1.0)) {
+      throw std::invalid_argument("LoadBalancer: ratio must exceed 1");
+    }
+    if (max_migrations_per_round == 0) {
+      throw std::invalid_argument("LoadBalancer: need migrations >= 1");
+    }
+  }
+};
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(CpuTopology& topology, LoadBalancerParams params = {})
+      : topology_(topology), params_(params) {
+    params_.validate();
+  }
+
+  /// One rebalance round over the general queues; returns the number of
+  /// vCPUs migrated.
+  std::size_t rebalance();
+
+  [[nodiscard]] std::uint64_t total_migrations() const noexcept {
+    return total_migrations_;
+  }
+
+  /// Optional event tracer (records kMigrate per moved vCPU).
+  void set_trace(SchedTrace* trace) noexcept { trace_ = trace; }
+
+ private:
+  CpuTopology& topology_;
+  LoadBalancerParams params_;
+  std::uint64_t total_migrations_ = 0;
+  SchedTrace* trace_ = nullptr;
+};
+
+/// Scheduler tick bookkeeping: PELT decay of idle queues and periodic
+/// rebalancing, the way a hypervisor's periodic timer handler would run
+/// them. Clock-agnostic — callers invoke on_tick() at their own cadence
+/// (real timers in stress tests, virtual time in the simulator).
+class TickDriver {
+ public:
+  TickDriver(CpuTopology& topology, LoadBalancer& balancer,
+             std::uint32_t rebalance_every = 4)
+      : topology_(topology),
+        balancer_(balancer),
+        rebalance_every_(rebalance_every == 0 ? 1 : rebalance_every) {}
+
+  /// One tick: decay the load of queues with no runnable vCPUs by one
+  /// PELT period; every `rebalance_every` ticks, run the balancer.
+  void on_tick();
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  CpuTopology& topology_;
+  LoadBalancer& balancer_;
+  std::uint32_t rebalance_every_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace horse::sched

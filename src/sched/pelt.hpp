@@ -1,0 +1,78 @@
+// PELT-style (per-entity load tracking) run-queue load model.
+//
+// The paper (§3.1 step ⑤) observes that on every vCPU insertion the
+// hypervisor updates a lock-protected per-run-queue load variable with an
+// affine update L(x) = αx + β, whose value the DVFS governor reads. This
+// class is that update rule, factored out so both the vanilla path (apply
+// it n times under the lock) and HORSE's coalescer (apply the closed form
+// once) use the identical arithmetic — tests assert they agree to within
+// floating-point tolerance.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace horse::sched {
+
+struct PeltParams {
+  /// Geometric decay factor per update. Linux PELT halves contribution
+  /// every 32 periods: alpha = 0.5^(1/32).
+  double alpha = 0.978572062087700134;
+  /// Fresh-contribution constant of one runnable entity per update, scaled
+  /// so a persistently runnable entity converges to ~1024 (PELT's
+  /// LOAD_AVG_MAX-normalised unit load).
+  double beta = 21.942208422195108;  // 1024 * (1 - alpha)
+
+  void validate() const {
+    if (!(alpha > 0.0) || !(alpha < 1.0)) {
+      throw std::invalid_argument("PeltParams: alpha must be in (0,1)");
+    }
+    if (!(beta >= 0.0)) {
+      throw std::invalid_argument("PeltParams: beta must be >= 0");
+    }
+  }
+};
+
+class PeltLoadTracker {
+ public:
+  PeltLoadTracker() = default;
+  explicit PeltLoadTracker(PeltParams params) : params_(params) {
+    params_.validate();
+  }
+
+  [[nodiscard]] const PeltParams& params() const noexcept { return params_; }
+
+  /// One vanilla step-⑤ update: L(x) = αx + β.
+  [[nodiscard]] double apply_once(double load) const noexcept {
+    return params_.alpha * load + params_.beta;
+  }
+
+  /// n sequential applications, done the slow way. Kept for the vanilla
+  /// resume path and as the reference in coalescing equivalence tests.
+  [[nodiscard]] double apply_iterative(double load, std::uint32_t n) const noexcept {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      load = apply_once(load);
+    }
+    return load;
+  }
+
+  /// Closed form of n applications: αⁿ·x + β·(1-αⁿ)/(1-α).
+  /// (Sum of the geometric series Σ_{i=0}^{n-1} αⁱ = (1-αⁿ)/(1-α).)
+  [[nodiscard]] double apply_closed_form(double load, std::uint32_t n) const noexcept {
+    const double alpha_n = std::pow(params_.alpha, static_cast<double>(n));
+    return alpha_n * load +
+           params_.beta * (1.0 - alpha_n) / (1.0 - params_.alpha);
+  }
+
+  /// Pure decay of an idle run queue over `periods` ticks (no new
+  /// contribution): L(x) = α^periods · x.
+  [[nodiscard]] double decay(double load, std::uint32_t periods) const noexcept {
+    return std::pow(params_.alpha, static_cast<double>(periods)) * load;
+  }
+
+ private:
+  PeltParams params_{};
+};
+
+}  // namespace horse::sched

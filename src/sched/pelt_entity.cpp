@@ -1,0 +1,43 @@
+#include "sched/pelt_entity.hpp"
+
+#include <cmath>
+
+namespace horse::sched {
+
+void EntityLoad::decay_to(util::Nanos now) {
+  if (now <= last_update_) {
+    return;
+  }
+  const auto periods =
+      static_cast<std::uint32_t>((now - last_update_) / kPeltPeriod);
+  if (periods > 0) {
+    load_avg_ *= std::pow(params_.alpha, static_cast<double>(periods));
+    last_update_ += static_cast<util::Nanos>(periods) * kPeltPeriod;
+  }
+}
+
+void EntityLoad::update_idle(util::Nanos now) { decay_to(now); }
+
+void EntityLoad::update_running(util::Nanos now, util::Nanos duration) {
+  if (duration <= 0) {
+    decay_to(now);
+    return;
+  }
+  // Idle gap before this run segment decays history first.
+  const util::Nanos start = now - duration;
+  decay_to(start);
+  // Accumulate whole periods of running: each applies one αx+β step,
+  // scaled by the fraction of the period actually run.
+  util::Nanos remaining = duration;
+  while (remaining > 0) {
+    const util::Nanos chunk =
+        remaining >= kPeltPeriod ? kPeltPeriod : remaining;
+    const double fraction =
+        static_cast<double>(chunk) / static_cast<double>(kPeltPeriod);
+    load_avg_ = params_.alpha * load_avg_ + params_.beta * fraction;
+    remaining -= chunk;
+  }
+  last_update_ = now;
+}
+
+}  // namespace horse::sched

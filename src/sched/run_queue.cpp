@@ -1,0 +1,87 @@
+#include "sched/run_queue.hpp"
+
+namespace horse::sched {
+
+void RunQueue::insert_sorted(Vcpu& vcpu) noexcept {
+  auto it = queue_.begin();
+  const auto end = queue_.end();
+  while (it != end && it->credit <= vcpu.credit) {
+    ++it;
+  }
+  queue_.insert(it, vcpu);
+  vcpu.state = VcpuState::kRunnable;
+  vcpu.last_cpu = cpu_;
+  bump_version();
+}
+
+void RunQueue::push_back(Vcpu& vcpu) noexcept {
+  queue_.push_back(vcpu);
+  vcpu.state = VcpuState::kRunnable;
+  vcpu.last_cpu = cpu_;
+  bump_version();
+}
+
+void RunQueue::remove(Vcpu& vcpu) noexcept {
+  queue_.erase(vcpu);
+  bump_version();
+}
+
+Vcpu* RunQueue::pop_front() noexcept {
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  Vcpu& vcpu = queue_.pop_front();
+  bump_version();
+  return &vcpu;
+}
+
+bool RunQueue::is_sorted() const noexcept {
+  // const_cast is confined to iteration; the list is logically const here.
+  auto& list = const_cast<VcpuList&>(queue_);
+  Credit prev = 0;
+  bool first = true;
+  for (const Vcpu& vcpu : list) {
+    if (!first && vcpu.credit < prev) {
+      return false;
+    }
+    prev = vcpu.credit;
+    first = false;
+  }
+  return true;
+}
+
+double RunQueue::update_load_enqueue() noexcept {
+  util::LockGuard guard(load_lock_);
+  load_ = pelt_.apply_once(load_);
+  return load_;
+}
+
+double RunQueue::update_load_coalesced(std::uint32_t n) noexcept {
+  util::LockGuard guard(load_lock_);
+  load_ = pelt_.apply_closed_form(load_, n);
+  return load_;
+}
+
+double RunQueue::apply_precomputed_load(double alpha_n,
+                                        double beta_geo_sum) noexcept {
+  util::LockGuard guard(load_lock_);
+  load_ = alpha_n * load_ + beta_geo_sum;
+  return load_;
+}
+
+void RunQueue::decay_load(std::uint32_t periods) noexcept {
+  util::LockGuard guard(load_lock_);
+  load_ = pelt_.decay(load_, periods);
+}
+
+double RunQueue::load() const noexcept {
+  util::LockGuard guard(load_lock_);
+  return load_;
+}
+
+void RunQueue::set_load_for_test(double load) noexcept {
+  util::LockGuard guard(load_lock_);
+  load_ = load;
+}
+
+}  // namespace horse::sched

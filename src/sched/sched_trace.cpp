@@ -1,0 +1,36 @@
+#include "sched/sched_trace.hpp"
+
+#include <algorithm>
+
+namespace horse::sched {
+
+SchedTrace::SchedTrace(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void SchedTrace::record(util::Nanos time, TraceEvent event, CpuId cpu,
+                        VcpuId vcpu, SandboxId sandbox) noexcept {
+  ring_[head_] = TraceRecord{time, event, cpu, vcpu, sandbox};
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+  ++counters_[static_cast<std::size_t>(event)];
+}
+
+std::vector<TraceRecord> SchedTrace::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t kept = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(kept);
+  // Oldest surviving entry: head_ when the ring has wrapped, else 0.
+  const std::size_t start = total_ > ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void SchedTrace::clear() noexcept {
+  head_ = 0;
+  total_ = 0;
+  counters_.fill(0);
+}
+
+}  // namespace horse::sched

@@ -1,0 +1,76 @@
+// Scheduler event tracing: a fixed-capacity ring of scheduling decisions
+// (dispatch, requeue, migrate, preempt, resume-merge) with aggregate
+// counters. The hypervisor analogue is xentrace / trace-cmd; here it lets
+// tests and benches assert *behavioural* properties (e.g. "no thumbnail
+// vCPU was ever dispatched on the reserved queue") instead of only end
+// states, and gives examples something to print.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sched/vcpu.hpp"
+#include "util/time.hpp"
+
+namespace horse::sched {
+
+enum class TraceEvent : std::uint8_t {
+  kDispatch,      // vCPU picked to run
+  kRequeue,       // vCPU returned to a queue after its slice
+  kMigrate,       // load balancer moved a vCPU
+  kPreempt,       // running vCPU displaced
+  kCreditReset,   // queue-wide credit refill
+  kResumeMerge,   // HORSE 𝒫²𝒮ℳ splice into a queue
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceEvent event) noexcept {
+  switch (event) {
+    case TraceEvent::kDispatch: return "dispatch";
+    case TraceEvent::kRequeue: return "requeue";
+    case TraceEvent::kMigrate: return "migrate";
+    case TraceEvent::kPreempt: return "preempt";
+    case TraceEvent::kCreditReset: return "credit-reset";
+    case TraceEvent::kResumeMerge: return "resume-merge";
+  }
+  return "unknown";
+}
+
+struct TraceRecord {
+  util::Nanos time = 0;
+  TraceEvent event = TraceEvent::kDispatch;
+  CpuId cpu = 0;
+  VcpuId vcpu = 0;
+  SandboxId sandbox = 0;
+};
+
+class SchedTrace {
+ public:
+  explicit SchedTrace(std::size_t capacity = 4096);
+
+  void record(util::Nanos time, TraceEvent event, CpuId cpu, VcpuId vcpu = 0,
+              SandboxId sandbox = 0) noexcept;
+
+  /// Events in chronological order (oldest surviving first).
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  [[nodiscard]] std::uint64_t count(TraceEvent event) const noexcept {
+    return counters_[static_cast<std::size_t>(event)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  void clear() noexcept;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // next write position
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, 6> counters_{};
+};
+
+}  // namespace horse::sched

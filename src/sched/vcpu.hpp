@@ -1,0 +1,56 @@
+// Virtual CPU: the schedulable entity of the hypervisor substrate.
+//
+// Mirrors the role of Xen's `struct vcpu` / KVM's vCPU thread from the
+// scheduler's point of view: a credit value that orders it inside a run
+// queue, an intrusive hook linking it into exactly one list at a time
+// (a CPU run queue while runnable, or its sandbox's `merge_vcpus` list
+// while the sandbox is paused — §4.1.3 of the paper), and a load weight
+// that feeds PELT-style load tracking.
+#pragma once
+
+#include <cstdint>
+
+#include "util/intrusive_list.hpp"
+#include "util/time.hpp"
+
+namespace horse::sched {
+
+using VcpuId = std::uint32_t;
+using SandboxId = std::uint32_t;
+using CpuId = std::uint32_t;
+
+/// Credit is the run-queue sort key. Following the paper's description of
+/// credit2 ("the process with the least remaining credit first"), queues
+/// are ordered by ascending credit.
+using Credit = std::int64_t;
+
+enum class VcpuState : std::uint8_t {
+  kOffline,   // exists but not schedulable (sandbox not started)
+  kRunnable,  // linked into a CPU run queue
+  kRunning,   // currently on a physical CPU
+  kPaused,    // sandbox paused; linked into the sandbox merge list
+};
+
+struct Vcpu {
+  VcpuId id = 0;
+  SandboxId sandbox = 0;
+  Credit credit = 0;
+  std::uint32_t weight = 256;  // credit2 default weight
+  /// Scheduling class: 0 = normal; higher always preempts lower. 𝒫²𝒮ℳ
+  /// merge threads run at kBoostPriority (§4.1.3: "Merge threads are
+  /// given the highest priority to preempt any task").
+  std::uint8_t priority = 0;
+  static constexpr std::uint8_t kBoostPriority = 255;
+  VcpuState state = VcpuState::kOffline;
+  CpuId last_cpu = 0;
+
+  /// Exactly one list membership at a time: a run queue or merge_vcpus.
+  util::ListHook hook;
+
+  /// Cumulative CPU time consumed, for accounting tests.
+  util::Nanos cpu_time = 0;
+};
+
+using VcpuList = util::IntrusiveList<Vcpu, &Vcpu::hook>;
+
+}  // namespace horse::sched

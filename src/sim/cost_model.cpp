@@ -1,0 +1,108 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/horse_resume.hpp"
+#include "sched/topology.hpp"
+#include "vmm/resume_engine.hpp"
+#include "vmm/sandbox.hpp"
+
+namespace horse::sim {
+
+CostModel CostModel::defaults(const vmm::VmmProfile& profile) {
+  CostModel model;
+  model.cold_boot_ = profile.cold_boot;
+  model.restore_ = profile.snapshot_restore;
+  model.warm_dispatch_overhead_ = 820;  // warm init(1 vCPU) ≈ 1.1 µs total
+  for (std::uint32_t n = 0; n <= kMaxVcpus; ++n) {
+    // Vanilla grows linearly in vCPUs (one sorted walk + one locked load
+    // update each); 36 vCPUs ≈ 1.08 µs ≈ 7.16× HORSE's flat ≈150 ns.
+    model.vanilla_[n] = 250 + 23 * static_cast<util::Nanos>(n);
+    // HORSE: constant-time splice set + one load FMA; the residual slope
+    // is the per-vCPU state-bit writes.
+    model.horse_[n] = 148 + (n / 8);
+  }
+  return model;
+}
+
+namespace {
+
+/// Median resume latency over `reps` pause/resume cycles of a fresh
+/// sandbox with `vcpus` vCPUs, against `engine`.
+util::Nanos measure_resume(vmm::ResumeEngine& engine, std::uint32_t vcpus,
+                           bool ull, unsigned reps) {
+  vmm::SandboxConfig config;
+  config.name = "calib";
+  config.num_vcpus = vcpus;
+  config.memory_mb = 1;  // calibration needs no memory image to speak of
+  config.ull = ull;
+  vmm::Sandbox sandbox(9000 + vcpus, config);
+  (void)engine.start(sandbox);
+
+  std::vector<util::Nanos> samples;
+  samples.reserve(reps);
+  for (unsigned i = 0; i < reps; ++i) {
+    (void)engine.pause(sandbox);
+    vmm::ResumeBreakdown breakdown;
+    (void)engine.resume(sandbox, &breakdown);
+    samples.push_back(breakdown.total());
+  }
+  (void)engine.destroy(sandbox);
+
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Background occupancy so calibration's sorted merges walk realistic
+/// queue lengths (an idle queue would understate vanilla's step ④).
+struct BackgroundLoad {
+  explicit BackgroundLoad(vmm::ResumeEngine& engine) {
+    vmm::SandboxConfig config;
+    config.name = "background";
+    config.num_vcpus = 12;
+    config.memory_mb = 1;
+    sandbox = std::make_unique<vmm::Sandbox>(8999, config);
+    // Spread credits so sorted inserts land mid-queue, not always at an end.
+    for (std::uint32_t i = 0; i < config.num_vcpus; ++i) {
+      sandbox->vcpu(i).credit = static_cast<sched::Credit>(1000) * (i + 1);
+    }
+    (void)engine.start(*sandbox);
+  }
+  std::unique_ptr<vmm::Sandbox> sandbox;
+};
+
+}  // namespace
+
+CostModel CostModel::calibrate(const vmm::VmmProfile& profile,
+                               unsigned repetitions) {
+  CostModel model = defaults(profile);  // modelled boot/restore unchanged
+
+  // Vanilla engine on its own topology.
+  {
+    sched::CpuTopology topology(8);
+    vmm::ResumeEngine engine(topology, profile);
+    BackgroundLoad background(engine);
+    for (std::uint32_t n = 1; n <= kMaxVcpus; ++n) {
+      model.vanilla_[n] = measure_resume(engine, n, /*ull=*/false, repetitions);
+    }
+    model.vanilla_[0] = model.vanilla_[1];
+  }
+
+  // HORSE engine (sequential merge, one ull queue), same background.
+  {
+    sched::CpuTopology topology(8);
+    core::HorseConfig config;
+    core::HorseResumeEngine engine(topology, profile, config);
+    BackgroundLoad background(engine);
+    for (std::uint32_t n = 1; n <= kMaxVcpus; ++n) {
+      model.horse_[n] = measure_resume(engine, n, /*ull=*/true, repetitions);
+    }
+    model.horse_[0] = model.horse_[1];
+  }
+
+  return model;
+}
+
+}  // namespace horse::sim

@@ -1,0 +1,92 @@
+// Resume/boot cost model for the simulation plane.
+//
+// The macro experiments need a latency figure for every sandbox operation.
+// Two sources are supported:
+//
+//   * defaults(profile) — analytic constants reproducing the paper's
+//     reported bands (Table 1: cold 1.5 s, restore 1.3 ms, warm init
+//     ≈1.1 µs at 1 vCPU; Figure 3: vanilla growing ~linearly in vCPUs,
+//     HORSE flat ≈150 ns). Deterministic; used by unit tests and for
+//     paper-shape comparison runs.
+//   * calibrate(profile) — runs the *real* vanilla and HORSE resume
+//     engines of this repository across vCPU counts on the current host
+//     and stores median measurements, so simulated end-to-end numbers are
+//     grounded in this machine's actual data-structure costs.
+//
+// A note on the paper's internal numbers: Table 1 reports 1.1 µs of warm
+// *initialization* for a 1-vCPU microVM, while Figure 3 shows resume times
+// whose 36-vCPU vanilla point is ≈7.16× HORSE's flat ≈150 ns ≈ 1.07 µs.
+// These are only consistent if warm initialization includes generic
+// dispatch plumbing on top of the scheduler resume; the model therefore
+// separates `warm_dispatch_overhead` (charged to cold/restore/warm
+// strategies) from the resume call itself (all HORSE's fast path pays).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "vmm/profile.hpp"
+
+namespace horse::sim {
+
+class CostModel {
+ public:
+  static constexpr std::uint32_t kMaxVcpus = 36;
+
+  /// Analytic model with the paper's bands.
+  [[nodiscard]] static CostModel defaults(const vmm::VmmProfile& profile);
+
+  /// Measure this host: medians over `repetitions` pause/resume cycles per
+  /// vCPU count, on a private topology. Takes a few hundred ms.
+  [[nodiscard]] static CostModel calibrate(const vmm::VmmProfile& profile,
+                                           unsigned repetitions = 15);
+
+  [[nodiscard]] util::Nanos cold_boot() const noexcept { return cold_boot_; }
+  [[nodiscard]] util::Nanos restore() const noexcept { return restore_; }
+
+  /// Scheduler-path resume cost (Figure 3's y-axis).
+  [[nodiscard]] util::Nanos vanilla_resume(std::uint32_t vcpus) const noexcept {
+    return vanilla_[clamp_vcpus(vcpus)];
+  }
+  [[nodiscard]] util::Nanos horse_resume(std::uint32_t vcpus) const noexcept {
+    return horse_[clamp_vcpus(vcpus)];
+  }
+
+  /// Generic warm-start plumbing on top of the resume call (request
+  /// routing, sandbox lookup); HORSE's fast path bypasses it.
+  [[nodiscard]] util::Nanos warm_dispatch_overhead() const noexcept {
+    return warm_dispatch_overhead_;
+  }
+
+  /// Full sandbox-initialization latency per start strategy, as Table 1 /
+  /// Figure 4 account it.
+  [[nodiscard]] util::Nanos init_cold(std::uint32_t vcpus) const noexcept {
+    return cold_boot_ + warm_dispatch_overhead_ + vanilla_resume(vcpus);
+  }
+  [[nodiscard]] util::Nanos init_restore(std::uint32_t vcpus) const noexcept {
+    return restore_ + warm_dispatch_overhead_ + vanilla_resume(vcpus);
+  }
+  [[nodiscard]] util::Nanos init_warm(std::uint32_t vcpus) const noexcept {
+    return warm_dispatch_overhead_ + vanilla_resume(vcpus);
+  }
+  [[nodiscard]] util::Nanos init_horse(std::uint32_t vcpus) const noexcept {
+    return horse_resume(vcpus);
+  }
+
+ private:
+  static std::uint32_t clamp_vcpus(std::uint32_t vcpus) noexcept {
+    if (vcpus == 0) {
+      return 1;
+    }
+    return vcpus > kMaxVcpus ? kMaxVcpus : vcpus;
+  }
+
+  util::Nanos cold_boot_ = 0;
+  util::Nanos restore_ = 0;
+  util::Nanos warm_dispatch_overhead_ = 0;
+  std::array<util::Nanos, kMaxVcpus + 1> vanilla_{};
+  std::array<util::Nanos, kMaxVcpus + 1> horse_{};
+};
+
+}  // namespace horse::sim

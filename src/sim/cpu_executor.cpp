@@ -1,0 +1,113 @@
+#include "sim/cpu_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace horse::sim {
+
+CpuExecutor::CpuExecutor(Simulation& simulation,
+                         sched::Credit2Scheduler& scheduler)
+    : sim_(simulation), scheduler_(scheduler) {
+  cpus_.resize(scheduler.topology().num_cpus());
+}
+
+void CpuExecutor::submit(sched::Vcpu& vcpu, sched::CpuId cpu, util::Nanos work,
+                         CompletionFn on_done) {
+  assert(work > 0);
+  tasks_[&vcpu] = Task{work, std::move(on_done)};
+  scheduler_.enqueue(vcpu, cpu);
+  kick(cpu);
+}
+
+void CpuExecutor::add_work(sched::Vcpu& vcpu, util::Nanos work) {
+  const auto it = tasks_.find(&vcpu);
+  if (it != tasks_.end()) {
+    it->second.remaining += work;
+  }
+}
+
+void CpuExecutor::block_cpu(sched::CpuId cpu, util::Nanos duration) {
+  CpuState& state = cpus_.at(cpu);
+  const util::Nanos now = sim_.now();
+  state.blackout_until = std::max(state.blackout_until, now + duration);
+  if (state.busy && state.slice_event != 0) {
+    // The blackout preempts the running slice: its wall completion moves
+    // out by `duration`, the executed work stays the same.
+    sim_.cancel(state.slice_event);
+    state.slice_end += duration;
+    state.slice_event =
+        sim_.schedule_at(state.slice_end, [this, cpu] { finish_slice(cpu); });
+    ++preemptions_;
+  } else if (!state.busy) {
+    // Ensure a dispatch attempt happens once the blackout lifts.
+    sim_.schedule_at(state.blackout_until, [this, cpu] { kick(cpu); });
+  }
+}
+
+void CpuExecutor::kick(sched::CpuId cpu) {
+  CpuState& state = cpus_.at(cpu);
+  if (state.busy) {
+    return;
+  }
+  const util::Nanos now = sim_.now();
+  if (state.blackout_until > now) {
+    sim_.schedule_at(state.blackout_until, [this, cpu] { kick(cpu); });
+    return;
+  }
+  dispatch(cpu);
+}
+
+void CpuExecutor::dispatch(sched::CpuId cpu) {
+  CpuState& state = cpus_.at(cpu);
+  sched::Vcpu* vcpu = scheduler_.schedule(cpu);
+  if (vcpu == nullptr) {
+    return;  // idle
+  }
+  const auto it = tasks_.find(vcpu);
+  if (it == tasks_.end()) {
+    // A vCPU with no pending work (e.g. a resumed-but-idle uLL vCPU):
+    // charge nothing, drop it from the queue, look for the next one.
+    vcpu->state = sched::VcpuState::kOffline;
+    dispatch(cpu);
+    return;
+  }
+  Task& task = it->second;
+  const util::Nanos run = std::min(scheduler_.slice_for(cpu), task.remaining);
+  state.busy = true;
+  state.running = vcpu;
+  state.slice_started = sim_.now();
+  state.slice_run = run;
+  state.slice_end = sim_.now() + run;
+  ++dispatches_;
+  state.slice_event =
+      sim_.schedule_at(state.slice_end, [this, cpu] { finish_slice(cpu); });
+}
+
+void CpuExecutor::finish_slice(sched::CpuId cpu) {
+  CpuState& state = cpus_.at(cpu);
+  sched::Vcpu* vcpu = state.running;
+  state.busy = false;
+  state.running = nullptr;
+  state.slice_event = 0;
+  if (vcpu == nullptr) {
+    kick(cpu);
+    return;
+  }
+
+  const auto it = tasks_.find(vcpu);
+  assert(it != tasks_.end());
+  Task& task = it->second;
+  task.remaining -= state.slice_run;
+  const bool done = task.remaining <= 0;
+  scheduler_.charge_and_requeue(*vcpu, state.slice_run, /*still_runnable=*/!done);
+  if (done) {
+    CompletionFn on_done = std::move(task.on_done);
+    tasks_.erase(it);
+    if (on_done) {
+      on_done(*vcpu);
+    }
+  }
+  kick(cpu);
+}
+
+}  // namespace horse::sim

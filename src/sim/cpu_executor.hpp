@@ -1,0 +1,82 @@
+// Virtual-time CPU execution over the credit scheduler.
+//
+// Each physical CPU dispatches vCPUs from its run queue via
+// Credit2Scheduler, runs the head for min(time slice, remaining work),
+// charges credit, and requeues — all as simulation events. This is what
+// turns the scheduler substrate into end-to-end function latencies for the
+// §5.4 colocation experiment.
+//
+// Interference modelling: block_cpu() injects a blackout interval on a
+// CPU, standing in for (a) the time a resume holds the target queue
+// stalled and (b) a 𝒫²𝒮ℳ merge thread preempting whatever runs there
+// (§4.1.3: merge threads "preempt any task on the run queue where it is
+// scheduled"). A blackout extends the completion of the slice currently
+// running on that CPU and delays the next dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/credit2.hpp"
+#include "sim/simulation.hpp"
+#include "util/time.hpp"
+
+namespace horse::sim {
+
+class CpuExecutor {
+ public:
+  using CompletionFn = std::function<void(sched::Vcpu&)>;
+
+  CpuExecutor(Simulation& simulation, sched::Credit2Scheduler& scheduler);
+
+  CpuExecutor(const CpuExecutor&) = delete;
+  CpuExecutor& operator=(const CpuExecutor&) = delete;
+
+  /// Enqueue `vcpu` on `cpu` with `work` nanoseconds of pending execution;
+  /// `on_done` fires in virtual time when the work completes.
+  void submit(sched::Vcpu& vcpu, sched::CpuId cpu, util::Nanos work,
+              CompletionFn on_done);
+
+  /// Add `work` to a vCPU that is already submitted (keeps its position).
+  void add_work(sched::Vcpu& vcpu, util::Nanos work);
+
+  /// Blackout: see file comment. Extends a running slice and delays the
+  /// next dispatch on `cpu` by `duration`.
+  void block_cpu(sched::CpuId cpu, util::Nanos duration);
+
+  [[nodiscard]] bool idle(sched::CpuId cpu) const {
+    return !cpus_.at(cpu).busy;
+  }
+  [[nodiscard]] std::uint64_t dispatches() const noexcept { return dispatches_; }
+  [[nodiscard]] std::uint64_t preemptions() const noexcept { return preemptions_; }
+
+ private:
+  struct Task {
+    util::Nanos remaining = 0;
+    CompletionFn on_done;
+  };
+  struct CpuState {
+    bool busy = false;
+    sched::Vcpu* running = nullptr;
+    EventId slice_event = 0;
+    util::Nanos slice_end = 0;
+    util::Nanos slice_started = 0;
+    util::Nanos slice_run = 0;       // planned execution in this slice
+    util::Nanos blackout_until = 0;  // dispatch gate
+  };
+
+  void kick(sched::CpuId cpu);
+  void dispatch(sched::CpuId cpu);
+  void finish_slice(sched::CpuId cpu);
+
+  Simulation& sim_;
+  sched::Credit2Scheduler& scheduler_;
+  std::unordered_map<sched::Vcpu*, Task> tasks_;
+  std::vector<CpuState> cpus_;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace horse::sim

@@ -1,0 +1,202 @@
+#include "sim/server.hpp"
+
+#include <functional>
+
+#include "sched/credit2.hpp"
+#include "sched/topology.hpp"
+#include "sim/cpu_executor.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace horse::sim {
+
+SimServer::SimServer(SimServerParams params, const CostModel& costs)
+    : params_(params), costs_(costs), policy_(params.keep_alive_policy) {}
+
+std::uint32_t SimServer::add_function(SimFunctionSpec spec) {
+  FunctionState state;
+  state.spec = std::move(spec);
+  state.durations = std::make_unique<trace::DurationSampler>(
+      state.spec.durations,
+      params_.seed + 100 + functions_.size());
+  functions_.push_back(std::move(state));
+  return static_cast<std::uint32_t>(functions_.size() - 1);
+}
+
+SimServer::Windows SimServer::windows_for(std::uint32_t function) const {
+  if (!params_.adaptive_keep_alive) {
+    return Windows{0, params_.fixed_keep_alive};
+  }
+  const auto decision = policy_.decide(function);
+  if (!decision.from_histogram) {
+    return Windows{0, params_.fixed_keep_alive};
+  }
+  return Windows{decision.prewarm_window, decision.keep_alive};
+}
+
+SimServerReport SimServer::run(const trace::ArrivalSchedule& arrivals) {
+  Simulation sim;
+  sched::CpuTopology topology(params_.num_cpus);
+  std::vector<sched::CpuId> ull_cpus;
+  for (std::size_t i = 0; i < params_.num_ull_queues; ++i) {
+    const auto cpu = static_cast<sched::CpuId>(params_.num_cpus - 1 - i);
+    topology.reserve_for_ull(cpu);
+    ull_cpus.push_back(cpu);
+  }
+  std::vector<sched::CpuId> general_cpus;
+  for (sched::CpuId cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+    if (!topology.is_reserved(cpu)) {
+      general_cpus.push_back(cpu);
+    }
+  }
+
+  sched::Credit2Scheduler scheduler(topology);
+  CpuExecutor executor(sim, scheduler);
+  util::Xoshiro256 rng(params_.seed);
+  SimServerReport report;
+
+  std::unordered_map<sched::Vcpu*, std::unique_ptr<sched::Vcpu>> live;
+  std::uint32_t next_vcpu_id = 1;
+  auto make_vcpu = [&]() -> sched::Vcpu& {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->id = next_vcpu_id++;
+    sched::Vcpu& ref = *vcpu;
+    live.emplace(&ref, std::move(vcpu));
+    return ref;
+  };
+
+  auto pick_general = [&]() -> sched::CpuId {
+    sched::CpuId best = general_cpus.front();
+    std::size_t best_depth =
+        topology.queue(best).size() + (executor.idle(best) ? 0 : 1);
+    for (const sched::CpuId cpu : general_cpus) {
+      const std::size_t depth =
+          topology.queue(cpu).size() + (executor.idle(cpu) ? 0 : 1);
+      if (depth < best_depth) {
+        best = cpu;
+        best_depth = depth;
+      }
+    }
+    return best;
+  };
+
+  // Reclaim expired pool entries of one function at virtual time `now`.
+  // Tokens enter the pool at the end of any pre-warm gap, so only the
+  // keep-alive window applies here.
+  auto evict_expired = [&](std::uint32_t id, util::Nanos now) {
+    FunctionState& fn = functions_[id];
+    const util::Nanos window = windows_for(id).keep_alive;
+    while (!fn.pool.empty() && now - fn.pool.front().parked_at > window) {
+      report.warm_sandbox_seconds +=
+          static_cast<double>(window) / 1e9;  // kept warm for the window
+      fn.pool.pop_front();
+      ++report.evictions;
+    }
+  };
+
+  // Park a finished sandbox. With a learned pre-warm window the sandbox
+  // is *released* for the gap and re-provisioned at its end (the ATC'20
+  // mechanism: pay a gap of absence instead of idle residency); with the
+  // fixed policy it pools immediately.
+  auto park = [&](std::uint32_t id) {
+    const Windows windows = windows_for(id);
+    if (windows.prewarm <= 0) {
+      functions_[id].pool.push_back(PooledSandbox{sim.now()});
+      return;
+    }
+    sim.schedule_after(windows.prewarm, [&, id] {
+      functions_[id].pool.push_back(PooledSandbox{sim.now()});
+    });
+  };
+
+  // Admit one invocation of function `id` that originally arrived at
+  // `arrived`. Called from the arrival event (if a concurrency slot is
+  // free) or from a completion (draining the admission queue).
+  std::function<void(std::uint32_t, util::Nanos)> admit =
+      [&](std::uint32_t id, util::Nanos arrived) {
+        FunctionState& fn = functions_[id];
+        const util::Nanos now = sim.now();
+        ++fn.in_flight;
+        evict_expired(id, now);
+
+        // Start strategy: warm pool hit or cold.
+        util::Nanos init = 0;
+        if (!fn.pool.empty()) {
+          const PooledSandbox token = fn.pool.back();
+          fn.pool.pop_back();
+          report.warm_sandbox_seconds +=
+              static_cast<double>(now - token.parked_at) / 1e9;
+          if (fn.spec.ull && params_.use_horse) {
+            init = costs_.init_horse(fn.spec.vcpus);
+            ++report.horse_starts;
+          } else {
+            init = costs_.init_warm(fn.spec.vcpus);
+            ++report.warm_starts;
+          }
+        } else {
+          init = costs_.init_cold(fn.spec.vcpus);
+          ++report.cold_starts;
+        }
+        report.init_latency.record(init);
+        (fn.spec.ull ? report.init_latency_ull : report.init_latency_long)
+            .record(init);
+
+        // Execute after init; uLL fast-path work lands on the reserved
+        // queue, everything else on the general queues.
+        const sched::CpuId cpu = (fn.spec.ull && params_.use_horse)
+                                     ? ull_cpus.front()
+                                     : pick_general();
+        const util::Nanos service = fn.durations->sample();
+        sim.schedule_after(init, [&, id, cpu, service, arrived] {
+          sched::Vcpu& vcpu = make_vcpu();
+          executor.submit(
+              vcpu, cpu, service, [&, id, arrived](sched::Vcpu& done) {
+                report.end_to_end_latency.record(sim.now() - arrived);
+                FunctionState& fn_done = functions_[id];
+                park(id);
+                --fn_done.in_flight;
+                live.erase(&done);
+                // Drain one queued arrival, if any.
+                if (!fn_done.admission_queue.empty()) {
+                  const util::Nanos queued_at = fn_done.admission_queue.front();
+                  fn_done.admission_queue.pop_front();
+                  report.admission_wait.record(sim.now() - queued_at);
+                  admit(id, queued_at);
+                }
+              });
+        });
+      };
+
+  for (const auto& arrival : arrivals.arrivals()) {
+    sim.schedule_at(arrival.time, [&, arrival] {
+      const std::uint32_t id = arrival.function_id % functions_.size();
+      FunctionState& fn = functions_[id];
+      policy_.record_invocation(id, sim.now());
+      ++report.invocations;
+      if (fn.spec.max_concurrent != 0 &&
+          fn.in_flight >= fn.spec.max_concurrent) {
+        ++report.throttled;
+        fn.admission_queue.push_back(sim.now());
+        return;
+      }
+      admit(id, sim.now());
+    });
+  }
+
+  sim.run();
+
+  // Residual pool residency at end of run.
+  const util::Nanos end = sim.now();
+  for (std::uint32_t id = 0; id < functions_.size(); ++id) {
+    for (const auto& token : functions_[id].pool) {
+      report.warm_sandbox_seconds +=
+          static_cast<double>(end - token.parked_at) / 1e9;
+    }
+    functions_[id].pool.clear();
+    functions_[id].in_flight = 0;
+    functions_[id].admission_queue.clear();
+  }
+  return report;
+}
+
+}  // namespace horse::sim

@@ -1,0 +1,118 @@
+// Whole-node FaaS server in virtual time.
+//
+// ColocationExperiment (faas/colocation.hpp) reproduces one paper section;
+// SimServer generalises the plane: a multi-function server processing an
+// arbitrary arrival schedule with warm pools, keep-alive policy (fixed or
+// hybrid-histogram), cold starts, and the HORSE fast path — entirely on
+// the discrete-event clock, with resume/boot costs from the CostModel.
+// It answers platform-design questions the real-time plane cannot reach
+// in bounded wall time: cold-start rates over hours of traffic, warm-pool
+// residency cost, init-latency distributions per start class.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "faas/keepalive_policy.hpp"
+#include "metrics/histogram.hpp"
+#include "sim/cost_model.hpp"
+#include "trace/schedule.hpp"
+#include "trace/synthetic.hpp"
+#include "util/time.hpp"
+
+namespace horse::sim {
+
+struct SimFunctionSpec {
+  std::string name;
+  std::uint32_t vcpus = 1;
+  bool ull = false;
+  /// Per-function concurrency limit (FaaS providers cap in-flight
+  /// executions); arrivals beyond it queue FIFO. 0 = unlimited.
+  std::uint32_t max_concurrent = 0;
+  trace::DurationSampler::Params durations{
+      .median = 100 * util::kMillisecond,
+      .sigma = 0.5,
+      .tail_fraction = 0.02,
+      .tail_min = util::kSecond,
+      .tail_max = 5 * util::kSecond,
+      .tail_alpha = 1.5,
+  };
+};
+
+struct SimServerParams {
+  std::size_t num_cpus = 12;
+  std::size_t num_ull_queues = 1;
+  /// Resume uLL functions through the HORSE fast path (vs vanilla warm).
+  bool use_horse = true;
+  /// Keep-alive: fixed window, or learned per function when adaptive.
+  bool adaptive_keep_alive = false;
+  faas::KeepAlivePolicyConfig keep_alive_policy;
+  util::Nanos fixed_keep_alive = 10LL * 60 * util::kSecond;
+  std::uint64_t seed = 5;
+};
+
+struct SimServerReport {
+  std::uint64_t invocations = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t warm_starts = 0;   // vanilla warm resumes
+  std::uint64_t horse_starts = 0;  // fast-path resumes
+  std::uint64_t evictions = 0;
+  /// Arrivals that waited for a concurrency slot, and their wait times.
+  std::uint64_t throttled = 0;
+  metrics::Histogram admission_wait;
+  /// Warm-pool residency: sandbox-seconds kept paused in the pool.
+  double warm_sandbox_seconds = 0.0;
+  metrics::Histogram init_latency;
+  metrics::Histogram init_latency_ull;   // uLL-flagged functions only
+  metrics::Histogram init_latency_long;  // everything else
+  metrics::Histogram end_to_end_latency;
+
+  [[nodiscard]] double cold_fraction() const noexcept {
+    return invocations == 0
+               ? 0.0
+               : static_cast<double>(cold_starts) /
+                     static_cast<double>(invocations);
+  }
+};
+
+class SimServer {
+ public:
+  SimServer(SimServerParams params, const CostModel& costs);
+
+  /// Register a function; returns the id to use in the arrival schedule.
+  std::uint32_t add_function(SimFunctionSpec spec);
+
+  /// Process the whole schedule; returns the aggregate report.
+  [[nodiscard]] SimServerReport run(const trace::ArrivalSchedule& arrivals);
+
+ private:
+  struct PooledSandbox {
+    util::Nanos parked_at = 0;
+  };
+  struct FunctionState {
+    SimFunctionSpec spec;
+    std::deque<PooledSandbox> pool;
+    std::unique_ptr<trace::DurationSampler> durations;
+    std::uint32_t in_flight = 0;
+    std::deque<util::Nanos> admission_queue;  // arrival times of waiters
+  };
+
+  /// Policy windows for a function: release the sandbox for
+  /// `prewarm` after it parks (re-provision it at the end of that gap),
+  /// then keep it warm for `keep_alive`. Fixed policy: prewarm = 0.
+  struct Windows {
+    util::Nanos prewarm = 0;
+    util::Nanos keep_alive = 0;
+  };
+  [[nodiscard]] Windows windows_for(std::uint32_t function) const;
+
+  SimServerParams params_;
+  const CostModel& costs_;
+  std::vector<FunctionState> functions_;
+  faas::HybridHistogramPolicy policy_;
+};
+
+}  // namespace horse::sim

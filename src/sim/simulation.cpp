@@ -1,0 +1,68 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace horse::sim {
+
+EventId Simulation::schedule_at(util::Nanos when, Callback callback) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulation: cannot schedule in the past");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(callback)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  // Only a still-pending event can be cancelled; cancelling one that has
+  // already fired reports false so callers can tell the race apart.
+  if (pending_ids_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_.insert(id);
+  return true;
+}
+
+void Simulation::purge_cancelled() {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool Simulation::step() {
+  purge_cancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  Event event = heap_.top();
+  heap_.pop();
+  pending_ids_.erase(event.id);
+  now_ = event.when;
+  ++processed_;
+  event.callback();
+  return true;
+}
+
+void Simulation::run_until(util::Nanos end) {
+  for (;;) {
+    purge_cancelled();
+    if (heap_.empty() || heap_.top().when > end) {
+      break;
+    }
+    if (!step()) {
+      break;
+    }
+  }
+  if (now_ < end) {
+    now_ = end;
+  }
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace horse::sim

@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// The macro experiments (Table 1, Figure 4, the §5.4 colocation study)
+// need hours-equivalent of FaaS traffic with nanosecond-resolution resume
+// events — far beyond what real-time execution on one host could cover.
+// The kernel is a classic calendar: a min-heap of (time, sequence, event)
+// with a virtual clock, strictly deterministic (ties break by insertion
+// sequence), single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace horse::sim {
+
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] util::Nanos now() const noexcept { return now_; }
+
+  /// Schedule `callback` at absolute virtual time `when` (>= now).
+  EventId schedule_at(util::Nanos when, Callback callback);
+
+  /// Schedule `callback` `delay` nanoseconds from now.
+  EventId schedule_after(util::Nanos delay, Callback callback) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(callback));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// already cancelled. (Keep-alive eviction timers get cancelled when a
+  /// warm sandbox is reused.)
+  bool cancel(EventId id);
+
+  /// Run until the queue drains or the clock would pass `end`; events at
+  /// exactly `end` still fire.
+  void run_until(util::Nanos end);
+
+  /// Run until the queue drains.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_ids_.size();
+  }
+
+ private:
+  struct Event {
+    util::Nanos when;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& lhs, const Event& rhs) const noexcept {
+      // Min-heap by time; FIFO among equal timestamps (ids are monotonic).
+      return lhs.when != rhs.when ? lhs.when > rhs.when : lhs.id > rhs.id;
+    }
+  };
+
+  bool step();
+  void purge_cancelled();
+
+  util::Nanos now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace horse::sim

@@ -1,0 +1,92 @@
+#include "trace/azure_reader.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace horse::trace {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream stream(line);
+  while (std::getline(stream, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto result = std::from_chars(begin, end, out);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+}  // namespace
+
+util::Expected<std::vector<FunctionRow>> AzureTraceReader::parse(
+    std::istream& input) {
+  std::vector<FunctionRow> rows;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    auto fields = split_csv_line(line);
+    if (fields.size() < 5) {
+      return util::Status{
+          util::StatusCode::kInvalidArgument,
+          "azure trace: row " + std::to_string(line_number) + " too short"};
+    }
+    // Header detection: the first minute column of a header row is the
+    // literal "1", of a data row a count — both parse; disambiguate on the
+    // trigger column names used by the dataset ("Trigger" header literal).
+    if (line_number == 1 && fields[3] == "Trigger") {
+      continue;
+    }
+    FunctionRow row;
+    row.owner = std::move(fields[0]);
+    row.app = std::move(fields[1]);
+    row.function = std::move(fields[2]);
+    row.trigger = std::move(fields[3]);
+    row.per_minute.reserve(fields.size() - 4);
+    for (std::size_t i = 4; i < fields.size(); ++i) {
+      std::uint32_t count = 0;
+      if (!parse_u32(fields[i], count)) {
+        return util::Status{util::StatusCode::kInvalidArgument,
+                            "azure trace: bad count at row " +
+                                std::to_string(line_number) + " column " +
+                                std::to_string(i)};
+      }
+      row.per_minute.push_back(count);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+ArrivalSchedule AzureTraceReader::expand(const std::vector<FunctionRow>& rows,
+                                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  ArrivalSchedule schedule;
+  for (std::uint32_t function_id = 0; function_id < rows.size(); ++function_id) {
+    const FunctionRow& row = rows[function_id];
+    for (std::size_t minute = 0; minute < row.per_minute.size(); ++minute) {
+      const util::Nanos minute_start =
+          static_cast<util::Nanos>(minute) * 60 * util::kSecond;
+      for (std::uint32_t i = 0; i < row.per_minute[minute]; ++i) {
+        const auto offset =
+            static_cast<util::Nanos>(rng.uniform01() * 60.0 * util::kSecond);
+        schedule.add(Arrival{minute_start + offset, function_id});
+      }
+    }
+  }
+  schedule.sort();
+  return schedule;
+}
+
+}  // namespace horse::trace

@@ -1,0 +1,47 @@
+// Reader for the Azure Public Dataset serverless invocation traces
+// (https://github.com/Azure/AzurePublicDataset, the format introduced by
+// Shahrad et al., USENIX ATC'20): one row per function, with columns
+//
+//   HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+//
+// where column "m" is the number of invocations during minute m of the
+// day. The dataset itself is not redistributable with this repository;
+// when the CSV is absent, SyntheticAzureTrace (synthetic.hpp) generates a
+// statistically matching stand-in, and this reader accepts the real file
+// whenever the user provides one — same downstream API either way.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "trace/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace horse::trace {
+
+struct FunctionRow {
+  std::string owner;
+  std::string app;
+  std::string function;
+  std::string trigger;
+  std::vector<std::uint32_t> per_minute;  // up to 1440 entries
+};
+
+class AzureTraceReader {
+ public:
+  /// Parse the CSV from a stream. Tolerates a header row and rows with
+  /// fewer than 1440 minute columns (the public dataset has both).
+  [[nodiscard]] static util::Expected<std::vector<FunctionRow>> parse(
+      std::istream& input);
+
+  /// Expand per-minute counts into concrete arrival instants: each
+  /// minute's invocations are placed uniformly at random inside that
+  /// minute (the dataset's resolution floor), deterministically per seed.
+  [[nodiscard]] static ArrivalSchedule expand(
+      const std::vector<FunctionRow>& rows, std::uint64_t seed);
+};
+
+}  // namespace horse::trace

@@ -1,0 +1,91 @@
+#include "trace/duration_reader.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace horse::trace {
+
+namespace {
+
+constexpr std::size_t kColumns = 14;
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+}  // namespace
+
+util::Expected<std::vector<DurationRow>> DurationReader::parse(
+    std::istream& input) {
+  std::vector<DurationRow> rows;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::stringstream stream(line);
+    std::string field;
+    while (std::getline(stream, field, ',')) {
+      fields.push_back(field);
+    }
+    if (line_number == 1 && fields.size() >= 4 && fields[3] == "Average") {
+      continue;  // header
+    }
+    if (fields.size() != kColumns) {
+      return util::Status{util::StatusCode::kInvalidArgument,
+                          "duration trace: row " + std::to_string(line_number) +
+                              " has " + std::to_string(fields.size()) +
+                              " columns, want 14"};
+    }
+    DurationRow row;
+    row.owner = fields[0];
+    row.app = fields[1];
+    row.function = fields[2];
+    double* const targets[] = {&row.average_ms, &row.count,  &row.minimum_ms,
+                               &row.maximum_ms, &row.p0_ms,  &row.p1_ms,
+                               &row.p25_ms,     &row.p50_ms, &row.p75_ms,
+                               &row.p99_ms,     &row.p100_ms};
+    for (std::size_t i = 0; i < std::size(targets); ++i) {
+      if (!parse_double(fields[i + 3], *targets[i])) {
+        return util::Status{util::StatusCode::kInvalidArgument,
+                            "duration trace: bad number at row " +
+                                std::to_string(line_number) + " column " +
+                                std::to_string(i + 3)};
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+DurationSampler::Params DurationReader::fit_sampler(const DurationRow& row) {
+  DurationSampler::Params params;
+  const double median_ms = std::max(row.p50_ms, 0.001);
+  params.median = static_cast<util::Nanos>(median_ms * 1e6);
+
+  // Lognormal: p75/p50 = exp(0.6745 sigma) => sigma = ln(ratio)/0.6745.
+  const double ratio = row.p75_ms > median_ms ? row.p75_ms / median_ms : 1.05;
+  params.sigma = std::clamp(std::log(ratio) / 0.6745, 0.05, 2.5);
+
+  // Tail: send a small mass to [p99, p100]; degenerate rows (p99 close to
+  // the median) keep a token tail so sampling still exercises the branch.
+  const double p99_ms = std::max(row.p99_ms, median_ms * 1.01);
+  const double p100_ms = std::max(row.p100_ms, p99_ms * 1.01);
+  params.tail_fraction = 0.01;
+  params.tail_min = static_cast<util::Nanos>(p99_ms * 1e6);
+  params.tail_max = static_cast<util::Nanos>(p100_ms * 1e6);
+  params.tail_alpha = 1.5;
+  return params;
+}
+
+}  // namespace horse::trace

@@ -1,0 +1,54 @@
+// Reader for the Azure Public Dataset function-duration files
+// (`function_durations_percentiles.anon.d*.csv`): one row per function
+// with average/min/max execution time and per-percentile averages, all in
+// milliseconds. Used to parameterize the heavy-tailed DurationSampler
+// from real data when the user provides the CSVs; the synthetic defaults
+// stay in charge otherwise.
+//
+// Column layout (per the dataset's documentation):
+//   HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,
+//   percentile_Average_0,percentile_Average_1,percentile_Average_25,
+//   percentile_Average_50,percentile_Average_75,percentile_Average_99,
+//   percentile_Average_100
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace horse::trace {
+
+struct DurationRow {
+  std::string owner;
+  std::string app;
+  std::string function;
+  double average_ms = 0.0;
+  double count = 0.0;
+  double minimum_ms = 0.0;
+  double maximum_ms = 0.0;
+  double p0_ms = 0.0;
+  double p1_ms = 0.0;
+  double p25_ms = 0.0;
+  double p50_ms = 0.0;
+  double p75_ms = 0.0;
+  double p99_ms = 0.0;
+  double p100_ms = 0.0;
+};
+
+class DurationReader {
+ public:
+  [[nodiscard]] static util::Expected<std::vector<DurationRow>> parse(
+      std::istream& input);
+
+  /// Fit DurationSampler parameters to a row: lognormal body anchored at
+  /// the median with sigma from the p75/p50 spread, tail calibrated so
+  /// the sampler's p99 tracks the row's.
+  [[nodiscard]] static DurationSampler::Params fit_sampler(
+      const DurationRow& row);
+};
+
+}  // namespace horse::trace

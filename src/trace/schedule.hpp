@@ -1,0 +1,60 @@
+// Arrival schedules: the common currency between the trace sources (real
+// Azure CSV or synthetic) and the experiment drivers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace horse::trace {
+
+struct Arrival {
+  util::Nanos time = 0;
+  std::uint32_t function_id = 0;
+};
+
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule() = default;
+  explicit ArrivalSchedule(std::vector<Arrival> arrivals)
+      : arrivals_(std::move(arrivals)) {
+    sort();
+  }
+
+  void add(Arrival arrival) { arrivals_.push_back(arrival); }
+  void sort() {
+    std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                     [](const Arrival& lhs, const Arrival& rhs) {
+                       return lhs.time < rhs.time;
+                     });
+  }
+
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const noexcept {
+    return arrivals_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return arrivals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return arrivals_.empty(); }
+
+  [[nodiscard]] util::Nanos duration() const noexcept {
+    return arrivals_.empty() ? 0 : arrivals_.back().time;
+  }
+
+  /// Arrivals within [begin, end), shifted so the window starts at 0 —
+  /// how the §5.4 experiment consumes "a 30 s chunk" of the trace.
+  [[nodiscard]] ArrivalSchedule window(util::Nanos begin, util::Nanos end) const {
+    std::vector<Arrival> out;
+    for (const Arrival& a : arrivals_) {
+      if (a.time >= begin && a.time < end) {
+        out.push_back(Arrival{a.time - begin, a.function_id});
+      }
+    }
+    return ArrivalSchedule(std::move(out));
+  }
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+}  // namespace horse::trace

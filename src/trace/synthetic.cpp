@@ -1,0 +1,58 @@
+#include "trace/synthetic.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace horse::trace {
+
+util::Nanos DurationSampler::sample() {
+  if (rng_.uniform01() < params_.tail_fraction) {
+    return static_cast<util::Nanos>(rng_.bounded_pareto(
+        params_.tail_alpha, static_cast<double>(params_.tail_min),
+        static_cast<double>(params_.tail_max)));
+  }
+  const double log_median = std::log(static_cast<double>(params_.median));
+  const double sample = rng_.normal(log_median, params_.sigma);
+  return static_cast<util::Nanos>(std::exp(sample));
+}
+
+std::vector<FunctionRow> SyntheticAzureTrace::generate_rows() const {
+  util::Xoshiro256 rng(params_.seed);
+  std::vector<FunctionRow> rows;
+  rows.reserve(params_.num_functions);
+  for (std::uint32_t f = 0; f < params_.num_functions; ++f) {
+    FunctionRow row;
+    row.owner = "owner-" + std::to_string(f % 7);
+    row.app = "app-" + std::to_string(f % 13);
+    row.function = "fn-" + std::to_string(f);
+    row.trigger = f % 3 == 0 ? "http" : (f % 3 == 1 ? "queue" : "timer");
+
+    // Zipf popularity: rank f+1 gets rate ~ top / (rank^s).
+    const double base_rate =
+        params_.top_rate_per_minute /
+        std::pow(static_cast<double>(f + 1), params_.zipf_s);
+
+    row.per_minute.reserve(params_.num_minutes);
+    for (std::uint32_t m = 0; m < params_.num_minutes; ++m) {
+      // Bursty per-minute rate, then a Poisson draw at that rate
+      // (inversion by sequential search is fine at these magnitudes).
+      const double jitter =
+          1.0 + params_.rate_jitter * (2.0 * rng.uniform01() - 1.0);
+      const double rate = base_rate * (jitter < 0.05 ? 0.05 : jitter);
+      std::uint32_t count = 0;
+      double p = std::exp(-rate);
+      double cumulative = p;
+      const double u = rng.uniform01();
+      while (u > cumulative && count < 100000) {
+        ++count;
+        p *= rate / static_cast<double>(count);
+        cumulative += p;
+      }
+      row.per_minute.push_back(count);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace horse::trace

@@ -1,0 +1,102 @@
+// Synthetic Azure-like serverless trace generator.
+//
+// We cannot ship the Azure Public Dataset, so this generator reproduces
+// the distribution shapes its companion paper reports (Shahrad et al.,
+// "Serverless in the Wild", ATC'20) and that the HORSE evaluation relies
+// on:
+//   * per-function popularity is heavy-tailed (few hot functions dominate
+//     invocations) — Zipf over functions;
+//   * a function's per-minute invocation counts fluctuate (bursty);
+//     modelled as Poisson with a per-minute rate jittered around the
+//     function's base rate;
+//   * execution durations are heavy-tailed with a non-negligible fraction
+//     above 1 s (the §5.4 premise) — lognormal body + bounded-Pareto tail.
+//
+// Output is the same FunctionRow/ArrivalSchedule currency as the real
+// reader, so experiments are agnostic to the trace's origin.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/azure_reader.hpp"
+#include "trace/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::trace {
+
+struct SyntheticTraceParams {
+  std::uint32_t num_functions = 50;
+  std::uint32_t num_minutes = 10;
+  /// Invocations per minute of the most popular function.
+  double top_rate_per_minute = 120.0;
+  /// Zipf exponent for the popularity ranking.
+  double zipf_s = 1.1;
+  /// Relative per-minute rate jitter (burstiness).
+  double rate_jitter = 0.35;
+  std::uint64_t seed = 2024;
+
+  void validate() const {
+    if (num_functions == 0 || num_minutes == 0) {
+      throw std::invalid_argument("SyntheticTraceParams: empty trace");
+    }
+    if (!(top_rate_per_minute > 0.0) || !(zipf_s > 0.0)) {
+      throw std::invalid_argument("SyntheticTraceParams: bad rate/zipf");
+    }
+  }
+};
+
+/// Heavy-tailed function duration sampler (lognormal body, bounded-Pareto
+/// tail above the 95th percentile).
+class DurationSampler {
+ public:
+  struct Params {
+    /// Median of the lognormal body.
+    util::Nanos median = 300 * util::kMillisecond;
+    /// Lognormal sigma (log-space).
+    double sigma = 0.6;
+    /// Fraction of invocations drawn from the long tail.
+    double tail_fraction = 0.05;
+    util::Nanos tail_min = 1 * util::kSecond;
+    util::Nanos tail_max = 30 * util::kSecond;
+    double tail_alpha = 1.5;
+  };
+
+  explicit DurationSampler(Params params, std::uint64_t seed = 7)
+      : params_(params), rng_(seed) {}
+
+  [[nodiscard]] util::Nanos sample();
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  util::Xoshiro256 rng_;
+};
+
+class SyntheticAzureTrace {
+ public:
+  explicit SyntheticAzureTrace(SyntheticTraceParams params)
+      : params_(params) {
+    params_.validate();
+  }
+
+  /// Generate per-function per-minute rows in the dataset's own format.
+  [[nodiscard]] std::vector<FunctionRow> generate_rows() const;
+
+  /// Generate the expanded arrival schedule directly.
+  [[nodiscard]] ArrivalSchedule generate_schedule() const {
+    return AzureTraceReader::expand(generate_rows(), params_.seed + 1);
+  }
+
+  [[nodiscard]] const SyntheticTraceParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  SyntheticTraceParams params_;
+};
+
+}  // namespace horse::trace

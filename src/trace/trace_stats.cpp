@@ -1,0 +1,79 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace horse::trace {
+
+double TraceStats::top_k_share(std::size_t k) const {
+  if (total_invocations == 0) {
+    return 0.0;
+  }
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < std::min(k, functions.size()); ++i) {
+    counted += functions[i].invocations;
+  }
+  return static_cast<double>(counted) / static_cast<double>(total_invocations);
+}
+
+TraceStats analyze(const ArrivalSchedule& schedule) {
+  TraceStats stats;
+  stats.total_invocations = schedule.size();
+  stats.span = schedule.duration();
+
+  std::map<std::uint32_t, std::vector<util::Nanos>> per_function;
+  for (const Arrival& arrival : schedule.arrivals()) {
+    per_function[arrival.function_id].push_back(arrival.time);
+  }
+
+  const double span_minutes =
+      stats.span > 0 ? static_cast<double>(stats.span) / (60.0 * 1e9) : 0.0;
+
+  for (auto& [id, times] : per_function) {
+    FunctionStats fn;
+    fn.function_id = id;
+    fn.invocations = times.size();
+    fn.rate_per_minute =
+        span_minutes > 0.0 ? static_cast<double>(times.size()) / span_minutes
+                           : static_cast<double>(times.size());
+
+    if (times.size() >= 2) {
+      // Times arrive sorted from ArrivalSchedule, but be defensive: the
+      // schedule only guarantees global order, which implies per-function
+      // order here anyway.
+      std::vector<util::Nanos> iats;
+      iats.reserve(times.size() - 1);
+      double sum = 0.0;
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        const util::Nanos iat = times[i] - times[i - 1];
+        iats.push_back(iat);
+        sum += static_cast<double>(iat);
+      }
+      fn.iat_mean = sum / static_cast<double>(iats.size());
+      double sq = 0.0;
+      for (const util::Nanos iat : iats) {
+        const double d = static_cast<double>(iat) - fn.iat_mean;
+        sq += d * d;
+      }
+      const double stddev =
+          std::sqrt(sq / static_cast<double>(iats.size()));
+      fn.iat_cv = fn.iat_mean > 0.0 ? stddev / fn.iat_mean : 0.0;
+
+      std::sort(iats.begin(), iats.end());
+      fn.iat_p50 = iats[iats.size() / 2];
+      fn.iat_p99 = iats[static_cast<std::size_t>(
+          0.99 * static_cast<double>(iats.size() - 1))];
+      fn.iat_max = iats.back();
+    }
+    stats.functions.push_back(fn);
+  }
+
+  std::sort(stats.functions.begin(), stats.functions.end(),
+            [](const FunctionStats& lhs, const FunctionStats& rhs) {
+              return lhs.invocations > rhs.invocations;
+            });
+  return stats;
+}
+
+}  // namespace horse::trace

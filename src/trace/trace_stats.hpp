@@ -1,0 +1,45 @@
+// Workload characterization over arrival schedules.
+//
+// The keep-alive policy and the synthetic generator both reason about
+// inter-arrival-time (IAT) distributions; this module computes the
+// standard descriptors — per-function rate, IAT mean / CV / percentiles,
+// burstiness — from any ArrivalSchedule (real Azure CSV or synthetic).
+// A CV well above 1 marks the bursty, keep-alive-hostile functions the
+// ATC'20 study highlights.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/schedule.hpp"
+#include "util/time.hpp"
+
+namespace horse::trace {
+
+struct FunctionStats {
+  std::uint32_t function_id = 0;
+  std::size_t invocations = 0;
+  /// Mean invocations per minute over the observed span.
+  double rate_per_minute = 0.0;
+  /// Inter-arrival time statistics (ns); zero when < 2 invocations.
+  double iat_mean = 0.0;
+  double iat_cv = 0.0;  // coefficient of variation: stddev / mean
+  util::Nanos iat_p50 = 0;
+  util::Nanos iat_p99 = 0;
+  util::Nanos iat_max = 0;
+};
+
+struct TraceStats {
+  std::size_t total_invocations = 0;
+  util::Nanos span = 0;
+  std::vector<FunctionStats> functions;  // sorted by invocation count desc
+
+  /// Share of total invocations issued by the top `k` functions —
+  /// quantifies the Zipf-like skew of serverless traffic.
+  [[nodiscard]] double top_k_share(std::size_t k) const;
+};
+
+[[nodiscard]] TraceStats analyze(const ArrivalSchedule& schedule);
+
+}  // namespace horse::trace

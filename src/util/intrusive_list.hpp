@@ -1,0 +1,198 @@
+// Intrusive doubly-linked list, the backbone of every run queue.
+//
+// Hypervisor run queues (Xen credit2's runq, CFS's cfs_rq before the
+// rbtree era for the paused path) link scheduling entities through hooks
+// embedded in the entity itself: insertion and removal never allocate, and
+// splicing a pre-linked chain is a constant number of pointer writes.
+// 𝒫²𝒮ℳ's O(1) merge depends on exactly that property, so the list exposes
+// raw splice primitives (`splice_after_node`) in addition to the usual
+// container interface.
+//
+// The list is NOT thread-safe by itself; callers hold the owning run
+// queue's lock, except for the 𝒫²𝒮ℳ merge which is race-free by
+// construction (disjoint anchor nodes, see core/p2sm.hpp).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace horse::util {
+
+/// Embedded hook. A type participates in an IntrusiveList<T, &T::hook> by
+/// owning one of these per list it can be linked into.
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+
+  [[nodiscard]] bool is_linked() const noexcept { return next != nullptr; }
+
+  /// Detach from whatever list this hook is on. Safe to call when unlinked.
+  void unlink() noexcept {
+    if (next == nullptr) {
+      return;
+    }
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+  }
+};
+
+template <typename T, ListHook T::* Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() noexcept { reset(); }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  ~IntrusiveList() { clear(); }
+
+  class iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    iterator() = default;
+    explicit iterator(ListHook* node) noexcept : node_(node) {}
+
+    reference operator*() const noexcept { return *from_hook(node_); }
+    pointer operator->() const noexcept { return from_hook(node_); }
+    iterator& operator++() noexcept {
+      node_ = node_->next;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator old = *this;
+      ++*this;
+      return old;
+    }
+    iterator& operator--() noexcept {
+      node_ = node_->prev;
+      return *this;
+    }
+    bool operator==(const iterator&) const = default;
+
+    [[nodiscard]] ListHook* node() const noexcept { return node_; }
+
+   private:
+    ListHook* node_ = nullptr;
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return head_.next == &head_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  iterator begin() noexcept { return iterator(head_.next); }
+  iterator end() noexcept { return iterator(&head_); }
+
+  T& front() noexcept {
+    assert(!empty());
+    return *from_hook(head_.next);
+  }
+  T& back() noexcept {
+    assert(!empty());
+    return *from_hook(head_.prev);
+  }
+
+  void push_front(T& item) noexcept { insert_after_hook(&head_, hook_of(item)); }
+  void push_back(T& item) noexcept { insert_after_hook(head_.prev, hook_of(item)); }
+
+  /// Insert `item` immediately before `pos`.
+  void insert(iterator pos, T& item) noexcept {
+    insert_after_hook(pos.node()->prev, hook_of(item));
+  }
+
+  void erase(T& item) noexcept {
+    assert(hook_of(item)->is_linked());
+    hook_of(item)->unlink();
+    --size_;
+  }
+
+  T& pop_front() noexcept {
+    T& item = front();
+    erase(item);
+    return item;
+  }
+
+  void clear() noexcept {
+    while (!empty()) {
+      pop_front();
+    }
+  }
+
+  /// Splice the chain [first..last] (already linked to each other, not to
+  /// any list) after `anchor`, which must be a node of this list or the
+  /// sentinel head. This is the 𝒫²𝒮ℳ primitive: two boundary rewrites.
+  /// `count` is the caller-known chain length (hooks are not counted here
+  /// to keep the operation O(1)).
+  void splice_after_node(ListHook* anchor, ListHook* first, ListHook* last,
+                         std::size_t count) noexcept {
+    ListHook* after = anchor->next;
+    anchor->next = first;
+    first->prev = anchor;
+    last->next = after;
+    after->prev = last;
+    size_ += count;
+  }
+
+  /// Detach the entire content as a chain [first,last]; the list becomes
+  /// empty. Returns {nullptr,nullptr} when empty.
+  struct Chain {
+    ListHook* first = nullptr;
+    ListHook* last = nullptr;
+    std::size_t count = 0;
+  };
+
+  Chain take_all() noexcept {
+    if (empty()) {
+      return {};
+    }
+    Chain chain{head_.next, head_.prev, size_};
+    chain.first->prev = nullptr;
+    chain.last->next = nullptr;
+    reset();
+    return chain;
+  }
+
+  /// Sentinel node, exposed so 𝒫²𝒮ℳ can use "position -1" (insert at
+  /// front) as an anchor like any other node.
+  [[nodiscard]] ListHook* sentinel() noexcept { return &head_; }
+
+  static T* from_hook(ListHook* hook) noexcept {
+    // Standard intrusive-container offset arithmetic; the hook is a
+    // plain-old member subobject of T.
+    auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(hook) - offset);
+  }
+
+  /// Adjusts size after an external splice performed directly on hooks
+  /// (the parallel merge path bypasses the container interface).
+  void add_size(std::size_t delta) noexcept { size_ += delta; }
+
+ private:
+  static ListHook* hook_of(T& item) noexcept { return &(item.*Hook); }
+
+  void insert_after_hook(ListHook* where, ListHook* node) noexcept {
+    assert(!node->is_linked());
+    node->prev = where;
+    node->next = where->next;
+    where->next->prev = node;
+    where->next = node;
+    ++size_;
+  }
+
+  void reset() noexcept {
+    head_.prev = &head_;
+    head_.next = &head_;
+    size_ = 0;
+  }
+
+  ListHook head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace horse::util

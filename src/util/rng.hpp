@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the reproduction (trace arrival times,
+// function durations, credit jitter) draws from an explicitly seeded
+// xoshiro256** stream so experiments are bit-reproducible across runs;
+// std::mt19937 is avoided on hot paths because of its state size.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace horse::util {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain reference algorithm.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed0fULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.next();
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) {
+      return 0;
+    }
+    unsigned __int128 mul = static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(mul >> 64);
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept {
+    double u = uniform01();
+    // Guard against log(0); uniform01() < 1 always but can be 0.
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -std::log(u) / rate;
+  }
+
+  /// Bounded Pareto on [lo, hi] with tail index alpha; heavy-tailed
+  /// function durations in the synthetic Azure trace use this.
+  double bounded_pareto(double alpha, double lo, double hi) noexcept {
+    const double u = uniform01();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  /// Normal via Box-Muller (no cached spare: callers are not perf-critical).
+  double normal(double mean, double stddev) noexcept {
+    double u1 = uniform01();
+    if (u1 <= 0.0) {
+      u1 = 0x1.0p-53;
+    }
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace horse::util

@@ -1,0 +1,110 @@
+// Lightweight status / expected types for exception-free hot paths.
+//
+// The resume path is the measured artifact; throwing (or even having
+// unwinding tables exercised) there would perturb it. Library operations
+// that can fail return Status or Expected<T>; exceptions are reserved for
+// construction-time configuration errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace horse::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,  // e.g. resuming a sandbox that is not paused
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_report() const {
+    std::string out{to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  explicit operator bool() const noexcept { return is_ok(); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Minimal expected<T, Status>. std::expected is C++23; this covers the
+/// subset the codebase needs.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Expected(Status status) : storage_(std::in_place_index<1>, std::move(status)) {  // NOLINT
+    assert(!std::get<1>(storage_).is_ok() && "Expected error must not be OK");
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & noexcept {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  const T& value() const& noexcept {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && noexcept {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  T* operator->() noexcept { return &value(); }
+  const T* operator->() const noexcept { return &value(); }
+  T& operator*() noexcept { return value(); }
+  const T& operator*() const noexcept { return value(); }
+
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status ok_status{};
+    return has_value() ? ok_status : std::get<1>(storage_);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace horse::util

@@ -1,0 +1,163 @@
+#include "vmm/api.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace horse::vmm {
+
+ApiServer::~ApiServer() {
+  for (auto& [id, sandbox] : sandboxes_) {
+    if (sandbox->state() != SandboxState::kDestroyed) {
+      (void)engine_.destroy(*sandbox);
+    }
+  }
+}
+
+util::Expected<ApiServer::ParsedCommand> ApiServer::parse(
+    std::string_view line) {
+  ParsedCommand command;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  if (!(stream >> command.verb)) {
+    return util::Status{util::StatusCode::kInvalidArgument,
+                        "api: empty command"};
+  }
+  while (stream >> token) {
+    if (token == "ull") {
+      command.ull = true;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      return util::Status{util::StatusCode::kInvalidArgument,
+                          "api: malformed argument '" + token + "'"};
+    }
+    command.args[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return command;
+}
+
+util::Expected<std::uint32_t> ApiServer::required_u32(
+    const ParsedCommand& command, std::string_view key) const {
+  const auto it = command.args.find(key);
+  if (it == command.args.end()) {
+    return util::Status{util::StatusCode::kInvalidArgument,
+                        "api: missing argument '" + std::string(key) + "'"};
+  }
+  std::uint32_t value = 0;
+  const char* begin = it->second.data();
+  const char* end = begin + it->second.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc{} || result.ptr != end) {
+    return util::Status{util::StatusCode::kInvalidArgument,
+                        "api: argument '" + std::string(key) +
+                            "' is not an unsigned integer"};
+  }
+  return value;
+}
+
+Sandbox* ApiServer::find(sched::SandboxId id) {
+  const auto it = sandboxes_.find(id);
+  return it == sandboxes_.end() ? nullptr : it->second.get();
+}
+
+ApiResponse ApiServer::handle(std::string_view command_line) {
+  ApiResponse response;
+  auto parsed = parse(command_line);
+  if (!parsed) {
+    response.status = parsed.status();
+    return response;
+  }
+  const ParsedCommand& command = *parsed;
+
+  if (command.verb == "list") {
+    std::string body;
+    for (const auto& [id, sandbox] : sandboxes_) {
+      body += std::to_string(id) + ":" +
+              std::string(to_string(sandbox->state())) + " ";
+    }
+    response.body = body.empty() ? "(none)" : body;
+    return response;
+  }
+
+  if (command.verb == "create") {
+    const auto id = required_u32(command, "id");
+    const auto vcpus = required_u32(command, "vcpus");
+    const auto memory = required_u32(command, "memory_mb");
+    if (!id || !vcpus || !memory) {
+      response.status = !id ? id.status()
+                            : (!vcpus ? vcpus.status() : memory.status());
+      return response;
+    }
+    if (sandboxes_.contains(*id)) {
+      response.status = {util::StatusCode::kAlreadyExists,
+                         "api: sandbox id already in use"};
+      return response;
+    }
+    SandboxConfig config;
+    config.name = "api-" + std::to_string(*id);
+    config.num_vcpus = *vcpus;
+    config.memory_mb = *memory;
+    config.ull = command.ull;
+    try {
+      sandboxes_.emplace(*id, std::make_unique<Sandbox>(*id, config));
+    } catch (const std::invalid_argument& error) {
+      response.status = {util::StatusCode::kInvalidArgument, error.what()};
+      return response;
+    }
+    response.body = "created " + std::to_string(*id);
+    return response;
+  }
+
+  // All remaining verbs operate on an existing sandbox.
+  const auto id = required_u32(command, "id");
+  if (!id) {
+    response.status = id.status();
+    return response;
+  }
+  Sandbox* sandbox = find(*id);
+  if (sandbox == nullptr) {
+    response.status = {util::StatusCode::kNotFound,
+                       "api: no sandbox " + std::to_string(*id)};
+    return response;
+  }
+
+  if (command.verb == "start") {
+    response.status = engine_.start(*sandbox);
+  } else if (command.verb == "pause") {
+    response.status = engine_.pause(*sandbox);
+  } else if (command.verb == "resume") {
+    ResumeBreakdown breakdown;
+    response.status = engine_.resume(*sandbox, &breakdown);
+    if (response.ok()) {
+      response.body = "resumed in " + std::to_string(breakdown.total()) + " ns";
+      return response;
+    }
+  } else if (command.verb == "hotplug") {
+    response.status = engine_.hotplug_vcpu(*sandbox);
+  } else if (command.verb == "unplug") {
+    response.status = engine_.unplug_vcpu(*sandbox);
+  } else if (command.verb == "destroy") {
+    response.status = engine_.destroy(*sandbox);
+    if (response.ok()) {
+      sandboxes_.erase(*id);
+      response.body = "destroyed";
+      return response;
+    }
+  } else if (command.verb == "state") {
+    response.body = std::string(to_string(sandbox->state())) + " vcpus=" +
+                    std::to_string(sandbox->num_vcpus());
+    return response;
+  } else {
+    response.status = {util::StatusCode::kInvalidArgument,
+                       "api: unknown command '" + command.verb + "'"};
+    return response;
+  }
+
+  if (response.ok() && response.body.empty()) {
+    response.body = command.verb + " ok";
+  }
+  return response;
+}
+
+}  // namespace horse::vmm

@@ -1,0 +1,76 @@
+// Control-plane API for the VMM — the textual command surface a
+// Firecracker-style process exposes (PUT /actions, PUT /snapshot/create,
+// ...), reduced to a line protocol:
+//
+//   create  id=<n> vcpus=<n> memory_mb=<n> [ull]
+//   start   id=<n>
+//   pause   id=<n>
+//   resume  id=<n>
+//   hotplug id=<n>
+//   unplug  id=<n>
+//   destroy id=<n>
+//   state   id=<n>
+//   list
+//
+// This is the layer where the paper's resume step ① ("the input
+// parameters associated with the resume command are parsed and passed to
+// the virtualization system if the parameters are correctly parsed")
+// actually lives: ApiServer owns the sandboxes, parses and validates the
+// command, and dispatches to a ResumeEngine. Examples use it as a REPL;
+// tests drive every command and malformed variant.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+#include "vmm/resume_engine.hpp"
+#include "vmm/sandbox.hpp"
+
+namespace horse::vmm {
+
+struct ApiResponse {
+  util::Status status;
+  std::string body;  // human-readable result on success
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+};
+
+class ApiServer {
+ public:
+  /// The engine defines which resume path commands take (vanilla or
+  /// HORSE); the server owns the sandboxes it creates.
+  explicit ApiServer(ResumeEngine& engine) : engine_(engine) {}
+
+  ApiServer(const ApiServer&) = delete;
+  ApiServer& operator=(const ApiServer&) = delete;
+
+  ~ApiServer();
+
+  /// Parse and execute one command line.
+  ApiResponse handle(std::string_view command_line);
+
+  [[nodiscard]] std::size_t sandbox_count() const noexcept {
+    return sandboxes_.size();
+  }
+  [[nodiscard]] Sandbox* find(sched::SandboxId id);
+
+ private:
+  struct ParsedCommand {
+    std::string verb;
+    std::map<std::string, std::string, std::less<>> args;
+    bool ull = false;
+  };
+
+  [[nodiscard]] static util::Expected<ParsedCommand> parse(
+      std::string_view line);
+  [[nodiscard]] util::Expected<std::uint32_t> required_u32(
+      const ParsedCommand& command, std::string_view key) const;
+
+  ResumeEngine& engine_;
+  std::map<sched::SandboxId, std::unique_ptr<Sandbox>> sandboxes_;
+};
+
+}  // namespace horse::vmm

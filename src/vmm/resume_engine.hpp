@@ -1,0 +1,147 @@
+// The vanilla pause/resume path of the virtualization system, instrumented
+// step by step exactly as §3.1 of the paper decomposes it:
+//
+//   ① parse the resume command's input parameters
+//   ② acquire the global lock that serialises concurrent resumes
+//   ③ sanity checks (target sandbox is actually paused, ...)
+//   ④ for each vCPU: find a run queue and sorted-merge the vCPU into it
+//   ⑤ for each inserted vCPU: update the run queue's lock-protected load
+//   ⑥ release the lock, flip the sandbox to running
+//
+// Steps ④ and ⑤ run for real on the scheduler substrate and are timed
+// with the monotonic clock; the control-plane costs a user-space
+// reproduction cannot execute (KVM ioctls / XenStore ops) are added
+// arithmetically from the VmmProfile and attributed to the step they
+// belong to, so breakdown percentages remain comparable to Figure 2.
+//
+// HorseResumeEngine (core/horse_resume.hpp) derives from this class and
+// replaces steps ④/⑤ with 𝒫²𝒮ℳ and the coalesced load update.
+#pragma once
+
+#include <cstdint>
+
+#include <memory>
+
+#include "sched/credit2.hpp"
+#include "sched/topology.hpp"
+#include "util/spinlock.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+#include "vmm/profile.hpp"
+#include "vmm/sandbox.hpp"
+#include "vmm/xenstore.hpp"
+
+namespace horse::vmm {
+
+/// Per-step timing of one resume call, in nanoseconds. Field names follow
+/// the paper's circled step numbers.
+struct ResumeBreakdown {
+  util::Nanos parse = 0;        // ① (includes modelled control-plane cost)
+  util::Nanos lock = 0;         // ②
+  util::Nanos sanity = 0;       // ③
+  util::Nanos merge = 0;        // ④ (includes modelled per-vCPU tax)
+  util::Nanos load_update = 0;  // ⑤
+  util::Nanos finalize = 0;     // ⑥
+
+  [[nodiscard]] util::Nanos total() const noexcept {
+    return parse + lock + sanity + merge + load_update + finalize;
+  }
+
+  /// Share of the resume spent in the two contested steps (④+⑤); the
+  /// paper measures 87.5%-93.1% for the vanilla path.
+  [[nodiscard]] double contested_fraction() const noexcept {
+    const util::Nanos t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(merge + load_update) /
+                        static_cast<double>(t);
+  }
+};
+
+class ResumeEngine {
+ public:
+  ResumeEngine(sched::CpuTopology& topology, VmmProfile profile);
+  virtual ~ResumeEngine() = default;
+
+  ResumeEngine(const ResumeEngine&) = delete;
+  ResumeEngine& operator=(const ResumeEngine&) = delete;
+
+  [[nodiscard]] const VmmProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] sched::CpuTopology& topology() noexcept { return topology_; }
+
+  /// The control-plane store. Non-null only for the Xen flavour, whose
+  /// lifecycle operations really read/write it (LightVM-style in-memory
+  /// XenStore); Firecracker/KVM has no equivalent and models the ioctl
+  /// cost instead.
+  [[nodiscard]] XenStore* xenstore() noexcept { return xenstore_.get(); }
+
+  // Thread-safety: start/pause/resume/destroy serialize on the engine's
+  // global lock (the paper's step-② lock, which in the real hypervisor
+  // also guards the other domain lifecycle operations). Different
+  // sandboxes may be driven from different threads. Direct access to the
+  // topology or (in the HORSE engine) the ull manager is instrumentation
+  // and must be externally synchronised.
+
+  /// Place a created sandbox's vCPUs onto run queues and mark it running.
+  /// (Boot-time scheduling; not part of the measured resume path.)
+  util::Status start(Sandbox& sandbox);
+
+  /// Remove the sandbox's vCPUs from their run queues and park them,
+  /// credit-sorted, on the sandbox's merge_vcpus list.
+  util::Status pause(Sandbox& sandbox);
+
+  /// The six-step resume. On success the sandbox is running and all its
+  /// vCPUs are linked into run queues. `breakdown`, when non-null,
+  /// receives per-step timings.
+  virtual util::Status resume(Sandbox& sandbox,
+                              ResumeBreakdown* breakdown = nullptr);
+
+  /// Fully tear down a sandbox (dequeue any runnable vCPUs).
+  util::Status destroy(Sandbox& sandbox);
+
+  /// Hot-plug one vCPU into a *paused* sandbox; it joins merge_vcpus at
+  /// its credit-sorted position (credit 0 for a fresh vCPU). Derived
+  /// engines also repair their fast-path state.
+  util::Status hotplug_vcpu(Sandbox& sandbox);
+
+  /// Hot-unplug the highest-numbered vCPU of a paused sandbox.
+  util::Status unplug_vcpu(Sandbox& sandbox);
+
+ protected:
+  /// Pause body; runs with the engine lock held. Derived engines override
+  /// this (NOT pause()) to add pause-time work.
+  virtual util::Status pause_locked(Sandbox& sandbox);
+
+  /// Hotplug bodies; run with the engine lock held.
+  virtual util::Status hotplug_vcpu_locked(Sandbox& sandbox);
+  virtual util::Status unplug_vcpu_locked(Sandbox& sandbox);
+
+  /// Vanilla per-vCPU placement: least-loaded general queue.
+  [[nodiscard]] virtual sched::CpuId select_cpu(const sched::Vcpu& vcpu);
+
+  /// Step ① as real work: format-then-parse a resume command string and
+  /// validate the sandbox id round-trips.
+  [[nodiscard]] bool parse_resume_command(const Sandbox& sandbox) const;
+
+  /// Record the sandbox's lifecycle state in the control-plane store
+  /// (no-op for flavours without one).
+  void record_state(const Sandbox& sandbox, std::string_view state);
+
+  /// Control-plane state check used by the resume sanity step; true when
+  /// no store exists (nothing to contradict the in-memory state machine).
+  [[nodiscard]] bool control_plane_agrees(const Sandbox& sandbox,
+                                          std::string_view state) const;
+
+  /// Shared by derived classes: run steps ①-③, return false (and fill the
+  /// status) if a sanity check fails.
+  util::Status run_prologue(Sandbox& sandbox, ResumeBreakdown& breakdown);
+
+  /// Step ⑥ for derived classes.
+  void run_epilogue(Sandbox& sandbox, ResumeBreakdown& breakdown);
+
+  sched::CpuTopology& topology_;
+  VmmProfile profile_;
+  util::Spinlock resume_lock_;  // step ②: one resume at a time
+  std::unique_ptr<XenStore> xenstore_;
+};
+
+}  // namespace horse::vmm

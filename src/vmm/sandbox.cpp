@@ -1,0 +1,61 @@
+#include "vmm/sandbox.hpp"
+
+#include <stdexcept>
+
+namespace horse::vmm {
+
+Sandbox::Sandbox(sched::SandboxId id, SandboxConfig config)
+    : id_(id), config_(std::move(config)) {
+  if (config_.num_vcpus == 0) {
+    throw std::invalid_argument("Sandbox: num_vcpus must be >= 1");
+  }
+  if (config_.memory_mb == 0) {
+    throw std::invalid_argument("Sandbox: memory_mb must be >= 1");
+  }
+  vcpus_.reserve(config_.num_vcpus);
+  for (std::uint32_t i = 0; i < config_.num_vcpus; ++i) {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->id = i;
+    vcpu->sandbox = id_;
+    vcpus_.push_back(std::move(vcpu));
+  }
+  const std::size_t image_bytes =
+      static_cast<std::size_t>(config_.memory_mb) * 1024 * 1024 /
+      kMemoryScaleDenominator;
+  guest_memory_.resize(image_bytes);
+}
+
+util::Expected<sched::Vcpu*> Sandbox::add_vcpu() {
+  if (state_ != SandboxState::kPaused) {
+    return util::Status{util::StatusCode::kFailedPrecondition,
+                        "hotplug: sandbox must be paused"};
+  }
+  auto vcpu = std::make_unique<sched::Vcpu>();
+  vcpu->id = static_cast<sched::VcpuId>(vcpus_.size());
+  vcpu->sandbox = id_;
+  vcpu->state = sched::VcpuState::kPaused;
+  sched::Vcpu* raw = vcpu.get();
+  vcpus_.push_back(std::move(vcpu));
+  config_.num_vcpus = num_vcpus();
+  return raw;
+}
+
+util::Status Sandbox::remove_last_vcpu() {
+  if (state_ != SandboxState::kPaused) {
+    return {util::StatusCode::kFailedPrecondition,
+            "unplug: sandbox must be paused"};
+  }
+  if (vcpus_.size() <= 1) {
+    return {util::StatusCode::kFailedPrecondition,
+            "unplug: at least one vCPU must remain"};
+  }
+  if (vcpus_.back()->hook.is_linked()) {
+    return {util::StatusCode::kFailedPrecondition,
+            "unplug: vCPU still linked (caller must unlink first)"};
+  }
+  vcpus_.pop_back();
+  config_.num_vcpus = num_vcpus();
+  return util::Status::ok();
+}
+
+}  // namespace horse::vmm

@@ -1,0 +1,185 @@
+#include "vmm/xenstore.hpp"
+
+#include <algorithm>
+
+namespace horse::vmm {
+
+namespace {
+
+bool valid_path(const std::string& path) {
+  return !path.empty() && path.front() == '/' &&
+         (path.size() == 1 || path.back() != '/');
+}
+
+}  // namespace
+
+bool XenStore::is_prefix_of(const std::string& dir, const std::string& path) {
+  if (path.size() <= dir.size() || path.compare(0, dir.size(), dir) != 0) {
+    return dir == path;
+  }
+  return path[dir.size()] == '/';
+}
+
+util::Status XenStore::write(const std::string& path, const std::string& value) {
+  if (!valid_path(path)) {
+    return {util::StatusCode::kInvalidArgument, "xenstore: bad path " + path};
+  }
+  util::LockGuard guard(lock_);
+  Node& node = nodes_[path];
+  node.value = value;
+  node.version = ++commit_counter_;
+  return util::Status::ok();
+}
+
+util::Expected<std::string> XenStore::read(const std::string& path) const {
+  util::LockGuard guard(lock_);
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "xenstore: no node " + path};
+  }
+  return it->second.value;
+}
+
+util::Status XenStore::remove(const std::string& path) {
+  if (!valid_path(path)) {
+    return {util::StatusCode::kInvalidArgument, "xenstore: bad path " + path};
+  }
+  util::LockGuard guard(lock_);
+  bool removed = false;
+  auto it = nodes_.lower_bound(path);
+  while (it != nodes_.end() && is_prefix_of(path, it->first)) {
+    it = nodes_.erase(it);
+    removed = true;
+  }
+  if (!removed) {
+    return {util::StatusCode::kNotFound, "xenstore: no node " + path};
+  }
+  ++commit_counter_;
+  return util::Status::ok();
+}
+
+std::vector<std::string> XenStore::list(const std::string& path) const {
+  util::LockGuard guard(lock_);
+  std::vector<std::string> children;
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    const std::string& key = it->first;
+    if (key.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    // First path segment below the directory.
+    const std::size_t end = key.find('/', prefix.size());
+    std::string child = key.substr(
+        prefix.size(),
+        end == std::string::npos ? std::string::npos : end - prefix.size());
+    if (children.empty() || children.back() != child) {
+      children.push_back(std::move(child));
+    }
+  }
+  return children;
+}
+
+bool XenStore::exists(const std::string& path) const {
+  util::LockGuard guard(lock_);
+  return nodes_.contains(path);
+}
+
+std::uint64_t XenStore::version_of(const std::string& path) const {
+  // Caller holds lock_.
+  const auto it = nodes_.find(path);
+  return it == nodes_.end() ? 0 : it->second.version;
+}
+
+XenStore::TxId XenStore::tx_begin() {
+  util::LockGuard guard(lock_);
+  const TxId id = next_tx_++;
+  transactions_[id].open = true;
+  return id;
+}
+
+util::Status XenStore::tx_write(TxId tx, const std::string& path,
+                                const std::string& value) {
+  if (!valid_path(path)) {
+    return {util::StatusCode::kInvalidArgument, "xenstore: bad path " + path};
+  }
+  util::LockGuard guard(lock_);
+  const auto it = transactions_.find(tx);
+  if (it == transactions_.end() || !it->second.open) {
+    return {util::StatusCode::kNotFound, "xenstore: no such transaction"};
+  }
+  // Record the version we based the write on, for conflict detection.
+  it->second.read_versions.try_emplace(path, version_of(path));
+  it->second.writes[path] = value;
+  return util::Status::ok();
+}
+
+util::Expected<std::string> XenStore::tx_read(TxId tx, const std::string& path) {
+  util::LockGuard guard(lock_);
+  const auto it = transactions_.find(tx);
+  if (it == transactions_.end() || !it->second.open) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "xenstore: no such transaction"};
+  }
+  // Reads see the transaction's own writes first.
+  const auto written = it->second.writes.find(path);
+  if (written != it->second.writes.end()) {
+    return written->second;
+  }
+  it->second.read_versions.try_emplace(path, version_of(path));
+  const auto node = nodes_.find(path);
+  if (node == nodes_.end()) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "xenstore: no node " + path};
+  }
+  return node->second.value;
+}
+
+util::Status XenStore::tx_commit(TxId tx) {
+  util::LockGuard guard(lock_);
+  const auto it = transactions_.find(tx);
+  if (it == transactions_.end() || !it->second.open) {
+    return {util::StatusCode::kNotFound, "xenstore: no such transaction"};
+  }
+  Transaction& transaction = it->second;
+  // Optimistic concurrency: every path this transaction observed must be
+  // unchanged, or the commit fails like XenStore's EAGAIN.
+  for (const auto& [path, version] : transaction.read_versions) {
+    if (version_of(path) != version) {
+      transactions_.erase(it);
+      return {util::StatusCode::kFailedPrecondition,
+              "xenstore: transaction conflict on " + path};
+    }
+  }
+  for (const auto& [path, value] : transaction.writes) {
+    Node& node = nodes_[path];
+    node.value = value;
+    node.version = ++commit_counter_;
+  }
+  transactions_.erase(it);
+  return util::Status::ok();
+}
+
+void XenStore::tx_abort(TxId tx) {
+  util::LockGuard guard(lock_);
+  transactions_.erase(tx);
+}
+
+std::uint64_t XenStore::change_count(const std::string& path) const {
+  util::LockGuard guard(lock_);
+  std::uint64_t newest = 0;
+  for (auto it = nodes_.lower_bound(path); it != nodes_.end(); ++it) {
+    if (!is_prefix_of(path, it->first)) {
+      break;
+    }
+    newest = std::max(newest, it->second.version);
+  }
+  return newest;
+}
+
+std::size_t XenStore::size() const {
+  util::LockGuard guard(lock_);
+  return nodes_.size();
+}
+
+}  // namespace horse::vmm

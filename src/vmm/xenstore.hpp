@@ -1,0 +1,101 @@
+// In-memory XenStore replacement (LightVM-style).
+//
+// Xen's control plane keeps per-domain configuration in XenStore, a
+// hierarchical key-value store consulted on every lifecycle operation —
+// including resume, where the toolstack reads the domain's state and
+// vCPU configuration. The stock XenStore is a userspace daemon reached
+// via a ring protocol; §3.2 of the paper follows LightVM ("we change the
+// XenStore to an in-memory shared space to reduce userspace costs").
+// This is that in-memory shared space: hierarchical paths, transactions
+// with optimistic concurrency (abort on conflicting commits), and watch
+// counters — the subset the resume path and its tests exercise.
+//
+// The Xen-profile resume path performs its step-① sanity reads against
+// this store, so the Xen flavour's higher control-plane cost is partly
+// *executed* rather than purely modelled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/spinlock.hpp"
+#include "util/status.hpp"
+
+namespace horse::vmm {
+
+class XenStore {
+ public:
+  using TxId = std::uint64_t;
+
+  XenStore() = default;
+  XenStore(const XenStore&) = delete;
+  XenStore& operator=(const XenStore&) = delete;
+
+  // --- direct (transaction-less) operations ------------------------------
+
+  /// Write a value; creates intermediate directories implicitly (paths
+  /// are `/`-separated, e.g. "/local/domain/7/state").
+  util::Status write(const std::string& path, const std::string& value);
+
+  [[nodiscard]] util::Expected<std::string> read(const std::string& path) const;
+
+  /// Remove a path and everything below it.
+  util::Status remove(const std::string& path);
+
+  /// Immediate children names of a directory path.
+  [[nodiscard]] std::vector<std::string> list(const std::string& path) const;
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  // --- transactions --------------------------------------------------------
+
+  /// Begin a transaction: reads/writes through it are isolated and
+  /// committed atomically. Commit fails (kFailedPrecondition, like
+  /// XenStore's EAGAIN) if any path read or written inside the
+  /// transaction was modified outside it since tx_begin.
+  [[nodiscard]] TxId tx_begin();
+  util::Status tx_write(TxId tx, const std::string& path,
+                        const std::string& value);
+  [[nodiscard]] util::Expected<std::string> tx_read(TxId tx,
+                                                    const std::string& path);
+  util::Status tx_commit(TxId tx);
+  void tx_abort(TxId tx);
+
+  // --- watches (simplified: per-path change counters) ---------------------
+
+  /// Number of committed changes at or below `path` since store creation.
+  [[nodiscard]] std::uint64_t change_count(const std::string& path) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  // --- domain-path conventions used by the resume path --------------------
+
+  [[nodiscard]] static std::string domain_path(std::uint32_t domid) {
+    return "/local/domain/" + std::to_string(domid);
+  }
+
+ private:
+  struct Node {
+    std::string value;
+    std::uint64_t version = 0;  // bumped on every committed write
+  };
+  struct Transaction {
+    bool open = false;
+    std::map<std::string, std::string> writes;
+    std::map<std::string, std::uint64_t> read_versions;
+  };
+
+  static bool is_prefix_of(const std::string& dir, const std::string& path);
+  [[nodiscard]] std::uint64_t version_of(const std::string& path) const;
+
+  mutable util::Spinlock lock_;
+  std::map<std::string, Node> nodes_;  // ordered: prefix scans for list()
+  std::map<TxId, Transaction> transactions_;
+  TxId next_tx_ = 1;
+  std::uint64_t commit_counter_ = 0;
+};
+
+}  // namespace horse::vmm

@@ -1,0 +1,33 @@
+#include "workloads/array_filter.hpp"
+
+#include "util/rng.hpp"
+
+namespace horse::workloads {
+
+Response ArrayFilterFunction::invoke(const Request& request) {
+  Response response;
+  response.indexes.reserve(request.payload.size() / 4);
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < request.payload.size(); ++i) {
+    if (request.payload[i] > request.threshold) {
+      response.indexes.push_back(static_cast<std::int32_t>(i));
+      checksum += i;
+    }
+  }
+  response.allowed = !response.indexes.empty();
+  response.checksum = checksum;
+  return response;
+}
+
+std::vector<std::int32_t> ArrayFilterFunction::default_payload(
+    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::int32_t> payload;
+  payload.reserve(kDefaultArraySize);
+  for (std::size_t i = 0; i < kDefaultArraySize; ++i) {
+    payload.push_back(static_cast<std::int32_t>(rng.bounded(1'000'000)));
+  }
+  return payload;
+}
+
+}  // namespace horse::workloads

@@ -1,0 +1,35 @@
+// Category-3 uLL workload (§2): "given an array composed of 3000 integers,
+// retrieve the indexes of all the elements in the array that are larger
+// than an integer parameter passed during the workload trigger" — the kind
+// of primitive used inside image-transformation pipelines. Hundreds of ns.
+#pragma once
+
+#include "workloads/function.hpp"
+
+namespace horse::workloads {
+
+class ArrayFilterFunction final : public Function {
+ public:
+  static constexpr std::size_t kDefaultArraySize = 3000;
+
+  ArrayFilterFunction() = default;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "array-index-filter";
+  }
+  [[nodiscard]] Category category() const noexcept override {
+    return Category::kCategory3;
+  }
+  [[nodiscard]] util::Nanos nominal_duration() const noexcept override {
+    return 700;  // 0.7 µs, Table 1 Category 3
+  }
+
+  Response invoke(const Request& request) override;
+
+  /// Deterministic default payload of 3000 integers for callers that do
+  /// not bring their own.
+  [[nodiscard]] static std::vector<std::int32_t> default_payload(
+      std::uint64_t seed = 17);
+};
+
+}  // namespace horse::workloads

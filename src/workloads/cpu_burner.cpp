@@ -1,0 +1,34 @@
+#include "workloads/cpu_burner.hpp"
+
+namespace horse::workloads {
+
+std::uint32_t CpuBurnerFunction::count_primes_below(std::uint32_t limit) {
+  // Trial division, exactly like sysbench's cpu test (it is intentionally
+  // naive — the point is deterministic CPU burn, not number theory).
+  std::uint32_t count = 0;
+  for (std::uint32_t candidate = 3; candidate < limit; candidate += 2) {
+    bool prime = true;
+    for (std::uint32_t div = 3; div * div <= candidate; div += 2) {
+      if (candidate % div == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) {
+      ++count;
+    }
+  }
+  return limit > 2 ? count + 1 : count;  // include 2
+}
+
+Response CpuBurnerFunction::invoke(const Request& request) {
+  const std::uint32_t limit = request.threshold > 0
+                                  ? static_cast<std::uint32_t>(request.threshold)
+                                  : prime_limit_;
+  Response response;
+  response.checksum = count_primes_below(limit);
+  response.allowed = true;
+  return response;
+}
+
+}  // namespace horse::workloads

@@ -1,0 +1,36 @@
+// Background CPU load (§5.2 runs "10 1-vCPU sandboxes each running a
+// CPU-intensive application with sysbench"). sysbench's classic CPU test
+// is a prime search; this is the same loop, bounded either by a prime
+// target or a time budget.
+#pragma once
+
+#include "workloads/function.hpp"
+
+namespace horse::workloads {
+
+class CpuBurnerFunction final : public Function {
+ public:
+  /// `prime_limit` bounds the search (sysbench's --cpu-max-prime).
+  explicit CpuBurnerFunction(std::uint32_t prime_limit = 20'000)
+      : prime_limit_(prime_limit) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cpu-burner";
+  }
+  [[nodiscard]] Category category() const noexcept override {
+    return Category::kBackground;
+  }
+  [[nodiscard]] util::Nanos nominal_duration() const noexcept override {
+    return 10 * util::kMillisecond;
+  }
+
+  /// request.threshold > 0 overrides the prime limit.
+  Response invoke(const Request& request) override;
+
+  [[nodiscard]] static std::uint32_t count_primes_below(std::uint32_t limit);
+
+ private:
+  std::uint32_t prime_limit_;
+};
+
+}  // namespace horse::workloads

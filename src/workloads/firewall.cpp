@@ -1,0 +1,126 @@
+#include "workloads/firewall.hpp"
+
+#include <charconv>
+
+#include "util/rng.hpp"
+
+namespace horse::workloads {
+
+namespace {
+
+bool parse_ipv4(std::string_view text, std::uint32_t& out) noexcept {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* cursor = text.data();
+  const char* end = text.data() + text.size();
+  while (octets < 4) {
+    std::uint32_t octet = 0;
+    const auto result = std::from_chars(cursor, end, octet);
+    if (result.ec != std::errc{} || octet > 255) {
+      return false;
+    }
+    value = (value << 8) | octet;
+    cursor = result.ptr;
+    ++octets;
+    if (octets < 4) {
+      if (cursor == end || *cursor != '.') {
+        return false;
+      }
+      ++cursor;
+    }
+  }
+  if (cursor != end) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+std::string_view field_after(std::string_view header,
+                             std::string_view key) noexcept {
+  const std::size_t pos = header.find(key);
+  if (pos == std::string_view::npos) {
+    return {};
+  }
+  const std::size_t start = pos + key.size();
+  std::size_t stop = header.find(' ', start);
+  if (stop == std::string_view::npos) {
+    stop = header.size();
+  }
+  return header.substr(start, stop - start);
+}
+
+}  // namespace
+
+PacketHeader parse_header(std::string_view header) noexcept {
+  PacketHeader out;
+  const std::string_view src = field_after(header, "src=");
+  const std::string_view dst = field_after(header, "dst=");
+  const std::string_view port = field_after(header, "port=");
+  const std::string_view proto = field_after(header, "proto=");
+  if (src.empty() || dst.empty() || port.empty() || proto.empty()) {
+    return out;
+  }
+  if (!parse_ipv4(src, out.src) || !parse_ipv4(dst, out.dst)) {
+    return out;
+  }
+  std::uint32_t port_value = 0;
+  const auto result =
+      std::from_chars(port.data(), port.data() + port.size(), port_value);
+  if (result.ec != std::errc{} || port_value > 65535) {
+    return out;
+  }
+  out.port = static_cast<std::uint16_t>(port_value);
+  if (proto == "tcp") {
+    out.proto = 6;
+  } else if (proto == "udp") {
+    out.proto = 17;
+  } else {
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+FirewallFunction::FirewallFunction(std::size_t num_rules, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  rules_.reserve(num_rules);
+  for (std::size_t i = 0; i < num_rules; ++i) {
+    FirewallRule rule;
+    rule.src_prefix = static_cast<std::uint32_t>(rng());
+    const unsigned prefix_len = 8 + static_cast<unsigned>(rng.bounded(17));
+    rule.src_mask = prefix_len == 0 ? 0 : ~0U << (32 - prefix_len);
+    rule.src_prefix &= rule.src_mask;
+    rule.dst_addr = static_cast<std::uint32_t>(rng());
+    rule.port_lo = static_cast<std::uint16_t>(rng.bounded(60000));
+    rule.port_hi = static_cast<std::uint16_t>(
+        rule.port_lo + static_cast<std::uint16_t>(rng.bounded(1024)));
+    rule.proto = rng.bounded(2) == 0 ? 6 : 17;
+    rules_.push_back(rule);
+  }
+}
+
+Response FirewallFunction::invoke(const Request& request) {
+  Response response;
+  const PacketHeader header = parse_header(request.header);
+  if (!header.valid) {
+    response.allowed = false;
+    return response;
+  }
+  // Linear rule scan — the "static allow list" query. First match wins.
+  std::uint64_t fingerprint = 0;
+  for (const FirewallRule& rule : rules_) {
+    fingerprint += rule.src_prefix;  // keeps the full scan observable
+    if (rule.proto == header.proto &&
+        (header.src & rule.src_mask) == rule.src_prefix &&
+        rule.dst_addr == header.dst && header.port >= rule.port_lo &&
+        header.port <= rule.port_hi) {
+      response.allowed = true;
+      break;
+    }
+  }
+  response.checksum = fingerprint ^ header.src ^ header.dst;
+  return response;
+}
+
+}  // namespace horse::workloads

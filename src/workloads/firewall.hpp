@@ -1,0 +1,69 @@
+// Category-1 uLL workload (§2): a stateless firewall that "takes a request
+// header as input and determines whether the request should go through by
+// querying a static allow list". A common NFV use case.
+//
+// The allow list is a set of (source prefix, destination, port, protocol)
+// rules; matching walks the rules for the parsed header's protocol class,
+// doing real byte comparisons — enough work to land in the paper's
+// <= 20 µs band on server-class hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "workloads/function.hpp"
+
+namespace horse::workloads {
+
+struct FirewallRule {
+  std::uint32_t src_prefix = 0;   // network byte-order prefix
+  std::uint32_t src_mask = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t port_lo = 0;
+  std::uint16_t port_hi = 0;
+  std::uint8_t proto = 0;  // 6 = tcp, 17 = udp
+};
+
+/// Parsed form of the textual request header.
+struct PacketHeader {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t port = 0;
+  std::uint8_t proto = 0;
+  bool valid = false;
+};
+
+/// Parse "src=a.b.c.d dst=a.b.c.d port=N proto=tcp|udp".
+[[nodiscard]] PacketHeader parse_header(std::string_view header) noexcept;
+
+class FirewallFunction final : public Function {
+ public:
+  /// `num_rules` controls the allow-list size (default sized for the
+  /// Category-1 execution band).
+  explicit FirewallFunction(std::size_t num_rules = 4096,
+                            std::uint64_t seed = 11);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "stateless-firewall";
+  }
+  [[nodiscard]] Category category() const noexcept override {
+    return Category::kCategory1;
+  }
+  [[nodiscard]] util::Nanos nominal_duration() const noexcept override {
+    return 17 * util::kMicrosecond;  // Table 1, Category 1
+  }
+
+  Response invoke(const Request& request) override;
+
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Install an explicit allow rule (tests use this for determinism).
+  void add_rule(const FirewallRule& rule) { rules_.push_back(rule); }
+
+ private:
+  std::vector<FirewallRule> rules_;
+};
+
+}  // namespace horse::workloads

@@ -1,0 +1,86 @@
+// Function interface: what the FaaS platform runs inside a sandbox.
+//
+// Each workload exists in two planes, matching the repository's split:
+//   * invoke() executes the real computation (a real allow-list lookup, a
+//     real header rewrite, ...) so micro-benchmarks time genuine work;
+//   * sample_service_time() draws a virtual-time duration for the
+//     discrete-event experiments, with distributions anchored at the
+//     paper's reported execution times (Table 1: 17 µs / 1.5 µs / 0.7 µs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::workloads {
+
+/// The paper's workload classes (§2) plus the colocation roles of §5.
+enum class Category : std::uint8_t {
+  kCategory1,    // uLL, <= 20 µs (stateless firewall)
+  kCategory2,    // uLL, <= 1.5 µs (NAT header rewrite)
+  kCategory3,    // uLL, hundreds of ns (array index filter)
+  kLongRunning,  // > 100 ms (thumbnail generation)
+  kBackground,   // CPU burner (sysbench stand-in)
+};
+
+[[nodiscard]] constexpr bool is_ull(Category category) noexcept {
+  return category == Category::kCategory1 || category == Category::kCategory2 ||
+         category == Category::kCategory3;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Category category) noexcept {
+  switch (category) {
+    case Category::kCategory1: return "category1";
+    case Category::kCategory2: return "category2";
+    case Category::kCategory3: return "category3";
+    case Category::kLongRunning: return "long-running";
+    case Category::kBackground: return "background";
+  }
+  return "unknown";
+}
+
+struct Request {
+  /// Textual request header, e.g. "src=10.2.3.4 dst=10.0.0.1 port=443
+  /// proto=tcp" (firewall and NAT input).
+  std::string header;
+  /// Integer payload (array-filter input).
+  std::vector<std::int32_t> payload;
+  std::int32_t threshold = 0;
+};
+
+struct Response {
+  bool allowed = false;
+  std::string rewritten_header;
+  std::vector<std::int32_t> indexes;
+  /// Work fingerprint so benchmark loops cannot be optimised away and
+  /// tests can assert determinism.
+  std::uint64_t checksum = 0;
+};
+
+class Function {
+ public:
+  virtual ~Function() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual Category category() const noexcept = 0;
+
+  /// Execute the real computation.
+  virtual Response invoke(const Request& request) = 0;
+
+  /// Nominal execution time (the paper's "Average Execution" row).
+  [[nodiscard]] virtual util::Nanos nominal_duration() const noexcept = 0;
+
+  /// Virtual-time service duration for the simulation plane. Default: a
+  /// ±15% uniform band around the nominal duration.
+  [[nodiscard]] virtual util::Nanos sample_service_time(util::Xoshiro256& rng) {
+    const double jitter = 0.85 + 0.3 * rng.uniform01();
+    return static_cast<util::Nanos>(
+        static_cast<double>(nominal_duration()) * jitter);
+  }
+};
+
+}  // namespace horse::workloads

@@ -1,0 +1,51 @@
+#include "workloads/kv_store.hpp"
+
+#include "util/rng.hpp"
+
+namespace horse::workloads {
+
+KvStoreFunction::KvStoreFunction(std::size_t num_keys, std::size_t value_size,
+                                 std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  store_.reserve(num_keys);
+  std::string value(value_size, 'x');
+  for (std::size_t i = 0; i < num_keys; ++i) {
+    for (auto& byte : value) {
+      byte = static_cast<char>('a' + rng.bounded(26));
+    }
+    store_.emplace(key_name(i), value);
+  }
+}
+
+Response KvStoreFunction::invoke(const Request& request) {
+  Response response;
+  const std::string& command = request.header;
+  if (command.rfind("GET ", 0) == 0) {
+    const std::string key = command.substr(4);
+    const auto it = store_.find(key);
+    if (it != store_.end()) {
+      response.allowed = true;
+      response.rewritten_header = it->second;
+      std::uint64_t checksum = 1469598103934665603ULL;
+      for (const char c : it->second) {
+        checksum = (checksum ^ static_cast<unsigned char>(c)) *
+                   1099511628211ULL;
+      }
+      response.checksum = checksum;
+    }
+    return response;
+  }
+  if (command.rfind("SET ", 0) == 0) {
+    const std::size_t space = command.find(' ', 4);
+    if (space == std::string::npos || space + 1 >= command.size()) {
+      return response;  // malformed SET
+    }
+    store_[command.substr(4, space - 4)] = command.substr(space + 1);
+    response.allowed = true;
+    response.checksum = store_.size();
+    return response;
+  }
+  return response;  // unknown command: allowed=false
+}
+
+}  // namespace horse::workloads

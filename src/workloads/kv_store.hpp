@@ -1,0 +1,51 @@
+// uLL workload: in-memory key-value GET over small objects.
+//
+// The paper's §1 lists "distributed in-memory key-value stores with small
+// objects" among the ultra-low-latency services (FaRM, NetCache, RDMA
+// KV). This function models the per-request server-side work: parse a
+// GET/SET command, hash-lookup or insert a small value. Execution lands
+// in the Category-2 band (~1 µs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "workloads/function.hpp"
+
+namespace horse::workloads {
+
+class KvStoreFunction final : public Function {
+ public:
+  /// Pre-populates `num_keys` entries of `value_size` bytes.
+  explicit KvStoreFunction(std::size_t num_keys = 10'000,
+                           std::size_t value_size = 64,
+                           std::uint64_t seed = 23);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "kv-store";
+  }
+  [[nodiscard]] Category category() const noexcept override {
+    return Category::kCategory2;
+  }
+  [[nodiscard]] util::Nanos nominal_duration() const noexcept override {
+    return 1'200;  // ~1.2 µs per op
+  }
+
+  /// request.header is the command: "GET <key>" or "SET <key> <value>".
+  /// GET: response.rewritten_header = value, allowed = hit.
+  /// SET: allowed = true, checksum = store size afterwards.
+  Response invoke(const Request& request) override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+  /// Key name used for the pre-populated entry #i (tests target these).
+  [[nodiscard]] static std::string key_name(std::size_t i) {
+    return "key-" + std::to_string(i);
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> store_;
+};
+
+}  // namespace horse::workloads

@@ -1,0 +1,37 @@
+#include "workloads/ml_inference.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace horse::workloads {
+
+MlInferenceFunction::MlInferenceFunction(std::size_t features,
+                                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  weights_.reserve(features);
+  for (std::size_t i = 0; i < features; ++i) {
+    weights_.push_back(rng.normal(0.0, 0.2));
+  }
+  bias_ = rng.normal(0.0, 0.1);
+}
+
+double MlInferenceFunction::score(
+    const std::vector<std::int32_t>& features) const {
+  double activation = bias_;
+  const std::size_t n = std::min(features.size(), weights_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    activation += weights_[i] * (static_cast<double>(features[i]) / 1e3);
+  }
+  return 1.0 / (1.0 + std::exp(-activation));
+}
+
+Response MlInferenceFunction::invoke(const Request& request) {
+  Response response;
+  const double probability = score(request.payload);
+  response.allowed = probability >= 0.5;
+  response.checksum = static_cast<std::uint64_t>(probability * 1e6);
+  return response;
+}
+
+}  // namespace horse::workloads

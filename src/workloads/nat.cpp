@@ -1,0 +1,52 @@
+#include "workloads/nat.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace horse::workloads {
+
+NatFunction::NatFunction(std::size_t num_rules, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  rules_.reserve(num_rules);
+  for (std::size_t i = 0; i < num_rules; ++i) {
+    const auto dst = static_cast<std::uint32_t>(rng());
+    const auto port = static_cast<std::uint16_t>(rng.bounded(65536));
+    NatRule rule;
+    rule.new_dst = static_cast<std::uint32_t>(rng());
+    rule.new_port = static_cast<std::uint16_t>(rng.bounded(65536));
+    rules_.emplace(key_of(dst, port), rule);
+  }
+}
+
+void NatFunction::add_rule(std::uint32_t dst, std::uint16_t port, NatRule rule) {
+  rules_[key_of(dst, port)] = rule;
+}
+
+Response NatFunction::invoke(const Request& request) {
+  Response response;
+  const PacketHeader header = parse_header(request.header);
+  if (!header.valid) {
+    return response;
+  }
+  const auto it = rules_.find(key_of(header.dst, header.port));
+  std::uint32_t dst = header.dst;
+  std::uint16_t port = header.port;
+  if (it != rules_.end()) {
+    dst = it->second.new_dst;
+    port = it->second.new_port;
+    response.allowed = true;  // translated
+  }
+  char rewritten[96];
+  std::snprintf(rewritten, sizeof rewritten,
+                "src=%u.%u.%u.%u dst=%u.%u.%u.%u port=%u proto=%s",
+                header.src >> 24, (header.src >> 16) & 0xff,
+                (header.src >> 8) & 0xff, header.src & 0xff, dst >> 24,
+                (dst >> 16) & 0xff, (dst >> 8) & 0xff, dst & 0xff, port,
+                header.proto == 6 ? "tcp" : "udp");
+  response.rewritten_header = rewritten;
+  response.checksum = (static_cast<std::uint64_t>(dst) << 16) ^ port;
+  return response;
+}
+
+}  // namespace horse::workloads

@@ -1,0 +1,47 @@
+// Category-2 uLL workload (§2): a NAT that "changes a request header based
+// on pre-registered routing rules" — the second NFV use case. A hash
+// lookup on (dst, port) followed by an in-place header rewrite; ~1.5 µs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "workloads/firewall.hpp"  // PacketHeader / parse_header
+#include "workloads/function.hpp"
+
+namespace horse::workloads {
+
+struct NatRule {
+  std::uint32_t new_dst = 0;
+  std::uint16_t new_port = 0;
+};
+
+class NatFunction final : public Function {
+ public:
+  explicit NatFunction(std::size_t num_rules = 1024, std::uint64_t seed = 13);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "nat-rewrite";
+  }
+  [[nodiscard]] Category category() const noexcept override {
+    return Category::kCategory2;
+  }
+  [[nodiscard]] util::Nanos nominal_duration() const noexcept override {
+    return 1'500;  // 1.5 µs, Table 1 Category 2
+  }
+
+  Response invoke(const Request& request) override;
+
+  void add_rule(std::uint32_t dst, std::uint16_t port, NatRule rule);
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  static std::uint64_t key_of(std::uint32_t dst, std::uint16_t port) noexcept {
+    return (static_cast<std::uint64_t>(dst) << 16) | port;
+  }
+
+  std::unordered_map<std::uint64_t, NatRule> rules_;
+};
+
+}  // namespace horse::workloads

@@ -1,0 +1,88 @@
+#include "workloads/thumbnail.hpp"
+
+#include "util/rng.hpp"
+
+namespace horse::workloads {
+
+Image Image::synthetic(std::uint32_t width, std::uint32_t height,
+                       std::uint64_t seed) {
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.rgb.resize(static_cast<std::size_t>(width) * height * 3);
+  util::Xoshiro256 rng(seed);
+  // Smooth gradient + noise: compressible structure like a photo, not
+  // uniform bytes.
+  std::size_t i = 0;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      image.rgb[i++] = static_cast<std::uint8_t>((x * 255) / width);
+      image.rgb[i++] = static_cast<std::uint8_t>((y * 255) / height);
+      image.rgb[i++] = static_cast<std::uint8_t>(rng.bounded(256));
+    }
+  }
+  return image;
+}
+
+Image downscale(const Image& source, std::uint32_t factor) {
+  Image out;
+  if (factor == 0 || source.width < factor || source.height < factor) {
+    return out;
+  }
+  out.width = source.width / factor;
+  out.height = source.height / factor;
+  out.rgb.resize(static_cast<std::size_t>(out.width) * out.height * 3);
+  for (std::uint32_t oy = 0; oy < out.height; ++oy) {
+    for (std::uint32_t ox = 0; ox < out.width; ++ox) {
+      std::uint32_t acc[3] = {0, 0, 0};
+      for (std::uint32_t dy = 0; dy < factor; ++dy) {
+        const std::uint32_t sy = oy * factor + dy;
+        const std::size_t row =
+            (static_cast<std::size_t>(sy) * source.width + ox * factor) * 3;
+        for (std::uint32_t dx = 0; dx < factor; ++dx) {
+          acc[0] += source.rgb[row + dx * 3];
+          acc[1] += source.rgb[row + dx * 3 + 1];
+          acc[2] += source.rgb[row + dx * 3 + 2];
+        }
+      }
+      const std::uint32_t area = factor * factor;
+      const std::size_t at =
+          (static_cast<std::size_t>(oy) * out.width + ox) * 3;
+      out.rgb[at] = static_cast<std::uint8_t>(acc[0] / area);
+      out.rgb[at + 1] = static_cast<std::uint8_t>(acc[1] / area);
+      out.rgb[at + 2] = static_cast<std::uint8_t>(acc[2] / area);
+    }
+  }
+  return out;
+}
+
+ThumbnailFunction::ThumbnailFunction(std::uint32_t source_dim,
+                                     std::uint32_t thumb_factor,
+                                     std::uint64_t seed)
+    : factor_(thumb_factor), durations_({}, seed) {
+  // A few distinct "S3 objects".
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    sources_.push_back(Image::synthetic(source_dim, source_dim, seed + i));
+  }
+}
+
+Response ThumbnailFunction::invoke(const Request& request) {
+  Response response;
+  const auto& source =
+      sources_[static_cast<std::size_t>(request.threshold) % sources_.size()];
+  last_ = downscale(source, factor_);
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : last_.rgb) {
+    checksum = (checksum ^ byte) * 0x100000001b3ULL;
+  }
+  response.checksum = checksum;
+  response.allowed = !last_.rgb.empty();
+  return response;
+}
+
+util::Nanos ThumbnailFunction::sample_service_time(util::Xoshiro256& rng) {
+  (void)rng;  // the sampler owns its deterministic stream
+  return durations_.sample();
+}
+
+}  // namespace horse::workloads

@@ -1,0 +1,66 @@
+// Longer-running workload for the §5.4 colocation study: the SEBS
+// thumbnail generator ("generates thumbnails from images stored on an
+// Amazon S3 bucket").
+//
+// Substitution: no S3 exists here, so the object fetch is a modelled I/O
+// delay while the thumbnail computation itself is real — a box-filter
+// downscale over an in-memory RGB image. The simulation plane samples
+// service times from a heavy-tailed distribution (lognormal body around
+// ~200 ms), matching the premise that "a non-negligible fraction of
+// serverless functions has an execution time longer than 1 s".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/synthetic.hpp"
+#include "workloads/function.hpp"
+
+namespace horse::workloads {
+
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> rgb;  // 3 bytes per pixel, row-major
+
+  [[nodiscard]] static Image synthetic(std::uint32_t width,
+                                       std::uint32_t height,
+                                       std::uint64_t seed);
+};
+
+/// Box-filter downscale by integer factor; the real computation.
+[[nodiscard]] Image downscale(const Image& source, std::uint32_t factor);
+
+class ThumbnailFunction final : public Function {
+ public:
+  explicit ThumbnailFunction(std::uint32_t source_dim = 256,
+                             std::uint32_t thumb_factor = 8,
+                             std::uint64_t seed = 19);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "thumbnail-generator";
+  }
+  [[nodiscard]] Category category() const noexcept override {
+    return Category::kLongRunning;
+  }
+  [[nodiscard]] util::Nanos nominal_duration() const noexcept override {
+    return 200 * util::kMillisecond;
+  }
+
+  /// Real plane: downscale the stored source image; `request.threshold`
+  /// selects among pre-generated source images (like distinct S3 keys).
+  Response invoke(const Request& request) override;
+
+  /// Simulation plane: heavy-tailed service time (shared sampler).
+  [[nodiscard]] util::Nanos sample_service_time(util::Xoshiro256& rng) override;
+
+  [[nodiscard]] const Image& last_thumbnail() const noexcept { return last_; }
+
+ private:
+  std::vector<Image> sources_;
+  std::uint32_t factor_;
+  Image last_;
+  trace::DurationSampler durations_;
+};
+
+}  // namespace horse::workloads

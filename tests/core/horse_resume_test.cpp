@@ -1,0 +1,238 @@
+#include "core/horse_resume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace horse::core {
+namespace {
+
+class HorseResumeTest : public ::testing::Test {
+ protected:
+  HorseResumeTest()
+      : topology_(8),
+        engine_(topology_, vmm::VmmProfile::firecracker(), HorseConfig{},
+                HorseFeatures::all()) {}
+
+  std::unique_ptr<vmm::Sandbox> make_sandbox(std::uint32_t vcpus, bool ull) {
+    vmm::SandboxConfig config;
+    config.name = ull ? "ull-fn" : "plain-fn";
+    config.num_vcpus = vcpus;
+    config.memory_mb = 1;
+    config.ull = ull;
+    return std::make_unique<vmm::Sandbox>(next_id_++, config);
+  }
+
+  std::size_t queued_on(sched::CpuId cpu) { return topology_.queue(cpu).size(); }
+
+  sched::CpuTopology topology_;
+  HorseResumeEngine engine_;
+  sched::SandboxId next_id_ = 1;
+};
+
+TEST_F(HorseResumeTest, ReservesUllQueue) {
+  EXPECT_TRUE(topology_.is_reserved(7));
+  EXPECT_FALSE(topology_.is_reserved(0));
+}
+
+TEST_F(HorseResumeTest, PauseInstallsFastPathState) {
+  auto sandbox = make_sandbox(4, true);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  EXPECT_TRUE(sandbox->coalesce().valid);
+  EXPECT_NE(engine_.ull_manager().index_of(sandbox->id()), nullptr);
+  const auto cpu = engine_.ull_manager().assignment(sandbox->id());
+  ASSERT_TRUE(cpu.has_value());
+  EXPECT_EQ(*cpu, 7u);
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, NonUllSandboxSkipsFastPath) {
+  auto sandbox = make_sandbox(2, false);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  EXPECT_FALSE(sandbox->coalesce().valid);
+  EXPECT_EQ(engine_.ull_manager().index_of(sandbox->id()), nullptr);
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  // Resumed onto general queues, never the reserved one.
+  EXPECT_EQ(queued_on(7), 0u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, ResumePlacesAllVcpusOnUllQueue) {
+  auto sandbox = make_sandbox(6, true);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  vmm::ResumeBreakdown breakdown;
+  ASSERT_TRUE(engine_.resume(*sandbox, &breakdown).is_ok());
+  EXPECT_EQ(sandbox->state(), vmm::SandboxState::kRunning);
+  EXPECT_EQ(queued_on(7), 6u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  EXPECT_EQ(sandbox->merge_vcpus().size(), 0u);
+  for (const auto& vcpu : sandbox->vcpus()) {
+    EXPECT_EQ(vcpu->state, sched::VcpuState::kRunnable);
+    EXPECT_EQ(vcpu->last_cpu, 7u);
+  }
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, ResumeConsumesFastPathState) {
+  auto sandbox = make_sandbox(2, true);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  EXPECT_FALSE(sandbox->coalesce().valid);
+  EXPECT_EQ(engine_.ull_manager().index_of(sandbox->id()), nullptr);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, ResumeWithoutPauseFails) {
+  auto sandbox = make_sandbox(1, true);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  EXPECT_FALSE(engine_.resume(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, CoalescedLoadMatchesVanillaIterative) {
+  // Run the same pause/resume on two engines — HORSE coalesced vs vanilla
+  // per-vCPU — and compare the resulting queue loads.
+  sched::CpuTopology horse_topo(4);
+  HorseResumeEngine horse(horse_topo, vmm::VmmProfile::firecracker());
+  sched::CpuTopology vanilla_topo(4);
+  vmm::ResumeEngine vanilla(vanilla_topo, vmm::VmmProfile::firecracker());
+
+  auto ull = make_sandbox(8, true);
+  ASSERT_TRUE(horse.start(*ull).is_ok());
+  ASSERT_TRUE(horse.pause(*ull).is_ok());
+  // Equalise the target queues' starting load, then resume both ways.
+  horse_topo.queue(3).set_load_for_test(100.0);
+  ASSERT_TRUE(horse.resume(*ull).is_ok());
+  const double horse_load = horse_topo.queue(3).load();
+
+  auto plain = make_sandbox(8, false);
+  ASSERT_TRUE(vanilla.start(*plain).is_ok());
+  ASSERT_TRUE(vanilla.pause(*plain).is_ok());
+  // Force all 8 iterative updates onto CPU 0 by loading up the others.
+  vanilla_topo.queue(0).set_load_for_test(100.0);
+  vanilla_topo.queue(1).set_load_for_test(1e9);
+  vanilla_topo.queue(2).set_load_for_test(1e9);
+  vanilla_topo.queue(3).set_load_for_test(1e9);
+  ASSERT_TRUE(vanilla.resume(*plain).is_ok());
+  const double vanilla_load = vanilla_topo.queue(0).load();
+
+  EXPECT_NEAR(horse_load, vanilla_load, 1e-6);
+  ASSERT_TRUE(horse.destroy(*ull).is_ok());
+  ASSERT_TRUE(vanilla.destroy(*plain).is_ok());
+}
+
+TEST_F(HorseResumeTest, RepeatedCyclesStayConsistent) {
+  auto sandbox = make_sandbox(4, true);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    ASSERT_TRUE(engine_.pause(*sandbox).is_ok()) << "cycle " << cycle;
+    ASSERT_TRUE(engine_.resume(*sandbox).is_ok()) << "cycle " << cycle;
+    ASSERT_EQ(queued_on(7), 4u);
+    ASSERT_TRUE(topology_.queue(7).is_sorted());
+  }
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, MultiplePausedSandboxesResumeIndependently) {
+  auto s1 = make_sandbox(2, true);
+  auto s2 = make_sandbox(3, true);
+  ASSERT_TRUE(engine_.start(*s1).is_ok());
+  ASSERT_TRUE(engine_.start(*s2).is_ok());
+  ASSERT_TRUE(engine_.pause(*s1).is_ok());
+  ASSERT_TRUE(engine_.pause(*s2).is_ok());
+
+  // Resuming s1 mutates the ull queue; s2's index goes stale and must be
+  // refreshed (or the resume falls back to an inline rebuild).
+  ASSERT_TRUE(engine_.resume(*s1).is_ok());
+  EXPECT_EQ(engine_.ull_manager().refresh(), 1u);
+  ASSERT_TRUE(engine_.resume(*s2).is_ok());
+  EXPECT_EQ(queued_on(7), 5u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  ASSERT_TRUE(engine_.destroy(*s1).is_ok());
+  ASSERT_TRUE(engine_.destroy(*s2).is_ok());
+}
+
+TEST_F(HorseResumeTest, StaleIndexFallbackRebuildsInline) {
+  auto s1 = make_sandbox(2, true);
+  auto s2 = make_sandbox(2, true);
+  ASSERT_TRUE(engine_.start(*s1).is_ok());
+  ASSERT_TRUE(engine_.start(*s2).is_ok());
+  ASSERT_TRUE(engine_.pause(*s1).is_ok());
+  ASSERT_TRUE(engine_.pause(*s2).is_ok());
+  ASSERT_TRUE(engine_.resume(*s1).is_ok());
+  // No refresh() call: s2's index is stale, resume must still succeed.
+  ASSERT_TRUE(engine_.resume(*s2).is_ok());
+  EXPECT_EQ(queued_on(7), 4u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  ASSERT_TRUE(engine_.destroy(*s1).is_ok());
+  ASSERT_TRUE(engine_.destroy(*s2).is_ok());
+}
+
+TEST_F(HorseResumeTest, PpsmOnlyFeatureSet) {
+  sched::CpuTopology topo(4);
+  HorseResumeEngine ppsm(topo, vmm::VmmProfile::firecracker(), HorseConfig{},
+                         HorseFeatures::ppsm_only());
+  auto sandbox = make_sandbox(4, true);
+  ASSERT_TRUE(ppsm.start(*sandbox).is_ok());
+  ASSERT_TRUE(ppsm.pause(*sandbox).is_ok());
+  EXPECT_FALSE(sandbox->coalesce().valid);  // coalescing off
+  vmm::ResumeBreakdown breakdown;
+  ASSERT_TRUE(ppsm.resume(*sandbox, &breakdown).is_ok());
+  EXPECT_EQ(topo.queue(3).size(), 4u);
+  EXPECT_TRUE(topo.queue(3).is_sorted());
+  ASSERT_TRUE(ppsm.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, CoalescingOnlyFeatureSet) {
+  sched::CpuTopology topo(4);
+  HorseResumeEngine coal(topo, vmm::VmmProfile::firecracker(), HorseConfig{},
+                         HorseFeatures::coalescing_only());
+  auto sandbox = make_sandbox(4, true);
+  ASSERT_TRUE(coal.start(*sandbox).is_ok());
+  ASSERT_TRUE(coal.pause(*sandbox).is_ok());
+  EXPECT_TRUE(sandbox->coalesce().valid);
+  EXPECT_EQ(coal.ull_manager().index_of(sandbox->id()), nullptr);  // no 𝒫²𝒮ℳ
+  ASSERT_TRUE(coal.resume(*sandbox).is_ok());
+  EXPECT_EQ(topo.queue(3).size(), 4u);
+  EXPECT_TRUE(topo.queue(3).is_sorted());
+  ASSERT_TRUE(coal.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, ParallelMergeModeProducesSameResult) {
+  sched::CpuTopology topo(4);
+  HorseConfig config;
+  config.merge_mode = MergeMode::kParallel;
+  config.crew_size = 2;
+  HorseResumeEngine parallel(topo, vmm::VmmProfile::firecracker(), config);
+  auto sandbox = make_sandbox(8, true);
+  ASSERT_TRUE(parallel.start(*sandbox).is_ok());
+  parallel.arm_crew();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(parallel.pause(*sandbox).is_ok());
+    ASSERT_TRUE(parallel.resume(*sandbox).is_ok());
+    ASSERT_EQ(topo.queue(3).size(), 8u);
+    ASSERT_TRUE(topo.queue(3).is_sorted());
+  }
+  parallel.disarm_crew();
+  ASSERT_TRUE(parallel.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HorseResumeTest, BreakdownHasMergeAndLoadSteps) {
+  auto sandbox = make_sandbox(16, true);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  vmm::ResumeBreakdown breakdown;
+  ASSERT_TRUE(engine_.resume(*sandbox, &breakdown).is_ok());
+  EXPECT_GT(breakdown.merge, 0);
+  EXPECT_GE(breakdown.load_update, 0);
+  EXPECT_GT(breakdown.total(), 0);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+}  // namespace
+}  // namespace horse::core

@@ -1,0 +1,164 @@
+#include "core/merge_crew.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sched/run_queue.hpp"
+#include "sched/vcpu.hpp"
+#include "util/rng.hpp"
+
+namespace horse::core {
+namespace {
+
+struct Chain {
+  std::vector<std::unique_ptr<sched::Vcpu>> storage;
+  util::ListHook* head = nullptr;
+  util::ListHook* tail = nullptr;
+};
+
+/// Build a detached chain of vCPUs with the given credits.
+Chain make_chain(std::initializer_list<sched::Credit> credits) {
+  Chain chain;
+  util::ListHook* prev = nullptr;
+  for (const sched::Credit credit : credits) {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->credit = credit;
+    if (prev != nullptr) {
+      prev->next = &vcpu->hook;
+      vcpu->hook.prev = prev;
+    } else {
+      chain.head = &vcpu->hook;
+    }
+    prev = &vcpu->hook;
+    chain.storage.push_back(std::move(vcpu));
+  }
+  chain.tail = prev;
+  return chain;
+}
+
+std::vector<sched::Credit> credits_of(sched::RunQueue& queue) {
+  std::vector<sched::Credit> out;
+  for (const sched::Vcpu& vcpu : queue.list()) {
+    out.push_back(vcpu.credit);
+  }
+  return out;
+}
+
+TEST(MergeCrewTest, ExecuteSpliceLinksChain) {
+  sched::RunQueue queue(0);
+  auto anchor_vcpu = std::make_unique<sched::Vcpu>();
+  anchor_vcpu->credit = 10;
+  {
+    util::LockGuard guard(queue.lock());
+    queue.insert_sorted(*anchor_vcpu);
+  }
+  Chain chain = make_chain({11, 12});
+  execute_splice(SpliceTask{&anchor_vcpu->hook, chain.head, chain.tail});
+  queue.list().add_size(2);
+  EXPECT_EQ(credits_of(queue), (std::vector<sched::Credit>{10, 11, 12}));
+  queue.list().clear();
+}
+
+TEST(MergeCrewTest, SequentialExecutorRunsAllTasks) {
+  sched::RunQueue queue(0);
+  Chain chain = make_chain({1, 2});
+  SequentialMergeExecutor executor;
+  std::vector<SpliceTask> tasks{{queue.list().sentinel(), chain.head, chain.tail}};
+  executor.execute(tasks);
+  queue.list().add_size(2);
+  EXPECT_EQ(credits_of(queue), (std::vector<sched::Credit>{1, 2}));
+  queue.list().clear();
+}
+
+TEST(MergeCrewTest, SequentialExecutorEmptyTasksIsNoop) {
+  SequentialMergeExecutor executor;
+  executor.execute({});  // must not crash
+}
+
+TEST(MergeCrewTest, ParallelCrewExecutesWhileDisarmed) {
+  ParallelMergeCrew crew(2);
+  sched::RunQueue queue(0);
+  Chain chain = make_chain({5});
+  std::vector<SpliceTask> tasks{{queue.list().sentinel(), chain.head, chain.tail}};
+  crew.execute(tasks);  // arms temporarily
+  queue.list().add_size(1);
+  EXPECT_EQ(credits_of(queue), (std::vector<sched::Credit>{5}));
+  EXPECT_FALSE(crew.armed());
+  queue.list().clear();
+}
+
+TEST(MergeCrewTest, ParallelCrewArmDisarm) {
+  ParallelMergeCrew crew(2);
+  EXPECT_FALSE(crew.armed());
+  crew.arm();
+  EXPECT_TRUE(crew.armed());
+  crew.disarm();
+  EXPECT_FALSE(crew.armed());
+}
+
+TEST(MergeCrewTest, ParallelCrewHandlesMoreTasksThanWorkers) {
+  ParallelMergeCrew crew(2);
+  sched::RunQueue queue(0);
+
+  // Build B = {10, 20, 30, 40} and four single-element runs hitting
+  // every gap — more tasks than workers forces chunking.
+  std::vector<std::unique_ptr<sched::Vcpu>> b_storage;
+  for (const sched::Credit credit : {10, 20, 30, 40}) {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->credit = credit;
+    util::LockGuard guard(queue.lock());
+    queue.insert_sorted(*vcpu);
+    b_storage.push_back(std::move(vcpu));
+  }
+  Chain c1 = make_chain({15});
+  Chain c2 = make_chain({25});
+  Chain c3 = make_chain({35});
+  Chain c4 = make_chain({45});
+  std::vector<SpliceTask> tasks{
+      {&b_storage[0]->hook, c1.head, c1.tail},
+      {&b_storage[1]->hook, c2.head, c2.tail},
+      {&b_storage[2]->hook, c3.head, c3.tail},
+      {&b_storage[3]->hook, c4.head, c4.tail},
+  };
+  crew.arm();
+  crew.execute(tasks);
+  crew.disarm();
+  queue.list().add_size(4);
+  EXPECT_EQ(credits_of(queue),
+            (std::vector<sched::Credit>{10, 15, 20, 25, 30, 35, 40, 45}));
+  EXPECT_TRUE(queue.is_sorted());
+  queue.list().clear();
+}
+
+TEST(MergeCrewTest, ParallelCrewRepeatedBursts) {
+  ParallelMergeCrew crew(3);
+  crew.arm();
+  for (int round = 0; round < 100; ++round) {
+    sched::RunQueue queue(0);
+    Chain chain = make_chain({1, 2, 3});
+    std::vector<SpliceTask> tasks{
+        {queue.list().sentinel(), chain.head, chain.tail}};
+    crew.execute(tasks);
+    queue.list().add_size(3);
+    ASSERT_EQ(queue.size(), 3u) << "round " << round;
+    ASSERT_TRUE(queue.is_sorted());
+    queue.list().clear();
+  }
+  crew.disarm();
+}
+
+TEST(MergeCrewTest, ZeroWorkersClampsToOne) {
+  ParallelMergeCrew crew(0);
+  EXPECT_EQ(crew.size(), 1u);
+}
+
+TEST(MergeCrewTest, DestructionWhileArmedIsClean) {
+  auto crew = std::make_unique<ParallelMergeCrew>(2);
+  crew->arm();
+  crew.reset();  // must join without deadlock
+}
+
+}  // namespace
+}  // namespace horse::core

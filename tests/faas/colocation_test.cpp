@@ -1,0 +1,99 @@
+#include "faas/colocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::faas {
+namespace {
+
+sim::CostModel default_costs() {
+  return sim::CostModel::defaults(vmm::VmmProfile::firecracker());
+}
+
+ColocationParams short_params(ColocationMode mode, std::uint32_t ull_vcpus) {
+  ColocationParams params;
+  params.mode = mode;
+  params.ull_vcpus = ull_vcpus;
+  params.duration = 5 * util::kSecond;  // short window keeps tests fast
+  params.num_cpus = 8;
+  return params;
+}
+
+TEST(ColocationTest, DefaultArrivalsCoverWindow) {
+  const auto arrivals =
+      default_thumbnail_arrivals(30 * util::kSecond, /*seed=*/1);
+  EXPECT_GT(arrivals.size(), 10u);
+  for (const auto& arrival : arrivals.arrivals()) {
+    EXPECT_LT(arrival.time, 30 * util::kSecond);
+  }
+}
+
+TEST(ColocationTest, VanillaRunCompletesAllInvocations) {
+  const auto costs = default_costs();
+  ColocationExperiment experiment(
+      short_params(ColocationMode::kVanilla, 4), costs);
+  const auto result = experiment.run();
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(result.mean_ns, 0.0);
+  EXPECT_GE(result.p99_ns, result.p95_ns);
+  EXPECT_GE(result.p95_ns, result.mean_ns * 0.2);
+  EXPECT_EQ(result.ull_triggers, 5u * 10u);  // 10 per second for 5 s
+}
+
+TEST(ColocationTest, HorseRunCompletesAllInvocations) {
+  const auto costs = default_costs();
+  ColocationExperiment experiment(short_params(ColocationMode::kHorse, 4),
+                                  costs);
+  const auto result = experiment.run();
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(result.mean_ns, 0.0);
+}
+
+TEST(ColocationTest, DeterministicPerSeed) {
+  const auto costs = default_costs();
+  const auto a =
+      ColocationExperiment(short_params(ColocationMode::kHorse, 8), costs).run();
+  const auto b =
+      ColocationExperiment(short_params(ColocationMode::kHorse, 8), costs).run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_ns, b.mean_ns);
+  EXPECT_DOUBLE_EQ(a.p99_ns, b.p99_ns);
+}
+
+TEST(ColocationTest, SameArrivalsSameCompletionCount) {
+  const auto costs = default_costs();
+  const auto arrivals = default_thumbnail_arrivals(5 * util::kSecond, 3);
+  const auto vanilla = ColocationExperiment(
+                           short_params(ColocationMode::kVanilla, 36), costs)
+                           .run(arrivals);
+  const auto horse =
+      ColocationExperiment(short_params(ColocationMode::kHorse, 36), costs)
+          .run(arrivals);
+  EXPECT_EQ(vanilla.completed, horse.completed);
+  EXPECT_EQ(vanilla.completed, arrivals.size());
+}
+
+TEST(ColocationTest, HorseMeanCloseToVanillaMean) {
+  // §5.4: "no difference between the mean and 95th percentile latencies".
+  // Allow a small tolerance — the channels differ slightly by construction.
+  const auto costs = default_costs();
+  const auto arrivals = default_thumbnail_arrivals(5 * util::kSecond, 3);
+  const auto vanilla = ColocationExperiment(
+                           short_params(ColocationMode::kVanilla, 36), costs)
+                           .run(arrivals);
+  const auto horse =
+      ColocationExperiment(short_params(ColocationMode::kHorse, 36), costs)
+          .run(arrivals);
+  EXPECT_NEAR(horse.mean_ns / vanilla.mean_ns, 1.0, 0.05);
+}
+
+TEST(ColocationTest, PreemptionsOnlyMatterInExtremes) {
+  const auto costs = default_costs();
+  // HORSE with 36-vCPU uLL sandboxes: merge threads do preempt.
+  const auto horse =
+      ColocationExperiment(short_params(ColocationMode::kHorse, 36), costs)
+          .run();
+  EXPECT_GT(horse.preemptions, 0u);
+}
+
+}  // namespace
+}  // namespace horse::faas

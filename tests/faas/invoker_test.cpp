@@ -1,0 +1,131 @@
+#include "faas/invoker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/array_filter.hpp"
+#include "workloads/nat.hpp"
+
+namespace horse::faas {
+namespace {
+
+class InvokerTest : public ::testing::Test {
+ protected:
+  InvokerTest() : platform_(make_config()) {
+    FunctionSpec spec;
+    spec.name = "filter";
+    spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+    spec.sandbox.name = "filter-sb";
+    spec.sandbox.num_vcpus = 1;
+    spec.sandbox.memory_mb = 1;
+    spec.sandbox.ull = true;
+    filter_ = *platform_.registry().add(std::move(spec));
+
+    FunctionSpec nat_spec;
+    nat_spec.name = "nat";
+    nat_spec.implementation = std::make_shared<workloads::NatFunction>(16);
+    nat_spec.sandbox.name = "nat-sb";
+    nat_spec.sandbox.num_vcpus = 1;
+    nat_spec.sandbox.memory_mb = 1;
+    nat_spec.sandbox.ull = true;
+    nat_ = *platform_.registry().add(std::move(nat_spec));
+  }
+
+  static PlatformConfig make_config() {
+    PlatformConfig config;
+    config.num_cpus = 4;
+    return config;
+  }
+
+  static workloads::Request filter_request() {
+    workloads::Request request;
+    request.payload = {5, 10, 15};
+    request.threshold = 7;
+    return request;
+  }
+
+  Platform platform_;
+  FunctionId filter_ = 0;
+  FunctionId nat_ = 0;
+};
+
+TEST_F(InvokerTest, SubmitsAndDrains) {
+  Invoker invoker(platform_, 2);
+  for (int i = 0; i < 20; ++i) {
+    invoker.submit(filter_, filter_request(), StartMode::kCold);
+  }
+  const auto outcomes = invoker.drain();
+  EXPECT_EQ(invoker.submitted(), 20u);
+  ASSERT_EQ(outcomes.size(), 20u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+    EXPECT_EQ(outcome.record.response.indexes.size(), 2u);
+    EXPECT_GE(outcome.queueing, 0);
+  }
+}
+
+TEST_F(InvokerTest, MixedFunctionsAndModes) {
+  ASSERT_TRUE(platform_.provision(filter_, 2).is_ok());
+  ASSERT_TRUE(platform_.provision(nat_, 2).is_ok());
+  Invoker invoker(platform_, 3);
+  workloads::Request packet;
+  packet.header = "src=1.1.1.1 dst=2.2.2.2 port=80 proto=tcp";
+  for (int i = 0; i < 30; ++i) {
+    if (i % 2 == 0) {
+      invoker.submit(filter_, filter_request(), StartMode::kHorse);
+    } else {
+      invoker.submit(nat_, packet, StartMode::kWarm);
+    }
+  }
+  const auto outcomes = invoker.drain();
+  ASSERT_EQ(outcomes.size(), 30u);
+  int horse = 0;
+  int warm = 0;
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+    (outcome.mode == StartMode::kHorse ? horse : warm) += 1;
+  }
+  EXPECT_EQ(horse, 15);
+  EXPECT_EQ(warm, 15);
+  // Pools intact after the concurrent burst.
+  EXPECT_EQ(platform_.warm_pool().available(filter_), 2u);
+  EXPECT_EQ(platform_.warm_pool().available(nat_), 2u);
+}
+
+TEST_F(InvokerTest, ErrorsSurfaceInOutcomes) {
+  Invoker invoker(platform_, 2);
+  invoker.submit(filter_, filter_request(), StartMode::kWarm);  // empty pool
+  invoker.submit(999, filter_request(), StartMode::kCold);      // unknown fn
+  const auto outcomes = invoker.drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.status.is_ok());
+  }
+}
+
+TEST_F(InvokerTest, DrainOnIdleInvokerIsEmpty) {
+  Invoker invoker(platform_, 1);
+  EXPECT_TRUE(invoker.drain().empty());
+}
+
+TEST_F(InvokerTest, ConcurrentSubmittersFromManyThreads) {
+  ASSERT_TRUE(platform_.provision(filter_, 1).is_ok());
+  Invoker invoker(platform_, 2);
+  {
+    std::vector<std::jthread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 25; ++i) {
+          invoker.submit(filter_, filter_request(), StartMode::kHorse);
+        }
+      });
+    }
+  }
+  const auto outcomes = invoker.drain();
+  ASSERT_EQ(outcomes.size(), 100u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+  }
+}
+
+}  // namespace
+}  // namespace horse::faas

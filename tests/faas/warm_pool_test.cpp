@@ -1,0 +1,148 @@
+#include "faas/warm_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faas/registry.hpp"
+#include "workloads/array_filter.hpp"
+
+namespace horse::faas {
+namespace {
+
+std::unique_ptr<vmm::Sandbox> paused_sandbox(sched::SandboxId id) {
+  vmm::SandboxConfig config;
+  config.name = "fn";
+  config.num_vcpus = 1;
+  config.memory_mb = 1;
+  auto sandbox = std::make_unique<vmm::Sandbox>(id, config);
+  sandbox->set_state(vmm::SandboxState::kPaused);
+  return sandbox;
+}
+
+TEST(WarmPoolTest, PutAndTakeRoundTrip) {
+  WarmPool pool;
+  ASSERT_TRUE(pool.put(0, paused_sandbox(1), 0).is_ok());
+  EXPECT_EQ(pool.available(0), 1u);
+  EXPECT_EQ(pool.total(), 1u);
+  auto sandbox = pool.take(0);
+  ASSERT_NE(sandbox, nullptr);
+  EXPECT_EQ(sandbox->id(), 1u);
+  EXPECT_EQ(pool.total(), 0u);
+}
+
+TEST(WarmPoolTest, TakeEmptyReturnsNull) {
+  WarmPool pool;
+  EXPECT_EQ(pool.take(0), nullptr);
+  EXPECT_EQ(pool.available(42), 0u);
+}
+
+TEST(WarmPoolTest, RejectsNonPausedSandbox) {
+  WarmPool pool;
+  vmm::SandboxConfig config;
+  config.num_vcpus = 1;
+  auto sandbox = std::make_unique<vmm::Sandbox>(1, config);  // kCreated
+  EXPECT_EQ(pool.put(0, std::move(sandbox), 0).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(WarmPoolTest, TakeIsLifo) {
+  WarmPool pool;
+  ASSERT_TRUE(pool.put(0, paused_sandbox(1), 0).is_ok());
+  ASSERT_TRUE(pool.put(0, paused_sandbox(2), 10).is_ok());
+  EXPECT_EQ(pool.take(0)->id(), 2u);  // most recently parked first
+  EXPECT_EQ(pool.take(0)->id(), 1u);
+}
+
+TEST(WarmPoolTest, PerFunctionCapEnforced) {
+  WarmPoolConfig config;
+  config.max_per_function = 2;
+  WarmPool pool(config);
+  ASSERT_TRUE(pool.put(0, paused_sandbox(1), 0).is_ok());
+  ASSERT_TRUE(pool.put(0, paused_sandbox(2), 0).is_ok());
+  EXPECT_EQ(pool.put(0, paused_sandbox(3), 0).code(),
+            util::StatusCode::kResourceExhausted);
+  // Other functions unaffected.
+  EXPECT_TRUE(pool.put(1, paused_sandbox(4), 0).is_ok());
+}
+
+TEST(WarmPoolTest, EvictExpiredDropsOldEntries) {
+  WarmPoolConfig config;
+  config.keep_alive = 100;
+  WarmPool pool(config);
+  ASSERT_TRUE(pool.put(0, paused_sandbox(1), 0).is_ok());
+  ASSERT_TRUE(pool.put(0, paused_sandbox(2), 90).is_ok());
+  const auto evicted = pool.evict_expired(150);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0]->id(), 1u);  // only the stale one
+  EXPECT_EQ(pool.available(0), 1u);
+}
+
+TEST(WarmPoolTest, ProvisionedFloorSurvivesEviction) {
+  WarmPoolConfig config;
+  config.keep_alive = 10;
+  WarmPool pool(config);
+  pool.set_provisioned_floor(0, 2);
+  ASSERT_TRUE(pool.put(0, paused_sandbox(1), 0).is_ok());
+  ASSERT_TRUE(pool.put(0, paused_sandbox(2), 0).is_ok());
+  ASSERT_TRUE(pool.put(0, paused_sandbox(3), 0).is_ok());
+  const auto evicted = pool.evict_expired(1'000'000);
+  EXPECT_EQ(evicted.size(), 1u);  // only down to the floor
+  EXPECT_EQ(pool.available(0), 2u);
+  EXPECT_EQ(pool.provisioned_floor(0), 2u);
+}
+
+
+TEST(WarmPoolTest, KeepAliveOverridePerFunction) {
+  WarmPoolConfig config;
+  config.keep_alive = 100;
+  WarmPool pool(config);
+  EXPECT_EQ(pool.keep_alive_for(0), 100);
+  pool.set_keep_alive_override(0, 500);
+  EXPECT_EQ(pool.keep_alive_for(0), 500);
+  EXPECT_EQ(pool.keep_alive_for(1), 100);  // others untouched
+
+  // Eviction honours the override: entry parked at t=0 survives t=300
+  // for function 0 (window 500) but would have expired at the default.
+  ASSERT_TRUE(pool.put(0, paused_sandbox(1), 0).is_ok());
+  EXPECT_TRUE(pool.evict_expired(300).empty());
+  EXPECT_EQ(pool.evict_expired(600).size(), 1u);
+}
+
+TEST(RegistryTest, AddAndLookup) {
+  FunctionRegistry registry;
+  FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.num_vcpus = 1;
+  const auto id = registry.add(std::move(spec));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(registry.size(), 1u);
+  const auto found = registry.find(*id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ((*found)->name, "filter");
+  const auto by_name = registry.find_by_name("filter");
+  ASSERT_TRUE(by_name.has_value());
+  EXPECT_EQ(*by_name, *id);
+}
+
+TEST(RegistryTest, RejectsDuplicatesAndInvalid) {
+  FunctionRegistry registry;
+  FunctionSpec spec;
+  spec.name = "fn";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  ASSERT_TRUE(registry.add(spec).has_value());
+  EXPECT_EQ(registry.add(spec).status().code(),
+            util::StatusCode::kAlreadyExists);
+  FunctionSpec empty;
+  EXPECT_EQ(registry.add(empty).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, UnknownLookupsFail) {
+  FunctionRegistry registry;
+  EXPECT_EQ(registry.find(5).status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(registry.find_by_name("ghost").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace horse::faas

@@ -1,0 +1,104 @@
+// Shape assertions: the paper's *qualitative* claims as tests, with
+// bounds generous enough to survive noisy shared hardware. These run on
+// measured (not modelled) time, so they are the tripwire that the
+// measured figures 2/3 would regress.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "core/horse_resume.hpp"
+#include "metrics/stats.hpp"
+#include "vmm/resume_engine.hpp"
+
+namespace horse {
+namespace {
+
+/// Median resume latency, with a couple of warmup rounds.
+double median_resume(vmm::ResumeEngine& engine, std::uint32_t vcpus, bool ull,
+                     int reps = 21) {
+  vmm::SandboxConfig config;
+  config.name = "shape";
+  config.num_vcpus = vcpus;
+  config.memory_mb = 1;
+  config.ull = ull;
+  vmm::Sandbox sandbox(30'000 + vcpus, config);
+  (void)engine.start(sandbox);
+  for (int i = 0; i < 3; ++i) {
+    (void)engine.pause(sandbox);
+    (void)engine.resume(sandbox);
+  }
+  metrics::SampleStats samples;
+  for (int i = 0; i < reps; ++i) {
+    (void)engine.pause(sandbox);
+    vmm::ResumeBreakdown bd;
+    (void)engine.resume(sandbox, &bd);
+    samples.add(static_cast<double>(bd.total()));
+  }
+  (void)engine.destroy(sandbox);
+  return samples.percentile(50);
+}
+
+TEST(ShapeAssertionsTest, VanillaResumeGrowsWithVcpus) {
+  sched::CpuTopology topology(8);
+  vmm::ResumeEngine engine(topology, vmm::VmmProfile::firecracker());
+  const double at_1 = median_resume(engine, 1, false);
+  const double at_36 = median_resume(engine, 36, false);
+  // Paper: linear growth; require at least 3x (measured here: ~11x).
+  EXPECT_GT(at_36, 3.0 * at_1);
+}
+
+TEST(ShapeAssertionsTest, HorseResumeIsFlatAcrossVcpus) {
+  sched::CpuTopology topology(8);
+  core::HorseResumeEngine engine(topology, vmm::VmmProfile::firecracker());
+  const double at_1 = median_resume(engine, 1, true);
+  const double at_36 = median_resume(engine, 36, true);
+  // Paper: O(1) resume. Allow 2.5x headroom for timer noise and the
+  // per-vCPU state-byte writes; the measured ratio is ~1.05.
+  EXPECT_LT(at_36, 2.5 * at_1);
+}
+
+TEST(ShapeAssertionsTest, HorseBeatsVanillaAtHighVcpuCounts) {
+  sched::CpuTopology vanilla_topo(8);
+  vmm::ResumeEngine vanilla(vanilla_topo, vmm::VmmProfile::firecracker());
+  sched::CpuTopology horse_topo(8);
+  core::HorseResumeEngine horse(horse_topo, vmm::VmmProfile::firecracker());
+  const double vanilla_36 = median_resume(vanilla, 36, false);
+  const double horse_36 = median_resume(horse, 36, true);
+  // Paper band: up to 7.16x; require at least 2x here.
+  EXPECT_GT(vanilla_36 / horse_36, 2.0);
+}
+
+TEST(ShapeAssertionsTest, ContestedStepsDominateVanillaAtScale) {
+  sched::CpuTopology topology(8);
+  vmm::ResumeEngine engine(topology, vmm::VmmProfile::firecracker());
+  vmm::SandboxConfig config;
+  config.name = "shape";
+  config.num_vcpus = 36;
+  config.memory_mb = 1;
+  vmm::Sandbox sandbox(1, config);
+  (void)engine.start(sandbox);
+  double best_fraction = 0.0;
+  for (int i = 0; i < 15; ++i) {
+    (void)engine.pause(sandbox);
+    vmm::ResumeBreakdown bd;
+    (void)engine.resume(sandbox, &bd);
+    best_fraction = std::max(best_fraction, bd.contested_fraction());
+  }
+  // Paper: 87.5-93.1% at high vCPU counts; require > 75% at 36.
+  EXPECT_GT(best_fraction, 0.75);
+  (void)engine.destroy(sandbox);
+}
+
+TEST(ShapeAssertionsTest, XenFlavourShowsSameOrdering) {
+  sched::CpuTopology vanilla_topo(8);
+  vmm::ResumeEngine vanilla(vanilla_topo, vmm::VmmProfile::xen());
+  sched::CpuTopology horse_topo(8);
+  core::HorseResumeEngine horse(horse_topo, vmm::VmmProfile::xen());
+  const double vanilla_36 = median_resume(vanilla, 36, false, 11);
+  const double horse_36 = median_resume(horse, 36, true, 11);
+  EXPECT_GT(vanilla_36 / horse_36, 2.0);
+}
+
+}  // namespace
+}  // namespace horse

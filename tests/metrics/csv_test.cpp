@@ -1,0 +1,82 @@
+#include "metrics/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace horse::metrics {
+namespace {
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  CsvWriter csv({"vcpus", "vanil", "horse"});
+  csv.add_row({"1", "561", "537"});
+  csv.add_numeric_row({36.0, 6310.0, 556.0});
+  std::ostringstream out;
+  csv.write(out);
+  EXPECT_EQ(out.str(),
+            "vcpus,vanil,horse\n"
+            "1,561,537\n"
+            "36,6310,556\n");
+}
+
+TEST(CsvTest, RejectsEmptyHeadersAndBadRows) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, EscapedFieldsRoundTripInOutput) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"fn,1", "said \"go\""});
+  std::ostringstream out;
+  csv.write(out);
+  EXPECT_EQ(out.str(), "name,note\n\"fn,1\",\"said \"\"go\"\"\"\n");
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  const std::string path = "/tmp/horse_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path).is_ok());
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "x,y\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileBadPathFails) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.write_file("/no/such/dir/out.csv").is_ok());
+}
+
+TEST(CsvTest, SeriesConversion) {
+  Series vanil{"vanil", {1, 2}, {100.0, 200.0}};
+  Series horse{"horse", {1, 2}, {50.0, 50.0}};
+  const auto csv = series_to_csv("vcpus", {vanil, horse});
+  std::ostringstream out;
+  csv.write(out);
+  EXPECT_EQ(out.str(),
+            "vcpus,vanil,horse\n"
+            "1,100,50\n"
+            "2,200,50\n");
+}
+
+TEST(CsvTest, EmptySeriesGivesHeaderOnly) {
+  const auto csv = series_to_csv("x", {});
+  std::ostringstream out;
+  csv.write(out);
+  EXPECT_EQ(out.str(), "x\n");
+}
+
+}  // namespace
+}  // namespace horse::metrics

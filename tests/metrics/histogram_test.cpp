@@ -1,0 +1,149 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace horse::metrics {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+  EXPECT_EQ(histogram.quantile(0.5), 0);
+  EXPECT_EQ(histogram.min(), 0);
+  EXPECT_EQ(histogram.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram histogram;
+  histogram.record(150);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.min(), 150);
+  EXPECT_EQ(histogram.max(), 150);
+  EXPECT_EQ(histogram.mean(), 150.0);
+  EXPECT_EQ(histogram.p50(), 150);
+  EXPECT_EQ(histogram.p99(), 150);
+}
+
+TEST(HistogramTest, TinyValuesAreExact) {
+  // Group 0 is linear: values < 32 land in exact buckets.
+  Histogram histogram;
+  for (int v = 0; v < 32; ++v) {
+    histogram.record(v);
+  }
+  EXPECT_EQ(histogram.quantile(0.0), 0);
+  EXPECT_EQ(histogram.max(), 31);
+}
+
+TEST(HistogramTest, MeanIsExactRegardlessOfBuckets) {
+  Histogram histogram;
+  histogram.record(100);
+  histogram.record(200);
+  histogram.record(300);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 200.0);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBounded) {
+  Histogram histogram;
+  util::Xoshiro256 rng(3);
+  std::vector<util::Nanos> values;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<util::Nanos>(rng.bounded(10'000'000)) + 1;
+    values.push_back(v);
+    histogram.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = histogram.quantile(q);
+    const double rel_err =
+        std::abs(static_cast<double>(approx - exact)) / static_cast<double>(exact);
+    EXPECT_LT(rel_err, 0.05) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram histogram;
+  histogram.record(-5);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.min(), -5);  // extremes keep the raw value
+}
+
+TEST(HistogramTest, RecordNCountsBulk) {
+  Histogram histogram;
+  histogram.record_n(1000, 10);
+  EXPECT_EQ(histogram.count(), 10u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 1000.0);
+}
+
+TEST(HistogramTest, RecordNZeroIsNoop) {
+  Histogram histogram;
+  histogram.record_n(1000, 0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  Histogram histogram;
+  histogram.record(std::numeric_limits<util::Nanos>::max() / 2);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GT(histogram.quantile(0.5), 0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram histogram;
+  histogram.record(5);
+  histogram.clear();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.record(10);
+  a.record(20);
+  b.record(5);
+  b.record(40);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 40);
+  EXPECT_DOUBLE_EQ(a.mean(), 18.75);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a;
+  Histogram empty;
+  a.record(10);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsExtremes) {
+  Histogram a;
+  Histogram b;
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.min(), 7);
+  EXPECT_EQ(a.max(), 7);
+}
+
+TEST(HistogramTest, QuantileMonotonicInQ) {
+  Histogram histogram;
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    histogram.record(static_cast<util::Nanos>(rng.bounded(1'000'000)));
+  }
+  util::Nanos prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto v = histogram.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace horse::metrics

@@ -1,0 +1,68 @@
+#include "metrics/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace horse::metrics {
+namespace {
+
+TEST(ReporterTest, TableRendersHeadersAndRows) {
+  TextTable table("Demo", {"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(ReporterTest, TableRejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable("x", {}), std::invalid_argument);
+}
+
+TEST(ReporterTest, TableRejectsMismatchedRow) {
+  TextTable table("x", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ReporterTest, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(ReporterTest, FormatNanosAutoScales) {
+  EXPECT_EQ(format_nanos(150.0), "150.0 ns");
+  EXPECT_EQ(format_nanos(1'500.0), "1.50 us");
+  EXPECT_EQ(format_nanos(1'300'000.0), "1.30 ms");
+  EXPECT_EQ(format_nanos(1.5e9), "1.50 s");
+}
+
+TEST(ReporterTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.611, 1), "61.1%");
+  EXPECT_EQ(format_percent(0.9999, 2), "99.99%");
+}
+
+TEST(ReporterTest, SeriesPrintsAllColumns) {
+  std::ostringstream out;
+  Series vanil{"vanil", {1, 2}, {10.5, 20.5}};
+  Series horse{"horse", {1, 2}, {1.5, 1.5}};
+  print_series(out, "Fig", "vcpus", {vanil, horse});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("vanil"), std::string::npos);
+  EXPECT_NE(text.find("horse"), std::string::npos);
+  EXPECT_NE(text.find("20.50"), std::string::npos);
+}
+
+TEST(ReporterTest, SeriesEmptyIsGraceful) {
+  std::ostringstream out;
+  print_series(out, "Empty", "x", {});
+  EXPECT_NE(out.str().find("(no series)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace horse::metrics

@@ -1,0 +1,99 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace horse::metrics {
+namespace {
+
+TEST(StatsTest, EmptySummary) {
+  SampleStats stats;
+  const Summary summary = stats.summarize();
+  EXPECT_EQ(summary.n, 0u);
+  EXPECT_EQ(summary.mean, 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  SampleStats stats;
+  stats.add(5.0);
+  const Summary summary = stats.summarize();
+  EXPECT_EQ(summary.n, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(summary.ci95_half, 0.0);
+}
+
+TEST(StatsTest, KnownMeanAndStddev) {
+  SampleStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  const Summary summary = stats.summarize();
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(summary.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(summary.min, 2.0);
+  EXPECT_EQ(summary.max, 9.0);
+}
+
+TEST(StatsTest, Ci95UsesStudentT) {
+  SampleStats stats;
+  for (int i = 0; i < 10; ++i) {
+    stats.add(static_cast<double>(i));
+  }
+  const Summary summary = stats.summarize();
+  const double expected =
+      t_critical_95(10) * summary.stddev / std::sqrt(10.0);
+  EXPECT_NEAR(summary.ci95_half, expected, 1e-12);
+}
+
+TEST(StatsTest, TCriticalTableValues) {
+  EXPECT_DOUBLE_EQ(t_critical_95(2), 12.706);  // df = 1
+  EXPECT_DOUBLE_EQ(t_critical_95(10), 2.262);  // df = 9, the paper's n=10
+  EXPECT_DOUBLE_EQ(t_critical_95(31), 2.042);  // df = 30
+  EXPECT_DOUBLE_EQ(t_critical_95(200), 1.96);  // normal regime
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 0.0);     // undefined, reported as 0
+}
+
+TEST(StatsTest, Ci95RelativeIsFractionOfMean) {
+  SampleStats stats;
+  stats.add(99.0);
+  stats.add(101.0);
+  const Summary summary = stats.summarize();
+  EXPECT_NEAR(summary.ci95_relative(), summary.ci95_half / 100.0, 1e-12);
+}
+
+TEST(StatsTest, PercentileExactOrderStatistics) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(stats.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(stats.percentile(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(stats.percentile(50.0), 50.5, 1e-9);
+  EXPECT_NEAR(stats.percentile(99.0), 99.01, 1e-9);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  SampleStats stats;
+  stats.add(30.0);
+  stats.add(10.0);
+  stats.add(20.0);
+  EXPECT_NEAR(stats.percentile(50.0), 20.0, 1e-9);
+}
+
+TEST(StatsTest, PercentileEmptyReturnsZero) {
+  SampleStats stats;
+  EXPECT_EQ(stats.percentile(50.0), 0.0);
+}
+
+TEST(StatsTest, ClearEmpties) {
+  SampleStats stats;
+  stats.add(1.0);
+  stats.clear();
+  EXPECT_EQ(stats.size(), 0u);
+}
+
+}  // namespace
+}  // namespace horse::metrics

@@ -1,0 +1,84 @@
+#include "metrics/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::metrics {
+namespace {
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.summarize().n, 0u);
+  EXPECT_TRUE(series.resample(100).empty());
+  EXPECT_EQ(series.time_weighted_mean(1000), 0.0);
+}
+
+TEST(TimeSeriesTest, RecordAndSummarize) {
+  TimeSeries series;
+  series.record(0, 10.0);
+  series.record(100, 20.0);
+  series.record(200, 30.0);
+  const auto summary = series.summarize();
+  EXPECT_EQ(summary.n, 3u);
+  EXPECT_DOUBLE_EQ(summary.mean, 20.0);
+  EXPECT_EQ(summary.min, 10.0);
+  EXPECT_EQ(summary.max, 30.0);
+}
+
+TEST(TimeSeriesTest, WindowSummaryFilters) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.record(i * 100, static_cast<double>(i));
+  }
+  const auto window = series.summarize_window(300, 600);
+  EXPECT_EQ(window.n, 3u);  // samples at 300, 400, 500
+  EXPECT_DOUBLE_EQ(window.mean, 4.0);
+}
+
+TEST(TimeSeriesTest, ResampleCarriesLastValueForward) {
+  TimeSeries series;
+  series.record(0, 1.0);
+  series.record(250, 2.0);
+  series.record(900, 3.0);
+  const auto resampled = series.resample(300);
+  // Grid: 0, 300, 600, 900.
+  ASSERT_EQ(resampled.size(), 4u);
+  EXPECT_DOUBLE_EQ(resampled[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(resampled[1].value, 2.0);  // 250-sample carried
+  EXPECT_DOUBLE_EQ(resampled[2].value, 2.0);
+  EXPECT_DOUBLE_EQ(resampled[3].value, 3.0);
+}
+
+TEST(TimeSeriesTest, ResampleBadIntervalIsEmpty) {
+  TimeSeries series;
+  series.record(0, 1.0);
+  EXPECT_TRUE(series.resample(0).empty());
+  EXPECT_TRUE(series.resample(-5).empty());
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanStepFunction) {
+  TimeSeries series;
+  series.record(0, 10.0);    // holds 0..100
+  series.record(100, 30.0);  // holds 100..200
+  EXPECT_DOUBLE_EQ(series.time_weighted_mean(200), 20.0);
+  // Uneven hold times: 10 for 150 ns, 30 for 50 ns.
+  EXPECT_DOUBLE_EQ(TimeSeries{}.time_weighted_mean(100), 0.0);
+  TimeSeries uneven;
+  uneven.record(0, 10.0);
+  uneven.record(150, 30.0);
+  EXPECT_DOUBLE_EQ(uneven.time_weighted_mean(200), 15.0);
+}
+
+TEST(TimeSeriesTest, UnsortedInputHandled) {
+  TimeSeries series;
+  series.record(200, 3.0);
+  series.record(0, 1.0);
+  series.record(100, 2.0);
+  const auto resampled = series.resample(100);
+  ASSERT_EQ(resampled.size(), 3u);
+  EXPECT_DOUBLE_EQ(resampled[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(resampled[2].value, 3.0);
+}
+
+}  // namespace
+}  // namespace horse::metrics

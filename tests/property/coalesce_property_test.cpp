@@ -1,0 +1,64 @@
+// Property sweep for load-update coalescing: over every vCPU count the
+// platform supports and a grid of PELT parameters and starting loads, the
+// coalesced update must equal n iterative updates (within floating-point
+// tolerance) and must never change a DVFS frequency decision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/coalesce.hpp"
+#include "sched/dvfs.hpp"
+#include "sched/pelt.hpp"
+
+namespace horse::core {
+namespace {
+
+using CoalesceCase = std::tuple<std::uint32_t /*n*/, double /*alpha*/,
+                                double /*beta*/, double /*load*/>;
+
+class CoalescePropertyTest : public ::testing::TestWithParam<CoalesceCase> {};
+
+TEST_P(CoalescePropertyTest, ClosedFormMatchesIterative) {
+  const auto [n, alpha, beta, load] = GetParam();
+  sched::PeltParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  LoadCoalescer coalescer(params);
+
+  const auto pre = coalescer.precompute(n);
+  const double coalesced = LoadCoalescer::apply(pre, load);
+  const double iterative = coalescer.tracker().apply_iterative(load, n);
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(iterative));
+  EXPECT_NEAR(coalesced, iterative, tolerance);
+}
+
+TEST_P(CoalescePropertyTest, DvfsDecisionUnchanged) {
+  const auto [n, alpha, beta, load] = GetParam();
+  sched::PeltParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  LoadCoalescer coalescer(params);
+
+  const double coalesced =
+      LoadCoalescer::apply(coalescer.precompute(n), load);
+  const double iterative = coalescer.tracker().apply_iterative(load, n);
+  sched::DvfsGovernor governor;
+  EXPECT_EQ(governor.target_freq_khz(coalesced),
+            governor.target_freq_khz(iterative));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoalescePropertyTest,
+    ::testing::Combine(
+        // n: every provider vCPU option the paper covers, plus extremes.
+        ::testing::Values(1u, 2u, 4u, 8u, 16u, 24u, 32u, 36u, 128u),
+        // alpha: PELT default, faster and slower decay.
+        ::testing::Values(0.978572062087700134, 0.5, 0.99, 0.9),
+        // beta: PELT default and alternatives.
+        ::testing::Values(21.942208422195108, 1.0, 100.0),
+        // starting load: idle to beyond capacity.
+        ::testing::Values(0.0, 10.0, 512.0, 1024.0, 8192.0)));
+
+}  // namespace
+}  // namespace horse::core

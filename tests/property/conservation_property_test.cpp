@@ -1,0 +1,127 @@
+// Conservation and invariance properties across the simulation plane.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "faas/colocation.hpp"
+#include "metrics/histogram.hpp"
+#include "sched/credit2.hpp"
+#include "sim/cpu_executor.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace horse {
+namespace {
+
+/// Work conservation: however tasks are placed, preempted, and requeued,
+/// the summed vCPU cpu_time equals the total submitted work.
+class WorkConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkConservationTest, CpuTimeEqualsSubmittedWork) {
+  util::Xoshiro256 rng(GetParam());
+  sim::Simulation sim;
+  sched::CpuTopology topology(3);
+  topology.reserve_for_ull(2);
+  sched::Credit2Scheduler scheduler(topology);
+  sim::CpuExecutor executor(sim, scheduler);
+
+  std::vector<std::unique_ptr<sched::Vcpu>> vcpus;
+  util::Nanos total_work = 0;
+  const int tasks = 30 + static_cast<int>(rng.bounded(30));
+  int completed = 0;
+  for (int i = 0; i < tasks; ++i) {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->id = static_cast<sched::VcpuId>(i);
+    vcpu->credit = static_cast<sched::Credit>(rng.bounded(1'000'000));
+    const auto work = static_cast<util::Nanos>(rng.bounded(5'000'000) + 1);
+    const auto cpu = static_cast<sched::CpuId>(rng.bounded(3));
+    total_work += work;
+    const util::Nanos when = static_cast<util::Nanos>(rng.bounded(1'000'000));
+    sched::Vcpu* raw = vcpu.get();
+    sim.schedule_at(when, [&executor, raw, cpu, work, &completed] {
+      executor.submit(*raw, cpu, work, [&completed](sched::Vcpu&) {
+        ++completed;
+      });
+    });
+    vcpus.push_back(std::move(vcpu));
+    // Sprinkle blackouts (resume stalls): they delay but never destroy work.
+    if (i % 7 == 0) {
+      const util::Nanos bt = static_cast<util::Nanos>(rng.bounded(900'000));
+      sim.schedule_at(bt, [&executor, &rng] {
+        executor.block_cpu(static_cast<sched::CpuId>(rng.bounded(3)), 10'000);
+      });
+    }
+  }
+  sim.run();
+
+  ASSERT_EQ(completed, tasks);
+  const util::Nanos accounted = std::accumulate(
+      vcpus.begin(), vcpus.end(), util::Nanos{0},
+      [](util::Nanos sum, const auto& vcpu) { return sum + vcpu->cpu_time; });
+  ASSERT_EQ(accounted, total_work) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkConservationTest,
+                         ::testing::Values(1u, 5u, 23u, 99u, 777u));
+
+/// Histogram merge property: merging per-shard histograms is equivalent
+/// (within bucket resolution) to recording everything into one.
+class HistogramMergePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramMergePropertyTest, ShardedEqualsMonolithic) {
+  util::Xoshiro256 rng(GetParam());
+  metrics::Histogram merged;
+  metrics::Histogram monolithic;
+  metrics::Histogram shards[4];
+  for (int i = 0; i < 20'000; ++i) {
+    const auto value = static_cast<util::Nanos>(rng.bounded(100'000'000));
+    monolithic.record(value);
+    shards[rng.bounded(4)].record(value);
+  }
+  for (auto& shard : shards) {
+    merged.merge(shard);
+  }
+  ASSERT_EQ(merged.count(), monolithic.count());
+  ASSERT_EQ(merged.min(), monolithic.min());
+  ASSERT_EQ(merged.max(), monolithic.max());
+  ASSERT_DOUBLE_EQ(merged.mean(), monolithic.mean());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    ASSERT_EQ(merged.quantile(q), monolithic.quantile(q)) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMergePropertyTest,
+                         ::testing::Values(2u, 11u, 31u));
+
+/// §4.2 end-to-end invariance: across the vCPU sweep, HORSE's colocation
+/// run reports exactly the same DVFS energy as vanilla — the coalesced
+/// load updates are observationally equivalent inputs to the governor.
+class EnergyParityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EnergyParityTest, ColocationEnergyIdentical) {
+  const auto costs = sim::CostModel::defaults(vmm::VmmProfile::firecracker());
+  const auto arrivals =
+      faas::default_thumbnail_arrivals(3 * util::kSecond, 13);
+  faas::ColocationParams params;
+  params.duration = 3 * util::kSecond;
+  params.num_cpus = 8;
+  params.ull_vcpus = GetParam();
+
+  params.mode = faas::ColocationMode::kVanilla;
+  const auto vanilla = faas::ColocationExperiment(params, costs).run(arrivals);
+  params.mode = faas::ColocationMode::kHorse;
+  const auto horse = faas::ColocationExperiment(params, costs).run(arrivals);
+
+  EXPECT_GT(vanilla.energy_joules, 0.0);
+  EXPECT_NEAR(horse.energy_joules / vanilla.energy_joules, 1.0, 0.02);
+  EXPECT_NEAR(horse.mean_freq_khz / vanilla.mean_freq_khz, 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(VcpuSweep, EnergyParityTest,
+                         ::testing::Values(1u, 8u, 36u));
+
+}  // namespace
+}  // namespace horse

@@ -1,0 +1,116 @@
+// End-state equivalence between the vanilla and HORSE resume paths,
+// parameterized over the paper's vCPU sweep: after resume, both must leave
+// (a) every vCPU of the sandbox runnable on some queue, (b) each queue
+// credit-sorted, and — when forced onto a single queue — (c) the same
+// queue load. "HORSE ... with no impact on functions" is exactly this
+// observational equivalence.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/horse_resume.hpp"
+#include "vmm/resume_engine.hpp"
+
+namespace horse::core {
+namespace {
+
+class ResumeEquivalenceTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  static std::unique_ptr<vmm::Sandbox> make_sandbox(sched::SandboxId id,
+                                                    std::uint32_t vcpus,
+                                                    bool ull) {
+    vmm::SandboxConfig config;
+    config.name = "sweep";
+    config.num_vcpus = vcpus;
+    config.memory_mb = 1;
+    config.ull = ull;
+    auto sandbox = std::make_unique<vmm::Sandbox>(id, config);
+    // Distinct, shuffled credits so sorting is observable.
+    for (std::uint32_t i = 0; i < vcpus; ++i) {
+      sandbox->vcpu(i).credit =
+          static_cast<sched::Credit>((i * 37) % (vcpus * 3 + 1));
+    }
+    return sandbox;
+  }
+};
+
+TEST_P(ResumeEquivalenceTest, HorseLeavesSameObservableState) {
+  const std::uint32_t vcpus = GetParam();
+
+  // HORSE side: topology with one reserved queue.
+  sched::CpuTopology horse_topo(4);
+  HorseResumeEngine horse(horse_topo, vmm::VmmProfile::firecracker());
+  auto ull = make_sandbox(1, vcpus, true);
+  ASSERT_TRUE(horse.start(*ull).is_ok());
+  ASSERT_TRUE(horse.pause(*ull).is_ok());
+  horse_topo.queue(3).set_load_for_test(64.0);
+  ASSERT_TRUE(horse.resume(*ull).is_ok());
+
+  // Vanilla side: same vCPU count forced onto one queue.
+  sched::CpuTopology vanilla_topo(4);
+  vmm::ResumeEngine vanilla(vanilla_topo, vmm::VmmProfile::firecracker());
+  auto plain = make_sandbox(2, vcpus, false);
+  ASSERT_TRUE(vanilla.start(*plain).is_ok());
+  ASSERT_TRUE(vanilla.pause(*plain).is_ok());
+  vanilla_topo.queue(0).set_load_for_test(64.0);
+  vanilla_topo.queue(1).set_load_for_test(1e12);
+  vanilla_topo.queue(2).set_load_for_test(1e12);
+  vanilla_topo.queue(3).set_load_for_test(1e12);
+  ASSERT_TRUE(vanilla.resume(*plain).is_ok());
+
+  // (a) all vCPUs queued.
+  EXPECT_EQ(horse_topo.queue(3).size(), vcpus);
+  EXPECT_EQ(vanilla_topo.queue(0).size(), vcpus);
+
+  // (b) queues sorted, same credit sequence.
+  EXPECT_TRUE(horse_topo.queue(3).is_sorted());
+  EXPECT_TRUE(vanilla_topo.queue(0).is_sorted());
+  std::vector<sched::Credit> horse_credits;
+  for (const sched::Vcpu& vcpu : horse_topo.queue(3).list()) {
+    horse_credits.push_back(vcpu.credit);
+  }
+  std::vector<sched::Credit> vanilla_credits;
+  for (const sched::Vcpu& vcpu : vanilla_topo.queue(0).list()) {
+    vanilla_credits.push_back(vcpu.credit);
+  }
+  EXPECT_EQ(horse_credits, vanilla_credits);
+
+  // (c) identical load (coalesced vs iterative).
+  EXPECT_NEAR(horse_topo.queue(3).load(), vanilla_topo.queue(0).load(), 1e-6);
+
+  // Sandboxes both running.
+  EXPECT_EQ(ull->state(), vmm::SandboxState::kRunning);
+  EXPECT_EQ(plain->state(), vmm::SandboxState::kRunning);
+
+  ASSERT_TRUE(horse.destroy(*ull).is_ok());
+  ASSERT_TRUE(vanilla.destroy(*plain).is_ok());
+}
+
+TEST_P(ResumeEquivalenceTest, HorseCyclesPreserveVcpuSet) {
+  const std::uint32_t vcpus = GetParam();
+  sched::CpuTopology topo(4);
+  HorseResumeEngine engine(topo, vmm::VmmProfile::firecracker());
+  auto sandbox = make_sandbox(1, vcpus, true);
+  ASSERT_TRUE(engine.start(*sandbox).is_ok());
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_TRUE(engine.pause(*sandbox).is_ok());
+    ASSERT_EQ(sandbox->merge_vcpus().size(), vcpus);
+    ASSERT_TRUE(engine.resume(*sandbox).is_ok());
+    // Exactly the sandbox's vCPUs on the reserved queue, each linked once.
+    ASSERT_EQ(topo.queue(3).size(), vcpus);
+    std::size_t found = 0;
+    for (const sched::Vcpu& queued : topo.queue(3).list()) {
+      ASSERT_EQ(queued.sandbox, sandbox->id());
+      ++found;
+    }
+    ASSERT_EQ(found, vcpus);
+  }
+  ASSERT_TRUE(engine.destroy(*sandbox).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(VcpuSweep, ResumeEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u, 16u, 24u,
+                                           32u, 36u));
+
+}  // namespace
+}  // namespace horse::core

@@ -1,0 +1,114 @@
+// XenStore fuzz: random interleavings of direct writes, transactions, and
+// removals, validated against a flat reference map and the store's own
+// transactional guarantees.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/rng.hpp"
+#include "vmm/xenstore.hpp"
+
+namespace horse::vmm {
+namespace {
+
+class XenStoreFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XenStoreFuzzTest, RandomOpsMatchReferenceMap) {
+  util::Xoshiro256 rng(GetParam());
+  XenStore store;
+  std::map<std::string, std::string> reference;
+
+  auto random_path = [&] {
+    return "/d/" + std::to_string(rng.bounded(8)) + "/" +
+           std::to_string(rng.bounded(4));
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    switch (rng.bounded(5)) {
+      case 0: {  // direct write
+        const auto path = random_path();
+        const auto value = std::to_string(rng.bounded(1000));
+        ASSERT_TRUE(store.write(path, value).is_ok());
+        reference[path] = value;
+        break;
+      }
+      case 1: {  // read
+        const auto path = random_path();
+        const auto value = store.read(path);
+        const auto it = reference.find(path);
+        ASSERT_EQ(value.has_value(), it != reference.end()) << path;
+        if (value.has_value()) {
+          ASSERT_EQ(*value, it->second);
+        }
+        break;
+      }
+      case 2: {  // recursive remove of a domain directory
+        const auto dir = "/d/" + std::to_string(rng.bounded(8));
+        const bool existed =
+            std::any_of(reference.begin(), reference.end(),
+                        [&](const auto& kv) {
+                          return kv.first.rfind(dir + "/", 0) == 0 ||
+                                 kv.first == dir;
+                        });
+        const auto status = store.remove(dir);
+        ASSERT_EQ(status.is_ok(), existed) << dir;
+        if (existed) {
+          for (auto it = reference.begin(); it != reference.end();) {
+            if (it->first.rfind(dir + "/", 0) == 0 || it->first == dir) {
+              it = reference.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        break;
+      }
+      case 3: {  // clean transaction: isolated then committed atomically
+        const auto tx = store.tx_begin();
+        std::map<std::string, std::string> staged;
+        const auto writes = rng.bounded(4) + 1;
+        for (std::uint64_t i = 0; i < writes; ++i) {
+          const auto path = random_path();
+          const auto value = "tx-" + std::to_string(rng.bounded(1000));
+          ASSERT_TRUE(store.tx_write(tx, path, value).is_ok());
+          staged[path] = value;
+        }
+        ASSERT_TRUE(store.tx_commit(tx).is_ok());
+        for (auto& [path, value] : staged) {
+          reference[path] = value;
+        }
+        break;
+      }
+      case 4: {  // conflicted transaction: must change nothing
+        const auto path = random_path();
+        // Seed the path so the transactional read sees something.
+        ASSERT_TRUE(store.write(path, "before").is_ok());
+        reference[path] = "before";
+        const auto tx = store.tx_begin();
+        (void)store.tx_read(tx, path);
+        ASSERT_TRUE(store.write(path, "outside").is_ok());  // conflict
+        reference[path] = "outside";
+        ASSERT_TRUE(store.tx_write(tx, path, "inside").is_ok());
+        ASSERT_EQ(store.tx_commit(tx).code(),
+                  util::StatusCode::kFailedPrecondition);
+        break;
+      }
+    }
+  }
+
+  // Final state equivalence.
+  ASSERT_EQ(store.size(), reference.size());
+  for (const auto& [path, value] : reference) {
+    const auto stored = store.read(path);
+    ASSERT_TRUE(stored.has_value()) << path;
+    ASSERT_EQ(*stored, value) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XenStoreFuzzTest,
+                         ::testing::Values(3u, 17u, 404u, 9001u, 123456u));
+
+}  // namespace
+}  // namespace horse::vmm

@@ -1,0 +1,92 @@
+#include "sched/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sched {
+namespace {
+
+TEST(DvfsTest, ValidateRejectsBadParams) {
+  DvfsParams params;
+  params.min_freq_khz = 0;
+  EXPECT_THROW(DvfsGovernor{params}, std::invalid_argument);
+  params = {};
+  params.max_freq_khz = params.min_freq_khz;
+  EXPECT_THROW(DvfsGovernor{params}, std::invalid_argument);
+  params = {};
+  params.capacity = 0.0;
+  EXPECT_THROW(DvfsGovernor{params}, std::invalid_argument);
+  params = {};
+  params.step_khz = 0;
+  EXPECT_THROW(DvfsGovernor{params}, std::invalid_argument);
+}
+
+TEST(DvfsTest, ZeroLoadGivesMinFrequency) {
+  DvfsGovernor governor;
+  const auto freq = governor.target_freq_khz(0.0);
+  EXPECT_EQ(freq, governor.params().min_freq_khz -
+                      governor.params().min_freq_khz %
+                          governor.params().step_khz);
+}
+
+TEST(DvfsTest, FullLoadGivesMaxFrequency) {
+  DvfsGovernor governor;
+  const auto freq = governor.target_freq_khz(1024.0);
+  EXPECT_EQ(freq, governor.params().max_freq_khz -
+                      governor.params().max_freq_khz %
+                          governor.params().step_khz);
+}
+
+TEST(DvfsTest, OverloadClampsToMax) {
+  DvfsGovernor governor;
+  EXPECT_EQ(governor.target_freq_khz(5000.0), governor.target_freq_khz(1024.0));
+}
+
+TEST(DvfsTest, MonotoneInLoad) {
+  DvfsGovernor governor;
+  std::uint64_t prev = 0;
+  for (double load = 0.0; load <= 1024.0; load += 64.0) {
+    const auto freq = governor.target_freq_khz(load);
+    EXPECT_GE(freq, prev);
+    prev = freq;
+  }
+}
+
+TEST(DvfsTest, QuantisedToStep) {
+  DvfsGovernor governor;
+  for (double load = 0.0; load <= 1024.0; load += 100.0) {
+    EXPECT_EQ(governor.target_freq_khz(load) % governor.params().step_khz, 0u);
+  }
+}
+
+TEST(DvfsTest, EvaluateWholeTopology) {
+  CpuTopology topology(4);
+  topology.queue(0).set_load_for_test(0.0);
+  topology.queue(1).set_load_for_test(512.0);
+  topology.queue(2).set_load_for_test(1024.0);
+  topology.queue(3).set_load_for_test(2048.0);
+  DvfsGovernor governor;
+  const auto freqs = governor.evaluate(topology);
+  ASSERT_EQ(freqs.size(), 4u);
+  EXPECT_LT(freqs[0], freqs[1]);
+  EXPECT_LE(freqs[1], freqs[2]);
+  EXPECT_EQ(freqs[2], freqs[3]);  // both saturated
+}
+
+TEST(DvfsTest, CoalescedLoadYieldsIdenticalFrequencyDecision) {
+  // The correctness property §4.2 rests on: the governor cannot tell a
+  // coalesced update from n iterative ones.
+  CpuTopology iterative(1);
+  CpuTopology coalesced(1);
+  iterative.queue(0).set_load_for_test(300.0);
+  coalesced.queue(0).set_load_for_test(300.0);
+  for (int i = 0; i < 36; ++i) {
+    iterative.queue(0).update_load_enqueue();
+  }
+  coalesced.queue(0).update_load_coalesced(36);
+  DvfsGovernor governor;
+  EXPECT_EQ(governor.target_freq_khz(iterative.queue(0).load()),
+            governor.target_freq_khz(coalesced.queue(0).load()));
+}
+
+}  // namespace
+}  // namespace horse::sched

@@ -1,0 +1,95 @@
+#include "sched/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coalesce.hpp"
+
+namespace horse::sched {
+namespace {
+
+TEST(EnergyModelTest, ValidatesParams) {
+  EnergyParams params;
+  params.c_eff_nf = 0.0;
+  EXPECT_THROW(EnergyModel{params}, std::invalid_argument);
+  params = {};
+  params.v_max = params.v_min / 2;
+  EXPECT_THROW(EnergyModel{params}, std::invalid_argument);
+  params = {};
+  params.max_freq_khz = params.min_freq_khz;
+  EXPECT_THROW(EnergyModel{params}, std::invalid_argument);
+}
+
+TEST(EnergyModelTest, VoltageInterpolatesAndClamps) {
+  EnergyModel model;
+  const auto& p = model.params();
+  EXPECT_DOUBLE_EQ(model.voltage_at(p.min_freq_khz), p.v_min);
+  EXPECT_DOUBLE_EQ(model.voltage_at(p.max_freq_khz), p.v_max);
+  EXPECT_DOUBLE_EQ(model.voltage_at(0), p.v_min);            // clamped
+  EXPECT_DOUBLE_EQ(model.voltage_at(10 * p.max_freq_khz), p.v_max);
+  const auto mid = (p.min_freq_khz + p.max_freq_khz) / 2;
+  EXPECT_NEAR(model.voltage_at(mid), (p.v_min + p.v_max) / 2, 1e-9);
+}
+
+TEST(EnergyModelTest, PowerIsMonotoneInFrequency) {
+  EnergyModel model;
+  double prev = 0.0;
+  for (std::uint64_t f = 800'000; f <= 2'400'000; f += 200'000) {
+    const double power = model.power_at(f);
+    EXPECT_GT(power, prev);
+    prev = power;
+  }
+  // Static floor present even at min frequency.
+  EXPECT_GT(model.power_at(800'000), model.params().static_watts);
+}
+
+TEST(EnergyModelTest, EnergyScalesWithDuration) {
+  EnergyModel model;
+  const double one_ms = model.energy_joules(2'000'000, util::kMillisecond);
+  const double two_ms = model.energy_joules(2'000'000, 2 * util::kMillisecond);
+  EXPECT_NEAR(two_ms, 2.0 * one_ms, 1e-12);
+}
+
+TEST(EnergyModelTest, TraceEnergyIsStepIntegral) {
+  EnergyModel model;
+  metrics::TimeSeries trace;
+  trace.record(0, 800'000.0);                    // min freq for 1 ms
+  trace.record(util::kMillisecond, 2'400'000.0); // max freq for 1 ms
+  const double total = model.energy_of_trace(trace, 2 * util::kMillisecond);
+  const double expected = model.energy_joules(800'000, util::kMillisecond) +
+                          model.energy_joules(2'400'000, util::kMillisecond);
+  EXPECT_NEAR(total, expected, 1e-12);
+}
+
+TEST(EnergyModelTest, EmptyTraceIsZero) {
+  EnergyModel model;
+  EXPECT_EQ(model.energy_of_trace(metrics::TimeSeries{}, util::kSecond), 0.0);
+}
+
+TEST(EnergyModelTest, CoalescedLoadYieldsIdenticalEnergy) {
+  // End-to-end §4.2 safety property: DVFS decisions from a coalesced load
+  // equal those from iterative updates, hence so does estimated energy —
+  // HORSE cannot change the host's power behaviour.
+  RunQueue iterative(0);
+  RunQueue coalesced(1);
+  iterative.set_load_for_test(200.0);
+  coalesced.set_load_for_test(200.0);
+  for (int i = 0; i < 36; ++i) {
+    iterative.update_load_enqueue();
+  }
+  const auto pre = core::LoadCoalescer(coalesced.pelt().params()).precompute(36);
+  coalesced.apply_precomputed_load(pre.alpha_n, pre.beta_geo_sum);
+
+  DvfsGovernor governor;
+  EnergyModel model;
+  metrics::TimeSeries trace_iterative;
+  metrics::TimeSeries trace_coalesced;
+  trace_iterative.record(
+      0, static_cast<double>(governor.target_freq_khz(iterative.load())));
+  trace_coalesced.record(
+      0, static_cast<double>(governor.target_freq_khz(coalesced.load())));
+  EXPECT_DOUBLE_EQ(model.energy_of_trace(trace_iterative, util::kSecond),
+                   model.energy_of_trace(trace_coalesced, util::kSecond));
+}
+
+}  // namespace
+}  // namespace horse::sched

@@ -1,0 +1,103 @@
+#include "sched/idle_governor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sched {
+namespace {
+
+TEST(IdleGovernorTest, ValidatesConstruction) {
+  EXPECT_THROW(IdleGovernor(0), std::invalid_argument);
+  EXPECT_THROW(IdleGovernor(1, {}), std::invalid_argument);
+  // Out-of-order states rejected.
+  std::vector<CState> reversed{{"deep", 100, 100, 1.0}, {"shallow", 1, 1, 2.0}};
+  EXPECT_THROW(IdleGovernor(1, reversed), std::invalid_argument);
+  IdleGovernor::Params params;
+  params.ewma_alpha = 0.0;
+  EXPECT_THROW(IdleGovernor(1, default_cstates(), params),
+               std::invalid_argument);
+}
+
+TEST(IdleGovernorTest, DefaultTableShape) {
+  const auto& states = default_cstates();
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0].exit_latency, 0);  // C0-poll wakes instantly
+  // Deeper = slower to leave, cheaper to stay.
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_GT(states[i].exit_latency, states[i - 1].exit_latency);
+    EXPECT_LT(states[i].power_watts, states[i - 1].power_watts);
+  }
+}
+
+TEST(IdleGovernorTest, LongPredictedIdlePicksDeepState) {
+  IdleGovernor governor(1);
+  for (int i = 0; i < 10; ++i) {
+    governor.observe_idle(0, 10 * util::kMillisecond);
+  }
+  EXPECT_EQ(governor.state(governor.select(0)).name, "C6");
+  EXPECT_EQ(governor.wake_penalty(0), 133 * util::kMicrosecond);
+}
+
+TEST(IdleGovernorTest, ShortPredictedIdleStaysShallow) {
+  IdleGovernor governor(1);
+  for (int i = 0; i < 10; ++i) {
+    governor.observe_idle(0, 1 * util::kMicrosecond);
+  }
+  EXPECT_EQ(governor.state(governor.select(0)).name, "C0-poll");
+  EXPECT_EQ(governor.wake_penalty(0), 0);
+}
+
+TEST(IdleGovernorTest, LatencyCapPinsUllCpuShallow) {
+  // The uLL integration: 100 ms gaps between triggers would normally earn
+  // C6 and its 133 µs exit — 900x HORSE's ~150 ns resume. The reservation
+  // sets a cap so the wake penalty stays at or near zero.
+  IdleGovernor governor(2);
+  for (int i = 0; i < 10; ++i) {
+    governor.observe_idle(0, 100 * util::kMillisecond);
+    governor.observe_idle(1, 100 * util::kMillisecond);
+  }
+  governor.set_latency_cap(1, 500);  // the reserved ull CPU
+  EXPECT_EQ(governor.state(governor.select(0)).name, "C6");
+  EXPECT_EQ(governor.state(governor.select(1)).name, "C0-poll");
+  EXPECT_EQ(governor.wake_penalty(1), 0);
+  EXPECT_EQ(governor.latency_cap(1), 500);
+}
+
+TEST(IdleGovernorTest, PredictorTracksObservations) {
+  IdleGovernor governor(1);
+  governor.observe_idle(0, 1000);  // first observation seeds directly
+  EXPECT_EQ(governor.predicted_idle(0), 1000);
+  governor.observe_idle(0, 2000);
+  // EWMA(0.3): 0.3*2000 + 0.7*1000 = 1300.
+  EXPECT_EQ(governor.predicted_idle(0), 1300);
+  governor.observe_idle(0, -5);  // clamped to 0
+  // 0.7 * 1300 = 910 before double->integer truncation.
+  EXPECT_NEAR(static_cast<double>(governor.predicted_idle(0)), 910.0, 1.0);
+}
+
+TEST(IdleGovernorTest, PerCpuIndependence) {
+  IdleGovernor governor(2);
+  governor.observe_idle(0, 10 * util::kMillisecond);
+  governor.observe_idle(1, 1 * util::kMicrosecond);
+  EXPECT_NE(governor.select(0), governor.select(1));
+}
+
+TEST(IdleGovernorTest, MidRangePredictionPicksMiddleState) {
+  IdleGovernor governor(1);
+  governor.observe_idle(0, 50 * util::kMicrosecond);
+  // Fits C1E (residency 20 µs) but not C6 (600 µs).
+  EXPECT_EQ(governor.state(governor.select(0)).name, "C1E");
+}
+
+TEST(IdleGovernorTest, WakePenaltyDominatesHorseResumeWithoutCap) {
+  // The quantitative point: C6 exit (133 µs) vs HORSE's ~150 ns fast path
+  // — the idle policy, not the scheduler, would set the floor.
+  IdleGovernor governor(1);
+  for (int i = 0; i < 5; ++i) {
+    governor.observe_idle(0, util::kSecond);
+  }
+  constexpr util::Nanos kHorseResume = 150;
+  EXPECT_GT(governor.wake_penalty(0), 500 * kHorseResume);
+}
+
+}  // namespace
+}  // namespace horse::sched

@@ -1,0 +1,142 @@
+#include "sched/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace horse::sched {
+namespace {
+
+class LoadBalancerTest : public ::testing::Test {
+ protected:
+  LoadBalancerTest() : topology_(4) {}
+
+  void fill_queue(CpuId cpu, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto vcpu = std::make_unique<Vcpu>();
+      vcpu->credit = static_cast<Credit>(100 * (i + 1));
+      util::LockGuard guard(topology_.queue(cpu).lock());
+      topology_.queue(cpu).insert_sorted(*vcpu);
+      storage_.push_back(std::move(vcpu));
+    }
+  }
+
+  CpuTopology topology_;
+  std::vector<std::unique_ptr<Vcpu>> storage_;
+};
+
+TEST_F(LoadBalancerTest, ValidatesParams) {
+  LoadBalancerParams params;
+  params.imbalance_ratio = 1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.max_migrations_per_round = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST_F(LoadBalancerTest, BalancedTopologyNoMigration) {
+  fill_queue(0, 3);
+  fill_queue(1, 3);
+  fill_queue(2, 3);
+  fill_queue(3, 3);
+  LoadBalancer balancer(topology_);
+  EXPECT_EQ(balancer.rebalance(), 0u);
+}
+
+TEST_F(LoadBalancerTest, EmptyTopologyNoMigration) {
+  LoadBalancer balancer(topology_);
+  EXPECT_EQ(balancer.rebalance(), 0u);
+}
+
+TEST_F(LoadBalancerTest, MigratesFromBusiestToIdlest) {
+  fill_queue(0, 6);
+  // Queues 1-3 empty.
+  LoadBalancerParams params;
+  params.max_migrations_per_round = 2;
+  LoadBalancer balancer(topology_, params);
+  const auto migrated = balancer.rebalance();
+  EXPECT_EQ(migrated, 2u);
+  EXPECT_EQ(topology_.queue(0).size(), 4u);
+  // Both landed on one (the idlest) queue; everything stays sorted.
+  std::size_t relocated = 0;
+  for (CpuId cpu = 1; cpu < 4; ++cpu) {
+    relocated += topology_.queue(cpu).size();
+    EXPECT_TRUE(topology_.queue(cpu).is_sorted());
+  }
+  EXPECT_EQ(relocated, 2u);
+  EXPECT_EQ(balancer.total_migrations(), 2u);
+}
+
+TEST_F(LoadBalancerTest, RepeatedRoundsConverge) {
+  fill_queue(0, 12);
+  LoadBalancer balancer(topology_);
+  for (int round = 0; round < 20; ++round) {
+    if (balancer.rebalance() == 0) {
+      break;
+    }
+  }
+  // No queue should remain > 1.5x another after convergence.
+  std::size_t max_len = 0;
+  std::size_t min_len = 100;
+  for (CpuId cpu = 0; cpu < 4; ++cpu) {
+    max_len = std::max(max_len, topology_.queue(cpu).size());
+    min_len = std::min(min_len, topology_.queue(cpu).size());
+  }
+  EXPECT_LE(max_len, min_len + 2);
+}
+
+TEST_F(LoadBalancerTest, NeverTouchesReservedQueues) {
+  topology_.reserve_for_ull(3);
+  fill_queue(3, 10);  // heavily loaded ull queue
+  fill_queue(0, 1);
+  LoadBalancer balancer(topology_);
+  EXPECT_EQ(balancer.rebalance(), 0u);  // imbalance is on the reserved queue
+  EXPECT_EQ(topology_.queue(3).size(), 10u);
+
+  // And never migrates INTO a reserved queue either.
+  fill_queue(1, 8);
+  (void)balancer.rebalance();
+  EXPECT_EQ(topology_.queue(3).size(), 10u);
+}
+
+TEST_F(LoadBalancerTest, MigrationPreservesVcpuCount) {
+  fill_queue(0, 9);
+  fill_queue(1, 1);
+  LoadBalancer balancer(topology_);
+  for (int i = 0; i < 10; ++i) {
+    (void)balancer.rebalance();
+  }
+  std::size_t total = 0;
+  for (CpuId cpu = 0; cpu < 4; ++cpu) {
+    total += topology_.queue(cpu).size();
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST_F(LoadBalancerTest, TickDriverDecaysIdleQueues) {
+  topology_.queue(0).set_load_for_test(1024.0);
+  topology_.queue(1).set_load_for_test(1024.0);
+  fill_queue(1, 1);  // non-empty: no decay
+  LoadBalancer balancer(topology_);
+  TickDriver ticker(topology_, balancer, /*rebalance_every=*/1000);
+  for (int i = 0; i < 32; ++i) {
+    ticker.on_tick();
+  }
+  EXPECT_EQ(ticker.ticks(), 32u);
+  EXPECT_NEAR(topology_.queue(0).load(), 512.0, 1.0);  // halved in 32 periods
+  EXPECT_DOUBLE_EQ(topology_.queue(1).load(), 1024.0);
+}
+
+TEST_F(LoadBalancerTest, TickDriverTriggersRebalance) {
+  fill_queue(0, 8);
+  LoadBalancer balancer(topology_);
+  TickDriver ticker(topology_, balancer, /*rebalance_every=*/2);
+  ticker.on_tick();
+  EXPECT_EQ(balancer.total_migrations(), 0u);  // not yet
+  ticker.on_tick();
+  EXPECT_GT(balancer.total_migrations(), 0u);  // every 2nd tick
+}
+
+}  // namespace
+}  // namespace horse::sched

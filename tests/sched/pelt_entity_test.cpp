@@ -1,0 +1,128 @@
+#include "sched/pelt_entity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sched {
+namespace {
+
+TEST(EntityLoadTest, StartsAtZero) {
+  EntityLoad entity;
+  EXPECT_EQ(entity.load_avg(), 0.0);
+}
+
+TEST(EntityLoadTest, AlwaysRunningConvergesTo1024) {
+  EntityLoad entity;
+  util::Nanos now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += kPeltPeriod;
+    entity.update_running(now, kPeltPeriod);
+  }
+  EXPECT_NEAR(entity.load_avg(), 1024.0, 1.0);
+}
+
+TEST(EntityLoadTest, HalfTimeRunnableConvergesToHalf) {
+  // Alternate 1 period running, 1 period idle: average utilisation 50%.
+  EntityLoad entity;
+  util::Nanos now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    now += kPeltPeriod;
+    if (i % 2 == 0) {
+      entity.update_running(now, kPeltPeriod);
+    } else {
+      entity.update_idle(now);
+    }
+  }
+  // The duty-cycled fixed point: L = a(aL + b) => L = ab/(1-a^2) ≈ 506.
+  const PeltParams params;
+  const double expected =
+      params.alpha * params.beta / (1.0 - params.alpha * params.alpha);
+  EXPECT_NEAR(entity.load_avg(), expected, 2.0);
+}
+
+TEST(EntityLoadTest, IdleDecayHalvesEvery32Periods) {
+  EntityLoad entity;
+  util::Nanos now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += kPeltPeriod;
+    entity.update_running(now, kPeltPeriod);
+  }
+  const double peak = entity.load_avg();
+  entity.update_idle(now + 32 * kPeltPeriod);
+  EXPECT_NEAR(entity.load_avg(), peak / 2.0, 1.0);
+}
+
+TEST(EntityLoadTest, PartialPeriodContributesFractionally) {
+  EntityLoad full;
+  EntityLoad half;
+  full.update_running(kPeltPeriod, kPeltPeriod);
+  half.update_running(kPeltPeriod, kPeltPeriod / 2);
+  EXPECT_NEAR(half.load_avg(), full.load_avg() / 2.0, 1e-9);
+}
+
+TEST(EntityLoadTest, ZeroDurationOnlyDecays) {
+  EntityLoad entity;
+  entity.update_running(kPeltPeriod, kPeltPeriod);
+  const double before = entity.load_avg();
+  entity.update_running(40 * kPeltPeriod, 0);
+  EXPECT_LT(entity.load_avg(), before);
+}
+
+TEST(EntityLoadTest, MatchesQueueLevelClosedForm) {
+  // n consecutive full running periods from zero must equal the
+  // queue-level tracker's closed form for n applications.
+  EntityLoad entity;
+  PeltLoadTracker tracker;
+  util::Nanos now = 0;
+  const int n = 36;
+  for (int i = 0; i < n; ++i) {
+    now += kPeltPeriod;
+    entity.update_running(now, kPeltPeriod);
+  }
+  EXPECT_NEAR(entity.load_avg(), tracker.apply_closed_form(0.0, n), 1e-6);
+}
+
+TEST(EntityQueueLoadTest, AttachDetachMaintainsSum) {
+  EntityQueueLoad queue;
+  EntityLoad a;
+  EntityLoad b;
+  a.update_running(kPeltPeriod, kPeltPeriod);
+  b.update_running(2 * kPeltPeriod, 2 * kPeltPeriod);
+  queue.attach(a);
+  queue.attach(b);
+  EXPECT_EQ(queue.entities(), 2u);
+  EXPECT_NEAR(queue.total(), a.load_avg() + b.load_avg(), 1e-12);
+  queue.detach(a);
+  EXPECT_EQ(queue.entities(), 1u);
+  EXPECT_NEAR(queue.total(), b.load_avg(), 1e-12);
+}
+
+TEST(EntityQueueLoadTest, MigrationMovesLoadBetweenQueues) {
+  // The point of per-entity tracking: a migrated vCPU carries its load.
+  EntityQueueLoad source;
+  EntityQueueLoad target;
+  EntityLoad vcpu;
+  vcpu.update_running(10 * kPeltPeriod, 10 * kPeltPeriod);
+  source.attach(vcpu);
+  const double load = vcpu.load_avg();
+
+  source.detach(vcpu);
+  target.attach(vcpu);
+  EXPECT_NEAR(source.total(), 0.0, 1e-12);
+  EXPECT_NEAR(target.total(), load, 1e-12);
+}
+
+TEST(EntityQueueLoadTest, DetachClampsAtZero) {
+  EntityQueueLoad queue;
+  EntityLoad stale;
+  stale.update_running(kPeltPeriod, kPeltPeriod);
+  EntityLoad fresh = stale;
+  queue.attach(fresh);
+  // Entity decayed after attach; detaching the newer (smaller) value must
+  // not drive the sum negative.
+  stale.update_idle(100 * kPeltPeriod);
+  queue.detach(fresh);
+  EXPECT_GE(queue.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace horse::sched

@@ -1,0 +1,87 @@
+#include "sched/pelt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace horse::sched {
+namespace {
+
+TEST(PeltTest, DefaultParamsAreLinuxLike) {
+  PeltParams params;
+  // alpha = 0.5^(1/32): halves after 32 applications.
+  EXPECT_NEAR(std::pow(params.alpha, 32.0), 0.5, 1e-9);
+  // beta scaled so the fixed point is 1024.
+  EXPECT_NEAR(params.beta / (1.0 - params.alpha), 1024.0, 1e-6);
+}
+
+TEST(PeltTest, ValidateRejectsBadAlpha) {
+  PeltParams params;
+  params.alpha = 1.0;
+  EXPECT_THROW(PeltLoadTracker{params}, std::invalid_argument);
+  params.alpha = 0.0;
+  EXPECT_THROW(PeltLoadTracker{params}, std::invalid_argument);
+  params.alpha = -0.5;
+  EXPECT_THROW(PeltLoadTracker{params}, std::invalid_argument);
+}
+
+TEST(PeltTest, ValidateRejectsNegativeBeta) {
+  PeltParams params;
+  params.beta = -1.0;
+  EXPECT_THROW(PeltLoadTracker{params}, std::invalid_argument);
+}
+
+TEST(PeltTest, ApplyOnceIsAffine) {
+  PeltLoadTracker tracker;
+  const auto& p = tracker.params();
+  EXPECT_DOUBLE_EQ(tracker.apply_once(0.0), p.beta);
+  EXPECT_DOUBLE_EQ(tracker.apply_once(100.0), p.alpha * 100.0 + p.beta);
+}
+
+TEST(PeltTest, IterativeZeroApplicationsIsIdentity) {
+  PeltLoadTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.apply_iterative(123.0, 0), 123.0);
+  EXPECT_DOUBLE_EQ(tracker.apply_closed_form(123.0, 0), 123.0);
+}
+
+TEST(PeltTest, ClosedFormEqualsIterativeAcrossN) {
+  PeltLoadTracker tracker;
+  for (const std::uint32_t n : {1u, 2u, 3u, 7u, 16u, 36u, 100u, 1000u}) {
+    const double iterative = tracker.apply_iterative(77.0, n);
+    const double closed = tracker.apply_closed_form(77.0, n);
+    EXPECT_NEAR(iterative, closed, 1e-9 * std::max(1.0, iterative)) << "n=" << n;
+  }
+}
+
+TEST(PeltTest, FixedPointIs1024) {
+  PeltLoadTracker tracker;
+  // A persistently runnable entity converges to beta/(1-alpha) = 1024.
+  const double converged = tracker.apply_closed_form(0.0, 10'000);
+  EXPECT_NEAR(converged, 1024.0, 1e-6);
+}
+
+TEST(PeltTest, DecayIsPureGeometric) {
+  PeltLoadTracker tracker;
+  const double decayed = tracker.decay(1024.0, 32);
+  EXPECT_NEAR(decayed, 512.0, 1e-6);
+  EXPECT_DOUBLE_EQ(tracker.decay(100.0, 0), 100.0);
+}
+
+TEST(PeltTest, MonotoneInLoad) {
+  PeltLoadTracker tracker;
+  EXPECT_LT(tracker.apply_closed_form(10.0, 5),
+            tracker.apply_closed_form(20.0, 5));
+}
+
+TEST(PeltTest, CustomParamsRespected) {
+  PeltParams params;
+  params.alpha = 0.5;
+  params.beta = 1.0;
+  PeltLoadTracker tracker(params);
+  // L(0)=1, L(1)=1.5, L(1.5)=1.75
+  EXPECT_DOUBLE_EQ(tracker.apply_iterative(0.0, 3), 1.75);
+  EXPECT_DOUBLE_EQ(tracker.apply_closed_form(0.0, 3), 1.75);
+}
+
+}  // namespace
+}  // namespace horse::sched

@@ -1,0 +1,71 @@
+#include "sched/sched_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sched {
+namespace {
+
+TEST(SchedTraceTest, RecordsInOrder) {
+  SchedTrace trace(16);
+  trace.record(10, TraceEvent::kDispatch, 0, 1);
+  trace.record(20, TraceEvent::kRequeue, 0, 1);
+  trace.record(30, TraceEvent::kDispatch, 1, 2);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 10);
+  EXPECT_EQ(events[1].event, TraceEvent::kRequeue);
+  EXPECT_EQ(events[2].cpu, 1u);
+  EXPECT_EQ(trace.total(), 3u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(SchedTraceTest, CountersPerEvent) {
+  SchedTrace trace(8);
+  trace.record(1, TraceEvent::kDispatch, 0);
+  trace.record(2, TraceEvent::kDispatch, 0);
+  trace.record(3, TraceEvent::kPreempt, 0);
+  EXPECT_EQ(trace.count(TraceEvent::kDispatch), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::kPreempt), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::kMigrate), 0u);
+}
+
+TEST(SchedTraceTest, RingWrapsKeepingNewest) {
+  SchedTrace trace(4);
+  for (util::Nanos t = 1; t <= 10; ++t) {
+    trace.record(t, TraceEvent::kDispatch, 0);
+  }
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().time, 7);  // oldest surviving
+  EXPECT_EQ(events.back().time, 10);
+  EXPECT_EQ(trace.total(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+}
+
+TEST(SchedTraceTest, ZeroCapacityClampsToOne) {
+  SchedTrace trace(0);
+  EXPECT_EQ(trace.capacity(), 1u);
+  trace.record(1, TraceEvent::kMigrate, 2);
+  trace.record(2, TraceEvent::kMigrate, 3);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cpu, 3u);
+}
+
+TEST(SchedTraceTest, ClearResetsEverything) {
+  SchedTrace trace(4);
+  trace.record(1, TraceEvent::kCreditReset, 0);
+  trace.clear();
+  EXPECT_EQ(trace.total(), 0u);
+  EXPECT_EQ(trace.count(TraceEvent::kCreditReset), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(SchedTraceTest, EventNames) {
+  EXPECT_EQ(to_string(TraceEvent::kDispatch), "dispatch");
+  EXPECT_EQ(to_string(TraceEvent::kResumeMerge), "resume-merge");
+  EXPECT_EQ(to_string(TraceEvent::kCreditReset), "credit-reset");
+}
+
+}  // namespace
+}  // namespace horse::sched

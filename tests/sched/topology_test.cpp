@@ -1,0 +1,67 @@
+#include "sched/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sched {
+namespace {
+
+TEST(TopologyTest, RejectsZeroCpus) {
+  EXPECT_THROW(CpuTopology{0}, std::invalid_argument);
+}
+
+TEST(TopologyTest, QueuesHaveMatchingCpuIds) {
+  CpuTopology topology(4);
+  EXPECT_EQ(topology.num_cpus(), 4u);
+  for (CpuId cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_EQ(topology.queue(cpu).cpu(), cpu);
+  }
+}
+
+TEST(TopologyTest, QueueOutOfRangeThrows) {
+  CpuTopology topology(2);
+  EXPECT_THROW((void)topology.queue(2), std::out_of_range);
+}
+
+TEST(TopologyTest, ReservationMarksQueue) {
+  CpuTopology topology(4);
+  EXPECT_FALSE(topology.is_reserved(3));
+  topology.reserve_for_ull(3);
+  EXPECT_TRUE(topology.is_reserved(3));
+  EXPECT_EQ(topology.reserved_cpus(), (std::vector<CpuId>{3}));
+}
+
+TEST(TopologyTest, LeastLoadedSkipsReserved) {
+  CpuTopology topology(3);
+  topology.reserve_for_ull(0);
+  topology.queue(0).set_load_for_test(0.0);    // reserved, must be skipped
+  topology.queue(1).set_load_for_test(100.0);
+  topology.queue(2).set_load_for_test(50.0);
+  EXPECT_EQ(topology.least_loaded_general(), 2u);
+}
+
+TEST(TopologyTest, LeastLoadedPicksMinimum) {
+  CpuTopology topology(4);
+  topology.queue(0).set_load_for_test(10.0);
+  topology.queue(1).set_load_for_test(5.0);
+  topology.queue(2).set_load_for_test(20.0);
+  topology.queue(3).set_load_for_test(15.0);
+  EXPECT_EQ(topology.least_loaded_general(), 1u);
+}
+
+TEST(TopologyTest, AllReservedThrows) {
+  CpuTopology topology(2);
+  topology.reserve_for_ull(0);
+  topology.reserve_for_ull(1);
+  EXPECT_THROW((void)topology.least_loaded_general(), std::runtime_error);
+}
+
+TEST(TopologyTest, CustomPeltParamsPropagate) {
+  PeltParams params;
+  params.alpha = 0.5;
+  params.beta = 2.0;
+  CpuTopology topology(2, params);
+  EXPECT_DOUBLE_EQ(topology.queue(1).pelt().params().alpha, 0.5);
+}
+
+}  // namespace
+}  // namespace horse::sched

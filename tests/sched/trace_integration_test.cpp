@@ -1,0 +1,106 @@
+// Scheduler + tracer integration: decisions made by Credit2Scheduler show
+// up as trace events, including through the virtual-time executor.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sched/credit2.hpp"
+#include "sim/cpu_executor.hpp"
+#include "sim/simulation.hpp"
+
+namespace horse::sched {
+namespace {
+
+TEST(TraceIntegrationTest, SchedulerEmitsDispatchAndRequeue) {
+  CpuTopology topology(2);
+  Credit2Scheduler scheduler(topology);
+  SchedTrace trace(64);
+  scheduler.set_trace(&trace);
+
+  Vcpu vcpu;
+  vcpu.id = 7;
+  vcpu.sandbox = 3;
+  vcpu.credit = 100;
+  scheduler.enqueue(vcpu, 0);
+  Vcpu* running = scheduler.schedule(0);
+  ASSERT_EQ(running, &vcpu);
+  scheduler.charge_and_requeue(vcpu, 50, /*still_runnable=*/true);
+
+  EXPECT_EQ(trace.count(TraceEvent::kDispatch), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::kRequeue), 1u);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].vcpu, 7u);
+  EXPECT_EQ(events[0].sandbox, 3u);
+  EXPECT_LT(events[0].time, events[1].time);  // logical sequence advances
+  scheduler.dequeue(vcpu);
+}
+
+TEST(TraceIntegrationTest, CreditResetTraced) {
+  CpuTopology topology(1);
+  Credit2Scheduler scheduler(topology);
+  SchedTrace trace(16);
+  scheduler.set_trace(&trace);
+  Vcpu exhausted;
+  exhausted.credit = 0;
+  scheduler.enqueue(exhausted, 0);
+  (void)scheduler.schedule(0);
+  EXPECT_EQ(trace.count(TraceEvent::kCreditReset), 1u);
+}
+
+TEST(TraceIntegrationTest, ClockSourceStampsEvents) {
+  CpuTopology topology(1);
+  Credit2Scheduler scheduler(topology);
+  SchedTrace trace(16);
+  util::Nanos fake_now = 12345;
+  scheduler.set_trace(&trace, [&fake_now] { return fake_now; });
+  Vcpu vcpu;
+  vcpu.credit = 1;
+  scheduler.enqueue(vcpu, 0);
+  (void)scheduler.schedule(0);
+  const auto events = trace.snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().time, 12345);
+  scheduler.charge_and_requeue(vcpu, 1, false);
+}
+
+TEST(TraceIntegrationTest, VirtualTimeExecutorStampsSimClock) {
+  sim::Simulation sim;
+  CpuTopology topology(2);
+  Credit2Scheduler scheduler(topology);
+  SchedTrace trace(256);
+  scheduler.set_trace(&trace, [&sim] { return sim.now(); });
+  sim::CpuExecutor executor(sim, scheduler);
+
+  Vcpu vcpu;
+  vcpu.credit = 1'000'000'000;
+  const util::Nanos slice = scheduler.params().default_slice;
+  executor.submit(vcpu, 0, 2 * slice + 10, [](Vcpu&) {});
+  sim.run();
+
+  // 3 dispatches (2 full slices + remainder), 2 requeues.
+  EXPECT_EQ(trace.count(TraceEvent::kDispatch), 3u);
+  EXPECT_EQ(trace.count(TraceEvent::kRequeue), 2u);
+  const auto events = trace.snapshot();
+  // Dispatch timestamps fall on virtual slice boundaries.
+  EXPECT_EQ(events[0].time, 0);
+  util::Nanos prev = -1;
+  for (const auto& event : events) {
+    EXPECT_GE(event.time, prev);
+    prev = event.time;
+  }
+}
+
+TEST(TraceIntegrationTest, NoTracerMeansNoOverheadPathCrash) {
+  CpuTopology topology(1);
+  Credit2Scheduler scheduler(topology);  // no tracer attached
+  Vcpu vcpu;
+  vcpu.credit = 10;
+  scheduler.enqueue(vcpu, 0);
+  EXPECT_NE(scheduler.schedule(0), nullptr);
+  scheduler.charge_and_requeue(vcpu, 5, false);
+}
+
+}  // namespace
+}  // namespace horse::sched

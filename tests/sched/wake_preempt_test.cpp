@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sched/credit2.hpp"
+
+namespace horse::sched {
+namespace {
+
+class WakePreemptTest : public ::testing::Test {
+ protected:
+  WakePreemptTest() : topology_(4), scheduler_(topology_) {}
+
+  Vcpu& make_vcpu(Credit credit, std::uint8_t priority = 0) {
+    auto vcpu = std::make_unique<Vcpu>();
+    vcpu->credit = credit;
+    vcpu->priority = priority;
+    storage_.push_back(std::move(vcpu));
+    return *storage_.back();
+  }
+
+  CpuTopology topology_;
+  Credit2Scheduler scheduler_;
+  std::vector<std::unique_ptr<Vcpu>> storage_;
+};
+
+TEST_F(WakePreemptTest, HigherPriorityAlwaysPreempts) {
+  Vcpu& running = make_vcpu(0);  // best possible credit
+  Vcpu& merge_thread = make_vcpu(1'000'000'000, Vcpu::kBoostPriority);
+  EXPECT_TRUE(scheduler_.should_preempt(running, merge_thread));
+  // Never the other way around.
+  EXPECT_FALSE(scheduler_.should_preempt(merge_thread, running));
+}
+
+TEST_F(WakePreemptTest, SamePriorityNeedsCreditMargin) {
+  const Credit resistance = scheduler_.params().preemption_resistance;
+  Vcpu& running = make_vcpu(10 * resistance);
+  Vcpu& slightly_better = make_vcpu(10 * resistance - resistance / 2);
+  Vcpu& much_better = make_vcpu(10 * resistance - 2 * resistance);
+  EXPECT_FALSE(scheduler_.should_preempt(running, slightly_better));
+  EXPECT_TRUE(scheduler_.should_preempt(running, much_better));
+}
+
+TEST_F(WakePreemptTest, EqualCreditsNoPreemption) {
+  Vcpu& running = make_vcpu(100);
+  Vcpu& twin = make_vcpu(100);
+  EXPECT_FALSE(scheduler_.should_preempt(running, twin));
+}
+
+TEST_F(WakePreemptTest, WakePrefersAffinity) {
+  Vcpu& vcpu = make_vcpu(50);
+  vcpu.last_cpu = 2;
+  const auto result = scheduler_.wake(vcpu);
+  EXPECT_EQ(result.cpu, 2u);
+  EXPECT_EQ(topology_.queue(2).size(), 1u);
+}
+
+TEST_F(WakePreemptTest, WakeAbandonsOverloadedAffinity) {
+  // Stack 3 vCPUs on cpu 2; a waking vCPU with last_cpu=2 should go
+  // elsewhere (empty queues exist).
+  for (int i = 0; i < 3; ++i) {
+    scheduler_.enqueue(make_vcpu(10 * (i + 1)), 2);
+  }
+  Vcpu& woken = make_vcpu(5);
+  woken.last_cpu = 2;
+  const auto result = scheduler_.wake(woken);
+  EXPECT_NE(result.cpu, 2u);
+}
+
+TEST_F(WakePreemptTest, WakeAvoidsReservedAffinityForNormalVcpus) {
+  topology_.reserve_for_ull(2);
+  Vcpu& vcpu = make_vcpu(50);
+  vcpu.last_cpu = 2;  // stale affinity to a now-reserved queue
+  const auto result = scheduler_.wake(vcpu);
+  EXPECT_NE(result.cpu, 2u);
+  EXPECT_FALSE(topology_.is_reserved(result.cpu));
+}
+
+TEST_F(WakePreemptTest, WakeReportsPreemptionAgainstRunning) {
+  Vcpu& running = make_vcpu(1'000'000'000);
+  Vcpu& urgent = make_vcpu(0);
+  urgent.last_cpu = 1;
+  const auto result = scheduler_.wake(urgent, &running);
+  EXPECT_TRUE(result.preempt);
+
+  Vcpu& lazy = make_vcpu(2'000'000'000);
+  lazy.last_cpu = 1;
+  const auto no_preempt = scheduler_.wake(lazy, &running);
+  EXPECT_FALSE(no_preempt.preempt);
+}
+
+TEST_F(WakePreemptTest, MergeThreadModelPreemptsEverything) {
+  // §4.1.3's merge threads: boosted priority wakes preempt any normal
+  // vCPU no matter how favourable its credit.
+  Vcpu& long_running = make_vcpu(-1'000'000, 0);  // deeply "entitled"
+  Vcpu& merge = make_vcpu(0, Vcpu::kBoostPriority);
+  merge.last_cpu = 0;
+  const auto result = scheduler_.wake(merge, &long_running);
+  EXPECT_TRUE(result.preempt);
+}
+
+}  // namespace
+}  // namespace horse::sched

@@ -1,0 +1,68 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sim {
+namespace {
+
+TEST(CostModelTest, DefaultsAnchorTable1) {
+  const auto model = CostModel::defaults(vmm::VmmProfile::firecracker());
+  EXPECT_EQ(model.cold_boot(), 1'500 * util::kMillisecond);
+  EXPECT_EQ(model.restore(), 1'300 * util::kMicrosecond);
+  // Warm init at 1 vCPU ≈ 1.1 µs (Table 1).
+  EXPECT_NEAR(static_cast<double>(model.init_warm(1)), 1'100.0, 120.0);
+}
+
+TEST(CostModelTest, VanillaGrowsWithVcpus) {
+  const auto model = CostModel::defaults(vmm::VmmProfile::firecracker());
+  EXPECT_LT(model.vanilla_resume(1), model.vanilla_resume(8));
+  EXPECT_LT(model.vanilla_resume(8), model.vanilla_resume(36));
+}
+
+TEST(CostModelTest, HorseIsNearlyFlat) {
+  const auto model = CostModel::defaults(vmm::VmmProfile::firecracker());
+  const auto at_1 = model.horse_resume(1);
+  const auto at_36 = model.horse_resume(36);
+  EXPECT_LE(at_36 - at_1, at_1 / 10);  // <10% growth across the sweep
+}
+
+TEST(CostModelTest, DefaultImprovementFactorMatchesPaperBand) {
+  const auto model = CostModel::defaults(vmm::VmmProfile::firecracker());
+  const double factor =
+      static_cast<double>(model.vanilla_resume(36)) /
+      static_cast<double>(model.horse_resume(36));
+  // Paper: up to 7.16x.
+  EXPECT_GT(factor, 5.0);
+  EXPECT_LT(factor, 9.0);
+}
+
+TEST(CostModelTest, InitOrderingColdSlowestHorseFastest) {
+  const auto model = CostModel::defaults(vmm::VmmProfile::firecracker());
+  for (const std::uint32_t vcpus : {1u, 4u, 36u}) {
+    EXPECT_GT(model.init_cold(vcpus), model.init_restore(vcpus));
+    EXPECT_GT(model.init_restore(vcpus), model.init_warm(vcpus));
+    EXPECT_GT(model.init_warm(vcpus), model.init_horse(vcpus));
+  }
+}
+
+TEST(CostModelTest, VcpuClamping) {
+  const auto model = CostModel::defaults(vmm::VmmProfile::firecracker());
+  EXPECT_EQ(model.vanilla_resume(0), model.vanilla_resume(1));
+  EXPECT_EQ(model.vanilla_resume(100), model.vanilla_resume(36));
+}
+
+TEST(CostModelTest, CalibrationProducesPositiveMeasurements) {
+  // A fast calibration run (3 reps) on the real engines: every entry must
+  // be a positive measured latency and HORSE must beat vanilla at high
+  // vCPU counts (the paper's headline).
+  const auto model =
+      CostModel::calibrate(vmm::VmmProfile::firecracker(), /*repetitions=*/3);
+  for (const std::uint32_t vcpus : {1u, 8u, 36u}) {
+    EXPECT_GT(model.vanilla_resume(vcpus), 0) << vcpus;
+    EXPECT_GT(model.horse_resume(vcpus), 0) << vcpus;
+  }
+  EXPECT_LT(model.horse_resume(36), model.vanilla_resume(36));
+}
+
+}  // namespace
+}  // namespace horse::sim

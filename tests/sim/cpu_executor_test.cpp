@@ -1,0 +1,132 @@
+#include "sim/cpu_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace horse::sim {
+namespace {
+
+class CpuExecutorTest : public ::testing::Test {
+ protected:
+  CpuExecutorTest()
+      : topology_(2), scheduler_(topology_), executor_(sim_, scheduler_) {}
+
+  sched::Vcpu& make_vcpu(sched::Credit credit = 1'000'000'000) {
+    auto vcpu = std::make_unique<sched::Vcpu>();
+    vcpu->id = static_cast<sched::VcpuId>(storage_.size());
+    vcpu->credit = credit;
+    storage_.push_back(std::move(vcpu));
+    return *storage_.back();
+  }
+
+  Simulation sim_;
+  sched::CpuTopology topology_;
+  sched::Credit2Scheduler scheduler_;
+  CpuExecutor executor_;
+  std::vector<std::unique_ptr<sched::Vcpu>> storage_;
+};
+
+TEST_F(CpuExecutorTest, SingleTaskCompletesAfterItsWork) {
+  sched::Vcpu& vcpu = make_vcpu();
+  util::Nanos done_at = -1;
+  executor_.submit(vcpu, 0, 500, [&](sched::Vcpu&) { done_at = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(done_at, 500);
+  EXPECT_TRUE(executor_.idle(0));
+  EXPECT_EQ(vcpu.cpu_time, 500);
+}
+
+TEST_F(CpuExecutorTest, WorkLongerThanSliceSpansMultipleDispatches) {
+  sched::Vcpu& vcpu = make_vcpu();
+  const util::Nanos slice = scheduler_.params().default_slice;
+  const util::Nanos work = slice * 3 + 100;
+  util::Nanos done_at = -1;
+  executor_.submit(vcpu, 0, work, [&](sched::Vcpu&) { done_at = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(done_at, work);
+  EXPECT_GE(executor_.dispatches(), 4u);
+}
+
+TEST_F(CpuExecutorTest, TwoTasksShareOneCpu) {
+  sched::Vcpu& a = make_vcpu(100);  // lower credit: runs first
+  sched::Vcpu& b = make_vcpu(200);
+  util::Nanos a_done = -1;
+  util::Nanos b_done = -1;
+  executor_.submit(a, 0, 1000, [&](sched::Vcpu&) { a_done = sim_.now(); });
+  executor_.submit(b, 0, 1000, [&](sched::Vcpu&) { b_done = sim_.now(); });
+  sim_.run();
+  // Total virtual work is 2000 on one CPU: last completion at 2000.
+  EXPECT_GT(a_done, 0);
+  EXPECT_GT(b_done, 0);
+  EXPECT_EQ(std::max(a_done, b_done), 2000);
+}
+
+TEST_F(CpuExecutorTest, TasksOnDifferentCpusRunInParallel) {
+  sched::Vcpu& a = make_vcpu();
+  sched::Vcpu& b = make_vcpu();
+  util::Nanos a_done = -1;
+  util::Nanos b_done = -1;
+  executor_.submit(a, 0, 1000, [&](sched::Vcpu&) { a_done = sim_.now(); });
+  executor_.submit(b, 1, 1000, [&](sched::Vcpu&) { b_done = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(a_done, 1000);
+  EXPECT_EQ(b_done, 1000);  // no serialisation across CPUs
+}
+
+TEST_F(CpuExecutorTest, BlackoutDelaysIdleDispatch) {
+  executor_.block_cpu(0, 300);
+  sched::Vcpu& vcpu = make_vcpu();
+  util::Nanos done_at = -1;
+  executor_.submit(vcpu, 0, 100, [&](sched::Vcpu&) { done_at = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(done_at, 400);  // 300 blackout + 100 work
+}
+
+TEST_F(CpuExecutorTest, BlackoutExtendsRunningSlice) {
+  sched::Vcpu& vcpu = make_vcpu();
+  util::Nanos done_at = -1;
+  executor_.submit(vcpu, 0, 1000, [&](sched::Vcpu&) { done_at = sim_.now(); });
+  sim_.schedule_at(500, [&] { executor_.block_cpu(0, 200); });
+  sim_.run();
+  EXPECT_EQ(done_at, 1200);  // preempted mid-slice for 200
+  EXPECT_EQ(executor_.preemptions(), 1u);
+  EXPECT_EQ(vcpu.cpu_time, 1000);  // work charged, not the blackout
+}
+
+TEST_F(CpuExecutorTest, AddWorkExtendsPendingTask) {
+  sched::Vcpu& vcpu = make_vcpu();
+  const util::Nanos slice = scheduler_.params().default_slice;
+  util::Nanos done_at = -1;
+  // Work spanning 2 slices; more work added while the first slice runs.
+  executor_.submit(vcpu, 0, slice + 100,
+                   [&](sched::Vcpu&) { done_at = sim_.now(); });
+  sim_.schedule_at(10, [&] { executor_.add_work(vcpu, 400); });
+  sim_.run();
+  EXPECT_EQ(done_at, slice + 500);
+}
+
+TEST_F(CpuExecutorTest, UllQueueUsesMicrosecondSlices) {
+  topology_.reserve_for_ull(1);
+  sched::Vcpu& vcpu = make_vcpu();
+  executor_.submit(vcpu, 1, 3 * util::kMicrosecond, [](sched::Vcpu&) {});
+  sim_.run();
+  // 3 µs of work at a 1 µs slice: at least 3 dispatches.
+  EXPECT_GE(executor_.dispatches(), 3u);
+}
+
+TEST_F(CpuExecutorTest, ManyTasksAllComplete) {
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    sched::Vcpu& vcpu = make_vcpu(static_cast<sched::Credit>(1'000'000 + i));
+    executor_.submit(vcpu, i % 2, 100 + i, [&](sched::Vcpu&) { ++completed; });
+  }
+  sim_.run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_TRUE(executor_.idle(0));
+  EXPECT_TRUE(executor_.idle(1));
+}
+
+}  // namespace
+}  // namespace horse::sim

@@ -1,0 +1,221 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::sim {
+namespace {
+
+CostModel paper_costs() {
+  return CostModel::defaults(vmm::VmmProfile::firecracker());
+}
+
+SimFunctionSpec ull_spec() {
+  SimFunctionSpec spec;
+  spec.name = "nat";
+  spec.vcpus = 1;
+  spec.ull = true;
+  spec.durations.median = 2 * util::kMicrosecond;
+  spec.durations.sigma = 0.2;
+  spec.durations.tail_fraction = 0.0;
+  return spec;
+}
+
+SimFunctionSpec long_spec() {
+  SimFunctionSpec spec;
+  spec.name = "thumbnail";
+  spec.vcpus = 2;
+  spec.durations.median = 50 * util::kMillisecond;
+  spec.durations.sigma = 0.3;
+  spec.durations.tail_fraction = 0.0;
+  return spec;
+}
+
+trace::ArrivalSchedule regular_arrivals(std::uint32_t function,
+                                        util::Nanos period, int count) {
+  std::vector<trace::Arrival> arrivals;
+  for (int i = 0; i < count; ++i) {
+    arrivals.push_back({static_cast<util::Nanos>(i + 1) * period, function});
+  }
+  return trace::ArrivalSchedule(std::move(arrivals));
+}
+
+TEST(SimServerTest, FirstInvocationIsColdRestWarm) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  SimServer server(params, costs);
+  const auto fn = server.add_function(long_spec());
+  const auto report =
+      server.run(regular_arrivals(fn, 10 * util::kSecond, 20));
+  EXPECT_EQ(report.invocations, 20u);
+  EXPECT_EQ(report.cold_starts, 1u);
+  EXPECT_EQ(report.warm_starts, 19u);
+  EXPECT_EQ(report.horse_starts, 0u);
+}
+
+TEST(SimServerTest, UllFunctionUsesHorsePath) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  SimServer server(params, costs);
+  const auto fn = server.add_function(ull_spec());
+  const auto report = server.run(regular_arrivals(fn, util::kSecond, 50));
+  // Two colds: the second arrival lands while the first cold boot
+  // (~1.5 s) is still in flight, so no warm sandbox exists yet.
+  EXPECT_EQ(report.cold_starts, 2u);
+  EXPECT_EQ(report.horse_starts, 48u);
+  EXPECT_EQ(report.warm_starts, 0u);
+}
+
+TEST(SimServerTest, HorseDisabledFallsBackToWarm) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  params.use_horse = false;
+  SimServer server(params, costs);
+  const auto fn = server.add_function(ull_spec());
+  const auto report = server.run(regular_arrivals(fn, util::kSecond, 50));
+  EXPECT_EQ(report.horse_starts, 0u);
+  EXPECT_EQ(report.warm_starts, 48u);
+}
+
+TEST(SimServerTest, HorseLowersInitLatencyForUll) {
+  const auto costs = paper_costs();
+  SimServerParams with_horse;
+  SimServer horse_server(with_horse, costs);
+  const auto fn1 = horse_server.add_function(ull_spec());
+  const auto horse_report =
+      horse_server.run(regular_arrivals(fn1, util::kSecond, 100));
+
+  SimServerParams without;
+  without.use_horse = false;
+  SimServer warm_server(without, costs);
+  const auto fn2 = warm_server.add_function(ull_spec());
+  const auto warm_report =
+      warm_server.run(regular_arrivals(fn2, util::kSecond, 100));
+
+  // Median init: horse ≈150 ns vs warm ≈1.1 µs (cold outliers identical).
+  EXPECT_LT(horse_report.init_latency.p50(), 400);
+  EXPECT_GT(warm_report.init_latency.p50(), 800);
+}
+
+TEST(SimServerTest, GapsBeyondKeepAliveGoCold) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  params.fixed_keep_alive = 60 * util::kSecond;
+  SimServer server(params, costs);
+  const auto fn = server.add_function(long_spec());
+  // 10-minute gaps, far beyond the 1-minute window: every start cold.
+  const auto report =
+      server.run(regular_arrivals(fn, 600 * util::kSecond, 10));
+  EXPECT_EQ(report.cold_starts, 10u);
+  EXPECT_EQ(report.warm_starts, 0u);
+  EXPECT_EQ(report.evictions, 9u);  // final token drains at end of run
+  EXPECT_NEAR(report.cold_fraction(), 1.0, 1e-9);
+}
+
+TEST(SimServerTest, AdaptiveKeepAliveCutsColdStartsForRegularTraffic) {
+  const auto costs = paper_costs();
+  // Fixed 1-minute window vs 5-minute-period traffic: all cold.
+  SimServerParams fixed;
+  fixed.fixed_keep_alive = 60 * util::kSecond;
+  SimServer fixed_server(fixed, costs);
+  const auto f1 = fixed_server.add_function(long_spec());
+  const auto fixed_report =
+      fixed_server.run(regular_arrivals(f1, 300 * util::kSecond, 40));
+
+  // Adaptive learns the 5-minute period and keeps the sandbox just long
+  // enough (falls back to the same 1-minute fixed window until learned).
+  SimServerParams adaptive = fixed;
+  adaptive.adaptive_keep_alive = true;
+  adaptive.keep_alive_policy.min_samples = 4;
+  adaptive.keep_alive_policy.fallback_keep_alive = 60 * util::kSecond;
+  SimServer adaptive_server(adaptive, costs);
+  const auto f2 = adaptive_server.add_function(long_spec());
+  const auto adaptive_report =
+      adaptive_server.run(regular_arrivals(f2, 300 * util::kSecond, 40));
+
+  EXPECT_GT(fixed_report.cold_fraction(), 0.9);
+  EXPECT_LT(adaptive_report.cold_fraction(), 0.3);
+}
+
+TEST(SimServerTest, MultiFunctionTraceRunsToCompletion) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  SimServer server(params, costs);
+  (void)server.add_function(ull_spec());
+  (void)server.add_function(long_spec());
+
+  trace::SyntheticTraceParams trace_params;
+  trace_params.num_functions = 2;
+  trace_params.num_minutes = 3;
+  trace_params.top_rate_per_minute = 60.0;
+  trace_params.seed = 17;
+  const auto schedule =
+      trace::SyntheticAzureTrace(trace_params).generate_schedule();
+
+  const auto report = server.run(schedule);
+  EXPECT_EQ(report.invocations, schedule.size());
+  EXPECT_EQ(report.invocations, report.cold_starts + report.warm_starts +
+                                    report.horse_starts);
+  EXPECT_EQ(report.end_to_end_latency.count(), report.invocations);
+  EXPECT_GT(report.warm_sandbox_seconds, 0.0);
+}
+
+TEST(SimServerTest, DeterministicPerSeed) {
+  const auto costs = paper_costs();
+  auto run_once = [&] {
+    SimServerParams params;
+    SimServer server(params, costs);
+    const auto fn = server.add_function(long_spec());
+    return server.run(regular_arrivals(fn, 7 * util::kSecond, 30));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.cold_starts, b.cold_starts);
+  EXPECT_EQ(a.end_to_end_latency.p99(), b.end_to_end_latency.p99());
+  EXPECT_DOUBLE_EQ(a.warm_sandbox_seconds, b.warm_sandbox_seconds);
+}
+
+
+TEST(SimServerTest, ConcurrencyLimitQueuesArrivals) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  SimServer server(params, costs);
+  auto spec = long_spec();          // ~50 ms service
+  spec.max_concurrent = 1;
+  const auto fn = server.add_function(spec);
+  // 10 arrivals 1 ms apart: far faster than the service time, so at most
+  // one runs at a time and the rest wait for admission.
+  const auto report = server.run(regular_arrivals(fn, util::kMillisecond, 10));
+  EXPECT_EQ(report.invocations, 10u);
+  EXPECT_GE(report.throttled, 8u);
+  EXPECT_EQ(report.admission_wait.count(), report.throttled);
+  EXPECT_GT(report.admission_wait.p50(), 10 * util::kMillisecond);
+  // All eventually executed.
+  EXPECT_EQ(report.end_to_end_latency.count(), 10u);
+  // Serialized executions reuse one sandbox: a single cold start.
+  EXPECT_EQ(report.cold_starts, 1u);
+}
+
+TEST(SimServerTest, UnlimitedConcurrencyNeverThrottles) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  SimServer server(params, costs);
+  const auto fn = server.add_function(long_spec());  // max_concurrent = 0
+  const auto report = server.run(regular_arrivals(fn, util::kMillisecond, 20));
+  EXPECT_EQ(report.throttled, 0u);
+  EXPECT_EQ(report.admission_wait.count(), 0u);
+}
+
+TEST(SimServerTest, ThrottledEndToEndIncludesAdmissionWait) {
+  const auto costs = paper_costs();
+  SimServerParams params;
+  SimServer server(params, costs);
+  auto spec = long_spec();
+  spec.max_concurrent = 2;
+  const auto fn = server.add_function(spec);
+  const auto report = server.run(regular_arrivals(fn, util::kMillisecond, 12));
+  // Throughput 2-at-a-time: the e2e p99 must exceed several service times.
+  EXPECT_GT(report.end_to_end_latency.p99(), 100 * util::kMillisecond);
+}
+
+}  // namespace
+}  // namespace horse::sim

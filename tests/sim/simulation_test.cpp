@@ -1,0 +1,134 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace horse::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, TiesBreakFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  util::Nanos fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulationTest, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(-10, [] {});  // clamped, not in the past
+  });
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulationTest, CancelFiredEventReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulationTest, CancelTwiceReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<util::Nanos> fired;
+  for (util::Nanos t = 10; t <= 100; t += 10) {
+    sim.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  sim.run_until(50);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 5u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenQuiet) {
+  Simulation sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulationTest, RunUntilSkipsCancelledHeadBeyondDeadline) {
+  Simulation sim;
+  bool late_fired = false;
+  const EventId early = sim.schedule_at(5, [] {});
+  sim.schedule_at(100, [&] { late_fired = true; });
+  sim.cancel(early);
+  sim.run_until(10);
+  EXPECT_FALSE(late_fired);  // the 100-event must not fire early
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(SimulationTest, EventsCanChainDeeply) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) {
+      sim.schedule_after(1, chain);
+    }
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sim.now(), 999);
+}
+
+}  // namespace
+}  // namespace horse::sim

@@ -1,0 +1,100 @@
+#include "trace/duration_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace horse::trace {
+namespace {
+
+const char* kHeader =
+    "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,"
+    "percentile_Average_0,percentile_Average_1,percentile_Average_25,"
+    "percentile_Average_50,percentile_Average_75,percentile_Average_99,"
+    "percentile_Average_100\n";
+
+TEST(DurationReaderTest, ParsesRowWithHeader) {
+  std::istringstream csv(std::string(kHeader) +
+                         "o,a,f,250.5,1000,10,5000,10,15,120,200,350,2000,"
+                         "5000\n");
+  const auto rows = DurationReader::parse(csv);
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 1u);
+  const auto& row = rows->front();
+  EXPECT_EQ(row.function, "f");
+  EXPECT_DOUBLE_EQ(row.average_ms, 250.5);
+  EXPECT_DOUBLE_EQ(row.count, 1000.0);
+  EXPECT_DOUBLE_EQ(row.p50_ms, 200.0);
+  EXPECT_DOUBLE_EQ(row.p99_ms, 2000.0);
+  EXPECT_DOUBLE_EQ(row.p100_ms, 5000.0);
+}
+
+TEST(DurationReaderTest, ParsesWithoutHeader) {
+  std::istringstream csv("o,a,f,1,1,1,1,1,1,1,1,1,1,1\n");
+  const auto rows = DurationReader::parse(csv);
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(DurationReaderTest, RejectsWrongColumnCount) {
+  std::istringstream csv("o,a,f,1,2,3\n");
+  const auto rows = DurationReader::parse(csv);
+  EXPECT_FALSE(rows.has_value());
+  EXPECT_EQ(rows.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(DurationReaderTest, RejectsNonNumeric) {
+  std::istringstream csv("o,a,f,xyz,1,1,1,1,1,1,1,1,1,1\n");
+  EXPECT_FALSE(DurationReader::parse(csv).has_value());
+}
+
+TEST(DurationReaderTest, SkipsEmptyLines) {
+  std::istringstream csv("\no,a,f,1,1,1,1,1,1,1,1,1,1,1\n\n");
+  const auto rows = DurationReader::parse(csv);
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(DurationReaderTest, FitSamplerAnchorsMedian) {
+  DurationRow row;
+  row.p50_ms = 200.0;
+  row.p75_ms = 320.0;
+  row.p99_ms = 2000.0;
+  row.p100_ms = 8000.0;
+  const auto params = DurationReader::fit_sampler(row);
+  EXPECT_EQ(params.median, static_cast<util::Nanos>(200.0 * 1e6));
+  // sigma = ln(320/200)/0.6745 ≈ 0.697.
+  EXPECT_NEAR(params.sigma, std::log(1.6) / 0.6745, 1e-9);
+  EXPECT_EQ(params.tail_min, static_cast<util::Nanos>(2000.0 * 1e6));
+  EXPECT_EQ(params.tail_max, static_cast<util::Nanos>(8000.0 * 1e6));
+}
+
+TEST(DurationReaderTest, FitSamplerHandlesDegenerateRows) {
+  DurationRow flat;  // all zeros
+  const auto params = DurationReader::fit_sampler(flat);
+  EXPECT_GT(params.median, 0);
+  EXPECT_GE(params.sigma, 0.05);
+  EXPECT_GT(params.tail_max, params.tail_min);
+}
+
+TEST(DurationReaderTest, FittedSamplerMatchesRowStatistics) {
+  DurationRow row;
+  row.p50_ms = 100.0;
+  row.p75_ms = 150.0;
+  row.p99_ms = 1000.0;
+  row.p100_ms = 3000.0;
+  DurationSampler sampler(DurationReader::fit_sampler(row), 21);
+  // Empirical median of the fitted sampler tracks the row's p50.
+  std::vector<util::Nanos> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    samples.push_back(sampler.sample());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  const double median_ms =
+      static_cast<double>(samples[samples.size() / 2]) / 1e6;
+  EXPECT_NEAR(median_ms, 100.0, 15.0);
+}
+
+}  // namespace
+}  // namespace horse::trace

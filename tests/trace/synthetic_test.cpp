@@ -1,0 +1,118 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace horse::trace {
+namespace {
+
+TEST(SyntheticTraceTest, ValidatesParams) {
+  SyntheticTraceParams params;
+  params.num_functions = 0;
+  EXPECT_THROW(SyntheticAzureTrace{params}, std::invalid_argument);
+  params = {};
+  params.top_rate_per_minute = 0.0;
+  EXPECT_THROW(SyntheticAzureTrace{params}, std::invalid_argument);
+}
+
+TEST(SyntheticTraceTest, GeneratesRequestedShape) {
+  SyntheticTraceParams params;
+  params.num_functions = 10;
+  params.num_minutes = 5;
+  SyntheticAzureTrace generator(params);
+  const auto rows = generator.generate_rows();
+  ASSERT_EQ(rows.size(), 10u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.per_minute.size(), 5u);
+    EXPECT_FALSE(row.function.empty());
+  }
+}
+
+TEST(SyntheticTraceTest, DeterministicPerSeed) {
+  SyntheticTraceParams params;
+  params.seed = 123;
+  const auto a = SyntheticAzureTrace(params).generate_rows();
+  const auto b = SyntheticAzureTrace(params).generate_rows();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].per_minute, b[i].per_minute);
+  }
+}
+
+TEST(SyntheticTraceTest, PopularityIsHeavyTailed) {
+  SyntheticTraceParams params;
+  params.num_functions = 50;
+  params.num_minutes = 20;
+  const auto rows = SyntheticAzureTrace(params).generate_rows();
+  auto total = [](const FunctionRow& row) {
+    return std::accumulate(row.per_minute.begin(), row.per_minute.end(), 0u);
+  };
+  // Rank-0 function must dominate rank-25 by a wide margin (Zipf s=1.1).
+  EXPECT_GT(total(rows[0]), 10 * std::max(1u, total(rows[25])));
+}
+
+TEST(SyntheticTraceTest, ScheduleMatchesRowTotals) {
+  SyntheticTraceParams params;
+  params.num_functions = 5;
+  params.num_minutes = 3;
+  SyntheticAzureTrace generator(params);
+  const auto rows = generator.generate_rows();
+  std::size_t expected = 0;
+  for (const auto& row : rows) {
+    expected += std::accumulate(row.per_minute.begin(), row.per_minute.end(), 0u);
+  }
+  EXPECT_EQ(generator.generate_schedule().size(), expected);
+}
+
+TEST(DurationSamplerTest, SamplesArePositive) {
+  DurationSampler sampler({});
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GT(sampler.sample(), 0);
+  }
+}
+
+TEST(DurationSamplerTest, BodyCentersOnMedian) {
+  DurationSampler::Params params;
+  params.tail_fraction = 0.0;  // body only
+  DurationSampler sampler(params, 5);
+  int below = 0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (sampler.sample() < params.median) {
+      ++below;
+    }
+  }
+  // Median property: about half the mass below.
+  EXPECT_NEAR(static_cast<double>(below) / kSamples, 0.5, 0.02);
+}
+
+TEST(DurationSamplerTest, TailFractionExceedsOneSecond) {
+  DurationSampler sampler({}, 11);
+  int over_1s = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (sampler.sample() >= util::kSecond) {
+      ++over_1s;
+    }
+  }
+  // "a non-negligible fraction of serverless functions has an execution
+  // time longer than 1s": tail_fraction = 5% plus lognormal spill.
+  const double fraction = static_cast<double>(over_1s) / kSamples;
+  EXPECT_GT(fraction, 0.03);
+  EXPECT_LT(fraction, 0.20);
+}
+
+TEST(DurationSamplerTest, TailStaysBounded) {
+  DurationSampler::Params params;
+  params.tail_fraction = 1.0;  // tail only
+  DurationSampler sampler(params, 13);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto v = sampler.sample();
+    EXPECT_GE(v, params.tail_min * 99 / 100);
+    EXPECT_LE(v, params.tail_max * 101 / 100);
+  }
+}
+
+}  // namespace
+}  // namespace horse::trace

@@ -1,0 +1,89 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace horse::trace {
+namespace {
+
+TEST(TraceStatsTest, EmptySchedule) {
+  const auto stats = analyze(ArrivalSchedule{});
+  EXPECT_EQ(stats.total_invocations, 0u);
+  EXPECT_TRUE(stats.functions.empty());
+  EXPECT_EQ(stats.top_k_share(3), 0.0);
+}
+
+TEST(TraceStatsTest, SingleFunctionRegularArrivals) {
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i <= 10; ++i) {
+    arrivals.push_back(
+        {static_cast<util::Nanos>(i) * 6 * util::kSecond, 0});  // 10/minute
+  }
+  const auto stats = analyze(ArrivalSchedule(std::move(arrivals)));
+  ASSERT_EQ(stats.functions.size(), 1u);
+  const auto& fn = stats.functions.front();
+  EXPECT_EQ(fn.invocations, 11u);
+  EXPECT_NEAR(fn.rate_per_minute, 11.0, 0.5);
+  EXPECT_DOUBLE_EQ(fn.iat_mean, 6.0 * util::kSecond);
+  EXPECT_NEAR(fn.iat_cv, 0.0, 1e-9);  // perfectly regular
+  EXPECT_EQ(fn.iat_p50, 6 * util::kSecond);
+  EXPECT_EQ(fn.iat_max, 6 * util::kSecond);
+}
+
+TEST(TraceStatsTest, BurstyTrafficHasHighCv) {
+  std::vector<Arrival> arrivals;
+  util::Nanos now = 0;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 10; ++i) {
+      arrivals.push_back({now, 0});
+      now += util::kMillisecond;  // tight burst
+    }
+    now += 60 * util::kSecond;  // long silence
+  }
+  const auto stats = analyze(ArrivalSchedule(std::move(arrivals)));
+  EXPECT_GT(stats.functions.front().iat_cv, 2.0);
+}
+
+TEST(TraceStatsTest, FunctionsSortedByVolume) {
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    arrivals.push_back({static_cast<util::Nanos>(i) * util::kSecond, 7});
+  }
+  for (int i = 0; i < 9; ++i) {
+    arrivals.push_back({static_cast<util::Nanos>(i) * util::kSecond, 3});
+  }
+  const auto stats = analyze(ArrivalSchedule(std::move(arrivals)));
+  ASSERT_EQ(stats.functions.size(), 2u);
+  EXPECT_EQ(stats.functions[0].function_id, 3u);
+  EXPECT_EQ(stats.functions[1].function_id, 7u);
+  EXPECT_NEAR(stats.top_k_share(1), 9.0 / 12.0, 1e-9);
+  EXPECT_NEAR(stats.top_k_share(2), 1.0, 1e-9);
+  EXPECT_NEAR(stats.top_k_share(99), 1.0, 1e-9);  // k beyond size clamps
+}
+
+TEST(TraceStatsTest, SingleInvocationHasNoIat) {
+  const auto stats = analyze(ArrivalSchedule({{5, 0}}));
+  const auto& fn = stats.functions.front();
+  EXPECT_EQ(fn.invocations, 1u);
+  EXPECT_EQ(fn.iat_mean, 0.0);
+  EXPECT_EQ(fn.iat_p99, 0);
+}
+
+TEST(TraceStatsTest, SyntheticTraceIsZipfSkewed) {
+  SyntheticTraceParams params;
+  params.num_functions = 40;
+  params.num_minutes = 15;
+  const auto schedule = SyntheticAzureTrace(params).generate_schedule();
+  const auto stats = analyze(schedule);
+  // The handful of hot functions must dominate, as in the Azure dataset
+  // (Zipf s=1.1 over 40 functions puts ~58% of traffic on the top 5).
+  EXPECT_GT(stats.top_k_share(5), 0.5);
+  EXPECT_LT(stats.top_k_share(5), 0.8);
+  // And the skew is strict: top-5 far exceeds a uniform 5/40 share.
+  EXPECT_GT(stats.top_k_share(5), 3.0 * 5.0 / 40.0);
+  EXPECT_EQ(stats.total_invocations, schedule.size());
+}
+
+}  // namespace
+}  // namespace horse::trace

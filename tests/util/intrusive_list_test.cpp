@@ -1,0 +1,240 @@
+#include "util/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace horse::util {
+namespace {
+
+struct Node {
+  Node() = default;
+  explicit Node(int v) : value(v) {}
+  int value = 0;
+  ListHook hook;
+};
+
+using List = IntrusiveList<Node, &Node::hook>;
+
+std::vector<int> values_of(List& list) {
+  std::vector<int> out;
+  for (Node& node : list) {
+    out.push_back(node.value);
+  }
+  return out;
+}
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.begin(), list.end());
+}
+
+TEST(IntrusiveListTest, PushBackPreservesOrder) {
+  List list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(values_of(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveListTest, PushFrontPrepends) {
+  List list;
+  Node a{1}, b{2};
+  list.push_front(a);
+  list.push_front(b);
+  EXPECT_EQ(values_of(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveListTest, FrontAndBackAccessors) {
+  List list;
+  Node a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  EXPECT_EQ(list.front().value, 1);
+  EXPECT_EQ(list.back().value, 2);
+}
+
+TEST(IntrusiveListTest, InsertBeforeIterator) {
+  List list;
+  Node a{1}, b{3}, mid{2};
+  list.push_back(a);
+  list.push_back(b);
+  auto it = list.begin();
+  ++it;  // points at b
+  list.insert(it, mid);
+  EXPECT_EQ(values_of(list), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveListTest, InsertAtEndIsPushBack) {
+  List list;
+  Node a{1}, b{2};
+  list.push_back(a);
+  list.insert(list.end(), b);
+  EXPECT_EQ(values_of(list), (std::vector<int>{1, 2}));
+}
+
+TEST(IntrusiveListTest, EraseMiddleRelinksNeighbours) {
+  List list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(values_of(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.hook.is_linked());
+}
+
+TEST(IntrusiveListTest, PopFrontReturnsHead) {
+  List list;
+  Node a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  EXPECT_EQ(list.pop_front().value, 1);
+  EXPECT_EQ(list.pop_front().value, 2);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, ClearUnlinksEverything) {
+  List list;
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].value = i;
+    list.push_back(nodes[i]);
+  }
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  for (const Node& node : nodes) {
+    EXPECT_FALSE(node.hook.is_linked());
+  }
+}
+
+TEST(IntrusiveListTest, UnlinkOnUnlinkedHookIsNoop) {
+  Node a{1};
+  a.hook.unlink();  // must not crash
+  EXPECT_FALSE(a.hook.is_linked());
+}
+
+TEST(IntrusiveListTest, FromHookRecoversObject) {
+  Node a{42};
+  EXPECT_EQ(List::from_hook(&a.hook), &a);
+  EXPECT_EQ(List::from_hook(&a.hook)->value, 42);
+}
+
+TEST(IntrusiveListTest, BidirectionalIteration) {
+  List list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  auto it = list.end();
+  --it;
+  EXPECT_EQ(it->value, 3);
+  --it;
+  EXPECT_EQ(it->value, 2);
+}
+
+TEST(IntrusiveListTest, TakeAllDetachesChain) {
+  List list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  const auto chain = list.take_all();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(chain.count, 3u);
+  EXPECT_EQ(chain.first, &a.hook);
+  EXPECT_EQ(chain.last, &c.hook);
+  EXPECT_EQ(chain.first->prev, nullptr);
+  EXPECT_EQ(chain.last->next, nullptr);
+  // Interior links intact.
+  EXPECT_EQ(a.hook.next, &b.hook);
+  EXPECT_EQ(b.hook.next, &c.hook);
+  // Manually unlink the chain so the nodes' destructors see clean hooks.
+  a.hook = {};
+  b.hook = {};
+  c.hook = {};
+}
+
+TEST(IntrusiveListTest, TakeAllOnEmptyListReturnsNull) {
+  List list;
+  const auto chain = list.take_all();
+  EXPECT_EQ(chain.first, nullptr);
+  EXPECT_EQ(chain.count, 0u);
+}
+
+TEST(IntrusiveListTest, SpliceAfterSentinelPrepends) {
+  List target;
+  Node a{10}, b{20};
+  target.push_back(a);
+  target.push_back(b);
+
+  List source;
+  Node x{1}, y{2};
+  source.push_back(x);
+  source.push_back(y);
+  const auto chain = source.take_all();
+
+  target.splice_after_node(target.sentinel(), chain.first, chain.last,
+                           chain.count);
+  EXPECT_EQ(values_of(target), (std::vector<int>{1, 2, 10, 20}));
+  EXPECT_EQ(target.size(), 4u);
+}
+
+TEST(IntrusiveListTest, SpliceAfterMiddleNode) {
+  List target;
+  Node a{1}, b{4};
+  target.push_back(a);
+  target.push_back(b);
+
+  List source;
+  Node x{2}, y{3};
+  source.push_back(x);
+  source.push_back(y);
+  const auto chain = source.take_all();
+
+  target.splice_after_node(&a.hook, chain.first, chain.last, chain.count);
+  EXPECT_EQ(values_of(target), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(IntrusiveListTest, SpliceAfterLastNodeAppends) {
+  List target;
+  Node a{1};
+  target.push_back(a);
+
+  List source;
+  Node x{2};
+  source.push_back(x);
+  const auto chain = source.take_all();
+
+  target.splice_after_node(&a.hook, chain.first, chain.last, chain.count);
+  EXPECT_EQ(values_of(target), (std::vector<int>{1, 2}));
+  EXPECT_EQ(&target.back(), &x);
+}
+
+TEST(IntrusiveListTest, SpliceIntoEmptyList) {
+  List target;
+  List source;
+  Node x{1}, y{2};
+  source.push_back(x);
+  source.push_back(y);
+  const auto chain = source.take_all();
+  target.splice_after_node(target.sentinel(), chain.first, chain.last,
+                           chain.count);
+  EXPECT_EQ(values_of(target), (std::vector<int>{1, 2}));
+}
+
+TEST(IntrusiveListTest, ReusableAfterErase) {
+  List list;
+  Node a{1};
+  list.push_back(a);
+  list.erase(a);
+  list.push_back(a);  // re-link the same node
+  EXPECT_EQ(values_of(list), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace horse::util

@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace horse::util {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Xoshiro256 rng(5);
+  const auto first = rng();
+  rng.reseed(5);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(RngTest, Uniform01StaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, BoundedRespectsBound) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(13);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.bounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(19);
+  const double rate = 4.0;
+  double sum = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.exponential(rate);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, NormalMeanAndSpread) {
+  Xoshiro256 rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.bounded_pareto(1.5, 10.0, 1000.0);
+    EXPECT_GE(v, 10.0 * 0.999);
+    EXPECT_LE(v, 1000.0 * 1.001);
+  }
+}
+
+TEST(RngTest, BoundedParetoIsHeavyTailed) {
+  // The mass should concentrate near the lower bound.
+  Xoshiro256 rng(31);
+  int below_100 = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bounded_pareto(1.5, 10.0, 10'000.0) < 100.0) {
+      ++below_100;
+    }
+  }
+  EXPECT_GT(below_100, kSamples * 9 / 10);
+}
+
+TEST(SplitMixTest, KnownFirstOutputsDiffer) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace horse::util

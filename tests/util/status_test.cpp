@@ -1,0 +1,60 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(StatusCode::kNotFound, "no such sandbox");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such sandbox");
+  EXPECT_EQ(status.to_report(), "NOT_FOUND: no such sandbox");
+}
+
+TEST(StatusTest, ToStringCoversAllCodes) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_EQ(to_string(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(to_string(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(to_string(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_EQ(to_string(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(to_string(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> value(42);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 42);
+  EXPECT_TRUE(value.status().is_ok());
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> error(Status{StatusCode::kUnavailable, "nope"});
+  EXPECT_FALSE(error.has_value());
+  EXPECT_FALSE(static_cast<bool>(error));
+  EXPECT_EQ(error.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> value(std::string("payload"));
+  const std::string moved = std::move(value).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> value(std::string("abc"));
+  EXPECT_EQ(value->size(), 3u);
+}
+
+}  // namespace
+}  // namespace horse::util

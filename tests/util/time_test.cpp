@@ -1,0 +1,44 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::util {
+namespace {
+
+TEST(TimeTest, UnitConstantsConsistent) {
+  EXPECT_EQ(kMicrosecond, 1'000);
+  EXPECT_EQ(kMillisecond, 1'000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1'000 * kMillisecond);
+}
+
+TEST(TimeTest, MonotonicNowAdvances) {
+  const Nanos a = monotonic_now();
+  const Nanos b = monotonic_now();
+  EXPECT_GE(b, a);
+}
+
+TEST(TimeTest, StopwatchMeasuresElapsed) {
+  Stopwatch watch;
+  spin_for(200 * kMicrosecond);
+  const Nanos elapsed = watch.elapsed();
+  EXPECT_GE(elapsed, 200 * kMicrosecond);
+  // Generous upper bound: a loaded CI machine should still be far under 100x.
+  EXPECT_LT(elapsed, 20 * kMillisecond);
+}
+
+TEST(TimeTest, StopwatchRestart) {
+  Stopwatch watch;
+  spin_for(100 * kMicrosecond);
+  watch.restart();
+  const Nanos elapsed = watch.elapsed();
+  EXPECT_LT(elapsed, 100 * kMicrosecond);
+}
+
+TEST(TimeTest, SpinForZeroReturnsQuickly) {
+  Stopwatch watch;
+  spin_for(0);
+  EXPECT_LT(watch.elapsed(), kMillisecond);
+}
+
+}  // namespace
+}  // namespace horse::util

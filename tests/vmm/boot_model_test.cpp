@@ -1,0 +1,58 @@
+#include "vmm/boot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::vmm {
+namespace {
+
+SandboxConfig config_of(std::uint32_t vcpus) {
+  SandboxConfig config;
+  config.name = "boot";
+  config.num_vcpus = vcpus;
+  config.memory_mb = 1;
+  return config;
+}
+
+TEST(BootModelTest, DeterministicPerSeed) {
+  BootModel a(VmmProfile::firecracker(), 7);
+  BootModel b(VmmProfile::firecracker(), 7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.cold_boot(1, config_of(1)).boot_time,
+              b.cold_boot(1, config_of(1)).boot_time);
+  }
+}
+
+TEST(BootModelTest, DifferentSeedsJitterDifferently) {
+  BootModel a(VmmProfile::firecracker(), 1);
+  BootModel b(VmmProfile::firecracker(), 2);
+  int equal = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.cold_boot(1, config_of(1)).boot_time ==
+        b.cold_boot(1, config_of(1)).boot_time) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(BootModelTest, SandboxComesOutCreatedWithVcpus) {
+  BootModel boot(VmmProfile::firecracker());
+  auto result = boot.cold_boot(42, config_of(4));
+  ASSERT_NE(result.sandbox, nullptr);
+  EXPECT_EQ(result.sandbox->id(), 42u);
+  EXPECT_EQ(result.sandbox->num_vcpus(), 4u);
+  EXPECT_EQ(result.sandbox->state(), SandboxState::kCreated);
+}
+
+TEST(BootModelTest, JitterStaysWithinClampedBand) {
+  BootModel boot(VmmProfile::xen(), 9);
+  const auto nominal = VmmProfile::xen().cold_boot;
+  for (int i = 0; i < 50; ++i) {
+    const auto time = boot.cold_boot(1, config_of(1)).boot_time;
+    EXPECT_GE(time, nominal * 9 / 10);
+    EXPECT_LE(time, nominal * 12 / 10);
+  }
+}
+
+}  // namespace
+}  // namespace horse::vmm

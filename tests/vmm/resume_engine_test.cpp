@@ -1,0 +1,208 @@
+#include "vmm/resume_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace horse::vmm {
+namespace {
+
+class ResumeEngineTest : public ::testing::Test {
+ protected:
+  ResumeEngineTest()
+      : topology_(4), engine_(topology_, VmmProfile::firecracker()) {}
+
+  std::unique_ptr<Sandbox> make_sandbox(std::uint32_t vcpus) {
+    SandboxConfig config;
+    config.name = "fn";
+    config.num_vcpus = vcpus;
+    config.memory_mb = 1;
+    return std::make_unique<Sandbox>(next_id_++, config);
+  }
+
+  std::size_t total_queued() const {
+    std::size_t total = 0;
+    for (sched::CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+      total += topology_.queue(cpu).size();
+    }
+    return total;
+  }
+
+  sched::CpuTopology topology_;
+  ResumeEngine engine_;
+  sched::SandboxId next_id_ = 1;
+};
+
+TEST_F(ResumeEngineTest, StartPlacesAllVcpus) {
+  auto sandbox = make_sandbox(4);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  EXPECT_EQ(sandbox->state(), SandboxState::kRunning);
+  EXPECT_EQ(total_queued(), 4u);
+  for (const auto& vcpu : sandbox->vcpus()) {
+    EXPECT_EQ(vcpu->state, sched::VcpuState::kRunnable);
+    EXPECT_TRUE(vcpu->hook.is_linked());
+  }
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, StartTwiceFails) {
+  auto sandbox = make_sandbox(1);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  const auto status = engine_.start(*sandbox);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, PauseParksVcpusSorted) {
+  auto sandbox = make_sandbox(4);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  // Give the vCPUs shuffled credits so sortedness is observable.
+  sandbox->vcpu(0).credit = 40;
+  sandbox->vcpu(1).credit = 10;
+  sandbox->vcpu(2).credit = 30;
+  sandbox->vcpu(3).credit = 20;
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  EXPECT_EQ(sandbox->state(), SandboxState::kPaused);
+  EXPECT_EQ(total_queued(), 0u);
+  EXPECT_EQ(sandbox->merge_vcpus().size(), 4u);
+  sched::Credit prev = -1;
+  for (const sched::Vcpu& vcpu : sandbox->merge_vcpus()) {
+    EXPECT_GE(vcpu.credit, prev);
+    prev = vcpu.credit;
+    EXPECT_EQ(vcpu.state, sched::VcpuState::kPaused);
+  }
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, PauseRequiresRunning) {
+  auto sandbox = make_sandbox(1);
+  EXPECT_EQ(engine_.pause(*sandbox).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumeEngineTest, ResumeRequiresPaused) {
+  auto sandbox = make_sandbox(1);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  EXPECT_EQ(engine_.resume(*sandbox).code(),
+            util::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, ResumeRestoresAllVcpusToQueues) {
+  auto sandbox = make_sandbox(6);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  ResumeBreakdown breakdown;
+  ASSERT_TRUE(engine_.resume(*sandbox, &breakdown).is_ok());
+  EXPECT_EQ(sandbox->state(), SandboxState::kRunning);
+  EXPECT_EQ(total_queued(), 6u);
+  EXPECT_EQ(sandbox->merge_vcpus().size(), 0u);
+  for (sched::CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+    EXPECT_TRUE(topology_.queue(cpu).is_sorted());
+  }
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, BreakdownCoversAllSteps) {
+  auto sandbox = make_sandbox(8);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  ResumeBreakdown breakdown;
+  ASSERT_TRUE(engine_.resume(*sandbox, &breakdown).is_ok());
+  EXPECT_GT(breakdown.total(), 0);
+  EXPECT_GT(breakdown.parse, 0);    // includes modelled control plane
+  EXPECT_GT(breakdown.merge, 0);    // 8 sorted inserts + per-vCPU tax
+  EXPECT_GE(breakdown.load_update, 0);
+  EXPECT_GE(breakdown.contested_fraction(), 0.0);
+  EXPECT_LE(breakdown.contested_fraction(), 1.0);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, ResumeUpdatesLoadPerVcpu) {
+  auto sandbox = make_sandbox(4);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  double load_before = 0.0;
+  for (sched::CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+    load_before += topology_.queue(cpu).load();
+  }
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  double load_after = 0.0;
+  for (sched::CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+    load_after += topology_.queue(cpu).load();
+  }
+  EXPECT_GT(load_after, load_before);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, PauseResumeCycleIsRepeatable) {
+  auto sandbox = make_sandbox(3);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine_.pause(*sandbox).is_ok()) << "cycle " << i;
+    ASSERT_TRUE(engine_.resume(*sandbox).is_ok()) << "cycle " << i;
+  }
+  EXPECT_EQ(total_queued(), 3u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, DestroyWhilePausedCleansMergeList) {
+  auto sandbox = make_sandbox(2);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+  EXPECT_EQ(sandbox->state(), SandboxState::kDestroyed);
+  EXPECT_EQ(sandbox->merge_vcpus().size(), 0u);
+}
+
+TEST_F(ResumeEngineTest, DestroyTwiceFails) {
+  auto sandbox = make_sandbox(1);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+  EXPECT_EQ(engine_.destroy(*sandbox).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumeEngineTest, VanillaPlacementBalancesAcrossQueues) {
+  // With 4 CPUs and 8 vCPUs, least-loaded placement should not put
+  // everything on one queue.
+  auto sandbox = make_sandbox(8);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  std::size_t used = 0;
+  for (sched::CpuId cpu = 0; cpu < topology_.num_cpus(); ++cpu) {
+    if (!topology_.queue(cpu).empty()) {
+      ++used;
+    }
+  }
+  EXPECT_GT(used, 1u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(ResumeEngineTest, MergeTimeGrowsWithVcpuCount) {
+  // The Figure-2 premise: step ④+⑤ dominate and grow with vCPU count.
+  // Compare 1 vs 32 vCPUs with background queue occupancy.
+  auto background = make_sandbox(16);
+  ASSERT_TRUE(engine_.start(*background).is_ok());
+
+  auto measure = [&](std::uint32_t vcpus) {
+    auto sandbox = make_sandbox(vcpus);
+    (void)engine_.start(*sandbox);
+    util::Nanos best = std::numeric_limits<util::Nanos>::max();
+    for (int i = 0; i < 15; ++i) {
+      (void)engine_.pause(*sandbox);
+      ResumeBreakdown breakdown;
+      (void)engine_.resume(*sandbox, &breakdown);
+      best = std::min(best, breakdown.merge + breakdown.load_update);
+    }
+    (void)engine_.destroy(*sandbox);
+    return best;
+  };
+
+  const util::Nanos small = measure(1);
+  const util::Nanos large = measure(32);
+  EXPECT_GT(large, small);
+  ASSERT_TRUE(engine_.destroy(*background).is_ok());
+}
+
+}  // namespace
+}  // namespace horse::vmm

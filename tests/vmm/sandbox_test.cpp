@@ -1,0 +1,75 @@
+#include "vmm/sandbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace horse::vmm {
+namespace {
+
+TEST(SandboxTest, ConstructsWithConfiguredVcpus) {
+  SandboxConfig config;
+  config.name = "fn";
+  config.num_vcpus = 4;
+  config.memory_mb = 128;
+  Sandbox sandbox(7, config);
+  EXPECT_EQ(sandbox.id(), 7u);
+  EXPECT_EQ(sandbox.num_vcpus(), 4u);
+  EXPECT_EQ(sandbox.state(), SandboxState::kCreated);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sandbox.vcpu(i).id, i);
+    EXPECT_EQ(sandbox.vcpu(i).sandbox, 7u);
+    EXPECT_EQ(sandbox.vcpu(i).state, sched::VcpuState::kOffline);
+  }
+}
+
+TEST(SandboxTest, RejectsZeroVcpus) {
+  SandboxConfig config;
+  config.num_vcpus = 0;
+  EXPECT_THROW(Sandbox(1, config), std::invalid_argument);
+}
+
+TEST(SandboxTest, RejectsZeroMemory) {
+  SandboxConfig config;
+  config.memory_mb = 0;
+  EXPECT_THROW(Sandbox(1, config), std::invalid_argument);
+}
+
+TEST(SandboxTest, GuestMemoryScaled) {
+  SandboxConfig config;
+  config.memory_mb = 64;
+  Sandbox sandbox(1, config);
+  EXPECT_EQ(sandbox.guest_memory().size(),
+            64u * 1024 * 1024 / Sandbox::kMemoryScaleDenominator);
+}
+
+TEST(SandboxTest, MergeVcpusStartsEmpty) {
+  SandboxConfig config;
+  Sandbox sandbox(1, config);
+  EXPECT_EQ(sandbox.merge_vcpus().size(), 0u);
+}
+
+TEST(SandboxTest, CoalescePrecomputeStartsInvalid) {
+  SandboxConfig config;
+  Sandbox sandbox(1, config);
+  EXPECT_FALSE(sandbox.coalesce().valid);
+}
+
+TEST(SandboxTest, StateToString) {
+  EXPECT_EQ(to_string(SandboxState::kCreated), "created");
+  EXPECT_EQ(to_string(SandboxState::kRunning), "running");
+  EXPECT_EQ(to_string(SandboxState::kPaused), "paused");
+  EXPECT_EQ(to_string(SandboxState::kDestroyed), "destroyed");
+}
+
+TEST(SandboxTest, VcpuAddressesStable) {
+  SandboxConfig config;
+  config.num_vcpus = 8;
+  Sandbox sandbox(1, config);
+  sched::Vcpu* first = &sandbox.vcpu(0);
+  // Accessing other vCPUs must not move the first (they are heap-pinned;
+  // intrusive hooks depend on this).
+  sched::Vcpu* again = &sandbox.vcpu(0);
+  EXPECT_EQ(first, again);
+}
+
+}  // namespace
+}  // namespace horse::vmm

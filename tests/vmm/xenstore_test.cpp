@@ -1,0 +1,229 @@
+#include "vmm/xenstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sched/topology.hpp"
+#include "vmm/resume_engine.hpp"
+
+namespace horse::vmm {
+namespace {
+
+TEST(XenStoreTest, WriteReadRoundTrip) {
+  XenStore store;
+  ASSERT_TRUE(store.write("/local/domain/1/state", "running").is_ok());
+  const auto value = store.read("/local/domain/1/state");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "running");
+}
+
+TEST(XenStoreTest, ReadMissingPathFails) {
+  XenStore store;
+  EXPECT_EQ(store.read("/nope").status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(XenStoreTest, RejectsMalformedPaths) {
+  XenStore store;
+  EXPECT_FALSE(store.write("relative/path", "x").is_ok());
+  EXPECT_FALSE(store.write("", "x").is_ok());
+  EXPECT_FALSE(store.write("/trailing/", "x").is_ok());
+}
+
+TEST(XenStoreTest, OverwriteReplacesValue) {
+  XenStore store;
+  ASSERT_TRUE(store.write("/a", "1").is_ok());
+  ASSERT_TRUE(store.write("/a", "2").is_ok());
+  EXPECT_EQ(*store.read("/a"), "2");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(XenStoreTest, ListReturnsImmediateChildren) {
+  XenStore store;
+  ASSERT_TRUE(store.write("/local/domain/1/state", "running").is_ok());
+  ASSERT_TRUE(store.write("/local/domain/1/vcpus", "4").is_ok());
+  ASSERT_TRUE(store.write("/local/domain/2/state", "paused").is_ok());
+  const auto domains = store.list("/local/domain");
+  EXPECT_EQ(domains, (std::vector<std::string>{"1", "2"}));
+  const auto dom1 = store.list("/local/domain/1");
+  EXPECT_EQ(dom1, (std::vector<std::string>{"state", "vcpus"}));
+}
+
+TEST(XenStoreTest, ListEmptyDirectory) {
+  XenStore store;
+  EXPECT_TRUE(store.list("/empty").empty());
+}
+
+TEST(XenStoreTest, RemoveIsRecursive) {
+  XenStore store;
+  ASSERT_TRUE(store.write("/local/domain/1/state", "x").is_ok());
+  ASSERT_TRUE(store.write("/local/domain/1/vcpu/0", "y").is_ok());
+  ASSERT_TRUE(store.write("/local/domain/2/state", "z").is_ok());
+  ASSERT_TRUE(store.remove("/local/domain/1").is_ok());
+  EXPECT_FALSE(store.exists("/local/domain/1/state"));
+  EXPECT_FALSE(store.exists("/local/domain/1/vcpu/0"));
+  EXPECT_TRUE(store.exists("/local/domain/2/state"));
+}
+
+TEST(XenStoreTest, RemoveMissingFails) {
+  XenStore store;
+  EXPECT_EQ(store.remove("/ghost").code(), util::StatusCode::kNotFound);
+}
+
+TEST(XenStoreTest, RemoveDoesNotEatSiblingsWithSharedPrefix) {
+  XenStore store;
+  ASSERT_TRUE(store.write("/a/b", "1").is_ok());
+  ASSERT_TRUE(store.write("/a/bc", "2").is_ok());  // NOT under /a/b
+  ASSERT_TRUE(store.remove("/a/b").is_ok());
+  EXPECT_TRUE(store.exists("/a/bc"));
+}
+
+TEST(XenStoreTest, TransactionCommitAppliesWrites) {
+  XenStore store;
+  const auto tx = store.tx_begin();
+  ASSERT_TRUE(store.tx_write(tx, "/d/state", "paused").is_ok());
+  EXPECT_FALSE(store.exists("/d/state"));  // isolated until commit
+  ASSERT_TRUE(store.tx_commit(tx).is_ok());
+  EXPECT_EQ(*store.read("/d/state"), "paused");
+}
+
+TEST(XenStoreTest, TransactionReadsOwnWrites) {
+  XenStore store;
+  const auto tx = store.tx_begin();
+  ASSERT_TRUE(store.tx_write(tx, "/k", "v").is_ok());
+  const auto value = store.tx_read(tx, "/k");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "v");
+  store.tx_abort(tx);
+}
+
+TEST(XenStoreTest, TransactionAbortDiscards) {
+  XenStore store;
+  const auto tx = store.tx_begin();
+  ASSERT_TRUE(store.tx_write(tx, "/k", "v").is_ok());
+  store.tx_abort(tx);
+  EXPECT_FALSE(store.exists("/k"));
+  // Committing an aborted transaction fails.
+  EXPECT_EQ(store.tx_commit(tx).code(), util::StatusCode::kNotFound);
+}
+
+TEST(XenStoreTest, ConflictingCommitFailsLikeEagain) {
+  XenStore store;
+  ASSERT_TRUE(store.write("/d/state", "running").is_ok());
+
+  const auto tx = store.tx_begin();
+  const auto observed = store.tx_read(tx, "/d/state");
+  ASSERT_TRUE(observed.has_value());
+
+  // Outside write invalidates the transaction's snapshot.
+  ASSERT_TRUE(store.write("/d/state", "destroyed").is_ok());
+  ASSERT_TRUE(store.tx_write(tx, "/d/state", "paused").is_ok());
+  EXPECT_EQ(store.tx_commit(tx).code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(*store.read("/d/state"), "destroyed");  // untouched by tx
+}
+
+TEST(XenStoreTest, NonConflictingTransactionsBothCommit) {
+  XenStore store;
+  const auto tx1 = store.tx_begin();
+  const auto tx2 = store.tx_begin();
+  ASSERT_TRUE(store.tx_write(tx1, "/a", "1").is_ok());
+  ASSERT_TRUE(store.tx_write(tx2, "/b", "2").is_ok());
+  EXPECT_TRUE(store.tx_commit(tx1).is_ok());
+  EXPECT_TRUE(store.tx_commit(tx2).is_ok());
+  EXPECT_EQ(*store.read("/a"), "1");
+  EXPECT_EQ(*store.read("/b"), "2");
+}
+
+TEST(XenStoreTest, WriteWriteConflictDetected) {
+  XenStore store;
+  const auto tx1 = store.tx_begin();
+  const auto tx2 = store.tx_begin();
+  ASSERT_TRUE(store.tx_write(tx1, "/k", "1").is_ok());
+  ASSERT_TRUE(store.tx_write(tx2, "/k", "2").is_ok());
+  EXPECT_TRUE(store.tx_commit(tx1).is_ok());
+  EXPECT_EQ(store.tx_commit(tx2).code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(*store.read("/k"), "1");
+}
+
+TEST(XenStoreTest, ChangeCountTracksSubtree) {
+  XenStore store;
+  EXPECT_EQ(store.change_count("/local"), 0u);
+  ASSERT_TRUE(store.write("/local/domain/1/state", "a").is_ok());
+  const auto first = store.change_count("/local/domain/1");
+  EXPECT_GT(first, 0u);
+  ASSERT_TRUE(store.write("/local/domain/1/state", "b").is_ok());
+  EXPECT_GT(store.change_count("/local/domain/1"), first);
+  // Unrelated subtree unaffected.
+  EXPECT_EQ(store.change_count("/other"), 0u);
+}
+
+TEST(XenStoreTest, ConcurrentWritersStayConsistent) {
+  XenStore store;
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 500;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kWrites; ++i) {
+        const std::string path =
+            "/stress/" + std::to_string(t) + "/" + std::to_string(i % 10);
+        (void)store.write(path, std::to_string(i));
+      }
+    });
+  }
+  threads.clear();
+  // 4 threads x 10 distinct keys each.
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kThreads) * 10);
+}
+
+TEST(XenStoreResumeIntegrationTest, XenEngineMaintainsDomainState) {
+  sched::CpuTopology topology(4);
+  ResumeEngine engine(topology, VmmProfile::xen());
+  ASSERT_NE(engine.xenstore(), nullptr);
+
+  SandboxConfig config;
+  config.name = "dom";
+  config.num_vcpus = 2;
+  config.memory_mb = 1;
+  Sandbox sandbox(7, config);
+  const std::string state_path = XenStore::domain_path(7) + "/state";
+
+  ASSERT_TRUE(engine.start(sandbox).is_ok());
+  EXPECT_EQ(*engine.xenstore()->read(state_path), "running");
+  ASSERT_TRUE(engine.pause(sandbox).is_ok());
+  EXPECT_EQ(*engine.xenstore()->read(state_path), "paused");
+  ASSERT_TRUE(engine.resume(sandbox).is_ok());
+  EXPECT_EQ(*engine.xenstore()->read(state_path), "running");
+  EXPECT_EQ(*engine.xenstore()->read(XenStore::domain_path(7) + "/vcpus"), "2");
+  ASSERT_TRUE(engine.destroy(sandbox).is_ok());
+  EXPECT_FALSE(engine.xenstore()->exists(state_path));
+}
+
+TEST(XenStoreResumeIntegrationTest, TamperedStateFailsSanityCheck) {
+  sched::CpuTopology topology(4);
+  ResumeEngine engine(topology, VmmProfile::xen());
+  SandboxConfig config;
+  config.name = "dom";
+  config.num_vcpus = 1;
+  config.memory_mb = 1;
+  Sandbox sandbox(9, config);
+  ASSERT_TRUE(engine.start(sandbox).is_ok());
+  ASSERT_TRUE(engine.pause(sandbox).is_ok());
+  // Control-plane/state-machine divergence must be caught by step ③.
+  ASSERT_TRUE(engine.xenstore()
+                  ->write(XenStore::domain_path(9) + "/state", "destroyed")
+                  .is_ok());
+  EXPECT_EQ(engine.resume(sandbox).code(),
+            util::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine.destroy(sandbox).is_ok());
+}
+
+TEST(XenStoreResumeIntegrationTest, FirecrackerEngineHasNoStore) {
+  sched::CpuTopology topology(2);
+  ResumeEngine engine(topology, VmmProfile::firecracker());
+  EXPECT_EQ(engine.xenstore(), nullptr);
+}
+
+}  // namespace
+}  // namespace horse::vmm

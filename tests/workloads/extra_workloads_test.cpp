@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "workloads/kv_store.hpp"
+#include "workloads/ml_inference.hpp"
+
+namespace horse::workloads {
+namespace {
+
+// ---------------------------------------------------------------- kv store
+
+TEST(KvStoreTest, PrepopulatedGetsHit) {
+  KvStoreFunction store(100, 16);
+  EXPECT_EQ(store.size(), 100u);
+  Request request;
+  request.header = "GET " + KvStoreFunction::key_name(42);
+  const auto response = store.invoke(request);
+  EXPECT_TRUE(response.allowed);
+  EXPECT_EQ(response.rewritten_header.size(), 16u);
+  EXPECT_NE(response.checksum, 0u);
+}
+
+TEST(KvStoreTest, MissingKeyMisses) {
+  KvStoreFunction store(10);
+  Request request;
+  request.header = "GET no-such-key";
+  const auto response = store.invoke(request);
+  EXPECT_FALSE(response.allowed);
+  EXPECT_TRUE(response.rewritten_header.empty());
+}
+
+TEST(KvStoreTest, SetThenGetRoundTrip) {
+  KvStoreFunction store(0);
+  Request set;
+  set.header = "SET answer 42";
+  const auto set_response = store.invoke(set);
+  EXPECT_TRUE(set_response.allowed);
+  EXPECT_EQ(set_response.checksum, 1u);  // store size after the insert
+
+  Request get;
+  get.header = "GET answer";
+  const auto get_response = store.invoke(get);
+  EXPECT_TRUE(get_response.allowed);
+  EXPECT_EQ(get_response.rewritten_header, "42");
+}
+
+TEST(KvStoreTest, SetOverwrites) {
+  KvStoreFunction store(0);
+  Request set;
+  set.header = "SET k v1";
+  (void)store.invoke(set);
+  set.header = "SET k v2";
+  (void)store.invoke(set);
+  EXPECT_EQ(store.size(), 1u);
+  Request get;
+  get.header = "GET k";
+  EXPECT_EQ(store.invoke(get).rewritten_header, "v2");
+}
+
+TEST(KvStoreTest, MalformedCommandsRejected) {
+  KvStoreFunction store(0);
+  for (const char* command : {"", "DEL k", "GETk", "SET onlykey"}) {
+    Request request;
+    request.header = command;
+    EXPECT_FALSE(store.invoke(request).allowed) << command;
+  }
+}
+
+TEST(KvStoreTest, ValuesAreDeterministicPerSeed) {
+  KvStoreFunction a(10, 8, 5);
+  KvStoreFunction b(10, 8, 5);
+  Request request;
+  request.header = "GET " + KvStoreFunction::key_name(3);
+  EXPECT_EQ(a.invoke(request).rewritten_header,
+            b.invoke(request).rewritten_header);
+}
+
+TEST(KvStoreTest, CategoryIsUll) {
+  KvStoreFunction store(1);
+  EXPECT_EQ(store.category(), Category::kCategory2);
+  EXPECT_TRUE(is_ull(store.category()));
+}
+
+// ------------------------------------------------------------ ml inference
+
+TEST(MlInferenceTest, ScoreIsAProbability) {
+  MlInferenceFunction model(64);
+  std::vector<std::int32_t> features(64, 500);
+  const double p = model.score(features);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(MlInferenceTest, EmptyFeaturesUseBiasOnly) {
+  MlInferenceFunction model(8, 3);
+  const double p = model.score({});
+  // Sigmoid of a small bias: near 0.5.
+  EXPECT_NEAR(p, 0.5, 0.2);
+}
+
+TEST(MlInferenceTest, ExtraFeaturesIgnored) {
+  MlInferenceFunction model(4, 3);
+  std::vector<std::int32_t> exact(4, 1000);
+  std::vector<std::int32_t> padded(100, 1000);
+  EXPECT_DOUBLE_EQ(model.score(exact), model.score(padded));
+}
+
+TEST(MlInferenceTest, InvokeChecksumEncodesScore) {
+  MlInferenceFunction model(16, 7);
+  Request request;
+  request.payload.assign(16, 2000);
+  const auto response = model.invoke(request);
+  const double p = model.score(request.payload);
+  EXPECT_EQ(response.checksum, static_cast<std::uint64_t>(p * 1e6));
+  EXPECT_EQ(response.allowed, p >= 0.5);
+}
+
+TEST(MlInferenceTest, DeterministicPerSeed) {
+  MlInferenceFunction a(32, 11);
+  MlInferenceFunction b(32, 11);
+  std::vector<std::int32_t> features(32, 700);
+  EXPECT_DOUBLE_EQ(a.score(features), b.score(features));
+}
+
+TEST(MlInferenceTest, DifferentInputsDifferentScores) {
+  MlInferenceFunction model(32, 11);
+  std::vector<std::int32_t> low(32, -3000);
+  std::vector<std::int32_t> high(32, 3000);
+  EXPECT_NE(model.score(low), model.score(high));
+}
+
+}  // namespace
+}  // namespace horse::workloads
