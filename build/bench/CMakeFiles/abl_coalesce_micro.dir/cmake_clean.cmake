@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coalesce_micro.dir/abl_coalesce_micro.cpp.o"
+  "CMakeFiles/abl_coalesce_micro.dir/abl_coalesce_micro.cpp.o.d"
+  "abl_coalesce_micro"
+  "abl_coalesce_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coalesce_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_idle_states.dir/abl_idle_states.cpp.o"
+  "CMakeFiles/abl_idle_states.dir/abl_idle_states.cpp.o.d"
+  "abl_idle_states"
+  "abl_idle_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_idle_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_idle_states.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_incremental_restore.dir/abl_incremental_restore.cpp.o"
+  "CMakeFiles/abl_incremental_restore.dir/abl_incremental_restore.cpp.o.d"
+  "abl_incremental_restore"
+  "abl_incremental_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_incremental_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

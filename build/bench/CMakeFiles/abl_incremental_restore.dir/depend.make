@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_incremental_restore.
+# This may be replaced when dependencies are built.

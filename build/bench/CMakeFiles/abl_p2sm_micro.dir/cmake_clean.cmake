@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_p2sm_micro.dir/abl_p2sm_micro.cpp.o"
+  "CMakeFiles/abl_p2sm_micro.dir/abl_p2sm_micro.cpp.o.d"
+  "abl_p2sm_micro"
+  "abl_p2sm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_p2sm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

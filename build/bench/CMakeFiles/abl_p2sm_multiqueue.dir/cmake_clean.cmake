@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_p2sm_multiqueue.dir/abl_p2sm_multiqueue.cpp.o"
+  "CMakeFiles/abl_p2sm_multiqueue.dir/abl_p2sm_multiqueue.cpp.o.d"
+  "abl_p2sm_multiqueue"
+  "abl_p2sm_multiqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_p2sm_multiqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

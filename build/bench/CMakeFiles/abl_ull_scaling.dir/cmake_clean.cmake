@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ull_scaling.dir/abl_ull_scaling.cpp.o"
+  "CMakeFiles/abl_ull_scaling.dir/abl_ull_scaling.cpp.o.d"
+  "abl_ull_scaling"
+  "abl_ull_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ull_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

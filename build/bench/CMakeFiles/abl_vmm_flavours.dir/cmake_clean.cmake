@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vmm_flavours.dir/abl_vmm_flavours.cpp.o"
+  "CMakeFiles/abl_vmm_flavours.dir/abl_vmm_flavours.cpp.o.d"
+  "abl_vmm_flavours"
+  "abl_vmm_flavours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vmm_flavours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_init_percentage.dir/fig4_init_percentage.cpp.o"
+  "CMakeFiles/fig4_init_percentage.dir/fig4_init_percentage.cpp.o.d"
+  "fig4_init_percentage"
+  "fig4_init_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_init_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_trace_sim.dir/macro_trace_sim.cpp.o"
+  "CMakeFiles/macro_trace_sim.dir/macro_trace_sim.cpp.o.d"
+  "macro_trace_sim"
+  "macro_trace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_trace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_overhead.dir/sec52_overhead.cpp.o"
+  "CMakeFiles/sec52_overhead.dir/sec52_overhead.cpp.o.d"
+  "sec52_overhead"
+  "sec52_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_colocation.dir/sec54_colocation.cpp.o"
+  "CMakeFiles/sec54_colocation.dir/sec54_colocation.cpp.o.d"
+  "sec54_colocation"
+  "sec54_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

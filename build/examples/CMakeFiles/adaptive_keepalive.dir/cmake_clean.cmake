@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_keepalive.dir/adaptive_keepalive.cpp.o"
+  "CMakeFiles/adaptive_keepalive.dir/adaptive_keepalive.cpp.o.d"
+  "adaptive_keepalive"
+  "adaptive_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

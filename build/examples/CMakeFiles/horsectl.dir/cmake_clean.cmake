@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horsectl.dir/horsectl.cpp.o"
+  "CMakeFiles/horsectl.dir/horsectl.cpp.o.d"
+  "horsectl"
+  "horsectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horsectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

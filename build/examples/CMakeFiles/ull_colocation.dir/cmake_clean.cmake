@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ull_colocation.dir/ull_colocation.cpp.o"
+  "CMakeFiles/ull_colocation.dir/ull_colocation.cpp.o.d"
+  "ull_colocation"
+  "ull_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ull_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ull_colocation.
+# This may be replaced when dependencies are built.

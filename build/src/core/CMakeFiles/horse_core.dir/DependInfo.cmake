@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_ull.cpp" "src/core/CMakeFiles/horse_core.dir/adaptive_ull.cpp.o" "gcc" "src/core/CMakeFiles/horse_core.dir/adaptive_ull.cpp.o.d"
+  "/root/repo/src/core/horse_resume.cpp" "src/core/CMakeFiles/horse_core.dir/horse_resume.cpp.o" "gcc" "src/core/CMakeFiles/horse_core.dir/horse_resume.cpp.o.d"
+  "/root/repo/src/core/merge_crew.cpp" "src/core/CMakeFiles/horse_core.dir/merge_crew.cpp.o" "gcc" "src/core/CMakeFiles/horse_core.dir/merge_crew.cpp.o.d"
+  "/root/repo/src/core/p2sm.cpp" "src/core/CMakeFiles/horse_core.dir/p2sm.cpp.o" "gcc" "src/core/CMakeFiles/horse_core.dir/p2sm.cpp.o.d"
+  "/root/repo/src/core/ull_manager.cpp" "src/core/CMakeFiles/horse_core.dir/ull_manager.cpp.o" "gcc" "src/core/CMakeFiles/horse_core.dir/ull_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmm/CMakeFiles/horse_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/horse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/horse_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_core.dir/adaptive_ull.cpp.o"
+  "CMakeFiles/horse_core.dir/adaptive_ull.cpp.o.d"
+  "CMakeFiles/horse_core.dir/horse_resume.cpp.o"
+  "CMakeFiles/horse_core.dir/horse_resume.cpp.o.d"
+  "CMakeFiles/horse_core.dir/merge_crew.cpp.o"
+  "CMakeFiles/horse_core.dir/merge_crew.cpp.o.d"
+  "CMakeFiles/horse_core.dir/p2sm.cpp.o"
+  "CMakeFiles/horse_core.dir/p2sm.cpp.o.d"
+  "CMakeFiles/horse_core.dir/ull_manager.cpp.o"
+  "CMakeFiles/horse_core.dir/ull_manager.cpp.o.d"
+  "libhorse_core.a"
+  "libhorse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

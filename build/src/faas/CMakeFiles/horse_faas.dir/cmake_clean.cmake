@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_faas.dir/colocation.cpp.o"
+  "CMakeFiles/horse_faas.dir/colocation.cpp.o.d"
+  "CMakeFiles/horse_faas.dir/keepalive_policy.cpp.o"
+  "CMakeFiles/horse_faas.dir/keepalive_policy.cpp.o.d"
+  "CMakeFiles/horse_faas.dir/platform.cpp.o"
+  "CMakeFiles/horse_faas.dir/platform.cpp.o.d"
+  "CMakeFiles/horse_faas.dir/warm_pool.cpp.o"
+  "CMakeFiles/horse_faas.dir/warm_pool.cpp.o.d"
+  "libhorse_faas.a"
+  "libhorse_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for horse_faas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/csv.cpp" "src/metrics/CMakeFiles/horse_metrics.dir/csv.cpp.o" "gcc" "src/metrics/CMakeFiles/horse_metrics.dir/csv.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/horse_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/horse_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/reporter.cpp" "src/metrics/CMakeFiles/horse_metrics.dir/reporter.cpp.o" "gcc" "src/metrics/CMakeFiles/horse_metrics.dir/reporter.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/horse_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/horse_metrics.dir/stats.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/metrics/CMakeFiles/horse_metrics.dir/time_series.cpp.o" "gcc" "src/metrics/CMakeFiles/horse_metrics.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

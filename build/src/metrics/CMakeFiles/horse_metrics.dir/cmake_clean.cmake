@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_metrics.dir/csv.cpp.o"
+  "CMakeFiles/horse_metrics.dir/csv.cpp.o.d"
+  "CMakeFiles/horse_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/horse_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/horse_metrics.dir/reporter.cpp.o"
+  "CMakeFiles/horse_metrics.dir/reporter.cpp.o.d"
+  "CMakeFiles/horse_metrics.dir/stats.cpp.o"
+  "CMakeFiles/horse_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/horse_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/horse_metrics.dir/time_series.cpp.o.d"
+  "libhorse_metrics.a"
+  "libhorse_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

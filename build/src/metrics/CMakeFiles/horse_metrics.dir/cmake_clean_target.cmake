@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhorse_metrics.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/credit2.cpp" "src/sched/CMakeFiles/horse_sched.dir/credit2.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/credit2.cpp.o.d"
+  "/root/repo/src/sched/energy.cpp" "src/sched/CMakeFiles/horse_sched.dir/energy.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/energy.cpp.o.d"
+  "/root/repo/src/sched/idle_governor.cpp" "src/sched/CMakeFiles/horse_sched.dir/idle_governor.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/idle_governor.cpp.o.d"
+  "/root/repo/src/sched/load_balancer.cpp" "src/sched/CMakeFiles/horse_sched.dir/load_balancer.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/sched/pelt_entity.cpp" "src/sched/CMakeFiles/horse_sched.dir/pelt_entity.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/pelt_entity.cpp.o.d"
+  "/root/repo/src/sched/run_queue.cpp" "src/sched/CMakeFiles/horse_sched.dir/run_queue.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/run_queue.cpp.o.d"
+  "/root/repo/src/sched/sched_trace.cpp" "src/sched/CMakeFiles/horse_sched.dir/sched_trace.cpp.o" "gcc" "src/sched/CMakeFiles/horse_sched.dir/sched_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/horse_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

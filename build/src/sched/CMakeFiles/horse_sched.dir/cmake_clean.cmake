@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_sched.dir/credit2.cpp.o"
+  "CMakeFiles/horse_sched.dir/credit2.cpp.o.d"
+  "CMakeFiles/horse_sched.dir/energy.cpp.o"
+  "CMakeFiles/horse_sched.dir/energy.cpp.o.d"
+  "CMakeFiles/horse_sched.dir/idle_governor.cpp.o"
+  "CMakeFiles/horse_sched.dir/idle_governor.cpp.o.d"
+  "CMakeFiles/horse_sched.dir/load_balancer.cpp.o"
+  "CMakeFiles/horse_sched.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/horse_sched.dir/pelt_entity.cpp.o"
+  "CMakeFiles/horse_sched.dir/pelt_entity.cpp.o.d"
+  "CMakeFiles/horse_sched.dir/run_queue.cpp.o"
+  "CMakeFiles/horse_sched.dir/run_queue.cpp.o.d"
+  "CMakeFiles/horse_sched.dir/sched_trace.cpp.o"
+  "CMakeFiles/horse_sched.dir/sched_trace.cpp.o.d"
+  "libhorse_sched.a"
+  "libhorse_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

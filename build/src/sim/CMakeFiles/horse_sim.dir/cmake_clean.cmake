@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/horse_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/horse_sim.dir/cpu_executor.cpp.o"
+  "CMakeFiles/horse_sim.dir/cpu_executor.cpp.o.d"
+  "CMakeFiles/horse_sim.dir/server.cpp.o"
+  "CMakeFiles/horse_sim.dir/server.cpp.o.d"
+  "CMakeFiles/horse_sim.dir/simulation.cpp.o"
+  "CMakeFiles/horse_sim.dir/simulation.cpp.o.d"
+  "libhorse_sim.a"
+  "libhorse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/azure_reader.cpp" "src/trace/CMakeFiles/horse_trace.dir/azure_reader.cpp.o" "gcc" "src/trace/CMakeFiles/horse_trace.dir/azure_reader.cpp.o.d"
+  "/root/repo/src/trace/duration_reader.cpp" "src/trace/CMakeFiles/horse_trace.dir/duration_reader.cpp.o" "gcc" "src/trace/CMakeFiles/horse_trace.dir/duration_reader.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/horse_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/horse_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/horse_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/horse_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_trace.dir/azure_reader.cpp.o"
+  "CMakeFiles/horse_trace.dir/azure_reader.cpp.o.d"
+  "CMakeFiles/horse_trace.dir/duration_reader.cpp.o"
+  "CMakeFiles/horse_trace.dir/duration_reader.cpp.o.d"
+  "CMakeFiles/horse_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/horse_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/horse_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/horse_trace.dir/trace_stats.cpp.o.d"
+  "libhorse_trace.a"
+  "libhorse_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/horse_util.dir/thread_pool.cpp.o.d"
+  "libhorse_util.a"
+  "libhorse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

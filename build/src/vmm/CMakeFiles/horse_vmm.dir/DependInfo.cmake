@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/api.cpp" "src/vmm/CMakeFiles/horse_vmm.dir/api.cpp.o" "gcc" "src/vmm/CMakeFiles/horse_vmm.dir/api.cpp.o.d"
+  "/root/repo/src/vmm/resume_engine.cpp" "src/vmm/CMakeFiles/horse_vmm.dir/resume_engine.cpp.o" "gcc" "src/vmm/CMakeFiles/horse_vmm.dir/resume_engine.cpp.o.d"
+  "/root/repo/src/vmm/sandbox.cpp" "src/vmm/CMakeFiles/horse_vmm.dir/sandbox.cpp.o" "gcc" "src/vmm/CMakeFiles/horse_vmm.dir/sandbox.cpp.o.d"
+  "/root/repo/src/vmm/snapshot.cpp" "src/vmm/CMakeFiles/horse_vmm.dir/snapshot.cpp.o" "gcc" "src/vmm/CMakeFiles/horse_vmm.dir/snapshot.cpp.o.d"
+  "/root/repo/src/vmm/xenstore.cpp" "src/vmm/CMakeFiles/horse_vmm.dir/xenstore.cpp.o" "gcc" "src/vmm/CMakeFiles/horse_vmm.dir/xenstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/horse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/horse_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_vmm.dir/api.cpp.o"
+  "CMakeFiles/horse_vmm.dir/api.cpp.o.d"
+  "CMakeFiles/horse_vmm.dir/resume_engine.cpp.o"
+  "CMakeFiles/horse_vmm.dir/resume_engine.cpp.o.d"
+  "CMakeFiles/horse_vmm.dir/sandbox.cpp.o"
+  "CMakeFiles/horse_vmm.dir/sandbox.cpp.o.d"
+  "CMakeFiles/horse_vmm.dir/snapshot.cpp.o"
+  "CMakeFiles/horse_vmm.dir/snapshot.cpp.o.d"
+  "CMakeFiles/horse_vmm.dir/xenstore.cpp.o"
+  "CMakeFiles/horse_vmm.dir/xenstore.cpp.o.d"
+  "libhorse_vmm.a"
+  "libhorse_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

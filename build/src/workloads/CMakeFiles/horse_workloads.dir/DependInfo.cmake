@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/array_filter.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/array_filter.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/array_filter.cpp.o.d"
+  "/root/repo/src/workloads/cpu_burner.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/cpu_burner.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/cpu_burner.cpp.o.d"
+  "/root/repo/src/workloads/firewall.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/firewall.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/firewall.cpp.o.d"
+  "/root/repo/src/workloads/kv_store.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/kv_store.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/kv_store.cpp.o.d"
+  "/root/repo/src/workloads/ml_inference.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/ml_inference.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/ml_inference.cpp.o.d"
+  "/root/repo/src/workloads/nat.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/nat.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/nat.cpp.o.d"
+  "/root/repo/src/workloads/thumbnail.cpp" "src/workloads/CMakeFiles/horse_workloads.dir/thumbnail.cpp.o" "gcc" "src/workloads/CMakeFiles/horse_workloads.dir/thumbnail.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/horse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_workloads.dir/array_filter.cpp.o"
+  "CMakeFiles/horse_workloads.dir/array_filter.cpp.o.d"
+  "CMakeFiles/horse_workloads.dir/cpu_burner.cpp.o"
+  "CMakeFiles/horse_workloads.dir/cpu_burner.cpp.o.d"
+  "CMakeFiles/horse_workloads.dir/firewall.cpp.o"
+  "CMakeFiles/horse_workloads.dir/firewall.cpp.o.d"
+  "CMakeFiles/horse_workloads.dir/kv_store.cpp.o"
+  "CMakeFiles/horse_workloads.dir/kv_store.cpp.o.d"
+  "CMakeFiles/horse_workloads.dir/ml_inference.cpp.o"
+  "CMakeFiles/horse_workloads.dir/ml_inference.cpp.o.d"
+  "CMakeFiles/horse_workloads.dir/nat.cpp.o"
+  "CMakeFiles/horse_workloads.dir/nat.cpp.o.d"
+  "CMakeFiles/horse_workloads.dir/thumbnail.cpp.o"
+  "CMakeFiles/horse_workloads.dir/thumbnail.cpp.o.d"
+  "libhorse_workloads.a"
+  "libhorse_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_core_tests.dir/core/adaptive_ull_test.cpp.o"
+  "CMakeFiles/horse_core_tests.dir/core/adaptive_ull_test.cpp.o.d"
+  "CMakeFiles/horse_core_tests.dir/core/coalesce_test.cpp.o"
+  "CMakeFiles/horse_core_tests.dir/core/coalesce_test.cpp.o.d"
+  "CMakeFiles/horse_core_tests.dir/core/horse_resume_test.cpp.o"
+  "CMakeFiles/horse_core_tests.dir/core/horse_resume_test.cpp.o.d"
+  "CMakeFiles/horse_core_tests.dir/core/merge_crew_test.cpp.o"
+  "CMakeFiles/horse_core_tests.dir/core/merge_crew_test.cpp.o.d"
+  "CMakeFiles/horse_core_tests.dir/core/p2sm_test.cpp.o"
+  "CMakeFiles/horse_core_tests.dir/core/p2sm_test.cpp.o.d"
+  "CMakeFiles/horse_core_tests.dir/core/ull_manager_test.cpp.o"
+  "CMakeFiles/horse_core_tests.dir/core/ull_manager_test.cpp.o.d"
+  "horse_core_tests"
+  "horse_core_tests.pdb"
+  "horse_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_faas_tests.dir/faas/colocation_test.cpp.o"
+  "CMakeFiles/horse_faas_tests.dir/faas/colocation_test.cpp.o.d"
+  "CMakeFiles/horse_faas_tests.dir/faas/invoker_test.cpp.o"
+  "CMakeFiles/horse_faas_tests.dir/faas/invoker_test.cpp.o.d"
+  "CMakeFiles/horse_faas_tests.dir/faas/keepalive_policy_test.cpp.o"
+  "CMakeFiles/horse_faas_tests.dir/faas/keepalive_policy_test.cpp.o.d"
+  "CMakeFiles/horse_faas_tests.dir/faas/platform_test.cpp.o"
+  "CMakeFiles/horse_faas_tests.dir/faas/platform_test.cpp.o.d"
+  "CMakeFiles/horse_faas_tests.dir/faas/warm_pool_test.cpp.o"
+  "CMakeFiles/horse_faas_tests.dir/faas/warm_pool_test.cpp.o.d"
+  "horse_faas_tests"
+  "horse_faas_tests.pdb"
+  "horse_faas_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_faas_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/horse_integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/horse_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/horse_integration_tests.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/horse_integration_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/shape_assertions_test.cpp" "tests/CMakeFiles/horse_integration_tests.dir/integration/shape_assertions_test.cpp.o" "gcc" "tests/CMakeFiles/horse_integration_tests.dir/integration/shape_assertions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/horse_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/horse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/horse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/horse_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/horse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/horse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/horse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/horse_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

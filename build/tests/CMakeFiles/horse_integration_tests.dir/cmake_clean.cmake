@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/horse_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/horse_integration_tests.dir/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/horse_integration_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "CMakeFiles/horse_integration_tests.dir/integration/shape_assertions_test.cpp.o"
+  "CMakeFiles/horse_integration_tests.dir/integration/shape_assertions_test.cpp.o.d"
+  "horse_integration_tests"
+  "horse_integration_tests.pdb"
+  "horse_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_metrics_tests.dir/metrics/csv_test.cpp.o"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/csv_test.cpp.o.d"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/histogram_test.cpp.o"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/histogram_test.cpp.o.d"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/reporter_test.cpp.o"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/reporter_test.cpp.o.d"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/stats_test.cpp.o"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/stats_test.cpp.o.d"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/time_series_test.cpp.o"
+  "CMakeFiles/horse_metrics_tests.dir/metrics/time_series_test.cpp.o.d"
+  "horse_metrics_tests"
+  "horse_metrics_tests.pdb"
+  "horse_metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_property_tests.dir/property/coalesce_property_test.cpp.o"
+  "CMakeFiles/horse_property_tests.dir/property/coalesce_property_test.cpp.o.d"
+  "CMakeFiles/horse_property_tests.dir/property/conservation_property_test.cpp.o"
+  "CMakeFiles/horse_property_tests.dir/property/conservation_property_test.cpp.o.d"
+  "CMakeFiles/horse_property_tests.dir/property/lifecycle_fuzz_test.cpp.o"
+  "CMakeFiles/horse_property_tests.dir/property/lifecycle_fuzz_test.cpp.o.d"
+  "CMakeFiles/horse_property_tests.dir/property/p2sm_property_test.cpp.o"
+  "CMakeFiles/horse_property_tests.dir/property/p2sm_property_test.cpp.o.d"
+  "CMakeFiles/horse_property_tests.dir/property/resume_equivalence_test.cpp.o"
+  "CMakeFiles/horse_property_tests.dir/property/resume_equivalence_test.cpp.o.d"
+  "CMakeFiles/horse_property_tests.dir/property/xenstore_fuzz_test.cpp.o"
+  "CMakeFiles/horse_property_tests.dir/property/xenstore_fuzz_test.cpp.o.d"
+  "horse_property_tests"
+  "horse_property_tests.pdb"
+  "horse_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

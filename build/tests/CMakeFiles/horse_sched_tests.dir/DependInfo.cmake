@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/credit2_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/credit2_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/credit2_test.cpp.o.d"
+  "/root/repo/tests/sched/dvfs_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/dvfs_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/dvfs_test.cpp.o.d"
+  "/root/repo/tests/sched/energy_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/energy_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/energy_test.cpp.o.d"
+  "/root/repo/tests/sched/idle_governor_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/idle_governor_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/idle_governor_test.cpp.o.d"
+  "/root/repo/tests/sched/load_balancer_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/load_balancer_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/load_balancer_test.cpp.o.d"
+  "/root/repo/tests/sched/pelt_entity_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/pelt_entity_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/pelt_entity_test.cpp.o.d"
+  "/root/repo/tests/sched/pelt_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/pelt_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/pelt_test.cpp.o.d"
+  "/root/repo/tests/sched/run_queue_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/run_queue_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/run_queue_test.cpp.o.d"
+  "/root/repo/tests/sched/sched_trace_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/sched_trace_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/sched_trace_test.cpp.o.d"
+  "/root/repo/tests/sched/topology_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/topology_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/topology_test.cpp.o.d"
+  "/root/repo/tests/sched/trace_integration_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/trace_integration_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/trace_integration_test.cpp.o.d"
+  "/root/repo/tests/sched/wake_preempt_test.cpp" "tests/CMakeFiles/horse_sched_tests.dir/sched/wake_preempt_test.cpp.o" "gcc" "tests/CMakeFiles/horse_sched_tests.dir/sched/wake_preempt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/horse_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/horse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/horse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/horse_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/horse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/horse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/horse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/horse_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/horse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

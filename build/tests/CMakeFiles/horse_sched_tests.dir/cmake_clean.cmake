@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_sched_tests.dir/sched/credit2_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/credit2_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/dvfs_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/dvfs_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/energy_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/energy_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/idle_governor_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/idle_governor_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/load_balancer_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/load_balancer_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/pelt_entity_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/pelt_entity_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/pelt_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/pelt_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/run_queue_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/run_queue_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/sched_trace_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/sched_trace_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/topology_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/topology_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/trace_integration_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/trace_integration_test.cpp.o.d"
+  "CMakeFiles/horse_sched_tests.dir/sched/wake_preempt_test.cpp.o"
+  "CMakeFiles/horse_sched_tests.dir/sched/wake_preempt_test.cpp.o.d"
+  "horse_sched_tests"
+  "horse_sched_tests.pdb"
+  "horse_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_sim_tests.dir/sim/cost_model_test.cpp.o"
+  "CMakeFiles/horse_sim_tests.dir/sim/cost_model_test.cpp.o.d"
+  "CMakeFiles/horse_sim_tests.dir/sim/cpu_executor_test.cpp.o"
+  "CMakeFiles/horse_sim_tests.dir/sim/cpu_executor_test.cpp.o.d"
+  "CMakeFiles/horse_sim_tests.dir/sim/server_test.cpp.o"
+  "CMakeFiles/horse_sim_tests.dir/sim/server_test.cpp.o.d"
+  "CMakeFiles/horse_sim_tests.dir/sim/simulation_test.cpp.o"
+  "CMakeFiles/horse_sim_tests.dir/sim/simulation_test.cpp.o.d"
+  "horse_sim_tests"
+  "horse_sim_tests.pdb"
+  "horse_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

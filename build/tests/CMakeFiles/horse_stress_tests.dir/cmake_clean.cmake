@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_stress_tests.dir/stress/concurrent_stress_test.cpp.o"
+  "CMakeFiles/horse_stress_tests.dir/stress/concurrent_stress_test.cpp.o.d"
+  "horse_stress_tests"
+  "horse_stress_tests.pdb"
+  "horse_stress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_stress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

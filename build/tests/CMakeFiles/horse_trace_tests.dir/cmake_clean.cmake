@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_trace_tests.dir/trace/azure_reader_test.cpp.o"
+  "CMakeFiles/horse_trace_tests.dir/trace/azure_reader_test.cpp.o.d"
+  "CMakeFiles/horse_trace_tests.dir/trace/duration_reader_test.cpp.o"
+  "CMakeFiles/horse_trace_tests.dir/trace/duration_reader_test.cpp.o.d"
+  "CMakeFiles/horse_trace_tests.dir/trace/synthetic_test.cpp.o"
+  "CMakeFiles/horse_trace_tests.dir/trace/synthetic_test.cpp.o.d"
+  "CMakeFiles/horse_trace_tests.dir/trace/trace_stats_test.cpp.o"
+  "CMakeFiles/horse_trace_tests.dir/trace/trace_stats_test.cpp.o.d"
+  "horse_trace_tests"
+  "horse_trace_tests.pdb"
+  "horse_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_util_tests.dir/util/intrusive_list_test.cpp.o"
+  "CMakeFiles/horse_util_tests.dir/util/intrusive_list_test.cpp.o.d"
+  "CMakeFiles/horse_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/horse_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/horse_util_tests.dir/util/spinlock_test.cpp.o"
+  "CMakeFiles/horse_util_tests.dir/util/spinlock_test.cpp.o.d"
+  "CMakeFiles/horse_util_tests.dir/util/status_test.cpp.o"
+  "CMakeFiles/horse_util_tests.dir/util/status_test.cpp.o.d"
+  "CMakeFiles/horse_util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/horse_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/horse_util_tests.dir/util/time_test.cpp.o"
+  "CMakeFiles/horse_util_tests.dir/util/time_test.cpp.o.d"
+  "horse_util_tests"
+  "horse_util_tests.pdb"
+  "horse_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

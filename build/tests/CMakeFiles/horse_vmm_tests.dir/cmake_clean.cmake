@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_vmm_tests.dir/vmm/api_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/api_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/boot_model_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/boot_model_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/hotplug_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/hotplug_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/incremental_snapshot_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/incremental_snapshot_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/resume_engine_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/resume_engine_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/sandbox_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/sandbox_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/snapshot_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/snapshot_test.cpp.o.d"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/xenstore_test.cpp.o"
+  "CMakeFiles/horse_vmm_tests.dir/vmm/xenstore_test.cpp.o.d"
+  "horse_vmm_tests"
+  "horse_vmm_tests.pdb"
+  "horse_vmm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_vmm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horse_workloads_tests.dir/workloads/extra_workloads_test.cpp.o"
+  "CMakeFiles/horse_workloads_tests.dir/workloads/extra_workloads_test.cpp.o.d"
+  "CMakeFiles/horse_workloads_tests.dir/workloads/workloads_test.cpp.o"
+  "CMakeFiles/horse_workloads_tests.dir/workloads/workloads_test.cpp.o.d"
+  "horse_workloads_tests"
+  "horse_workloads_tests.pdb"
+  "horse_workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horse_workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

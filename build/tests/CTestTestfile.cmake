@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/horse_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_vmm_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_faas_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_property_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/horse_stress_tests[1]_include.cmake")
