@@ -231,9 +231,15 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
     bd.load_update = watch.elapsed();
   }
 
-  run_epilogue(sandbox, bd);
+  // Manager bookkeeping happens BEFORE the epilogue drops resume_lock_:
+  // untrack() mutates the ull manager's maps, which have no lock of their
+  // own — pause()/resume() on other threads read and write them under
+  // resume_lock_, so erasing after the unlock is a data race on the
+  // unordered_map buckets (caught by the tsan preset).
   sandbox.coalesce().valid = false;
   ull_.untrack(sandbox.id());
+
+  run_epilogue(sandbox, bd);
   return util::Status::ok();
 }
 

@@ -1,8 +1,30 @@
 #include "core/merge_crew.hpp"
 
 #include "util/spinlock.hpp"
+#include "util/yield_point.hpp"
 
 namespace horse::core {
+
+namespace {
+
+// Spins this many cpu_relax() iterations before conceding the core with a
+// sched_yield. On a dedicated machine the budget is never exhausted (the
+// peer thread answers within tens of cycles); on an oversubscribed host —
+// CI runners, the single-core sanitizer matrix — burning a full scheduler
+// quantum while the peer is preempted turns a ~100 ns handshake into
+// milliseconds, so the fallback keeps worst-case latency at one context
+// switch instead.
+constexpr std::uint32_t kSpinBudget = 4096;
+
+inline void relax_or_yield(std::uint32_t& spins) noexcept {
+  util::cpu_relax();
+  if (++spins >= kSpinBudget) {
+    spins = 0;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
 
 ParallelMergeCrew::ParallelMergeCrew(std::size_t num_workers)
     : slots_(num_workers == 0 ? 1 : num_workers) {
@@ -51,6 +73,7 @@ void ParallelMergeCrew::execute(std::span<const SpliceTask> tasks) {
     slot.count = count;
     dispatched += count;
     // Publish: the generation bump releases the task pointer/count.
+    HORSE_YIELD_POINT("crew.publish");
     slot.generation.fetch_add(1, std::memory_order_release);
   }
 
@@ -59,8 +82,10 @@ void ParallelMergeCrew::execute(std::span<const SpliceTask> tasks) {
   for (std::size_t w = 0; w < n_workers; ++w) {
     WorkerSlot& slot = slots_[w];
     const std::uint64_t target = slot.generation.load(std::memory_order_acquire);
+    std::uint32_t spins = 0;
     while (slot.completed.load(std::memory_order_acquire) != target) {
-      util::cpu_relax();
+      HORSE_YIELD_POINT("crew.wait_complete");
+      relax_or_yield(spins);
     }
   }
 
@@ -72,11 +97,16 @@ void ParallelMergeCrew::execute(std::span<const SpliceTask> tasks) {
 void ParallelMergeCrew::worker_loop(std::size_t index, std::stop_token stop) {
   WorkerSlot& slot = slots_[index];
   std::uint64_t seen = 0;
+  std::uint32_t spins = 0;
   while (!stop.stop_requested() && !shutdown_.load(std::memory_order_acquire)) {
     const std::uint64_t gen = slot.generation.load(std::memory_order_acquire);
     if (gen == seen) {
+      HORSE_YIELD_POINT("crew.spin");
       if (armed_.load(std::memory_order_acquire)) {
-        util::cpu_relax();
+        // Armed: spin hot, but concede after a generous budget so an
+        // oversubscribed host (fewer cores than crew + dispatcher) still
+        // makes progress within one scheduling quantum.
+        relax_or_yield(spins);
       } else {
         // Disarmed: yield the core instead of burning it. A futex would be
         // cheaper still, but yield keeps wake-up latency bounded at one
@@ -86,9 +116,12 @@ void ParallelMergeCrew::worker_loop(std::size_t index, std::stop_token stop) {
       continue;
     }
     seen = gen;
+    spins = 0;
+    HORSE_YIELD_POINT("crew.dispatch");
     for (std::size_t i = 0; i < slot.count; ++i) {
       execute_splice(slot.tasks[i]);
     }
+    HORSE_YIELD_POINT("crew.complete");
     slot.completed.store(seen, std::memory_order_release);
   }
 }

@@ -22,6 +22,7 @@
 
 #include "util/align.hpp"
 #include "util/intrusive_list.hpp"
+#include "util/yield_point.hpp"
 
 namespace horse::core {
 
@@ -37,12 +38,25 @@ struct SpliceTask {
 
 /// Execute one splice: the two boundary rewrites of Algorithm 1 (four
 /// pointer stores for a doubly-linked queue).
+///
+/// The HORSE_YIELD_POINT markers expose every individual load/store to the
+/// deterministic interleaving explorer (tests/harness/): under
+/// -DHORSE_SCHED_TEST=ON a seeded scheduler can suspend a splicing thread
+/// between any two of these operations, which is exactly the granularity
+/// at which the paper's field-disjointness argument must hold. In normal
+/// builds the markers compile to nothing.
 inline void execute_splice(const SpliceTask& task) noexcept {
+  HORSE_YIELD_POINT("splice.read_after");
   util::ListHook* after = task.anchor->next;
+  HORSE_YIELD_POINT("splice.set_anchor_next");
   task.anchor->next = task.head;
+  HORSE_YIELD_POINT("splice.set_head_prev");
   task.head->prev = task.anchor;
+  HORSE_YIELD_POINT("splice.set_tail_next");
   task.tail->next = after;
+  HORSE_YIELD_POINT("splice.set_after_prev");
   after->prev = task.tail;
+  HORSE_YIELD_POINT("splice.done");
 }
 
 class MergeExecutor {

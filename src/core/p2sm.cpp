@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "util/dcheck.hpp"
 
 namespace horse::core {
 
@@ -49,6 +52,112 @@ void P2smIndex::rebuild(sched::VcpuList& a, sched::RunQueue& b) {
   built_version_ = b.version();
   built_ = true;
   ++stats_.rebuilds;
+  HORSE_DCHECK_OK(audit(a, b));
+}
+
+util::Status P2smIndex::audit(sched::VcpuList& a,
+                              const sched::RunQueue& b) const {
+  if (!built_) {
+    return {util::StatusCode::kFailedPrecondition, "p2sm audit: index not built"};
+  }
+
+  // arrayB / creditsB agreement.
+  if (array_b_.size() != credits_b_.size()) {
+    return {util::StatusCode::kInternal,
+            "p2sm audit: arrayB/creditsB length mismatch"};
+  }
+  for (std::size_t i = 1; i < credits_b_.size(); ++i) {
+    if (credits_b_[i] < credits_b_[i - 1]) {
+      return {util::StatusCode::kInternal,
+              "p2sm audit: creditsB not ascending at " + std::to_string(i)};
+    }
+  }
+  if (fresh(b)) {
+    // Only dereference the cached hooks when B is structurally unchanged
+    // since the snapshot; on a stale index they may dangle.
+    if (array_b_.size() != b.size()) {
+      return {util::StatusCode::kInternal,
+              "p2sm audit: fresh index but arrayB size " +
+                  std::to_string(array_b_.size()) + " != |B| " +
+                  std::to_string(b.size())};
+    }
+    for (std::size_t i = 0; i < array_b_.size(); ++i) {
+      if (vcpu_of(array_b_[i])->credit != credits_b_[i]) {
+        return {util::StatusCode::kInternal,
+                "p2sm audit: cached credit diverges from live vCPU at " +
+                    std::to_string(i) + " (B mutated under a fresh index?)"};
+      }
+    }
+  }
+
+  // Anchors monotone and in range. std::map keeps keys sorted, so the
+  // monotonicity check guards against future container swaps; the range
+  // check is the live one.
+  AnchorIndex prev_anchor = kBeforeHead - 1;
+  for (const auto& [anchor, run] : pos_a_) {
+    if (anchor <= prev_anchor) {
+      return {util::StatusCode::kInternal, "p2sm audit: anchors not monotone"};
+    }
+    if (anchor < kBeforeHead ||
+        anchor >= static_cast<AnchorIndex>(array_b_.size())) {
+      return {util::StatusCode::kInternal,
+              "p2sm audit: anchor " + std::to_string(anchor) +
+                  " outside [-1, " + std::to_string(array_b_.size()) + ")"};
+    }
+    if (run.head == nullptr || run.tail == nullptr || run.count == 0) {
+      return {util::StatusCode::kInternal,
+              "p2sm audit: degenerate run at anchor " + std::to_string(anchor)};
+    }
+    prev_anchor = anchor;
+  }
+
+  // Runs partition A: walking A front-to-back must visit each run's
+  // [head..tail] exactly once, in anchor order, covering every node.
+  auto run_it = pos_a_.begin();
+  std::size_t remaining_in_run = 0;
+  std::size_t covered = 0;
+  const util::ListHook* expected_tail = nullptr;
+  for (sched::Vcpu& vcpu : a) {
+    if (remaining_in_run == 0) {
+      if (run_it == pos_a_.end()) {
+        return {util::StatusCode::kInternal,
+                "p2sm audit: A has nodes beyond the last run"};
+      }
+      if (run_it->second.head != &vcpu.hook) {
+        return {util::StatusCode::kInternal,
+                "p2sm audit: run head does not match A order at anchor " +
+                    std::to_string(run_it->first)};
+      }
+      remaining_in_run = run_it->second.count;
+      expected_tail = run_it->second.tail;
+    }
+    if (anchor_for(vcpu.credit) != run_it->first) {
+      return {util::StatusCode::kInternal,
+              "p2sm audit: node anchored to " +
+                  std::to_string(anchor_for(vcpu.credit)) + " but run is " +
+                  std::to_string(run_it->first)};
+    }
+    --remaining_in_run;
+    ++covered;
+    if (remaining_in_run == 0) {
+      if (expected_tail != &vcpu.hook) {
+        return {util::StatusCode::kInternal,
+                "p2sm audit: run tail does not match A order at anchor " +
+                    std::to_string(run_it->first)};
+      }
+      ++run_it;
+    }
+  }
+  if (remaining_in_run != 0 || run_it != pos_a_.end()) {
+    return {util::StatusCode::kInternal,
+            "p2sm audit: runs extend beyond A (count drift)"};
+  }
+  if (covered != a.size()) {
+    return {util::StatusCode::kInternal,
+            "p2sm audit: runs cover " + std::to_string(covered) +
+                " nodes but |A| is " + std::to_string(a.size())};
+  }
+  return util::Status::ok();
 }
 
 util::Status P2smIndex::insert_into_a(sched::VcpuList& a, sched::Vcpu& vcpu,
@@ -94,6 +203,7 @@ util::Status P2smIndex::insert_into_a(sched::VcpuList& a, sched::Vcpu& vcpu,
     ++run.count;
   }
   ++stats_.incremental_inserts;
+  HORSE_DCHECK_OK(audit(a, b));
   return util::Status::ok();
 }
 
@@ -139,6 +249,7 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
   if (a.size() == 0) {
     return {util::StatusCode::kFailedPrecondition, "p2sm: empty source list"};
   }
+  HORSE_DCHECK_OK(audit(a, b));
 
   // Materialise the splice set. task_buffer_ is reused so the steady-state
   // merge allocates nothing.
@@ -166,6 +277,9 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
   built_ = false;  // consumed
   pos_a_.clear();
   ++stats_.merges;
+  // The post-merge queue must be a sorted, fully closed ring: this is the
+  // check that catches a mis-spliced (non-disjoint) task set.
+  HORSE_DCHECK_OK(b.check_invariants(/*require_sorted=*/true));
   return util::Status::ok();
 }
 

@@ -94,6 +94,21 @@ class P2smIndex {
   util::Status merge(sched::VcpuList& a, sched::RunQueue& b,
                      MergeExecutor& executor);
 
+  /// Full audit of the precomputed structures against the live A and B,
+  /// O(|A| + |B|). Verifies:
+  ///   * arrayB/creditsB agreement: equal lengths, creditsB ascending, and
+  ///     each cached credit equal to the credit of the vCPU its hook
+  ///     belongs to (a divergence means B mutated under a "fresh" index);
+  ///   * anchors strictly monotone, each within [-1, |B|);
+  ///   * runs partition A: walking A front-to-back visits each run's
+  ///     [head..tail] exactly once, in anchor order, with per-run node
+  ///     counts summing to |A| and every run's nodes anchored correctly
+  ///     (anchor_for(credit) == the run's anchor).
+  /// Returns the first violation. rebuild()/merge() self-audit under
+  /// HORSE_DCHECK; release builds never pay for this.
+  [[nodiscard]] util::Status audit(sched::VcpuList& a,
+                                   const sched::RunQueue& b) const;
+
   // --- introspection ------------------------------------------------------
 
   [[nodiscard]] std::size_t run_count() const noexcept { return pos_a_.size(); }

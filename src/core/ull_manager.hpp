@@ -11,6 +11,12 @@
 //   * own one P2smIndex per paused sandbox and keep it fresh whenever its
 //     target queue changes structurally ("the updates are performed each
 //     time ull_runqueue is updated").
+//
+// Thread-safety: the manager has NO internal locking. Every member that
+// touches tracked_/assignments_ must be called with the owning engine's
+// resume_lock_ held (HorseResumeEngine serialises pause/resume/hotplug
+// through that lock; the tsan preset's concurrent stress tests enforce
+// this contract).
 #pragma once
 
 #include <cstdint>

@@ -18,6 +18,7 @@
 #include "sched/pelt.hpp"
 #include "sched/vcpu.hpp"
 #include "util/spinlock.hpp"
+#include "util/status.hpp"
 
 namespace horse::sched {
 
@@ -56,6 +57,22 @@ class RunQueue {
 
   /// Checks ascending-credit order; test/debug helper, O(n).
   [[nodiscard]] bool is_sorted() const noexcept;
+
+  /// Full structural audit, O(n). Verifies, walking from the sentinel:
+  ///   * prev/next symmetry at every hook (node->next->prev == node),
+  ///   * the walk closes back at the sentinel within size() steps (no
+  ///     cycles, no lost nodes — the failure mode of a mis-spliced merge),
+  ///   * the walked node count equals size() (the count the 𝒫²𝒮ℳ splice
+  ///     path maintains out-of-band via add_size),
+  ///   * size/version consistency: a non-empty queue has a non-zero
+  ///     version (every way a node gets in bumps it),
+  ///   * ascending credit order when `require_sorted` (run queues built
+  ///     via insert_sorted / 𝒫²𝒮ℳ merges must be sorted; push_back-built
+  ///     staging queues may legitimately not be).
+  /// Returns the first violation found. Mutators self-audit with the
+  /// structural subset under HORSE_DCHECK; release builds never call this.
+  [[nodiscard]] util::Status check_invariants(
+      bool require_sorted = true) const noexcept;
 
   /// Direct access for 𝒫²𝒮ℳ (splice primitives, sentinel anchor).
   [[nodiscard]] VcpuList& list() noexcept { return queue_; }

@@ -58,7 +58,7 @@ util::Nanos measure_resume(vmm::ResumeEngine& engine, std::uint32_t vcpus,
 /// Background occupancy so calibration's sorted merges walk realistic
 /// queue lengths (an idle queue would understate vanilla's step ④).
 struct BackgroundLoad {
-  explicit BackgroundLoad(vmm::ResumeEngine& engine) {
+  explicit BackgroundLoad(vmm::ResumeEngine& engine) : engine_(engine) {
     vmm::SandboxConfig config;
     config.name = "background";
     config.num_vcpus = 12;
@@ -68,8 +68,20 @@ struct BackgroundLoad {
     for (std::uint32_t i = 0; i < config.num_vcpus; ++i) {
       sandbox->vcpu(i).credit = static_cast<sched::Credit>(1000) * (i + 1);
     }
-    (void)engine.start(*sandbox);
+    (void)engine_.start(*sandbox);
   }
+
+  // The sandbox's vCPUs are linked into the engine's run queues; they must
+  // be dequeued through the engine BEFORE the sandbox frees them, or the
+  // queues' destructors walk dangling hooks (BackgroundLoad is declared
+  // after the topology, so it is destroyed first — use-after-free caught
+  // by the asan-ubsan preset).
+  ~BackgroundLoad() { (void)engine_.destroy(*sandbox); }
+
+  BackgroundLoad(const BackgroundLoad&) = delete;
+  BackgroundLoad& operator=(const BackgroundLoad&) = delete;
+
+  vmm::ResumeEngine& engine_;
   std::unique_ptr<vmm::Sandbox> sandbox;
 };
 

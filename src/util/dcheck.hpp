@@ -1,0 +1,62 @@
+// Debug invariant checking — free in release builds.
+//
+// The resume path's data structures (run queues, the 𝒫²𝒮ℳ index) carry
+// invariants that are cheap to state and O(n) to verify: sorted order,
+// prev/next symmetry, size consistency, runs partitioning A. Verifying
+// them after every mutation would destroy the O(1) resume the paper is
+// about, so the audits are functions (`RunQueue::check_invariants()`,
+// `P2smIndex::audit()`) that always exist — tests call them directly —
+// while the *automatic* call sites inside mutators are guarded by
+// HORSE_DCHECK, enabled with -DHORSE_DCHECK=ON (the default for test
+// builds, forced off by the `release` preset). When disabled the guarded
+// expression is not evaluated at all.
+//
+// HORSE_DCHECK(cond, msg)          — abort with a report unless cond.
+// HORSE_DCHECK_OK(status_expr)     — abort unless the util::Status-valued
+//                                    expression evaluates to ok().
+#pragma once
+
+#if defined(HORSE_DCHECK_ENABLED)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.hpp"
+
+namespace horse::util {
+
+[[noreturn]] inline void dcheck_fail(const char* what, const char* file,
+                                     int line) noexcept {
+  std::fprintf(stderr, "HORSE_DCHECK failed at %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+inline void dcheck_status(const Status& status, const char* expr,
+                          const char* file, int line) noexcept {
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "HORSE_DCHECK_OK(%s) failed at %s:%d: %s\n", expr,
+                 file, line, status.message().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace horse::util
+
+#define HORSE_DCHECK(cond, msg)                              \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::horse::util::dcheck_fail((msg), __FILE__, __LINE__); \
+    }                                                        \
+  } while (false)
+
+#define HORSE_DCHECK_OK(expr) \
+  ::horse::util::dcheck_status((expr), #expr, __FILE__, __LINE__)
+
+#else  // !HORSE_DCHECK_ENABLED
+
+#define HORSE_DCHECK(cond, msg) ((void)0)
+#define HORSE_DCHECK_OK(expr) ((void)0)
+
+#endif  // HORSE_DCHECK_ENABLED

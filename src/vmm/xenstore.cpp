@@ -146,9 +146,13 @@ util::Status XenStore::tx_commit(TxId tx) {
   // unchanged, or the commit fails like XenStore's EAGAIN.
   for (const auto& [path, version] : transaction.read_versions) {
     if (version_of(path) != version) {
+      // Build the message BEFORE erasing: `path` references a key inside
+      // the transaction being destroyed (use-after-free otherwise; caught
+      // by the asan-ubsan preset).
+      util::Status conflict{util::StatusCode::kFailedPrecondition,
+                            "xenstore: transaction conflict on " + path};
       transactions_.erase(it);
-      return {util::StatusCode::kFailedPrecondition,
-              "xenstore: transaction conflict on " + path};
+      return conflict;
     }
   }
   for (const auto& [path, value] : transaction.writes) {

@@ -1,0 +1,260 @@
+#include "harness/schedule_explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+namespace horse::harness {
+
+namespace {
+
+// The trampoline needs to find the schedule that owns the calling thread
+// without taking a lock: thread-locals, set by thread_main before the body
+// runs. Unmanaged threads see nullptr and fall straight through.
+thread_local InterleavingSchedule* tls_schedule = nullptr;
+thread_local std::size_t tls_index_storage = 0;
+
+// Single-activation guard: two live schedules would fight over the global
+// hook and serialise each other's threads into a deadlock.
+std::atomic<InterleavingSchedule*> g_active{nullptr};
+
+}  // namespace
+
+// -- construction -----------------------------------------------------------
+
+InterleavingSchedule::InterleavingSchedule(const ExplorerOptions& options)
+    : options_(options) {
+  InterleavingSchedule* expected = nullptr;
+  const bool won = g_active.compare_exchange_strong(expected, this);
+  assert(won && "only one InterleavingSchedule may be active at a time");
+  (void)won;
+
+  // Pre-draw every scheduling decision so the schedule is a pure function
+  // of the seed: change-point step indices now, initial priorities in
+  // run() (they depend on the thread count).
+  util::Xoshiro256 rng(options_.seed);
+  change_points_.reserve(options_.priority_change_points);
+  for (std::size_t i = 0; i < options_.priority_change_points; ++i) {
+    change_points_.push_back(
+        1 + rng.bounded(options_.change_point_horizon ? options_.change_point_horizon : 1));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+
+  // Dedicated stream for spin-burst jitter: its consumption order is
+  // decided by the schedule itself (one draw per forced demotion), which
+  // is in turn a pure function of the seed — replay re-draws identically.
+  spin_jitter_rng_ = util::Xoshiro256(options_.seed ^ 0xD1577E12C0FFEE42ULL);
+  spin_burst_limit_ = next_spin_burst();
+}
+
+std::size_t InterleavingSchedule::next_spin_burst() noexcept {
+  const std::size_t t = options_.spin_demote_threshold;
+  if (t <= 1) {
+    return 1;
+  }
+  // Uniform in [t/2, 3t/2): mean t, never zero, and — the actual point —
+  // varying, so consecutive demotions of a thread cycling through k yield
+  // sites land at different positions mod k instead of phase-locking on
+  // one site (which, if that site sits inside a critical section, starves
+  // every lock waiter forever; observed with the warm-pool scenario's
+  // take/retry loop before the jitter existed).
+  const std::size_t half = t / 2;
+  return half + spin_jitter_rng_.bounded(t);
+}
+
+InterleavingSchedule::~InterleavingSchedule() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+void InterleavingSchedule::spawn(std::string name,
+                                 std::function<void()> body) {
+  assert(!started_ && "spawn() must precede run()");
+  auto managed = std::make_unique<ManagedThread>();
+  managed->name = std::move(name);
+  managed->body = std::move(body);
+  threads_.push_back(std::move(managed));
+}
+
+// -- the scheduler ----------------------------------------------------------
+
+std::size_t InterleavingSchedule::pick_locked() const noexcept {
+  std::size_t best = kNone;
+  std::int64_t best_priority = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const ManagedThread& t = *threads_[i];
+    if (t.state != ThreadRunState::kRunnable) {
+      continue;
+    }
+    if (best == kNone || t.priority > best_priority) {
+      best = i;
+      best_priority = t.priority;
+    }
+  }
+  return best;
+}
+
+void InterleavingSchedule::demote_locked(std::size_t index) noexcept {
+  threads_[index]->priority = --demotion_floor_;
+}
+
+void InterleavingSchedule::hook_trampoline(const char* site) noexcept {
+  if (InterleavingSchedule* schedule = tls_schedule) {
+    schedule->on_yield(site);
+  }
+}
+
+void InterleavingSchedule::on_yield(const char* site) noexcept {
+  const std::size_t me = tls_index_storage;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (free_run_) {
+    return;
+  }
+  assert(current_ == me && "a non-current managed thread executed code");
+  threads_[me]->last_site = site;
+  ++steps_;
+  if (steps_ >= options_.max_steps) {
+    // Livelock under this schedule: stop serialising, let every thread
+    // free-run to completion, report completed=false.
+    free_run_ = true;
+    cv_.notify_all();
+    return;
+  }
+
+  // PCT change points: crossing one demotes the running thread below all
+  // others, forcing a switch at a seed-chosen adversarial step.
+  while (next_change_point_ < change_points_.size() &&
+         steps_ >= change_points_[next_change_point_]) {
+    demote_locked(me);
+    ++next_change_point_;
+  }
+
+  std::size_t next = pick_locked();
+  if (next == me) {
+    // Spin-liveness deviation from textbook PCT (see header): a thread
+    // re-picked too many times in a row gets demoted so whoever it is
+    // spinning on can make progress. The burst length is re-drawn per
+    // demotion (see next_spin_burst) to avoid phase-locking with
+    // periodic retry loops.
+    if (++consecutive_picks_ >= spin_burst_limit_) {
+      demote_locked(me);
+      consecutive_picks_ = 0;
+      spin_burst_limit_ = next_spin_burst();
+      next = pick_locked();
+    }
+  }
+  if (next == me || next == kNone) {
+    return;  // keep running
+  }
+
+  current_ = next;
+  ++switches_;
+  consecutive_picks_ = 0;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return free_run_ || current_ == me; });
+}
+
+void InterleavingSchedule::thread_main(std::size_t index) {
+  tls_schedule = this;
+  tls_index_storage = index;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_[index]->state = ThreadRunState::kRunnable;
+    ++registered_;
+    cv_.notify_all();
+    cv_.wait(lock,
+             [&] { return free_run_ || current_ == index; });
+  }
+
+  threads_[index]->body();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_[index]->state = ThreadRunState::kFinished;
+    threads_[index]->last_site = "finished";
+    ++finished_;
+    if (current_ == index) {
+      const std::size_t next = pick_locked();
+      current_ = next;  // kNone when everyone is done
+      if (next != kNone) {
+        ++switches_;
+      }
+      consecutive_picks_ = 0;
+    }
+    cv_.notify_all();
+  }
+  tls_schedule = nullptr;
+}
+
+InterleavingSchedule::Report InterleavingSchedule::run() {
+  assert(!started_);
+  started_ = true;
+
+  // Initial priorities: a seed-derived permutation of 1..n (distinct, all
+  // above the demotion floor which counts down from 0).
+  {
+    util::Xoshiro256 rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::size_t n = threads_.size();
+    std::vector<std::int64_t> ranks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ranks[i] = static_cast<std::int64_t>(i + 1);
+    }
+    for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+      std::swap(ranks[i - 1], ranks[rng.bounded(i)]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      threads_[i]->priority = ranks[i];
+    }
+  }
+
+  previous_hook_ = util::yield_hook();
+  util::set_yield_hook(&InterleavingSchedule::hook_trampoline);
+
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    threads_[i]->thread =
+        std::thread([this, i] { thread_main(i); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return registered_ == threads_.size(); });
+    current_ = pick_locked();
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return finished_ == threads_.size(); });
+  }
+
+  for (auto& managed : threads_) {
+    managed->thread.join();
+  }
+
+  util::set_yield_hook(previous_hook_);
+
+  Report report;
+  report.completed = !free_run_;
+  report.steps = steps_;
+  report.context_switches = switches_;
+  return report;
+}
+
+// -- seed sweep -------------------------------------------------------------
+
+ScheduleExplorer::Result ScheduleExplorer::explore(
+    ExplorerOptions base, std::size_t max_schedules,
+    const ScheduleFn& run_one) {
+  Result result;
+  for (std::size_t i = 0; i < max_schedules; ++i) {
+    ExplorerOptions options = base;
+    options.seed = base.seed + i;
+    const util::Status status = run_one(options);
+    ++result.schedules_explored;
+    if (!status.is_ok()) {
+      result.violation_found = true;
+      result.failing_seed = options.seed;
+      result.message = status.to_report();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace horse::harness

@@ -1,0 +1,191 @@
+// Unit tests for the interleaving explorer itself: the harness must be
+// trustworthy before any scenario result built on it means anything.
+#include "harness/schedule_explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/yield_point.hpp"
+
+namespace horse::harness {
+namespace {
+
+TEST(InterleavingScheduleTest, RunsEveryThreadToCompletion) {
+  ExplorerOptions options;
+  options.seed = 7;
+  InterleavingSchedule schedule(options);
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  schedule.spawn("a", [&] { a = 1; });
+  schedule.spawn("b", [&] { b = 2; });
+  schedule.spawn("c", [&] { c = 3; });
+  const auto report = schedule.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(c, 3);
+}
+
+TEST(InterleavingScheduleTest, SerialisesThreadsOneAtATime) {
+  // `inside` counts threads concurrently executing the straight-line code
+  // BETWEEN two yield points; under the explorer it must never exceed 1
+  // even though the bodies do nothing to exclude each other. (The region
+  // must not span a yield point itself: a thread parked at a yield is
+  // still "between" its increment and decrement, and the next granted
+  // thread legitimately overlaps it — serialisation is of execution, not
+  // of region occupancy.)
+  ExplorerOptions options;
+  options.seed = 11;
+  InterleavingSchedule schedule(options);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  for (int t = 0; t < 4; ++t) {
+    schedule.spawn("worker", [&] {
+      for (int i = 0; i < 50; ++i) {
+        const int now = inside.fetch_add(1) + 1;
+        int expected = max_inside.load();
+        while (now > expected &&
+               !max_inside.compare_exchange_weak(expected, now)) {
+        }
+        inside.fetch_sub(1);
+        util::yield_point("test.body");
+      }
+    });
+  }
+  const auto report = schedule.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(max_inside.load(), 1);
+  EXPECT_GT(report.context_switches, 0u);
+}
+
+// A textbook lost update: non-atomic read-modify-write with a preemption
+// point between the read and the write. The explorer must (a) find a
+// schedule where an update is lost, and (b) replay any seed to the exact
+// same outcome — that pair of properties is what the negative-control
+// splice test later relies on.
+int run_lost_update_schedule(std::uint64_t seed, std::size_t* switches) {
+  ExplorerOptions options;
+  options.seed = seed;
+  // The whole schedule is ~16 yield points; concentrate the PCT change
+  // points inside that window or most seeds never preempt at all.
+  options.change_point_horizon = 16;
+  InterleavingSchedule schedule(options);
+  int counter = 0;
+  for (int t = 0; t < 2; ++t) {
+    schedule.spawn("incrementer", [&counter] {
+      for (int i = 0; i < 4; ++i) {
+        const int observed = counter;
+        util::yield_point("test.between_read_and_write");
+        counter = observed + 1;
+      }
+    });
+  }
+  const auto report = schedule.run();
+  EXPECT_TRUE(report.completed);
+  if (switches != nullptr) {
+    *switches = report.context_switches;
+  }
+  return counter;
+}
+
+TEST(InterleavingScheduleTest, FindsLostUpdateWithinSeedSweep) {
+  const auto result = ScheduleExplorer::explore(
+      ExplorerOptions{.seed = 1}, 100, [](const ExplorerOptions& options) {
+        const int counter = run_lost_update_schedule(options.seed, nullptr);
+        if (counter != 8) {
+          return util::Status{util::StatusCode::kInternal,
+                              "lost update: counter " +
+                                  std::to_string(counter) + " != 8"};
+        }
+        return util::Status::ok();
+      });
+  ASSERT_TRUE(result.violation_found)
+      << "no lost update in " << result.schedules_explored << " schedules";
+  EXPECT_LE(result.schedules_explored, 100u);
+
+  // Replay: the failing seed must reproduce the identical interleaving —
+  // same final counter, same context-switch count, twice in a row.
+  std::size_t switches_first = 0;
+  std::size_t switches_second = 0;
+  const int replay_first =
+      run_lost_update_schedule(result.failing_seed, &switches_first);
+  const int replay_second =
+      run_lost_update_schedule(result.failing_seed, &switches_second);
+  EXPECT_NE(replay_first, 8) << "failing seed did not reproduce";
+  EXPECT_EQ(replay_first, replay_second);
+  EXPECT_EQ(switches_first, switches_second);
+}
+
+TEST(InterleavingScheduleTest, UnmanagedThreadsPassThroughYieldPoints) {
+  // A foreign thread hammering yield points while a schedule is active
+  // must neither deadlock nor be serialised into the schedule.
+  ExplorerOptions options;
+  options.seed = 3;
+  InterleavingSchedule schedule(options);
+  std::atomic<bool> foreign_done{false};
+  std::thread foreign([&] {
+    for (int i = 0; i < 10'000; ++i) {
+      util::yield_point("foreign.site");
+    }
+    foreign_done.store(true);
+  });
+  int work = 0;
+  schedule.spawn("managed", [&] {
+    for (int i = 0; i < 100; ++i) {
+      util::yield_point("managed.site");
+      ++work;
+    }
+  });
+  const auto report = schedule.run();
+  foreign.join();
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(foreign_done.load());
+  EXPECT_EQ(work, 100);
+}
+
+TEST(InterleavingScheduleTest, StepCapReleasesThreadsToFreeRun) {
+  ExplorerOptions options;
+  options.seed = 5;
+  options.max_steps = 10;  // far fewer than the bodies request
+  InterleavingSchedule schedule(options);
+  // Atomic: once the step cap trips, the threads genuinely run in
+  // parallel, so their completion marker must synchronise on its own.
+  std::atomic<int> done{0};
+  for (int t = 0; t < 2; ++t) {
+    schedule.spawn("chatty", [&done] {
+      for (int i = 0; i < 1'000; ++i) {
+        util::yield_point("test.chatty");
+      }
+      done.fetch_add(1);
+    });
+  }
+  const auto report = schedule.run();
+  EXPECT_FALSE(report.completed);
+  EXPECT_LE(report.steps, options.max_steps);
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(InterleavingScheduleTest, SequentialSchedulesReuseTheHookCleanly) {
+  // Back-to-back schedules must install/restore the global hook without
+  // leaking state between runs.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ExplorerOptions options;
+    options.seed = seed;
+    InterleavingSchedule schedule(options);
+    int x = 0;
+    schedule.spawn("solo", [&] {
+      util::yield_point("solo.site");
+      x = 42;
+    });
+    EXPECT_TRUE(schedule.run().completed);
+    EXPECT_EQ(x, 42);
+  }
+  EXPECT_EQ(util::yield_hook(), nullptr);
+}
+
+}  // namespace
+}  // namespace horse::harness

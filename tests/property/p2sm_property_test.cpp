@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -132,6 +134,96 @@ INSTANTIATE_TEST_SUITE_P(
         P2smCase{512, 1024, 10'000, ExecutorKind::kParallel},
         P2smCase{1024, 64, 500, ExecutorKind::kSequential}),
     case_name);
+
+/// Randomized sweep: 1000+ independently seeded (A, B) shapes, each merged
+/// once and compared against std::merge of the credit sequences. Sizes and
+/// tie density are drawn per seed, so the sweep covers the corner cases the
+/// fixed table above cannot enumerate (empty A runs before the head, long
+/// tie chains straddling a run boundary, single-element B, ...). The same
+/// shapes are replayed through both executors; the crew is constructed once
+/// and reused — arming it per merge would dominate the runtime and this
+/// sweep is about merge correctness, not handshake latency (the stress
+/// suite owns that).
+class P2smRandomizedSweepTest : public ::testing::TestWithParam<ExecutorKind> {
+};
+
+TEST_P(P2smRandomizedSweepTest, ThousandSeedsMatchStdMerge) {
+  constexpr std::uint64_t kSeeds = 1024;
+  SequentialMergeExecutor sequential;
+  std::unique_ptr<ParallelMergeCrew> crew;
+  MergeExecutor* executor = &sequential;
+  if (GetParam() == ExecutorKind::kParallel) {
+    crew = std::make_unique<ParallelMergeCrew>(3);
+    crew->arm();  // resume-burst mode: skip the per-merge wake cost
+    executor = crew.get();
+  }
+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    util::Xoshiro256 rng(0x5EEDBA5E * seed + seed);
+    const std::size_t a_size = 1 + rng.bounded(24);
+    const std::size_t b_size = rng.bounded(48);
+    // Mix tie-dense and sparse credit spaces across seeds.
+    const std::uint64_t credit_range =
+        (seed % 4 == 0) ? 1 + rng.bounded(6) : 1 + rng.bounded(5'000);
+
+    std::vector<std::unique_ptr<sched::Vcpu>> storage;
+    sched::VcpuList a;
+    sched::RunQueue b(0);
+    std::vector<sched::Credit> a_credits;
+    std::vector<sched::Credit> b_credits;
+
+    for (std::size_t i = 0; i < b_size; ++i) {
+      auto vcpu = std::make_unique<sched::Vcpu>();
+      vcpu->credit = static_cast<sched::Credit>(rng.bounded(credit_range));
+      b_credits.push_back(vcpu->credit);
+      util::LockGuard guard(b.lock());
+      b.insert_sorted(*vcpu);
+      storage.push_back(std::move(vcpu));
+    }
+    for (std::size_t i = 0; i < a_size; ++i) {
+      a_credits.push_back(
+          static_cast<sched::Credit>(rng.bounded(credit_range)));
+    }
+    std::sort(a_credits.begin(), a_credits.end());
+    for (const sched::Credit credit : a_credits) {
+      auto vcpu = std::make_unique<sched::Vcpu>();
+      vcpu->credit = credit;
+      a.push_back(*vcpu);
+      storage.push_back(std::move(vcpu));
+    }
+
+    std::sort(b_credits.begin(), b_credits.end());
+    std::vector<sched::Credit> expected;
+    std::merge(a_credits.begin(), a_credits.end(), b_credits.begin(),
+               b_credits.end(), std::back_inserter(expected));
+
+    P2smIndex index;
+    index.rebuild(a, b);
+    ASSERT_TRUE(index.merge(a, b, *executor).is_ok()) << "seed " << seed;
+
+    std::vector<sched::Credit> actual;
+    for (const sched::Vcpu& vcpu : b.list()) {
+      actual.push_back(vcpu.credit);
+    }
+    ASSERT_EQ(actual, expected) << "seed " << seed;
+    ASSERT_TRUE(b.check_invariants(/*require_sorted=*/true).is_ok())
+        << "seed " << seed;
+    ASSERT_EQ(a.size(), 0u) << "seed " << seed;
+    b.list().clear();
+  }
+  if (crew) {
+    crew->disarm();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Executors, P2smRandomizedSweepTest,
+                         ::testing::Values(ExecutorKind::kSequential,
+                                           ExecutorKind::kParallel),
+                         [](const auto& info) {
+                           return info.param == ExecutorKind::kSequential
+                                      ? std::string("seq")
+                                      : std::string("par");
+                         });
 
 /// Incremental-maintenance property: a sequence of random insert/remove
 /// operations on A must leave the index equivalent to a fresh rebuild.

@@ -21,9 +21,12 @@ class Credit2Test : public ::testing::Test {
     return *storage_.back();
   }
 
+  // Storage is declared first so it is destroyed LAST: the topology's
+  // queue destructors unlink every node still enqueued, which must be
+  // alive (use-after-free otherwise; caught by the asan-ubsan preset).
+  std::vector<std::unique_ptr<Vcpu>> storage_;
   CpuTopology topology_;
   Credit2Scheduler scheduler_;
-  std::vector<std::unique_ptr<Vcpu>> storage_;
 };
 
 TEST_F(Credit2Test, ParamsValidate) {

@@ -22,8 +22,11 @@ class LoadBalancerTest : public ::testing::Test {
     }
   }
 
-  CpuTopology topology_;
+  // Storage is declared first so it is destroyed LAST: the queues'
+  // destructors unlink every node still enqueued, which must be alive
+  // (use-after-free otherwise; caught by the asan-ubsan preset).
   std::vector<std::unique_ptr<Vcpu>> storage_;
+  CpuTopology topology_;
 };
 
 TEST_F(LoadBalancerTest, ValidatesParams) {

@@ -136,9 +136,11 @@ TEST(RunQueueTest, DecayReducesLoad) {
 }
 
 TEST(RunQueueTest, RandomInsertionsStaySorted) {
+  // Storage before the queue: ~RunQueue unlinks every node still
+  // enqueued, so the nodes must outlive it.
+  std::vector<std::unique_ptr<Vcpu>> storage;
   RunQueue queue(0);
   util::Xoshiro256 rng(5);
-  std::vector<std::unique_ptr<Vcpu>> storage;
   for (int i = 0; i < 200; ++i) {
     auto vcpu = std::make_unique<Vcpu>();
     vcpu->credit = static_cast<Credit>(rng.bounded(1000));

@@ -20,9 +20,13 @@ class WakePreemptTest : public ::testing::Test {
     return *storage_.back();
   }
 
+  // Declared before the topology so it is destroyed AFTER it: wake() and
+  // enqueue() leave vCPUs linked into the topology's run queues, and the
+  // queue destructors unlink every node — which must still be alive
+  // (use-after-free otherwise; caught by the asan-ubsan preset).
+  std::vector<std::unique_ptr<Vcpu>> storage_;
   CpuTopology topology_;
   Credit2Scheduler scheduler_;
-  std::vector<std::unique_ptr<Vcpu>> storage_;
 };
 
 TEST_F(WakePreemptTest, HigherPriorityAlwaysPreempts) {

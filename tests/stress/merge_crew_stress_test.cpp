@@ -1,0 +1,166 @@
+// MergeCrew stress: hammer the spin-armed dispatch protocol across
+// repeated arm/dispatch/disarm cycles and worker counts. The point is not
+// the merge *result* (the property suite owns that) but the handshake
+// itself — generation/completed publication, temporary arming inside
+// execute(), and shutdown while armed — executed enough times, from
+// enough shapes, that the TSan preset gets a real shot at any missing
+// happens-before edge. Runs clean under `--preset tsan` by construction:
+// every cross-thread edge is an acquire/release pair in merge_crew.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/merge_crew.hpp"
+#include "sched/run_queue.hpp"
+#include "sched/vcpu.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace horse::core {
+namespace {
+
+class MergeCrewStressTest : public ::testing::TestWithParam<std::size_t> {};
+
+/// Build a fresh sorted B of size `b_size` and a sorted standalone chain
+/// of `a_size` nodes, returning the splice tasks that interleave them one
+/// node at a time (worst case: maximum task count for the crew).
+struct SpliceFixture {
+  std::vector<std::unique_ptr<sched::Vcpu>> storage;
+  sched::RunQueue b{0};
+  std::vector<SpliceTask> tasks;
+  std::vector<sched::Credit> expected;
+
+  void build(util::Xoshiro256& rng, std::size_t a_size, std::size_t b_size) {
+    storage.clear();
+    tasks.clear();
+    expected.clear();
+    b.list().abandon_all();
+
+    std::vector<sched::Credit> b_credits;
+    for (std::size_t i = 0; i < b_size; ++i) {
+      // Spread B out so every A node gets its own anchor run.
+      b_credits.push_back(static_cast<sched::Credit>(i * 100));
+    }
+    for (const sched::Credit credit : b_credits) {
+      auto vcpu = std::make_unique<sched::Vcpu>();
+      vcpu->credit = credit;
+      util::LockGuard guard(b.lock());
+      b.insert_sorted(*vcpu);
+      storage.push_back(std::move(vcpu));
+      expected.push_back(credit);
+    }
+
+    std::vector<util::ListHook*> b_hooks;
+    for (sched::Vcpu& vcpu : b.list()) {
+      b_hooks.push_back(&vcpu.hook);
+    }
+
+    // One A node per distinct anchor: task i splices right after B[i].
+    const std::size_t runs = std::min(a_size, b_size);
+    for (std::size_t i = 0; i < runs; ++i) {
+      auto vcpu = std::make_unique<sched::Vcpu>();
+      vcpu->credit = static_cast<sched::Credit>(i * 100 + 1 + rng.bounded(50));
+      vcpu->hook.prev = nullptr;
+      vcpu->hook.next = nullptr;
+      tasks.push_back(SpliceTask{b_hooks[i], &vcpu->hook, &vcpu->hook});
+      expected.push_back(vcpu->credit);
+      storage.push_back(std::move(vcpu));
+    }
+    std::sort(expected.begin(), expected.end());
+  }
+
+  void verify_and_reset(std::size_t spliced) {
+    b.list().add_size(spliced);
+    b.bump_version();
+    ASSERT_TRUE(b.check_invariants(/*require_sorted=*/true).is_ok());
+    std::vector<sched::Credit> actual;
+    for (const sched::Vcpu& vcpu : b.list()) {
+      actual.push_back(vcpu.credit);
+    }
+    ASSERT_EQ(actual, expected);
+    b.list().abandon_all();
+  }
+};
+
+TEST_P(MergeCrewStressTest, RepeatedArmDispatchCycles) {
+  const std::size_t workers = GetParam();
+  util::Xoshiro256 rng(0xC0FFEE + workers);
+  ParallelMergeCrew crew(workers);
+  ASSERT_EQ(crew.size(), workers);
+
+  constexpr int kRounds = 40;
+  SpliceFixture fixture;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t b_size = 8 + rng.bounded(24);
+    const std::size_t a_size = 1 + rng.bounded(b_size);
+    fixture.build(rng, a_size, b_size);
+
+    // Alternate between pre-armed dispatch (the resume-burst pattern) and
+    // cold execute() (which arms temporarily).
+    const bool pre_armed = (round % 2) == 0;
+    if (pre_armed) {
+      crew.arm();
+      ASSERT_TRUE(crew.armed());
+    }
+    crew.execute(fixture.tasks);
+    if (pre_armed) {
+      crew.disarm();
+      ASSERT_FALSE(crew.armed());
+    }
+    fixture.verify_and_reset(fixture.tasks.size());
+  }
+}
+
+TEST_P(MergeCrewStressTest, BackToBackExecutesWhileArmed) {
+  const std::size_t workers = GetParam();
+  util::Xoshiro256 rng(0xBEEF + workers);
+  ParallelMergeCrew crew(workers);
+  crew.arm();
+
+  constexpr int kBursts = 10;
+  constexpr int kMergesPerBurst = 5;
+  SpliceFixture fixture;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    for (int m = 0; m < kMergesPerBurst; ++m) {
+      fixture.build(rng, 4 + rng.bounded(8), 16);
+      crew.execute(fixture.tasks);
+      fixture.verify_and_reset(fixture.tasks.size());
+    }
+  }
+  crew.disarm();
+}
+
+TEST_P(MergeCrewStressTest, DestructionWhileArmedIsClean) {
+  // Tear the crew down in every arming state; the jthread/stop_token
+  // shutdown path must not race the spin loop.
+  const std::size_t workers = GetParam();
+  for (int i = 0; i < 8; ++i) {
+    ParallelMergeCrew crew(workers);
+    if (i % 2 == 0) {
+      crew.arm();
+    }
+    SpliceFixture fixture;
+    util::Xoshiro256 rng(7 + i);
+    fixture.build(rng, 4, 8);
+    crew.execute(fixture.tasks);
+    fixture.verify_and_reset(fixture.tasks.size());
+    // Destructor runs here, armed or not.
+  }
+}
+
+TEST(MergeCrewStressEdgeTest, EmptyTaskSetIsANoOp) {
+  ParallelMergeCrew crew(2);
+  crew.execute({});
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, MergeCrewStressTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u),
+                         [](const auto& info) {
+                           return "workers" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace horse::core

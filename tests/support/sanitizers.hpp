@@ -1,0 +1,33 @@
+// Compile-time sanitizer detection for tests.
+//
+// Wall-clock comparisons between two code paths are meaningless when the
+// binary is instrumented: tsan multiplies every memory access ~10x (and
+// asan ~2x), shifting the *relative* weight of the paths under test. Such
+// tests skip themselves with HORSE_SKIP_TIMING_UNDER_SANITIZERS() so the
+// sanitizer presets stay signal (races, UB, leaks) instead of noise.
+//
+// Detection covers both compilers: GCC defines __SANITIZE_ADDRESS__ /
+// __SANITIZE_THREAD__, clang exposes __has_feature(...).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HORSE_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HORSE_UNDER_SANITIZER 1
+#endif
+#endif
+
+#ifndef HORSE_UNDER_SANITIZER
+#define HORSE_UNDER_SANITIZER 0
+#endif
+
+#if HORSE_UNDER_SANITIZER
+#define HORSE_SKIP_TIMING_UNDER_SANITIZERS()                          \
+  GTEST_SKIP() << "wall-clock comparison: sanitizer instrumentation " \
+                  "distorts relative timings"
+#else
+#define HORSE_SKIP_TIMING_UNDER_SANITIZERS() static_cast<void>(0)
+#endif
