@@ -63,7 +63,12 @@ int main() {
   metrics::SampleStats full_samples;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     auto restored = manager.restore(*base, 100 + rep);
-    full_samples.add(static_cast<double>(restored.copy_time));
+    if (!restored) {
+      std::cerr << "full restore failed: " << restored.status().to_report()
+                << "\n";
+      return 1;
+    }
+    full_samples.add(static_cast<double>(restored->copy_time));
   }
   const double full_copy = full_samples.percentile(50);
   table.add_row({"full image", "100%",

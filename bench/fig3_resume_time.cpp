@@ -91,19 +91,30 @@ int main() {
   add_setup("ppsm", true, core::HorseFeatures::ppsm_only());
   add_setup("horse", true, core::HorseFeatures::all());
 
+  // The full-HORSE engine, for the degraded-resume accounting: a fallback
+  // merge means a sample was NOT the O(1) splice (stale/poisoned index) —
+  // Figure 3's flat curve is only meaningful if this column stays 0.
+  auto* horse_engine =
+      static_cast<core::HorseResumeEngine*>(setups.back().engine.get());
+
   metrics::TextTable table(
       "Figure 3: resume time by setup (median ns over 31 runs)",
       {"vcpus", "vanil", "coal", "ppsm", "horse", "horse speedup"});
-  std::vector<metrics::Series> series(4);
+  std::vector<metrics::Series> series(5);
   for (std::size_t i = 0; i < setups.size(); ++i) {
     series[i].name = setups[i].name;
   }
+  series[4].name = "horse_degraded_resumes";
 
   for (const std::uint32_t vcpus : kVcpuSweep) {
     std::vector<double> results;
+    const std::uint64_t degraded_before =
+        horse_engine->degradation_stats().fallback_merges;
     for (auto& setup : setups) {
       results.push_back(setup.measure(vcpus));
     }
+    const std::uint64_t degraded_after =
+        horse_engine->degradation_stats().fallback_merges;
     table.add_row({std::to_string(vcpus), metrics::format_nanos(results[0]),
                    metrics::format_nanos(results[1]),
                    metrics::format_nanos(results[2]),
@@ -113,11 +124,25 @@ int main() {
       series[i].xs.push_back(vcpus);
       series[i].ys.push_back(results[i]);
     }
+    series[4].xs.push_back(vcpus);
+    series[4].ys.push_back(static_cast<double>(degraded_after - degraded_before));
   }
 
   table.print(std::cout);
   std::cout << "\n";
   metrics::print_series(std::cout, "Figure 3 series (ns)", "vcpus", series);
+
+  // Degradation accounting for the full-HORSE engine across the whole
+  // sweep: nonzero fallback counts flag samples that silently took the
+  // vanilla walk instead of the measured O(1) splice.
+  const core::ResumeDegradationStats deg = horse_engine->degradation_stats();
+  metrics::counters_table("HORSE degraded-resume counters",
+                 {{"fallback_merges", deg.fallback_merges},
+                  {"stale_index_fallbacks", deg.stale_index_fallbacks},
+                  {"poisoned_index_fallbacks", deg.poisoned_index_fallbacks},
+                  {"merge_error_fallbacks", deg.merge_error_fallbacks},
+                  {"deferred_refreshes", deg.deferred_refreshes}})
+      .print(std::cout);
 
   // Machine-readable copy for plotting / diffing against the paper.
   const auto csv_status = metrics::series_to_csv("vcpus", series)

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/time.hpp"
+
 namespace horse::core {
 
 enum class MergeMode : std::uint8_t {
@@ -25,6 +27,11 @@ struct HorseConfig {
   /// Workers in the parallel crew (ignored in sequential mode). 0 = one
   /// per hardware thread, capped at 8.
   std::size_t crew_size = 0;
+  /// Dispatcher-side deadline per dispatched merge chunk before the crew
+  /// watchdog steals the chunk, runs it inline, and quarantines the
+  /// worker. 0 disables the watchdog (wait forever — the pre-ladder
+  /// behaviour). Ignored in sequential mode.
+  util::Nanos crew_watchdog_timeout = 250 * util::kMillisecond;
 
   [[nodiscard]] std::size_t effective_crew_size() const {
     if (crew_size != 0) {
@@ -37,6 +44,10 @@ struct HorseConfig {
   void validate() const {
     if (num_ull_runqueues == 0) {
       throw std::invalid_argument("HorseConfig: need at least one ull_runqueue");
+    }
+    if (crew_watchdog_timeout < 0) {
+      throw std::invalid_argument(
+          "HorseConfig: crew_watchdog_timeout must be >= 0");
     }
   }
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault_injection.hpp"
+
 namespace horse::core {
 
 HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
@@ -14,7 +16,8 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
       coalescer_(topology.queue(0).pelt().params()) {
   config_.validate();
   if (config_.merge_mode == MergeMode::kParallel) {
-    auto crew = std::make_unique<ParallelMergeCrew>(config_.effective_crew_size());
+    auto crew = std::make_unique<ParallelMergeCrew>(
+        config_.effective_crew_size(), config_.crew_watchdog_timeout);
     crew_ = crew.get();
     executor_ = std::move(crew);
   } else {
@@ -34,12 +37,22 @@ void HorseResumeEngine::disarm_crew() noexcept {
   }
 }
 
+ResumeDegradationStats HorseResumeEngine::degradation_stats() const noexcept {
+  ResumeDegradationStats out;
+  out.fallback_merges = fallback_merges_.load(std::memory_order_acquire);
+  out.stale_index_fallbacks =
+      stale_index_fallbacks_.load(std::memory_order_acquire);
+  out.poisoned_index_fallbacks =
+      poisoned_index_fallbacks_.load(std::memory_order_acquire);
+  out.merge_error_fallbacks =
+      merge_error_fallbacks_.load(std::memory_order_acquire);
+  out.deferred_refreshes = deferred_refreshes_.load(std::memory_order_acquire);
+  return out;
+}
+
 util::Status HorseResumeEngine::pause_locked(vmm::Sandbox& sandbox) {
   // Vanilla park first: dequeue vCPUs, build the credit-sorted merge_vcpus.
-  if (util::Status status = ResumeEngine::pause_locked(sandbox);
-      !status.is_ok()) {
-    return status;
-  }
+  HORSE_RETURN_IF_ERROR(ResumeEngine::pause_locked(sandbox));
   if (!sandbox.config().ull) {
     return util::Status::ok();
   }
@@ -63,10 +76,7 @@ util::Status HorseResumeEngine::pause_locked(vmm::Sandbox& sandbox) {
 
 util::Status HorseResumeEngine::hotplug_vcpu_locked(vmm::Sandbox& sandbox) {
   if (!sandbox.config().ull || !features_.use_p2sm) {
-    if (util::Status status = ResumeEngine::hotplug_vcpu_locked(sandbox);
-        !status.is_ok()) {
-      return status;
-    }
+    HORSE_RETURN_IF_ERROR(ResumeEngine::hotplug_vcpu_locked(sandbox));
   } else {
     P2smIndex* index = ull_.index_of(sandbox.id());
     const auto assignment = ull_.assignment(sandbox.id());
@@ -81,13 +91,21 @@ util::Status HorseResumeEngine::hotplug_vcpu_locked(vmm::Sandbox& sandbox) {
     sched::RunQueue& queue = topology_.queue(*assignment);
     (*vcpu)->last_cpu = *assignment;
     util::LockGuard guard(queue.lock());
-    if (!index->fresh(queue)) {
+    if (!index->fresh(queue) || index->poisoned()) {
       index->rebuild(sandbox.merge_vcpus(), queue);
     }
     // §4.1.1 incremental insert: position search in A plus a run update.
+    // On failure, roll the added vCPU back out so the sandbox and the
+    // index stay consistent (the vCPU was never linked into merge_vcpus).
     if (util::Status status =
             index->insert_into_a(sandbox.merge_vcpus(), **vcpu, queue);
         !status.is_ok()) {
+      if (util::Status rollback = sandbox.remove_last_vcpu();
+          !rollback.is_ok()) {
+        return {util::StatusCode::kInternal,
+                "hotplug: insert failed (" + status.to_report() +
+                    ") and rollback failed (" + rollback.to_report() + ")"};
+      }
       return status;
     }
   }
@@ -99,10 +117,7 @@ util::Status HorseResumeEngine::hotplug_vcpu_locked(vmm::Sandbox& sandbox) {
 
 util::Status HorseResumeEngine::unplug_vcpu_locked(vmm::Sandbox& sandbox) {
   if (!sandbox.config().ull || !features_.use_p2sm) {
-    if (util::Status status = ResumeEngine::unplug_vcpu_locked(sandbox);
-        !status.is_ok()) {
-      return status;
-    }
+    HORSE_RETURN_IF_ERROR(ResumeEngine::unplug_vcpu_locked(sandbox));
   } else {
     if (sandbox.state() != vmm::SandboxState::kPaused) {
       return {util::StatusCode::kFailedPrecondition,
@@ -119,14 +134,8 @@ util::Status HorseResumeEngine::unplug_vcpu_locked(vmm::Sandbox& sandbox) {
     }
     sched::Vcpu& victim = sandbox.vcpu(sandbox.num_vcpus() - 1);
     // §4.1.1 incremental delete: O(m) run walk, unlinks from A.
-    if (util::Status status =
-            index->remove_from_a(sandbox.merge_vcpus(), victim);
-        !status.is_ok()) {
-      return status;
-    }
-    if (util::Status status = sandbox.remove_last_vcpu(); !status.is_ok()) {
-      return status;
-    }
+    HORSE_RETURN_IF_ERROR(index->remove_from_a(sandbox.merge_vcpus(), victim));
+    HORSE_RETURN_IF_ERROR(sandbox.remove_last_vcpu());
   }
   if (features_.use_coalescing && sandbox.config().ull) {
     sandbox.coalesce() = coalescer_.precompute(sandbox.num_vcpus());
@@ -136,8 +145,11 @@ util::Status HorseResumeEngine::unplug_vcpu_locked(vmm::Sandbox& sandbox) {
 
 util::Status HorseResumeEngine::resume_fallback_merge(
     vmm::Sandbox& sandbox, sched::CpuId cpu, vmm::ResumeBreakdown& breakdown) {
-  // coal-only ablation: step ④ stays the vanilla per-vCPU sorted walk, but
-  // onto the single assigned queue so the coalesced step-⑤ update is exact.
+  // Vanilla step ④ onto the assigned queue: a per-vCPU sorted walk instead
+  // of the O(1) splice. Used by the coal-only ablation AND as the
+  // degradation rung when the 𝒫²𝒮ℳ index cannot be trusted — the queue
+  // stays sorted and the single-queue placement keeps the coalesced
+  // step-⑤ update exact in both cases.
   util::Stopwatch watch;
   sched::RunQueue& queue = topology_.queue(cpu);
   while (!sandbox.merge_vcpus().empty()) {
@@ -151,6 +163,20 @@ util::Status HorseResumeEngine::resume_fallback_merge(
   return util::Status::ok();
 }
 
+void HorseResumeEngine::run_deferred_refresh() {
+  if (!needs_refresh_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Outside the timed path, after the epilogue released resume_lock_.
+  // Whatever made this resume's index untrustworthy (a foreign queue
+  // mutation, injected corruption) likely staled every other index
+  // targeting the same queue; rebuild them now so the NEXT resumes take
+  // the fast path again.
+  util::LockGuard guard(resume_lock_);
+  ull_.refresh();
+  deferred_refreshes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
                                        vmm::ResumeBreakdown* breakdown) {
   if (!sandbox.config().ull) {
@@ -161,9 +187,7 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
   vmm::ResumeBreakdown& bd = breakdown != nullptr ? *breakdown : local;
   bd = {};
 
-  if (util::Status status = run_prologue(sandbox, bd); !status.is_ok()) {
-    return status;
-  }
+  HORSE_RETURN_IF_ERROR(run_prologue(sandbox, bd));
 
   const auto assignment = ull_.assignment(sandbox.id());
   if (!assignment) {
@@ -174,36 +198,70 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
   sched::RunQueue& queue = topology_.queue(cpu);
   const std::uint32_t n = sandbox.num_vcpus();
 
-  // --- step ④: one 𝒫²𝒮ℳ merge (or the coal-only fallback) ---------------
+  // --- step ④: one 𝒫²𝒮ℳ merge, degrading to the vanilla sorted walk ------
   if (features_.use_p2sm) {
     util::Stopwatch watch;
     P2smIndex* index = ull_.index_of(sandbox.id());
-    util::LockGuard guard(queue.lock());
-    if (index == nullptr || !index->fresh(queue)) {
-      // Stale-index fallback: rebuild inline. This charges the rebuild to
-      // the resume (honest accounting); UllRunQueueManager::refresh() run
-      // off the critical path keeps this branch cold.
-      if (index == nullptr) {
-        resume_lock_.unlock();
-        return {util::StatusCode::kFailedPrecondition,
-                "horse: sandbox not tracked (was pause() skipped?)"};
-      }
-      index->rebuild(sandbox.merge_vcpus(), queue);
-    }
-    if (util::Status status =
-            index->merge(sandbox.merge_vcpus(), queue, *executor_);
-        !status.is_ok()) {
+    if (index == nullptr) {
       resume_lock_.unlock();
-      return status;
+      return {util::StatusCode::kFailedPrecondition,
+              "horse: sandbox not tracked (was pause() skipped?)"};
     }
-    // Per-vCPU byte writes so the scheduler-facing state is consistent.
-    // (In the kernel patch the equivalent bits live in the vCPU's
-    // already-touched cache lines; ~2 ns each here, bounded by 36 vCPUs.)
-    for (const auto& vcpu : sandbox.vcpus()) {
-      vcpu->state = sched::VcpuState::kRunnable;
-      vcpu->last_cpu = cpu;
+
+    // Decide fast vs. degraded under the queue lock, then release it: the
+    // fallback walk takes the lock per vCPU itself.
+    bool fast_path_done = false;
+    {
+      util::LockGuard guard(queue.lock());
+      if (HORSE_FAULT_POINT("horse.resume.stale_index")) {
+        // Injected foreign mutation: the index genuinely no longer
+        // matches the queue, exactly as if another scheduler path had
+        // touched the ull_runqueue after pause.
+        index->invalidate();
+      }
+      const bool poisoned = index->poisoned();
+      const bool stale = !poisoned && !index->fresh(queue);
+      if (poisoned) {
+        poisoned_index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      } else if (stale) {
+        stale_index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        util::Status status =
+            index->merge(sandbox.merge_vcpus(), queue, *executor_);
+        if (status.is_ok()) {
+          fast_path_done = true;
+        } else {
+          // merge() refuses without mutating A or B, so the degraded walk
+          // below still sees the full merge_vcpus list.
+          merge_error_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
-    bd.merge = watch.elapsed() + profile_.resume_per_vcpu_tax;
+
+    if (fast_path_done) {
+      // Per-vCPU byte writes so the scheduler-facing state is consistent.
+      // (In the kernel patch the equivalent bits live in the vCPU's
+      // already-touched cache lines; ~2 ns each here, bounded by 36 vCPUs.)
+      for (const auto& vcpu : sandbox.vcpus()) {
+        vcpu->state = sched::VcpuState::kRunnable;
+        vcpu->last_cpu = cpu;
+      }
+      bd.merge = watch.elapsed() + profile_.resume_per_vcpu_tax;
+    } else {
+      // Degradation rung: the precomputed index cannot be trusted, but
+      // the resume must still succeed — fall back to the vanilla sorted
+      // walk (correct at any index state) and schedule the index repair
+      // off the hot path. The rebuild is NOT charged to this resume; the
+      // old inline-rebuild behaviour hid an O(|A|+|B|) cost in the 150 ns
+      // path.
+      fallback_merges_.fetch_add(1, std::memory_order_relaxed);
+      needs_refresh_.store(true, std::memory_order_release);
+      if (util::Status status = resume_fallback_merge(sandbox, cpu, bd);
+          !status.is_ok()) {
+        resume_lock_.unlock();
+        return status;
+      }
+    }
   } else {
     if (util::Status status = resume_fallback_merge(sandbox, cpu, bd);
         !status.is_ok()) {
@@ -240,6 +298,11 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
   ull_.untrack(sandbox.id());
 
   run_epilogue(sandbox, bd);
+
+  // Off-hot-path repair for whatever degraded this resume (no-op when the
+  // fast path ran). After the epilogue: the caller's measured latency
+  // never includes the rebuild sweep.
+  run_deferred_refresh();
   return util::Status::ok();
 }
 

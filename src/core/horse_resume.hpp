@@ -16,6 +16,8 @@
 // engine.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "core/coalesce.hpp"
@@ -35,6 +37,23 @@ struct HorseFeatures {
   [[nodiscard]] static HorseFeatures coalescing_only() { return {false, true}; }
 };
 
+/// Counters for the engine's degradation rungs (monotonic; snapshot via
+/// degradation_stats()). A degraded resume is still a *successful* resume:
+/// the sandbox runs, the queue is sorted — only the O(1) splice was
+/// replaced by the vanilla sorted walk.
+struct ResumeDegradationStats {
+  /// Resumes that fell back to the vanilla sorted-merge walk (any cause).
+  std::uint64_t fallback_merges = 0;
+  /// ... because the index no longer matched the queue's version.
+  std::uint64_t stale_index_fallbacks = 0;
+  /// ... because the index was poisoned (corrupt anchor table).
+  std::uint64_t poisoned_index_fallbacks = 0;
+  /// ... because merge() itself reported an error.
+  std::uint64_t merge_error_fallbacks = 0;
+  /// Off-hot-path refresh() sweeps triggered by a degraded resume.
+  std::uint64_t deferred_refreshes = 0;
+};
+
 class HorseResumeEngine final : public vmm::ResumeEngine {
  public:
   HorseResumeEngine(sched::CpuTopology& topology, vmm::VmmProfile profile,
@@ -45,6 +64,11 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
   [[nodiscard]] const HorseConfig& config() const noexcept { return config_; }
   [[nodiscard]] const HorseFeatures& features() const noexcept { return features_; }
   [[nodiscard]] MergeExecutor& executor() noexcept { return *executor_; }
+  /// The parallel crew, or nullptr in sequential mode (for crew stats and
+  /// watchdog introspection).
+  [[nodiscard]] ParallelMergeCrew* crew() noexcept { return crew_; }
+
+  [[nodiscard]] ResumeDegradationStats degradation_stats() const noexcept;
 
   /// Pre-arm / disarm the parallel crew around a resume burst (no-op in
   /// sequential mode).
@@ -75,12 +99,28 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
                                      sched::CpuId cpu,
                                      vmm::ResumeBreakdown& breakdown);
 
+  /// Off-hot-path repair: when a degraded resume observed stale indexes,
+  /// re-acquire resume_lock_ AFTER the epilogue (outside the timed path)
+  /// and rebuild every stale index via the manager. The lock re-acquire
+  /// honours the PR-1 contract that the manager's maps are only touched
+  /// under resume_lock_.
+  void run_deferred_refresh();
+
   HorseConfig config_;
   HorseFeatures features_;
   UllRunQueueManager ull_;
   LoadCoalescer coalescer_;
   std::unique_ptr<MergeExecutor> executor_;
   ParallelMergeCrew* crew_ = nullptr;  // non-null in parallel mode
+
+  // Degradation bookkeeping. needs_refresh_ is set inside the timed path
+  // (one relaxed store) and consumed after the epilogue.
+  std::atomic<bool> needs_refresh_{false};
+  std::atomic<std::uint64_t> fallback_merges_{0};
+  std::atomic<std::uint64_t> stale_index_fallbacks_{0};
+  std::atomic<std::uint64_t> poisoned_index_fallbacks_{0};
+  std::atomic<std::uint64_t> merge_error_fallbacks_{0};
+  std::atomic<std::uint64_t> deferred_refreshes_{0};
 };
 
 }  // namespace horse::core

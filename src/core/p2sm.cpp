@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/dcheck.hpp"
+#include "util/fault_injection.hpp"
 
 namespace horse::core {
 
@@ -51,7 +52,18 @@ void P2smIndex::rebuild(sched::VcpuList& a, sched::RunQueue& b) {
 
   built_version_ = b.version();
   built_ = true;
+  poisoned_ = false;  // a full recompute cures any earlier poisoning
   ++stats_.rebuilds;
+
+  // Injected corruption: mark the freshly built anchor table untrustworthy.
+  // No real structure is damaged (a truly scrambled pos_a_ would make the
+  // *next* rebuild read freed memory); the poison flag makes merge() and
+  // the audit behave exactly as if the corruption had been detected, which
+  // is the contract the degradation ladder is tested against.
+  if (HORSE_FAULT_POINT("p2sm.rebuild.corrupt_anchor")) {
+    poisoned_ = true;
+    return;  // skip the self-audit: it would (correctly) refuse the index
+  }
   HORSE_DCHECK_OK(audit(a, b));
 }
 
@@ -59,6 +71,10 @@ util::Status P2smIndex::audit(sched::VcpuList& a,
                               const sched::RunQueue& b) const {
   if (!built_) {
     return {util::StatusCode::kFailedPrecondition, "p2sm audit: index not built"};
+  }
+  if (poisoned_) {
+    return {util::StatusCode::kInternal,
+            "p2sm audit: index poisoned (corrupt anchor table)"};
   }
 
   // arrayB / creditsB agreement.
@@ -166,6 +182,16 @@ util::Status P2smIndex::insert_into_a(sched::VcpuList& a, sched::Vcpu& vcpu,
     return {util::StatusCode::kFailedPrecondition,
             "p2sm: index stale; rebuild before A-side updates"};
   }
+  if (poisoned_) {
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm: index poisoned; rebuild before A-side updates"};
+  }
+  if (HORSE_FAULT_POINT("p2sm.insert.fault")) {
+    // Fires before any mutation: caller-visible failure with A, the run
+    // table, and the vCPU all untouched (hotplug rolls back cleanly).
+    return {util::StatusCode::kInternal,
+            "p2sm: injected incremental-insert failure"};
+  }
   const AnchorIndex anchor = anchor_for(vcpu.credit);
   auto it = pos_a_.find(anchor);
   if (it == pos_a_.end()) {
@@ -211,6 +237,14 @@ util::Status P2smIndex::remove_from_a(sched::VcpuList& a, sched::Vcpu& vcpu) {
   if (!built_) {
     return {util::StatusCode::kFailedPrecondition, "p2sm: index not built"};
   }
+  if (poisoned_) {
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm: index poisoned; rebuild before A-side updates"};
+  }
+  if (HORSE_FAULT_POINT("p2sm.remove.fault")) {
+    return {util::StatusCode::kInternal,
+            "p2sm: injected incremental-remove failure"};
+  }
   // Find the run containing the vCPU (paper: O(m) worst case — all of A
   // in one run with the victim last).
   for (auto it = pos_a_.begin(); it != pos_a_.end(); ++it) {
@@ -245,6 +279,10 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
   if (!fresh(b)) {
     return {util::StatusCode::kFailedPrecondition,
             "p2sm: index stale; cannot O(1)-merge"};
+  }
+  if (poisoned_) {
+    return {util::StatusCode::kInternal,
+            "p2sm: index poisoned; cannot trust the precomputed splices"};
   }
   if (a.size() == 0) {
     return {util::StatusCode::kFailedPrecondition, "p2sm: empty source list"};

@@ -74,6 +74,15 @@ class P2smIndex {
     pos_a_.clear();
   }
 
+  /// A poisoned index is one whose precomputed structures are suspected
+  /// corrupt (detected — or injected via the p2sm.rebuild.corrupt_anchor
+  /// fault site — during rebuild). merge()/insert/remove refuse it, the
+  /// audit reports it, and the next rebuild() cures it. Freshness and
+  /// poisoning are orthogonal: a poisoned index may still match B's
+  /// version, but it must never be trusted for an O(1) splice.
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  void poison() noexcept { poisoned_ = true; }
+
   /// A-side incremental insert (paper: O(n) position search + O(1) list
   /// insert). Inserts `vcpu` into A at its sorted position *and* extends
   /// the appropriate run. Requires a fresh index.
@@ -134,6 +143,7 @@ class P2smIndex {
   std::vector<SpliceTask> task_buffer_;
   std::uint64_t built_version_ = 0;
   bool built_ = false;
+  bool poisoned_ = false;
   P2smStats stats_;
 };
 

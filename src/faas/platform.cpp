@@ -10,10 +10,20 @@ Platform::Platform(PlatformConfig config)
       boot_(config_.profile, config_.seed + 1),
       snapshots_(config_.profile, config_.seed + 2),
       pool_(config_.warm_pool),
-      keep_alive_policy_(config_.keep_alive_policy) {
+      keep_alive_policy_(config_.keep_alive_policy),
+      rng_(config_.seed + 3) {
   vanilla_ = std::make_unique<vmm::ResumeEngine>(topology_, config_.profile);
   horse_ = std::make_unique<core::HorseResumeEngine>(topology_, config_.profile,
                                                      config_.horse);
+}
+
+void Platform::destroy_pooled(vmm::Sandbox& sandbox) {
+  // Proper teardown order for a pool-owned sandbox: drop the fast-path
+  // tracking first (the index references the sandbox's merge_vcpus), then
+  // dequeue/offline the vCPUs, then forget its health history.
+  horse_->ull_manager().untrack(sandbox.id());
+  (void)horse_->destroy(sandbox);
+  resume_failures_.erase(sandbox.id());
 }
 
 void Platform::advance_time(util::Nanos delta) {
@@ -28,7 +38,7 @@ void Platform::advance_time(util::Nanos delta) {
     }
   }
   for (auto& sandbox : pool_.evict_expired(logical_now_)) {
-    (void)horse_->destroy(*sandbox);
+    destroy_pooled(*sandbox);
     // unique_ptr destruction frees the sandbox after dequeueing.
   }
 }
@@ -46,13 +56,16 @@ util::Status Platform::pause_and_pool(FunctionId function,
   // assignment, coalescing precompute, and 𝒫²𝒮ℳ index rebuilt so the next
   // kHorse resume is fast-path-ready; non-uLL sandboxes take the vanilla
   // pause inside the same call.
-  if (util::Status status = horse_->pause(*sandbox); !status.is_ok()) {
-    return status;
-  }
-  const sched::SandboxId id = sandbox->id();
-  util::Status status = pool_.put(function, std::move(sandbox), logical_now_);
-  if (!status.is_ok()) {
-    horse_->ull_manager().untrack(id);
+  HORSE_RETURN_IF_ERROR(horse_->pause(*sandbox));
+  std::unique_ptr<vmm::Sandbox> rejected;
+  util::Status status =
+      pool_.put(function, std::move(sandbox), logical_now_, &rejected);
+  if (!status.is_ok() && rejected != nullptr) {
+    // The pool refused (per-function cap): tear the sandbox down fully
+    // instead of silently dropping it — its vCPUs are parked on
+    // merge_vcpus and the ull manager may hold an index into them.
+    destroy_pooled(*rejected);
+    ++counters_.pool_overflow_destroyed;
   }
   return status;
 }
@@ -68,13 +81,8 @@ util::Status Platform::provision(FunctionId function, std::size_t count) {
     if (!sandbox) {
       return sandbox.status();
     }
-    if (util::Status status = horse_->start(**sandbox); !status.is_ok()) {
-      return status;
-    }
-    if (util::Status status = pause_and_pool(function, std::move(*sandbox));
-        !status.is_ok()) {
-      return status;
-    }
+    HORSE_RETURN_IF_ERROR(horse_->start(**sandbox));
+    HORSE_RETURN_IF_ERROR(pause_and_pool(function, std::move(*sandbox)));
   }
   pool_.set_provisioned_floor(function, count);
   return util::Status::ok();
@@ -97,12 +105,8 @@ util::Status Platform::ensure_snapshot_locked(FunctionId function) {
   if (!sandbox) {
     return sandbox.status();
   }
-  if (util::Status status = horse_->start(**sandbox); !status.is_ok()) {
-    return status;
-  }
-  if (util::Status status = horse_->pause(**sandbox); !status.is_ok()) {
-    return status;
-  }
+  HORSE_RETURN_IF_ERROR(horse_->start(**sandbox));
+  HORSE_RETURN_IF_ERROR(horse_->pause(**sandbox));
   auto snapshot = snapshots_.take(**sandbox);
   if (!snapshot) {
     return snapshot.status();
@@ -118,11 +122,17 @@ util::Expected<InvocationRecord> Platform::invoke(
   auto result = invoke_locked(function, request, mode);
   if (result) {
     ++counters_.invocations;
-    switch (mode) {
+    // Count by the mode the invocation actually completed with: a
+    // ladder-demoted kHorse request that finished as a cold start is a
+    // cold start in the books.
+    switch (result->mode) {
       case StartMode::kCold: ++counters_.cold; break;
       case StartMode::kRestore: ++counters_.restore; break;
       case StartMode::kWarm: ++counters_.warm; break;
       case StartMode::kHorse: ++counters_.horse; break;
+    }
+    if (result->mode != result->requested) {
+      ++counters_.degraded_invocations;
     }
   } else {
     ++counters_.failed;
@@ -130,53 +140,66 @@ util::Expected<InvocationRecord> Platform::invoke(
   return result;
 }
 
-util::Expected<InvocationRecord> Platform::invoke_locked(
-    FunctionId function, const workloads::Request& request, StartMode mode) {
-  const auto spec_lookup = registry_.find(function);
-  if (!spec_lookup) {
-    return spec_lookup.status();
+void Platform::handle_resume_failure(FunctionId function,
+                                     std::unique_ptr<vmm::Sandbox> sandbox) {
+  const sched::SandboxId id = sandbox->id();
+  const std::size_t strikes = ++resume_failures_[id];
+  if (strikes >= config_.degradation.quarantine_threshold) {
+    // Repeated failures: this sandbox is suspected broken (wedged control
+    // plane, corrupt state). Quarantine = full teardown, never re-pooled;
+    // future invocations get a fresh sandbox via a colder rung.
+    destroy_pooled(*sandbox);
+    ++counters_.sandboxes_quarantined;
+    return;
   }
-  const FunctionSpec& spec = **spec_lookup;
+  // First strike(s): the failed resume left the sandbox paused, so it can
+  // go back to the pool for a later retry (transient failures — a
+  // control-plane hiccup — heal this way without losing the warm state).
+  std::unique_ptr<vmm::Sandbox> rejected;
+  if (!pool_.put(function, std::move(sandbox), logical_now_, &rejected)
+           .is_ok() &&
+      rejected != nullptr) {
+    destroy_pooled(*rejected);
+    ++counters_.pool_overflow_destroyed;
+  }
+}
 
-  keep_alive_policy_.record_invocation(function, logical_now_);
-
-  InvocationRecord record;
-  record.mode = mode;
-  std::unique_ptr<vmm::Sandbox> sandbox;
-
+util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::try_start_locked(
+    FunctionId function, const FunctionSpec& spec, StartMode mode,
+    InvocationRecord& record) {
   switch (mode) {
     case StartMode::kCold: {
       auto boot = boot_.cold_boot(next_sandbox_id_++, spec.sandbox);
       record.init_modelled = boot.boot_time + config_.warm_dispatch_overhead;
-      sandbox = std::move(boot.sandbox);
+      std::unique_ptr<vmm::Sandbox> sandbox = std::move(boot.sandbox);
       util::Stopwatch watch;
-      if (util::Status status = horse_->start(*sandbox); !status.is_ok()) {
-        return status;
-      }
+      HORSE_RETURN_IF_ERROR(horse_->start(*sandbox));
       record.init_time = record.init_modelled + watch.elapsed();
-      break;
+      return sandbox;
     }
     case StartMode::kRestore: {
-      if (util::Status status = ensure_snapshot_locked(function);
-          !status.is_ok()) {
-        return status;
-      }
+      HORSE_RETURN_IF_ERROR(ensure_snapshot_locked(function));
       auto restored =
           snapshots_.restore(snapshot_store_.at(function), next_sandbox_id_++);
-      record.init_modelled =
-          restored.modelled_time + config_.warm_dispatch_overhead;
-      sandbox = std::move(restored.sandbox);
-      util::Stopwatch watch;
-      if (util::Status status = horse_->start(*sandbox); !status.is_ok()) {
-        return status;
+      if (!restored) {
+        // Corrupt snapshot: it will never restore — drop it so the next
+        // rung (or invocation) rebuilds a fresh one instead of looping on
+        // the same broken image.
+        snapshot_store_.erase(function);
+        return restored.status();
       }
+      record.init_modelled =
+          restored->modelled_time + config_.warm_dispatch_overhead;
+      std::unique_ptr<vmm::Sandbox> sandbox = std::move(restored->sandbox);
+      util::Stopwatch watch;
+      HORSE_RETURN_IF_ERROR(horse_->start(*sandbox));
       record.init_time =
-          record.init_modelled + restored.copy_time + watch.elapsed();
-      break;
+          record.init_modelled + restored->copy_time + watch.elapsed();
+      return sandbox;
     }
     case StartMode::kWarm:
     case StartMode::kHorse: {
-      sandbox = pool_.take(function);
+      std::unique_ptr<vmm::Sandbox> sandbox = pool_.take(function);
       if (sandbox == nullptr) {
         return util::Status{util::StatusCode::kUnavailable,
                             "invoke: no warm sandbox pooled (provision first)"};
@@ -192,12 +215,66 @@ util::Expected<InvocationRecord> Platform::invoke_locked(
         record.init_modelled = config_.warm_dispatch_overhead;
       }
       if (!status.is_ok()) {
+        // A failed resume leaves the sandbox paused. Strike its health
+        // record; quarantine at the threshold, else re-pool for a retry.
+        handle_resume_failure(function, std::move(sandbox));
         return status;
       }
+      resume_failures_.erase(sandbox->id());
       record.init_time = record.resume.total() + record.init_modelled;
-      break;
+      return sandbox;
     }
   }
+  return util::Status{util::StatusCode::kInternal, "invoke: unknown mode"};
+}
+
+util::Expected<InvocationRecord> Platform::invoke_locked(
+    FunctionId function, const workloads::Request& request, StartMode mode) {
+  const auto spec_lookup = registry_.find(function);
+  if (!spec_lookup) {
+    return spec_lookup.status();
+  }
+  const FunctionSpec& spec = **spec_lookup;
+
+  keep_alive_policy_.record_invocation(function, logical_now_);
+
+  // --- start ladder: requested mode first, demoting one rung per failure -
+  const StartMode requested = mode;
+  const DegradationPolicy& ladder = config_.degradation;
+  InvocationRecord record;
+  std::unique_ptr<vmm::Sandbox> sandbox;
+  std::uint32_t fallbacks = 0;
+  util::Nanos backoff_total = 0;
+  std::size_t attempt = 0;
+  while (true) {
+    ++attempt;
+    record = {};
+    record.requested = requested;
+    record.mode = mode;
+    record.fallbacks = fallbacks;
+    auto started = try_start_locked(function, spec, mode, record);
+    if (started) {
+      sandbox = std::move(*started);
+      break;
+    }
+    const bool exhausted = !ladder.enabled || attempt >= ladder.max_attempts ||
+                           mode == StartMode::kCold;
+    if (exhausted) {
+      return started.status();
+    }
+    // Demote one rung and model a jittered exponential backoff (recorded,
+    // not slept: the logical clock is caller-driven).
+    mode = next_colder(mode);
+    ++fallbacks;
+    ++counters_.rung_fallbacks;
+    const double jitter = 0.5 + rng_.uniform01();  // ±50%
+    backoff_total += static_cast<util::Nanos>(
+        static_cast<double>(ladder.retry_backoff_base) *
+        static_cast<double>(1ULL << (attempt - 1)) * jitter);
+  }
+  record.retry_backoff = backoff_total;
+  record.init_modelled += backoff_total;
+  record.init_time += backoff_total;
 
   // Run the function body for real.
   util::Stopwatch exec_watch;
@@ -205,10 +282,7 @@ util::Expected<InvocationRecord> Platform::invoke_locked(
   record.exec_time = exec_watch.elapsed();
 
   // Keep-alive: re-pause and pool for the next trigger.
-  if (util::Status status = pause_and_pool(function, std::move(sandbox));
-      !status.is_ok()) {
-    return status;
-  }
+  HORSE_RETURN_IF_ERROR(pause_and_pool(function, std::move(sandbox)));
   return record;
 }
 

@@ -31,6 +31,7 @@
 #include "faas/registry.hpp"
 #include "faas/warm_pool.hpp"
 #include "sched/topology.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 #include "vmm/boot.hpp"
 #include "vmm/snapshot.hpp"
@@ -49,6 +50,25 @@ enum class StartMode : std::uint8_t { kCold, kRestore, kWarm, kHorse };
   return "unknown";
 }
 
+/// Bounded retry ladder for failed starts. A failed start attempt (pool
+/// miss, resume failure, corrupt snapshot) demotes the invocation one rung
+/// colder — kHorse → kWarm → kRestore → kCold — instead of surfacing the
+/// error, up to `max_attempts` rungs with a modelled, jittered backoff
+/// between them. Per-sandbox health is tracked across invocations:
+/// a pooled sandbox whose resume fails `quarantine_threshold` times in a
+/// row is quarantined (untracked, destroyed, never re-pooled).
+struct DegradationPolicy {
+  bool enabled = true;
+  /// Total start attempts per invocation (first try included).
+  std::size_t max_attempts = 4;
+  /// Consecutive resume failures before a pooled sandbox is evicted.
+  std::size_t quarantine_threshold = 2;
+  /// Base of the modelled exponential backoff between rungs; the actual
+  /// delay is base * 2^(attempt-1), jittered ±50% from the platform's
+  /// seeded RNG. Purely modelled (recorded, never slept).
+  util::Nanos retry_backoff_base = 50 * util::kMicrosecond;
+};
+
 struct PlatformConfig {
   std::size_t num_cpus = 8;
   vmm::VmmProfile profile = vmm::VmmProfile::firecracker();
@@ -62,10 +82,13 @@ struct PlatformConfig {
   /// lookup) charged to cold/restore/warm starts; the HORSE fast path
   /// bypasses it. See sim/cost_model.hpp for the derivation from Table 1.
   util::Nanos warm_dispatch_overhead = 820;
+  DegradationPolicy degradation;
   std::uint64_t seed = 1;
 };
 
-/// Lifetime invocation counters (successful invocations only).
+/// Lifetime invocation counters. Per-mode counts are by the mode the
+/// invocation actually COMPLETED with (after any ladder demotions), so
+/// cold+restore+warm+horse always sums to invocations.
 struct PlatformCounters {
   std::uint64_t invocations = 0;
   std::uint64_t cold = 0;
@@ -73,10 +96,39 @@ struct PlatformCounters {
   std::uint64_t warm = 0;
   std::uint64_t horse = 0;
   std::uint64_t failed = 0;
+  // --- degradation-ladder counters ---------------------------------------
+  /// Individual rung demotions taken (an invocation may take several).
+  std::uint64_t rung_fallbacks = 0;
+  /// Invocations that completed at a colder mode than requested.
+  std::uint64_t degraded_invocations = 0;
+  /// Pooled sandboxes evicted after repeated resume failures.
+  std::uint64_t sandboxes_quarantined = 0;
+  /// Sandboxes properly torn down after the warm pool rejected them
+  /// (per-function cap) — previously they were silently dropped.
+  std::uint64_t pool_overflow_destroyed = 0;
 };
 
+/// The next-colder rung of the start ladder (kCold maps to itself).
+[[nodiscard]] constexpr StartMode next_colder(StartMode mode) noexcept {
+  switch (mode) {
+    case StartMode::kHorse: return StartMode::kWarm;
+    case StartMode::kWarm: return StartMode::kRestore;
+    case StartMode::kRestore: return StartMode::kCold;
+    case StartMode::kCold: return StartMode::kCold;
+  }
+  return StartMode::kCold;
+}
+
 struct InvocationRecord {
+  /// The mode the invocation actually completed with.
   StartMode mode = StartMode::kCold;
+  /// The mode the caller asked for (== mode unless the ladder demoted).
+  StartMode requested = StartMode::kCold;
+  /// Ladder rungs descended before the start succeeded.
+  std::uint32_t fallbacks = 0;
+  /// Modelled, jittered retry backoff accumulated across rungs (included
+  /// in init_time / init_modelled).
+  util::Nanos retry_backoff = 0;
   /// Total sandbox-initialization latency (modelled + measured parts).
   util::Nanos init_time = 0;
   /// Modelled share of init_time (boot / device re-init / dispatch).
@@ -149,6 +201,24 @@ class Platform {
   util::Expected<InvocationRecord> invoke_locked(
       FunctionId function, const workloads::Request& request, StartMode mode);
 
+  /// One rung: acquire + initialise a runnable sandbox for `mode`,
+  /// filling the init/resume fields of `record`. Failure leaves the
+  /// platform consistent (failed pooled sandboxes are health-tracked and
+  /// re-pooled or quarantined) so the caller may try a colder rung.
+  [[nodiscard]] util::Expected<std::unique_ptr<vmm::Sandbox>> try_start_locked(
+      FunctionId function, const FunctionSpec& spec, StartMode mode,
+      InvocationRecord& record);
+
+  /// Health bookkeeping for a pooled sandbox whose resume failed: strike
+  /// its failure counter; quarantine (untrack + destroy) at the
+  /// threshold, else hand it back to the pool for a later retry.
+  void handle_resume_failure(FunctionId function,
+                             std::unique_ptr<vmm::Sandbox> sandbox);
+
+  /// Tear a sandbox fully down (engine bookkeeping included) after the
+  /// pool rejected or evicted it.
+  void destroy_pooled(vmm::Sandbox& sandbox);
+
   PlatformConfig config_;
   mutable std::mutex control_mutex_;
   sched::CpuTopology topology_;
@@ -161,6 +231,10 @@ class Platform {
   std::unordered_map<FunctionId, vmm::Snapshot> snapshot_store_;
   HybridHistogramPolicy keep_alive_policy_;
   PlatformCounters counters_;
+  /// Consecutive resume failures per pooled sandbox (erased on success,
+  /// quarantine, or eviction).
+  std::unordered_map<sched::SandboxId, std::size_t> resume_failures_;
+  util::Xoshiro256 rng_;
   sched::SandboxId next_sandbox_id_ = 1;
   util::Nanos logical_now_ = 0;
 };

@@ -1,16 +1,30 @@
 #include "faas/warm_pool.hpp"
 
+#include "util/fault_injection.hpp"
+
 namespace horse::faas {
 
 util::Status WarmPool::put(FunctionId function,
                            std::unique_ptr<vmm::Sandbox> sandbox,
-                           util::Nanos now) {
+                           util::Nanos now,
+                           std::unique_ptr<vmm::Sandbox>* rejected) {
   if (sandbox == nullptr || sandbox->state() != vmm::SandboxState::kPaused) {
+    if (rejected != nullptr) {
+      *rejected = std::move(sandbox);
+    }
     return {util::StatusCode::kFailedPrecondition,
             "warm pool: only paused sandboxes can be pooled"};
   }
   auto& pool = pools_[function];
-  if (pool.size() >= config_.max_per_function) {
+  if (pool.size() >= config_.max_per_function ||
+      HORSE_FAULT_POINT("warm_pool.park.reject")) {
+    // Cap overflow (or an injected park rejection — e.g. cgroup memory
+    // pressure in a real platform). The sandbox goes back to the caller
+    // for a proper teardown; quietly destroying it here would leak its
+    // engine-side tracking state.
+    if (rejected != nullptr) {
+      *rejected = std::move(sandbox);
+    }
     return {util::StatusCode::kResourceExhausted,
             "warm pool: per-function cap reached"};
   }
@@ -20,6 +34,12 @@ util::Status WarmPool::put(FunctionId function,
 }
 
 std::unique_ptr<vmm::Sandbox> WarmPool::take(FunctionId function) {
+  if (HORSE_FAULT_POINT("warm_pool.take.miss")) {
+    // Injected miss: the pool's accounting is untouched — the entry stays
+    // parked, the caller simply doesn't get it (as if a health probe had
+    // failed at take time).
+    return nullptr;
+  }
   const auto it = pools_.find(function);
   if (it == pools_.end() || it->second.empty()) {
     return nullptr;

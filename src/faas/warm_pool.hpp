@@ -34,11 +34,22 @@ class WarmPool {
   explicit WarmPool(WarmPoolConfig config = {}) : config_(config) {}
 
   /// Park a paused sandbox for reuse at logical time `now`. Fails when the
-  /// per-function cap is reached (the caller should destroy the sandbox).
+  /// per-function cap is reached or the sandbox is not poolable. On
+  /// failure the sandbox is NOT silently destroyed: it is handed back
+  /// through `rejected` (when non-null) so the caller can tear it down
+  /// properly — destroying a sandbox means dequeuing its vCPUs and
+  /// updating engine bookkeeping, which the pool cannot do. Passing
+  /// rejected == nullptr reproduces the old drop-on-floor behaviour and
+  /// is only acceptable when the sandbox owns no engine state.
   util::Status put(FunctionId function, std::unique_ptr<vmm::Sandbox> sandbox,
-                   util::Nanos now);
+                   util::Nanos now,
+                   std::unique_ptr<vmm::Sandbox>* rejected = nullptr);
 
   /// Take the most-recently-used warm sandbox (LIFO keeps caches warm).
+  /// Returns nullptr on a miss — including an injected one (the
+  /// warm_pool.take.miss fault site models a pooled sandbox found
+  /// unusable at take time; the platform's ladder falls to a colder
+  /// start).
   [[nodiscard]] std::unique_ptr<vmm::Sandbox> take(FunctionId function);
 
   /// Provisioned-concurrency floor: pool refills up to this count are the

@@ -87,6 +87,15 @@ std::string format_percent(double fraction, int precision) {
   return buf;
 }
 
+TextTable counters_table(std::string title,
+                         const std::vector<CounterEntry>& counters) {
+  TextTable table(std::move(title), {"counter", "value"});
+  for (const auto& entry : counters) {
+    table.add_row({entry.name, std::to_string(entry.value)});
+  }
+  return table;
+}
+
 void print_series(std::ostream& os, const std::string& title,
                   const std::string& x_label, const std::vector<Series>& series) {
   os << "== " << title << " ==\n";

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -33,6 +34,19 @@ class TextTable {
 [[nodiscard]] std::string format_double(double value, int precision = 2);
 [[nodiscard]] std::string format_nanos(double nanos);
 [[nodiscard]] std::string format_percent(double fraction, int precision = 2);
+
+/// One named monotonic counter, e.g. a degradation-ladder event count or
+/// a fault-injection site's fire count.
+struct CounterEntry {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Render a name/value counter listing (degradation-ladder events,
+/// fault-site hit/fire counts) in the shared table format so experiment
+/// logs carry the fallback accounting next to the latency tables.
+[[nodiscard]] TextTable counters_table(std::string title,
+                                       const std::vector<CounterEntry>& counters);
 
 /// One (x, y) series of a figure, e.g. resume time vs vCPU count.
 struct Series {

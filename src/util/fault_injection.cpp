@@ -1,0 +1,157 @@
+#include "util/fault_injection.hpp"
+
+#if defined(HORSE_FAULT_INJECTION)
+
+#include <cstdlib>
+
+namespace horse::util {
+
+namespace {
+
+constexpr std::uint64_t kDefaultSeed = 0x5eed0fau;
+
+std::uint64_t seed_from_env() noexcept {
+  const char* env = std::getenv("HORSE_FAULT_SEED");
+  if (env == nullptr || *env == '\0') {
+    return kDefaultSeed;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env) {
+    return kDefaultSeed;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() : rng_(seed_from_env()), seed_(seed_from_env()) {}
+
+FaultInjector& FaultInjector::global() noexcept {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::string site, Site armed) {
+  std::lock_guard lock(mutex_);
+  sites_[std::move(site)] = armed;
+  armed_count_.store(sites_.size(), std::memory_order_release);
+}
+
+void FaultInjector::arm_always(std::string site, std::uint64_t max_fires) {
+  Site s;
+  s.mode = Mode::kAlways;
+  s.max_fires = max_fires;
+  arm(std::move(site), s);
+}
+
+void FaultInjector::arm_nth(std::string site, std::uint64_t nth,
+                            std::uint64_t max_fires) {
+  Site s;
+  s.mode = Mode::kNth;
+  s.nth = nth;
+  s.max_fires = max_fires;
+  arm(std::move(site), s);
+}
+
+void FaultInjector::arm_probability(std::string site, double probability,
+                                    std::uint64_t max_fires) {
+  Site s;
+  s.mode = Mode::kProbability;
+  s.probability = probability;
+  s.max_fires = max_fires;
+  arm(std::move(site), s);
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    sites_.erase(it);
+  }
+  armed_count_.store(sites_.size(), std::memory_order_release);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock(mutex_);
+  sites_.clear();
+  total_fires_ = 0;
+  total_hits_ = 0;
+  armed_count_.store(0, std::memory_order_release);
+}
+
+void FaultInjector::reseed(std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  seed_ = seed;
+  rng_.reseed(seed);
+}
+
+std::uint64_t FaultInjector::seed() const {
+  std::lock_guard lock(mutex_);
+  return seed_;
+}
+
+bool FaultInjector::should_fire(const char* site) noexcept {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) {
+    return false;  // nothing armed anywhere: production-speed exit
+  }
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(std::string_view{site});
+  if (it == sites_.end()) {
+    return false;
+  }
+  Site& armed = it->second;
+  ++armed.stats.hits;
+  ++total_hits_;
+  if (armed.stats.fires >= armed.max_fires) {
+    return false;
+  }
+  bool fire = false;
+  switch (armed.mode) {
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kNth:
+      fire = armed.stats.hits == armed.nth;
+      break;
+    case Mode::kProbability:
+      fire = rng_.uniform01() < armed.probability;
+      break;
+  }
+  if (fire) {
+    ++armed.stats.fires;
+    ++total_fires_;
+  }
+  return fire;
+}
+
+FaultSiteStats FaultInjector::site_stats(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::lock_guard lock(mutex_);
+  return total_fires_;
+}
+
+std::uint64_t FaultInjector::total_hits() const {
+  std::lock_guard lock(mutex_);
+  return total_hits_;
+}
+
+std::vector<std::pair<std::string, FaultSiteStats>> FaultInjector::armed_sites()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, FaultSiteStats>> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    out.emplace_back(name, site.stats);
+  }
+  return out;
+}
+
+}  // namespace horse::util
+
+#endif  // HORSE_FAULT_INJECTION

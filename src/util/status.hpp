@@ -108,3 +108,18 @@ class [[nodiscard]] Expected {
 };
 
 }  // namespace horse::util
+
+/// Early-return plumbing for Status-returning functions: evaluate `expr`
+/// (any util::Status-valued expression) and propagate it when it is not
+/// OK. Replaces the manual
+///   if (util::Status st = expr; !st.is_ok()) return st;
+/// boilerplate. Deliberately NOT usable where cleanup (unlocking, state
+/// rollback) must happen before returning — those sites keep the explicit
+/// form so the cleanup stays visible.
+#define HORSE_RETURN_IF_ERROR(expr)                            \
+  do {                                                         \
+    if (::horse::util::Status horse_status_rie_ = (expr);      \
+        !horse_status_rie_.is_ok()) {                          \
+      return horse_status_rie_;                                \
+    }                                                          \
+  } while (false)

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/fault_injection.hpp"
+
 namespace horse::vmm {
 
 namespace {
@@ -112,8 +114,10 @@ util::Status ResumeEngine::run_prologue(Sandbox& sandbox,
                                         ResumeBreakdown& breakdown) {
   util::Stopwatch watch;
 
-  // ① parse
-  if (!parse_resume_command(sandbox)) {
+  // ① parse. The fault site models a malformed resume request: fails
+  // before the global lock is taken, sandbox state untouched.
+  if (HORSE_FAULT_POINT("resume.parse.fault") ||
+      !parse_resume_command(sandbox)) {
     return {util::StatusCode::kInvalidArgument, "resume: bad command"};
   }
   breakdown.parse = watch.elapsed() + profile_.resume_control_plane;
@@ -124,7 +128,16 @@ util::Status ResumeEngine::run_prologue(Sandbox& sandbox,
   breakdown.lock = watch.elapsed();
 
   // ③ sanity checks — includes a real control-plane read on Xen flavours.
+  // The fault site models a transient control-plane disagreement (stale
+  // XenStore read, interrupted ioctl): the lock is released and the
+  // sandbox stays paused, so the caller may retry or fall down the
+  // platform's start ladder.
   watch.restart();
+  if (HORSE_FAULT_POINT("resume.sanity.fault")) {
+    resume_lock_.unlock();
+    return {util::StatusCode::kInternal,
+            "resume: injected sanity-check failure (control plane)"};
+  }
   if (sandbox.state() != SandboxState::kPaused ||
       sandbox.merge_vcpus().size() != sandbox.num_vcpus() ||
       !control_plane_agrees(sandbox, "paused")) {
@@ -150,9 +163,7 @@ util::Status ResumeEngine::resume(Sandbox& sandbox,
   ResumeBreakdown& bd = breakdown != nullptr ? *breakdown : local;
   bd = {};
 
-  if (util::Status status = run_prologue(sandbox, bd); !status.is_ok()) {
-    return status;
-  }
+  HORSE_RETURN_IF_ERROR(run_prologue(sandbox, bd));
 
   // ④+⑤: per-vCPU sorted merge and load update, interleaved exactly as in
   // the vanilla path but timed separately (as the paper's Figure 2 does).
@@ -237,9 +248,7 @@ util::Status ResumeEngine::unplug_vcpu_locked(Sandbox& sandbox) {
   if (victim.hook.is_linked()) {
     sandbox.merge_vcpus().erase(victim);
   }
-  if (util::Status status = sandbox.remove_last_vcpu(); !status.is_ok()) {
-    return status;
-  }
+  HORSE_RETURN_IF_ERROR(sandbox.remove_last_vcpu());
   record_state(sandbox, "paused");
   return util::Status::ok();
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/fault_injection.hpp"
+
 namespace horse::vmm {
 
 std::uint64_t SnapshotManager::compute_checksum(
@@ -123,8 +125,22 @@ util::Expected<RestoreResult> SnapshotManager::restore_incremental(
   return result;
 }
 
-RestoreResult SnapshotManager::restore(const Snapshot& snapshot,
-                                       sched::SandboxId next_id) {
+util::Expected<RestoreResult> SnapshotManager::restore(
+    const Snapshot& snapshot, sched::SandboxId next_id) {
+  // Integrity gate: refuse an image whose checksum drifted from the one
+  // recorded at take() time. The fault site flips the computed value —
+  // equivalent to a single corrupted byte without damaging the caller's
+  // snapshot object.
+  std::uint64_t computed = compute_checksum(snapshot.memory_image);
+  if (HORSE_FAULT_POINT("snapshot.restore.corrupt")) {
+    computed = ~computed;
+  }
+  if (computed != snapshot.checksum) {
+    return util::Status{util::StatusCode::kInternal,
+                        "restore: memory image checksum mismatch "
+                        "(snapshot corrupt)"};
+  }
+
   RestoreResult result;
 
   util::Stopwatch watch;

@@ -89,9 +89,12 @@ class SnapshotManager {
   [[nodiscard]] util::Expected<Snapshot> take(const Sandbox& sandbox);
 
   /// Materialise a new sandbox from a snapshot. `next_id` is assigned to
-  /// the restored sandbox.
-  [[nodiscard]] RestoreResult restore(const Snapshot& snapshot,
-                                      sched::SandboxId next_id);
+  /// the restored sandbox. Fails with kInternal when the image's FNV-1a
+  /// checksum does not match the one recorded at take() time (on-disk
+  /// corruption in a real deployment; the snapshot.restore.corrupt fault
+  /// site injects it here).
+  [[nodiscard]] util::Expected<RestoreResult> restore(const Snapshot& snapshot,
+                                                      sched::SandboxId next_id);
 
   /// FNV-1a over the memory image; restore verifies integrity with it.
   [[nodiscard]] static std::uint64_t compute_checksum(

@@ -92,9 +92,23 @@ TEST_F(InvokerTest, MixedFunctionsAndModes) {
 }
 
 TEST_F(InvokerTest, ErrorsSurfaceInOutcomes) {
-  Invoker invoker(platform_, 2);
-  invoker.submit(filter_, filter_request(), StartMode::kWarm);  // empty pool
-  invoker.submit(999, filter_request(), StartMode::kCold);      // unknown fn
+  // Ladder off so the empty-pool warm start surfaces its raw error
+  // instead of demoting to a colder rung.
+  PlatformConfig config = make_config();
+  config.degradation.enabled = false;
+  Platform platform(config);
+  FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.name = "filter-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  const FunctionId filter = *platform.registry().add(std::move(spec));
+
+  Invoker invoker(platform, 2);
+  invoker.submit(filter, filter_request(), StartMode::kWarm);  // empty pool
+  invoker.submit(999, filter_request(), StartMode::kCold);     // unknown fn
   const auto outcomes = invoker.drain();
   ASSERT_EQ(outcomes.size(), 2u);
   for (const auto& outcome : outcomes) {

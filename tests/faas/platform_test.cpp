@@ -79,10 +79,39 @@ TEST_F(PlatformTest, RestoreStartUsesSnapshot) {
   EXPECT_GT(record->init_time, util::kMicrosecond);
 }
 
-TEST_F(PlatformTest, WarmWithoutPoolFails) {
-  const auto record = platform_.invoke(ull_id_, filter_request(), StartMode::kWarm);
+TEST_F(PlatformTest, WarmWithoutPoolFailsWhenLadderDisabled) {
+  // With the degradation ladder off, an empty pool surfaces the raw error.
+  PlatformConfig config = make_config();
+  config.degradation.enabled = false;
+  Platform platform(config);
+  FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.name = "filter-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  const FunctionId id = *platform.registry().add(std::move(spec));
+  const auto record = platform.invoke(id, filter_request(), StartMode::kWarm);
   EXPECT_FALSE(record.has_value());
   EXPECT_EQ(record.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST_F(PlatformTest, WarmWithoutPoolDemotesToColderRung) {
+  // Default config: the ladder catches the pool miss and demotes
+  // kWarm → kRestore, which succeeds via a fresh snapshot.
+  const auto record =
+      platform_.invoke(ull_id_, filter_request(), StartMode::kWarm);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->requested, StartMode::kWarm);
+  EXPECT_EQ(record->mode, StartMode::kRestore);
+  EXPECT_EQ(record->fallbacks, 1u);
+  EXPECT_GT(record->retry_backoff, 0);
+  const auto counters = platform_.counters();
+  EXPECT_EQ(counters.rung_fallbacks, 1u);
+  EXPECT_EQ(counters.degraded_invocations, 1u);
+  EXPECT_EQ(counters.restore, 1u);  // counted by completion mode
+  EXPECT_EQ(counters.warm, 0u);
 }
 
 TEST_F(PlatformTest, ProvisionFillsPool) {

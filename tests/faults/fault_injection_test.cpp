@@ -1,0 +1,135 @@
+// Unit tests for the seeded fault injector itself: arming modes, fire
+// bounds, per-site statistics, RAII disarming, and seed-replay
+// determinism. The ladder tests build on these semantics, so they are
+// pinned here first.
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace horse::util {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::global().reset(); }
+  void TearDown() override { FaultInjector::global().reset(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedSiteNeverFires) {
+  EXPECT_FALSE(HORSE_FAULT_POINT("nothing.armed.here"));
+  EXPECT_EQ(FaultInjector::global().total_hits(), 0u);
+  EXPECT_EQ(FaultInjector::global().total_fires(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ArmAlwaysFiresEveryHit) {
+  auto fault = ScopedFault::always("site.a");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(HORSE_FAULT_POINT("site.a"));
+  }
+  const auto stats = FaultInjector::global().site_stats("site.a");
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.fires, 5u);
+}
+
+TEST_F(FaultInjectorTest, MaxFiresBoundsAlwaysMode) {
+  auto fault = ScopedFault::always("site.bounded", /*max_fires=*/2);
+  EXPECT_TRUE(HORSE_FAULT_POINT("site.bounded"));
+  EXPECT_TRUE(HORSE_FAULT_POINT("site.bounded"));
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.bounded"));
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.bounded"));
+  const auto stats = FaultInjector::global().site_stats("site.bounded");
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.fires, 2u);
+}
+
+TEST_F(FaultInjectorTest, NthFiresExactlyOnNthHit) {
+  auto fault = ScopedFault::nth("site.nth", /*nth=*/3);
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.nth"));
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.nth"));
+  EXPECT_TRUE(HORSE_FAULT_POINT("site.nth"));
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.nth"));  // default max_fires = 1
+  const auto stats = FaultInjector::global().site_stats("site.nth");
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST_F(FaultInjectorTest, SitesAreIndependent) {
+  auto fault_a = ScopedFault::always("site.x");
+  EXPECT_TRUE(HORSE_FAULT_POINT("site.x"));
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.y"));
+  // Hits on unarmed sites are not recorded anywhere.
+  EXPECT_EQ(FaultInjector::global().total_hits(), 1u);
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
+  {
+    auto fault = ScopedFault::always("site.scoped");
+    EXPECT_TRUE(HORSE_FAULT_POINT("site.scoped"));
+  }
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.scoped"));
+  EXPECT_TRUE(FaultInjector::global().armed_sites().empty());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroAndOneAreDegenerate) {
+  auto never = ScopedFault::probability("site.never", 0.0);
+  auto always = ScopedFault::probability("site.sure", 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(HORSE_FAULT_POINT("site.never"));
+    EXPECT_TRUE(HORSE_FAULT_POINT("site.sure"));
+  }
+}
+
+TEST_F(FaultInjectorTest, ProbabilityCampaignReplaysFromSeed) {
+  auto run_campaign = [] {
+    FaultInjector::global().reset();
+    FaultInjector::global().reseed(0xfeedULL);
+    auto fault = ScopedFault::probability("site.p", 0.3);
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(HORSE_FAULT_POINT("site.p"));
+    }
+    return fired;
+  };
+  const auto first = run_campaign();
+  const auto second = run_campaign();
+  EXPECT_EQ(first, second);
+  // The stream is not degenerate: some hits fire, some don't.
+  bool any_true = false;
+  bool any_false = false;
+  for (const bool b : first) {
+    (b ? any_true : any_false) = true;
+  }
+  EXPECT_TRUE(any_true);
+  EXPECT_TRUE(any_false);
+}
+
+TEST_F(FaultInjectorTest, ArmedSitesSnapshotCarriesCounters) {
+  auto fault_a = ScopedFault::always("site.one");
+  auto fault_b = ScopedFault::nth("site.two", 5);
+  (void)HORSE_FAULT_POINT("site.one");
+  (void)HORSE_FAULT_POINT("site.two");
+  const auto sites = FaultInjector::global().armed_sites();
+  ASSERT_EQ(sites.size(), 2u);
+  // std::map order: "site.one" < "site.two".
+  EXPECT_EQ(sites[0].first, "site.one");
+  EXPECT_EQ(sites[0].second.fires, 1u);
+  EXPECT_EQ(sites[1].first, "site.two");
+  EXPECT_EQ(sites[1].second.hits, 1u);
+  EXPECT_EQ(sites[1].second.fires, 0u);
+}
+
+TEST_F(FaultInjectorTest, ResetClearsEverything) {
+  FaultInjector::global().arm_always("site.gone");
+  (void)HORSE_FAULT_POINT("site.gone");
+  FaultInjector::global().reset();
+  EXPECT_FALSE(HORSE_FAULT_POINT("site.gone"));
+  EXPECT_EQ(FaultInjector::global().total_hits(), 0u);
+  EXPECT_EQ(FaultInjector::global().total_fires(), 0u);
+  EXPECT_TRUE(FaultInjector::global().armed_sites().empty());
+}
+
+}  // namespace
+}  // namespace horse::util

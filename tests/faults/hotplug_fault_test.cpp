@@ -1,0 +1,152 @@
+// Hot(un)plug incremental repair of the 𝒫²𝒮ℳ index under injected
+// faults. The invariants:
+//
+//   * a failed incremental insert rolls the added vCPU back out, leaving
+//     sandbox and index consistent (the next resume takes the fast path);
+//   * a failed incremental remove leaves the vCPU in place;
+//   * a poisoned index is cured by the rebuild the hotplug path runs
+//     before its insert.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/horse_resume.hpp"
+#include "util/fault_injection.hpp"
+
+namespace horse {
+namespace {
+
+using util::FaultInjector;
+using util::ScopedFault;
+
+class HotplugFaultTest : public ::testing::Test {
+ protected:
+  HotplugFaultTest()
+      : topology_(8), engine_(topology_, vmm::VmmProfile::firecracker()) {
+    FaultInjector::global().reset();
+  }
+  void TearDown() override { FaultInjector::global().reset(); }
+
+  std::unique_ptr<vmm::Sandbox> paused_ull_sandbox(std::uint32_t vcpus) {
+    vmm::SandboxConfig config;
+    config.name = "hp-ull";
+    config.num_vcpus = vcpus;
+    config.memory_mb = 1;
+    config.ull = true;
+    auto sandbox = std::make_unique<vmm::Sandbox>(next_id_++, config);
+    EXPECT_TRUE(engine_.start(*sandbox).is_ok());
+    EXPECT_TRUE(engine_.pause(*sandbox).is_ok());
+    return sandbox;
+  }
+
+  sched::CpuTopology topology_;
+  core::HorseResumeEngine engine_;
+  sched::SandboxId next_id_ = 1;
+};
+
+TEST_F(HotplugFaultTest, FailedInsertRollsBackAddedVcpu) {
+  auto sandbox = paused_ull_sandbox(3);
+  {
+    auto fault = ScopedFault::nth("p2sm.insert.fault", 1);
+    const util::Status status = engine_.hotplug_vcpu(*sandbox);
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  }
+  // Rolled back: the sandbox never grew, the merge list is intact.
+  EXPECT_EQ(sandbox->num_vcpus(), 3u);
+  EXPECT_EQ(sandbox->merge_vcpus().size(), 3u);
+  EXPECT_EQ(sandbox->config().num_vcpus, 3u);
+
+  // The index survived untouched: the resume still takes the O(1) path.
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  EXPECT_EQ(topology_.queue(7).size(), 3u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  EXPECT_EQ(engine_.degradation_stats().fallback_merges, 0u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HotplugFaultTest, HotplugRetriesCleanlyAfterFault) {
+  auto sandbox = paused_ull_sandbox(2);
+  {
+    auto fault = ScopedFault::nth("p2sm.insert.fault", 1);
+    EXPECT_FALSE(engine_.hotplug_vcpu(*sandbox).is_ok());
+  }
+  // The fault was transient: the retry succeeds and the repaired index
+  // carries all three vCPUs through a fast-path resume.
+  ASSERT_TRUE(engine_.hotplug_vcpu(*sandbox).is_ok());
+  EXPECT_EQ(sandbox->num_vcpus(), 3u);
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  EXPECT_EQ(topology_.queue(7).size(), 3u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  EXPECT_EQ(engine_.degradation_stats().fallback_merges, 0u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HotplugFaultTest, FailedRemoveLeavesVcpuInPlace) {
+  auto sandbox = paused_ull_sandbox(3);
+  {
+    auto fault = ScopedFault::nth("p2sm.remove.fault", 1);
+    const util::Status status = engine_.unplug_vcpu(*sandbox);
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  }
+  EXPECT_EQ(sandbox->num_vcpus(), 3u);
+  EXPECT_EQ(sandbox->merge_vcpus().size(), 3u);
+
+  // Retry works, and the shrunken sandbox resumes on the fast path.
+  ASSERT_TRUE(engine_.unplug_vcpu(*sandbox).is_ok());
+  EXPECT_EQ(sandbox->num_vcpus(), 2u);
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  EXPECT_EQ(topology_.queue(7).size(), 2u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  EXPECT_EQ(engine_.degradation_stats().fallback_merges, 0u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HotplugFaultTest, HotplugRebuildCuresPoisonedIndex) {
+  vmm::SandboxConfig config;
+  config.name = "hp-ull";
+  config.num_vcpus = 2;
+  config.memory_mb = 1;
+  config.ull = true;
+  auto sandbox = std::make_unique<vmm::Sandbox>(next_id_++, config);
+  ASSERT_TRUE(engine_.start(*sandbox).is_ok());
+  {
+    // Poison the index at pause-time build.
+    auto fault = ScopedFault::nth("p2sm.rebuild.corrupt_anchor", 1);
+    ASSERT_TRUE(engine_.pause(*sandbox).is_ok());
+  }
+
+  // The hotplug path refuses to trust a poisoned index: it rebuilds
+  // first (clean this time — the fault is spent), then inserts.
+  ASSERT_TRUE(engine_.hotplug_vcpu(*sandbox).is_ok());
+  EXPECT_EQ(sandbox->num_vcpus(), 3u);
+
+  // The cured index serves the fast path: no degraded resume.
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  EXPECT_EQ(topology_.queue(7).size(), 3u);
+  EXPECT_TRUE(topology_.queue(7).is_sorted());
+  const core::ResumeDegradationStats stats = engine_.degradation_stats();
+  EXPECT_EQ(stats.fallback_merges, 0u);
+  EXPECT_EQ(stats.poisoned_index_fallbacks, 0u);
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+TEST_F(HotplugFaultTest, CoalesceFactorsTrackVcpuCountAcrossFaults) {
+  auto sandbox = paused_ull_sandbox(2);
+  const double alpha_before = sandbox->coalesce().alpha_n;
+  {
+    auto fault = ScopedFault::nth("p2sm.insert.fault", 1);
+    EXPECT_FALSE(engine_.hotplug_vcpu(*sandbox).is_ok());
+  }
+  // The failed hotplug never recomputed the factors for a count that was
+  // rolled back: they still match the 2-vCPU precompute.
+  EXPECT_EQ(sandbox->coalesce().alpha_n, alpha_before);
+  ASSERT_TRUE(engine_.hotplug_vcpu(*sandbox).is_ok());
+  EXPECT_NE(sandbox->coalesce().alpha_n, alpha_before);
+  ASSERT_TRUE(engine_.resume(*sandbox).is_ok());
+  ASSERT_TRUE(engine_.destroy(*sandbox).is_ok());
+}
+
+}  // namespace
+}  // namespace horse

@@ -46,10 +46,11 @@ TEST(SnapshotTest, RoundTripPreservesMemoryImage) {
             SnapshotManager::compute_checksum(snapshot->memory_image));
 
   auto restored = manager.restore(*snapshot, 2);
-  ASSERT_NE(restored.sandbox, nullptr);
-  EXPECT_EQ(restored.sandbox->id(), 2u);
-  EXPECT_EQ(restored.sandbox->guest_memory(), memory);
-  EXPECT_EQ(SnapshotManager::compute_checksum(restored.sandbox->guest_memory()),
+  ASSERT_TRUE(restored.has_value()) << restored.status().to_report();
+  ASSERT_NE(restored->sandbox, nullptr);
+  EXPECT_EQ(restored->sandbox->id(), 2u);
+  EXPECT_EQ(restored->sandbox->guest_memory(), memory);
+  EXPECT_EQ(SnapshotManager::compute_checksum(restored->sandbox->guest_memory()),
             snapshot->checksum);
   ASSERT_TRUE(engine.destroy(sandbox).is_ok());
 }
@@ -59,14 +60,18 @@ TEST(SnapshotTest, RestoreReportsBothTimeComponents) {
   Snapshot snapshot;
   snapshot.config = small_config();
   snapshot.memory_image.resize(1024, std::byte{0});
+  // Restore verifies integrity, so a hand-built snapshot needs a checksum.
+  snapshot.checksum = SnapshotManager::compute_checksum(snapshot.memory_image);
   auto restored = manager.restore(snapshot, 5);
-  EXPECT_GE(restored.copy_time, 0);
-  EXPECT_GT(restored.modelled_time, 0);
+  ASSERT_TRUE(restored.has_value()) << restored.status().to_report();
+  EXPECT_GE(restored->copy_time, 0);
+  EXPECT_GT(restored->modelled_time, 0);
   // Modelled latency stays within ±10% of the profile constant.
   const auto nominal = VmmProfile::firecracker().snapshot_restore;
-  EXPECT_GE(restored.modelled_time, nominal * 9 / 10);
-  EXPECT_LE(restored.modelled_time, nominal * 11 / 10);
-  EXPECT_EQ(restored.total_time(), restored.copy_time + restored.modelled_time);
+  EXPECT_GE(restored->modelled_time, nominal * 9 / 10);
+  EXPECT_LE(restored->modelled_time, nominal * 11 / 10);
+  EXPECT_EQ(restored->total_time(),
+            restored->copy_time + restored->modelled_time);
 }
 
 TEST(SnapshotTest, ChecksumDetectsCorruption) {
@@ -89,9 +94,10 @@ TEST(SnapshotTest, RestoredSandboxIsStartable) {
   ASSERT_TRUE(engine.destroy(sandbox).is_ok());
 
   auto restored = manager.restore(*snapshot, 2);
-  ASSERT_TRUE(engine.start(*restored.sandbox).is_ok());
-  EXPECT_EQ(restored.sandbox->state(), SandboxState::kRunning);
-  ASSERT_TRUE(engine.destroy(*restored.sandbox).is_ok());
+  ASSERT_TRUE(restored.has_value()) << restored.status().to_report();
+  ASSERT_TRUE(engine.start(*restored->sandbox).is_ok());
+  EXPECT_EQ(restored->sandbox->state(), SandboxState::kRunning);
+  ASSERT_TRUE(engine.destroy(*restored->sandbox).is_ok());
 }
 
 TEST(BootModelTest, ColdBootAroundProfileConstant) {
