@@ -12,9 +12,14 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
     : vmm::ResumeEngine(topology, std::move(profile)),
       config_(config),
       features_(features),
-      ull_(topology, config),
+      owned_ull_(std::make_unique<UllRunQueueManager>(topology, config)),
+      ull_(owned_ull_.get()),
       coalescer_(topology.queue(0).pelt().params()) {
   config_.validate();
+  // Standalone shape: this engine serves every reserved queue.
+  for (const sched::CpuId cpu : ull_->ull_cpus()) {
+    ull_->bind_engine(cpu, this);
+  }
   if (config_.merge_mode == MergeMode::kParallel) {
     auto crew = std::make_unique<ParallelMergeCrew>(
         config_.effective_crew_size(), config_.crew_watchdog_timeout);
@@ -24,6 +29,30 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
     executor_ = std::make_unique<SequentialMergeExecutor>();
   }
 }
+
+HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
+                                     vmm::VmmProfile profile,
+                                     UllRunQueueManager& shared_manager,
+                                     sched::CpuId bound_cpu, HorseConfig config,
+                                     HorseFeatures features)
+    : vmm::ResumeEngine(topology, std::move(profile)),
+      config_(config),
+      features_(features),
+      ull_(&shared_manager),
+      coalescer_(topology.queue(0).pelt().params()) {
+  config_.validate();
+  ull_->bind_engine(bound_cpu, this);
+  if (config_.merge_mode == MergeMode::kParallel) {
+    auto crew = std::make_unique<ParallelMergeCrew>(
+        config_.effective_crew_size(), config_.crew_watchdog_timeout);
+    crew_ = crew.get();
+    executor_ = std::move(crew);
+  } else {
+    executor_ = std::make_unique<SequentialMergeExecutor>();
+  }
+}
+
+HorseResumeEngine::~HorseResumeEngine() { ull_->unbind_engine(this); }
 
 void HorseResumeEngine::arm_crew() noexcept {
   if (crew_ != nullptr) {
@@ -59,7 +88,7 @@ util::Status HorseResumeEngine::pause_locked(vmm::Sandbox& sandbox) {
 
   // §4.1.3: the target ull_runqueue is chosen when pausing, balancing by
   // the number of paused sandboxes per reserved queue.
-  const sched::CpuId cpu = ull_.assign(sandbox);
+  const sched::CpuId cpu = ull_->assign(sandbox);
   for (const auto& vcpu : sandbox.vcpus()) {
     vcpu->last_cpu = cpu;
   }
@@ -69,7 +98,7 @@ util::Status HorseResumeEngine::pause_locked(vmm::Sandbox& sandbox) {
     sandbox.coalesce() = coalescer_.precompute(sandbox.num_vcpus());
   }
   if (features_.use_p2sm) {
-    return ull_.track(sandbox);
+    return ull_->track(sandbox);
   }
   return util::Status::ok();
 }
@@ -78,8 +107,8 @@ util::Status HorseResumeEngine::hotplug_vcpu_locked(vmm::Sandbox& sandbox) {
   if (!sandbox.config().ull || !features_.use_p2sm) {
     HORSE_RETURN_IF_ERROR(ResumeEngine::hotplug_vcpu_locked(sandbox));
   } else {
-    P2smIndex* index = ull_.index_of(sandbox.id());
-    const auto assignment = ull_.assignment(sandbox.id());
+    P2smIndex* index = ull_->index_of(sandbox.id());
+    const auto assignment = ull_->assignment(sandbox.id());
     if (index == nullptr || !assignment) {
       return {util::StatusCode::kFailedPrecondition,
               "hotplug: sandbox not tracked by the ull manager"};
@@ -127,7 +156,7 @@ util::Status HorseResumeEngine::unplug_vcpu_locked(vmm::Sandbox& sandbox) {
       return {util::StatusCode::kFailedPrecondition,
               "unplug: at least one vCPU must remain"};
     }
-    P2smIndex* index = ull_.index_of(sandbox.id());
+    P2smIndex* index = ull_->index_of(sandbox.id());
     if (index == nullptr) {
       return {util::StatusCode::kFailedPrecondition,
               "unplug: sandbox not tracked by the ull manager"};
@@ -171,9 +200,10 @@ void HorseResumeEngine::run_deferred_refresh() {
   // Whatever made this resume's index untrustworthy (a foreign queue
   // mutation, injected corruption) likely staled every other index
   // targeting the same queue; rebuild them now so the NEXT resumes take
-  // the fast path again.
-  util::LockGuard guard(resume_lock_);
-  ull_.refresh();
+  // the fast path again. The manager locks itself (and each target queue)
+  // since the sharding refactor, so no resume_lock_ re-acquire: the sweep
+  // runs concurrently with other engines' resumes.
+  ull_->refresh();
   deferred_refreshes_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -189,7 +219,7 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
 
   HORSE_RETURN_IF_ERROR(run_prologue(sandbox, bd));
 
-  const auto assignment = ull_.assignment(sandbox.id());
+  const auto assignment = ull_->assignment(sandbox.id());
   if (!assignment) {
     resume_lock_.unlock();
     return assignment.status();
@@ -201,7 +231,7 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
   // --- step ④: one 𝒫²𝒮ℳ merge, degrading to the vanilla sorted walk ------
   if (features_.use_p2sm) {
     util::Stopwatch watch;
-    P2smIndex* index = ull_.index_of(sandbox.id());
+    P2smIndex* index = ull_->index_of(sandbox.id());
     if (index == nullptr) {
       resume_lock_.unlock();
       return {util::StatusCode::kFailedPrecondition,
@@ -289,13 +319,14 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
     bd.load_update = watch.elapsed();
   }
 
-  // Manager bookkeeping happens BEFORE the epilogue drops resume_lock_:
-  // untrack() mutates the ull manager's maps, which have no lock of their
-  // own — pause()/resume() on other threads read and write them under
-  // resume_lock_, so erasing after the unlock is a data race on the
-  // unordered_map buckets (caught by the tsan preset).
+  // Manager bookkeeping happens BEFORE the epilogue drops resume_lock_.
+  // The manager is internally locked now, so this is no longer about map
+  // races — it preserves the state-machine invariant that a sandbox seen
+  // as kRunning by other control-plane paths is never still tracked (its
+  // index_of() pointer would dangle once the invoker hands the sandbox to
+  // the workload).
   sandbox.coalesce().valid = false;
-  ull_.untrack(sandbox.id());
+  ull_->untrack(sandbox.id());
 
   run_epilogue(sandbox, bd);
 

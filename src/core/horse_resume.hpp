@@ -56,11 +56,25 @@ struct ResumeDegradationStats {
 
 class HorseResumeEngine final : public vmm::ResumeEngine {
  public:
+  /// Standalone engine: owns its UllRunQueueManager and binds itself to
+  /// every reserved queue. This is the pre-sharding shape, kept for tests,
+  /// benches and single-engine deployments.
   HorseResumeEngine(sched::CpuTopology& topology, vmm::VmmProfile profile,
                     HorseConfig config = {},
                     HorseFeatures features = HorseFeatures::all());
 
-  [[nodiscard]] UllRunQueueManager& ull_manager() noexcept { return ull_; }
+  /// Sharded engine: shares a platform-owned manager with its sibling
+  /// engines and binds itself to exactly one reserved queue, so HORSE
+  /// resumes on different ull_runqueues serialise on different step-②
+  /// locks. The manager must outlive the engine.
+  HorseResumeEngine(sched::CpuTopology& topology, vmm::VmmProfile profile,
+                    UllRunQueueManager& shared_manager, sched::CpuId bound_cpu,
+                    HorseConfig config = {},
+                    HorseFeatures features = HorseFeatures::all());
+
+  ~HorseResumeEngine() override;
+
+  [[nodiscard]] UllRunQueueManager& ull_manager() noexcept { return *ull_; }
   [[nodiscard]] const HorseConfig& config() const noexcept { return config_; }
   [[nodiscard]] const HorseFeatures& features() const noexcept { return features_; }
   [[nodiscard]] MergeExecutor& executor() noexcept { return *executor_; }
@@ -100,15 +114,19 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
                                      vmm::ResumeBreakdown& breakdown);
 
   /// Off-hot-path repair: when a degraded resume observed stale indexes,
-  /// re-acquire resume_lock_ AFTER the epilogue (outside the timed path)
-  /// and rebuild every stale index via the manager. The lock re-acquire
-  /// honours the PR-1 contract that the manager's maps are only touched
-  /// under resume_lock_.
+  /// rebuild every stale index via the manager AFTER the epilogue (outside
+  /// the timed path). The manager is internally locked since the sharding
+  /// refactor, so no resume_lock_ re-acquire is needed — the sweep runs
+  /// concurrently with other engines' resumes.
   void run_deferred_refresh();
 
   HorseConfig config_;
   HorseFeatures features_;
-  UllRunQueueManager ull_;
+  /// Owned in the standalone shape, null in the sharded shape; ull_ is the
+  /// manager actually used either way (declaration order matters: owned
+  /// manager before the pointer that may alias it).
+  std::unique_ptr<UllRunQueueManager> owned_ull_;
+  UllRunQueueManager* ull_ = nullptr;
   LoadCoalescer coalescer_;
   std::unique_ptr<MergeExecutor> executor_;
   ParallelMergeCrew* crew_ = nullptr;  // non-null in parallel mode

@@ -3,7 +3,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/spinlock.hpp"
+
 namespace horse::core {
+
+namespace {
+/// All map/counter mutation happens under this metered guard.
+using ManagerLock = metrics::MeteredLock<std::mutex>;
+}  // namespace
 
 UllRunQueueManager::UllRunQueueManager(sched::CpuTopology& topology,
                                        const HorseConfig& config)
@@ -19,31 +26,44 @@ UllRunQueueManager::UllRunQueueManager(sched::CpuTopology& topology,
     topology.reserve_for_ull(cpu);
     ull_cpus_.push_back(cpu);
   }
+  occupancy_.assign(ull_cpus_.size(), 0);
+}
+
+std::size_t& UllRunQueueManager::occupancy_slot(sched::CpuId cpu) {
+  for (std::size_t i = 0; i < ull_cpus_.size(); ++i) {
+    if (ull_cpus_[i] == cpu) {
+      return occupancy_[i];
+    }
+  }
+  throw std::logic_error("ull: occupancy_slot for non-reserved cpu");
 }
 
 sched::CpuId UllRunQueueManager::assign(vmm::Sandbox& sandbox) {
-  // Count paused sandboxes per reserved queue; pick the least occupied.
-  std::unordered_map<sched::CpuId, std::size_t> occupancy;
-  for (const sched::CpuId cpu : ull_cpus_) {
-    occupancy[cpu] = 0;
-  }
-  for (const auto& [id, tracked] : tracked_) {
-    ++occupancy[tracked.cpu];
-  }
-  sched::CpuId best = ull_cpus_.front();
+  ManagerLock lock(mutex_, meter_);
+  // Least-occupied reserved queue, straight from the per-queue counters.
+  std::size_t best_slot = 0;
   std::size_t best_count = std::numeric_limits<std::size_t>::max();
-  for (const sched::CpuId cpu : ull_cpus_) {
-    if (occupancy[cpu] < best_count) {
-      best = cpu;
-      best_count = occupancy[cpu];
+  for (std::size_t i = 0; i < ull_cpus_.size(); ++i) {
+    if (occupancy_[i] < best_count) {
+      best_slot = i;
+      best_count = occupancy_[i];
     }
   }
+  const sched::CpuId best = ull_cpus_[best_slot];
+  // Re-assign without an intervening untrack releases the old slot first,
+  // so the counters always sum to assignments_.size().
+  if (const auto it = assignments_.find(sandbox.id());
+      it != assignments_.end()) {
+    --occupancy_slot(it->second);
+  }
   assignments_[sandbox.id()] = best;
+  ++occupancy_[best_slot];
   return best;
 }
 
 util::Expected<sched::CpuId> UllRunQueueManager::assignment(
     sched::SandboxId id) const {
+  ManagerLock lock(mutex_, meter_);
   const auto it = assignments_.find(id);
   if (it == assignments_.end()) {
     return util::Status{util::StatusCode::kNotFound,
@@ -53,6 +73,7 @@ util::Expected<sched::CpuId> UllRunQueueManager::assignment(
 }
 
 util::Status UllRunQueueManager::track(vmm::Sandbox& sandbox) {
+  ManagerLock lock(mutex_, meter_);
   const auto it = assignments_.find(sandbox.id());
   if (it == assignments_.end()) {
     return {util::StatusCode::kFailedPrecondition,
@@ -66,20 +87,32 @@ util::Status UllRunQueueManager::track(vmm::Sandbox& sandbox) {
   tracked.sandbox = &sandbox;
   tracked.cpu = it->second;
   tracked.index = std::make_unique<P2smIndex>();
-  tracked.index->rebuild(sandbox.merge_vcpus(), topology_.queue(tracked.cpu));
+  {
+    // The build reads the target queue's structure; hold its lock so a
+    // concurrent resume splicing into the same queue cannot interleave.
+    sched::RunQueue& queue = topology_.queue(tracked.cpu);
+    util::LockGuard guard(queue.lock());
+    tracked.index->rebuild(sandbox.merge_vcpus(), queue);
+  }
   tracked_[sandbox.id()] = std::move(tracked);
   return util::Status::ok();
 }
 
 void UllRunQueueManager::untrack(sched::SandboxId id) {
+  ManagerLock lock(mutex_, meter_);
   tracked_.erase(id);
-  assignments_.erase(id);
+  if (const auto it = assignments_.find(id); it != assignments_.end()) {
+    --occupancy_slot(it->second);
+    assignments_.erase(it);
+  }
 }
 
 std::size_t UllRunQueueManager::refresh() {
+  ManagerLock lock(mutex_, meter_);
   std::size_t rebuilt = 0;
   for (auto& [id, tracked] : tracked_) {
     sched::RunQueue& queue = topology_.queue(tracked.cpu);
+    util::LockGuard guard(queue.lock());
     if (!tracked.index->fresh(queue)) {
       tracked.index->rebuild(tracked.sandbox->merge_vcpus(), queue);
       ++rebuilt;
@@ -89,11 +122,71 @@ std::size_t UllRunQueueManager::refresh() {
 }
 
 P2smIndex* UllRunQueueManager::index_of(sched::SandboxId id) {
+  ManagerLock lock(mutex_, meter_);
   const auto it = tracked_.find(id);
   return it == tracked_.end() ? nullptr : it->second.index.get();
 }
 
+std::size_t UllRunQueueManager::tracked_count() const {
+  ManagerLock lock(mutex_, meter_);
+  return tracked_.size();
+}
+
+std::vector<UllQueueOccupancy> UllRunQueueManager::occupancy() const {
+  ManagerLock lock(mutex_, meter_);
+  std::vector<UllQueueOccupancy> out;
+  out.reserve(ull_cpus_.size());
+  for (std::size_t i = 0; i < ull_cpus_.size(); ++i) {
+    out.push_back({ull_cpus_[i], occupancy_[i]});
+  }
+  return out;
+}
+
+void UllRunQueueManager::bind_engine(sched::CpuId cpu,
+                                     HorseResumeEngine* engine) {
+  ManagerLock lock(mutex_, meter_);
+  engines_[cpu] = engine;
+}
+
+void UllRunQueueManager::unbind_engine(const HorseResumeEngine* engine) {
+  ManagerLock lock(mutex_, meter_);
+  for (auto it = engines_.begin(); it != engines_.end();) {
+    it = it->second == engine ? engines_.erase(it) : std::next(it);
+  }
+}
+
+HorseResumeEngine* UllRunQueueManager::engine_for(sched::CpuId cpu) const {
+  ManagerLock lock(mutex_, meter_);
+  if (const auto it = engines_.find(cpu); it != engines_.end()) {
+    return it->second;
+  }
+  // Unbound queue (grown after engine construction): any bound engine is
+  // correct — its step-② lock is wider than necessary, never narrower.
+  for (const sched::CpuId candidate : ull_cpus_) {
+    if (const auto it = engines_.find(candidate); it != engines_.end()) {
+      return it->second;
+    }
+  }
+  return nullptr;
+}
+
+HorseResumeEngine* UllRunQueueManager::engine_for_sandbox(
+    sched::SandboxId id) const {
+  sched::CpuId cpu;
+  {
+    ManagerLock lock(mutex_, meter_);
+    const auto it = assignments_.find(id);
+    if (it == assignments_.end()) {
+      cpu = ull_cpus_.front();
+    } else {
+      cpu = it->second;
+    }
+  }
+  return engine_for(cpu);
+}
+
 util::Status UllRunQueueManager::grow() {
+  ManagerLock lock(mutex_, meter_);
   // Reserved queues are allocated downward from the top CPU; the next
   // candidate is just below the last one we hold.
   const sched::CpuId candidate = ull_cpus_.back() - 1;
@@ -104,20 +197,20 @@ util::Status UllRunQueueManager::grow() {
   }
   topology_.reserve_for_ull(candidate);
   ull_cpus_.push_back(candidate);
+  occupancy_.push_back(0);
   return util::Status::ok();
 }
 
 util::Status UllRunQueueManager::shrink() {
+  ManagerLock lock(mutex_, meter_);
   if (ull_cpus_.size() <= 1) {
     return {util::StatusCode::kFailedPrecondition,
             "ull: at least one ull_runqueue must remain"};
   }
   const sched::CpuId victim = ull_cpus_.back();
-  for (const auto& [id, cpu] : assignments_) {
-    if (cpu == victim) {
-      return {util::StatusCode::kFailedPrecondition,
-              "ull: paused sandboxes still assigned to the victim queue"};
-    }
+  if (occupancy_.back() != 0) {
+    return {util::StatusCode::kFailedPrecondition,
+            "ull: paused sandboxes still assigned to the victim queue"};
   }
   if (!topology_.queue(victim).empty()) {
     return {util::StatusCode::kFailedPrecondition,
@@ -125,10 +218,12 @@ util::Status UllRunQueueManager::shrink() {
   }
   topology_.unreserve(victim);
   ull_cpus_.pop_back();
+  occupancy_.pop_back();
   return util::Status::ok();
 }
 
-std::size_t UllRunQueueManager::total_index_bytes() const noexcept {
+std::size_t UllRunQueueManager::total_index_bytes() const {
+  ManagerLock lock(mutex_, meter_);
   std::size_t total = 0;
   for (const auto& [id, tracked] : tracked_) {
     total += tracked.index->memory_bytes() + sizeof(Tracked);

@@ -7,30 +7,51 @@
 //   * assign each pausing uLL sandbox to the reserved queue with the
 //     fewest paused sandboxes ("the choice … considers the number of
 //     paused sandboxes already associated with each ull_runqueue to
-//     perform load balancing"),
+//     perform load balancing"), tracked with per-queue occupancy counters
+//     maintained on assign/untrack — no per-call scan of the tracked set,
 //   * own one P2smIndex per paused sandbox and keep it fresh whenever its
 //     target queue changes structurally ("the updates are performed each
-//     time ull_runqueue is updated").
+//     time ull_runqueue is updated"),
+//   * map each reserved queue to the HorseResumeEngine bound to it, so
+//     the sharded control plane can route a resume to the engine whose
+//     step-② lock serialises exactly that queue and nothing else.
 //
-// Thread-safety: the manager has NO internal locking. Every member that
-// touches tracked_/assignments_ must be called with the owning engine's
-// resume_lock_ held (HorseResumeEngine serialises pause/resume/hotplug
-// through that lock; the tsan preset's concurrent stress tests enforce
-// this contract).
+// Thread-safety: the manager IS internally locked (this changed with the
+// sharded control plane; it used to rely on a single engine's
+// resume_lock_). A fine-grained mutex guards the assignment/tracking maps
+// and the occupancy counters; every P2smIndex build/rebuild additionally
+// holds the target queue's lock, so index mutation is serialised against
+// concurrent splices into that queue. Raw pointers handed out by
+// index_of() stay valid only while the sandbox remains tracked — callers
+// rely on the platform invariant that a sandbox is owned by exactly one
+// invocation at a time (see DESIGN.md §6, cross-shard invariants).
+//
+// Lock hierarchy (never acquire right-to-left):
+//   shard mutex → engine resume_lock_ → manager mutex → queue lock.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/p2sm.hpp"
+#include "metrics/contention.hpp"
 #include "sched/topology.hpp"
 #include "util/status.hpp"
 #include "vmm/sandbox.hpp"
 
 namespace horse::core {
+
+class HorseResumeEngine;
+
+/// Paused-sandbox count of one reserved queue (occupancy snapshot).
+struct UllQueueOccupancy {
+  sched::CpuId cpu = 0;
+  std::size_t paused = 0;
+};
 
 class UllRunQueueManager {
  public:
@@ -42,7 +63,8 @@ class UllRunQueueManager {
     return ull_cpus_;
   }
 
-  /// Pause-time assignment: least-occupied reserved queue.
+  /// Pause-time assignment: least-occupied reserved queue, decided from
+  /// the per-queue counters (O(#queues), not O(#tracked)).
   [[nodiscard]] sched::CpuId assign(vmm::Sandbox& sandbox);
 
   /// The queue a paused sandbox was assigned to.
@@ -50,28 +72,55 @@ class UllRunQueueManager {
       sched::SandboxId id) const;
 
   /// Register a paused sandbox and build its 𝒫²𝒮ℳ index against its
-  /// assigned queue. Requires merge_vcpus to be populated (post-pause).
+  /// assigned queue (under that queue's lock). Requires merge_vcpus to be
+  /// populated (post-pause).
   util::Status track(vmm::Sandbox& sandbox);
 
-  /// Drop tracking (after resume or destroy).
+  /// Drop tracking (after resume or destroy); releases the sandbox's
+  /// occupancy slot.
   void untrack(sched::SandboxId id);
 
-  /// Rebuild every index whose target queue changed since it was built.
-  /// In a hypervisor this runs from the queue-mutation path; callers here
-  /// invoke it from scheduler ticks / after any ull queue mutation.
+  /// Rebuild every index whose target queue changed since it was built,
+  /// taking each target queue's lock around its rebuild. In a hypervisor
+  /// this runs from the queue-mutation path; callers here invoke it from
+  /// scheduler ticks / deferred-refresh sweeps after a degraded resume.
   /// Returns the number of indexes rebuilt.
   std::size_t refresh();
 
-  /// The index for a paused sandbox; nullptr when untracked.
+  /// The index for a paused sandbox; nullptr when untracked. See the
+  /// header comment for the pointer-validity contract.
   [[nodiscard]] P2smIndex* index_of(sched::SandboxId id);
 
-  [[nodiscard]] std::size_t tracked_count() const noexcept {
-    return tracked_.size();
-  }
+  [[nodiscard]] std::size_t tracked_count() const;
 
   /// Total heap footprint of all precomputed structures (§5.2 memory
   /// overhead; the paper measures ≈528 KB for 10 paused uLL sandboxes).
-  [[nodiscard]] std::size_t total_index_bytes() const noexcept;
+  [[nodiscard]] std::size_t total_index_bytes() const;
+
+  /// Per-queue paused-sandbox counters (control-plane observability; the
+  /// macro throughput bench reports these next to its scaling numbers).
+  [[nodiscard]] std::vector<UllQueueOccupancy> occupancy() const;
+
+  /// Acquisition accounting for the manager's internal mutex.
+  [[nodiscard]] metrics::ContentionStats contention() const noexcept {
+    return meter_.snapshot();
+  }
+
+  // --- engine-per-queue binding (sharded control plane) -------------------
+
+  /// Bind `engine` as the resume engine owning `cpu`'s queue. Engines
+  /// bind themselves at construction and unbind at destruction.
+  void bind_engine(sched::CpuId cpu, HorseResumeEngine* engine);
+  void unbind_engine(const HorseResumeEngine* engine);
+
+  /// The engine bound to a queue; falls back to the first bound engine
+  /// when `cpu` has no binding (e.g. a queue added by grow()), nullptr
+  /// when no engine is bound at all.
+  [[nodiscard]] HorseResumeEngine* engine_for(sched::CpuId cpu) const;
+
+  /// The engine owning the queue a paused sandbox was assigned to, or the
+  /// fallback engine when the sandbox is unassigned.
+  [[nodiscard]] HorseResumeEngine* engine_for_sandbox(sched::SandboxId id) const;
 
   // --- adaptive scaling (§4.1.3: "In the case of a high frequency of uLL
   // workload triggers, we can increase the number of ull_runqueue") ------
@@ -92,10 +141,19 @@ class UllRunQueueManager {
     std::unique_ptr<P2smIndex> index;
   };
 
+  [[nodiscard]] std::size_t& occupancy_slot(sched::CpuId cpu);
+
   sched::CpuTopology& topology_;
+  mutable std::mutex mutex_;
+  mutable metrics::ContentionMeter meter_;
   std::vector<sched::CpuId> ull_cpus_;
+  /// Paused-sandbox count per reserved queue, parallel to ull_cpus_;
+  /// updated on assign/untrack (and re-assign), consulted by assign() and
+  /// shrink() instead of scanning tracked_.
+  std::vector<std::size_t> occupancy_;
   std::unordered_map<sched::SandboxId, Tracked> tracked_;
   std::unordered_map<sched::SandboxId, sched::CpuId> assignments_;
+  std::unordered_map<sched::CpuId, HorseResumeEngine*> engines_;
 };
 
 }  // namespace horse::core

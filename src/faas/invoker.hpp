@@ -3,17 +3,32 @@
 // FaaS gateways accept triggers concurrently and queue them toward the
 // control plane; Invoker is that layer over Platform: submissions from
 // any thread fan out to a worker pool, outcomes (status + record) are
-// collected for later draining. The platform's control-plane mutex
-// serializes the actual invocations — what the Invoker adds is admission,
-// backpressure accounting, and a place to observe end-to-end queueing.
+// collected for later draining.
+//
+// Workers are SHARD-AFFINE: a submission for function F is routed to
+// worker `platform.shard_of(F) % workers`, so every invocation of F flows
+// through one worker and lands on F's control-plane shard without
+// fighting other functions' workers for it. With >= as many workers as
+// active shards, the worker pool realises the sharded control plane's
+// parallelism: different functions execute on different threads against
+// different shard mutexes. (The old design pushed every task through one
+// shared queue into a platform-wide mutex; the workers only ever took
+// turns.)
+//
+// Thread-safety: submit() may be called from any thread; drain() blocks
+// until every accepted submission has completed and is the only way
+// outcomes are read back, so it must not race other drain() calls.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "faas/platform.hpp"
-#include "util/thread_pool.hpp"
 
 namespace horse::faas {
 
@@ -27,51 +42,54 @@ class Invoker {
     util::Nanos queueing = 0;  // submit-to-start wait (monotonic clock)
   };
 
-  Invoker(Platform& platform, std::size_t workers)
-      : platform_(platform), pool_(workers) {}
+  Invoker(Platform& platform, std::size_t workers);
+  ~Invoker();
 
   Invoker(const Invoker&) = delete;
   Invoker& operator=(const Invoker&) = delete;
 
-  /// Fire-and-collect: enqueue an invocation. Thread-safe.
-  void submit(FunctionId function, workloads::Request request, StartMode mode) {
-    submitted_.fetch_add(1, std::memory_order_relaxed);
-    const util::Nanos enqueued_at = util::monotonic_now();
-    pool_.submit([this, function, request = std::move(request), mode,
-                  enqueued_at]() mutable {
-      Outcome outcome;
-      outcome.function = function;
-      outcome.mode = mode;
-      outcome.queueing = util::monotonic_now() - enqueued_at;
-      auto result = platform_.invoke(function, request, mode);
-      if (result) {
-        outcome.record = std::move(*result);
-      } else {
-        outcome.status = result.status();
-      }
-      std::lock_guard lock(outcomes_mutex_);
-      outcomes_.push_back(std::move(outcome));
-    });
-  }
+  /// Fire-and-collect: enqueue an invocation on the worker owning the
+  /// function's shard. Takes the request by value and moves it end-to-end
+  /// (task queue → Platform::invoke → workload). Thread-safe.
+  void submit(FunctionId function, workloads::Request request, StartMode mode);
 
   /// Wait for all submitted invocations and take their outcomes.
-  [[nodiscard]] std::vector<Outcome> drain() {
-    pool_.wait_idle();
-    std::lock_guard lock(outcomes_mutex_);
-    std::vector<Outcome> out;
-    out.swap(outcomes_);
-    return out;
-  }
+  [[nodiscard]] std::vector<Outcome> drain();
 
   [[nodiscard]] std::uint64_t submitted() const noexcept {
     return submitted_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
  private:
+  struct Task {
+    FunctionId function = 0;
+    StartMode mode = StartMode::kCold;
+    workloads::Request request;
+    util::Nanos enqueued_at = 0;
+  };
+
+  /// One worker: private task queue + outcome list, so the only
+  /// cross-thread touch points are the queue mutex (per worker) and the
+  /// shard mutex inside Platform::invoke.
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable work_available;
+    std::condition_variable idle;
+    std::deque<Task> tasks;
+    std::vector<Outcome> outcomes;
+    bool busy = false;
+    bool shutting_down = false;
+    std::jthread thread;  // last: joins before the queue state dies
+  };
+
+  void worker_loop(Worker& worker);
+
   Platform& platform_;
-  util::ThreadPool pool_;
-  std::mutex outcomes_mutex_;
-  std::vector<Outcome> outcomes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> submitted_{0};
 };
 

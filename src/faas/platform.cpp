@@ -1,100 +1,150 @@
 #include "faas/platform.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "util/dcheck.hpp"
 
 namespace horse::faas {
 
+namespace {
+using ShardLock = metrics::MeteredLock<std::mutex>;
+}  // namespace
+
 Platform::Platform(PlatformConfig config)
-    : config_(std::move(config)),
-      topology_(config_.num_cpus),
-      boot_(config_.profile, config_.seed + 1),
-      snapshots_(config_.profile, config_.seed + 2),
-      pool_(config_.warm_pool),
-      keep_alive_policy_(config_.keep_alive_policy),
-      rng_(config_.seed + 3) {
+    : config_(std::move(config)), topology_(config_.num_cpus) {
+  ull_manager_ =
+      std::make_unique<core::UllRunQueueManager>(topology_, config_.horse);
   vanilla_ = std::make_unique<vmm::ResumeEngine>(topology_, config_.profile);
-  horse_ = std::make_unique<core::HorseResumeEngine>(topology_, config_.profile,
-                                                     config_.horse);
+  // One HORSE engine per reserved queue: resumes targeting different
+  // ull_runqueues serialise on different step-② locks.
+  for (const sched::CpuId cpu : ull_manager_->ull_cpus()) {
+    horse_engines_.push_back(std::make_unique<core::HorseResumeEngine>(
+        topology_, config_.profile, *ull_manager_, cpu, config_.horse));
+  }
+  if (config_.profile.kind == vmm::VmmKind::kXen) {
+    // One control-plane store for all engines: a pause recorded through
+    // engine A must satisfy a resume sanity check through engine B. The
+    // store locks itself.
+    auto store = std::make_shared<vmm::XenStore>();
+    vanilla_->use_shared_xenstore(store);
+    for (auto& engine : horse_engines_) {
+      engine->use_shared_xenstore(store);
+    }
+  }
+  const std::size_t num_shards =
+      config_.control_shards != 0
+          ? config_.control_shards
+          : std::max<std::size_t>(8, config_.num_cpus);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    // Disjoint seed windows per shard keep the streams independent while
+    // the whole platform stays reproducible from config.seed.
+    shards_.push_back(std::make_unique<ControlShard>(
+        config_, config_.seed + 16 * static_cast<std::uint64_t>(i)));
+  }
 }
 
-void Platform::destroy_pooled(vmm::Sandbox& sandbox) {
+void Platform::destroy_pooled(ControlShard& shard, vmm::Sandbox& sandbox) {
   // Proper teardown order for a pool-owned sandbox: drop the fast-path
   // tracking first (the index references the sandbox's merge_vcpus), then
-  // dequeue/offline the vCPUs, then forget its health history.
-  horse_->ull_manager().untrack(sandbox.id());
-  (void)horse_->destroy(sandbox);
-  resume_failures_.erase(sandbox.id());
+  // dequeue/offline the vCPUs, then forget its health history. destroy()
+  // is engine-agnostic, so the vanilla engine serves every sandbox.
+  ull_manager_->untrack(sandbox.id());
+  (void)vanilla_->destroy(sandbox);
+  shard.resume_failures.erase(sandbox.id());
 }
 
 void Platform::advance_time(util::Nanos delta) {
-  std::lock_guard lock(control_mutex_);
-  logical_now_ += delta;
-  if (config_.adaptive_keep_alive) {
-    // Refresh per-function keep-alive windows from the idle histograms
-    // before deciding evictions.
-    for (FunctionId id = 0; id < registry_.size(); ++id) {
-      const KeepAliveDecision decision = keep_alive_policy_.decide(id);
-      pool_.set_keep_alive_override(id, decision.keep_alive);
+  const util::Nanos now =
+      logical_now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  const std::size_t num_functions = registry_.size();
+  // Shards are walked independently — no global pause of the control
+  // plane; invocations on other shards proceed while this one evicts.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ControlShard& shard = *shards_[s];
+    ShardLock lock(shard.mutex, shard.meter);
+    if (config_.adaptive_keep_alive) {
+      // Functions owned by shard s are exactly {s, s+N, s+2N, ...}.
+      for (FunctionId id = static_cast<FunctionId>(s); id < num_functions;
+           id += static_cast<FunctionId>(shards_.size())) {
+        const KeepAliveDecision decision = shard.keep_alive.decide(id);
+        shard.pool.set_keep_alive_override(id, decision.keep_alive);
+      }
+    }
+    for (auto& sandbox : shard.pool.evict_expired(now)) {
+      destroy_pooled(shard, *sandbox);
+      // unique_ptr destruction frees the sandbox after dequeueing.
     }
   }
-  for (auto& sandbox : pool_.evict_expired(logical_now_)) {
-    destroy_pooled(*sandbox);
-    // unique_ptr destruction frees the sandbox after dequeueing.
-  }
 }
 
-util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::make_sandbox(
-    const FunctionSpec& spec) {
-  auto sandbox =
-      std::make_unique<vmm::Sandbox>(next_sandbox_id_++, spec.sandbox);
-  return sandbox;
+std::unique_ptr<vmm::Sandbox> Platform::make_sandbox(const FunctionSpec& spec) {
+  return std::make_unique<vmm::Sandbox>(
+      next_sandbox_id_.fetch_add(1, std::memory_order_relaxed), spec.sandbox);
 }
 
-util::Status Platform::pause_and_pool(FunctionId function,
+util::Status Platform::pause_and_pool(ControlShard& shard,
+                                      std::size_t shard_index,
+                                      FunctionId function,
                                       std::unique_ptr<vmm::Sandbox> sandbox) {
-  // Pause through the HORSE engine: uLL sandboxes get their queue
-  // assignment, coalescing precompute, and 𝒫²𝒮ℳ index rebuilt so the next
-  // kHorse resume is fast-path-ready; non-uLL sandboxes take the vanilla
-  // pause inside the same call.
-  HORSE_RETURN_IF_ERROR(horse_->pause(*sandbox));
+  // uLL sandboxes pause through a HORSE engine so they get their queue
+  // assignment, coalescing precompute, and 𝒫²𝒮ℳ index and the next kHorse
+  // resume is fast-path-ready; plain sandboxes take the vanilla pause.
+  if (sandbox->config().ull) {
+    HORSE_RETURN_IF_ERROR(horse_affine(shard_index).pause(*sandbox));
+  } else {
+    HORSE_RETURN_IF_ERROR(vanilla_->pause(*sandbox));
+  }
   std::unique_ptr<vmm::Sandbox> rejected;
   util::Status status =
-      pool_.put(function, std::move(sandbox), logical_now_, &rejected);
+      shard.pool.put(function, std::move(sandbox), logical_now(), &rejected);
   if (!status.is_ok() && rejected != nullptr) {
     // The pool refused (per-function cap): tear the sandbox down fully
     // instead of silently dropping it — its vCPUs are parked on
     // merge_vcpus and the ull manager may hold an index into them.
-    destroy_pooled(*rejected);
-    ++counters_.pool_overflow_destroyed;
+    destroy_pooled(shard, *rejected);
+    ++shard.counters.pool_overflow_destroyed;
   }
   return status;
 }
 
 util::Status Platform::provision(FunctionId function, std::size_t count) {
-  std::lock_guard lock(control_mutex_);
+  const std::size_t shard_index = shard_of(function);
+  ControlShard& s = *shards_[shard_index];
+  ShardLock lock(s.mutex, s.meter);
   const auto spec = registry_.find(function);
   if (!spec) {
     return spec.status();
   }
   for (std::size_t i = 0; i < count; ++i) {
     auto sandbox = make_sandbox(**spec);
-    if (!sandbox) {
-      return sandbox.status();
+    if ((*spec)->sandbox.ull) {
+      HORSE_RETURN_IF_ERROR(horse_affine(shard_index).start(*sandbox));
+    } else {
+      HORSE_RETURN_IF_ERROR(vanilla_->start(*sandbox));
     }
-    HORSE_RETURN_IF_ERROR(horse_->start(**sandbox));
-    HORSE_RETURN_IF_ERROR(pause_and_pool(function, std::move(*sandbox)));
+    HORSE_RETURN_IF_ERROR(
+        pause_and_pool(s, shard_index, function, std::move(sandbox)));
   }
-  pool_.set_provisioned_floor(function, count);
+  s.pool.set_provisioned_floor(function, count);
   return util::Status::ok();
 }
 
 util::Status Platform::ensure_snapshot(FunctionId function) {
-  std::lock_guard lock(control_mutex_);
-  return ensure_snapshot_locked(function);
+  const std::size_t shard_index = shard_of(function);
+  ControlShard& s = *shards_[shard_index];
+  ShardLock lock(s.mutex, s.meter);
+  return ensure_snapshot_on(s, shard_index, function);
 }
 
-util::Status Platform::ensure_snapshot_locked(FunctionId function) {
-  if (snapshot_store_.contains(function)) {
+util::Status Platform::ensure_snapshot_on(ControlShard& shard,
+                                          std::size_t shard_index,
+                                          FunctionId function) {
+  // Ensure-once is shard-local: the function's snapshot lives only in its
+  // owning shard's store, and the shard mutex (already held) makes the
+  // check-then-create atomic.
+  if (shard.snapshot_store.contains(function)) {
     return util::Status::ok();
   }
   const auto spec = registry_.find(function);
@@ -102,114 +152,138 @@ util::Status Platform::ensure_snapshot_locked(FunctionId function) {
     return spec.status();
   }
   auto sandbox = make_sandbox(**spec);
-  if (!sandbox) {
-    return sandbox.status();
-  }
-  HORSE_RETURN_IF_ERROR(horse_->start(**sandbox));
-  HORSE_RETURN_IF_ERROR(horse_->pause(**sandbox));
-  auto snapshot = snapshots_.take(**sandbox);
+  vmm::ResumeEngine& engine = (*spec)->sandbox.ull
+                                  ? horse_affine(shard_index)
+                                  : static_cast<vmm::ResumeEngine&>(*vanilla_);
+  HORSE_RETURN_IF_ERROR(engine.start(*sandbox));
+  HORSE_RETURN_IF_ERROR(engine.pause(*sandbox));
+  auto snapshot = shard.snapshots.take(*sandbox);
   if (!snapshot) {
     return snapshot.status();
   }
-  snapshot_store_.emplace(function, std::move(*snapshot));
-  horse_->ull_manager().untrack((*sandbox)->id());
-  return horse_->destroy(**sandbox);
+  shard.snapshot_store.emplace(function, std::move(*snapshot));
+  ull_manager_->untrack(sandbox->id());
+  return vanilla_->destroy(*sandbox);
 }
 
-util::Expected<InvocationRecord> Platform::invoke(
-    FunctionId function, const workloads::Request& request, StartMode mode) {
-  std::lock_guard lock(control_mutex_);
-  auto result = invoke_locked(function, request, mode);
+util::Expected<InvocationRecord> Platform::invoke(FunctionId function,
+                                                  workloads::Request request,
+                                                  StartMode mode) {
+  const std::size_t shard_index = shard_of(function);
+  ControlShard& s = *shards_[shard_index];
+  // Same-function invocations serialise here (which is also what keeps a
+  // function's workload-implementation state single-threaded); functions
+  // on other shards proceed in parallel.
+  ShardLock lock(s.mutex, s.meter);
+  auto result =
+      invoke_on_shard(s, shard_index, function, std::move(request), mode);
   if (result) {
-    ++counters_.invocations;
+    ++s.counters.invocations;
     // Count by the mode the invocation actually completed with: a
     // ladder-demoted kHorse request that finished as a cold start is a
     // cold start in the books.
     switch (result->mode) {
-      case StartMode::kCold: ++counters_.cold; break;
-      case StartMode::kRestore: ++counters_.restore; break;
-      case StartMode::kWarm: ++counters_.warm; break;
-      case StartMode::kHorse: ++counters_.horse; break;
+      case StartMode::kCold: ++s.counters.cold; break;
+      case StartMode::kRestore: ++s.counters.restore; break;
+      case StartMode::kWarm: ++s.counters.warm; break;
+      case StartMode::kHorse: ++s.counters.horse; break;
     }
     if (result->mode != result->requested) {
-      ++counters_.degraded_invocations;
+      ++s.counters.degraded_invocations;
     }
   } else {
-    ++counters_.failed;
+    ++s.counters.failed;
   }
   return result;
 }
 
-void Platform::handle_resume_failure(FunctionId function,
+void Platform::handle_resume_failure(ControlShard& shard, FunctionId function,
                                      std::unique_ptr<vmm::Sandbox> sandbox) {
   const sched::SandboxId id = sandbox->id();
-  const std::size_t strikes = ++resume_failures_[id];
+  const std::size_t strikes = ++shard.resume_failures[id];
   if (strikes >= config_.degradation.quarantine_threshold) {
     // Repeated failures: this sandbox is suspected broken (wedged control
     // plane, corrupt state). Quarantine = full teardown, never re-pooled;
     // future invocations get a fresh sandbox via a colder rung.
-    destroy_pooled(*sandbox);
-    ++counters_.sandboxes_quarantined;
+    destroy_pooled(shard, *sandbox);
+    ++shard.counters.sandboxes_quarantined;
     return;
   }
   // First strike(s): the failed resume left the sandbox paused, so it can
   // go back to the pool for a later retry (transient failures — a
   // control-plane hiccup — heal this way without losing the warm state).
   std::unique_ptr<vmm::Sandbox> rejected;
-  if (!pool_.put(function, std::move(sandbox), logical_now_, &rejected)
+  if (!shard.pool.put(function, std::move(sandbox), logical_now(), &rejected)
            .is_ok() &&
       rejected != nullptr) {
-    destroy_pooled(*rejected);
-    ++counters_.pool_overflow_destroyed;
+    destroy_pooled(shard, *rejected);
+    ++shard.counters.pool_overflow_destroyed;
   }
 }
 
-util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::try_start_locked(
-    FunctionId function, const FunctionSpec& spec, StartMode mode,
-    InvocationRecord& record) {
+util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::try_start_on(
+    ControlShard& shard, std::size_t shard_index, FunctionId function,
+    const FunctionSpec& spec, StartMode mode, InvocationRecord& record) {
   switch (mode) {
     case StartMode::kCold: {
-      auto boot = boot_.cold_boot(next_sandbox_id_++, spec.sandbox);
+      auto boot = shard.boot.cold_boot(
+          next_sandbox_id_.fetch_add(1, std::memory_order_relaxed),
+          spec.sandbox);
       record.init_modelled = boot.boot_time + config_.warm_dispatch_overhead;
       std::unique_ptr<vmm::Sandbox> sandbox = std::move(boot.sandbox);
       util::Stopwatch watch;
-      HORSE_RETURN_IF_ERROR(horse_->start(*sandbox));
+      if (spec.sandbox.ull) {
+        HORSE_RETURN_IF_ERROR(horse_affine(shard_index).start(*sandbox));
+      } else {
+        HORSE_RETURN_IF_ERROR(vanilla_->start(*sandbox));
+      }
       record.init_time = record.init_modelled + watch.elapsed();
       return sandbox;
     }
     case StartMode::kRestore: {
-      HORSE_RETURN_IF_ERROR(ensure_snapshot_locked(function));
-      auto restored =
-          snapshots_.restore(snapshot_store_.at(function), next_sandbox_id_++);
+      HORSE_RETURN_IF_ERROR(ensure_snapshot_on(shard, shard_index, function));
+      auto restored = shard.snapshots.restore(
+          shard.snapshot_store.at(function),
+          next_sandbox_id_.fetch_add(1, std::memory_order_relaxed));
       if (!restored) {
         // Corrupt snapshot: it will never restore — drop it so the next
         // rung (or invocation) rebuilds a fresh one instead of looping on
         // the same broken image.
-        snapshot_store_.erase(function);
+        shard.snapshot_store.erase(function);
         return restored.status();
       }
       record.init_modelled =
           restored->modelled_time + config_.warm_dispatch_overhead;
       std::unique_ptr<vmm::Sandbox> sandbox = std::move(restored->sandbox);
       util::Stopwatch watch;
-      HORSE_RETURN_IF_ERROR(horse_->start(*sandbox));
+      if (spec.sandbox.ull) {
+        HORSE_RETURN_IF_ERROR(horse_affine(shard_index).start(*sandbox));
+      } else {
+        HORSE_RETURN_IF_ERROR(vanilla_->start(*sandbox));
+      }
       record.init_time =
           record.init_modelled + restored->copy_time + watch.elapsed();
       return sandbox;
     }
     case StartMode::kWarm:
     case StartMode::kHorse: {
-      std::unique_ptr<vmm::Sandbox> sandbox = pool_.take(function);
+      std::unique_ptr<vmm::Sandbox> sandbox = shard.pool.take(function);
       if (sandbox == nullptr) {
         return util::Status{util::StatusCode::kUnavailable,
                             "invoke: no warm sandbox pooled (provision first)"};
       }
       util::Status status;
       if (mode == StartMode::kHorse && spec.sandbox.ull) {
-        status = horse_->resume(*sandbox, &record.resume);
+        // Route to the engine whose step-② lock owns the queue this
+        // sandbox was assigned to at pause time.
+        core::HorseResumeEngine* engine =
+            ull_manager_->engine_for_sandbox(sandbox->id());
+        HORSE_DCHECK(engine != nullptr,
+                     "sharded platform always binds >= 1 horse engine");
+        status = engine->resume(*sandbox, &record.resume);
       } else {
         // Vanilla warm path; drop any fast-path state the pause installed.
-        horse_->ull_manager().untrack(sandbox->id());
+        ull_manager_->untrack(sandbox->id());
         sandbox->coalesce().valid = false;
         status = vanilla_->resume(*sandbox, &record.resume);
         record.init_modelled = config_.warm_dispatch_overhead;
@@ -217,10 +291,10 @@ util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::try_start_locked(
       if (!status.is_ok()) {
         // A failed resume leaves the sandbox paused. Strike its health
         // record; quarantine at the threshold, else re-pool for a retry.
-        handle_resume_failure(function, std::move(sandbox));
+        handle_resume_failure(shard, function, std::move(sandbox));
         return status;
       }
-      resume_failures_.erase(sandbox->id());
+      shard.resume_failures.erase(sandbox->id());
       record.init_time = record.resume.total() + record.init_modelled;
       return sandbox;
     }
@@ -228,15 +302,16 @@ util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::try_start_locked(
   return util::Status{util::StatusCode::kInternal, "invoke: unknown mode"};
 }
 
-util::Expected<InvocationRecord> Platform::invoke_locked(
-    FunctionId function, const workloads::Request& request, StartMode mode) {
+util::Expected<InvocationRecord> Platform::invoke_on_shard(
+    ControlShard& shard, std::size_t shard_index, FunctionId function,
+    workloads::Request request, StartMode mode) {
   const auto spec_lookup = registry_.find(function);
   if (!spec_lookup) {
     return spec_lookup.status();
   }
   const FunctionSpec& spec = **spec_lookup;
 
-  keep_alive_policy_.record_invocation(function, logical_now_);
+  shard.keep_alive.record_invocation(function, logical_now());
 
   // --- start ladder: requested mode first, demoting one rung per failure -
   const StartMode requested = mode;
@@ -252,7 +327,8 @@ util::Expected<InvocationRecord> Platform::invoke_locked(
     record.requested = requested;
     record.mode = mode;
     record.fallbacks = fallbacks;
-    auto started = try_start_locked(function, spec, mode, record);
+    auto started =
+        try_start_on(shard, shard_index, function, spec, mode, record);
     if (started) {
       sandbox = std::move(*started);
       break;
@@ -266,8 +342,8 @@ util::Expected<InvocationRecord> Platform::invoke_locked(
     // not slept: the logical clock is caller-driven).
     mode = next_colder(mode);
     ++fallbacks;
-    ++counters_.rung_fallbacks;
-    const double jitter = 0.5 + rng_.uniform01();  // ±50%
+    ++shard.counters.rung_fallbacks;
+    const double jitter = 0.5 + shard.rng.uniform01();  // ±50%
     backoff_total += static_cast<util::Nanos>(
         static_cast<double>(ladder.retry_backoff_base) *
         static_cast<double>(1ULL << (attempt - 1)) * jitter);
@@ -282,8 +358,107 @@ util::Expected<InvocationRecord> Platform::invoke_locked(
   record.exec_time = exec_watch.elapsed();
 
   // Keep-alive: re-pause and pool for the next trigger.
-  HORSE_RETURN_IF_ERROR(pause_and_pool(function, std::move(sandbox)));
+  HORSE_RETURN_IF_ERROR(
+      pause_and_pool(shard, shard_index, function, std::move(sandbox)));
   return record;
+}
+
+PlatformCounters Platform::counters() const {
+  PlatformCounters total;
+  for (const auto& shard : shards_) {
+    ShardLock lock(shard->mutex, shard->meter);
+    total += shard->counters;
+  }
+  return total;
+}
+
+core::ResumeDegradationStats Platform::resume_degradation_stats() const {
+  core::ResumeDegradationStats total;
+  for (const auto& engine : horse_engines_) {
+    const core::ResumeDegradationStats stats = engine->degradation_stats();
+    total.fallback_merges += stats.fallback_merges;
+    total.stale_index_fallbacks += stats.stale_index_fallbacks;
+    total.poisoned_index_fallbacks += stats.poisoned_index_fallbacks;
+    total.merge_error_fallbacks += stats.merge_error_fallbacks;
+    total.deferred_refreshes += stats.deferred_refreshes;
+  }
+  return total;
+}
+
+metrics::ContentionStats Platform::shard_contention() const {
+  metrics::ContentionStats total;
+  for (const auto& shard : shards_) {
+    total += shard->meter.snapshot();
+  }
+  return total;
+}
+
+std::vector<std::size_t> Platform::shard_pool_occupancy() const {
+  std::vector<std::size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardLock lock(shard->mutex, shard->meter);
+    out.push_back(shard->pool.total());
+  }
+  return out;
+}
+
+// --- facade views ---------------------------------------------------------
+
+std::size_t ShardedWarmPoolView::available(FunctionId function) const {
+  const auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  return shard.pool.available(function);
+}
+
+std::size_t ShardedWarmPoolView::provisioned_floor(FunctionId function) const {
+  const auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  return shard.pool.provisioned_floor(function);
+}
+
+util::Nanos ShardedWarmPoolView::keep_alive_for(FunctionId function) const {
+  const auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  return shard.pool.keep_alive_for(function);
+}
+
+void ShardedWarmPoolView::set_keep_alive_override(FunctionId function,
+                                                  util::Nanos keep_alive) {
+  auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  shard.pool.set_keep_alive_override(function, keep_alive);
+}
+
+std::size_t ShardedWarmPoolView::total() const {
+  std::size_t sum = 0;
+  for (const std::size_t occupancy : platform_.shard_pool_occupancy()) {
+    sum += occupancy;
+  }
+  return sum;
+}
+
+KeepAliveDecision KeepAlivePolicyView::decide(FunctionId function) const {
+  const auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  return shard.keep_alive.decide(function);
+}
+
+std::size_t KeepAlivePolicyView::sample_count(FunctionId function) const {
+  const auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  return shard.keep_alive.sample_count(function);
+}
+
+std::size_t KeepAlivePolicyView::oob_count(FunctionId function) const {
+  const auto& shard = platform_.shard(function);
+  ShardLock lock(shard.mutex, shard.meter);
+  return shard.keep_alive.oob_count(function);
+}
+
+const KeepAlivePolicyConfig& KeepAlivePolicyView::config() const noexcept {
+  // Immutable after construction and identical across shards.
+  return platform_.shards_.front()->keep_alive.config();
 }
 
 }  // namespace horse::faas

@@ -17,19 +17,51 @@
 // returned record so experiments can account modelled vs measured time.
 //
 // After each invocation the sandbox is re-paused and returned to the warm
-// pool (keep-alive); pausing always goes through the HORSE engine so uLL
+// pool (keep-alive); pausing always goes through a HORSE engine so uLL
 // sandboxes are immediately fast-path-ready again.
+//
+// ── Sharded control plane ───────────────────────────────────────────────
+//
+// The control plane is sharded two ways (see DESIGN.md, "Sharded control
+// plane"):
+//
+//   * per-FUNCTION shards — FunctionId hashes to one ControlShard that
+//     owns the function's warm-pool partition, snapshot cache, keep-alive
+//     history, RNG stream, and counters. Invocations of functions on
+//     different shards never touch the same mutex; invocations of the
+//     SAME function serialise on their shard, which is also what keeps a
+//     function's workload-implementation state single-threaded.
+//   * per-QUEUE resume engines — one HorseResumeEngine per reserved
+//     ull_runqueue, all sharing one UllRunQueueManager (which owns the
+//     engine-per-queue map). HORSE resumes targeting different reserved
+//     queues proceed under different step-② locks.
+//
+// Thread-safety: invoke / provision / ensure_snapshot / advance_time /
+// counters may be called from any number of threads. Lock hierarchy
+// (never acquire right-to-left):
+//
+//   shard mutex → engine resume_lock_ → ull-manager mutex → queue lock
+//                                                         → load lock
+//
+// Accessors returning references to substrate objects (registry,
+// topology, engines, ull_manager) hand out objects that are themselves
+// internally synchronised for the operations the platform performs;
+// instrumentation that walks them (e.g. reading queue contents) should
+// quiesce invokers first, as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/horse_resume.hpp"
 #include "faas/keepalive_policy.hpp"
 #include "faas/registry.hpp"
 #include "faas/warm_pool.hpp"
+#include "metrics/contention.hpp"
 #include "sched/topology.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -64,7 +96,7 @@ struct DegradationPolicy {
   /// Consecutive resume failures before a pooled sandbox is evicted.
   std::size_t quarantine_threshold = 2;
   /// Base of the modelled exponential backoff between rungs; the actual
-  /// delay is base * 2^(attempt-1), jittered ±50% from the platform's
+  /// delay is base * 2^(attempt-1), jittered ±50% from the shard's
   /// seeded RNG. Purely modelled (recorded, never slept).
   util::Nanos retry_backoff_base = 50 * util::kMicrosecond;
 };
@@ -84,6 +116,8 @@ struct PlatformConfig {
   util::Nanos warm_dispatch_overhead = 820;
   DegradationPolicy degradation;
   std::uint64_t seed = 1;
+  /// Number of per-function control-plane shards; 0 = max(8, num_cpus).
+  std::size_t control_shards = 0;
 };
 
 /// Lifetime invocation counters. Per-mode counts are by the mode the
@@ -106,6 +140,20 @@ struct PlatformCounters {
   /// Sandboxes properly torn down after the warm pool rejected them
   /// (per-function cap) — previously they were silently dropped.
   std::uint64_t pool_overflow_destroyed = 0;
+
+  PlatformCounters& operator+=(const PlatformCounters& other) noexcept {
+    invocations += other.invocations;
+    cold += other.cold;
+    restore += other.restore;
+    warm += other.warm;
+    horse += other.horse;
+    failed += other.failed;
+    rung_fallbacks += other.rung_fallbacks;
+    degraded_invocations += other.degraded_invocations;
+    sandboxes_quarantined += other.sandboxes_quarantined;
+    pool_overflow_destroyed += other.pool_overflow_destroyed;
+    return *this;
+  }
 };
 
 /// The next-colder rung of the start ladder (kCold maps to itself).
@@ -147,21 +195,61 @@ struct InvocationRecord {
   }
 };
 
-// Thread-safety: invoke / provision / ensure_snapshot / advance_time are
-// serialized on an internal control-plane mutex, so a Platform may be
-// shared by concurrent frontends (see Invoker). Accessors returning
-// references (registry, warm_pool, engines) hand out unsynchronised
-// objects — configure before going concurrent.
+class Platform;
+
+/// Read-mostly view over the striped warm pool: each call routes to the
+/// shard owning the function and takes that shard's lock, so callers keep
+/// the pre-sharding `platform.warm_pool().available(fn)` idiom without
+/// seeing a single pool object (there isn't one any more).
+class ShardedWarmPoolView {
+ public:
+  [[nodiscard]] std::size_t available(FunctionId function) const;
+  [[nodiscard]] std::size_t provisioned_floor(FunctionId function) const;
+  [[nodiscard]] util::Nanos keep_alive_for(FunctionId function) const;
+  void set_keep_alive_override(FunctionId function, util::Nanos keep_alive);
+  /// Pooled sandboxes across all shards (sums per-shard totals).
+  [[nodiscard]] std::size_t total() const;
+
+ private:
+  friend class Platform;
+  explicit ShardedWarmPoolView(Platform& platform) : platform_(platform) {}
+  Platform& platform_;
+};
+
+/// Same idea for the hybrid-histogram keep-alive policy: a function's idle
+/// history lives wholly in its owning shard.
+class KeepAlivePolicyView {
+ public:
+  [[nodiscard]] KeepAliveDecision decide(FunctionId function) const;
+  [[nodiscard]] std::size_t sample_count(FunctionId function) const;
+  [[nodiscard]] std::size_t oob_count(FunctionId function) const;
+  [[nodiscard]] const KeepAlivePolicyConfig& config() const noexcept;
+
+ private:
+  friend class Platform;
+  explicit KeepAlivePolicyView(Platform& platform) : platform_(platform) {}
+  Platform& platform_;
+};
+
 class Platform {
  public:
   explicit Platform(PlatformConfig config = {});
 
   [[nodiscard]] FunctionRegistry& registry() noexcept { return registry_; }
-  [[nodiscard]] WarmPool& warm_pool() noexcept { return pool_; }
+  [[nodiscard]] ShardedWarmPoolView& warm_pool() noexcept { return pool_view_; }
   [[nodiscard]] sched::CpuTopology& topology() noexcept { return topology_; }
   [[nodiscard]] vmm::ResumeEngine& vanilla_engine() noexcept { return *vanilla_; }
+  /// The first per-queue HORSE engine (the only one when
+  /// horse.num_ull_runqueues == 1; see horse_engines() for the rest).
   [[nodiscard]] core::HorseResumeEngine& horse_engine() noexcept {
-    return *horse_;
+    return *horse_engines_.front();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<core::HorseResumeEngine>>&
+  horse_engines() const noexcept {
+    return horse_engines_;
+  }
+  [[nodiscard]] core::UllRunQueueManager& ull_manager() noexcept {
+    return *ull_manager_;
   }
   [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
 
@@ -172,71 +260,135 @@ class Platform {
   /// Make sure a snapshot exists for restore-mode starts.
   util::Status ensure_snapshot(FunctionId function);
 
-  /// Trigger one invocation with the given start strategy.
+  /// Trigger one invocation with the given start strategy. Takes the
+  /// request by value: callers that move avoid every copy down to the
+  /// workload implementation.
   [[nodiscard]] util::Expected<InvocationRecord> invoke(
-      FunctionId function, const workloads::Request& request, StartMode mode);
+      FunctionId function, workloads::Request request, StartMode mode);
 
   /// Logical platform clock for keep-alive accounting; advanced by the
   /// caller (experiments drive it from their own schedule).
-  [[nodiscard]] util::Nanos logical_now() const noexcept { return logical_now_; }
+  [[nodiscard]] util::Nanos logical_now() const noexcept {
+    return logical_now_.load(std::memory_order_acquire);
+  }
   void advance_time(util::Nanos delta);
 
   /// The hybrid-histogram keep-alive policy (consulted on advance_time
   /// when config().adaptive_keep_alive is set; always records arrivals).
-  [[nodiscard]] HybridHistogramPolicy& keep_alive_policy() noexcept {
-    return keep_alive_policy_;
+  [[nodiscard]] KeepAlivePolicyView& keep_alive_policy() noexcept {
+    return keep_alive_view_;
   }
 
-  [[nodiscard]] PlatformCounters counters() const {
-    std::lock_guard lock(control_mutex_);
-    return counters_;
+  /// Lifetime counters, aggregated across shards.
+  [[nodiscard]] PlatformCounters counters() const;
+
+  /// Degradation counters aggregated across the per-queue HORSE engines.
+  [[nodiscard]] core::ResumeDegradationStats resume_degradation_stats() const;
+
+  // --- shard observability ------------------------------------------------
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
   }
+  [[nodiscard]] std::size_t shard_of(FunctionId function) const noexcept {
+    return static_cast<std::size_t>(function) % shards_.size();
+  }
+  /// Shard-mutex acquisition accounting, summed across shards.
+  [[nodiscard]] metrics::ContentionStats shard_contention() const;
+  /// Per-shard pooled-sandbox occupancy (index = shard).
+  [[nodiscard]] std::vector<std::size_t> shard_pool_occupancy() const;
 
  private:
-  [[nodiscard]] util::Expected<std::unique_ptr<vmm::Sandbox>> make_sandbox(
+  friend class ShardedWarmPoolView;
+  friend class KeepAlivePolicyView;
+
+  /// Everything one function-shard owns. The shard mutex serialises all
+  /// control-plane work for the functions hashing here; substrate work
+  /// done while it is held (engine calls) nests per the lock hierarchy in
+  /// the file comment.
+  struct ControlShard {
+    ControlShard(const PlatformConfig& config, std::uint64_t seed_base)
+        : boot(config.profile, seed_base + 1),
+          snapshots(config.profile, seed_base + 2),
+          pool(config.warm_pool),
+          keep_alive(config.keep_alive_policy),
+          rng(seed_base + 3) {}
+
+    mutable std::mutex mutex;
+    mutable metrics::ContentionMeter meter;
+    vmm::BootModel boot;
+    vmm::SnapshotManager snapshots;
+    WarmPool pool;
+    HybridHistogramPolicy keep_alive;
+    std::unordered_map<FunctionId, vmm::Snapshot> snapshot_store;
+    /// Consecutive resume failures per pooled sandbox (erased on success,
+    /// quarantine, or eviction).
+    std::unordered_map<sched::SandboxId, std::size_t> resume_failures;
+    PlatformCounters counters;
+    util::Xoshiro256 rng;
+  };
+
+  [[nodiscard]] ControlShard& shard(FunctionId function) {
+    return *shards_[shard_of(function)];
+  }
+  [[nodiscard]] const ControlShard& shard(FunctionId function) const {
+    return *shards_[shard_of(function)];
+  }
+
+  /// The HORSE engine a shard prefers for starts/pauses (round-robin over
+  /// the per-queue engines; the RESUME engine is always looked up from
+  /// the sandbox's queue assignment instead).
+  [[nodiscard]] core::HorseResumeEngine& horse_affine(
+      std::size_t shard_index) noexcept {
+    return *horse_engines_[shard_index % horse_engines_.size()];
+  }
+
+  [[nodiscard]] std::unique_ptr<vmm::Sandbox> make_sandbox(
       const FunctionSpec& spec);
-  util::Status pause_and_pool(FunctionId function,
+  util::Status pause_and_pool(ControlShard& shard, std::size_t shard_index,
+                              FunctionId function,
                               std::unique_ptr<vmm::Sandbox> sandbox);
-  util::Status ensure_snapshot_locked(FunctionId function);
-  util::Expected<InvocationRecord> invoke_locked(
-      FunctionId function, const workloads::Request& request, StartMode mode);
+  util::Status ensure_snapshot_on(ControlShard& shard, std::size_t shard_index,
+                                  FunctionId function);
+  util::Expected<InvocationRecord> invoke_on_shard(ControlShard& shard,
+                                                   std::size_t shard_index,
+                                                   FunctionId function,
+                                                   workloads::Request request,
+                                                   StartMode mode);
 
   /// One rung: acquire + initialise a runnable sandbox for `mode`,
   /// filling the init/resume fields of `record`. Failure leaves the
-  /// platform consistent (failed pooled sandboxes are health-tracked and
+  /// shard consistent (failed pooled sandboxes are health-tracked and
   /// re-pooled or quarantined) so the caller may try a colder rung.
-  [[nodiscard]] util::Expected<std::unique_ptr<vmm::Sandbox>> try_start_locked(
-      FunctionId function, const FunctionSpec& spec, StartMode mode,
-      InvocationRecord& record);
+  [[nodiscard]] util::Expected<std::unique_ptr<vmm::Sandbox>> try_start_on(
+      ControlShard& shard, std::size_t shard_index, FunctionId function,
+      const FunctionSpec& spec, StartMode mode, InvocationRecord& record);
 
   /// Health bookkeeping for a pooled sandbox whose resume failed: strike
   /// its failure counter; quarantine (untrack + destroy) at the
   /// threshold, else hand it back to the pool for a later retry.
-  void handle_resume_failure(FunctionId function,
+  void handle_resume_failure(ControlShard& shard, FunctionId function,
                              std::unique_ptr<vmm::Sandbox> sandbox);
 
   /// Tear a sandbox fully down (engine bookkeeping included) after the
   /// pool rejected or evicted it.
-  void destroy_pooled(vmm::Sandbox& sandbox);
+  void destroy_pooled(ControlShard& shard, vmm::Sandbox& sandbox);
 
   PlatformConfig config_;
-  mutable std::mutex control_mutex_;
   sched::CpuTopology topology_;
+  // Destruction order (reverse of declaration): shards_ die first — their
+  // pools hold the sandboxes the manager's indexes point into — then the
+  // engines unbind from the manager, then the manager releases the
+  // reserved queues.
+  std::unique_ptr<core::UllRunQueueManager> ull_manager_;
   std::unique_ptr<vmm::ResumeEngine> vanilla_;
-  std::unique_ptr<core::HorseResumeEngine> horse_;
-  vmm::BootModel boot_;
-  vmm::SnapshotManager snapshots_;
+  std::vector<std::unique_ptr<core::HorseResumeEngine>> horse_engines_;
   FunctionRegistry registry_;
-  WarmPool pool_;
-  std::unordered_map<FunctionId, vmm::Snapshot> snapshot_store_;
-  HybridHistogramPolicy keep_alive_policy_;
-  PlatformCounters counters_;
-  /// Consecutive resume failures per pooled sandbox (erased on success,
-  /// quarantine, or eviction).
-  std::unordered_map<sched::SandboxId, std::size_t> resume_failures_;
-  util::Xoshiro256 rng_;
-  sched::SandboxId next_sandbox_id_ = 1;
-  util::Nanos logical_now_ = 0;
+  std::vector<std::unique_ptr<ControlShard>> shards_;
+  ShardedWarmPoolView pool_view_{*this};
+  KeepAlivePolicyView keep_alive_view_{*this};
+  std::atomic<sched::SandboxId> next_sandbox_id_{1};
+  std::atomic<util::Nanos> logical_now_{0};
 };
 
 }  // namespace horse::faas

@@ -1,13 +1,21 @@
 // Function registry: maps function ids to their implementation and the
 // sandbox shape they require (vCPUs, memory, uLL flag) — the tenant-facing
 // configuration surface of the platform.
+//
+// Thread-safety: reads (find / find_by_name / size) take a shared lock and
+// may run from any number of concurrently invoking control-plane shards;
+// add() takes the exclusive lock. Specs live in a deque so the
+// `const FunctionSpec*` handed out by find() stays valid for the
+// registry's lifetime even while later add() calls grow the container.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "util/status.hpp"
 #include "vmm/sandbox.hpp"
@@ -29,14 +37,19 @@ class FunctionRegistry {
   /// for workloads that need the HORSE fast path. Returns the new id.
   util::Expected<FunctionId> add(FunctionSpec spec);
 
+  /// The returned pointer is stable for the registry's lifetime.
   [[nodiscard]] util::Expected<const FunctionSpec*> find(FunctionId id) const;
   [[nodiscard]] util::Expected<FunctionId> find_by_name(
       const std::string& name) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return specs_.size();
+  }
 
  private:
-  std::vector<FunctionSpec> specs_;
+  mutable std::shared_mutex mutex_;
+  std::deque<FunctionSpec> specs_;  // deque: stable addresses across add()
   std::unordered_map<std::string, FunctionId> by_name_;
 };
 
@@ -45,6 +58,7 @@ inline util::Expected<FunctionId> FunctionRegistry::add(FunctionSpec spec) {
     return util::Status{util::StatusCode::kInvalidArgument,
                         "registry: function needs a name and implementation"};
   }
+  std::unique_lock lock(mutex_);
   if (by_name_.contains(spec.name)) {
     return util::Status{util::StatusCode::kAlreadyExists,
                         "registry: duplicate function name " + spec.name};
@@ -57,6 +71,7 @@ inline util::Expected<FunctionId> FunctionRegistry::add(FunctionSpec spec) {
 
 inline util::Expected<const FunctionSpec*> FunctionRegistry::find(
     FunctionId id) const {
+  std::shared_lock lock(mutex_);
   if (id >= specs_.size()) {
     return util::Status{util::StatusCode::kNotFound,
                         "registry: unknown function id"};
@@ -66,6 +81,7 @@ inline util::Expected<const FunctionSpec*> FunctionRegistry::find(
 
 inline util::Expected<FunctionId> FunctionRegistry::find_by_name(
     const std::string& name) const {
+  std::shared_lock lock(mutex_);
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return util::Status{util::StatusCode::kNotFound,

@@ -6,6 +6,11 @@
 // Provisioned Concurrency / Alibaba Provisioned Mode). Pooled sandboxes
 // are paused, per the paper's premise that idle warm sandboxes must not
 // contend with running ones.
+//
+// Thread-safety: none of its own — the pool is a striped resource. Each
+// control-plane shard owns one WarmPool instance covering the functions
+// that hash to it, and every access goes through that shard's mutex (see
+// faas/platform.hpp); a standalone WarmPool needs external locking.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,85 @@
+// Lock contention / occupancy accounting for the sharded control plane.
+//
+// The big-lock platform had one number that mattered (time spent queued on
+// control_mutex_); the sharded design has many small locks whose health is
+// only visible statistically. ContentionMeter is the cheap primitive the
+// shards and the ull manager hang off their mutexes: every acquisition
+// records whether it had to wait, so a bench or experiment can report
+// "x% of shard acquisitions contended" next to its throughput numbers
+// (bench/macro_throughput.cpp does exactly that).
+//
+// The meter is deliberately approximate — relaxed atomics, no timing — so
+// metering never perturbs the paths it observes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace horse::metrics {
+
+/// Snapshot of one lock's acquisition accounting.
+struct ContentionStats {
+  std::uint64_t acquisitions = 0;
+  /// Acquisitions that found the lock held and had to wait.
+  std::uint64_t contended = 0;
+
+  [[nodiscard]] double contended_fraction() const noexcept {
+    return acquisitions == 0
+               ? 0.0
+               : static_cast<double>(contended) /
+                     static_cast<double>(acquisitions);
+  }
+
+  ContentionStats& operator+=(const ContentionStats& other) noexcept {
+    acquisitions += other.acquisitions;
+    contended += other.contended;
+    return *this;
+  }
+};
+
+/// Relaxed-atomic acquisition counters; safe to record from any thread.
+class ContentionMeter {
+ public:
+  void record(bool was_contended) noexcept {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (was_contended) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] ContentionStats snapshot() const noexcept {
+    ContentionStats out;
+    out.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+    out.contended = contended_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+/// std::scoped_lock replacement that feeds a ContentionMeter: try_lock
+/// first (uncontended fast path), fall back to a blocking lock and count
+/// the wait. Works with any Lockable providing try_lock()/lock()/unlock().
+template <typename Mutex>
+class MeteredLock {
+ public:
+  MeteredLock(Mutex& mutex, ContentionMeter& meter) : mutex_(mutex) {
+    const bool contended = !mutex_.try_lock();
+    if (contended) {
+      mutex_.lock();
+    }
+    meter.record(contended);
+  }
+  ~MeteredLock() { mutex_.unlock(); }
+
+  MeteredLock(const MeteredLock&) = delete;
+  MeteredLock& operator=(const MeteredLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace horse::metrics

@@ -4,8 +4,19 @@
 // Reserved queues are excluded from general vCPU placement, so longer-
 // running functions never land on them — the isolation that §5.4 credits
 // for the absence of mean/p95 interference.
+//
+// Thread-safety: the queue array is immutable after construction and each
+// RunQueue carries its own locks, so any number of threads may operate on
+// (distinct or shared) queues concurrently. The reserved flags are read
+// on every general placement (least_loaded_general) from concurrently
+// invoking control-plane shards while the adaptive scaler may be flipping
+// them (grow/shrink); they are accessed through std::atomic_ref so a flip
+// is a benign race — a placement decided just before a reserve lands on a
+// queue that was general when the decision was made, exactly as in the
+// kernel, where placement and reservation are not globally ordered.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
@@ -26,7 +37,8 @@ class CpuTopology {
       queues_.push_back(
           std::make_unique<RunQueue>(static_cast<CpuId>(cpu), pelt));
     }
-    reserved_.resize(num_cpus, false);
+    // char (not vector<bool>) so each flag is addressable for atomic_ref.
+    reserved_.resize(num_cpus, 0);
   }
 
   [[nodiscard]] std::size_t num_cpus() const noexcept { return queues_.size(); }
@@ -40,19 +52,22 @@ class CpuTopology {
 
   /// Mark a CPU's queue as a reserved ull_runqueue.
   void reserve_for_ull(CpuId cpu) {
-    reserved_.at(cpu) = true;
+    std::atomic_ref(reserved_.at(cpu)).store(1, std::memory_order_release);
   }
 
   /// Return a reserved queue to the general pool (adaptive scaling).
   void unreserve(CpuId cpu) {
-    reserved_.at(cpu) = false;
+    std::atomic_ref(reserved_.at(cpu)).store(0, std::memory_order_release);
   }
-  [[nodiscard]] bool is_reserved(CpuId cpu) const { return reserved_.at(cpu); }
+  [[nodiscard]] bool is_reserved(CpuId cpu) const {
+    return std::atomic_ref(reserved_.at(cpu))
+               .load(std::memory_order_acquire) != 0;
+  }
 
   [[nodiscard]] std::vector<CpuId> reserved_cpus() const {
     std::vector<CpuId> out;
     for (CpuId cpu = 0; cpu < reserved_.size(); ++cpu) {
-      if (reserved_[cpu]) {
+      if (is_reserved(cpu)) {
         out.push_back(cpu);
       }
     }
@@ -66,7 +81,7 @@ class CpuTopology {
     double best_load = -1.0;
     bool found = false;
     for (CpuId cpu = 0; cpu < queues_.size(); ++cpu) {
-      if (reserved_[cpu]) {
+      if (is_reserved(cpu)) {
         continue;
       }
       const double load = queues_[cpu]->load();
@@ -84,7 +99,8 @@ class CpuTopology {
 
  private:
   std::vector<std::unique_ptr<RunQueue>> queues_;
-  std::vector<bool> reserved_;
+  // 0/1 flags accessed via std::atomic_ref (see file comment).
+  mutable std::vector<char> reserved_;
 };
 
 }  // namespace horse::sched

@@ -26,7 +26,7 @@ void insert_sorted_into(sched::VcpuList& list, sched::Vcpu& vcpu) {
 ResumeEngine::ResumeEngine(sched::CpuTopology& topology, VmmProfile profile)
     : topology_(topology), profile_(std::move(profile)) {
   if (profile_.kind == VmmKind::kXen) {
-    xenstore_ = std::make_unique<XenStore>();
+    xenstore_ = std::make_shared<XenStore>();
   }
 }
 

@@ -74,12 +74,27 @@ class ResumeEngine {
   /// cost instead.
   [[nodiscard]] XenStore* xenstore() noexcept { return xenstore_.get(); }
 
+  /// Replace this engine's store with one shared across engines. The
+  /// sharded control plane runs several engines against one topology; a
+  /// pause recorded through engine A must be visible to a resume sanity
+  /// check through engine B, so the Platform hands every engine the same
+  /// (internally spinlocked) store. No-op semantics match the flavour:
+  /// callers only share stores between engines of the same profile.
+  void use_shared_xenstore(std::shared_ptr<XenStore> store) {
+    xenstore_ = std::move(store);
+  }
+
   // Thread-safety: start/pause/resume/destroy serialize on the engine's
-  // global lock (the paper's step-② lock, which in the real hypervisor
-  // also guards the other domain lifecycle operations). Different
-  // sandboxes may be driven from different threads. Direct access to the
-  // topology or (in the HORSE engine) the ull manager is instrumentation
-  // and must be externally synchronised.
+  // own lock (the paper's step-② lock, which in the real hypervisor also
+  // guards the other domain lifecycle operations). Different sandboxes
+  // may be driven from different threads, and — since the sharded control
+  // plane — different *engines* may run concurrently against the same
+  // topology: per-queue locks protect queue structure, the shared
+  // XenStore locks itself, and the HORSE ull manager is internally
+  // locked. The one rule callers must keep is the single-owner invariant:
+  // a given sandbox is driven through exactly one engine call at a time.
+  // Direct access to the topology for instrumentation remains externally
+  // synchronised.
 
   /// Place a created sandbox's vCPUs onto run queues and mark it running.
   /// (Boot-time scheduling; not part of the measured resume path.)
@@ -140,8 +155,8 @@ class ResumeEngine {
 
   sched::CpuTopology& topology_;
   VmmProfile profile_;
-  util::Spinlock resume_lock_;  // step ②: one resume at a time
-  std::unique_ptr<XenStore> xenstore_;
+  util::Spinlock resume_lock_;  // step ②: one resume at a time (per engine)
+  std::shared_ptr<XenStore> xenstore_;  // shared across sharded engines
 };
 
 }  // namespace horse::vmm
