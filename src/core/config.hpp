@@ -33,6 +33,15 @@ struct HorseConfig {
   /// behaviour). Ignored in sequential mode.
   util::Nanos crew_watchdog_timeout = 250 * util::kMillisecond;
 
+  /// Adaptive inline splice (parallel mode only): resumes whose index has
+  /// at most this many runs splice inline on the resuming thread instead
+  /// of dispatching to the pre-armed crew — below the crossover, the
+  /// cross-core cacheline ping-pong of dispatch costs more than the
+  /// splices themselves. kInlineSpliceAuto (the default) measures the
+  /// crossover at engine startup; 0 means always dispatch to the crew.
+  static constexpr std::uint32_t kInlineSpliceAuto = ~std::uint32_t{0};
+  std::uint32_t inline_splice_max_runs = kInlineSpliceAuto;
+
   [[nodiscard]] std::size_t effective_crew_size() const {
     if (crew_size != 0) {
       return crew_size;

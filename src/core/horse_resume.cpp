@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/splice_calibration.hpp"
 #include "util/fault_injection.hpp"
 
 namespace horse::core {
@@ -28,6 +29,7 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
   } else {
     executor_ = std::make_unique<SequentialMergeExecutor>();
   }
+  inline_splice_threshold_ = resolve_inline_splice_threshold();
 }
 
 HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
@@ -50,9 +52,20 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
   } else {
     executor_ = std::make_unique<SequentialMergeExecutor>();
   }
+  inline_splice_threshold_ = resolve_inline_splice_threshold();
 }
 
 HorseResumeEngine::~HorseResumeEngine() { ull_->unbind_engine(this); }
+
+std::uint32_t HorseResumeEngine::resolve_inline_splice_threshold() {
+  if (config_.inline_splice_max_runs != HorseConfig::kInlineSpliceAuto) {
+    return config_.inline_splice_max_runs;
+  }
+  if (crew_ == nullptr) {
+    return 0;  // sequential mode: the main executor is already inline
+  }
+  return calibrate_inline_splice(*crew_).crossover_runs;
+}
 
 void HorseResumeEngine::arm_crew() noexcept {
   if (crew_ != nullptr) {
@@ -256,10 +269,22 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
       } else if (stale) {
         stale_index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       } else {
+        // Adaptive crossover: below the calibrated run count, the crew's
+        // cross-core dispatch costs more than the splices — issue them
+        // from this thread instead.
+        const bool splice_inline =
+            crew_ != nullptr &&
+            index->run_count() <= inline_splice_threshold_;
+        MergeExecutor& chosen =
+            splice_inline ? static_cast<MergeExecutor&>(inline_executor_)
+                          : *executor_;
         util::Status status =
-            index->merge(sandbox.merge_vcpus(), queue, *executor_);
+            index->merge(sandbox.merge_vcpus(), queue, chosen);
         if (status.is_ok()) {
           fast_path_done = true;
+          if (splice_inline) {
+            inline_splices_.fetch_add(1, std::memory_order_relaxed);
+          }
         } else {
           // merge() refuses without mutating A or B, so the degraded walk
           // below still sees the full merge_vcpus list.

@@ -82,6 +82,19 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
   /// watchdog introspection).
   [[nodiscard]] ParallelMergeCrew* crew() noexcept { return crew_; }
 
+  /// Adaptive inline-splice crossover in effect: fast-path merges with at
+  /// most this many runs splice on the resuming thread instead of the
+  /// crew. 0 in sequential mode (the main executor is already inline) or
+  /// when the crew wins even at one run; set from
+  /// HorseConfig::inline_splice_max_runs or the startup micro-calibration.
+  [[nodiscard]] std::uint32_t inline_splice_threshold() const noexcept {
+    return inline_splice_threshold_;
+  }
+  /// Fast-path merges the crossover routed to the inline executor.
+  [[nodiscard]] std::uint64_t inline_splice_count() const noexcept {
+    return inline_splices_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] ResumeDegradationStats degradation_stats() const noexcept;
 
   /// Pre-arm / disarm the parallel crew around a resume burst (no-op in
@@ -114,11 +127,16 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
                                      vmm::ResumeBreakdown& breakdown);
 
   /// Off-hot-path repair: when a degraded resume observed stale indexes,
-  /// rebuild every stale index via the manager AFTER the epilogue (outside
-  /// the timed path). The manager is internally locked since the sharding
-  /// refactor, so no resume_lock_ re-acquire is needed — the sweep runs
-  /// concurrently with other engines' resumes.
+  /// refresh every stale index via the manager AFTER the epilogue (outside
+  /// the timed path) — journal repair first, rebuild as the fallback. The
+  /// manager is internally locked since the sharding refactor, so no
+  /// resume_lock_ re-acquire is needed — the sweep runs concurrently with
+  /// other engines' resumes.
   void run_deferred_refresh();
+
+  /// Resolve the inline-splice crossover from config or, in auto mode,
+  /// from the startup micro-calibration against the freshly built crew.
+  [[nodiscard]] std::uint32_t resolve_inline_splice_threshold();
 
   HorseConfig config_;
   HorseFeatures features_;
@@ -130,6 +148,11 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
   LoadCoalescer coalescer_;
   std::unique_ptr<MergeExecutor> executor_;
   ParallelMergeCrew* crew_ = nullptr;  // non-null in parallel mode
+  /// Inline lane for the adaptive crossover: small splice sets bypass the
+  /// crew's cross-core dispatch entirely.
+  SequentialMergeExecutor inline_executor_;
+  std::uint32_t inline_splice_threshold_ = 0;
+  std::atomic<std::uint64_t> inline_splices_{0};
 
   // Degradation bookkeeping. needs_refresh_ is set inside the timed path
   // (one relaxed store) and consumed after the epilogue.

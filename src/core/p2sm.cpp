@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <string>
 
 #include "util/dcheck.hpp"
@@ -17,37 +18,74 @@ sched::Vcpu* vcpu_of(util::ListHook* hook) noexcept {
 
 }  // namespace
 
+const P2smIndex::RunEntry* P2smIndex::RunsView::find(
+    AnchorIndex anchor) const noexcept {
+  const RunEntry* it = std::lower_bound(
+      data_, data_ + size_, anchor,
+      [](const RunEntry& entry, AnchorIndex key) { return entry.anchor < key; });
+  return (it != data_ + size_ && it->anchor == anchor) ? it : nullptr;
+}
+
 P2smIndex::AnchorIndex P2smIndex::anchor_for(sched::Credit credit) const noexcept {
   // First element of B strictly greater than `credit`; everything before
   // it is <= credit, so the anchor is the element just before it.
-  const auto it =
-      std::upper_bound(credits_b_.begin(), credits_b_.end(), credit);
-  return static_cast<AnchorIndex>(it - credits_b_.begin()) - 1;
+  const auto it = std::upper_bound(credits_b_, credits_b_ + b_size_, credit);
+  return static_cast<AnchorIndex>(it - credits_b_) - 1;
+}
+
+void P2smIndex::ensure_b_capacity(std::size_t needed, bool preserve) {
+  if (b_capacity_ >= needed) {
+    return;  // steady state: the recycled block absorbs the snapshot
+  }
+  // Grow past `needed` by one journal's worth so a rebuild-sized block can
+  // absorb every repair insert a single journal window can deliver without
+  // touching the heap again.
+  const std::size_t target = needed + sched::RunQueue::kJournalCapacity;
+  std::size_t cap = b_capacity_ == 0 ? 64 : b_capacity_;
+  while (cap < target) {
+    cap *= 2;
+  }
+  auto block = std::make_unique<std::byte[]>(
+      cap * (sizeof(util::ListHook*) + sizeof(sched::Credit)));
+  auto** hooks = reinterpret_cast<util::ListHook**>(block.get());
+  auto* credits =
+      reinterpret_cast<sched::Credit*>(block.get() + cap * sizeof(util::ListHook*));
+  if (preserve && b_size_ > 0) {
+    std::memcpy(hooks, hooks_b_, b_size_ * sizeof(util::ListHook*));
+    std::memcpy(credits, credits_b_, b_size_ * sizeof(sched::Credit));
+  }
+  b_block_ = std::move(block);
+  b_capacity_ = cap;
+  hooks_b_ = hooks;
+  credits_b_ = credits;
 }
 
 void P2smIndex::rebuild(sched::VcpuList& a, sched::RunQueue& b) {
-  array_b_.clear();
-  credits_b_.clear();
-  pos_a_.clear();
-
-  array_b_.reserve(b.size());
-  credits_b_.reserve(b.size());
+  ensure_b_capacity(b.size(), /*preserve=*/false);
+  b_size_ = 0;
   for (sched::Vcpu& vcpu : b.list()) {
-    array_b_.push_back(&vcpu.hook);
-    credits_b_.push_back(vcpu.credit);
+    hooks_b_[b_size_] = &vcpu.hook;
+    credits_b_[b_size_] = vcpu.credit;
+    ++b_size_;
   }
 
   // Partition A (sorted) into maximal runs per anchor. Anchors are
-  // non-decreasing along A, so a single pass suffices.
+  // non-decreasing along A, so a single pass appends in sorted order.
+  // Capacity note: runs never outnumber A nodes, so reserving |A| once
+  // makes both this pass and every later repair-time split allocation-free.
+  pos_a_.clear();
+  if (pos_a_.capacity() < a.size()) {
+    pos_a_.reserve(a.size());
+  }
   for (sched::Vcpu& vcpu : a) {
     const AnchorIndex anchor = anchor_for(vcpu.credit);
-    auto [it, inserted] = pos_a_.try_emplace(anchor);
-    Run& run = it->second;
-    if (inserted) {
-      run.head = &vcpu.hook;
+    if (pos_a_.empty() || pos_a_.back().anchor != anchor) {
+      pos_a_.push_back(RunEntry{anchor, Run{&vcpu.hook, &vcpu.hook, 1}});
+    } else {
+      Run& run = pos_a_.back().run;
+      run.tail = &vcpu.hook;
+      ++run.count;
     }
-    run.tail = &vcpu.hook;
-    ++run.count;
   }
 
   built_version_ = b.version();
@@ -67,6 +105,196 @@ void P2smIndex::rebuild(sched::VcpuList& a, sched::RunQueue& b) {
   HORSE_DCHECK_OK(audit(a, b));
 }
 
+bool P2smIndex::apply_insert_delta(const sched::QueueDelta& delta) {
+  if (delta.position < 0 ||
+      static_cast<std::size_t>(delta.position) > b_size_) {
+    return false;
+  }
+  const auto p = static_cast<std::size_t>(delta.position);
+  const sched::Credit c = delta.credit;
+  // The journalled position must be a valid sorted insert against our
+  // snapshot: after every element <= c, before every element > c. Ties are
+  // strict on the right — every mutator links new elements after equal
+  // credits — so a violation means snapshot divergence, not a tie.
+  if (p > 0 && credits_b_[p - 1] > c) {
+    return false;
+  }
+  if (p < b_size_ && credits_b_[p] <= c) {
+    return false;
+  }
+
+  // Re-anchor the run table. Runs anchored at or after p shift right; the
+  // run anchored at p-1 (kBeforeHead when p == 0) may split: its nodes
+  // with credit >= c now belong after the inserted element.
+  const auto anchor_p = static_cast<AnchorIndex>(p);
+  std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(pos_a_.begin(), pos_a_.end(), anchor_p,
+                       [](const RunEntry& entry, AnchorIndex key) {
+                         return entry.anchor < key;
+                       }) -
+      pos_a_.begin());
+  for (std::size_t i = idx; i < pos_a_.size(); ++i) {
+    ++pos_a_[i].anchor;
+  }
+  if (idx > 0 && pos_a_[idx - 1].anchor == anchor_p - 1) {
+    Run& prev = pos_a_[idx - 1].run;
+    util::ListHook* node = prev.head;
+    std::size_t keep = 0;
+    while (keep < prev.count && vcpu_of(node)->credit < c) {
+      node = node->next;
+      ++keep;
+    }
+    if (keep == 0) {
+      // Every node lands after the new element: the whole run re-anchors.
+      pos_a_[idx - 1].anchor = anchor_p;
+    } else if (keep < prev.count) {
+      const Run second{node, prev.tail, prev.count - keep};
+      prev.tail = node->prev;
+      prev.count = keep;
+      pos_a_.insert(pos_a_.begin() + static_cast<std::ptrdiff_t>(idx),
+                    RunEntry{anchor_p, second});
+    }
+  }
+
+  // Shift the snapshot and drop the new element in.
+  ensure_b_capacity(b_size_ + 1, /*preserve=*/true);
+  std::memmove(hooks_b_ + p + 1, hooks_b_ + p,
+               (b_size_ - p) * sizeof(util::ListHook*));
+  std::memmove(credits_b_ + p + 1, credits_b_ + p,
+               (b_size_ - p) * sizeof(sched::Credit));
+  hooks_b_[p] = delta.hook;
+  credits_b_[p] = c;
+  ++b_size_;
+  return true;
+}
+
+bool P2smIndex::apply_remove_delta(const sched::QueueDelta& delta) {
+  std::size_t p = 0;
+  if (delta.position >= 0) {
+    p = static_cast<std::size_t>(delta.position);
+    if (p >= b_size_ || hooks_b_[p] != delta.hook) {
+      return false;
+    }
+  } else {
+    // Remove-by-node: resolve the position from the credit (binary search)
+    // plus the hook identity among equal credits.
+    const sched::Credit c = delta.credit;
+    auto* it = std::lower_bound(credits_b_, credits_b_ + b_size_, c);
+    std::size_t i = static_cast<std::size_t>(it - credits_b_);
+    while (i < b_size_ && credits_b_[i] == c && hooks_b_[i] != delta.hook) {
+      ++i;
+    }
+    if (i >= b_size_ || credits_b_[i] != c || hooks_b_[i] != delta.hook) {
+      return false;
+    }
+    p = i;
+  }
+
+  // Re-anchor the run table. A run anchored at the vanished element
+  // re-anchors to p-1 and merges with an existing p-1 run (the two are
+  // adjacent in A, in that order); everything after p shifts left.
+  const auto anchor_p = static_cast<AnchorIndex>(p);
+  std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(pos_a_.begin(), pos_a_.end(), anchor_p,
+                       [](const RunEntry& entry, AnchorIndex key) {
+                         return entry.anchor < key;
+                       }) -
+      pos_a_.begin());
+  if (idx < pos_a_.size() && pos_a_[idx].anchor == anchor_p) {
+    if (idx > 0 && pos_a_[idx - 1].anchor == anchor_p - 1) {
+      Run& prev = pos_a_[idx - 1].run;
+      prev.tail = pos_a_[idx].run.tail;
+      prev.count += pos_a_[idx].run.count;
+      pos_a_.erase(pos_a_.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      pos_a_[idx].anchor = anchor_p - 1;  // may become kBeforeHead
+      ++idx;
+    }
+  }
+  for (std::size_t i = idx; i < pos_a_.size(); ++i) {
+    --pos_a_[i].anchor;
+  }
+
+  std::memmove(hooks_b_ + p, hooks_b_ + p + 1,
+               (b_size_ - p - 1) * sizeof(util::ListHook*));
+  std::memmove(credits_b_ + p, credits_b_ + p + 1,
+               (b_size_ - p - 1) * sizeof(sched::Credit));
+  --b_size_;
+  return true;
+}
+
+util::Status P2smIndex::repair(sched::VcpuList& a, sched::RunQueue& b) {
+  if (!built_) {
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm repair: index not built; rebuild instead"};
+  }
+  if (poisoned_) {
+    ++stats_.repair_fallbacks;
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm repair: index poisoned; rebuild instead"};
+  }
+  const std::uint64_t current = b.version();
+  if (current == built_version_) {
+    return util::Status::ok();  // already fresh, nothing to replay
+  }
+  if (current < built_version_ ||
+      current - built_version_ > sched::RunQueue::kJournalCapacity) {
+    ++stats_.repair_fallbacks;
+    return {util::StatusCode::kFailedPrecondition,
+            "p2sm repair: journal cannot cover versions " +
+                std::to_string(built_version_) + ".." +
+                std::to_string(current)};
+  }
+  if (HORSE_FAULT_POINT("p2sm.repair.corrupt_delta")) {
+    // A corrupt journal entry was "applied": the snapshot can no longer be
+    // trusted, so the index poisons itself and the caller degrades to a
+    // full rebuild (which cures the poisoning).
+    poison();
+    ++stats_.repair_fallbacks;
+    return {util::StatusCode::kInternal,
+            "p2sm repair: injected corrupt journal delta (index poisoned)"};
+  }
+
+  std::uint64_t applied = 0;
+  for (std::uint64_t v = built_version_ + 1; v <= current; ++v) {
+    const sched::QueueDelta* delta = b.delta_for_version(v);
+    const bool ok =
+        delta != nullptr &&
+        (delta->kind == sched::QueueDelta::Kind::kInsert
+             ? apply_insert_delta(*delta)
+             : apply_remove_delta(*delta));
+    if (!ok) {
+      // Gap (unjournalled mutation / overwritten slot) or an entry that
+      // contradicts the snapshot. A partially replayed index is not
+      // trustworthy, so it un-builds itself; rebuild() restores it.
+      built_ = false;
+      ++stats_.repair_fallbacks;
+      return {util::StatusCode::kFailedPrecondition,
+              "p2sm repair: journal gap or contradictory entry at version " +
+                  std::to_string(v)};
+    }
+    ++applied;
+  }
+  built_version_ = current;
+
+#if defined(HORSE_DCHECK_ENABLED)
+  // Instrumented builds audit every repair; a failure here means the
+  // replay logic disagrees with the live structures, which must degrade to
+  // rebuild (the ladder contract), not abort.
+  if (util::Status audit_status = audit(a, b); !audit_status.is_ok()) {
+    poison();
+    ++stats_.repair_fallbacks;
+    return audit_status;
+  }
+#else
+  (void)a;
+#endif
+
+  ++stats_.repairs;
+  stats_.repaired_deltas += applied;
+  return util::Status::ok();
+}
+
 util::Status P2smIndex::audit(sched::VcpuList& a,
                               const sched::RunQueue& b) const {
   if (!built_) {
@@ -77,12 +305,8 @@ util::Status P2smIndex::audit(sched::VcpuList& a,
             "p2sm audit: index poisoned (corrupt anchor table)"};
   }
 
-  // arrayB / creditsB agreement.
-  if (array_b_.size() != credits_b_.size()) {
-    return {util::StatusCode::kInternal,
-            "p2sm audit: arrayB/creditsB length mismatch"};
-  }
-  for (std::size_t i = 1; i < credits_b_.size(); ++i) {
+  // creditsB ordering.
+  for (std::size_t i = 1; i < b_size_; ++i) {
     if (credits_b_[i] < credits_b_[i - 1]) {
       return {util::StatusCode::kInternal,
               "p2sm audit: creditsB not ascending at " + std::to_string(i)};
@@ -91,14 +315,14 @@ util::Status P2smIndex::audit(sched::VcpuList& a,
   if (fresh(b)) {
     // Only dereference the cached hooks when B is structurally unchanged
     // since the snapshot; on a stale index they may dangle.
-    if (array_b_.size() != b.size()) {
+    if (b_size_ != b.size()) {
       return {util::StatusCode::kInternal,
               "p2sm audit: fresh index but arrayB size " +
-                  std::to_string(array_b_.size()) + " != |B| " +
+                  std::to_string(b_size_) + " != |B| " +
                   std::to_string(b.size())};
     }
-    for (std::size_t i = 0; i < array_b_.size(); ++i) {
-      if (vcpu_of(array_b_[i])->credit != credits_b_[i]) {
+    for (std::size_t i = 0; i < b_size_; ++i) {
+      if (vcpu_of(hooks_b_[i])->credit != credits_b_[i]) {
         return {util::StatusCode::kInternal,
                 "p2sm audit: cached credit diverges from live vCPU at " +
                     std::to_string(i) + " (B mutated under a fresh index?)"};
@@ -106,19 +330,18 @@ util::Status P2smIndex::audit(sched::VcpuList& a,
     }
   }
 
-  // Anchors monotone and in range. std::map keeps keys sorted, so the
-  // monotonicity check guards against future container swaps; the range
-  // check is the live one.
+  // Anchors monotone and in range. The flat table is kept sorted by
+  // construction, so the monotonicity check guards the repair shift logic;
+  // the range check is the live one.
   AnchorIndex prev_anchor = kBeforeHead - 1;
-  for (const auto& [anchor, run] : pos_a_) {
+  for (const auto& [anchor, run] : runs()) {
     if (anchor <= prev_anchor) {
       return {util::StatusCode::kInternal, "p2sm audit: anchors not monotone"};
     }
-    if (anchor < kBeforeHead ||
-        anchor >= static_cast<AnchorIndex>(array_b_.size())) {
+    if (anchor < kBeforeHead || anchor >= static_cast<AnchorIndex>(b_size_)) {
       return {util::StatusCode::kInternal,
               "p2sm audit: anchor " + std::to_string(anchor) +
-                  " outside [-1, " + std::to_string(array_b_.size()) + ")"};
+                  " outside [-1, " + std::to_string(b_size_) + ")"};
     }
     if (run.head == nullptr || run.tail == nullptr || run.count == 0) {
       return {util::StatusCode::kInternal,
@@ -129,29 +352,30 @@ util::Status P2smIndex::audit(sched::VcpuList& a,
 
   // Runs partition A: walking A front-to-back must visit each run's
   // [head..tail] exactly once, in anchor order, covering every node.
-  auto run_it = pos_a_.begin();
+  auto run_it = runs().begin();
+  const auto run_end = runs().end();
   std::size_t remaining_in_run = 0;
   std::size_t covered = 0;
   const util::ListHook* expected_tail = nullptr;
   for (sched::Vcpu& vcpu : a) {
     if (remaining_in_run == 0) {
-      if (run_it == pos_a_.end()) {
+      if (run_it == run_end) {
         return {util::StatusCode::kInternal,
                 "p2sm audit: A has nodes beyond the last run"};
       }
-      if (run_it->second.head != &vcpu.hook) {
+      if (run_it->run.head != &vcpu.hook) {
         return {util::StatusCode::kInternal,
                 "p2sm audit: run head does not match A order at anchor " +
-                    std::to_string(run_it->first)};
+                    std::to_string(run_it->anchor)};
       }
-      remaining_in_run = run_it->second.count;
-      expected_tail = run_it->second.tail;
+      remaining_in_run = run_it->run.count;
+      expected_tail = run_it->run.tail;
     }
-    if (anchor_for(vcpu.credit) != run_it->first) {
+    if (anchor_for(vcpu.credit) != run_it->anchor) {
       return {util::StatusCode::kInternal,
               "p2sm audit: node anchored to " +
                   std::to_string(anchor_for(vcpu.credit)) + " but run is " +
-                  std::to_string(run_it->first)};
+                  std::to_string(run_it->anchor)};
     }
     --remaining_in_run;
     ++covered;
@@ -159,12 +383,12 @@ util::Status P2smIndex::audit(sched::VcpuList& a,
       if (expected_tail != &vcpu.hook) {
         return {util::StatusCode::kInternal,
                 "p2sm audit: run tail does not match A order at anchor " +
-                    std::to_string(run_it->first)};
+                    std::to_string(run_it->anchor)};
       }
       ++run_it;
     }
   }
-  if (remaining_in_run != 0 || run_it != pos_a_.end()) {
+  if (remaining_in_run != 0 || run_it != run_end) {
     return {util::StatusCode::kInternal,
             "p2sm audit: runs extend beyond A (count drift)"};
   }
@@ -193,20 +417,25 @@ util::Status P2smIndex::insert_into_a(sched::VcpuList& a, sched::Vcpu& vcpu,
             "p2sm: injected incremental-insert failure"};
   }
   const AnchorIndex anchor = anchor_for(vcpu.credit);
-  auto it = pos_a_.find(anchor);
-  if (it == pos_a_.end()) {
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(pos_a_.begin(), pos_a_.end(), anchor,
+                       [](const RunEntry& entry, AnchorIndex key) {
+                         return entry.anchor < key;
+                       }) -
+      pos_a_.begin());
+  if (idx == pos_a_.size() || pos_a_[idx].anchor != anchor) {
     // New run. Its position inside A is immediately before the head of
     // the next run (runs are ordered by anchor along A), or at A's end.
-    auto next = pos_a_.upper_bound(anchor);
-    if (next == pos_a_.end()) {
+    if (idx == pos_a_.size()) {
       a.push_back(vcpu);
     } else {
-      a.insert(sched::VcpuList::iterator(next->second.head), vcpu);
+      a.insert(sched::VcpuList::iterator(pos_a_[idx].run.head), vcpu);
     }
-    pos_a_.emplace(anchor, Run{&vcpu.hook, &vcpu.hook, 1});
+    pos_a_.insert(pos_a_.begin() + static_cast<std::ptrdiff_t>(idx),
+                  RunEntry{anchor, Run{&vcpu.hook, &vcpu.hook, 1}});
   } else {
     // Extend an existing run: walk it to keep A credit-sorted.
-    Run& run = it->second;
+    Run& run = pos_a_[idx].run;
     util::ListHook* node = run.head;
     util::ListHook* insert_before = nullptr;
     for (std::size_t i = 0; i < run.count; ++i) {
@@ -247,14 +476,14 @@ util::Status P2smIndex::remove_from_a(sched::VcpuList& a, sched::Vcpu& vcpu) {
   }
   // Find the run containing the vCPU (paper: O(m) worst case — all of A
   // in one run with the victim last).
-  for (auto it = pos_a_.begin(); it != pos_a_.end(); ++it) {
-    Run& run = it->second;
+  for (std::size_t r = 0; r < pos_a_.size(); ++r) {
+    Run& run = pos_a_[r].run;
     util::ListHook* node = run.head;
     for (std::size_t i = 0; i < run.count; ++i) {
       util::ListHook* next = node->next;
       if (node == &vcpu.hook) {
         if (run.count == 1) {
-          pos_a_.erase(it);
+          pos_a_.erase(pos_a_.begin() + static_cast<std::ptrdiff_t>(r));
         } else {
           if (run.head == node) {
             run.head = next;
@@ -294,14 +523,42 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
   task_buffer_.clear();
   task_buffer_.reserve(pos_a_.size());
   std::size_t total = 0;
-  for (const auto& [anchor, run] : pos_a_) {
+  for (const auto& [anchor, run] : runs()) {
     util::ListHook* anchor_hook =
         anchor == kBeforeHead ? b.list().sentinel()
-                              : array_b_[static_cast<std::size_t>(anchor)];
+                              : hooks_b_[static_cast<std::size_t>(anchor)];
     task_buffer_.push_back(SpliceTask{anchor_hook, run.head, run.tail});
     total += run.count;
   }
   assert(total == a.size());
+
+  // Journal every spliced node as a positional insert BEFORE the splices
+  // rewrite any links (the staging walk follows A's chains). Co-resident
+  // indexes on this queue then repair() in O(runs + delta) instead of
+  // rebuilding — the mutation that used to trigger the rebuild storm.
+  // Entries are staged with plain stores and published as one release
+  // fetch_add of `total` after the splices land, so the resume path pays a
+  // single atomic RMW. A chain larger than the journal (unreachable: the
+  // paper bounds vCPUs at 36 < 64) is simply not staged; readers see the
+  // version gap and rebuild.
+  if (total <= sched::RunQueue::kJournalCapacity) {
+    std::size_t prior = 0;
+    for (const auto& [anchor, run] : runs()) {
+      util::ListHook* node = run.head;
+      for (std::size_t j = 0; j < run.count; ++j) {
+        // Final position: the anchor's own index, plus every node staged
+        // before this run, plus this run's prefix, plus one to land after
+        // the anchor. Applying the entries in version order reproduces
+        // exactly the post-splice queue.
+        const auto position = static_cast<std::int32_t>(
+            anchor + static_cast<AnchorIndex>(prior + j) + 1);
+        b.stage_delta(prior + j, sched::QueueDelta::Kind::kInsert, position,
+                      vcpu_of(node)->credit, node);
+        node = node->next;
+      }
+      prior += run.count;
+    }
+  }
 
   // Detach A's container bookkeeping first (O(1)); the nodes themselves
   // are re-linked by the splices.
@@ -311,7 +568,7 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
   executor.execute(task_buffer_);
 
   b.list().add_size(total);
-  b.bump_version();
+  b.publish_staged_deltas(total);
   built_ = false;  // consumed
   pos_a_.clear();
   ++stats_.merges;
@@ -322,13 +579,9 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
 }
 
 std::size_t P2smIndex::memory_bytes() const noexcept {
-  // std::map node: payload + two-child/parent pointers + color (~40 bytes
-  // of overhead per node on libstdc++).
-  constexpr std::size_t kMapNodeOverhead = 40;
-  return array_b_.capacity() * sizeof(util::ListHook*) +
-         credits_b_.capacity() * sizeof(sched::Credit) +
-         task_buffer_.capacity() * sizeof(SpliceTask) +
-         pos_a_.size() * (sizeof(std::pair<AnchorIndex, Run>) + kMapNodeOverhead);
+  return b_capacity_ * (sizeof(util::ListHook*) + sizeof(sched::Credit)) +
+         pos_a_.capacity() * sizeof(RunEntry) +
+         task_buffer_.capacity() * sizeof(SpliceTask);
 }
 
 }  // namespace horse::core

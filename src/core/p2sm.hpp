@@ -19,14 +19,23 @@
 // correctness argument.
 //
 // Freshness: the index snapshots B at a specific RunQueue::version(). Any
-// structural change to B invalidates it; UllRunQueueManager rebuilds stale
-// indexes off the resume path (§4.1.3: "the updates are performed each
-// time ull_runqueue is updated").
+// structural change to B invalidates it. Maintenance is incremental first:
+// repair() replays the queue's bounded mutation journal in O(runs + delta),
+// shifting anchors and the B snapshot in place; rebuild() is the O(|A|+|B|)
+// fallback when the journal cannot cover the gap (§4.1.3: "the updates are
+// performed each time ull_runqueue is updated").
+//
+// Storage is allocation-free in steady state: posA is a sorted flat vector
+// whose capacity is recycled across rebuilds, and arrayB/creditsB live in
+// one SoA block (hooks then credits) that is reused and only grows
+// geometrically. A rebuild or repair at stable queue sizes touches the
+// heap zero times (asserted by the allocation-counting test hook).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/merge_crew.hpp"
@@ -38,6 +47,14 @@ namespace horse::core {
 
 struct P2smStats {
   std::uint64_t rebuilds = 0;
+  /// Delta repairs that brought a stale index fresh without a rebuild.
+  std::uint64_t repairs = 0;
+  /// Repair attempts that had to decline (journal gap/overflow, position
+  /// mismatch, injected corruption, failed post-repair audit); the caller
+  /// falls back to rebuild().
+  std::uint64_t repair_fallbacks = 0;
+  /// Journal entries applied across all successful repairs.
+  std::uint64_t repaired_deltas = 0;
   std::uint64_t incremental_inserts = 0;
   std::uint64_t incremental_removes = 0;
   std::uint64_t merges = 0;
@@ -56,6 +73,49 @@ class P2smIndex {
     std::size_t count = 0;
   };
 
+  /// One run-table entry: anchor plus its run, stored contiguously in
+  /// anchor order. Structured bindings decompose it exactly like the old
+  /// map's value_type: `for (const auto& [anchor, run] : index.runs())`.
+  struct RunEntry {
+    AnchorIndex anchor = kBeforeHead;
+    Run run;
+  };
+
+  /// Opaque, container-agnostic view over the run table in anchor order.
+  /// Callers iterate RunEntry values or look up by anchor; the backing
+  /// container (today a sorted flat vector) is not part of the contract,
+  /// so swapping it cannot break callers again.
+  class RunsView {
+   public:
+    using const_iterator = const RunEntry*;
+
+    [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+    [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] bool contains(AnchorIndex anchor) const noexcept {
+      return find(anchor) != nullptr;
+    }
+    /// The run anchored at `anchor`; throws std::out_of_range when absent
+    /// (map::at semantics — this is a test/introspection helper).
+    [[nodiscard]] const Run& at(AnchorIndex anchor) const {
+      const RunEntry* entry = find(anchor);
+      if (entry == nullptr) {
+        throw std::out_of_range("p2sm runs(): no run at requested anchor");
+      }
+      return entry->run;
+    }
+
+   private:
+    friend class P2smIndex;
+    RunsView(const RunEntry* data, std::size_t size) noexcept
+        : data_(data), size_(size) {}
+    [[nodiscard]] const RunEntry* find(AnchorIndex anchor) const noexcept;
+
+    const RunEntry* data_;
+    std::size_t size_;
+  };
+
   P2smIndex() = default;
 
   // --- precomputation phase (§4.1.1) ------------------------------------
@@ -63,6 +123,17 @@ class P2smIndex {
   /// Full recompute: O(|A| + |B|). Caller must hold B's lock or otherwise
   /// guarantee B is quiescent.
   void rebuild(sched::VcpuList& a, sched::RunQueue& b);
+
+  /// Incremental recompute: replay B's mutation journal between the built
+  /// version and the current one, shifting anchors and the B snapshot in
+  /// place — O(runs + delta) instead of O(|A| + |B|). Returns non-ok
+  /// (without repairing anything trustworthy) when the journal cannot
+  /// cover the gap: overflow, an unjournalled version bump, a position
+  /// that contradicts the snapshot, or injected corruption
+  /// (p2sm.repair.corrupt_delta, which also poisons the index). The caller
+  /// falls back to rebuild(), which cures every failure mode. Caller must
+  /// hold B's lock.
+  util::Status repair(sched::VcpuList& a, sched::RunQueue& b);
 
   /// True when the index still matches B's current structure.
   [[nodiscard]] bool fresh(const sched::RunQueue& b) const noexcept {
@@ -75,11 +146,12 @@ class P2smIndex {
   }
 
   /// A poisoned index is one whose precomputed structures are suspected
-  /// corrupt (detected — or injected via the p2sm.rebuild.corrupt_anchor
-  /// fault site — during rebuild). merge()/insert/remove refuse it, the
-  /// audit reports it, and the next rebuild() cures it. Freshness and
-  /// poisoning are orthogonal: a poisoned index may still match B's
-  /// version, but it must never be trusted for an O(1) splice.
+  /// corrupt (detected — or injected via the p2sm.rebuild.corrupt_anchor /
+  /// p2sm.repair.corrupt_delta fault sites — during maintenance).
+  /// merge()/insert/remove/repair refuse it, the audit reports it, and the
+  /// next rebuild() cures it. Freshness and poisoning are orthogonal: a
+  /// poisoned index may still match B's version, but it must never be
+  /// trusted for an O(1) splice.
   [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
   void poison() noexcept { poisoned_ = true; }
 
@@ -98,8 +170,10 @@ class P2smIndex {
   /// Splice all of A into B. O(#runs) splice tasks executed by `executor`
   /// (possibly in parallel), independent of |A| and |B|. On return A is
   /// empty, B is sorted and contains every former A element, and the
-  /// index is consumed (invalidated). Caller must hold B's lock if other
-  /// threads may mutate B concurrently.
+  /// index is consumed (invalidated). The spliced nodes are journalled
+  /// into B as per-position inserts, so co-resident indexes on the same
+  /// queue can repair() instead of rebuilding. Caller must hold B's lock
+  /// if other threads may mutate B concurrently.
   util::Status merge(sched::VcpuList& a, sched::RunQueue& b,
                      MergeExecutor& executor);
 
@@ -113,33 +187,57 @@ class P2smIndex {
   ///     [head..tail] exactly once, in anchor order, with per-run node
   ///     counts summing to |A| and every run's nodes anchored correctly
   ///     (anchor_for(credit) == the run's anchor).
-  /// Returns the first violation. rebuild()/merge() self-audit under
-  /// HORSE_DCHECK; release builds never pay for this.
+  /// Returns the first violation. rebuild()/repair()/merge() self-audit
+  /// under HORSE_DCHECK; release builds never pay for this.
   [[nodiscard]] util::Status audit(sched::VcpuList& a,
                                    const sched::RunQueue& b) const;
 
   // --- introspection ------------------------------------------------------
 
   [[nodiscard]] std::size_t run_count() const noexcept { return pos_a_.size(); }
-  [[nodiscard]] std::size_t array_b_size() const noexcept { return array_b_.size(); }
+  [[nodiscard]] std::size_t array_b_size() const noexcept { return b_size_; }
   [[nodiscard]] const P2smStats& stats() const noexcept { return stats_; }
 
   /// Approximate heap footprint of the precomputed structures, for the
   /// §5.2 memory-overhead experiment.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
-  /// Test hook: the runs in anchor order.
-  [[nodiscard]] const std::map<AnchorIndex, Run>& runs() const noexcept {
-    return pos_a_;
+  /// The runs in anchor order (opaque view; see RunsView).
+  [[nodiscard]] RunsView runs() const noexcept {
+    return {pos_a_.data(), pos_a_.size()};
   }
 
  private:
   /// Largest index i with creditsB[i] <= credit, or kBeforeHead.
   [[nodiscard]] AnchorIndex anchor_for(sched::Credit credit) const noexcept;
 
-  std::vector<util::ListHook*> array_b_;
-  std::vector<sched::Credit> credits_b_;
-  std::map<AnchorIndex, Run> pos_a_;
+  /// Grow the SoA block so it can hold `needed` B entries plus repair
+  /// headroom. `preserve` keeps the live entries (repair-time growth);
+  /// rebuild passes false and refills from scratch. No-op when the block
+  /// is already big enough — the steady-state path.
+  void ensure_b_capacity(std::size_t needed, bool preserve);
+
+  /// Apply one journalled mutation to the snapshot + run table. Returns
+  /// false when the entry contradicts the index (caller declines the
+  /// whole repair and rebuilds).
+  [[nodiscard]] bool apply_insert_delta(const sched::QueueDelta& delta);
+  [[nodiscard]] bool apply_remove_delta(const sched::QueueDelta& delta);
+
+  // B snapshot as one recycled SoA block: kBCapacity hook pointers, then
+  // kBCapacity credits. Folding both arrays into a single allocation
+  // halves the growth events and keeps the anchor search's credit scan
+  // contiguous.
+  std::unique_ptr<std::byte[]> b_block_;
+  std::size_t b_capacity_ = 0;
+  std::size_t b_size_ = 0;
+  util::ListHook** hooks_b_ = nullptr;
+  sched::Credit* credits_b_ = nullptr;
+
+  // Run table: sorted by anchor, capacity recycled across rebuilds. A
+  // rebuild reserves |A| entries; since runs never outnumber A nodes and
+  // A does not change during repair, repair-time splits can never exceed
+  // that capacity — vector::insert never reallocates in steady state.
+  std::vector<RunEntry> pos_a_;
   std::vector<SpliceTask> task_buffer_;
   std::uint64_t built_version_ = 0;
   bool built_ = false;

@@ -1,0 +1,117 @@
+#include "core/splice_calibration.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <vector>
+
+#include "util/intrusive_list.hpp"
+
+// Same detection as tests/support/sanitizers.hpp: GCC defines
+// __SANITIZE_*, clang exposes __has_feature.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HORSE_CALIBRATE_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HORSE_CALIBRATE_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef HORSE_CALIBRATE_UNDER_SANITIZER
+#define HORSE_CALIBRATE_UNDER_SANITIZER 0
+#endif
+
+namespace horse::core {
+
+namespace {
+
+/// Run counts probed, ascending. 36 vCPUs is the paper's bound, so run
+/// counts beyond 32 are rare; if inline still wins at 32 the crossover
+/// saturates there.
+constexpr std::array<std::uint32_t, 6> kProbes{1, 2, 4, 8, 16, 32};
+constexpr int kSamples = 3;
+constexpr int kItersPerSample = 64;
+
+/// Synthetic splice scenario with `runs` single-node runs: a ring of
+/// runs+1 "B" hooks with one "A" hook spliced after each B position.
+/// execute_splice() only touches hook pointers, so no vCPUs or queues are
+/// needed, and unlinking every A hook exactly reverses the splice set.
+struct Fixture {
+  explicit Fixture(std::uint32_t runs)
+      : b(runs + 1), a(runs), tasks(runs) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i].next = &b[(i + 1) % b.size()];
+      b[(i + 1) % b.size()].prev = &b[i];
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      tasks[i] = SpliceTask{&b[i], &a[i], &a[i]};
+    }
+  }
+
+  void reset() noexcept {
+    for (util::ListHook& hook : a) {
+      hook.unlink();
+    }
+  }
+
+  std::vector<util::ListHook> b;
+  std::vector<util::ListHook> a;
+  std::vector<SpliceTask> tasks;
+};
+
+/// Best-of-kSamples per-merge cost of (execute + reset). The reset cost is
+/// identical for both executors, so the inline-vs-crew comparison is
+/// unaffected by it; min-of-samples rejects scheduling noise.
+util::Nanos sample_cost(MergeExecutor& executor, Fixture& fixture) {
+  util::Nanos best = std::numeric_limits<util::Nanos>::max();
+  // One discarded warmup sample faults in the fixture and wakes the crew.
+  for (int s = 0; s < kSamples + 1; ++s) {
+    util::Stopwatch watch;
+    for (int i = 0; i < kItersPerSample; ++i) {
+      executor.execute(fixture.tasks);
+      fixture.reset();
+    }
+    const util::Nanos elapsed = watch.elapsed();
+    if (s > 0) {
+      best = std::min(best, elapsed);
+    }
+  }
+  return best / kItersPerSample;
+}
+
+}  // namespace
+
+SpliceCalibration calibrate_inline_splice(ParallelMergeCrew& crew) {
+#if HORSE_CALIBRATE_UNDER_SANITIZER
+  // Instrumentation multiplies every memory access (~10x under tsan),
+  // shifting the relative weight of the two paths; measuring would bake
+  // noise into the routing decision. Use a fixed conservative crossover.
+  (void)crew;
+  return SpliceCalibration{4, 0, 0};
+#else
+  SequentialMergeExecutor inline_executor;
+  const bool was_armed = crew.armed();
+  if (!was_armed) {
+    crew.arm();
+  }
+
+  SpliceCalibration result;
+  for (const std::uint32_t runs : kProbes) {
+    Fixture fixture(runs);
+    const util::Nanos inline_ns = sample_cost(inline_executor, fixture);
+    const util::Nanos crew_ns = sample_cost(crew, fixture);
+    result.inline_ns = inline_ns;
+    result.crew_ns = crew_ns;
+    if (inline_ns > crew_ns) {
+      break;  // the crew wins from here up; the crossover is behind us
+    }
+    result.crossover_runs = runs;
+  }
+
+  if (!was_armed) {
+    crew.disarm();
+  }
+  return result;
+#endif
+}
+
+}  // namespace horse::core

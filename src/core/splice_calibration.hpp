@@ -1,0 +1,40 @@
+// Startup micro-calibration for the adaptive inline-splice crossover.
+//
+// Dispatching a splice set to the pre-armed crew costs one cross-core
+// cacheline round-trip per worker touched (generation store, claim CAS,
+// completion flag) — hundreds of nanoseconds that dwarf the two boundary
+// rewrites of a small run set. Below some machine-dependent run count it
+// is faster to issue the splices from the resuming thread. This module
+// measures that crossover once, at engine startup, on synthetic hook
+// chains that never touch a real queue: HorseResumeEngine then routes
+// merges with run_count <= crossover to its inline SequentialMergeExecutor
+// and everything larger to the crew (overridable via
+// HorseConfig::inline_splice_max_runs).
+#pragma once
+
+#include <cstdint>
+
+#include "core/merge_crew.hpp"
+#include "util/time.hpp"
+
+namespace horse::core {
+
+struct SpliceCalibration {
+  /// Splice sets with at most this many runs should run inline; 0 means
+  /// the crew won even at a single run.
+  std::uint32_t crossover_runs = 0;
+  /// Per-merge costs measured at the probe that decided the crossover
+  /// (diagnostics; includes the fixture-reset overhead, identical on both
+  /// sides, so only the comparison is meaningful).
+  util::Nanos inline_ns = 0;
+  util::Nanos crew_ns = 0;
+};
+
+/// Measure the inline-vs-crew crossover on `crew`. Arms the crew for the
+/// measurement (and restores its previous armed state). Under sanitizer
+/// instrumentation wall-clock ratios between the two paths are
+/// meaningless, so a fixed conservative crossover is returned instead of
+/// timing anything.
+[[nodiscard]] SpliceCalibration calibrate_inline_splice(ParallelMergeCrew& crew);
+
+}  // namespace horse::core

@@ -109,16 +109,28 @@ void UllRunQueueManager::untrack(sched::SandboxId id) {
 
 std::size_t UllRunQueueManager::refresh() {
   ManagerLock lock(mutex_, meter_);
-  std::size_t rebuilt = 0;
+  std::size_t refreshed = 0;
   for (auto& [id, tracked] : tracked_) {
     sched::RunQueue& queue = topology_.queue(tracked.cpu);
     util::LockGuard guard(queue.lock());
-    if (!tracked.index->fresh(queue)) {
-      tracked.index->rebuild(tracked.sandbox->merge_vcpus(), queue);
-      ++rebuilt;
+    P2smIndex& index = *tracked.index;
+    if (index.fresh(queue) && !index.poisoned()) {
+      continue;
     }
+    // Incremental first: replay the queue's mutation journal in
+    // O(runs + delta). This is what kills the rebuild storm — N
+    // co-resident indexes used to pay O(N·(|A|+|B|)) per queue mutation.
+    if (index.built() && !index.poisoned() &&
+        index.repair(tracked.sandbox->merge_vcpus(), queue).is_ok()) {
+      ++refreshed;
+      continue;
+    }
+    // Journal gap, poisoning, or a failed audit: the O(|A|+|B|) fallback
+    // cures every repair failure mode.
+    index.rebuild(tracked.sandbox->merge_vcpus(), queue);
+    ++refreshed;
   }
-  return rebuilt;
+  return refreshed;
 }
 
 P2smIndex* UllRunQueueManager::index_of(sched::SandboxId id) {

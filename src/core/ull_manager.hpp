@@ -80,11 +80,15 @@ class UllRunQueueManager {
   /// occupancy slot.
   void untrack(sched::SandboxId id);
 
-  /// Rebuild every index whose target queue changed since it was built,
-  /// taking each target queue's lock around its rebuild. In a hypervisor
-  /// this runs from the queue-mutation path; callers here invoke it from
-  /// scheduler ticks / deferred-refresh sweeps after a degraded resume.
-  /// Returns the number of indexes rebuilt.
+  /// Bring every index whose target queue changed since it was built (or
+  /// that is poisoned) back to fresh, taking each target queue's lock
+  /// around the work. Tries the O(runs + delta) journal repair() first and
+  /// falls back to the O(|A|+|B|) rebuild() only on journal overflow,
+  /// poisoning, or a failed audit — per-index outcomes land in P2smStats
+  /// (repairs / rebuilds / repair_fallbacks). In a hypervisor this runs
+  /// from the queue-mutation path; callers here invoke it from scheduler
+  /// ticks / deferred-refresh sweeps after a degraded resume.
+  /// Returns the number of indexes made fresh (repaired + rebuilt).
   std::size_t refresh();
 
   /// The index for a paused sandbox; nullptr when untracked. See the

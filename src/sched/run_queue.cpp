@@ -10,32 +10,36 @@ namespace horse::sched {
 void RunQueue::insert_sorted(Vcpu& vcpu) noexcept {
   auto it = queue_.begin();
   const auto end = queue_.end();
+  std::int32_t position = 0;
   while (it != end && it->credit <= vcpu.credit) {
     HORSE_YIELD_POINT("runq.insert_scan");
     ++it;
+    ++position;
   }
   HORSE_YIELD_POINT("runq.insert_link");
   queue_.insert(it, vcpu);
   vcpu.state = VcpuState::kRunnable;
   vcpu.last_cpu = cpu_;
   HORSE_YIELD_POINT("runq.bump_version");
-  bump_version();
+  journal_record(QueueDelta::Kind::kInsert, position, vcpu.credit, &vcpu.hook);
   HORSE_DCHECK_OK(check_invariants(/*require_sorted=*/false));
 }
 
 void RunQueue::push_back(Vcpu& vcpu) noexcept {
   HORSE_YIELD_POINT("runq.push_back");
+  const auto position = static_cast<std::int32_t>(queue_.size());
   queue_.push_back(vcpu);
   vcpu.state = VcpuState::kRunnable;
   vcpu.last_cpu = cpu_;
-  bump_version();
+  journal_record(QueueDelta::Kind::kInsert, position, vcpu.credit, &vcpu.hook);
   HORSE_DCHECK_OK(check_invariants(/*require_sorted=*/false));
 }
 
 void RunQueue::remove(Vcpu& vcpu) noexcept {
   HORSE_YIELD_POINT("runq.remove");
   queue_.erase(vcpu);
-  bump_version();
+  journal_record(QueueDelta::Kind::kRemove, QueueDelta::kUnknownPosition,
+                 vcpu.credit, &vcpu.hook);
   HORSE_DCHECK_OK(check_invariants(/*require_sorted=*/false));
 }
 
@@ -45,7 +49,7 @@ Vcpu* RunQueue::pop_front() noexcept {
   }
   HORSE_YIELD_POINT("runq.pop_front");
   Vcpu& vcpu = queue_.pop_front();
-  bump_version();
+  journal_record(QueueDelta::Kind::kRemove, 0, vcpu.credit, &vcpu.hook);
   HORSE_DCHECK_OK(check_invariants(/*require_sorted=*/false));
   return &vcpu;
 }

@@ -1,0 +1,18 @@
+#include "util/alloc_counter.hpp"
+
+namespace horse::util {
+
+namespace {
+// Trivially-initialised thread locals: safe to touch from operator new
+// even during early TLS setup (no dynamic initialisation, no
+// allocation-on-first-use).
+thread_local std::uint64_t allocs = 0;
+thread_local std::uint64_t frees = 0;
+}  // namespace
+
+std::uint64_t thread_alloc_count() noexcept { return allocs; }
+std::uint64_t thread_free_count() noexcept { return frees; }
+void note_alloc() noexcept { ++allocs; }
+void note_free() noexcept { ++frees; }
+
+}  // namespace horse::util

@@ -1,0 +1,26 @@
+// Thread-local allocation counters for the zero-allocation invariants on
+// the 𝒫²𝒮ℳ precompute path.
+//
+// The counters only move when the counting operator new/delete
+// replacement (util/alloc_hook.cpp) is compiled into the binary; it is
+// deliberately NOT part of horse_util, so production binaries never carry
+// a replaced global allocator. Targets that assert allocation behaviour
+// (the p2sm alloc test, the maintenance bench) add alloc_hook.cpp to
+// their own sources and verify the hook is live with a canary allocation
+// before trusting a zero reading.
+#pragma once
+
+#include <cstdint>
+
+namespace horse::util {
+
+/// Allocations observed on the calling thread since it started.
+[[nodiscard]] std::uint64_t thread_alloc_count() noexcept;
+/// Deallocations observed on the calling thread since it started.
+[[nodiscard]] std::uint64_t thread_free_count() noexcept;
+
+/// Called by the replaced operators; not for direct use.
+void note_alloc() noexcept;
+void note_free() noexcept;
+
+}  // namespace horse::util

@@ -59,6 +59,10 @@ core::HorseConfig parallel_config() {
   config.merge_mode = core::MergeMode::kParallel;
   config.crew_size = 2;
   config.crew_watchdog_timeout = 5 * util::kMillisecond;
+  // The crew-rung scenarios inject faults into crew workers, so every
+  // merge must actually dispatch to the crew — disable the adaptive
+  // inline-splice shortcut.
+  config.inline_splice_max_runs = 0;
   return config;
 }
 

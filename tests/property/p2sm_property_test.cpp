@@ -279,10 +279,10 @@ TEST_P(P2smIncrementalPropertyTest, IncrementalMatchesRebuild) {
     ASSERT_EQ(reference.run_count(), index.run_count()) << "op " << op;
     auto expected_it = reference.runs().begin();
     for (const auto& [anchor, run] : index.runs()) {
-      ASSERT_EQ(anchor, expected_it->first);
-      ASSERT_EQ(run.count, expected_it->second.count);
-      ASSERT_EQ(run.head, expected_it->second.head);
-      ASSERT_EQ(run.tail, expected_it->second.tail);
+      ASSERT_EQ(anchor, expected_it->anchor);
+      ASSERT_EQ(run.count, expected_it->run.count);
+      ASSERT_EQ(run.head, expected_it->run.head);
+      ASSERT_EQ(run.tail, expected_it->run.tail);
       ++expected_it;
     }
   }
