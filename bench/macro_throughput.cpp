@@ -1,9 +1,10 @@
-// Macro benchmark (ours) — closed-loop control-plane throughput scaling.
+// Macro benchmark (ours) — closed-loop control-plane throughput scaling,
+// single-host and multi-host.
 //
-// The sharded control plane's whole claim is that invocations of
-// different functions do not contend: N submit threads driving disjoint
-// function sets should deliver ~N× the aggregate invocations/sec of one
-// thread (until real cores run out). This harness measures exactly that:
+// Single-host mode (--hosts 0, the default) measures the sharded control
+// plane's scaling claim: N submit threads driving disjoint function sets
+// should deliver ~N× the aggregate invocations/sec of one thread (until
+// real cores run out):
 //
 //   * F functions (mixed uLL / plain), each provisioned with a small warm
 //     pool and snapshot;
@@ -13,12 +14,27 @@
 //     kHorse for uLL / kWarm for plain, a sprinkle of kCold + kRestore);
 //   * results as a table plus optional CSV (--csv), including the shard
 //     and ull-manager lock contention fractions that explain any
-//     sub-linear scaling.
+//     sub-linear scaling. Contention and occupancy come from ONE
+//     control-plane snapshot so each reported row is internally
+//     consistent (occupancy read separately from the contention counters
+//     could straddle concurrent assign/untrack calls).
 //
-// CI runs this with --threads 1 and --threads 8 and archives the CSV so
-// the scaling ratio is tracked per PR. On boxes with fewer real cores
-// than threads the ratio degrades toward 1 — the contended-fraction
-// columns distinguish "no cores" from "lock convoy".
+// Cluster mode (--hosts N, N >= 1) runs the same workload through the
+// multi-host ClusterScheduler and reports per-host dispatch-latency
+// percentiles — the E18 policy × dispatch-mode matrix:
+//
+//   macro_throughput --hosts 4 --policy rr|least_loaded|most_warm
+//                    --dispatch push|pull [--skew] [--csv out.csv]
+//
+// --skew switches the closed-loop mix to the 90/10 shape (90% tiny uLL
+// kHorse requests, 10% cold starts of a plain function, thousands of
+// times slower): under push the long requests convoy short ones behind
+// them on the early-bound host, under pull an idle host takes the next
+// request the moment a worker frees — E18's expectation is a visibly
+// lower p99 for pull under this skew.
+//
+// CI runs single-host --threads 1/8 plus a --hosts 4 cluster smoke in
+// both dispatch modes, archiving the CSVs.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -28,9 +44,11 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/scheduler.hpp"
 #include "faas/platform.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/reporter.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 #include "workloads/array_filter.hpp"
 #include "workloads/nat.hpp"
@@ -47,10 +65,26 @@ struct Options {
   std::uint32_t ull_queues = 4;
   std::size_t provision = 4;
   std::string csv_path;
+  // --- cluster mode (0 hosts = legacy single-host path) -------------------
+  std::size_t hosts = 0;
+  std::size_t workers_per_host = 2;
+  cluster::PolicyKind policy = cluster::PolicyKind::kRoundRobin;
+  cluster::DispatchMode dispatch = cluster::DispatchMode::kPush;
+  bool skew = false;
+  std::uint64_t seed = 42;
 };
 
 Options parse_args(int argc, char** argv) {
   Options options;
+  const auto usage = [] {
+    std::cerr << "usage: macro_throughput [--threads N] [--per-thread M]\n"
+                 "    [--functions F] [--cpus C] [--ull-queues Q]\n"
+                 "    [--provision P] [--csv PATH]\n"
+                 "    [--hosts H] [--workers-per-host W]\n"
+                 "    [--policy rr|least_loaded|most_warm]\n"
+                 "    [--dispatch push|pull] [--skew] [--seed S]\n";
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -75,11 +109,30 @@ Options parse_args(int argc, char** argv) {
       options.provision = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--csv") {
       options.csv_path = next();
+    } else if (arg == "--hosts") {
+      options.hosts = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--workers-per-host") {
+      options.workers_per_host = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--policy") {
+      const auto policy = cluster::parse_policy(next());
+      if (!policy) {
+        std::cerr << policy.status().to_report() << "\n";
+        std::exit(2);
+      }
+      options.policy = *policy;
+    } else if (arg == "--dispatch") {
+      const auto mode = cluster::parse_dispatch_mode(next());
+      if (!mode) {
+        std::cerr << mode.status().to_report() << "\n";
+        std::exit(2);
+      }
+      options.dispatch = *mode;
+    } else if (arg == "--skew") {
+      options.skew = true;
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
     } else {
-      std::cerr << "usage: macro_throughput [--threads N] [--per-thread M]\n"
-                   "    [--functions F] [--cpus C] [--ull-queues Q]\n"
-                   "    [--provision P] [--csv PATH]\n";
-      std::exit(2);
+      usage();
     }
   }
   return options;
@@ -98,11 +151,26 @@ workloads::Request packet_request() {
   return request;
 }
 
-}  // namespace
+faas::FunctionSpec make_spec(std::size_t index, bool ull) {
+  faas::FunctionSpec spec;
+  spec.name = (ull ? "nat-" : "filter-") + std::to_string(index);
+  if (ull) {
+    spec.implementation = std::make_shared<workloads::NatFunction>(64);
+  } else {
+    spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  }
+  spec.sandbox.name = spec.name + "-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = ull;
+  return spec;
+}
 
-int main(int argc, char** argv) {
-  const Options options = parse_args(argc, argv);
+// ---------------------------------------------------------------------------
+// Single-host path (--hosts 0): the original sharded-control-plane bench.
+// ---------------------------------------------------------------------------
 
+int run_single_host(const Options& options) {
   faas::PlatformConfig config;
   config.num_cpus = options.cpus;
   config.horse.num_ull_runqueues = options.ull_queues;
@@ -126,19 +194,7 @@ int main(int argc, char** argv) {
   std::vector<Fn> functions;
   for (std::size_t i = 0; i < options.functions; ++i) {
     const bool ull = (i % 2) == 0;
-    faas::FunctionSpec spec;
-    spec.name = (ull ? "nat-" : "filter-") + std::to_string(i);
-    if (ull) {
-      spec.implementation = std::make_shared<workloads::NatFunction>(64);
-    } else {
-      spec.implementation =
-          std::make_shared<workloads::ArrayFilterFunction>();
-    }
-    spec.sandbox.name = spec.name + "-sb";
-    spec.sandbox.num_vcpus = 1;
-    spec.sandbox.memory_mb = 1;
-    spec.sandbox.ull = ull;
-    const auto id = platform.registry().add(std::move(spec));
+    const auto id = platform.registry().add(make_spec(i, ull));
     if (!id) {
       std::cerr << "register failed: " << id.status().to_report() << "\n";
       return 1;
@@ -152,8 +208,7 @@ int main(int argc, char** argv) {
   }
 
   // Closed-loop submit threads over disjoint function sets.
-  const std::size_t threads =
-      std::min(options.threads, functions.size());
+  const std::size_t threads = std::min(options.threads, functions.size());
   std::vector<std::jthread> submitters;
   const util::Nanos started = util::monotonic_now();
   for (std::size_t t = 0; t < threads; ++t) {
@@ -185,9 +240,14 @@ int main(int argc, char** argv) {
       static_cast<double>(util::monotonic_now() - started) / 1e9;
 
   const faas::PlatformCounters counters = platform.counters();
-  const metrics::ContentionStats shard_lock = platform.shard_contention();
-  const metrics::ContentionStats ull_lock =
-      platform.ull_manager().contention();
+  // One consistent control-plane snapshot: the shard contention, the
+  // ull-manager contention, and the reserved-queue occupancy in a single
+  // reported row all describe the same instant.
+  const faas::ControlPlaneSnapshot plane = platform.control_plane_snapshot();
+  std::size_t ull_paused = 0;
+  for (const auto& queue : plane.ull.occupancy) {
+    ull_paused += queue.paused;
+  }
   const double inv_per_sec =
       wall_seconds > 0.0
           ? static_cast<double>(counters.invocations) / wall_seconds
@@ -196,7 +256,8 @@ int main(int argc, char** argv) {
   metrics::TextTable table(
       "Macro: closed-loop control-plane throughput",
       {"threads", "invocations", "wall (s)", "inv/s", "cold", "restore",
-       "warm", "horse", "failed", "shard contended", "ull contended"});
+       "warm", "horse", "failed", "shard contended", "ull contended",
+       "ull paused"});
   table.add_row({std::to_string(threads), std::to_string(counters.invocations),
                  metrics::format_double(wall_seconds, 3),
                  metrics::format_double(inv_per_sec, 1),
@@ -205,15 +266,18 @@ int main(int argc, char** argv) {
                  std::to_string(counters.warm),
                  std::to_string(counters.horse),
                  std::to_string(counters.failed),
-                 metrics::format_double(shard_lock.contended_fraction(), 4),
-                 metrics::format_double(ull_lock.contended_fraction(), 4)});
+                 metrics::format_double(
+                     plane.shard_contention.contended_fraction(), 4),
+                 metrics::format_double(
+                     plane.ull.contention.contended_fraction(), 4),
+                 std::to_string(ull_paused)});
   table.print(std::cout);
 
   if (!options.csv_path.empty()) {
     metrics::CsvWriter csv(
         {"threads", "invocations", "wall_seconds", "inv_per_sec", "cold",
          "restore", "warm", "horse", "failed", "shard_contended_fraction",
-         "ull_contended_fraction"});
+         "ull_contended_fraction", "ull_paused"});
     csv.add_numeric_row({static_cast<double>(threads),
                          static_cast<double>(counters.invocations),
                          wall_seconds, inv_per_sec,
@@ -222,8 +286,9 @@ int main(int argc, char** argv) {
                          static_cast<double>(counters.warm),
                          static_cast<double>(counters.horse),
                          static_cast<double>(counters.failed),
-                         shard_lock.contended_fraction(),
-                         ull_lock.contended_fraction()});
+                         plane.shard_contention.contended_fraction(),
+                         plane.ull.contention.contended_fraction(),
+                         static_cast<double>(ull_paused)});
     if (const auto status = csv.write_file(options.csv_path);
         !status.is_ok()) {
       std::cerr << "csv write failed: " << status.to_report() << "\n";
@@ -240,4 +305,193 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster path (--hosts N): the E18 policy × dispatch-mode matrix cell.
+// ---------------------------------------------------------------------------
+
+int run_cluster(const Options& options) {
+  cluster::ClusterConfig config;
+  config.num_hosts = options.hosts;
+  config.workers_per_host = options.workers_per_host;
+  config.dispatch = options.dispatch;
+  config.policy = options.policy;
+  config.platform.num_cpus = options.cpus;
+  config.platform.horse.num_ull_runqueues = options.ull_queues;
+  config.platform.seed = options.seed;
+  // The skewed mix cold-starts one function in volume; parked sandboxes
+  // beyond the cap would fail the park and pollute the outcome counts.
+  config.platform.warm_pool.max_per_function = 1 << 16;
+
+  std::optional<cluster::ClusterScheduler> cluster_storage;
+  try {
+    cluster_storage.emplace(config);
+  } catch (const std::exception& error) {
+    std::cerr << "invalid configuration: " << error.what() << "\n";
+    return 2;
+  }
+  cluster::ClusterScheduler& sched = *cluster_storage;
+
+  // Function fleet: function 0 is the hot uLL function the skewed mix
+  // hammers; the rest alternate uLL/plain as in single-host mode.
+  struct Fn {
+    faas::FunctionId id = 0;
+    bool ull = false;
+  };
+  std::vector<Fn> functions;
+  for (std::size_t i = 0; i < std::max<std::size_t>(2, options.functions);
+       ++i) {
+    const bool ull = (i % 2) == 0;
+    const auto id =
+        sched.register_function([i, ull] { return make_spec(i, ull); });
+    if (!id) {
+      std::cerr << "register failed: " << id.status().to_report() << "\n";
+      return 1;
+    }
+    functions.push_back({*id, ull});
+    if (!sched.provision(*id, options.provision).is_ok() ||
+        !sched.ensure_snapshot(*id).is_ok()) {
+      std::cerr << "provision failed for function " << *id << "\n";
+      return 1;
+    }
+  }
+
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  std::vector<std::jthread> submitters;
+  const util::Nanos started = util::monotonic_now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    submitters.emplace_back([&sched, &functions, &options, t] {
+      util::Xoshiro256 rng(options.seed + t * 1000003ULL);
+      for (std::size_t i = 0; i < options.per_thread; ++i) {
+        if (options.skew) {
+          // The 90/10 shape: 90% tiny kHorse resumes of the hot uLL
+          // function, 10% cold starts of a plain function — orders of
+          // magnitude slower, the head-of-line blockers push suffers.
+          if (rng.uniform01() < 0.9) {
+            sched.submit(functions[0].id, packet_request(),
+                         faas::StartMode::kHorse);
+          } else {
+            sched.submit(functions[1].id, filter_request(),
+                         faas::StartMode::kCold);
+          }
+        } else {
+          const Fn& fn = functions[(t + i) % functions.size()];
+          faas::StartMode mode;
+          if (i % 64 == 63) {
+            mode = faas::StartMode::kCold;
+          } else {
+            mode = fn.ull ? faas::StartMode::kHorse : faas::StartMode::kWarm;
+          }
+          sched.submit(fn.id, fn.ull ? packet_request() : filter_request(),
+                       mode);
+        }
+      }
+    });
+  }
+  submitters.clear();  // join
+  const auto outcomes = sched.drain();
+  const double wall_seconds =
+      static_cast<double>(util::monotonic_now() - started) / 1e9;
+
+  std::uint64_t failed = 0;
+  metrics::Histogram cluster_queueing;
+  for (const auto& outcome : outcomes) {
+    failed += outcome.status.is_ok() ? 0 : 1;
+    cluster_queueing.record(outcome.queueing);
+  }
+  const cluster::ClusterStats stats = sched.stats();
+  const double inv_per_sec =
+      wall_seconds > 0.0 ? static_cast<double>(outcomes.size()) / wall_seconds
+                         : 0.0;
+
+  const std::string title =
+      "Macro: cluster throughput, hosts=" + std::to_string(options.hosts) +
+      " policy=" + std::string(cluster::to_string(options.policy)) +
+      " dispatch=" + std::string(cluster::to_string(options.dispatch)) +
+      (options.skew ? " (skewed 90/10)" : "");
+  metrics::TextTable table(
+      title, {"host", "dispatched", "completed", "decisions", "queued",
+              "pool sb", "ull paused", "disp p50", "disp p99"});
+  for (const cluster::HostStats& host : stats.hosts) {
+    table.add_row(
+        {std::to_string(host.host), std::to_string(host.dispatched),
+         std::to_string(host.completed), std::to_string(host.policy_decisions),
+         std::to_string(host.queued), std::to_string(host.pool_sandboxes),
+         std::to_string(host.ull_paused),
+         metrics::format_nanos(static_cast<double>(host.dispatch_latency.p50())),
+         metrics::format_nanos(
+             static_cast<double>(host.dispatch_latency.p99()))});
+  }
+  table.print(std::cout);
+  std::cout << "cluster: " << outcomes.size() << " invocations ("
+            << failed << " failed) in "
+            << metrics::format_double(wall_seconds, 3) << " s = "
+            << metrics::format_double(inv_per_sec, 1)
+            << " inv/s; dispatch p50 "
+            << metrics::format_nanos(
+                   static_cast<double>(cluster_queueing.p50()))
+            << ", p99 "
+            << metrics::format_nanos(
+                   static_cast<double>(cluster_queueing.p99()))
+            << "; redispatched " << stats.counters.redispatched
+            << ", drops " << stats.counters.dispatch_drops << "\n";
+
+  if (!options.csv_path.empty()) {
+    // One row per host plus an aggregate row (host = -1): the E18 matrix
+    // joins these CSVs across (policy, dispatch) cells.
+    metrics::CsvWriter csv(
+        {"hosts", "policy", "dispatch", "skew", "host", "dispatched",
+         "completed", "decisions", "pool_sandboxes", "ull_paused",
+         "dispatch_p50_ns", "dispatch_p99_ns", "wall_seconds",
+         "inv_per_sec", "failed"});
+    const auto policy_name = std::string(cluster::to_string(options.policy));
+    const auto dispatch_name =
+        std::string(cluster::to_string(options.dispatch));
+    for (const cluster::HostStats& host : stats.hosts) {
+      csv.add_row({std::to_string(options.hosts), policy_name, dispatch_name,
+                   options.skew ? "1" : "0", std::to_string(host.host),
+                   std::to_string(host.dispatched),
+                   std::to_string(host.completed),
+                   std::to_string(host.policy_decisions),
+                   std::to_string(host.pool_sandboxes),
+                   std::to_string(host.ull_paused),
+                   std::to_string(host.dispatch_latency.p50()),
+                   std::to_string(host.dispatch_latency.p99()),
+                   metrics::format_double(wall_seconds, 6),
+                   metrics::format_double(inv_per_sec, 2),
+                   std::to_string(failed)});
+    }
+    csv.add_row({std::to_string(options.hosts), policy_name, dispatch_name,
+                 options.skew ? "1" : "0", "-1",
+                 std::to_string(outcomes.size()),
+                 std::to_string(stats.counters.completed),
+                 std::to_string(stats.counters.submitted), "0", "0",
+                 std::to_string(cluster_queueing.p50()),
+                 std::to_string(cluster_queueing.p99()),
+                 metrics::format_double(wall_seconds, 6),
+                 metrics::format_double(inv_per_sec, 2),
+                 std::to_string(failed)});
+    if (const auto status = csv.write_file(options.csv_path);
+        !status.is_ok()) {
+      std::cerr << "csv write failed: " << status.to_report() << "\n";
+      return 1;
+    }
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(threads) * options.per_thread;
+  if (outcomes.size() != expected) {
+    std::cerr << "accounting mismatch: " << outcomes.size()
+              << " outcomes != " << expected << " submissions\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  return options.hosts == 0 ? run_single_host(options) : run_cluster(options);
 }

@@ -6,8 +6,15 @@
 //   fixed vs adaptive (hybrid-histogram) keep-alive  ×  HORSE on/off.
 // Reported per configuration: cold-start fraction, median / p99 sandbox
 // init latency, and warm-pool residency (the memory-cost proxy).
+//
+// A second section routes the same hour through the cluster policies
+// (cluster::split_indices) across 4 modelled hosts — each slice then
+// drives an independent single-host SimServer — showing how the routing
+// policy alone shifts per-host load share and cold-start locality before
+// any real threads are involved.
 #include <iostream>
 
+#include "cluster/sim_cluster.hpp"
 #include "metrics/reporter.hpp"
 #include "sim/server.hpp"
 #include "trace/synthetic.hpp"
@@ -90,6 +97,61 @@ int main() {
   table.print(std::cout);
   std::cout << "\nExpected shape: HORSE cuts the init p50 for the uLL share "
                "of traffic; adaptive keep-alive trades a slightly higher "
-               "cold %% for much lower warm residency on rare functions.\n";
+               "cold %% for much lower warm residency on rare functions.\n\n";
+
+  // --- Cluster section: split the same hour across 4 hosts per policy ---
+  std::vector<util::Nanos> times;
+  std::vector<faas::FunctionId> fns;
+  times.reserve(schedule.size());
+  fns.reserve(schedule.size());
+  for (const trace::Arrival& arrival : schedule.arrivals()) {
+    times.push_back(arrival.time);
+    fns.push_back(static_cast<faas::FunctionId>(arrival.function_id));
+  }
+
+  metrics::TextTable cluster_table(
+      "Macro: same hour split across 4 hosts by routing policy (HORSE on, "
+      "adaptive keep-alive)",
+      {"policy", "host", "share %", "cold %", "e2e p99", "warm sb-hours"});
+  for (const cluster::PolicyKind kind :
+       {cluster::PolicyKind::kRoundRobin, cluster::PolicyKind::kLeastLoaded,
+        cluster::PolicyKind::kMostWarmSlots}) {
+    cluster::SimClusterParams split_params;
+    split_params.num_hosts = 4;
+    split_params.policy = kind;
+    split_params.seed = 4242;
+    split_params.defaults.slots = 8;
+    const auto slices = cluster::split_indices(
+        times, fns, split_params, /*service_hint=*/50 * util::kMillisecond);
+
+    for (std::size_t host = 0; host < slices.size(); ++host) {
+      trace::ArrivalSchedule slice;
+      for (const std::uint64_t index : slices[host]) {
+        slice.add(schedule.arrivals()[index]);
+      }
+      sim::SimServerParams params;
+      params.adaptive_keep_alive = true;
+      params.keep_alive_policy.min_samples = 6;
+      params.use_horse = true;
+      sim::SimServer server(params, costs);
+      register_fleet(server);
+      const auto report = server.run(slice);
+      cluster_table.add_row(
+          {std::string(cluster::to_string(kind)), std::to_string(host),
+           metrics::format_percent(
+               schedule.empty() ? 0.0
+                                : static_cast<double>(slice.size()) /
+                                      static_cast<double>(schedule.size())),
+           metrics::format_percent(report.cold_fraction()),
+           metrics::format_nanos(
+               static_cast<double>(report.end_to_end_latency.p99())),
+           metrics::format_double(report.warm_sandbox_seconds / 3600.0, 2)});
+    }
+  }
+  cluster_table.print(std::cout);
+  std::cout << "\nExpected shape: round-robin splits the hour evenly; "
+               "least-loaded tracks the burst structure; most-warm "
+               "concentrates repeat traffic, trading balance for warmer "
+               "per-host pools.\n";
   return 0;
 }

@@ -1,0 +1,124 @@
+#include "cluster/host.hpp"
+
+#include <utility>
+
+#include "util/fault_injection.hpp"
+
+namespace horse::cluster {
+
+namespace {
+
+faas::PlatformConfig per_host_config(faas::PlatformConfig config, HostId id) {
+  // Decorrelate the per-host RNG streams (backoff jitter, keep-alive
+  // sampling) while keeping the whole cluster replayable from one seed.
+  config.seed = config.seed + id * 7919;
+  return config;
+}
+
+}  // namespace
+
+Host::Host(HostId id, faas::PlatformConfig platform_config, std::size_t workers,
+           faas::TaskSource* pull_source)
+    : id_(id),
+      pull_mode_(pull_source != nullptr),
+      platform_(per_host_config(std::move(platform_config), id)),
+      dispatcher_([&] {
+        faas::Dispatcher::Options options;
+        options.workers = workers;
+        options.source = pull_source;
+        options.executor = [this](faas::Submission task,
+                                  faas::SubmissionOutcome& outcome) {
+          run_task(std::move(task), outcome);
+        };
+        options.router = [this](faas::FunctionId function) {
+          return platform_.shard_of(function);
+        };
+        return options;
+      }()) {}
+
+void Host::submit(faas::Submission task) {
+  // Re-dispatched submissions are exempt: a task stolen off a stalled host
+  // must not stall its rescue host too, or an always-armed stall site
+  // would steal/re-dispatch the same task forever without executing it.
+  if (!task.redispatched && healthy() && HORSE_FAULT_POINT("cluster.host_stall")) {
+    stall();
+  }
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  // The task is accepted even when the stall just fired: it sits in the
+  // parked dispatcher's queue until the health sweep steals it — exactly
+  // the "requests queued on a stalled host" the fault tests exercise.
+  dispatcher_.submit(std::move(task));
+}
+
+HostSnapshot Host::snapshot(faas::FunctionId function,
+                            bool include_warm) const {
+  HostSnapshot snapshot;
+  snapshot.host = id_;
+  snapshot.healthy = healthy();
+  snapshot.free_slots = dispatcher_.free_slots();
+  snapshot.queued = dispatcher_.pending();
+  snapshot.in_flight = dispatcher_.in_flight();
+  snapshot.capacity = dispatcher_.capacity();
+  snapshot.dispatched = dispatched();
+  if (include_warm) {
+    // const_cast: warm_pool() is non-const on Platform but available() is
+    // a read under the owning shard's lock.
+    snapshot.warm_slots =
+        const_cast<faas::Platform&>(platform_).warm_pool().available(function);
+  }
+  return snapshot;
+}
+
+std::vector<faas::Submission> Host::quarantine() {
+  healthy_.store(false, std::memory_order_release);
+  std::vector<faas::Submission> backlog = dispatcher_.steal_pending();
+  // Restart the workers: in-flight work finishes, and a later forced
+  // route (all-hosts-down ladder rung) can still make progress. The host
+  // stays out of policy rotation until force_recover().
+  dispatcher_.resume();
+  return backlog;
+}
+
+void Host::force_recover() {
+  stalled_.store(false, std::memory_order_release);
+  healthy_.store(true, std::memory_order_release);
+  dispatcher_.resume();
+}
+
+metrics::Histogram Host::dispatch_latency() const {
+  std::lock_guard lock(latency_mutex_);
+  return dispatch_latency_;
+}
+
+void Host::run_task(faas::Submission task, faas::SubmissionOutcome& outcome) {
+  // Pull mode has no submit path on the host, so the stall is probed at
+  // task pickup instead: the host finishes this task, then stops pulling.
+  // Re-dispatched tasks are exempt, as on the push path.
+  if (pull_mode_ && !task.redispatched && healthy() &&
+      HORSE_FAULT_POINT("cluster.host_stall")) {
+    stall();
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+  } else if (pull_mode_) {
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  outcome.host = id_;
+  {
+    std::lock_guard lock(latency_mutex_);
+    dispatch_latency_.record(outcome.queueing);
+  }
+  auto result =
+      platform_.invoke(task.function, std::move(task.request), task.mode);
+  if (result) {
+    outcome.record = std::move(*result);
+  } else {
+    outcome.status = result.status();
+  }
+}
+
+void Host::stall() {
+  stalled_.store(true, std::memory_order_release);
+  stall_count_.fetch_add(1, std::memory_order_relaxed);
+  dispatcher_.pause();
+}
+
+}  // namespace horse::cluster

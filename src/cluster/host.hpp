@@ -1,0 +1,118 @@
+// One simulated cluster host: a whole single-host control plane
+// (faas::Platform) plus the per-host dispatch plumbing (faas::Dispatcher)
+// and the minimal health state the cluster scheduler balances on.
+//
+// Health state is deliberately tiny and reconstructable (Dirigent's
+// lesson: cluster orchestration state should be rebuildable from the
+// hosts, not a second source of truth): a host carries only
+//   * healthy_  — cleared when the scheduler quarantines it,
+//   * stalled_  — set when the cluster.host_stall fault fires (the
+//                 modelled "host stopped making progress"),
+//   * dispatched_ / stall_count_ — monotonic counters.
+// Everything else a policy or an observer needs (queue depth, in-flight,
+// free slots, warm-pool occupancy, completions) is read fresh from the
+// Dispatcher/Platform at snapshot time; the cluster caches none of it.
+//
+// Fault sites (compiled out with HORSE_FAULT_INJECTION=OFF):
+//   * cluster.host_stall — probed on the push-mode submit path and, in
+//     pull mode, at task pickup. Firing parks the host's workers after
+//     their current task; queued work stays put until the scheduler's
+//     health sweep quarantines the host and re-dispatches the backlog.
+//
+// Thread-safety: submit() under the cluster's dispatch lock; snapshot()
+// and the health accessors from any thread; quarantine transitions are
+// serialised by the scheduler's health sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/load_balance.hpp"
+#include "faas/dispatcher.hpp"
+#include "faas/platform.hpp"
+#include "faas/submission.hpp"
+#include "metrics/histogram.hpp"
+
+namespace horse::cluster {
+
+class Host {
+ public:
+  /// `pull_source` non-null puts the host's workers in pull mode (they
+  /// drain the cluster's shared queue when idle); it must outlive the
+  /// host and be close()d before destruction.
+  Host(HostId id, faas::PlatformConfig platform_config, std::size_t workers,
+       faas::TaskSource* pull_source);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] faas::Platform& platform() noexcept { return platform_; }
+  [[nodiscard]] const faas::Platform& platform() const noexcept {
+    return platform_;
+  }
+
+  /// Push-mode enqueue (cluster dispatch lock held). Probes the
+  /// cluster.host_stall fault site before accepting.
+  void submit(faas::Submission task);
+
+  /// Policy decision view. `include_warm` fills warm_slots with the warm
+  /// pool's availability for `function` (costs one shard lock); policies
+  /// that never read warm_slots skip that cost.
+  [[nodiscard]] HostSnapshot snapshot(faas::FunctionId function,
+                                      bool include_warm) const;
+
+  // --- health (see header comment for the state model) --------------------
+
+  [[nodiscard]] bool healthy() const noexcept {
+    return healthy_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_acquire);
+  }
+  /// Scheduler-side quarantine: mark unhealthy, hand back the queued
+  /// backlog for re-dispatch, and restart the workers so in-flight work
+  /// (and any later forced routing) still completes.
+  [[nodiscard]] std::vector<faas::Submission> quarantine();
+  /// Degradation-ladder escape hatch: forcibly clear the stall and mark
+  /// the host healthy again so traffic can be routed somewhere.
+  void force_recover();
+
+  [[nodiscard]] std::uint64_t dispatched() const noexcept {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return dispatcher_.completed();
+  }
+  [[nodiscard]] std::uint64_t stall_faults() const noexcept {
+    return stall_count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] faas::Dispatcher& dispatcher() noexcept { return dispatcher_; }
+
+  /// Copy of the host's dispatch-latency histogram (submit → worker
+  /// pickup, i.e. queueing; recorded at execution time).
+  [[nodiscard]] metrics::Histogram dispatch_latency() const;
+
+ private:
+  void run_task(faas::Submission task, faas::SubmissionOutcome& outcome);
+  void stall();
+
+  const HostId id_;
+  const bool pull_mode_;
+  std::atomic<bool> healthy_{true};
+  std::atomic<bool> stalled_{false};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> stall_count_{0};
+  mutable std::mutex latency_mutex_;
+  metrics::Histogram dispatch_latency_;
+  // Platform before Dispatcher: workers join before the control plane
+  // they invoke against is torn down.
+  faas::Platform platform_;
+  faas::Dispatcher dispatcher_;
+};
+
+}  // namespace horse::cluster

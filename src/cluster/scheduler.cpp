@@ -1,0 +1,264 @@
+#include "cluster/scheduler.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/fault_injection.hpp"
+
+namespace horse::cluster {
+
+util::Expected<DispatchMode> parse_dispatch_mode(std::string_view name) {
+  if (name == "push") {
+    return DispatchMode::kPush;
+  }
+  if (name == "pull") {
+    return DispatchMode::kPull;
+  }
+  return util::Status{util::StatusCode::kInvalidArgument,
+                      "unknown dispatch mode (expected push | pull)"};
+}
+
+ClusterScheduler::ClusterScheduler(ClusterConfig config)
+    : config_(std::move(config)), policy_(make_policy(config_.policy)) {
+  if (config_.num_hosts == 0) {
+    config_.num_hosts = 1;
+  }
+  if (config_.workers_per_host == 0) {
+    config_.workers_per_host = std::max<std::size_t>(
+        2, config_.platform.num_cpus / 2);
+  }
+  if (config_.dispatch == DispatchMode::kPull) {
+    pull_queue_ =
+        std::make_unique<faas::SharedTaskQueue>(config_.pull_queue_capacity);
+  }
+  hosts_.reserve(config_.num_hosts);
+  for (std::size_t i = 0; i < config_.num_hosts; ++i) {
+    hosts_.push_back(std::make_unique<Host>(i, config_.platform,
+                                            config_.workers_per_host,
+                                            pull_queue_.get()));
+  }
+  policy_decisions_.assign(hosts_.size(), 0);
+}
+
+ClusterScheduler::~ClusterScheduler() {
+  if (pull_queue_) {
+    // Unblocks every pull worker; remaining queued tasks are drained and
+    // executed before the hosts (declared after the queue, destroyed
+    // first) join their workers.
+    pull_queue_->close();
+  }
+}
+
+util::Expected<faas::FunctionId> ClusterScheduler::register_function(
+    const std::function<faas::FunctionSpec()>& make_spec) {
+  bool first = true;
+  faas::FunctionId agreed = 0;
+  for (auto& host : hosts_) {
+    auto result = host->platform().registry().add(make_spec());
+    if (!result) {
+      return result.status();
+    }
+    if (first) {
+      agreed = *result;
+      first = false;
+    } else if (*result != agreed) {
+      return util::Status{
+          util::StatusCode::kInternal,
+          "cluster: hosts disagree on function id (registries diverged)"};
+    }
+  }
+  return agreed;
+}
+
+util::Status ClusterScheduler::provision(faas::FunctionId function,
+                                         std::size_t count) {
+  for (auto& host : hosts_) {
+    if (auto status = host->platform().provision(function, count);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  return util::Status::ok();
+}
+
+util::Status ClusterScheduler::ensure_snapshot(faas::FunctionId function) {
+  for (auto& host : hosts_) {
+    if (auto status = host->platform().ensure_snapshot(function);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  return util::Status::ok();
+}
+
+void ClusterScheduler::advance_time(util::Nanos delta) {
+  for (auto& host : hosts_) {
+    host->platform().advance_time(delta);
+  }
+}
+
+void ClusterScheduler::submit(faas::FunctionId function,
+                              workloads::Request request,
+                              faas::StartMode mode) {
+  const std::uint64_t seq =
+      submitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (config_.health_check_interval != 0 &&
+      seq % config_.health_check_interval == 0) {
+    check_health();
+  }
+  faas::Submission task;
+  task.function = function;
+  task.mode = mode;
+  task.request = std::move(request);
+  task.enqueued_at = util::monotonic_now();
+  task.seq = seq;
+  dispatch(std::move(task));
+}
+
+void ClusterScheduler::dispatch(faas::Submission task) {
+  if (!task.redispatched && HORSE_FAULT_POINT("cluster.dispatch_drop")) {
+    // Modelled lost dispatch: the request never reaches its host, the
+    // frontend detects the loss and retries. The retry is marked
+    // redispatched, which exempts it from this site — exactly once.
+    dispatch_drops_.fetch_add(1, std::memory_order_relaxed);
+    task.redispatched = true;
+  }
+  if (config_.dispatch == DispatchMode::kPull) {
+    pull_queue_->push(std::move(task));
+    return;
+  }
+  std::lock_guard lock(dispatch_mutex_);
+  select_host_locked(task.function).submit(std::move(task));
+}
+
+Host& ClusterScheduler::select_host_locked(faas::FunctionId function) {
+  const bool want_warm = config_.policy == PolicyKind::kMostWarmSlots;
+  std::vector<HostSnapshot> snapshots;
+  std::vector<Host*> healthy;
+  snapshots.reserve(hosts_.size());
+  healthy.reserve(hosts_.size());
+  for (auto& host : hosts_) {
+    if (host->healthy()) {
+      snapshots.push_back(host->snapshot(function, want_warm));
+      healthy.push_back(host.get());
+    }
+  }
+  if (healthy.empty()) {
+    // Bottom ladder rung: never drop a request. Force-recover host 0 and
+    // route there; the stall model means the host works again once its
+    // workers are unparked.
+    forced_routes_.fetch_add(1, std::memory_order_relaxed);
+    hosts_.front()->force_recover();
+    policy_decisions_.front()++;
+    return *hosts_.front();
+  }
+  if (healthy.size() == 1 && hosts_.size() > 1) {
+    // One rung above: the cluster has gracefully degraded to single-host
+    // dispatch (sticky, observable; routing still works).
+    degraded_single_host_.store(true, std::memory_order_release);
+  }
+  const std::size_t choice = policy_->select(snapshots, function);
+  Host& chosen = *healthy[choice < healthy.size() ? choice : 0];
+  policy_decisions_[chosen.id()]++;
+  return chosen;
+}
+
+void ClusterScheduler::check_health() {
+  std::lock_guard guard(health_mutex_);
+  for (auto& host : hosts_) {
+    if (host->stalled() && host->healthy()) {
+      hosts_quarantined_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<faas::Submission> backlog = host->quarantine();
+      for (auto& task : backlog) {
+        // Exactly once: steal_pending removed these from the stalled
+        // host atomically, and the redispatched flag exempts them from
+        // the drop/stall fault sites on the way back in.
+        task.redispatched = true;
+        redispatched_.fetch_add(1, std::memory_order_relaxed);
+        dispatch(std::move(task));
+      }
+    }
+  }
+}
+
+std::vector<faas::SubmissionOutcome> ClusterScheduler::drain() {
+  while (true) {
+    check_health();
+    const std::uint64_t target = submitted_.load(std::memory_order_acquire);
+    std::uint64_t done = 0;
+    for (const auto& host : hosts_) {
+      done += host->completed();
+    }
+    if (done >= target) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<faas::SubmissionOutcome> out;
+  for (auto& host : hosts_) {
+    std::vector<faas::SubmissionOutcome> outcomes =
+        host->dispatcher().take_outcomes();
+    for (auto& outcome : outcomes) {
+      out.push_back(std::move(outcome));
+    }
+  }
+  return out;
+}
+
+ClusterCounters ClusterScheduler::counters() const {
+  ClusterCounters counters;
+  counters.submitted = submitted_.load(std::memory_order_acquire);
+  for (const auto& host : hosts_) {
+    counters.completed += host->completed();
+    counters.host_stalls += host->stall_faults();
+  }
+  counters.hosts_quarantined =
+      hosts_quarantined_.load(std::memory_order_relaxed);
+  counters.redispatched = redispatched_.load(std::memory_order_relaxed);
+  counters.dispatch_drops = dispatch_drops_.load(std::memory_order_relaxed);
+  counters.forced_routes = forced_routes_.load(std::memory_order_relaxed);
+  counters.degraded_single_host =
+      degraded_single_host_.load(std::memory_order_acquire);
+  return counters;
+}
+
+ClusterStats ClusterScheduler::stats() const {
+  ClusterStats stats;
+  stats.policy = config_.policy;
+  stats.dispatch = config_.dispatch;
+  stats.counters = counters();
+  stats.hosts.reserve(hosts_.size());
+  std::vector<std::uint64_t> decisions;
+  {
+    std::lock_guard lock(dispatch_mutex_);
+    decisions = policy_decisions_;
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const Host& host = *hosts_[i];
+    HostStats entry;
+    entry.host = host.id();
+    entry.healthy = host.healthy();
+    entry.dispatched = host.dispatched();
+    entry.completed = host.completed();
+    entry.policy_decisions = decisions[i];
+    entry.stall_faults = host.stall_faults();
+    const HostSnapshot snapshot = host.snapshot(0, false);
+    entry.queued = snapshot.queued;
+    entry.in_flight = snapshot.in_flight;
+    entry.free_slots = snapshot.free_slots;
+    const faas::ControlPlaneSnapshot plane =
+        host.platform().control_plane_snapshot();
+    for (const std::size_t occupancy : plane.shard_pool_occupancy) {
+      entry.pool_sandboxes += occupancy;
+    }
+    for (const auto& queue : plane.ull.occupancy) {
+      entry.ull_paused += queue.paused;
+    }
+    entry.dispatch_latency = host.dispatch_latency();
+    stats.hosts.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+}  // namespace horse::cluster

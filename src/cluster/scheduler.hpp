@@ -1,0 +1,201 @@
+// Multi-host cluster scheduler over N simulated Hosts.
+//
+// The control plane's top layer: N Hosts (each a full single-host
+// Platform + worker pool) behind one submission front door, with two
+// dispatch disciplines:
+//
+//   * PUSH — submit() consults the pluggable LoadBalancePolicy over
+//     healthy-host snapshots and commits the request to the chosen
+//     host's local queue immediately (faabric-style early binding).
+//   * PULL — submit() appends to one shared bounded queue; idle hosts
+//     pull the next request the moment a worker frees up (Hiku-style
+//     late binding). No request is ever committed to a host without a
+//     free slot, which is what flattens tail latency under skew: a
+//     burst on a hot function can never convoy behind one host's
+//     backlog while other hosts sit idle.
+//
+// Cluster-level state is tiny and reconstructable (Dirigent): the
+// scheduler owns only the policy object, the monotonic submit counter,
+// the per-host policy-decision counters, and fault counters. Everything
+// in stats() — occupancy, completions, health — is recomputed from the
+// hosts' own atomics at call time; quarantining a host writes one flag
+// on the host, not a parallel registry here.
+//
+// Health & degradation ladder (extends DESIGN.md §5.2 to the cluster):
+// a host whose cluster.host_stall fault fires parks its workers. The
+// health sweep (every `health_check_interval` submissions, at drain
+// start, and while drain waits) quarantines it: out of policy rotation,
+// queued backlog stolen and re-dispatched EXACTLY ONCE to healthy hosts
+// (re-dispatched submissions are exempt from the dispatch fault sites,
+// so a request can be re-routed at most once per stall and once per
+// drop). When quarantines leave a single healthy host the cluster
+// degrades to single-host routing (sticky `degraded_single_host`
+// counter); when none remain, the bottom rung force-recovers one host
+// and routes there (`forced_routes`) — requests are never dropped.
+//
+// Fault sites: cluster.host_stall (see host.hpp) and
+// cluster.dispatch_drop — a modelled lost dispatch, detected and
+// retried through the policy immediately (the retry is the
+// re-dispatch; `dispatch_drops` counts the losses).
+//
+// Lock hierarchy (extends the platform's, left before right):
+//   health sweep mutex → cluster dispatch mutex → host dispatcher worker
+//   mutex → [Platform: shard → resume → manager → queue → load]
+// drain() takes none of these while waiting; it polls host counters.
+//
+// Thread-safety: submit() from any thread; drain() single-drainer, and
+// it must not run concurrently with submit() (same contract as
+// Invoker::drain). register/provision/ensure_snapshot/advance_time are
+// setup/driver calls, not hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "cluster/load_balance.hpp"
+#include "faas/platform.hpp"
+#include "faas/submission.hpp"
+#include "metrics/histogram.hpp"
+
+namespace horse::cluster {
+
+enum class DispatchMode : std::uint8_t { kPush, kPull };
+
+[[nodiscard]] constexpr std::string_view to_string(DispatchMode mode) noexcept {
+  return mode == DispatchMode::kPush ? "push" : "pull";
+}
+
+[[nodiscard]] util::Expected<DispatchMode> parse_dispatch_mode(
+    std::string_view name);
+
+struct ClusterConfig {
+  std::size_t num_hosts = 1;
+  /// Worker slots per host; 0 = max(2, platform.num_cpus / 2).
+  std::size_t workers_per_host = 0;
+  DispatchMode dispatch = DispatchMode::kPush;
+  PolicyKind policy = PolicyKind::kRoundRobin;
+  /// Shared pull-queue bound; producers block when full (backpressure).
+  std::size_t pull_queue_capacity = 4096;
+  /// Submissions between health sweeps (drain always sweeps too).
+  std::size_t health_check_interval = 64;
+  /// Per-host platform template; host i runs it with seed + i*7919.
+  faas::PlatformConfig platform;
+};
+
+/// Cluster-level lifetime counters (host counters live on the hosts).
+struct ClusterCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// Stall faults fired across hosts (cluster.host_stall).
+  std::uint64_t host_stalls = 0;
+  /// Hosts taken out of rotation by the health sweep.
+  std::uint64_t hosts_quarantined = 0;
+  /// Backlog submissions re-routed off quarantined hosts (each exactly
+  /// once per stall).
+  std::uint64_t redispatched = 0;
+  /// cluster.dispatch_drop faults fired (each retried exactly once).
+  std::uint64_t dispatch_drops = 0;
+  /// Times the cluster found ZERO healthy hosts and force-recovered one.
+  std::uint64_t forced_routes = 0;
+  /// Sticky: the quarantine ladder reached single-host routing.
+  bool degraded_single_host = false;
+};
+
+struct HostStats {
+  HostId host = 0;
+  bool healthy = true;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t policy_decisions = 0;
+  std::uint64_t stall_faults = 0;
+  std::size_t queued = 0;
+  std::size_t in_flight = 0;
+  std::size_t free_slots = 0;
+  /// Pooled warm sandboxes on the host (all functions).
+  std::size_t pool_sandboxes = 0;
+  /// Reserved-queue paused-sandbox occupancy (from the host platform's
+  /// consistent control-plane snapshot).
+  std::size_t ull_paused = 0;
+  metrics::Histogram dispatch_latency;
+};
+
+struct ClusterStats {
+  std::vector<HostStats> hosts;
+  ClusterCounters counters;
+  PolicyKind policy = PolicyKind::kRoundRobin;
+  DispatchMode dispatch = DispatchMode::kPush;
+};
+
+class ClusterScheduler {
+ public:
+  explicit ClusterScheduler(ClusterConfig config);
+  ~ClusterScheduler();
+
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+  [[nodiscard]] std::size_t num_hosts() const noexcept {
+    return hosts_.size();
+  }
+  [[nodiscard]] Host& host(std::size_t index) { return *hosts_[index]; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Register the same function on every host. The factory is invoked
+  /// once per host (each Platform needs its own workload instance — a
+  /// function's implementation state is only serialised within one
+  /// host). All hosts must agree on the id.
+  [[nodiscard]] util::Expected<faas::FunctionId> register_function(
+      const std::function<faas::FunctionSpec()>& make_spec);
+
+  /// Fan-out to every host.
+  util::Status provision(faas::FunctionId function, std::size_t count);
+  util::Status ensure_snapshot(faas::FunctionId function);
+  void advance_time(util::Nanos delta);
+
+  /// Fire-and-collect (push: policy + host queue; pull: shared queue).
+  void submit(faas::FunctionId function, workloads::Request request,
+              faas::StartMode mode);
+
+  /// Wait for every accepted submission and take the outcomes (from all
+  /// hosts; order is per-host arbitrary — sort by .seq if needed).
+  /// Runs health sweeps while waiting so stalled hosts cannot wedge it.
+  [[nodiscard]] std::vector<faas::SubmissionOutcome> drain();
+
+  /// Quarantine stalled hosts and re-dispatch their backlog (also runs
+  /// periodically from submit() and from drain()).
+  void check_health();
+
+  [[nodiscard]] ClusterCounters counters() const;
+  /// Recomputed from host state at call time (nothing cached).
+  [[nodiscard]] ClusterStats stats() const;
+
+ private:
+  void dispatch(faas::Submission task);
+  /// Healthy-host selection + policy bookkeeping; handles the
+  /// degradation ladder. Returns the chosen host.
+  Host& select_host_locked(faas::FunctionId function);
+
+  ClusterConfig config_;
+  std::unique_ptr<LoadBalancePolicy> policy_;
+  std::unique_ptr<faas::SharedTaskQueue> pull_queue_;  // pull mode only
+  std::vector<std::unique_ptr<Host>> hosts_;
+
+  mutable std::mutex health_mutex_;
+  mutable std::mutex dispatch_mutex_;
+  std::vector<std::uint64_t> policy_decisions_;  // per host, dispatch lock
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> hosts_quarantined_{0};
+  std::atomic<std::uint64_t> redispatched_{0};
+  std::atomic<std::uint64_t> dispatch_drops_{0};
+  std::atomic<std::uint64_t> forced_routes_{0};
+  std::atomic<bool> degraded_single_host_{false};
+};
+
+}  // namespace horse::cluster

@@ -1,0 +1,314 @@
+#include "cluster/sim_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace horse::cluster {
+
+SimCluster::SimCluster(SimClusterParams params)
+    : params_(std::move(params)),
+      policy_(make_policy(params_.policy)),
+      rng_(params_.seed) {
+  if (params_.num_hosts == 0) {
+    params_.num_hosts = 1;
+  }
+  hosts_.resize(params_.num_hosts);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i].params =
+        i < params_.hosts.size() ? params_.hosts[i] : params_.defaults;
+    if (hosts_[i].params.slots == 0) {
+      hosts_[i].params.slots = 1;
+    }
+  }
+}
+
+HostSnapshot SimCluster::snapshot_of(HostId id) const {
+  const SimHost& host = hosts_[id];
+  HostSnapshot snap;
+  snap.host = id;
+  snap.healthy = host.healthy;
+  snap.queued = host.queue.size();
+  snap.in_flight = host.in_flight;
+  snap.capacity = host.params.slots;
+  snap.free_slots = host.params.slots > host.in_flight + host.queue.size()
+                        ? host.params.slots - host.in_flight - host.queue.size()
+                        : 0;
+  snap.warm_slots = host.params.warm_slots;
+  snap.dispatched = host.dispatched;
+  return snap;
+}
+
+util::Nanos SimCluster::jittered(util::Nanos service) {
+  // One draw per task, taken in submission order, so the RNG stream (and
+  // therefore every downstream decision) is a pure function of the seed
+  // and the submission sequence.
+  const double jitter = params_.defaults.jitter;
+  if (jitter <= 0.0) {
+    return service;
+  }
+  const double factor = std::max(0.05, rng_.normal(1.0, jitter));
+  return static_cast<util::Nanos>(static_cast<double>(service) * factor);
+}
+
+void SimCluster::start_on(HostId id, Task task, util::Nanos at) {
+  SimHost& host = hosts_[id];
+  ++host.in_flight;
+  const auto scaled = static_cast<util::Nanos>(
+      static_cast<double>(task.service) * host.params.speed);
+  Finish finish;
+  finish.time = at + host.params.overhead + scaled;
+  finish.order = next_order_++;
+  finish.host = id;
+  finish.task = std::move(task);
+  // Overwrite service with the actual run span so completion can recover
+  // start = finish.time - service without carrying a separate field.
+  finish.task.service = finish.time - at;
+  finishes_.push(std::move(finish));
+}
+
+void SimCluster::push_dispatch(Task task, util::Nanos at) {
+  std::vector<HostSnapshot> candidates;
+  std::vector<HostId> healthy;
+  candidates.reserve(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].healthy) {
+      candidates.push_back(snapshot_of(i));
+      healthy.push_back(i);
+    }
+  }
+  SimDecision decision;
+  decision.seq = task.seq;
+  decision.time = at;
+  decision.function = task.function;
+  HostId chosen = 0;
+  if (healthy.empty()) {
+    // Ladder bottom: never drop — force host 0, as the real scheduler
+    // force-recovers it.
+    decision.forced = true;
+    ++forced_;
+  } else {
+    const std::size_t index = policy_->select(candidates, task.function);
+    chosen = healthy[index < healthy.size() ? index : 0];
+    decision.candidates = std::move(candidates);
+  }
+  decision.host = chosen;
+  decisions_.push_back(std::move(decision));
+
+  SimHost& host = hosts_[chosen];
+  ++host.dispatched;
+  if (host.in_flight < host.params.slots) {
+    start_on(chosen, std::move(task), at);
+  } else {
+    host.queue.push_back(std::move(task));
+  }
+}
+
+void SimCluster::pull_try_bind(util::Nanos at) {
+  while (!shared_queue_.empty()) {
+    // Late binding: the task goes to a host that has a free slot RIGHT
+    // NOW. Deterministic stand-in for "first idle worker at the queue":
+    // most free slots, then lowest id.
+    HostId best = 0;
+    std::size_t best_free = 0;
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (!hosts_[i].healthy) {
+        continue;
+      }
+      const SimHost& host = hosts_[i];
+      const std::size_t free =
+          host.params.slots > host.in_flight ? host.params.slots - host.in_flight
+                                             : 0;
+      if (free > best_free) {
+        best_free = free;
+        best = i;
+      }
+    }
+    if (best_free == 0) {
+      return;  // every healthy host is saturated; tasks wait unbound
+    }
+    Task task = std::move(shared_queue_.front());
+    shared_queue_.pop_front();
+    SimDecision decision;
+    decision.seq = task.seq;
+    decision.time = at;
+    decision.function = task.function;
+    decision.host = best;
+    decisions_.push_back(std::move(decision));
+    ++hosts_[best].dispatched;
+    start_on(best, std::move(task), at);
+  }
+}
+
+void SimCluster::complete_due(util::Nanos now) {
+  while (!finishes_.empty() && finishes_.top().time <= now) {
+    Finish finish = finishes_.top();
+    finishes_.pop();
+    SimHost& host = hosts_[finish.host];
+    --host.in_flight;
+    SimCompletion done;
+    done.seq = finish.task.seq;
+    done.function = finish.task.function;
+    done.host = finish.host;
+    done.arrival = finish.task.arrival;
+    done.finish = finish.time;
+    done.start = finish.time - finish.task.service;
+    completions_.push_back(done);
+    if (params_.dispatch == DispatchMode::kPush) {
+      // The freed slot starts the host's own backlog head (push keeps
+      // per-host FIFO order). Unhealthy hosts still finish in-flight work
+      // but leave their backlog for steal_backlog().
+      if (host.healthy && !host.queue.empty() &&
+          host.in_flight < host.params.slots) {
+        Task next = std::move(host.queue.front());
+        host.queue.pop_front();
+        start_on(finish.host, std::move(next), finish.time);
+      }
+    } else {
+      pull_try_bind(finish.time);
+    }
+  }
+}
+
+void SimCluster::advance_to(util::Nanos now) {
+  if (now < now_) {
+    throw std::logic_error("SimCluster: time went backwards");
+  }
+  complete_due(now);
+  now_ = now;
+}
+
+void SimCluster::submit(util::Nanos at, faas::FunctionId function,
+                        util::Nanos service) {
+  advance_to(at);
+  Task task;
+  task.seq = next_seq_++;
+  task.function = function;
+  task.arrival = at;
+  task.service = jittered(service);
+  if (params_.dispatch == DispatchMode::kPull) {
+    shared_queue_.push_back(std::move(task));
+    pull_try_bind(at);
+  } else {
+    push_dispatch(std::move(task), at);
+  }
+}
+
+util::Nanos SimCluster::run_to_completion() {
+  while (!finishes_.empty()) {
+    const util::Nanos next = finishes_.top().time;
+    complete_due(next);
+    now_ = std::max(now_, next);
+  }
+  return now_;
+}
+
+void SimCluster::set_healthy(HostId host, bool healthy) {
+  hosts_.at(host).healthy = healthy;
+  if (healthy && params_.dispatch == DispatchMode::kPull) {
+    pull_try_bind(now_);
+  }
+}
+
+std::vector<std::uint64_t> SimCluster::steal_backlog(HostId host) {
+  std::vector<std::uint64_t> seqs;
+  SimHost& victim = hosts_.at(host);
+  for (Task& task : victim.queue) {
+    seqs.push_back(task.seq);
+    task.redispatched = true;
+    stolen_.push_back(std::move(task));
+  }
+  victim.queue.clear();
+  return seqs;
+}
+
+void SimCluster::redispatch(std::uint64_t seq, util::Nanos at) {
+  advance_to(at);
+  const auto it =
+      std::find_if(stolen_.begin(), stolen_.end(),
+                   [seq](const Task& task) { return task.seq == seq; });
+  if (it == stolen_.end()) {
+    throw std::logic_error("SimCluster: redispatch of a task never stolen");
+  }
+  Task task = std::move(*it);
+  stolen_.erase(it);
+  if (params_.dispatch == DispatchMode::kPull) {
+    shared_queue_.push_back(std::move(task));
+    pull_try_bind(at);
+  } else {
+    push_dispatch(std::move(task), at);
+  }
+}
+
+void SimCluster::occupy(HostId host, std::size_t count, util::Nanos service) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Task task;
+    task.seq = next_seq_++;
+    task.function = 0;
+    task.arrival = now_;
+    task.service = service;
+    SimHost& target = hosts_.at(host);
+    ++target.dispatched;
+    if (target.in_flight < target.params.slots) {
+      start_on(host, std::move(task), now_);
+    } else {
+      target.queue.push_back(std::move(task));
+    }
+  }
+}
+
+void SimCluster::set_warm_slots(HostId host, std::size_t warm) {
+  hosts_.at(host).params.warm_slots = warm;
+}
+
+std::vector<std::uint64_t> SimCluster::dispatch_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(hosts_.size());
+  for (const SimHost& host : hosts_) {
+    out.push_back(host.dispatched);
+  }
+  return out;
+}
+
+std::vector<metrics::Histogram> SimCluster::latency_by_host() const {
+  std::vector<metrics::Histogram> out(hosts_.size());
+  for (const SimCompletion& done : completions_) {
+    out[done.host].record(done.latency());
+  }
+  return out;
+}
+
+metrics::Histogram SimCluster::queueing_histogram() const {
+  metrics::Histogram out;
+  for (const SimCompletion& done : completions_) {
+    out.record(done.queueing());
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> split_indices(
+    const std::vector<util::Nanos>& times,
+    const std::vector<faas::FunctionId>& functions, SimClusterParams params,
+    util::Nanos service_hint) {
+  if (times.size() != functions.size()) {
+    throw std::invalid_argument("split_indices: times/functions mismatch");
+  }
+  SimCluster cluster(params);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    cluster.submit(times[i], functions[i], service_hint);
+  }
+  cluster.run_to_completion();
+  std::vector<std::vector<std::uint64_t>> out(
+      std::max<std::size_t>(1, params.num_hosts));
+  for (const SimDecision& decision : cluster.decisions()) {
+    // occupy()/redispatch bookkeeping never reaches here: every submitted
+    // arrival produced exactly one decision in both modes.
+    if (decision.seq < times.size()) {
+      out[decision.host].push_back(decision.seq);
+    }
+  }
+  return out;
+}
+
+}  // namespace horse::cluster

@@ -1,0 +1,207 @@
+// Deterministic virtual-time cluster model (the tests/cluster/ harness).
+//
+// The real ClusterScheduler runs jthread worker pools, so its interleavings
+// are not replayable. This model is: one thread, virtual nanoseconds, and a
+// single seeded RNG stream drawn in submission order. Given the same
+// (params, seed, submission sequence) it produces the same decision log,
+// the same per-host assignment, and the same latency numbers — which is
+// what lets the property tests sweep 1024 seeds and re-run any failure
+// from its seed alone.
+//
+// The model exercises the REAL policy objects (cluster/load_balance.hpp):
+// policies see HostSnapshots built from modelled hosts exactly the way the
+// real scheduler builds them from Dispatcher counters, so a policy bug
+// caught here is a policy bug in production.
+//
+// Dispatch modes mirror the real scheduler:
+//   * push — early binding: the policy picks a host at submit time; the
+//     task queues there even if the host is busy (head-of-line blocking is
+//     faithfully modelled — this is what E18 measures).
+//   * pull — late binding: a task is bound only when some host has a free
+//     slot; until then it waits in a shared FIFO. The idle-host choice is
+//     deterministic (most free slots, then lowest id), standing in for
+//     "whichever idle worker reached the queue first".
+//
+// Controllability for tests: per-host speed/overhead/jitter/slots,
+// set_healthy() between submissions (quarantine modelling), occupy() to
+// pre-load a host with synthetic work, set_warm_slots() to steer the
+// warm-aware policy. Every decision records the candidate snapshot vector
+// it was made from, so invariants ("never picked a strictly-more-loaded
+// host") are checked against the exact evidence the policy saw.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "cluster/load_balance.hpp"
+#include "cluster/scheduler.hpp"
+#include "metrics/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::cluster {
+
+struct SimHostParams {
+  /// Concurrent task capacity (the modelled worker-slot count).
+  std::size_t slots = 4;
+  /// Multiplier on every task's nominal service time (host speed).
+  double speed = 1.0;
+  /// Fixed per-task overhead added after scaling.
+  util::Nanos overhead = 0;
+  /// Relative service-time jitter (stddev of a clamped normal around 1.0);
+  /// 0 disables the RNG draw entirely.
+  double jitter = 0.0;
+  /// Modelled warm-pool slots reported to the MostWarmSlots policy.
+  std::size_t warm_slots = 0;
+};
+
+struct SimClusterParams {
+  std::size_t num_hosts = 1;
+  DispatchMode dispatch = DispatchMode::kPush;
+  PolicyKind policy = PolicyKind::kRoundRobin;
+  std::uint64_t seed = 1;
+  /// Host i uses hosts[i] when provided, `defaults` otherwise.
+  SimHostParams defaults;
+  std::vector<SimHostParams> hosts;
+};
+
+/// One routing decision, with the evidence it was made from.
+struct SimDecision {
+  std::uint64_t seq = 0;
+  util::Nanos time = 0;
+  faas::FunctionId function = 0;
+  /// Cluster-wide id of the chosen host.
+  HostId host = 0;
+  /// The healthy-only snapshot vector handed to the policy (empty for
+  /// pull-mode bindings, which are slot-availability driven, and for
+  /// forced routes).
+  std::vector<HostSnapshot> candidates;
+  /// No healthy host existed; the ladder forced host 0.
+  bool forced = false;
+};
+
+struct SimCompletion {
+  std::uint64_t seq = 0;
+  faas::FunctionId function = 0;
+  HostId host = 0;
+  util::Nanos arrival = 0;
+  util::Nanos start = 0;
+  util::Nanos finish = 0;
+
+  [[nodiscard]] util::Nanos queueing() const noexcept { return start - arrival; }
+  [[nodiscard]] util::Nanos latency() const noexcept { return finish - arrival; }
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimClusterParams params);
+
+  /// Submit one invocation at virtual time `at` (non-decreasing across
+  /// calls) with nominal service time `service`. Completions due before
+  /// `at` are processed first, so snapshots reflect the state at `at`.
+  void submit(util::Nanos at, faas::FunctionId function, util::Nanos service);
+
+  /// Advance virtual time, processing completions (and pull bindings) due
+  /// by `now`. submit() calls this implicitly.
+  void advance_to(util::Nanos now);
+
+  /// Run every outstanding task to completion; returns virtual end time.
+  util::Nanos run_to_completion();
+
+  /// Mark a host (un)healthy. Push dispatch skips unhealthy hosts; pull
+  /// workers on an unhealthy host stop pulling. Queued push-mode work
+  /// stays put until steal_backlog().
+  void set_healthy(HostId host, bool healthy);
+
+  /// Take an unhealthy host's queued-but-unstarted push backlog, as the
+  /// scheduler's quarantine sweep does. The caller re-submits.
+  [[nodiscard]] std::vector<std::uint64_t> steal_backlog(HostId host);
+
+  /// Re-dispatch a stolen task (by its original seq) at time `at`.
+  void redispatch(std::uint64_t seq, util::Nanos at);
+
+  /// Pre-load `count` synthetic tasks of `service` each onto a host at the
+  /// current virtual time, bypassing the policy (occupancy control).
+  void occupy(HostId host, std::size_t count, util::Nanos service);
+
+  void set_warm_slots(HostId host, std::size_t warm);
+
+  [[nodiscard]] const std::vector<SimDecision>& decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<SimCompletion>& completions() const noexcept {
+    return completions_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> dispatch_counts() const;
+  [[nodiscard]] std::size_t forced_routes() const noexcept { return forced_; }
+  [[nodiscard]] util::Nanos now() const noexcept { return now_; }
+
+  /// Per-host end-to-end latency histograms (arrival → finish).
+  [[nodiscard]] std::vector<metrics::Histogram> latency_by_host() const;
+  /// Merged queueing-delay histogram (arrival → start).
+  [[nodiscard]] metrics::Histogram queueing_histogram() const;
+
+ private:
+  struct Task {
+    std::uint64_t seq = 0;
+    faas::FunctionId function = 0;
+    util::Nanos arrival = 0;
+    /// Post-jitter nominal service time (host speed applied at start).
+    util::Nanos service = 0;
+    bool redispatched = false;
+  };
+
+  struct SimHost {
+    SimHostParams params;
+    bool healthy = true;
+    std::size_t in_flight = 0;
+    std::deque<Task> queue;  // push-mode backlog
+    std::uint64_t dispatched = 0;
+  };
+
+  struct Finish {
+    util::Nanos time = 0;
+    std::uint64_t order = 0;  // ties resolve in schedule order
+    HostId host = 0;
+    Task task;
+    bool operator>(const Finish& other) const noexcept {
+      return time != other.time ? time > other.time : order > other.order;
+    }
+  };
+
+  [[nodiscard]] HostSnapshot snapshot_of(HostId id) const;
+  void start_on(HostId id, Task task, util::Nanos at);
+  void push_dispatch(Task task, util::Nanos at);
+  void pull_try_bind(util::Nanos at);
+  void complete_due(util::Nanos now);
+  [[nodiscard]] util::Nanos jittered(util::Nanos service);
+
+  SimClusterParams params_;
+  std::unique_ptr<LoadBalancePolicy> policy_;
+  util::Xoshiro256 rng_;
+  std::vector<SimHost> hosts_;
+  std::deque<Task> shared_queue_;  // pull-mode FIFO
+  std::priority_queue<Finish, std::vector<Finish>, std::greater<>> finishes_;
+  std::vector<SimDecision> decisions_;
+  std::vector<SimCompletion> completions_;
+  std::vector<Task> stolen_;  // parked between steal_backlog and redispatch
+  util::Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_order_ = 0;
+  std::size_t forced_ = 0;
+};
+
+/// Route a whole arrival schedule through a SimCluster policy and split it
+/// into one per-host schedule (macro_trace_sim's cluster mode: each slice
+/// then drives an independent single-host SimServer). `service_hint` is
+/// the nominal per-invocation service time used to model occupancy while
+/// routing.
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> split_indices(
+    const std::vector<util::Nanos>& times,
+    const std::vector<faas::FunctionId>& functions, SimClusterParams params,
+    util::Nanos service_hint);
+
+}  // namespace horse::cluster

@@ -154,6 +154,21 @@ std::vector<UllQueueOccupancy> UllRunQueueManager::occupancy() const {
   return out;
 }
 
+UllRunQueueManager::ManagerSnapshot UllRunQueueManager::snapshot() const {
+  ManagerLock lock(mutex_, meter_);
+  ManagerSnapshot out;
+  out.occupancy.reserve(ull_cpus_.size());
+  for (std::size_t i = 0; i < ull_cpus_.size(); ++i) {
+    out.occupancy.push_back({ull_cpus_[i], occupancy_[i]});
+  }
+  // Read under the same hold as the occupancy so a reporting row cannot
+  // mix counters from different instants (the meter itself is relaxed
+  // atomics; the hold pins it relative to assign/untrack).
+  out.contention = meter_.snapshot();
+  out.tracked = tracked_.size();
+  return out;
+}
+
 void UllRunQueueManager::bind_engine(sched::CpuId cpu,
                                      HorseResumeEngine* engine) {
   ManagerLock lock(mutex_, meter_);

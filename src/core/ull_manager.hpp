@@ -110,6 +110,18 @@ class UllRunQueueManager {
     return meter_.snapshot();
   }
 
+  /// Occupancy + contention + tracked count read in ONE critical section.
+  /// occupancy() and contention() taken separately can straddle
+  /// assign/untrack calls and disagree with each other; reporting paths
+  /// that emit them side by side (macro_throughput CSV rows, per-host
+  /// cluster stats) must use this so each row is internally consistent.
+  struct ManagerSnapshot {
+    std::vector<UllQueueOccupancy> occupancy;
+    metrics::ContentionStats contention;
+    std::size_t tracked = 0;
+  };
+  [[nodiscard]] ManagerSnapshot snapshot() const;
+
   // --- engine-per-queue binding (sharded control plane) -------------------
 
   /// Bind `engine` as the resume engine owning `cpu`'s queue. Engines

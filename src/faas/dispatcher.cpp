@@ -1,0 +1,215 @@
+#include "faas/dispatcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace horse::faas {
+
+Dispatcher::Dispatcher(Options options)
+    : executor_(std::move(options.executor)),
+      router_(std::move(options.router)),
+      source_(options.source) {
+  if (!executor_) {
+    throw std::invalid_argument("Dispatcher: executor is required");
+  }
+  const std::size_t count = options.workers == 0 ? 1 : options.workers;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto worker = std::make_unique<Worker>();
+    Worker* raw = worker.get();
+    worker->thread = std::jthread([this, raw] {
+      if (source_ != nullptr) {
+        pull_worker_loop(*raw);
+      } else {
+        push_worker_loop(*raw);
+      }
+    });
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Dispatcher::~Dispatcher() {
+  shutdown_.store(true, std::memory_order_release);
+  resume();  // a paused worker must wake to observe the shutdown
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard lock(worker->mutex);
+      worker->shutting_down = true;
+    }
+    worker->work_available.notify_all();
+  }
+  // jthread members join on destruction of each Worker. Pull-mode owners
+  // must have close()d the TaskSource by now (see header contract).
+}
+
+void Dispatcher::submit(Submission task) {
+  if (source_ != nullptr) {
+    throw std::logic_error(
+        "Dispatcher: submit() is push-mode only; feed the TaskSource");
+  }
+  if (task.enqueued_at == 0) {
+    task.enqueued_at = util::monotonic_now();
+  }
+  const std::size_t index =
+      router_ ? router_(task.function) % workers_.size()
+              : static_cast<std::size_t>(task.function) % workers_.size();
+  Worker& worker = *workers_[index];
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(worker.mutex);
+    worker.tasks.push_back(std::move(task));
+  }
+  worker.work_available.notify_one();
+}
+
+void Dispatcher::push_worker_loop(Worker& worker) {
+  std::unique_lock lock(worker.mutex);
+  while (true) {
+    worker.work_available.wait(lock, [this, &worker] {
+      return worker.shutting_down ||
+             (!worker.tasks.empty() &&
+              !paused_.load(std::memory_order_acquire));
+    });
+    if (worker.tasks.empty()) {
+      if (worker.shutting_down) {
+        return;
+      }
+      continue;
+    }
+    Submission task = std::move(worker.tasks.front());
+    worker.tasks.pop_front();
+    worker.busy = true;
+    // in_flight rises before pending falls so occupancy sums never dip.
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    lock.unlock();
+
+    execute_and_record(worker, std::move(task));
+
+    lock.lock();
+    worker.busy = false;
+    if (worker.tasks.empty()) {
+      worker.idle.notify_all();
+    }
+  }
+}
+
+void Dispatcher::pull_worker_loop(Worker& worker) {
+  while (true) {
+    if (paused_.load(std::memory_order_acquire)) {
+      std::unique_lock lock(pause_mutex_);
+      pause_cv_.wait(lock, [this] {
+        return !paused_.load(std::memory_order_acquire) ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+    }
+    // Late binding: the pop only happens on an idle worker, so a pull
+    // host by construction never accepts work without a free slot.
+    Submission task;
+    if (!source_->wait_pop(task)) {
+      return;  // source closed and drained
+    }
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard lock(worker.mutex);
+      worker.busy = true;
+    }
+
+    execute_and_record(worker, std::move(task));
+
+    {
+      std::lock_guard lock(worker.mutex);
+      worker.busy = false;
+    }
+    worker.idle.notify_all();
+  }
+}
+
+void Dispatcher::execute_and_record(Worker& worker, Submission task) {
+  SubmissionOutcome outcome;
+  outcome.function = task.function;
+  outcome.mode = task.mode;
+  outcome.seq = task.seq;
+  // One clock read covers the queueing measurement; the executor's own
+  // timing is the record's business.
+  outcome.queueing = util::monotonic_now() - task.enqueued_at;
+  executor_(std::move(task), outcome);
+  {
+    std::lock_guard lock(worker.mutex);
+    worker.outcomes.push_back(std::move(outcome));
+    // Ordered under the outcome lock: by the time a frontend's accounting
+    // observes the completion, the outcome is drainable.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void Dispatcher::wait_idle() {
+  for (auto& worker : workers_) {
+    std::unique_lock lock(worker->mutex);
+    worker->idle.wait(lock, [&worker] {
+      return worker->tasks.empty() && !worker->busy;
+    });
+  }
+}
+
+std::vector<SubmissionOutcome> Dispatcher::take_outcomes() {
+  std::vector<SubmissionOutcome> out;
+  for (auto& worker : workers_) {
+    std::lock_guard lock(worker->mutex);
+    for (auto& outcome : worker->outcomes) {
+      out.push_back(std::move(outcome));
+    }
+    worker->outcomes.clear();
+  }
+  return out;
+}
+
+std::vector<SubmissionOutcome> Dispatcher::drain() {
+  wait_idle();
+  return take_outcomes();
+}
+
+void Dispatcher::pause() {
+  paused_.store(true, std::memory_order_release);
+  // No notification needed: workers already waiting re-check on their
+  // next wakeup, and running workers observe the flag before dequeuing.
+}
+
+void Dispatcher::resume() {
+  paused_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lock(pause_mutex_);
+  }
+  pause_cv_.notify_all();
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard lock(worker->mutex);
+    }
+    worker->work_available.notify_all();
+  }
+}
+
+std::vector<Submission> Dispatcher::steal_pending() {
+  std::vector<Submission> stolen;
+  for (auto& worker : workers_) {
+    std::lock_guard lock(worker->mutex);
+    for (auto& task : worker->tasks) {
+      stolen.push_back(std::move(task));
+    }
+    if (!worker->tasks.empty()) {
+      pending_.fetch_sub(worker->tasks.size(), std::memory_order_acq_rel);
+      worker->tasks.clear();
+    }
+  }
+  return stolen;
+}
+
+std::size_t Dispatcher::free_slots() const noexcept {
+  const std::size_t busy = in_flight_.load(std::memory_order_acquire) +
+                           pending_.load(std::memory_order_acquire);
+  const std::size_t cap = workers_.size();
+  return busy >= cap ? 0 : cap - busy;
+}
+
+}  // namespace horse::faas

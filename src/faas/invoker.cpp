@@ -4,101 +4,44 @@
 
 namespace horse::faas {
 
-Invoker::Invoker(Platform& platform, std::size_t workers)
-    : platform_(platform) {
-  const std::size_t count = workers == 0 ? 1 : workers;
-  workers_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    auto worker = std::make_unique<Worker>();
-    worker->thread = std::jthread([this, w = worker.get()] { worker_loop(*w); });
-    workers_.push_back(std::move(worker));
-  }
-}
+namespace {
 
-Invoker::~Invoker() {
-  for (auto& worker : workers_) {
-    {
-      std::lock_guard lock(worker->mutex);
-      worker->shutting_down = true;
-    }
-    worker->work_available.notify_all();
-  }
-  // jthread members join on destruction of each Worker.
-}
-
-void Invoker::submit(FunctionId function, workloads::Request request,
-                     StartMode mode) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  Task task;
-  task.function = function;
-  task.mode = mode;
-  task.request = std::move(request);
-  task.enqueued_at = util::monotonic_now();
-  // Shard-affine routing: every submission for this function goes to the
-  // same worker, which serialises per-function work BEFORE the shard
-  // mutex — the lock sees almost no contention, and distinct functions
-  // ride distinct workers.
-  Worker& worker = *workers_[platform_.shard_of(function) % workers_.size()];
-  {
-    std::lock_guard lock(worker.mutex);
-    worker.tasks.push_back(std::move(task));
-  }
-  worker.work_available.notify_one();
-}
-
-void Invoker::worker_loop(Worker& worker) {
-  std::unique_lock lock(worker.mutex);
-  while (true) {
-    worker.work_available.wait(lock, [&worker] {
-      return !worker.tasks.empty() || worker.shutting_down;
-    });
-    if (worker.tasks.empty()) {
-      if (worker.shutting_down) {
-        return;
-      }
-      continue;
-    }
-    Task task = std::move(worker.tasks.front());
-    worker.tasks.pop_front();
-    worker.busy = true;
-    lock.unlock();
-
-    Outcome outcome;
-    outcome.function = task.function;
-    outcome.mode = task.mode;
-    // One clock read covers the queueing measurement; invoke() timing is
-    // the record's own business.
-    outcome.queueing = util::monotonic_now() - task.enqueued_at;
+Dispatcher::Options invoker_options(Platform& platform, std::size_t workers) {
+  Dispatcher::Options options;
+  options.workers = workers == 0 ? 1 : workers;
+  options.executor = [&platform](Submission task, SubmissionOutcome& outcome) {
     auto result =
-        platform_.invoke(task.function, std::move(task.request), task.mode);
+        platform.invoke(task.function, std::move(task.request), task.mode);
     if (result) {
       outcome.record = std::move(*result);
     } else {
       outcome.status = result.status();
     }
-
-    lock.lock();
-    worker.outcomes.push_back(std::move(outcome));
-    worker.busy = false;
-    if (worker.tasks.empty()) {
-      worker.idle.notify_all();
-    }
-  }
+  };
+  // Shard-affine routing: every submission for a function goes to the
+  // same worker, which serialises per-function work BEFORE the shard
+  // mutex — the lock sees almost no contention, and distinct functions
+  // ride distinct workers.
+  options.router = [&platform](FunctionId function) {
+    return platform.shard_of(function);
+  };
+  return options;
 }
 
-std::vector<Invoker::Outcome> Invoker::drain() {
-  std::vector<Outcome> out;
-  for (auto& worker : workers_) {
-    std::unique_lock lock(worker->mutex);
-    worker->idle.wait(lock, [&worker] {
-      return worker->tasks.empty() && !worker->busy;
-    });
-    for (auto& outcome : worker->outcomes) {
-      out.push_back(std::move(outcome));
-    }
-    worker->outcomes.clear();
-  }
-  return out;
+}  // namespace
+
+Invoker::Invoker(Platform& platform, std::size_t workers)
+    : platform_(platform), dispatcher_(invoker_options(platform, workers)) {}
+
+void Invoker::submit(FunctionId function, workloads::Request request,
+                     StartMode mode) {
+  Submission task;
+  task.function = function;
+  task.mode = mode;
+  task.request = std::move(request);
+  task.enqueued_at = util::monotonic_now();
+  task.seq = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  dispatcher_.submit(std::move(task));
 }
 
 }  // namespace horse::faas

@@ -1,9 +1,13 @@
-// Asynchronous invocation frontend.
+// Asynchronous invocation frontend (single-host).
 //
 // FaaS gateways accept triggers concurrently and queue them toward the
-// control plane; Invoker is that layer over Platform: submissions from
-// any thread fan out to a worker pool, outcomes (status + record) are
-// collected for later draining.
+// control plane; Invoker is that layer over Platform. Since the cluster
+// scheduler arrived it is a thin binding of the transport-free Dispatcher
+// (faas/dispatcher.hpp) to one Platform: submissions from any thread fan
+// out to the Dispatcher's push-mode worker pool, outcomes (status +
+// record) are collected for later draining. The cluster's per-host
+// plumbing runs the same Dispatcher, so single-host and cluster
+// invocations share one worker-loop code path.
 //
 // Workers are SHARD-AFFINE: a submission for function F is routed to
 // worker `platform.shard_of(F) % workers`, so every invocation of F flows
@@ -11,9 +15,7 @@
 // fighting other functions' workers for it. With >= as many workers as
 // active shards, the worker pool realises the sharded control plane's
 // parallelism: different functions execute on different threads against
-// different shard mutexes. (The old design pushed every task through one
-// shared queue into a platform-wide mutex; the workers only ever took
-// turns.)
+// different shard mutexes.
 //
 // Thread-safety: submit() may be called from any thread; drain() blocks
 // until every accepted submission has completed and is the only way
@@ -21,29 +23,23 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <mutex>
-#include <thread>
+#include <cstdint>
 #include <vector>
 
+#include "faas/dispatcher.hpp"
 #include "faas/platform.hpp"
+#include "faas/submission.hpp"
 
 namespace horse::faas {
 
 class Invoker {
  public:
-  struct Outcome {
-    FunctionId function = 0;
-    StartMode mode = StartMode::kCold;
-    util::Status status;
-    InvocationRecord record;   // valid when status.is_ok()
-    util::Nanos queueing = 0;  // submit-to-start wait (monotonic clock)
-  };
+  /// Historical alias: Invoker predates the transport-free split and its
+  /// tests/benches name the outcome through it.
+  using Outcome = SubmissionOutcome;
 
   Invoker(Platform& platform, std::size_t workers);
-  ~Invoker();
 
   Invoker(const Invoker&) = delete;
   Invoker& operator=(const Invoker&) = delete;
@@ -54,43 +50,20 @@ class Invoker {
   void submit(FunctionId function, workloads::Request request, StartMode mode);
 
   /// Wait for all submitted invocations and take their outcomes.
-  [[nodiscard]] std::vector<Outcome> drain();
+  [[nodiscard]] std::vector<Outcome> drain() { return dispatcher_.drain(); }
 
   [[nodiscard]] std::uint64_t submitted() const noexcept {
     return submitted_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t num_workers() const noexcept {
-    return workers_.size();
+    return dispatcher_.capacity();
   }
 
  private:
-  struct Task {
-    FunctionId function = 0;
-    StartMode mode = StartMode::kCold;
-    workloads::Request request;
-    util::Nanos enqueued_at = 0;
-  };
-
-  /// One worker: private task queue + outcome list, so the only
-  /// cross-thread touch points are the queue mutex (per worker) and the
-  /// shard mutex inside Platform::invoke.
-  struct Worker {
-    std::mutex mutex;
-    std::condition_variable work_available;
-    std::condition_variable idle;
-    std::deque<Task> tasks;
-    std::vector<Outcome> outcomes;
-    bool busy = false;
-    bool shutting_down = false;
-    std::jthread thread;  // last: joins before the queue state dies
-  };
-
-  void worker_loop(Worker& worker);
-
   Platform& platform_;
-  std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> submitted_{0};
+  Dispatcher dispatcher_;  // last: workers join before the counters die
 };
 
 }  // namespace horse::faas

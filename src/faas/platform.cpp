@@ -403,6 +403,20 @@ std::vector<std::size_t> Platform::shard_pool_occupancy() const {
   return out;
 }
 
+ControlPlaneSnapshot Platform::control_plane_snapshot() const {
+  ControlPlaneSnapshot out;
+  out.shard_pool_occupancy.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    // One hold per shard: its contention contribution and its pool
+    // occupancy describe the same instant.
+    ShardLock lock(shard->mutex, shard->meter);
+    out.shard_contention += shard->meter.snapshot();
+    out.shard_pool_occupancy.push_back(shard->pool.total());
+  }
+  out.ull = ull_manager_->snapshot();
+  return out;
+}
+
 // --- facade views ---------------------------------------------------------
 
 std::size_t ShardedWarmPoolView::available(FunctionId function) const {

@@ -197,6 +197,19 @@ struct InvocationRecord {
 
 class Platform;
 
+/// Consistent observability snapshot — see
+/// Platform::control_plane_snapshot().
+struct ControlPlaneSnapshot {
+  /// Shard-mutex acquisition accounting, summed across shards.
+  metrics::ContentionStats shard_contention;
+  /// Pooled-sandbox count per shard (index = shard), read under the same
+  /// per-shard hold as that shard's contention contribution.
+  std::vector<std::size_t> shard_pool_occupancy;
+  /// Reserved-queue occupancy + manager-mutex contention, one critical
+  /// section (core::UllRunQueueManager::snapshot()).
+  core::UllRunQueueManager::ManagerSnapshot ull;
+};
+
 /// Read-mostly view over the striped warm pool: each call routes to the
 /// shard owning the function and takes that shard's lock, so callers keep
 /// the pre-sharding `platform.warm_pool().available(fn)` idiom without
@@ -297,6 +310,15 @@ class Platform {
   [[nodiscard]] metrics::ContentionStats shard_contention() const;
   /// Per-shard pooled-sandbox occupancy (index = shard).
   [[nodiscard]] std::vector<std::size_t> shard_pool_occupancy() const;
+  /// Every observability counter a reporting row needs, through one
+  /// accessor: each shard is visited ONCE (contention + pool occupancy
+  /// under a single hold of its mutex) and the ull manager contributes
+  /// its own single-critical-section snapshot. shard_contention() +
+  /// shard_pool_occupancy() + ull_manager().occupancy()/contention()
+  /// called separately can interleave with invocations and produce rows
+  /// whose columns describe different instants; CSV emitters
+  /// (macro_throughput) and the cluster's per-host stats use this.
+  [[nodiscard]] ControlPlaneSnapshot control_plane_snapshot() const;
 
  private:
   friend class ShardedWarmPoolView;

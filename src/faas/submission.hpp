@@ -1,0 +1,126 @@
+// Transport-free submission currency shared by every dispatch frontend.
+//
+// The pre-cluster Invoker fused three concerns: the submission types
+// (task in, outcome out), the worker-pool transport (per-worker queues +
+// shard-affine routing), and the binding to one Platform. The cluster
+// scheduler needs the first two without the third — a cluster host runs
+// the same worker loop against its own Platform, and pull-mode hosts
+// replace the per-worker queues with a shared bounded queue they drain
+// when idle. This header is the extracted currency:
+//
+//   * Submission / SubmissionOutcome — what flows in and out of any
+//     dispatch frontend (Invoker, cluster Host, pull queue). `seq` is a
+//     frontend-assigned identity so accounting tests can prove no
+//     submission is lost or executed twice; `host` on the outcome is
+//     filled by cluster frontends (always 0 single-host).
+//   * TaskSource — the pull-mode abstraction: a blocking producer of
+//     Submissions that a Dispatcher's workers drain instead of their own
+//     queues (Hiku-style: idle hosts pull work; nothing is committed to a
+//     host before a worker there is free).
+//   * SharedTaskQueue — the bounded MPMC TaskSource the cluster uses.
+//     push() blocks when full (submission backpressure), close() wakes
+//     all consumers for shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "faas/platform.hpp"
+
+namespace horse::faas {
+
+/// One queued invocation, independent of which host/worker executes it.
+struct Submission {
+  FunctionId function = 0;
+  StartMode mode = StartMode::kCold;
+  workloads::Request request;
+  /// Monotonic clock at submit; queueing latency is measured against it.
+  util::Nanos enqueued_at = 0;
+  /// Frontend-assigned identity (1-based per frontend; 0 = untagged).
+  std::uint64_t seq = 0;
+  /// Set when a cluster re-dispatches after a stall/drop: re-dispatched
+  /// submissions are exempt from the dispatch faults, which is what makes
+  /// "re-dispatched exactly once" a structural property.
+  bool redispatched = false;
+};
+
+struct SubmissionOutcome {
+  FunctionId function = 0;
+  StartMode mode = StartMode::kCold;
+  util::Status status;
+  InvocationRecord record;   // valid when status.is_ok()
+  util::Nanos queueing = 0;  // submit-to-start wait (monotonic clock)
+  std::uint64_t seq = 0;     // copied from the Submission
+  std::size_t host = 0;      // executing host (cluster mode; 0 single-host)
+};
+
+/// Pull-mode task producer: blocks consumers until work or shutdown.
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+
+  /// Blocks until a task is available (true) or the source is closed and
+  /// drained (false). Multiple consumers may wait concurrently.
+  virtual bool wait_pop(Submission& out) = 0;
+};
+
+/// Bounded MPMC queue of submissions — the cluster's shared pull queue.
+class SharedTaskQueue final : public TaskSource {
+ public:
+  explicit SharedTaskQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full (backpressure toward submitters);
+  /// returns false if the queue was closed before the task went in.
+  bool push(Submission task) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return tasks_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    tasks_.push_back(std::move(task));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool wait_pop(Submission& out) override {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !tasks_.empty() || closed_; });
+    if (tasks_.empty()) {
+      return false;  // closed and drained
+    }
+    out = std::move(tasks_.front());
+    tasks_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wake every blocked producer/consumer; consumers drain what remains.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Submission> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace horse::faas

@@ -1,0 +1,166 @@
+// Cluster fault-ladder tests: the cluster.host_stall and
+// cluster.dispatch_drop sites drive quarantine, exactly-once re-dispatch,
+// and the degrade-to-single-host / force-recover rungs. Compiled only
+// with HORSE_FAULT_INJECTION (the binary is gated in CMake).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/scheduler.hpp"
+#include "util/fault_injection.hpp"
+#include "workloads/array_filter.hpp"
+
+namespace horse::cluster {
+namespace {
+
+faas::FunctionSpec filter_spec() {
+  faas::FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.name = "filter-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  return spec;
+}
+
+workloads::Request filter_request() {
+  workloads::Request request;
+  request.payload = {5, 10, 15};
+  request.threshold = 7;
+  return request;
+}
+
+class ClusterFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::global().reset(); }
+
+  static ClusterConfig make_config(std::size_t hosts, DispatchMode dispatch) {
+    ClusterConfig config;
+    config.num_hosts = hosts;
+    config.workers_per_host = 2;
+    config.dispatch = dispatch;
+    config.policy = PolicyKind::kRoundRobin;
+    config.health_check_interval = 4;
+    config.platform.num_cpus = 4;
+    return config;
+  }
+
+  static void expect_exactly_once(
+      const std::vector<faas::SubmissionOutcome>& outcomes,
+      std::size_t expected) {
+    ASSERT_EQ(outcomes.size(), expected) << "lost or duplicated submissions";
+    std::set<std::uint64_t> seqs;
+    for (const auto& outcome : outcomes) {
+      EXPECT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+      EXPECT_TRUE(seqs.insert(outcome.seq).second)
+          << "seq " << outcome.seq << " executed twice";
+    }
+  }
+};
+
+TEST_F(ClusterFaultTest, HostStallIsQuarantinedAndBacklogRedispatchedOnce) {
+  ClusterScheduler cluster(make_config(3, DispatchMode::kPush));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  // First probe fires: the first submission's host stalls BEFORE the task
+  // is enqueued, so at least that task sits in a parked queue until the
+  // health sweep steals it.
+  const auto fault = util::ScopedFault::nth("cluster.host_stall", 1);
+  for (int i = 0; i < 30; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 30);
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.host_stalls, 1u);
+  EXPECT_EQ(counters.hosts_quarantined, 1u);
+  EXPECT_GE(counters.redispatched, 1u);
+  EXPECT_EQ(counters.completed, 30u);
+  // Exactly one host went down; the cluster never degraded to one.
+  EXPECT_FALSE(counters.degraded_single_host);
+}
+
+TEST_F(ClusterFaultTest, StallLadderDegradesToSingleHostThenForcedRoute) {
+  ClusterConfig config = make_config(2, DispatchMode::kPush);
+  config.health_check_interval = 1;  // sweep on every submission
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  // Every fresh submission stalls its (healthy) host; re-dispatched tasks
+  // are exempt, so stolen backlogs always make progress. With 2 hosts the
+  // ladder must walk: quarantine → single-host → zero-healthy → forced
+  // route with force_recover.
+  const auto fault = util::ScopedFault::always("cluster.host_stall");
+  for (int i = 0; i < 12; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 12);
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_GE(counters.hosts_quarantined, 2u);
+  EXPECT_TRUE(counters.degraded_single_host);
+  EXPECT_GE(counters.forced_routes, 1u);
+  EXPECT_EQ(counters.completed, 12u);
+}
+
+TEST_F(ClusterFaultTest, DispatchDropIsRetriedExactlyOncePush) {
+  ClusterScheduler cluster(make_config(3, DispatchMode::kPush));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  const auto fault = util::ScopedFault::always("cluster.dispatch_drop", 5);
+  for (int i = 0; i < 30; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 30);
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.dispatch_drops, 5u);
+  EXPECT_EQ(counters.completed, 30u);
+}
+
+TEST_F(ClusterFaultTest, DispatchDropIsRetriedExactlyOncePull) {
+  ClusterScheduler cluster(make_config(3, DispatchMode::kPull));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  const auto fault = util::ScopedFault::always("cluster.dispatch_drop", 4);
+  for (int i = 0; i < 24; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 24);
+  EXPECT_EQ(cluster.counters().dispatch_drops, 4u);
+}
+
+TEST_F(ClusterFaultTest, PullHostStallsAtPickupAndClusterStillDrains) {
+  ClusterScheduler cluster(make_config(3, DispatchMode::kPull));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  const auto fault = util::ScopedFault::nth("cluster.host_stall", 1);
+  for (int i = 0; i < 30; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 30);
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.host_stalls, 1u);
+  // The stalled host was quarantined by a sweep (from submit or drain).
+  EXPECT_GE(counters.hosts_quarantined, 1u);
+}
+
+TEST_F(ClusterFaultTest, QuarantinedHostKeepsItsHealthFlagUntilRecovered) {
+  ClusterScheduler cluster(make_config(3, DispatchMode::kPush));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  const auto fault = util::ScopedFault::nth("cluster.host_stall", 1);
+  for (int i = 0; i < 12; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  (void)cluster.drain();
+  const ClusterStats stats = cluster.stats();
+  std::size_t unhealthy = 0;
+  for (const HostStats& host : stats.hosts) {
+    unhealthy += host.healthy ? 0 : 1;
+  }
+  // Dirigent-style: the only cluster record of the quarantine is the
+  // host's own flag, and it survives into stats().
+  EXPECT_EQ(unhealthy, 1u);
+}
+
+}  // namespace
+}  // namespace horse::cluster

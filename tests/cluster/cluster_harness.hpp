@@ -1,0 +1,119 @@
+// Shared helpers for the deterministic cluster test tier.
+//
+// Everything here is a pure function of an explicit seed, extending the
+// PR 1 harness conventions to the cluster layer: a failing property run
+// prints its seed, and re-running with that seed alone reproduces the
+// exact workload, the exact SimCluster decision log, and the failure.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cluster/sim_cluster.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::cluster::test_harness {
+
+/// A seeded arrival sequence: times are non-decreasing, services follow a
+/// short/long (90/10 by default) mix — the skewed shape E18 measures.
+struct SeededWorkload {
+  std::vector<util::Nanos> times;
+  std::vector<faas::FunctionId> functions;
+  std::vector<util::Nanos> services;
+
+  [[nodiscard]] std::size_t size() const noexcept { return times.size(); }
+};
+
+struct WorkloadParams {
+  std::size_t count = 200;
+  std::uint32_t num_functions = 4;
+  /// Mean exponential inter-arrival gap.
+  util::Nanos mean_gap = 100 * util::kMicrosecond;
+  util::Nanos short_service = 10 * util::kMicrosecond;
+  util::Nanos long_service = util::kMillisecond;
+  /// Fraction of arrivals drawing the long service time.
+  double long_fraction = 0.1;
+};
+
+inline SeededWorkload make_workload(std::uint64_t seed,
+                                    WorkloadParams params = {}) {
+  SeededWorkload out;
+  util::Xoshiro256 rng(seed);
+  util::Nanos t = 0;
+  for (std::size_t i = 0; i < params.count; ++i) {
+    t += static_cast<util::Nanos>(
+        rng.exponential(1.0 / static_cast<double>(params.mean_gap)));
+    out.times.push_back(t);
+    out.functions.push_back(
+        static_cast<faas::FunctionId>(rng.bounded(params.num_functions)));
+    out.services.push_back(rng.uniform01() < params.long_fraction
+                               ? params.long_service
+                               : params.short_service);
+  }
+  return out;
+}
+
+inline void feed(SimCluster& cluster, const SeededWorkload& workload) {
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    cluster.submit(workload.times[i], workload.functions[i],
+                   workload.services[i]);
+  }
+}
+
+/// Peak concurrent executions per host, from the completion records'
+/// [start, finish) intervals. At equal timestamps a finish is processed
+/// before a start, so back-to-back slot reuse does not count as overlap.
+inline std::vector<std::size_t> peak_concurrency(
+    const std::vector<SimCompletion>& completions, std::size_t num_hosts) {
+  struct Event {
+    util::Nanos time;
+    int delta;
+    std::size_t host;
+  };
+  std::vector<Event> events;
+  events.reserve(completions.size() * 2);
+  for (const SimCompletion& done : completions) {
+    events.push_back({done.start, +1, done.host});
+    events.push_back({done.finish, -1, done.host});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.time != b.time ? a.time < b.time : a.delta < b.delta;
+  });
+  std::vector<std::size_t> current(num_hosts, 0);
+  std::vector<std::size_t> peak(num_hosts, 0);
+  for (const Event& event : events) {
+    if (event.delta > 0) {
+      peak[event.host] = std::max(peak[event.host], ++current[event.host]);
+    } else {
+      --current[event.host];
+    }
+  }
+  return peak;
+}
+
+/// True when every completion carries a distinct seq (no double dispatch).
+inline bool unique_seqs(const std::vector<SimCompletion>& completions) {
+  std::set<std::uint64_t> seen;
+  for (const SimCompletion& done : completions) {
+    if (!seen.insert(done.seq).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Policy-decision count per host (what the fairness delta is measured
+/// over; unlike dispatch_counts() this never includes occupy() preloads).
+inline std::vector<std::uint64_t> decision_counts(const SimCluster& cluster,
+                                                  std::size_t num_hosts) {
+  std::vector<std::uint64_t> counts(num_hosts, 0);
+  for (const SimDecision& decision : cluster.decisions()) {
+    counts[decision.host]++;
+  }
+  return counts;
+}
+
+}  // namespace horse::cluster::test_harness

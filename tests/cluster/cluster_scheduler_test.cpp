@@ -1,0 +1,211 @@
+#include "cluster/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/array_filter.hpp"
+#include "workloads/nat.hpp"
+
+namespace horse::cluster {
+namespace {
+
+faas::FunctionSpec filter_spec() {
+  faas::FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.name = "filter-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  return spec;
+}
+
+faas::FunctionSpec nat_spec() {
+  faas::FunctionSpec spec;
+  spec.name = "nat";
+  spec.implementation = std::make_shared<workloads::NatFunction>(16);
+  spec.sandbox.name = "nat-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  return spec;
+}
+
+workloads::Request filter_request() {
+  workloads::Request request;
+  request.payload = {5, 10, 15};
+  request.threshold = 7;
+  return request;
+}
+
+ClusterConfig make_config(std::size_t hosts, DispatchMode dispatch,
+                          PolicyKind policy) {
+  ClusterConfig config;
+  config.num_hosts = hosts;
+  config.workers_per_host = 2;
+  config.dispatch = dispatch;
+  config.policy = policy;
+  config.platform.num_cpus = 4;
+  return config;
+}
+
+void expect_all_ok(const std::vector<faas::SubmissionOutcome>& outcomes,
+                   std::size_t expected) {
+  ASSERT_EQ(outcomes.size(), expected);
+  std::set<std::uint64_t> seqs;
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+    EXPECT_TRUE(seqs.insert(outcome.seq).second)
+        << "seq " << outcome.seq << " completed twice";
+  }
+}
+
+TEST(ClusterSchedulerTest, PushEndToEndForEveryPolicy) {
+  for (const PolicyKind policy :
+       {PolicyKind::kRoundRobin, PolicyKind::kLeastLoaded,
+        PolicyKind::kMostWarmSlots}) {
+    ClusterScheduler cluster(make_config(3, DispatchMode::kPush, policy));
+    const auto filter = cluster.register_function(filter_spec);
+    ASSERT_TRUE(filter) << to_string(policy);
+    for (int i = 0; i < 60; ++i) {
+      cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+    }
+    expect_all_ok(cluster.drain(), 60);
+    const ClusterCounters counters = cluster.counters();
+    EXPECT_EQ(counters.submitted, 60u) << to_string(policy);
+    EXPECT_EQ(counters.completed, 60u) << to_string(policy);
+  }
+}
+
+TEST(ClusterSchedulerTest, PullEndToEnd) {
+  ClusterScheduler cluster(
+      make_config(3, DispatchMode::kPull, PolicyKind::kRoundRobin));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  for (int i = 0; i < 60; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  const auto outcomes = cluster.drain();
+  expect_all_ok(outcomes, 60);
+  // Every outcome names the host that executed it.
+  for (const auto& outcome : outcomes) {
+    EXPECT_LT(outcome.host, 3u);
+  }
+}
+
+TEST(ClusterSchedulerTest, RoundRobinSpreadsDecisionsEvenly) {
+  ClusterScheduler cluster(
+      make_config(4, DispatchMode::kPush, PolicyKind::kRoundRobin));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  for (int i = 0; i < 40; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_all_ok(cluster.drain(), 40);
+  const ClusterStats stats = cluster.stats();
+  ASSERT_EQ(stats.hosts.size(), 4u);
+  for (const HostStats& host : stats.hosts) {
+    EXPECT_EQ(host.policy_decisions, 10u) << "host " << host.host;
+    EXPECT_EQ(host.dispatched, 10u) << "host " << host.host;
+  }
+}
+
+TEST(ClusterSchedulerTest, MultipleFunctionsAgreeOnIdsAcrossHosts) {
+  ClusterScheduler cluster(
+      make_config(2, DispatchMode::kPush, PolicyKind::kLeastLoaded));
+  const auto filter = cluster.register_function(filter_spec);
+  const auto nat = cluster.register_function(nat_spec);
+  ASSERT_TRUE(filter);
+  ASSERT_TRUE(nat);
+  EXPECT_NE(*filter, *nat);
+  ASSERT_TRUE(cluster.provision(*filter, 2).is_ok());
+
+  workloads::Request packet;
+  packet.header = "src=1.1.1.1 dst=2.2.2.2 port=80 proto=tcp";
+  for (int i = 0; i < 30; ++i) {
+    if (i % 2 == 0) {
+      cluster.submit(*filter, filter_request(), faas::StartMode::kHorse);
+    } else {
+      cluster.submit(*nat, packet, faas::StartMode::kCold);
+    }
+  }
+  const auto outcomes = cluster.drain();
+  expect_all_ok(outcomes, 30);
+  int horse = 0;
+  for (const auto& outcome : outcomes) {
+    horse += outcome.mode == faas::StartMode::kHorse ? 1 : 0;
+  }
+  EXPECT_EQ(horse, 15);
+}
+
+TEST(ClusterSchedulerTest, StatsAreReconstructedFromHosts) {
+  ClusterScheduler cluster(
+      make_config(2, DispatchMode::kPush, PolicyKind::kMostWarmSlots));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  ASSERT_TRUE(cluster.provision(*filter, 2).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kWarm);
+  }
+  expect_all_ok(cluster.drain(), 20);
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.policy, PolicyKind::kMostWarmSlots);
+  EXPECT_EQ(stats.dispatch, DispatchMode::kPush);
+  ASSERT_EQ(stats.hosts.size(), 2u);
+  std::uint64_t completed = 0;
+  std::uint64_t decisions = 0;
+  for (const HostStats& host : stats.hosts) {
+    EXPECT_TRUE(host.healthy);
+    EXPECT_EQ(host.queued, 0u);
+    EXPECT_EQ(host.in_flight, 0u);
+    // Warm starts park the sandbox back: each host keeps its 2 pooled.
+    EXPECT_EQ(host.pool_sandboxes, 2u);
+    EXPECT_EQ(host.dispatch_latency.count(), host.completed);
+    completed += host.completed;
+    decisions += host.policy_decisions;
+  }
+  EXPECT_EQ(completed, 20u);
+  EXPECT_EQ(decisions, 20u);
+  EXPECT_EQ(stats.counters.completed, 20u);
+  EXPECT_FALSE(stats.counters.degraded_single_host);
+}
+
+TEST(ClusterSchedulerTest, PullBackpressureWithTinyQueueStillCompletes) {
+  ClusterConfig config =
+      make_config(2, DispatchMode::kPull, PolicyKind::kRoundRobin);
+  config.pull_queue_capacity = 2;
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  for (int i = 0; i < 50; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_all_ok(cluster.drain(), 50);
+}
+
+TEST(ClusterSchedulerTest, DrainOnIdleClusterIsEmpty) {
+  ClusterScheduler cluster(
+      make_config(2, DispatchMode::kPush, PolicyKind::kRoundRobin));
+  EXPECT_TRUE(cluster.drain().empty());
+}
+
+TEST(ClusterSchedulerTest, ErrorsSurfaceInOutcomes) {
+  ClusterConfig config =
+      make_config(2, DispatchMode::kPush, PolicyKind::kRoundRobin);
+  config.platform.degradation.enabled = false;
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  cluster.submit(*filter, filter_request(), faas::StartMode::kWarm);  // empty pool
+  cluster.submit(999, filter_request(), faas::StartMode::kCold);      // unknown
+  const auto outcomes = cluster.drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.status.is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace horse::cluster

@@ -1,0 +1,140 @@
+// Concurrency stress for the cluster layer: many submitter threads, a
+// concurrent health-sweeper, both dispatch modes. The properties under
+// test are accounting ones — every submission completes exactly once —
+// and the TSan preset turns the same binaries into a data-race check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cluster/scheduler.hpp"
+#include "workloads/array_filter.hpp"
+
+namespace horse::cluster {
+namespace {
+
+constexpr int kSubmitters = 6;
+constexpr int kPerThread = 150;
+
+faas::FunctionSpec filter_spec() {
+  faas::FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.name = "filter-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  return spec;
+}
+
+workloads::Request filter_request() {
+  workloads::Request request;
+  request.payload = {5, 10, 15};
+  request.threshold = 7;
+  return request;
+}
+
+ClusterConfig make_config(DispatchMode dispatch, PolicyKind policy) {
+  ClusterConfig config;
+  config.num_hosts = 4;
+  config.workers_per_host = 2;
+  config.dispatch = dispatch;
+  config.policy = policy;
+  config.health_check_interval = 16;
+  config.platform.num_cpus = 4;
+  // The storm's cold half re-pools hundreds of sandboxes per host; keep
+  // the per-function cap out of the way (a full pool fails the park and
+  // that failure would surface in the outcome accounting under test).
+  config.platform.warm_pool.max_per_function = 2048;
+  return config;
+}
+
+void storm(ClusterScheduler& cluster, faas::FunctionId filter) {
+  {
+    std::vector<std::jthread> submitters;
+    // One thread hammers health sweeps concurrently with the submitters —
+    // quarantine bookkeeping must never lose or duplicate work even when
+    // nothing is actually stalled.
+    std::atomic<bool> stop{false};
+    std::jthread sweeper([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        cluster.check_health();
+        std::this_thread::yield();
+      }
+    });
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&cluster, filter, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          cluster.submit(filter, filter_request(),
+                         (t + i) % 2 == 0 ? faas::StartMode::kHorse
+                                          : faas::StartMode::kCold);
+        }
+      });
+    }
+    submitters.clear();  // join all submitters
+    stop.store(true, std::memory_order_release);
+  }
+  const auto outcomes = cluster.drain();
+  ASSERT_EQ(outcomes.size(),
+            static_cast<std::size_t>(kSubmitters) * kPerThread);
+  std::set<std::uint64_t> seqs;
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+    EXPECT_TRUE(seqs.insert(outcome.seq).second)
+        << "seq " << outcome.seq << " executed twice";
+  }
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.submitted, counters.completed);
+}
+
+TEST(ClusterStressTest, ConcurrentPushSubmittersLoseNothing) {
+  for (const PolicyKind policy :
+       {PolicyKind::kRoundRobin, PolicyKind::kLeastLoaded}) {
+    ClusterScheduler cluster(make_config(DispatchMode::kPush, policy));
+    const auto filter = cluster.register_function(filter_spec);
+    ASSERT_TRUE(filter);
+    ASSERT_TRUE(cluster.provision(*filter, 2).is_ok());
+    storm(cluster, *filter);
+  }
+}
+
+TEST(ClusterStressTest, ConcurrentPullSubmittersLoseNothing) {
+  ClusterConfig config =
+      make_config(DispatchMode::kPull, PolicyKind::kRoundRobin);
+  // A small queue exercises producer backpressure under contention.
+  config.pull_queue_capacity = 32;
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  ASSERT_TRUE(cluster.provision(*filter, 2).is_ok());
+  storm(cluster, *filter);
+}
+
+TEST(ClusterStressTest, RepeatedDrainCyclesStayConsistent) {
+  ClusterScheduler cluster(
+      make_config(DispatchMode::kPush, PolicyKind::kLeastLoaded));
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 5; ++round) {
+    {
+      std::vector<std::jthread> submitters;
+      for (int t = 0; t < 3; ++t) {
+        submitters.emplace_back([&cluster, &filter] {
+          for (int i = 0; i < 40; ++i) {
+            cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+          }
+        });
+      }
+    }
+    total += 120;
+    const auto outcomes = cluster.drain();
+    ASSERT_EQ(outcomes.size(), 120u) << "round " << round;
+    EXPECT_EQ(cluster.counters().completed, total);
+  }
+}
+
+}  // namespace
+}  // namespace horse::cluster

@@ -1,0 +1,116 @@
+#include "cluster/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/scheduler.hpp"
+
+namespace horse::cluster {
+namespace {
+
+HostSnapshot snap(HostId host, std::size_t queued, std::size_t in_flight,
+                  std::size_t warm = 0) {
+  HostSnapshot out;
+  out.host = host;
+  out.queued = queued;
+  out.in_flight = in_flight;
+  out.capacity = 4;
+  out.warm_slots = warm;
+  return out;
+}
+
+TEST(RoundRobinPolicyTest, RotatesOverTheVector) {
+  RoundRobinPolicy policy;
+  const std::vector<HostSnapshot> hosts = {snap(0, 0, 0), snap(1, 0, 0),
+                                           snap(2, 0, 0)};
+  EXPECT_EQ(policy.select(hosts, 0), 0u);
+  EXPECT_EQ(policy.select(hosts, 0), 1u);
+  EXPECT_EQ(policy.select(hosts, 0), 2u);
+  EXPECT_EQ(policy.select(hosts, 0), 0u);
+}
+
+TEST(RoundRobinPolicyTest, CounterAdvancesAcrossShrinkingHostSets) {
+  RoundRobinPolicy policy;
+  const std::vector<HostSnapshot> three = {snap(0, 0, 0), snap(1, 0, 0),
+                                           snap(2, 0, 0)};
+  const std::vector<HostSnapshot> two = {snap(0, 0, 0), snap(2, 0, 0)};
+  (void)policy.select(three, 0);
+  (void)policy.select(three, 0);
+  // The counter keeps advancing per decision, so a shrunken healthy set
+  // still gets an in-range, rotating pick.
+  const std::size_t first = policy.select(two, 0);
+  const std::size_t second = policy.select(two, 0);
+  EXPECT_LT(first, two.size());
+  EXPECT_LT(second, two.size());
+  EXPECT_NE(first, second);
+}
+
+TEST(LeastLoadedPolicyTest, PicksMinimumQueuedPlusInFlight) {
+  LeastLoadedPolicy policy;
+  const std::vector<HostSnapshot> hosts = {snap(0, 2, 1), snap(1, 0, 1),
+                                           snap(2, 3, 0)};
+  EXPECT_EQ(policy.select(hosts, 0), 1u);
+}
+
+TEST(LeastLoadedPolicyTest, TiesBreakTowardLowestHostId) {
+  LeastLoadedPolicy policy;
+  const std::vector<HostSnapshot> hosts = {snap(3, 1, 0), snap(1, 0, 1),
+                                           snap(2, 1, 0)};
+  // Loads are 1, 1, 1: the lowest HOST ID wins, not the lowest index.
+  EXPECT_EQ(policy.select(hosts, 0), 1u);
+}
+
+TEST(MostWarmSlotsPolicyTest, PicksMostWarm) {
+  MostWarmSlotsPolicy policy;
+  const std::vector<HostSnapshot> hosts = {snap(0, 0, 0, 1), snap(1, 0, 0, 4),
+                                           snap(2, 0, 0, 2)};
+  EXPECT_EQ(policy.select(hosts, 0), 1u);
+}
+
+TEST(MostWarmSlotsPolicyTest, WarmTiesBreakTowardLeastLoaded) {
+  MostWarmSlotsPolicy policy;
+  const std::vector<HostSnapshot> hosts = {snap(0, 3, 1, 2), snap(1, 0, 1, 2),
+                                           snap(2, 0, 0, 1)};
+  EXPECT_EQ(policy.select(hosts, 0), 1u);
+}
+
+TEST(MostWarmSlotsPolicyTest, AllColdFallsBackToLeastLoaded) {
+  MostWarmSlotsPolicy policy;
+  const std::vector<HostSnapshot> hosts = {snap(0, 2, 0, 0), snap(1, 1, 0, 0)};
+  EXPECT_EQ(policy.select(hosts, 0), 1u);
+}
+
+TEST(PolicyFactoryTest, MakePolicyReportsCanonicalNames) {
+  EXPECT_EQ(make_policy(PolicyKind::kRoundRobin)->name(), "round_robin");
+  EXPECT_EQ(make_policy(PolicyKind::kLeastLoaded)->name(), "least_loaded");
+  EXPECT_EQ(make_policy(PolicyKind::kMostWarmSlots)->name(), "most_warm");
+}
+
+TEST(PolicyFactoryTest, ParseAcceptsBenchSpellings) {
+  EXPECT_EQ(*parse_policy("rr"), PolicyKind::kRoundRobin);
+  EXPECT_EQ(*parse_policy("round_robin"), PolicyKind::kRoundRobin);
+  EXPECT_EQ(*parse_policy("ll"), PolicyKind::kLeastLoaded);
+  EXPECT_EQ(*parse_policy("least_loaded"), PolicyKind::kLeastLoaded);
+  EXPECT_EQ(*parse_policy("mw"), PolicyKind::kMostWarmSlots);
+  EXPECT_EQ(*parse_policy("most_warm"), PolicyKind::kMostWarmSlots);
+  EXPECT_EQ(*parse_policy("most_warm_slots"), PolicyKind::kMostWarmSlots);
+  EXPECT_FALSE(parse_policy("banana"));
+}
+
+TEST(PolicyFactoryTest, ToStringRoundTripsThroughParse) {
+  for (const PolicyKind kind :
+       {PolicyKind::kRoundRobin, PolicyKind::kLeastLoaded,
+        PolicyKind::kMostWarmSlots}) {
+    EXPECT_EQ(*parse_policy(to_string(kind)), kind);
+  }
+}
+
+TEST(DispatchModeTest, ParseAndToString) {
+  EXPECT_EQ(*parse_dispatch_mode("push"), DispatchMode::kPush);
+  EXPECT_EQ(*parse_dispatch_mode("pull"), DispatchMode::kPull);
+  EXPECT_FALSE(parse_dispatch_mode("shove"));
+  EXPECT_EQ(to_string(DispatchMode::kPush), "push");
+  EXPECT_EQ(to_string(DispatchMode::kPull), "pull");
+}
+
+}  // namespace
+}  // namespace horse::cluster
