@@ -33,8 +33,24 @@
 // request the moment a worker frees — E18's expectation is a visibly
 // lower p99 for pull under this skew.
 //
+// Overload mode (--overload-sweep, cluster only) is the E19 driver: it
+// first calibrates the cluster's closed-loop capacity (no deadlines, no
+// pacing), then replays the same mix open-loop at {0.8x, 1.2x, 2.0x} of
+// that capacity with a per-request deadline (--deadline-us, default
+// 5 ms). Each submission carries deadline = now + slack, so past
+// saturation the admission path sheds (typed kQueueShed/kQueueFull) and
+// the dispatcher expires stale queue entries instead of wasting workers
+// on work the caller already abandoned. The CSV reports per-load goodput
+// (deadline-met completions/s), shed/expiry counts, and breaker opens;
+// with admission enabled the bench FAILS if goodput past saturation
+// drops below 90% of the peak row — the graceful-degradation gate CI
+// enforces. --no-admission runs the same sweep with cluster admission
+// off for the baseline column.
+//
 // CI runs single-host --threads 1/8 plus a --hosts 4 cluster smoke in
 // both dispatch modes, archiving the CSVs.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +88,13 @@ struct Options {
   cluster::DispatchMode dispatch = cluster::DispatchMode::kPush;
   bool skew = false;
   std::uint64_t seed = 42;
+  // --- overload control (cluster mode) ------------------------------------
+  /// Relative per-request deadline in microseconds (0 = none).
+  std::uint64_t deadline_us = 0;
+  /// Calibrate capacity, then sweep {0.8x, 1.2x, 2.0x} offered load.
+  bool overload_sweep = false;
+  /// Cluster admission control (--no-admission turns it off: baseline).
+  bool admission = true;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -82,7 +105,8 @@ Options parse_args(int argc, char** argv) {
                  "    [--provision P] [--csv PATH]\n"
                  "    [--hosts H] [--workers-per-host W]\n"
                  "    [--policy rr|least_loaded|most_warm]\n"
-                 "    [--dispatch push|pull] [--skew] [--seed S]\n";
+                 "    [--dispatch push|pull] [--skew] [--seed S]\n"
+                 "    [--deadline-us D] [--overload-sweep] [--no-admission]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -131,8 +155,23 @@ Options parse_args(int argc, char** argv) {
       options.skew = true;
     } else if (arg == "--seed") {
       options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--deadline-us") {
+      options.deadline_us = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--overload-sweep") {
+      options.overload_sweep = true;
+    } else if (arg == "--no-admission") {
+      options.admission = false;
     } else {
       usage();
+    }
+  }
+  if (options.overload_sweep) {
+    if (options.hosts == 0) {
+      std::cerr << "--overload-sweep requires cluster mode (--hosts N)\n";
+      std::exit(2);
+    }
+    if (options.deadline_us == 0) {
+      options.deadline_us = 5000;  // 5 ms of slack by default
     }
   }
   return options;
@@ -311,12 +350,24 @@ int run_single_host(const Options& options) {
 // Cluster path (--hosts N): the E18 policy × dispatch-mode matrix cell.
 // ---------------------------------------------------------------------------
 
-int run_cluster(const Options& options) {
+struct ClusterFn {
+  faas::FunctionId id = 0;
+  bool ull = false;
+};
+
+/// Shared cluster setup for the smoke run and the overload sweep: build
+/// the scheduler and register/provision the function fleet. Function 0 is
+/// the hot uLL function the skewed mix hammers; the rest alternate
+/// uLL/plain as in single-host mode. Returns 0 on success.
+int setup_cluster(const Options& options,
+                  std::optional<cluster::ClusterScheduler>& cluster_storage,
+                  std::vector<ClusterFn>& functions) {
   cluster::ClusterConfig config;
   config.num_hosts = options.hosts;
   config.workers_per_host = options.workers_per_host;
   config.dispatch = options.dispatch;
   config.policy = options.policy;
+  config.admission.enabled = options.admission;
   config.platform.num_cpus = options.cpus;
   config.platform.horse.num_ull_runqueues = options.ull_queues;
   config.platform.seed = options.seed;
@@ -324,7 +375,6 @@ int run_cluster(const Options& options) {
   // beyond the cap would fail the park and pollute the outcome counts.
   config.platform.warm_pool.max_per_function = 1 << 16;
 
-  std::optional<cluster::ClusterScheduler> cluster_storage;
   try {
     cluster_storage.emplace(config);
   } catch (const std::exception& error) {
@@ -333,13 +383,7 @@ int run_cluster(const Options& options) {
   }
   cluster::ClusterScheduler& sched = *cluster_storage;
 
-  // Function fleet: function 0 is the hot uLL function the skewed mix
-  // hammers; the rest alternate uLL/plain as in single-host mode.
-  struct Fn {
-    faas::FunctionId id = 0;
-    bool ull = false;
-  };
-  std::vector<Fn> functions;
+  functions.clear();
   for (std::size_t i = 0; i < std::max<std::size_t>(2, options.functions);
        ++i) {
     const bool ull = (i % 2) == 0;
@@ -356,13 +400,31 @@ int run_cluster(const Options& options) {
       return 1;
     }
   }
+  return 0;
+}
 
+int run_cluster(const Options& options) {
+  std::optional<cluster::ClusterScheduler> cluster_storage;
+  std::vector<ClusterFn> functions;
+  if (const int rc = setup_cluster(options, cluster_storage, functions);
+      rc != 0) {
+    return rc;
+  }
+  cluster::ClusterScheduler& sched = *cluster_storage;
+
+  const util::Nanos deadline_rel =
+      static_cast<util::Nanos>(options.deadline_us) * util::kMicrosecond;
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   std::vector<std::jthread> submitters;
   const util::Nanos started = util::monotonic_now();
   for (std::size_t t = 0; t < threads; ++t) {
-    submitters.emplace_back([&sched, &functions, &options, t] {
+    submitters.emplace_back([&sched, &functions, &options, deadline_rel, t] {
       util::Xoshiro256 rng(options.seed + t * 1000003ULL);
+      // Absolute deadline = submit instant + the requested slack; 0 keeps
+      // the legacy no-deadline path (never shed, never expired).
+      const auto deadline = [deadline_rel]() -> util::Nanos {
+        return deadline_rel == 0 ? 0 : util::monotonic_now() + deadline_rel;
+      };
       for (std::size_t i = 0; i < options.per_thread; ++i) {
         if (options.skew) {
           // The 90/10 shape: 90% tiny kHorse resumes of the hot uLL
@@ -370,13 +432,13 @@ int run_cluster(const Options& options) {
           // magnitude slower, the head-of-line blockers push suffers.
           if (rng.uniform01() < 0.9) {
             sched.submit(functions[0].id, packet_request(),
-                         faas::StartMode::kHorse);
+                         faas::StartMode::kHorse, deadline());
           } else {
             sched.submit(functions[1].id, filter_request(),
-                         faas::StartMode::kCold);
+                         faas::StartMode::kCold, deadline());
           }
         } else {
-          const Fn& fn = functions[(t + i) % functions.size()];
+          const ClusterFn& fn = functions[(t + i) % functions.size()];
           faas::StartMode mode;
           if (i % 64 == 63) {
             mode = faas::StartMode::kCold;
@@ -384,7 +446,7 @@ int run_cluster(const Options& options) {
             mode = fn.ull ? faas::StartMode::kHorse : faas::StartMode::kWarm;
           }
           sched.submit(fn.id, fn.ull ? packet_request() : filter_request(),
-                       mode);
+                       mode, deadline());
         }
       }
     });
@@ -395,12 +457,26 @@ int run_cluster(const Options& options) {
       static_cast<double>(util::monotonic_now() - started) / 1e9;
 
   std::uint64_t failed = 0;
+  std::uint64_t met = 0;
+  std::uint64_t late = 0;
   metrics::Histogram cluster_queueing;
   for (const auto& outcome : outcomes) {
     failed += outcome.status.is_ok() ? 0 : 1;
     cluster_queueing.record(outcome.queueing);
+    if (deadline_rel != 0 && outcome.status.is_ok()) {
+      // A completion met its deadline when queueing + init + execution
+      // fit inside the slack it was submitted with.
+      const util::Nanos finish_rel = outcome.queueing +
+                                     outcome.record.init_time +
+                                     outcome.record.exec_time;
+      (finish_rel <= deadline_rel ? met : late)++;
+    }
   }
   const cluster::ClusterStats stats = sched.stats();
+  std::uint64_t breaker_opens = 0;
+  for (std::size_t i = 0; i < sched.num_hosts(); ++i) {
+    breaker_opens += sched.host(i).platform().counters().breaker_opens;
+  }
   const double inv_per_sec =
       wall_seconds > 0.0 ? static_cast<double>(outcomes.size()) / wall_seconds
                          : 0.0;
@@ -411,12 +487,13 @@ int run_cluster(const Options& options) {
       " dispatch=" + std::string(cluster::to_string(options.dispatch)) +
       (options.skew ? " (skewed 90/10)" : "");
   metrics::TextTable table(
-      title, {"host", "dispatched", "completed", "decisions", "queued",
-              "pool sb", "ull paused", "disp p50", "disp p99"});
+      title, {"host", "dispatched", "completed", "expired", "decisions",
+              "queued", "pool sb", "ull paused", "disp p50", "disp p99"});
   for (const cluster::HostStats& host : stats.hosts) {
     table.add_row(
         {std::to_string(host.host), std::to_string(host.dispatched),
-         std::to_string(host.completed), std::to_string(host.policy_decisions),
+         std::to_string(host.completed), std::to_string(host.expired),
+         std::to_string(host.policy_decisions),
          std::to_string(host.queued), std::to_string(host.pool_sandboxes),
          std::to_string(host.ull_paused),
          metrics::format_nanos(static_cast<double>(host.dispatch_latency.p50())),
@@ -435,7 +512,16 @@ int run_cluster(const Options& options) {
             << metrics::format_nanos(
                    static_cast<double>(cluster_queueing.p99()))
             << "; redispatched " << stats.counters.redispatched
-            << ", drops " << stats.counters.dispatch_drops << "\n";
+            << ", drops " << stats.counters.dispatch_drops
+            << "; shed " << stats.counters.shed << " (queue-full "
+            << stats.counters.shed_queue_full << "), expired "
+            << stats.counters.expired << ", breaker opens "
+            << breaker_opens;
+  if (deadline_rel != 0) {
+    std::cout << "; deadline " << options.deadline_us << " us: " << met
+              << " met, " << late << " late";
+  }
+  std::cout << "\n";
 
   if (!options.csv_path.empty()) {
     // One row per host plus an aggregate row (host = -1): the E18 matrix
@@ -444,11 +530,15 @@ int run_cluster(const Options& options) {
         {"hosts", "policy", "dispatch", "skew", "host", "dispatched",
          "completed", "decisions", "pool_sandboxes", "ull_paused",
          "dispatch_p50_ns", "dispatch_p99_ns", "wall_seconds",
-         "inv_per_sec", "failed"});
+         "inv_per_sec", "failed", "deadline_us", "met_deadline", "late",
+         "shed", "shed_queue_full", "expired", "breaker_opens"});
     const auto policy_name = std::string(cluster::to_string(options.policy));
     const auto dispatch_name =
         std::string(cluster::to_string(options.dispatch));
     for (const cluster::HostStats& host : stats.hosts) {
+      // Shed / deadline accounting is cluster-level (the front door refuses
+      // before a host is chosen), so per-host rows carry only their own
+      // expiry count; the aggregate row (host = -1) has the rest.
       csv.add_row({std::to_string(options.hosts), policy_name, dispatch_name,
                    options.skew ? "1" : "0", std::to_string(host.host),
                    std::to_string(host.dispatched),
@@ -460,7 +550,9 @@ int run_cluster(const Options& options) {
                    std::to_string(host.dispatch_latency.p99()),
                    metrics::format_double(wall_seconds, 6),
                    metrics::format_double(inv_per_sec, 2),
-                   std::to_string(failed)});
+                   std::to_string(failed),
+                   std::to_string(options.deadline_us), "0", "0", "0", "0",
+                   std::to_string(host.expired), "0"});
     }
     csv.add_row({std::to_string(options.hosts), policy_name, dispatch_name,
                  options.skew ? "1" : "0", "-1",
@@ -471,7 +563,12 @@ int run_cluster(const Options& options) {
                  std::to_string(cluster_queueing.p99()),
                  metrics::format_double(wall_seconds, 6),
                  metrics::format_double(inv_per_sec, 2),
-                 std::to_string(failed)});
+                 std::to_string(failed),
+                 std::to_string(options.deadline_us), std::to_string(met),
+                 std::to_string(late), std::to_string(stats.counters.shed),
+                 std::to_string(stats.counters.shed_queue_full),
+                 std::to_string(stats.counters.expired),
+                 std::to_string(breaker_opens)});
     if (const auto status = csv.write_file(options.csv_path);
         !status.is_ok()) {
       std::cerr << "csv write failed: " << status.to_report() << "\n";
@@ -489,9 +586,263 @@ int run_cluster(const Options& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Overload sweep (--overload-sweep): calibrate capacity, then measure
+// goodput at {0.8x, 1.2x, 2.0x} offered load with per-request deadlines.
+// ---------------------------------------------------------------------------
+
+struct SweepRow {
+  double load = 0.0;            // offered load as a fraction of capacity
+  double offered_per_sec = 0.0;
+  /// What the pacing threads actually delivered (submitted / submit
+  /// phase): sleep granularity can cap the achievable rate, and the gate
+  /// is only meaningful relative to what was really offered.
+  double achieved_per_sec = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // OK outcomes (includes late ones)
+  std::uint64_t met = 0;        // completed within the deadline slack
+  std::uint64_t late = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t breaker_opens = 0;
+  double wall_seconds = 0.0;
+  double goodput_per_sec = 0.0;  // met / wall
+  std::int64_t queueing_p50 = 0;
+  std::int64_t queueing_p99 = 0;
+};
+
+/// One sweep run: a fresh cluster (clean EWMAs, breakers, counters)
+/// driven open-loop at `rate_per_sec` (0 = closed loop, the calibration
+/// shape) with per-submission deadline slack `deadline_rel` (0 = none).
+int run_one_load(const Options& options, double rate_per_sec,
+                 util::Nanos deadline_rel, SweepRow& row) {
+  std::optional<cluster::ClusterScheduler> cluster_storage;
+  std::vector<ClusterFn> functions;
+  if (const int rc = setup_cluster(options, cluster_storage, functions);
+      rc != 0) {
+    return rc;
+  }
+  cluster::ClusterScheduler& sched = *cluster_storage;
+
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  // Open-loop pacing: each thread owns an absolute submission schedule at
+  // rate/threads so a slow submit() cannot silently lower the offered
+  // load (the next slot is start + i*interval, not now + interval).
+  const util::Nanos interval =
+      rate_per_sec > 0.0 ? static_cast<util::Nanos>(
+                               1e9 * static_cast<double>(threads) /
+                               rate_per_sec)
+                         : 0;
+  std::vector<std::jthread> submitters;
+  const util::Nanos started = util::monotonic_now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    submitters.emplace_back(
+        [&sched, &functions, &options, deadline_rel, interval, t] {
+          const util::Nanos thread_start = util::monotonic_now();
+          for (std::size_t i = 0; i < options.per_thread; ++i) {
+            if (interval > 0) {
+              // One sleep toward the absolute slot, no spinning: a spin
+              // wait would starve the worker threads on small machines
+              // and inflate queueing. A late wake self-corrects — the
+              // following slots are already due, so the thread submits
+              // straight through until it catches the schedule back up.
+              const util::Nanos target =
+                  thread_start + static_cast<util::Nanos>(i) * interval;
+              const util::Nanos now = util::monotonic_now();
+              if (now < target) {
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(target - now));
+              }
+            }
+            const ClusterFn& fn = functions[(t + i) % functions.size()];
+            const faas::StartMode mode =
+                i % 64 == 63 ? faas::StartMode::kCold
+                             : (fn.ull ? faas::StartMode::kHorse
+                                       : faas::StartMode::kWarm);
+            const util::Nanos deadline =
+                deadline_rel == 0 ? 0 : util::monotonic_now() + deadline_rel;
+            sched.submit(fn.id, fn.ull ? packet_request() : filter_request(),
+                         mode, deadline);
+          }
+        });
+  }
+  submitters.clear();  // join
+  const double submit_seconds =
+      static_cast<double>(util::monotonic_now() - started) / 1e9;
+  const auto outcomes = sched.drain();
+  const double wall_seconds =
+      static_cast<double>(util::monotonic_now() - started) / 1e9;
+
+  metrics::Histogram queueing;
+  row = SweepRow{};
+  row.offered_per_sec = rate_per_sec;
+  row.submitted = outcomes.size();
+  row.achieved_per_sec =
+      submit_seconds > 0.0
+          ? static_cast<double>(outcomes.size()) / submit_seconds
+          : 0.0;
+  row.wall_seconds = wall_seconds;
+  for (const auto& outcome : outcomes) {
+    queueing.record(outcome.queueing);
+    if (outcome.status.is_ok()) {
+      ++row.completed;
+      if (deadline_rel != 0) {
+        const util::Nanos finish_rel = outcome.queueing +
+                                       outcome.record.init_time +
+                                       outcome.record.exec_time;
+        (finish_rel <= deadline_rel ? row.met : row.late)++;
+      }
+    }
+  }
+  const cluster::ClusterCounters counters = sched.counters();
+  row.shed = counters.shed;
+  row.shed_queue_full = counters.shed_queue_full;
+  row.expired = counters.expired;
+  for (std::size_t i = 0; i < sched.num_hosts(); ++i) {
+    row.breaker_opens +=
+        sched.host(i).platform().counters().breaker_opens;
+  }
+  // Calibration (no deadline): goodput IS throughput.
+  const std::uint64_t good = deadline_rel == 0 ? row.completed : row.met;
+  row.goodput_per_sec =
+      wall_seconds > 0.0 ? static_cast<double>(good) / wall_seconds : 0.0;
+  row.queueing_p50 = queueing.p50();
+  row.queueing_p99 = queueing.p99();
+
+  if (outcomes.size() !=
+      static_cast<std::uint64_t>(threads) * options.per_thread) {
+    std::cerr << "accounting mismatch: " << outcomes.size() << " outcomes != "
+              << threads * options.per_thread << " submissions\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_overload_sweep(const Options& options) {
+  const util::Nanos deadline_rel =
+      static_cast<util::Nanos>(options.deadline_us) * util::kMicrosecond;
+
+  // Phase 1 — calibrate: closed-loop, no deadlines, no pacing. The
+  // completion rate of this run is the cluster's capacity; sweep loads
+  // are offered relative to it, so the same flags mean the same relative
+  // overload on any machine (including sanitizer builds).
+  SweepRow capacity_row;
+  if (const int rc = run_one_load(options, 0.0, 0, capacity_row); rc != 0) {
+    return rc;
+  }
+  const double capacity = capacity_row.goodput_per_sec;
+  if (capacity <= 0.0) {
+    std::cerr << "calibration produced zero throughput\n";
+    return 1;
+  }
+  std::cout << "calibrated capacity: " << metrics::format_double(capacity, 1)
+            << " inv/s (closed loop, " << capacity_row.submitted
+            << " invocations, admission "
+            << (options.admission ? "on" : "off") << ")\n";
+
+  // Phase 2 — the sweep: below saturation, just past it, and 2x.
+  const double loads[] = {0.8, 1.2, 2.0};
+  std::vector<SweepRow> rows;
+  for (const double load : loads) {
+    SweepRow row;
+    if (const int rc = run_one_load(options, load * capacity, deadline_rel,
+                                    row);
+        rc != 0) {
+      return rc;
+    }
+    row.load = load;
+    rows.push_back(row);
+  }
+
+  metrics::TextTable table(
+      "Macro: overload sweep, hosts=" + std::to_string(options.hosts) +
+          " deadline=" + std::to_string(options.deadline_us) + "us" +
+          (options.admission ? "" : " (admission OFF)"),
+      {"load", "offered/s", "achieved/s", "submitted", "completed", "met",
+       "late", "shed", "expired", "breaker", "goodput/s", "queue p99"});
+  for (const SweepRow& row : rows) {
+    table.add_row({metrics::format_double(row.load, 1),
+                   metrics::format_double(row.offered_per_sec, 1),
+                   metrics::format_double(row.achieved_per_sec, 1),
+                   std::to_string(row.submitted),
+                   std::to_string(row.completed), std::to_string(row.met),
+                   std::to_string(row.late), std::to_string(row.shed),
+                   std::to_string(row.expired),
+                   std::to_string(row.breaker_opens),
+                   metrics::format_double(row.goodput_per_sec, 1),
+                   metrics::format_nanos(
+                       static_cast<double>(row.queueing_p99))});
+  }
+  table.print(std::cout);
+
+  if (!options.csv_path.empty()) {
+    metrics::CsvWriter csv(
+        {"hosts", "policy", "dispatch", "admission", "deadline_us",
+         "load_factor", "offered_per_sec", "achieved_per_sec", "submitted",
+         "completed", "met_deadline", "late", "shed", "shed_queue_full",
+         "expired", "breaker_opens", "goodput_per_sec", "wall_seconds",
+         "queueing_p50_ns", "queueing_p99_ns"});
+    const auto policy_name = std::string(cluster::to_string(options.policy));
+    const auto dispatch_name =
+        std::string(cluster::to_string(options.dispatch));
+    for (const SweepRow& row : rows) {
+      csv.add_row({std::to_string(options.hosts), policy_name, dispatch_name,
+                   options.admission ? "1" : "0",
+                   std::to_string(options.deadline_us),
+                   metrics::format_double(row.load, 2),
+                   metrics::format_double(row.offered_per_sec, 2),
+                   metrics::format_double(row.achieved_per_sec, 2),
+                   std::to_string(row.submitted),
+                   std::to_string(row.completed), std::to_string(row.met),
+                   std::to_string(row.late), std::to_string(row.shed),
+                   std::to_string(row.shed_queue_full),
+                   std::to_string(row.expired),
+                   std::to_string(row.breaker_opens),
+                   metrics::format_double(row.goodput_per_sec, 2),
+                   metrics::format_double(row.wall_seconds, 6),
+                   std::to_string(row.queueing_p50),
+                   std::to_string(row.queueing_p99)});
+    }
+    if (const auto status = csv.write_file(options.csv_path);
+        !status.is_ok()) {
+      std::cerr << "csv write failed: " << status.to_report() << "\n";
+      return 1;
+    }
+  }
+
+  // The graceful-degradation gate (admission runs only): goodput collapse
+  // under overload is monotone in load, so the deepest-overload row is
+  // the one that tells the story — it must hold >= 90% of the sweep's
+  // peak goodput. Shedding early is only a win if the refused work
+  // actually protects the work that was admitted.
+  if (options.admission && !rows.empty()) {
+    double peak = 0.0;
+    for (const SweepRow& row : rows) {
+      peak = std::max(peak, row.goodput_per_sec);
+    }
+    const SweepRow& deepest = rows.back();
+    if (peak > 0.0 && deepest.goodput_per_sec < 0.9 * peak) {
+      std::cerr << "overload gate FAILED: goodput at " << deepest.load
+                << "x load is "
+                << metrics::format_double(deepest.goodput_per_sec, 1)
+                << " inv/s, below 90% of the sweep peak ("
+                << metrics::format_double(peak, 1) << " inv/s)\n";
+      return 1;
+    }
+    std::cout << "overload gate passed: goodput at "
+              << metrics::format_double(deepest.load, 1)
+              << "x load held >= 90% of the sweep peak\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
+  if (options.overload_sweep) {
+    return run_overload_sweep(options);
+  }
   return options.hosts == 0 ? run_single_host(options) : run_cluster(options);
 }

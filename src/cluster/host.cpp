@@ -18,7 +18,7 @@ faas::PlatformConfig per_host_config(faas::PlatformConfig config, HostId id) {
 }  // namespace
 
 Host::Host(HostId id, faas::PlatformConfig platform_config, std::size_t workers,
-           faas::TaskSource* pull_source)
+           faas::TaskSource* pull_source, util::Nanos max_sojourn)
     : id_(id),
       pull_mode_(pull_source != nullptr),
       platform_(per_host_config(std::move(platform_config), id)),
@@ -26,6 +26,7 @@ Host::Host(HostId id, faas::PlatformConfig platform_config, std::size_t workers,
         faas::Dispatcher::Options options;
         options.workers = workers;
         options.source = pull_source;
+        options.max_sojourn = max_sojourn;
         options.executor = [this](faas::Submission task,
                                   faas::SubmissionOutcome& outcome) {
           run_task(std::move(task), outcome);
@@ -106,12 +107,22 @@ void Host::run_task(faas::Submission task, faas::SubmissionOutcome& outcome) {
     std::lock_guard lock(latency_mutex_);
     dispatch_latency_.record(outcome.queueing);
   }
-  auto result =
-      platform_.invoke(task.function, std::move(task.request), task.mode);
+  // Queue-delay EWMA (α = 1/8) for the scheduler's admission estimate.
+  // Benign race: two workers updating concurrently lose at most one
+  // sample's weight — it is an estimate, not an account.
+  const util::Nanos prev = queueing_ewma_.load(std::memory_order_relaxed);
+  queueing_ewma_.store(prev + (outcome.queueing - prev) / 8,
+                       std::memory_order_relaxed);
+  faas::InvokeControls controls;
+  controls.now = util::monotonic_now();
+  controls.deadline = task.deadline;
+  auto result = platform_.invoke(task.function, std::move(task.request),
+                                 task.mode, controls);
   if (result) {
     outcome.record = std::move(*result);
   } else {
     outcome.status = result.status();
+    outcome.reject = controls.reject;
   }
 }
 

@@ -42,9 +42,10 @@ class Host {
  public:
   /// `pull_source` non-null puts the host's workers in pull mode (they
   /// drain the cluster's shared queue when idle); it must outlive the
-  /// host and be close()d before destruction.
+  /// host and be close()d before destruction. `max_sojourn` is the
+  /// dispatcher's CoDel-style queue-sojourn cap (0 = disabled).
   Host(HostId id, faas::PlatformConfig platform_config, std::size_t workers,
-       faas::TaskSource* pull_source);
+       faas::TaskSource* pull_source, util::Nanos max_sojourn = 0);
 
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -87,6 +88,11 @@ class Host {
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return dispatcher_.completed();
   }
+  /// Tasks this host's dispatcher expired at dequeue (counted within
+  /// completed() too — expiry records an outcome).
+  [[nodiscard]] std::uint64_t expired() const noexcept {
+    return dispatcher_.expired();
+  }
   [[nodiscard]] std::uint64_t stall_faults() const noexcept {
     return stall_count_.load(std::memory_order_relaxed);
   }
@@ -96,6 +102,13 @@ class Host {
   /// Copy of the host's dispatch-latency histogram (submit → worker
   /// pickup, i.e. queueing; recorded at execution time).
   [[nodiscard]] metrics::Histogram dispatch_latency() const;
+
+  /// EWMA of recent dispatch (queueing) latency — the scheduler's
+  /// queue-delay estimate for admission control. Updated lock-free at
+  /// task pickup (α = 1/8); 0 until the first task runs.
+  [[nodiscard]] util::Nanos queueing_ewma() const noexcept {
+    return queueing_ewma_.load(std::memory_order_relaxed);
+  }
 
  private:
   void run_task(faas::Submission task, faas::SubmissionOutcome& outcome);
@@ -109,6 +122,7 @@ class Host {
   std::atomic<std::uint64_t> stall_count_{0};
   mutable std::mutex latency_mutex_;
   metrics::Histogram dispatch_latency_;
+  std::atomic<util::Nanos> queueing_ewma_{0};
   // Platform before Dispatcher: workers join before the control plane
   // they invoke against is torn down.
   faas::Platform platform_;

@@ -1,6 +1,7 @@
 #include "cluster/scheduler.hpp"
 
 #include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -33,10 +34,12 @@ ClusterScheduler::ClusterScheduler(ClusterConfig config)
         std::make_unique<faas::SharedTaskQueue>(config_.pull_queue_capacity);
   }
   hosts_.reserve(config_.num_hosts);
+  const util::Nanos max_sojourn =
+      config_.admission.enabled ? config_.admission.max_sojourn : 0;
   for (std::size_t i = 0; i < config_.num_hosts; ++i) {
     hosts_.push_back(std::make_unique<Host>(i, config_.platform,
                                             config_.workers_per_host,
-                                            pull_queue_.get()));
+                                            pull_queue_.get(), max_sojourn));
   }
   policy_decisions_.assign(hosts_.size(), 0);
 }
@@ -101,6 +104,12 @@ void ClusterScheduler::advance_time(util::Nanos delta) {
 void ClusterScheduler::submit(faas::FunctionId function,
                               workloads::Request request,
                               faas::StartMode mode) {
+  submit(function, std::move(request), mode, 0);
+}
+
+void ClusterScheduler::submit(faas::FunctionId function,
+                              workloads::Request request, faas::StartMode mode,
+                              util::Nanos deadline) {
   const std::uint64_t seq =
       submitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (config_.health_check_interval != 0 &&
@@ -112,8 +121,69 @@ void ClusterScheduler::submit(faas::FunctionId function,
   task.mode = mode;
   task.request = std::move(request);
   task.enqueued_at = util::monotonic_now();
+  task.deadline = deadline;
   task.seq = seq;
+  if (config_.admission.enabled) {
+    // Fault site first: a spurious shed exercises the whole typed-refusal
+    // path (outcome, counters, drain accounting) without real overload.
+    if (HORSE_FAULT_POINT("admission.spurious_shed")) {
+      spurious_sheds_.fetch_add(1, std::memory_order_relaxed);
+      record_shed(task, faas::SubmissionReject::kQueueShed,
+                  "admission: spurious shed (fault injection)");
+      return;
+    }
+    if (task.deadline != 0) {
+      const util::Nanos slack =
+          task.deadline > task.enqueued_at ? task.deadline - task.enqueued_at
+                                           : 0;
+      // Optimistic estimate (min over healthy hosts): shed only when even
+      // the least-loaded host's recent queue delay already eats the whole
+      // slack — executing would only produce a late, worthless response.
+      if (slack == 0 || queue_delay_estimate() > slack) {
+        record_shed(task, faas::SubmissionReject::kQueueShed,
+                    "admission: estimated queue delay exceeds deadline slack");
+        return;
+      }
+    }
+  }
   dispatch(std::move(task));
+}
+
+util::Nanos ClusterScheduler::queue_delay_estimate() const {
+  util::Nanos best = 0;
+  bool any = false;
+  for (const auto& host : hosts_) {
+    if (!host->healthy()) {
+      continue;
+    }
+    const util::Nanos ewma = host->queueing_ewma();
+    if (!any || ewma < best) {
+      best = ewma;
+      any = true;
+    }
+  }
+  return any ? best : 0;
+}
+
+void ClusterScheduler::record_shed(const faas::Submission& task,
+                                   faas::SubmissionReject reject,
+                                   std::string_view detail) {
+  faas::SubmissionOutcome outcome;
+  outcome.function = task.function;
+  outcome.mode = task.mode;
+  outcome.seq = task.seq;
+  outcome.status = util::Status{reject == faas::SubmissionReject::kQueueFull
+                                    ? util::StatusCode::kResourceExhausted
+                                    : util::StatusCode::kUnavailable,
+                                std::string(detail)};
+  outcome.reject = reject;
+  {
+    std::lock_guard lock(shed_mutex_);
+    shed_outcomes_.push_back(std::move(outcome));
+  }
+  // After the push: once shed_count_ makes drain's termination arithmetic
+  // add up, the outcome must already be mergeable.
+  shed_count_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void ClusterScheduler::dispatch(faas::Submission task) {
@@ -125,6 +195,25 @@ void ClusterScheduler::dispatch(faas::Submission task) {
     task.redispatched = true;
   }
   if (config_.dispatch == DispatchMode::kPull) {
+    // Deadline traffic must not convoy behind a full queue: a full pull
+    // queue means every host is busy AND the buffer is exhausted, so the
+    // submission is shed (typed kQueueFull) instead of blocking. Deadline-
+    // free and re-dispatched tasks keep the blocking backpressure push —
+    // they have no slack to protect, and re-dispatched tasks must never
+    // be lost (exactly-once re-dispatch is a structural property).
+    if (config_.admission.enabled && task.deadline != 0 &&
+        !task.redispatched) {
+      faas::Submission meta;  // shed outcome needs only the identity fields
+      meta.function = task.function;
+      meta.mode = task.mode;
+      meta.seq = task.seq;
+      if (!pull_queue_->try_push(std::move(task))) {
+        shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        record_shed(meta, faas::SubmissionReject::kQueueFull,
+                    "admission: pull queue full");
+      }
+      return;
+    }
     pull_queue_->push(std::move(task));
     return;
   }
@@ -186,7 +275,9 @@ std::vector<faas::SubmissionOutcome> ClusterScheduler::drain() {
   while (true) {
     check_health();
     const std::uint64_t target = submitted_.load(std::memory_order_acquire);
-    std::uint64_t done = 0;
+    // Shed submissions never reach a host; their typed outcomes complete
+    // the accounting (completed + shed == submitted when idle).
+    std::uint64_t done = shed_count_.load(std::memory_order_acquire);
     for (const auto& host : hosts_) {
       done += host->completed();
     }
@@ -203,6 +294,13 @@ std::vector<faas::SubmissionOutcome> ClusterScheduler::drain() {
       out.push_back(std::move(outcome));
     }
   }
+  {
+    std::lock_guard lock(shed_mutex_);
+    for (auto& outcome : shed_outcomes_) {
+      out.push_back(std::move(outcome));
+    }
+    shed_outcomes_.clear();
+  }
   return out;
 }
 
@@ -212,7 +310,12 @@ ClusterCounters ClusterScheduler::counters() const {
   for (const auto& host : hosts_) {
     counters.completed += host->completed();
     counters.host_stalls += host->stall_faults();
+    counters.expired += host->expired();
   }
+  counters.shed = shed_count_.load(std::memory_order_acquire);
+  counters.shed_queue_full =
+      shed_queue_full_.load(std::memory_order_relaxed);
+  counters.spurious_sheds = spurious_sheds_.load(std::memory_order_relaxed);
   counters.hosts_quarantined =
       hosts_quarantined_.load(std::memory_order_relaxed);
   counters.redispatched = redispatched_.load(std::memory_order_relaxed);
@@ -243,6 +346,8 @@ ClusterStats ClusterScheduler::stats() const {
     entry.completed = host.completed();
     entry.policy_decisions = decisions[i];
     entry.stall_faults = host.stall_faults();
+    entry.expired = host.expired();
+    entry.queueing_ewma = host.queueing_ewma();
     const HostSnapshot snapshot = host.snapshot(0, false);
     entry.queued = snapshot.queued;
     entry.in_flight = snapshot.in_flight;

@@ -54,6 +54,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "cluster/host.hpp"
@@ -73,6 +74,17 @@ enum class DispatchMode : std::uint8_t { kPush, kPull };
 [[nodiscard]] util::Expected<DispatchMode> parse_dispatch_mode(
     std::string_view name);
 
+/// Cluster-level admission control. Enabled by default, but it only acts
+/// on submissions that carry a deadline — deadline-free traffic is never
+/// shed, so pre-overload callers see byte-identical behaviour.
+struct ClusterAdmissionConfig {
+  bool enabled = true;
+  /// CoDel-style sojourn cap forwarded to every host's dispatcher: tasks
+  /// queued longer than this expire at dequeue. 0 disables (per-task
+  /// deadlines are always honoured regardless).
+  util::Nanos max_sojourn = 0;
+};
+
 struct ClusterConfig {
   std::size_t num_hosts = 1;
   /// Worker slots per host; 0 = max(2, platform.num_cpus / 2).
@@ -83,6 +95,7 @@ struct ClusterConfig {
   std::size_t pull_queue_capacity = 4096;
   /// Submissions between health sweeps (drain always sweeps too).
   std::size_t health_check_interval = 64;
+  ClusterAdmissionConfig admission;
   /// Per-host platform template; host i runs it with seed + i*7919.
   faas::PlatformConfig platform;
 };
@@ -102,6 +115,19 @@ struct ClusterCounters {
   std::uint64_t dispatch_drops = 0;
   /// Times the cluster found ZERO healthy hosts and force-recovered one.
   std::uint64_t forced_routes = 0;
+  // --- overload control ----------------------------------------------------
+  /// Submissions shed at admission (estimated queue delay already past the
+  /// deadline's slack, pull queue full, or a spurious-shed fault). Every
+  /// shed produces a typed outcome in drain(); completed + shed covers
+  /// every submission.
+  std::uint64_t shed = 0;
+  /// Subset of `shed`: the bounded pull queue refused (try_push).
+  std::uint64_t shed_queue_full = 0;
+  /// Tasks expired at dequeue by host dispatchers (deadline / sojourn).
+  /// These DO count toward `completed` (the host recorded the outcome).
+  std::uint64_t expired = 0;
+  /// admission.spurious_shed fault fires (each one also counts in shed).
+  std::uint64_t spurious_sheds = 0;
   /// Sticky: the quarantine ladder reached single-host routing.
   bool degraded_single_host = false;
 };
@@ -116,6 +142,10 @@ struct HostStats {
   std::size_t queued = 0;
   std::size_t in_flight = 0;
   std::size_t free_slots = 0;
+  /// Tasks this host expired at dequeue (deadline / sojourn cap).
+  std::uint64_t expired = 0;
+  /// The host's queue-delay EWMA the admission check reads.
+  util::Nanos queueing_ewma = 0;
   /// Pooled warm sandboxes on the host (all functions).
   std::size_t pool_sandboxes = 0;
   /// Reserved-queue paused-sandbox occupancy (from the host platform's
@@ -163,6 +193,19 @@ class ClusterScheduler {
   void submit(faas::FunctionId function, workloads::Request request,
               faas::StartMode mode);
 
+  /// Deadline-carrying submit: `deadline` is an absolute monotonic
+  /// timestamp (0 = none). Deadline submissions pass admission control —
+  /// when the cluster's estimated queue delay already exceeds the
+  /// remaining slack (or the pull queue is full) the submission is shed
+  /// with a typed outcome instead of queueing toward certain expiry.
+  void submit(faas::FunctionId function, workloads::Request request,
+              faas::StartMode mode, util::Nanos deadline);
+
+  /// The admission check's queue-delay estimate: minimum dispatch-latency
+  /// EWMA over healthy hosts (optimistic — the cluster sheds only when
+  /// EVERY healthy host is already backed up past the slack).
+  [[nodiscard]] util::Nanos queue_delay_estimate() const;
+
   /// Wait for every accepted submission and take the outcomes (from all
   /// hosts; order is per-host arbitrary — sort by .seq if needed).
   /// Runs health sweeps while waiting so stalled hosts cannot wedge it.
@@ -181,6 +224,11 @@ class ClusterScheduler {
   /// Healthy-host selection + policy bookkeeping; handles the
   /// degradation ladder. Returns the chosen host.
   Host& select_host_locked(faas::FunctionId function);
+  /// Record a typed shed outcome (never a silent drop): the submission is
+  /// refused here, at the cluster front door, and its outcome surfaces
+  /// from drain() like any completion.
+  void record_shed(const faas::Submission& task, faas::SubmissionReject reject,
+                   std::string_view detail);
 
   ClusterConfig config_;
   std::unique_ptr<LoadBalancePolicy> policy_;
@@ -196,6 +244,15 @@ class ClusterScheduler {
   std::atomic<std::uint64_t> dispatch_drops_{0};
   std::atomic<std::uint64_t> forced_routes_{0};
   std::atomic<bool> degraded_single_host_{false};
+
+  // Shed bookkeeping: outcomes buffered here until drain() merges them
+  // with host completions. shed_count_ is an atomic so drain's
+  // termination check (completed + shed >= submitted) needs no lock.
+  mutable std::mutex shed_mutex_;
+  std::vector<faas::SubmissionOutcome> shed_outcomes_;
+  std::atomic<std::uint64_t> shed_count_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> spurious_sheds_{0};
 };
 
 }  // namespace horse::cluster

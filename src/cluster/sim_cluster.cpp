@@ -52,8 +52,43 @@ util::Nanos SimCluster::jittered(util::Nanos service) {
   return static_cast<util::Nanos>(static_cast<double>(service) * factor);
 }
 
+util::Nanos SimCluster::queue_delay_estimate() const {
+  util::Nanos best = 0;
+  bool any = false;
+  for (const SimHost& host : hosts_) {
+    if (!host.healthy) {
+      continue;
+    }
+    if (!any || host.queueing_ewma < best) {
+      best = host.queueing_ewma;
+      any = true;
+    }
+  }
+  return any ? best : 0;
+}
+
+void SimCluster::record_rejection(const Task& task, util::Nanos at,
+                                  faas::SubmissionReject reject) {
+  SimRejection rejection;
+  rejection.seq = task.seq;
+  rejection.function = task.function;
+  rejection.time = at;
+  rejection.reject = reject;
+  rejections_.push_back(rejection);
+}
+
+bool SimCluster::expire_if_due(const Task& task, util::Nanos at) {
+  if (!params_.admission || task.deadline == 0 || at < task.deadline) {
+    return false;
+  }
+  record_rejection(task, at, faas::SubmissionReject::kDeadlineExpired);
+  return true;
+}
+
 void SimCluster::start_on(HostId id, Task task, util::Nanos at) {
   SimHost& host = hosts_[id];
+  // Same α = 1/8 update the real Host applies at task pickup.
+  host.queueing_ewma += ((at - task.arrival) - host.queueing_ewma) / 8;
   ++host.in_flight;
   const auto scaled = static_cast<util::Nanos>(
       static_cast<double>(task.service) * host.params.speed);
@@ -99,6 +134,11 @@ void SimCluster::push_dispatch(Task task, util::Nanos at) {
   SimHost& host = hosts_[chosen];
   ++host.dispatched;
   if (host.in_flight < host.params.slots) {
+    // Starting now IS the dequeue; a task whose deadline has already
+    // passed is expired instead of run (the slot stays free).
+    if (expire_if_due(task, at)) {
+      return;
+    }
     start_on(chosen, std::move(task), at);
   } else {
     host.queue.push_back(std::move(task));
@@ -130,6 +170,11 @@ void SimCluster::pull_try_bind(util::Nanos at) {
     }
     Task task = std::move(shared_queue_.front());
     shared_queue_.pop_front();
+    // Expire-at-dequeue: a stale task is refused before binding a slot;
+    // the loop keeps draining so fresh work behind it still binds now.
+    if (expire_if_due(task, at)) {
+      continue;
+    }
     SimDecision decision;
     decision.seq = task.seq;
     decision.time = at;
@@ -154,15 +199,21 @@ void SimCluster::complete_due(util::Nanos now) {
     done.arrival = finish.task.arrival;
     done.finish = finish.time;
     done.start = finish.time - finish.task.service;
+    done.deadline = finish.task.deadline;
     completions_.push_back(done);
     if (params_.dispatch == DispatchMode::kPush) {
       // The freed slot starts the host's own backlog head (push keeps
       // per-host FIFO order). Unhealthy hosts still finish in-flight work
-      // but leave their backlog for steal_backlog().
-      if (host.healthy && !host.queue.empty() &&
-          host.in_flight < host.params.slots) {
+      // but leave their backlog for steal_backlog(). Stale heads are
+      // expired (not run), so the loop keeps dequeuing until a live task
+      // takes the slot or the backlog empties.
+      while (host.healthy && !host.queue.empty() &&
+             host.in_flight < host.params.slots) {
         Task next = std::move(host.queue.front());
         host.queue.pop_front();
+        if (expire_if_due(next, finish.time)) {
+          continue;
+        }
         start_on(finish.host, std::move(next), finish.time);
       }
     } else {
@@ -181,12 +232,33 @@ void SimCluster::advance_to(util::Nanos now) {
 
 void SimCluster::submit(util::Nanos at, faas::FunctionId function,
                         util::Nanos service) {
+  submit(at, function, service, 0);
+}
+
+void SimCluster::submit(util::Nanos at, faas::FunctionId function,
+                        util::Nanos service, util::Nanos deadline) {
   advance_to(at);
   Task task;
   task.seq = next_seq_++;
   task.function = function;
   task.arrival = at;
-  task.service = jittered(service);
+  task.service = jittered(service);  // drawn before any shed: the RNG
+                                     // stream stays a pure function of the
+                                     // submission sequence
+  task.deadline = deadline;
+  if (params_.admission && deadline != 0) {
+    const util::Nanos slack = deadline > at ? deadline - at : 0;
+    if (slack == 0 || queue_delay_estimate() > slack) {
+      record_rejection(task, at, faas::SubmissionReject::kQueueShed);
+      return;
+    }
+    if (params_.dispatch == DispatchMode::kPull &&
+        params_.pull_queue_capacity != 0 &&
+        shared_queue_.size() >= params_.pull_queue_capacity) {
+      record_rejection(task, at, faas::SubmissionReject::kQueueFull);
+      return;
+    }
+  }
   if (params_.dispatch == DispatchMode::kPull) {
     shared_queue_.push_back(std::move(task));
     pull_try_bind(at);

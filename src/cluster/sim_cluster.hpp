@@ -63,6 +63,13 @@ struct SimClusterParams {
   DispatchMode dispatch = DispatchMode::kPush;
   PolicyKind policy = PolicyKind::kRoundRobin;
   std::uint64_t seed = 1;
+  /// Cluster-style admission control, mirrored in virtual time: acts only
+  /// on deadline-carrying submissions (sheds when the per-host queueing
+  /// EWMA exceeds the remaining slack; expires stale tasks at dequeue).
+  bool admission = true;
+  /// Pull-mode shared-queue bound; 0 = unbounded. A deadline submission
+  /// arriving at a full queue is rejected kQueueFull.
+  std::size_t pull_queue_capacity = 0;
   /// Host i uses hosts[i] when provided, `defaults` otherwise.
   SimHostParams defaults;
   std::vector<SimHostParams> hosts;
@@ -90,9 +97,25 @@ struct SimCompletion {
   util::Nanos arrival = 0;
   util::Nanos start = 0;
   util::Nanos finish = 0;
+  util::Nanos deadline = 0;  // absolute; 0 = none
 
   [[nodiscard]] util::Nanos queueing() const noexcept { return start - arrival; }
   [[nodiscard]] util::Nanos latency() const noexcept { return finish - arrival; }
+  /// A completion with a deadline counts toward goodput iff it finished
+  /// in time.
+  [[nodiscard]] bool met_deadline() const noexcept {
+    return deadline == 0 || finish <= deadline;
+  }
+};
+
+/// A typed refusal in virtual time — the model's SubmissionOutcome-with-
+/// reject. Every submission yields exactly one completion XOR rejection
+/// (the property the 1024-seed sweep pins).
+struct SimRejection {
+  std::uint64_t seq = 0;
+  faas::FunctionId function = 0;
+  util::Nanos time = 0;
+  faas::SubmissionReject reject = faas::SubmissionReject::kNone;
 };
 
 class SimCluster {
@@ -103,6 +126,13 @@ class SimCluster {
   /// calls) with nominal service time `service`. Completions due before
   /// `at` are processed first, so snapshots reflect the state at `at`.
   void submit(util::Nanos at, faas::FunctionId function, util::Nanos service);
+
+  /// Deadline-carrying submit (`deadline` absolute virtual time; 0 =
+  /// none). With admission on, may shed (kQueueShed/kQueueFull) at submit
+  /// or expire (kDeadlineExpired) at dequeue — each recorded in
+  /// rejections() exactly once.
+  void submit(util::Nanos at, faas::FunctionId function, util::Nanos service,
+              util::Nanos deadline);
 
   /// Advance virtual time, processing completions (and pull bindings) due
   /// by `now`. submit() calls this implicitly.
@@ -135,6 +165,9 @@ class SimCluster {
   [[nodiscard]] const std::vector<SimCompletion>& completions() const noexcept {
     return completions_;
   }
+  [[nodiscard]] const std::vector<SimRejection>& rejections() const noexcept {
+    return rejections_;
+  }
   [[nodiscard]] std::vector<std::uint64_t> dispatch_counts() const;
   [[nodiscard]] std::size_t forced_routes() const noexcept { return forced_; }
   [[nodiscard]] util::Nanos now() const noexcept { return now_; }
@@ -151,6 +184,7 @@ class SimCluster {
     util::Nanos arrival = 0;
     /// Post-jitter nominal service time (host speed applied at start).
     util::Nanos service = 0;
+    util::Nanos deadline = 0;  // absolute; 0 = none
     bool redispatched = false;
   };
 
@@ -160,6 +194,9 @@ class SimCluster {
     std::size_t in_flight = 0;
     std::deque<Task> queue;  // push-mode backlog
     std::uint64_t dispatched = 0;
+    /// Virtual-time queueing EWMA (α = 1/8), the admission estimate —
+    /// the mirror of Host::queueing_ewma().
+    util::Nanos queueing_ewma = 0;
   };
 
   struct Finish {
@@ -178,6 +215,13 @@ class SimCluster {
   void pull_try_bind(util::Nanos at);
   void complete_due(util::Nanos now);
   [[nodiscard]] util::Nanos jittered(util::Nanos service);
+  /// Expire-at-dequeue: records a kDeadlineExpired rejection and returns
+  /// true when `task`'s deadline has passed at `at`.
+  bool expire_if_due(const Task& task, util::Nanos at);
+  void record_rejection(const Task& task, util::Nanos at,
+                        faas::SubmissionReject reject);
+  /// Min queueing EWMA over healthy hosts (the admission estimate).
+  [[nodiscard]] util::Nanos queue_delay_estimate() const;
 
   SimClusterParams params_;
   std::unique_ptr<LoadBalancePolicy> policy_;
@@ -187,6 +231,7 @@ class SimCluster {
   std::priority_queue<Finish, std::vector<Finish>, std::greater<>> finishes_;
   std::vector<SimDecision> decisions_;
   std::vector<SimCompletion> completions_;
+  std::vector<SimRejection> rejections_;
   std::vector<Task> stolen_;  // parked between steal_backlog and redispatch
   util::Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,340 @@
+// End-to-end overload control: typed rejection reasons, the host-wide
+// retry budget, and the per-function circuit breaker.
+//
+// HORSE makes the warm path ultra-fast, but a saturated platform dies a
+// different death: unbounded queueing plus unbudgeted retry-ladder
+// escalation turns a load spike into a metastable collapse where every
+// request blows its latency target yet none is refused. The pieces here
+// make refusal a first-class, typed, counted outcome at every layer:
+//
+//   * SubmissionReject — WHY a submission was refused. Nothing in the
+//     stack may drop a request silently: a shed, expiry, or breaker
+//     rejection always produces a SubmissionOutcome carrying one of
+//     these (and Platform::invoke reports it through InvokeControls).
+//   * RetryBudget — a host-wide token bucket (Finagle-style: every
+//     admitted request deposits a fraction of a token, every expensive
+//     retry withdraws one) that bounds how much kRestore/kCold ladder
+//     escalation the host performs IN AGGREGATE. Per-request ladders are
+//     individually bounded but collectively unbounded — a spike of warm
+//     misses would otherwise amplify into a restore storm precisely when
+//     the host can least afford it. Exhausted budget degrades escalation
+//     to an immediate typed rejection. Deterministic by construction
+//     (no clock: deposits are request-driven), one atomic, lock-free.
+//   * CircuitBreaker — per-function closed → open → half-open machine
+//     over a rolling window of resume outcomes. Composes with the
+//     per-sandbox strike/quarantine machinery (§5.2): strikes remove one
+//     bad sandbox; the breaker notices the FUNCTION keeps failing across
+//     sandboxes and makes rejection sticky (open) and recovery probing
+//     cheap (half-open admits a few probes after a full-jitter cooldown,
+//     util::Backoff-spaced so consecutive re-opens probe less often).
+//
+// Lock-hierarchy placement (DESIGN.md §5.6): CircuitBreaker instances
+// live inside a ControlShard and are only touched under that shard's
+// mutex — no new locks, no new hierarchy edges. RetryBudget is shared by
+// ALL shards and therefore sits outside the hierarchy entirely: it is a
+// single atomic, safe to touch with any (or no) lock held. The breaker's
+// stuck-open fault site (breaker.stuck_open) suppresses the open →
+// half-open transition so the ladder tests can prove recovery probing is
+// what actually closes a breaker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/backoff.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::faas {
+
+/// Typed refusal reasons — every shed/expiry/breaker outcome carries one.
+enum class SubmissionReject : std::uint8_t {
+  kNone = 0,
+  /// Deadline passed before the work ran (admission check, CoDel-style
+  /// drop-on-dequeue, or mid-ladder expiry).
+  kDeadlineExpired,
+  /// Admission control: estimated queue delay already exceeds the
+  /// submission's slack — executing it would only waste a worker.
+  kQueueShed,
+  /// The bounded pull queue was full (try_push refused).
+  kQueueFull,
+  /// The function's control shard is above its occupancy high-water mark.
+  kShardOverload,
+  /// The per-function circuit breaker is open.
+  kBreakerOpen,
+  /// Ladder escalation to kRestore/kCold denied: host retry budget empty.
+  kRetryBudgetExhausted,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    SubmissionReject reject) noexcept {
+  switch (reject) {
+    case SubmissionReject::kNone: return "none";
+    case SubmissionReject::kDeadlineExpired: return "deadline_expired";
+    case SubmissionReject::kQueueShed: return "queue_shed";
+    case SubmissionReject::kQueueFull: return "queue_full";
+    case SubmissionReject::kShardOverload: return "shard_overload";
+    case SubmissionReject::kBreakerOpen: return "breaker_open";
+    case SubmissionReject::kRetryBudgetExhausted: return "retry_budget";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RetryBudget
+// ---------------------------------------------------------------------------
+
+struct RetryBudgetConfig {
+  /// Tokens deposited per admitted request (0.1 = the host may spend one
+  /// expensive retry per ten requests, steady-state).
+  double deposit_per_request = 0.1;
+  /// Token cap: how much burst headroom accumulates while healthy.
+  std::uint64_t cap = 256;
+  /// Tokens available at construction (cold-start grace).
+  std::uint64_t initial = 32;
+};
+
+/// Host-wide token bucket over expensive retries. Thread-safe and
+/// lock-free: the balance is milli-tokens in one atomic, so deposits and
+/// withdrawals from every control shard race benignly.
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetConfig config = {}) noexcept
+      : config_(config),
+        millitokens_(static_cast<std::int64_t>(
+            (config.initial < config.cap ? config.initial : config.cap) *
+            1000)) {}
+
+  /// One admitted request funds deposit_per_request tokens, up to cap.
+  void deposit() noexcept {
+    const auto add =
+        static_cast<std::int64_t>(config_.deposit_per_request * 1000.0);
+    const auto cap = static_cast<std::int64_t>(config_.cap) * 1000;
+    std::int64_t current = millitokens_.load(std::memory_order_relaxed);
+    while (current < cap) {
+      const std::int64_t next = current + add < cap ? current + add : cap;
+      if (millitokens_.compare_exchange_weak(current, next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// Spend one whole token; false (and no state change) when exhausted.
+  [[nodiscard]] bool try_withdraw() noexcept {
+    std::int64_t current = millitokens_.load(std::memory_order_relaxed);
+    while (current >= 1000) {
+      if (millitokens_.compare_exchange_weak(current, current - 1000,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        withdrawals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Whole tokens currently available.
+  [[nodiscard]] std::uint64_t available() const noexcept {
+    const std::int64_t balance = millitokens_.load(std::memory_order_acquire);
+    return balance > 0 ? static_cast<std::uint64_t>(balance / 1000) : 0;
+  }
+
+  [[nodiscard]] std::uint64_t withdrawals() const noexcept {
+    return withdrawals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t denials() const noexcept {
+    return denials_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const RetryBudgetConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RetryBudgetConfig config_;
+  std::atomic<std::int64_t> millitokens_;
+  std::atomic<std::uint64_t> withdrawals_{0};
+  std::atomic<std::uint64_t> denials_{0};
+};
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+struct CircuitBreakerConfig {
+  /// Rolling-window length (recent resume outcomes considered).
+  std::size_t window = 16;
+  /// Outcomes required in the window before the rate can open the breaker
+  /// (a single early failure must not trip it).
+  std::size_t min_samples = 8;
+  /// Failure fraction at/above which the breaker opens.
+  double failure_rate = 0.5;
+  /// Cooldown window before the first half-open probe round; consecutive
+  /// re-opens back off (full jitter) up to `cooldown_cap`.
+  util::Nanos cooldown_base = 1 * util::kMillisecond;
+  util::Nanos cooldown_cap = 100 * util::kMillisecond;
+  /// Consecutive half-open probe successes required to close again.
+  std::size_t half_open_probes = 2;
+};
+
+/// Per-function breaker state machine. NOT internally locked: instances
+/// live in a ControlShard and every call happens under that shard's mutex
+/// (same-function invocations serialise there anyway).
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  struct Stats {
+    std::uint64_t opens = 0;        // closed/half-open → open transitions
+    std::uint64_t probe_rounds = 0; // open → half-open transitions
+    std::uint64_t stuck_open = 0;   // breaker.stuck_open fault fires
+  };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {}) noexcept
+      : config_(config),
+        backoff_(util::BackoffPolicy{config.cooldown_base,
+                                     config.cooldown_cap}) {
+    if (config_.window == 0) {
+      config_.window = 1;
+    }
+    if (config_.window > 64) {
+      config_.window = 64;  // outcomes live in one uint64 bitmask
+    }
+    if (config_.min_samples > config_.window) {
+      config_.min_samples = config_.window;
+    }
+  }
+
+  /// May a request for this function proceed at `now`? Open → false until
+  /// the cooldown elapses, then the breaker goes half-open and admits
+  /// probes. The open → half-open edge carries the breaker.stuck_open
+  /// fault site: a fire suppresses the transition (and re-arms the
+  /// cooldown) so tests can hold a breaker open deterministically.
+  [[nodiscard]] bool allow(util::Nanos now, util::Xoshiro256& rng) {
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kHalfOpen:
+        return true;  // a probe; outcome moves the machine
+      case State::kOpen:
+        if (now < open_until_) {
+          return false;
+        }
+        if (HORSE_FAULT_POINT("breaker.stuck_open")) {
+          ++stats_.stuck_open;
+          open_until_ = now + backoff_.delay(reopen_streak_, rng);
+          return false;
+        }
+        state_ = State::kHalfOpen;
+        probe_successes_ = 0;
+        ++stats_.probe_rounds;
+        return true;
+    }
+    return true;
+  }
+
+  void on_success(util::Nanos now) noexcept {
+    (void)now;
+    if (state_ == State::kHalfOpen) {
+      if (++probe_successes_ >= config_.half_open_probes) {
+        state_ = State::kClosed;
+        reopen_streak_ = 0;
+        samples_ = 0;
+        outcomes_ = 0;
+      }
+      return;
+    }
+    if (state_ == State::kClosed) {
+      push_outcome(false);
+    }
+  }
+
+  void on_failure(util::Nanos now, util::Xoshiro256& rng) {
+    if (state_ == State::kHalfOpen) {
+      open(now, rng);  // one failed probe re-opens immediately
+      return;
+    }
+    if (state_ == State::kClosed) {
+      push_outcome(true);
+      if (samples_ >= config_.min_samples &&
+          static_cast<double>(failures_in_window()) >=
+              config_.failure_rate * static_cast<double>(samples_)) {
+        open(now, rng);
+      }
+    }
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// When the current open period ends (meaningful in kOpen only).
+  [[nodiscard]] util::Nanos open_until() const noexcept { return open_until_; }
+
+ private:
+  void open(util::Nanos now, util::Xoshiro256& rng) {
+    state_ = State::kOpen;
+    ++stats_.opens;
+    ++reopen_streak_;
+    open_until_ = now + backoff_.delay(reopen_streak_, rng);
+  }
+
+  void push_outcome(bool failure) noexcept {
+    outcomes_ = (outcomes_ << 1) | (failure ? 1ULL : 0ULL);
+    if (samples_ < config_.window) {
+      ++samples_;
+    }
+  }
+
+  [[nodiscard]] std::size_t failures_in_window() const noexcept {
+    const std::uint64_t mask =
+        samples_ >= 64 ? ~0ULL : ((1ULL << samples_) - 1);
+    return static_cast<std::size_t>(__builtin_popcountll(outcomes_ & mask));
+  }
+
+  CircuitBreakerConfig config_;
+  util::Backoff backoff_;
+  State state_ = State::kClosed;
+  std::uint64_t outcomes_ = 0;  // bit i = i-th most recent outcome, 1=failure
+  std::size_t samples_ = 0;
+  std::size_t probe_successes_ = 0;
+  std::size_t reopen_streak_ = 0;  // consecutive opens; backoff attempt index
+  util::Nanos open_until_ = 0;
+  Stats stats_;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Platform-level admission configuration
+// ---------------------------------------------------------------------------
+
+/// Overload-control knobs on one Platform (host). All rejection paths are
+/// opt-in: a default-constructed platform behaves exactly as before this
+/// subsystem existed, which is what keeps deadline-free callers (and the
+/// pre-overload test corpus) byte-identical.
+struct AdmissionConfig {
+  /// Max invocations concurrently inside (or queued on the mutex of) one
+  /// control shard before new arrivals are rejected with kShardOverload
+  /// instead of queueing unboundedly. 0 disables.
+  std::size_t shard_high_water = 0;
+  /// Gate kRestore/kCold ladder escalation on the host-wide RetryBudget.
+  bool retry_budget_enabled = false;
+  RetryBudgetConfig retry_budget;
+  /// Per-function circuit breaker over resume failures.
+  bool breaker_enabled = false;
+  CircuitBreakerConfig breaker;
+};
+
+}  // namespace horse::faas

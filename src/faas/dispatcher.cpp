@@ -8,7 +8,8 @@ namespace horse::faas {
 Dispatcher::Dispatcher(Options options)
     : executor_(std::move(options.executor)),
       router_(std::move(options.router)),
-      source_(options.source) {
+      source_(options.source),
+      max_sojourn_(options.max_sojourn) {
   if (!executor_) {
     throw std::invalid_argument("Dispatcher: executor is required");
   }
@@ -130,9 +131,34 @@ void Dispatcher::execute_and_record(Worker& worker, Submission task) {
   outcome.function = task.function;
   outcome.mode = task.mode;
   outcome.seq = task.seq;
-  // One clock read covers the queueing measurement; the executor's own
-  // timing is the record's business.
-  outcome.queueing = util::monotonic_now() - task.enqueued_at;
+  // One clock read covers the queueing measurement, the deadline check,
+  // and the sojourn check; the executor's own timing is the record's
+  // business.
+  const util::Nanos now = util::monotonic_now();
+  outcome.queueing = now - task.enqueued_at;
+  // Expire-at-dequeue (CoDel-style): a task whose deadline passed — or
+  // that sat queued past the sojourn cap — is refused HERE, before a
+  // worker is wasted executing work nobody is waiting for. The typed
+  // outcome is still recorded and counts toward completed(), so the
+  // frontend's lossless submitted-vs-completed accounting holds.
+  const bool deadline_passed = task.deadline != 0 && now >= task.deadline;
+  const bool sojourn_exceeded =
+      max_sojourn_ != 0 && outcome.queueing > max_sojourn_;
+  if (deadline_passed || sojourn_exceeded) {
+    outcome.status =
+        util::Status{util::StatusCode::kDeadlineExceeded,
+                     deadline_passed ? "dispatcher: deadline expired in queue"
+                                     : "dispatcher: sojourn cap exceeded"};
+    outcome.reject = SubmissionReject::kDeadlineExpired;
+    expired_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard lock(worker.mutex);
+      worker.outcomes.push_back(std::move(outcome));
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      completed_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return;
+  }
   executor_(std::move(task), outcome);
   {
     std::lock_guard lock(worker.mutex);

@@ -61,6 +61,12 @@ class Dispatcher {
     /// Non-null selects pull mode; must outlive the Dispatcher.
     TaskSource* source = nullptr;
     std::size_t workers = 1;
+    /// CoDel-style sojourn cap: a task that waited longer than this
+    /// between enqueue and dequeue is expired at dequeue (typed outcome,
+    /// executor never called) — under overload the queue would otherwise
+    /// serve only stale work. 0 disables; per-task deadlines are always
+    /// honoured regardless.
+    util::Nanos max_sojourn = 0;
   };
 
   explicit Dispatcher(Options options);
@@ -109,6 +115,12 @@ class Dispatcher {
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return completed_.load(std::memory_order_acquire);
   }
+  /// Tasks expired at dequeue (deadline passed or sojourn cap exceeded)
+  /// without running. Every expiry still records an outcome and counts
+  /// toward completed(), so frontend accounting stays lossless.
+  [[nodiscard]] std::uint64_t expired() const noexcept {
+    return expired_.load(std::memory_order_acquire);
+  }
   /// Workers with neither queued nor running work.
   [[nodiscard]] std::size_t free_slots() const noexcept;
   [[nodiscard]] bool pull_mode() const noexcept { return source_ != nullptr; }
@@ -133,6 +145,8 @@ class Dispatcher {
   Executor executor_;
   Router router_;
   TaskSource* source_ = nullptr;
+  util::Nanos max_sojourn_ = 0;
+  std::atomic<std::uint64_t> expired_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> paused_{false};
   std::mutex pause_mutex_;

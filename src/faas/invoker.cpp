@@ -10,12 +10,16 @@ Dispatcher::Options invoker_options(Platform& platform, std::size_t workers) {
   Dispatcher::Options options;
   options.workers = workers == 0 ? 1 : workers;
   options.executor = [&platform](Submission task, SubmissionOutcome& outcome) {
-    auto result =
-        platform.invoke(task.function, std::move(task.request), task.mode);
+    InvokeControls controls;
+    controls.now = util::monotonic_now();
+    controls.deadline = task.deadline;
+    auto result = platform.invoke(task.function, std::move(task.request),
+                                  task.mode, controls);
     if (result) {
       outcome.record = std::move(*result);
     } else {
       outcome.status = result.status();
+      outcome.reject = controls.reject;  // kNone for ordinary failures
     }
   };
   // Shard-affine routing: every submission for a function goes to the
@@ -35,11 +39,17 @@ Invoker::Invoker(Platform& platform, std::size_t workers)
 
 void Invoker::submit(FunctionId function, workloads::Request request,
                      StartMode mode) {
+  submit(function, std::move(request), mode, 0);
+}
+
+void Invoker::submit(FunctionId function, workloads::Request request,
+                     StartMode mode, util::Nanos deadline) {
   Submission task;
   task.function = function;
   task.mode = mode;
   task.request = std::move(request);
   task.enqueued_at = util::monotonic_now();
+  task.deadline = deadline;
   task.seq = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
   dispatcher_.submit(std::move(task));
 }

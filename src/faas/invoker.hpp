@@ -49,6 +49,12 @@ class Invoker {
   /// (task queue → Platform::invoke → workload). Thread-safe.
   void submit(FunctionId function, workloads::Request request, StartMode mode);
 
+  /// Deadline-carrying submit: `deadline` is an absolute monotonic
+  /// timestamp (0 = none). Expired work is refused with a typed outcome
+  /// (SubmissionOutcome::reject) instead of executing late.
+  void submit(FunctionId function, workloads::Request request, StartMode mode,
+              util::Nanos deadline);
+
   /// Wait for all submitted invocations and take their outcomes.
   [[nodiscard]] std::vector<Outcome> drain() { return dispatcher_.drain(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/backoff.hpp"
 #include "util/dcheck.hpp"
 
 namespace horse::faas {
@@ -12,7 +13,9 @@ using ShardLock = metrics::MeteredLock<std::mutex>;
 }  // namespace
 
 Platform::Platform(PlatformConfig config)
-    : config_(std::move(config)), topology_(config_.num_cpus) {
+    : config_(std::move(config)),
+      topology_(config_.num_cpus),
+      retry_budget_(config_.admission.retry_budget) {
   ull_manager_ =
       std::make_unique<core::UllRunQueueManager>(topology_, config_.horse);
   vanilla_ = std::make_unique<vmm::ResumeEngine>(topology_, config_.profile);
@@ -169,31 +172,86 @@ util::Status Platform::ensure_snapshot_on(ControlShard& shard,
 util::Expected<InvocationRecord> Platform::invoke(FunctionId function,
                                                   workloads::Request request,
                                                   StartMode mode) {
+  InvokeControls controls;  // no deadline, every admission gate passes
+  return invoke(function, std::move(request), mode, controls);
+}
+
+util::Expected<InvocationRecord> Platform::invoke(FunctionId function,
+                                                  workloads::Request request,
+                                                  StartMode mode,
+                                                  InvokeControls& controls) {
+  controls.reject = SubmissionReject::kNone;
   const std::size_t shard_index = shard_of(function);
   ControlShard& s = *shards_[shard_index];
-  // Same-function invocations serialise here (which is also what keeps a
-  // function's workload-implementation state single-threaded); functions
-  // on other shards proceed in parallel.
-  ShardLock lock(s.mutex, s.meter);
-  auto result =
-      invoke_on_shard(s, shard_index, function, std::move(request), mode);
-  if (result) {
-    ++s.counters.invocations;
-    // Count by the mode the invocation actually completed with: a
-    // ladder-demoted kHorse request that finished as a cold start is a
-    // cold start in the books.
-    switch (result->mode) {
-      case StartMode::kCold: ++s.counters.cold; break;
-      case StartMode::kRestore: ++s.counters.restore; break;
-      case StartMode::kWarm: ++s.counters.warm; break;
-      case StartMode::kHorse: ++s.counters.horse; break;
-    }
-    if (result->mode != result->requested) {
-      ++s.counters.degraded_invocations;
-    }
-  } else {
-    ++s.counters.failed;
+  const AdmissionConfig& admission = config_.admission;
+
+  // Admission gate 1 — expired deadline: the caller already gave up;
+  // running the function only wastes the shard's serial capacity.
+  if (controls.deadline != 0 && controls.now >= controls.deadline) {
+    controls.reject = SubmissionReject::kDeadlineExpired;
+    s.deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+    return util::Status{util::StatusCode::kDeadlineExceeded,
+                        "invoke: deadline expired before start"};
   }
+  // Admission gate 2 — shard occupancy high-water mark, checked BEFORE
+  // blocking on the shard mutex: an overloaded shard must refuse fast
+  // instead of growing its mutex convoy unboundedly.
+  if (admission.shard_high_water != 0 &&
+      s.inflight.load(std::memory_order_acquire) >= admission.shard_high_water) {
+    controls.reject = SubmissionReject::kShardOverload;
+    s.overload_rejections.fetch_add(1, std::memory_order_relaxed);
+    return util::Status{util::StatusCode::kResourceExhausted,
+                        "invoke: control shard above high-water occupancy"};
+  }
+
+  s.inflight.fetch_add(1, std::memory_order_acq_rel);
+  util::Expected<InvocationRecord> result =
+      util::Status{util::StatusCode::kInternal, "invoke: unreachable"};
+  {
+    // Same-function invocations serialise here (which is also what keeps a
+    // function's workload-implementation state single-threaded); functions
+    // on other shards proceed in parallel.
+    ShardLock lock(s.mutex, s.meter);
+
+    // Admission gate 3 — per-function circuit breaker (breakers live
+    // under the shard mutex; a function with no breaker is closed).
+    if (admission.breaker_enabled) {
+      auto it = s.breakers.find(function);
+      if (it != s.breakers.end() &&
+          !it->second.allow(controls.now, s.rng)) {
+        ++s.counters.breaker_rejections;
+        s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+        controls.reject = SubmissionReject::kBreakerOpen;
+        return util::Status{util::StatusCode::kUnavailable,
+                            "invoke: circuit breaker open"};
+      }
+    }
+    if (admission.retry_budget_enabled) {
+      // Every admitted request funds the host's escalation budget.
+      retry_budget_.deposit();
+    }
+
+    result = invoke_on_shard(s, shard_index, function, std::move(request),
+                             mode, &controls);
+    if (result) {
+      ++s.counters.invocations;
+      // Count by the mode the invocation actually completed with: a
+      // ladder-demoted kHorse request that finished as a cold start is a
+      // cold start in the books.
+      switch (result->mode) {
+        case StartMode::kCold: ++s.counters.cold; break;
+        case StartMode::kRestore: ++s.counters.restore; break;
+        case StartMode::kWarm: ++s.counters.warm; break;
+        case StartMode::kHorse: ++s.counters.horse; break;
+      }
+      if (result->mode != result->requested) {
+        ++s.counters.degraded_invocations;
+      }
+    } else {
+      ++s.counters.failed;
+    }
+  }
+  s.inflight.fetch_sub(1, std::memory_order_acq_rel);
   return result;
 }
 
@@ -304,18 +362,29 @@ util::Expected<std::unique_ptr<vmm::Sandbox>> Platform::try_start_on(
 
 util::Expected<InvocationRecord> Platform::invoke_on_shard(
     ControlShard& shard, std::size_t shard_index, FunctionId function,
-    workloads::Request request, StartMode mode) {
+    workloads::Request request, StartMode mode, InvokeControls* controls) {
   const auto spec_lookup = registry_.find(function);
   if (!spec_lookup) {
     return spec_lookup.status();
   }
   const FunctionSpec& spec = **spec_lookup;
+  const AdmissionConfig& admission = config_.admission;
 
   shard.keep_alive.record_invocation(function, logical_now());
+
+  // The breaker watches resume outcomes at the warm/horse rungs: a pool
+  // miss (kUnavailable) is a capacity signal, not a health signal, and
+  // must not trip it — only actual resume failures count.
+  const auto breaker_for = [&]() -> CircuitBreaker& {
+    return shard.breakers.try_emplace(function, admission.breaker)
+        .first->second;
+  };
 
   // --- start ladder: requested mode first, demoting one rung per failure -
   const StartMode requested = mode;
   const DegradationPolicy& ladder = config_.degradation;
+  const util::Backoff backoff{
+      util::BackoffPolicy{ladder.retry_backoff_base, ladder.retry_backoff_cap}};
   InvocationRecord record;
   std::unique_ptr<vmm::Sandbox> sandbox;
   std::uint32_t fallbacks = 0;
@@ -329,24 +398,47 @@ util::Expected<InvocationRecord> Platform::invoke_on_shard(
     record.fallbacks = fallbacks;
     auto started =
         try_start_on(shard, shard_index, function, spec, mode, record);
+    const bool resume_rung =
+        mode == StartMode::kWarm || mode == StartMode::kHorse;
     if (started) {
+      if (admission.breaker_enabled && resume_rung) {
+        breaker_for().on_success(controls != nullptr ? controls->now : 0);
+      }
       sandbox = std::move(*started);
       break;
+    }
+    if (admission.breaker_enabled && resume_rung &&
+        started.status().code() != util::StatusCode::kUnavailable) {
+      breaker_for().on_failure(controls != nullptr ? controls->now : 0,
+                               shard.rng);
     }
     const bool exhausted = !ladder.enabled || attempt >= ladder.max_attempts ||
                            mode == StartMode::kCold;
     if (exhausted) {
       return started.status();
     }
-    // Demote one rung and model a jittered exponential backoff (recorded,
+    const StartMode colder = next_colder(mode);
+    // Escalating to kRestore/kCold is the expensive half of the ladder —
+    // a restore storm is exactly what saturates a host during a spike.
+    // The host-wide budget (funded by admitted requests) bounds it in
+    // aggregate: exhausted budget turns the escalation into an immediate
+    // typed rejection instead of a pile-on.
+    if (admission.retry_budget_enabled &&
+        (colder == StartMode::kRestore || colder == StartMode::kCold) &&
+        !retry_budget_.try_withdraw()) {
+      ++shard.counters.budget_denied_escalations;
+      if (controls != nullptr) {
+        controls->reject = SubmissionReject::kRetryBudgetExhausted;
+      }
+      return util::Status{util::StatusCode::kResourceExhausted,
+                          "invoke: retry budget exhausted, escalation denied"};
+    }
+    // Demote one rung and model a capped full-jitter backoff (recorded,
     // not slept: the logical clock is caller-driven).
-    mode = next_colder(mode);
+    mode = colder;
     ++fallbacks;
     ++shard.counters.rung_fallbacks;
-    const double jitter = 0.5 + shard.rng.uniform01();  // ±50%
-    backoff_total += static_cast<util::Nanos>(
-        static_cast<double>(ladder.retry_backoff_base) *
-        static_cast<double>(1ULL << (attempt - 1)) * jitter);
+    backoff_total += backoff.delay(attempt, shard.rng);
   }
   record.retry_backoff = backoff_total;
   record.init_modelled += backoff_total;
@@ -366,10 +458,37 @@ util::Expected<InvocationRecord> Platform::invoke_on_shard(
 PlatformCounters Platform::counters() const {
   PlatformCounters total;
   for (const auto& shard : shards_) {
-    ShardLock lock(shard->mutex, shard->meter);
-    total += shard->counters;
+    {
+      ShardLock lock(shard->mutex, shard->meter);
+      total += shard->counters;
+      // Breaker opens live in the per-breaker stats (the transition
+      // happens inside the state machine); fold them in here.
+      for (const auto& [fn, breaker] : shard->breakers) {
+        total.breaker_opens += breaker.stats().opens;
+      }
+    }
+    // Pre-lock rejection tallies are atomics (counted without the mutex).
+    total.shard_overload_rejections +=
+        shard->overload_rejections.load(std::memory_order_relaxed);
+    total.deadline_rejections +=
+        shard->deadline_rejections.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+CircuitBreaker::State Platform::breaker_state(FunctionId function) const {
+  const ControlShard& s = shard(function);
+  ShardLock lock(s.mutex, s.meter);
+  const auto it = s.breakers.find(function);
+  return it != s.breakers.end() ? it->second.state()
+                                : CircuitBreaker::State::kClosed;
+}
+
+CircuitBreaker::Stats Platform::breaker_stats(FunctionId function) const {
+  const ControlShard& s = shard(function);
+  ShardLock lock(s.mutex, s.meter);
+  const auto it = s.breakers.find(function);
+  return it != s.breakers.end() ? it->second.stats() : CircuitBreaker::Stats{};
 }
 
 core::ResumeDegradationStats Platform::resume_degradation_stats() const {

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/horse_resume.hpp"
+#include "faas/admission.hpp"
 #include "faas/keepalive_policy.hpp"
 #include "faas/registry.hpp"
 #include "faas/warm_pool.hpp"
@@ -95,10 +96,12 @@ struct DegradationPolicy {
   std::size_t max_attempts = 4;
   /// Consecutive resume failures before a pooled sandbox is evicted.
   std::size_t quarantine_threshold = 2;
-  /// Base of the modelled exponential backoff between rungs; the actual
-  /// delay is base * 2^(attempt-1), jittered ±50% from the shard's
-  /// seeded RNG. Purely modelled (recorded, never slept).
+  /// Base/cap of the modelled capped full-jitter backoff between rungs
+  /// (util::Backoff): attempt k draws uniformly from
+  /// (0, min(cap, base * 2^(k-1))] on the shard's seeded RNG. Purely
+  /// modelled (recorded, never slept).
   util::Nanos retry_backoff_base = 50 * util::kMicrosecond;
+  util::Nanos retry_backoff_cap = 10 * util::kMillisecond;
 };
 
 struct PlatformConfig {
@@ -115,6 +118,9 @@ struct PlatformConfig {
   /// bypasses it. See sim/cost_model.hpp for the derivation from Table 1.
   util::Nanos warm_dispatch_overhead = 820;
   DegradationPolicy degradation;
+  /// Host-level overload control (shard high-water, retry budget,
+  /// circuit breaker); every gate defaults off — see AdmissionConfig.
+  AdmissionConfig admission;
   std::uint64_t seed = 1;
   /// Number of per-function control-plane shards; 0 = max(8, num_cpus).
   std::size_t control_shards = 0;
@@ -140,6 +146,18 @@ struct PlatformCounters {
   /// Sandboxes properly torn down after the warm pool rejected them
   /// (per-function cap) — previously they were silently dropped.
   std::uint64_t pool_overflow_destroyed = 0;
+  // --- overload-control counters ------------------------------------------
+  /// Invocations refused because the shard was at its high-water mark.
+  std::uint64_t shard_overload_rejections = 0;
+  /// Invocations refused because the function's breaker was open.
+  std::uint64_t breaker_rejections = 0;
+  /// Breaker closed/half-open → open transitions.
+  std::uint64_t breaker_opens = 0;
+  /// Ladder escalations to kRestore/kCold refused: retry budget empty.
+  std::uint64_t budget_denied_escalations = 0;
+  /// Invocations refused because their deadline had already passed when
+  /// the shard picked them up.
+  std::uint64_t deadline_rejections = 0;
 
   PlatformCounters& operator+=(const PlatformCounters& other) noexcept {
     invocations += other.invocations;
@@ -152,6 +170,11 @@ struct PlatformCounters {
     degraded_invocations += other.degraded_invocations;
     sandboxes_quarantined += other.sandboxes_quarantined;
     pool_overflow_destroyed += other.pool_overflow_destroyed;
+    shard_overload_rejections += other.shard_overload_rejections;
+    breaker_rejections += other.breaker_rejections;
+    breaker_opens += other.breaker_opens;
+    budget_denied_escalations += other.budget_denied_escalations;
+    deadline_rejections += other.deadline_rejections;
     return *this;
   }
 };
@@ -193,6 +216,23 @@ struct InvocationRecord {
                       : static_cast<double>(init_time) /
                             static_cast<double>(total);
   }
+};
+
+/// Per-invocation overload-control context for Platform::invoke. `now`
+/// and `deadline` flow in; `reject` flows out: when invoke fails with a
+/// non-kNone reject the refusal came from overload control (breaker,
+/// shard high-water, expired deadline), not from the function itself —
+/// callers map it onto SubmissionOutcome::reject so no refusal is silent.
+struct InvokeControls {
+  /// Monotonic timestamp the caller observed (deadline checks and breaker
+  /// cooldowns are evaluated against it; the platform never reads a clock
+  /// for these, keeping SimCluster reproduction exact).
+  util::Nanos now = 0;
+  /// Absolute monotonic deadline; 0 = none.
+  util::Nanos deadline = 0;
+  /// OUT: why overload control refused (kNone on success or on ordinary
+  /// invocation failure).
+  SubmissionReject reject = SubmissionReject::kNone;
 };
 
 class Platform;
@@ -279,6 +319,14 @@ class Platform {
   [[nodiscard]] util::Expected<InvocationRecord> invoke(
       FunctionId function, workloads::Request request, StartMode mode);
 
+  /// Overload-aware invoke: checks the deadline, the shard high-water
+  /// mark, and the function's circuit breaker before starting, and gates
+  /// ladder escalation on the retry budget. On an overload refusal the
+  /// returned status is not-OK and controls.reject names the reason.
+  [[nodiscard]] util::Expected<InvocationRecord> invoke(
+      FunctionId function, workloads::Request request, StartMode mode,
+      InvokeControls& controls);
+
   /// Logical platform clock for keep-alive accounting; advanced by the
   /// caller (experiments drive it from their own schedule).
   [[nodiscard]] util::Nanos logical_now() const noexcept {
@@ -297,6 +345,19 @@ class Platform {
 
   /// Degradation counters aggregated across the per-queue HORSE engines.
   [[nodiscard]] core::ResumeDegradationStats resume_degradation_stats() const;
+
+  // --- overload control ---------------------------------------------------
+
+  /// The host-wide retry-budget bucket (atomic; safe from any thread).
+  [[nodiscard]] RetryBudget& retry_budget() noexcept { return retry_budget_; }
+  [[nodiscard]] const RetryBudget& retry_budget() const noexcept {
+    return retry_budget_;
+  }
+  /// Current breaker state for `function` (kClosed when no breaker exists
+  /// yet — a function with no failures has an implicitly closed breaker).
+  [[nodiscard]] CircuitBreaker::State breaker_state(FunctionId function) const;
+  /// Aggregated breaker stats for `function` (zeros when none exists).
+  [[nodiscard]] CircuitBreaker::Stats breaker_stats(FunctionId function) const;
 
   // --- shard observability ------------------------------------------------
 
@@ -346,8 +407,20 @@ class Platform {
     /// Consecutive resume failures per pooled sandbox (erased on success,
     /// quarantine, or eviction).
     std::unordered_map<sched::SandboxId, std::size_t> resume_failures;
+    /// Per-function circuit breakers (created on first failure; guarded by
+    /// the shard mutex like everything else here — no new locks).
+    std::unordered_map<FunctionId, CircuitBreaker> breakers;
     PlatformCounters counters;
     util::Xoshiro256 rng;
+    /// Invocations currently inside (or queued on the mutex of) this
+    /// shard; atomic so the high-water check runs BEFORE blocking on the
+    /// mutex — that pre-lock rejection is the whole point, an overloaded
+    /// shard must refuse without making the caller wait in its convoy.
+    std::atomic<std::size_t> inflight{0};
+    /// Pre-lock rejection tallies (atomics: counted without the mutex,
+    /// folded into PlatformCounters by Platform::counters()).
+    std::atomic<std::uint64_t> overload_rejections{0};
+    std::atomic<std::uint64_t> deadline_rejections{0};
   };
 
   [[nodiscard]] ControlShard& shard(FunctionId function) {
@@ -376,7 +449,8 @@ class Platform {
                                                    std::size_t shard_index,
                                                    FunctionId function,
                                                    workloads::Request request,
-                                                   StartMode mode);
+                                                   StartMode mode,
+                                                   InvokeControls* controls);
 
   /// One rung: acquire + initialise a runnable sandbox for `mode`,
   /// filling the init/resume fields of `record`. Failure leaves the
@@ -411,6 +485,9 @@ class Platform {
   KeepAlivePolicyView keep_alive_view_{*this};
   std::atomic<sched::SandboxId> next_sandbox_id_{1};
   std::atomic<util::Nanos> logical_now_{0};
+  /// Host-wide (all shards share it); a single atomic, so it sits outside
+  /// the lock hierarchy entirely.
+  RetryBudget retry_budget_;
 };
 
 }  // namespace horse::faas

@@ -22,12 +22,15 @@
 //     all consumers for shutdown.
 #pragma once
 
+#include <cassert>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 
+#include "faas/admission.hpp"
 #include "faas/platform.hpp"
 
 namespace horse::faas {
@@ -39,6 +42,12 @@ struct Submission {
   workloads::Request request;
   /// Monotonic clock at submit; queueing latency is measured against it.
   util::Nanos enqueued_at = 0;
+  /// Absolute monotonic deadline; 0 = none. A deadline is both an expiry
+  /// (the dispatcher drops the task at dequeue once it has passed — the
+  /// caller already gave up, executing it only wastes a worker) and an
+  /// admission signal (the scheduler sheds when estimated queue delay
+  /// exceeds the remaining slack).
+  util::Nanos deadline = 0;
   /// Frontend-assigned identity (1-based per frontend; 0 = untagged).
   std::uint64_t seq = 0;
   /// Set when a cluster re-dispatches after a stall/drop: re-dispatched
@@ -55,6 +64,11 @@ struct SubmissionOutcome {
   util::Nanos queueing = 0;  // submit-to-start wait (monotonic clock)
   std::uint64_t seq = 0;     // copied from the Submission
   std::size_t host = 0;      // executing host (cluster mode; 0 single-host)
+  /// Why the submission was refused, when it was (status not OK and no
+  /// record). kNone for completed work AND for ordinary invocation
+  /// failures — `reject != kNone` identifies overload-control refusals
+  /// specifically, which is what the exactly-one-outcome sweeps count.
+  SubmissionReject reject = SubmissionReject::kNone;
 };
 
 /// Pull-mode task producer: blocks consumers until work or shutdown.
@@ -68,10 +82,19 @@ class TaskSource {
 };
 
 /// Bounded MPMC queue of submissions — the cluster's shared pull queue.
+///
+/// Precondition: capacity > 0. A zero-capacity queue used to be silently
+/// coerced to 1 — a config typo became an invisible convoy point instead
+/// of an error. Construction now asserts and throws instead (configuration
+/// error, not a hot-path condition).
 class SharedTaskQueue final : public TaskSource {
  public:
-  explicit SharedTaskQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit SharedTaskQueue(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0 && "SharedTaskQueue capacity must be positive");
+    if (capacity == 0) {
+      throw std::invalid_argument("SharedTaskQueue: capacity must be > 0");
+    }
+  }
 
   /// Blocks while the queue is full (backpressure toward submitters);
   /// returns false if the queue was closed before the task went in.
@@ -83,6 +106,23 @@ class SharedTaskQueue final : public TaskSource {
       return false;
     }
     tasks_.push_back(std::move(task));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when the queue is full or closed, leaving
+  /// the task with the caller. This is the overload signal — a full pull
+  /// queue means every host is busy AND the buffer is exhausted, so the
+  /// scheduler sheds (typed kQueueFull) instead of convoying behind a
+  /// blocking push.
+  [[nodiscard]] bool try_push(Submission task) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || tasks_.size() >= capacity_) {
+        return false;
+      }
+      tasks_.push_back(std::move(task));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -113,6 +153,8 @@ class SharedTaskQueue final : public TaskSource {
   }
 
   [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   const std::size_t capacity_;

@@ -1,0 +1,80 @@
+// Capped full-jitter exponential backoff (reusable retry spacing).
+//
+// The platform's retry ladder and the per-function circuit breaker both
+// need "wait longer after each consecutive failure, but never unboundedly,
+// and never in lockstep across clients". The classic answer is capped
+// exponential backoff with FULL jitter (AWS architecture blog): the delay
+// for attempt k is drawn uniformly from (0, min(cap, base * 2^(k-1))].
+// Full jitter beats the ±50% band the ladder used before because
+// uncorrelated clients spread over the whole window instead of clustering
+// around the midpoint — under a synchronized failure (exactly the overload
+// scenarios E19 models) the retry arrivals decorrelate immediately.
+//
+// The helper is stateless: callers own the attempt counter and the RNG
+// stream, which keeps every use seeded/deterministic (the ladder draws
+// from its shard's RNG, the breaker from its shard's RNG, tests from a
+// fixed seed). Delays are modelled values (recorded, not slept) everywhere
+// the ladder uses them, matching the caller-driven logical clock.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::util {
+
+struct BackoffPolicy {
+  /// Ceiling of the first attempt's delay window.
+  Nanos base = 50 * kMicrosecond;
+  /// Hard upper bound on any delay window (the "capped" part).
+  Nanos cap = 10 * kMillisecond;
+};
+
+class Backoff {
+ public:
+  explicit constexpr Backoff(BackoffPolicy policy = {}) noexcept
+      : policy_(policy) {}
+
+  /// Window ceiling for `attempt` (1-based): min(cap, base * 2^(attempt-1)),
+  /// saturating instead of overflowing. Monotone non-decreasing in attempt
+  /// and never above cap — the property the unit tests pin.
+  [[nodiscard]] constexpr Nanos ceiling(std::size_t attempt) const noexcept {
+    if (policy_.base <= 0) {
+      return 0;
+    }
+    const std::size_t shift = attempt > 1 ? attempt - 1 : 0;
+    // 2^shift would overflow past 62; by then the cap has long won.
+    if (shift >= 62) {
+      return policy_.cap;
+    }
+    const Nanos doubled = policy_.base << shift;
+    // Left shift may wrap negative before reaching 62 for large bases.
+    if (doubled <= 0 || (doubled >> shift) != policy_.base) {
+      return policy_.cap;
+    }
+    return doubled < policy_.cap ? doubled : policy_.cap;
+  }
+
+  /// Full-jitter delay for `attempt`: uniform in (0, ceiling(attempt)],
+  /// drawn from the caller's seeded stream (floored at 1 ns so a recorded
+  /// backoff is never mistaken for "no backoff happened").
+  [[nodiscard]] Nanos delay(std::size_t attempt, Xoshiro256& rng) const noexcept {
+    const Nanos window = ceiling(attempt);
+    if (window <= 0) {
+      return 0;
+    }
+    const Nanos drawn = static_cast<Nanos>(
+        rng.bounded(static_cast<std::uint64_t>(window)) + 1);
+    return drawn;
+  }
+
+  [[nodiscard]] constexpr const BackoffPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  BackoffPolicy policy_;
+};
+
+}  // namespace horse::util

@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted,
   kUnavailable,
   kInternal,
+  kDeadlineExceeded,  // request outlived its deadline (admission / dequeue)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
@@ -35,6 +36,7 @@ enum class StatusCode {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -1,0 +1,244 @@
+// Fault-ladder tests for the overload-control sites:
+//
+//   admission.spurious_shed — fires on the cluster submit path and sheds
+//     a healthy submission. Proves a shed is a TYPED outcome surfaced
+//     from drain() (never a silent loss) and that the cluster's
+//     completed + shed accounting still covers every submission.
+//   breaker.stuck_open — suppresses a breaker's open → half-open edge, so
+//     the tests can hold a breaker open deterministically and prove that
+//     recovery probing (not time alone) is what closes it.
+//
+// Plus the platform-side composition these sites exist to exercise: the
+// per-function breaker opening on repeated resume failures (driven by the
+// existing resume.sanity.fault site) and the host-wide retry budget
+// degrading ladder escalation into a typed rejection when exhausted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cluster/scheduler.hpp"
+#include "faas/admission.hpp"
+#include "faas/platform.hpp"
+#include "util/fault_injection.hpp"
+#include "workloads/array_filter.hpp"
+
+namespace horse {
+namespace {
+
+using util::FaultInjector;
+using util::ScopedFault;
+
+faas::FunctionSpec filter_spec() {
+  faas::FunctionSpec spec;
+  spec.name = "filter";
+  spec.implementation = std::make_shared<workloads::ArrayFilterFunction>();
+  spec.sandbox.name = "filter-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  return spec;
+}
+
+workloads::Request filter_request() {
+  workloads::Request request;
+  request.payload = {5, 10, 15};
+  request.threshold = 7;
+  return request;
+}
+
+class OverloadFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::global().reset(); }
+  void TearDown() override { FaultInjector::global().reset(); }
+
+  static faas::PlatformConfig breaker_config() {
+    faas::PlatformConfig config;
+    config.num_cpus = 4;
+    config.admission.breaker_enabled = true;
+    config.admission.breaker.window = 4;
+    config.admission.breaker.min_samples = 2;
+    config.admission.breaker.failure_rate = 0.5;
+    config.admission.breaker.cooldown_base = 1 * util::kMillisecond;
+    config.admission.breaker.cooldown_cap = 10 * util::kMillisecond;
+    config.admission.breaker.half_open_probes = 1;
+    return config;
+  }
+
+  /// Drive `platform`'s breaker for `function` open at logical time `now`
+  /// by forcing resume-sanity failures through the ladder (each invoke
+  /// still succeeds at a colder rung — the breaker watches the resume
+  /// rungs, not the final outcome).
+  static void open_breaker(faas::Platform& platform, faas::FunctionId function,
+                           util::Nanos now) {
+    auto fault = ScopedFault::always("resume.sanity.fault");
+    for (int i = 0; i < 4 &&
+                    platform.breaker_state(function) !=
+                        faas::CircuitBreaker::State::kOpen;
+         ++i) {
+      ASSERT_TRUE(platform.provision(function, 1).is_ok());
+      faas::InvokeControls controls;
+      controls.now = now;
+      const auto record = platform.invoke(function, filter_request(),
+                                          faas::StartMode::kHorse, controls);
+      ASSERT_TRUE(record.has_value()) << record.status().to_report();
+      EXPECT_NE(record->mode, faas::StartMode::kHorse)
+          << "resume.sanity.fault should have demoted the rung";
+    }
+    ASSERT_EQ(platform.breaker_state(function),
+              faas::CircuitBreaker::State::kOpen);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker: open on resume failures, typed rejection while open.
+// ---------------------------------------------------------------------------
+
+TEST_F(OverloadFaultTest, BreakerOpensOnResumeFailuresAndRejectsTyped) {
+  faas::Platform platform(breaker_config());
+  const auto function = platform.registry().add(filter_spec());
+  ASSERT_TRUE(function);
+  const util::Nanos t0 = 1'000'000;
+  open_breaker(platform, *function, t0);
+  EXPECT_EQ(platform.breaker_stats(*function).opens, 1u);
+  EXPECT_EQ(platform.counters().breaker_opens, 1u);
+
+  // While open (cooldown drawn from (0, 1ms] past t0), a request at t0 is
+  // refused with a typed reject — the function body never runs.
+  faas::InvokeControls controls;
+  controls.now = t0;
+  const auto rejected = platform.invoke(*function, filter_request(),
+                                        faas::StartMode::kHorse, controls);
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(controls.reject, faas::SubmissionReject::kBreakerOpen);
+  EXPECT_EQ(platform.counters().breaker_rejections, 1u);
+}
+
+TEST_F(OverloadFaultTest, StuckOpenFaultHoldsBreakerPastCooldown) {
+  faas::Platform platform(breaker_config());
+  const auto function = platform.registry().add(filter_spec());
+  ASSERT_TRUE(function);
+  const util::Nanos t0 = 1'000'000;
+  open_breaker(platform, *function, t0);
+  const util::Nanos cap = breaker_config().admission.breaker.cooldown_cap;
+
+  {
+    // Well past any cooldown the breaker could have drawn — without the
+    // fault this WOULD be the open → half-open edge.
+    auto fault = ScopedFault::always("breaker.stuck_open");
+    faas::InvokeControls controls;
+    controls.now = t0 + cap + 1;
+    const auto rejected = platform.invoke(*function, filter_request(),
+                                          faas::StartMode::kHorse, controls);
+    ASSERT_FALSE(rejected.has_value());
+    EXPECT_EQ(controls.reject, faas::SubmissionReject::kBreakerOpen);
+    EXPECT_EQ(platform.breaker_state(*function),
+              faas::CircuitBreaker::State::kOpen);
+    EXPECT_EQ(platform.breaker_stats(*function).stuck_open, 1u);
+    EXPECT_EQ(platform.breaker_stats(*function).probe_rounds, 0u)
+        << "the fault must suppress the half-open transition";
+  }
+
+  // Fault disarmed and resume healthy again: the next attempt past the
+  // re-armed cooldown is the half-open probe, and its success closes the
+  // breaker (half_open_probes = 1).
+  ASSERT_TRUE(platform.provision(*function, 1).is_ok());
+  faas::InvokeControls probe;
+  probe.now = t0 + 3 * cap;  // past the stuck-open re-armed window too
+  const auto recovered = platform.invoke(*function, filter_request(),
+                                         faas::StartMode::kHorse, probe);
+  ASSERT_TRUE(recovered.has_value()) << recovered.status().to_report();
+  EXPECT_EQ(recovered->mode, faas::StartMode::kHorse);
+  EXPECT_EQ(probe.reject, faas::SubmissionReject::kNone);
+  EXPECT_EQ(platform.breaker_state(*function),
+            faas::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(platform.breaker_stats(*function).probe_rounds, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry budget: exhaustion turns escalation into a typed rejection.
+// ---------------------------------------------------------------------------
+
+TEST_F(OverloadFaultTest, ExhaustedRetryBudgetDeniesLadderEscalation) {
+  faas::PlatformConfig config;
+  config.num_cpus = 4;
+  config.admission.retry_budget_enabled = true;
+  config.admission.retry_budget.initial = 1;
+  config.admission.retry_budget.deposit_per_request = 0.0;  // no refunds
+  faas::Platform platform(config);
+  const auto function = platform.registry().add(filter_spec());
+  ASSERT_TRUE(function);
+
+  auto fault = ScopedFault::always("resume.sanity.fault");
+
+  // First invocation: resume fails, the ladder escalates to kRestore and
+  // spends the single budgeted token doing so — but completes.
+  ASSERT_TRUE(platform.provision(*function, 1).is_ok());
+  faas::InvokeControls first;
+  const auto completed = platform.invoke(*function, filter_request(),
+                                         faas::StartMode::kHorse, first);
+  ASSERT_TRUE(completed.has_value()) << completed.status().to_report();
+  EXPECT_NE(completed->mode, faas::StartMode::kHorse);
+  EXPECT_EQ(platform.retry_budget().withdrawals(), 1u);
+  EXPECT_EQ(platform.retry_budget().available(), 0u);
+
+  // Second invocation: same failure, but the budget is dry — escalation
+  // is refused with a typed rejection instead of piling on a restore.
+  ASSERT_TRUE(platform.provision(*function, 1).is_ok());
+  faas::InvokeControls second;
+  const auto denied = platform.invoke(*function, filter_request(),
+                                      faas::StartMode::kHorse, second);
+  ASSERT_FALSE(denied.has_value());
+  EXPECT_EQ(denied.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(second.reject, faas::SubmissionReject::kRetryBudgetExhausted);
+  EXPECT_EQ(platform.counters().budget_denied_escalations, 1u);
+  EXPECT_GE(platform.retry_budget().denials(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// admission.spurious_shed: a shed is a typed outcome, never a silent loss.
+// ---------------------------------------------------------------------------
+
+TEST_F(OverloadFaultTest, SpuriousShedSurfacesTypedOutcomeFromDrain) {
+  cluster::ClusterConfig config;
+  config.num_hosts = 2;
+  config.workers_per_host = 2;
+  config.dispatch = cluster::DispatchMode::kPush;
+  config.platform.num_cpus = 4;
+  cluster::ClusterScheduler cluster(config);
+  const auto function = cluster.register_function(filter_spec);
+  ASSERT_TRUE(function);
+
+  auto fault = ScopedFault::nth("admission.spurious_shed", 1);
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit(*function, filter_request(), faas::StartMode::kCold);
+  }
+  const auto outcomes = cluster.drain();
+  ASSERT_EQ(outcomes.size(), 10u) << "a shed submission vanished from drain";
+  std::set<std::uint64_t> seqs;
+  int shed = 0;
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(seqs.insert(outcome.seq).second)
+        << "seq " << outcome.seq << " reported twice";
+    if (outcome.reject != faas::SubmissionReject::kNone) {
+      ++shed;
+      EXPECT_EQ(outcome.reject, faas::SubmissionReject::kQueueShed);
+      EXPECT_FALSE(outcome.status.is_ok());
+    } else {
+      EXPECT_TRUE(outcome.status.is_ok()) << outcome.status.to_report();
+    }
+  }
+  EXPECT_EQ(shed, 1);
+
+  const cluster::ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.submitted, 10u);
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.spurious_sheds, 1u);
+  EXPECT_EQ(counters.completed, 9u);
+  EXPECT_EQ(counters.completed + counters.shed, counters.submitted)
+      << "completed + shed must cover every submission";
+}
+
+}  // namespace
+}  // namespace horse

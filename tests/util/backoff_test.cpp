@@ -1,0 +1,113 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace horse::util {
+namespace {
+
+TEST(BackoffTest, CeilingDoublesFromBase) {
+  Backoff backoff{BackoffPolicy{100, 100000}};
+  EXPECT_EQ(backoff.ceiling(1), 100);
+  EXPECT_EQ(backoff.ceiling(2), 200);
+  EXPECT_EQ(backoff.ceiling(3), 400);
+  EXPECT_EQ(backoff.ceiling(4), 800);
+}
+
+TEST(BackoffTest, CeilingMonotoneAndNeverAboveCap) {
+  Backoff backoff{BackoffPolicy{50 * kMicrosecond, 10 * kMillisecond}};
+  Nanos prev = 0;
+  for (std::size_t attempt = 1; attempt <= 100; ++attempt) {
+    const Nanos ceiling = backoff.ceiling(attempt);
+    EXPECT_GE(ceiling, prev) << "attempt " << attempt;
+    EXPECT_LE(ceiling, backoff.policy().cap) << "attempt " << attempt;
+    prev = ceiling;
+  }
+  // The cap is actually reached (not just approached).
+  EXPECT_EQ(backoff.ceiling(100), backoff.policy().cap);
+}
+
+TEST(BackoffTest, CeilingSaturatesInsteadOfOverflowing) {
+  // A base large enough that doubling wraps Nanos well before the shift
+  // guard kicks in: the ceiling must saturate at the cap, never go
+  // negative or cycle.
+  const Nanos huge = std::numeric_limits<Nanos>::max() / 3;
+  Backoff backoff{BackoffPolicy{huge, std::numeric_limits<Nanos>::max()}};
+  for (std::size_t attempt = 1; attempt <= 70; ++attempt) {
+    const Nanos ceiling = backoff.ceiling(attempt);
+    EXPECT_GT(ceiling, 0) << "attempt " << attempt;
+    EXPECT_LE(ceiling, backoff.policy().cap) << "attempt " << attempt;
+  }
+  EXPECT_EQ(backoff.ceiling(70), backoff.policy().cap);
+}
+
+TEST(BackoffTest, ZeroBaseDisablesDelay) {
+  Backoff backoff{BackoffPolicy{0, 10 * kMillisecond}};
+  Xoshiro256 rng(7);
+  EXPECT_EQ(backoff.ceiling(1), 0);
+  EXPECT_EQ(backoff.delay(1, rng), 0);
+  EXPECT_EQ(backoff.delay(10, rng), 0);
+}
+
+TEST(BackoffTest, DelayWithinWindowAndFlooredAtOneNanosecond) {
+  Backoff backoff{BackoffPolicy{50 * kMicrosecond, 10 * kMillisecond}};
+  Xoshiro256 rng(42);
+  for (std::size_t attempt = 1; attempt <= 40; ++attempt) {
+    for (int i = 0; i < 64; ++i) {
+      const Nanos delay = backoff.delay(attempt, rng);
+      EXPECT_GE(delay, 1) << "attempt " << attempt;
+      EXPECT_LE(delay, backoff.ceiling(attempt)) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, SeededDeterminism) {
+  Backoff backoff{BackoffPolicy{50 * kMicrosecond, 10 * kMillisecond}};
+  std::vector<Nanos> first;
+  std::vector<Nanos> second;
+  {
+    Xoshiro256 rng(12345);
+    for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+      first.push_back(backoff.delay(attempt, rng));
+    }
+  }
+  {
+    Xoshiro256 rng(12345);
+    for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+      second.push_back(backoff.delay(attempt, rng));
+    }
+  }
+  EXPECT_EQ(first, second);
+  // And a different seed produces a different stream (full jitter, not a
+  // fixed schedule).
+  Xoshiro256 other(54321);
+  std::vector<Nanos> third;
+  for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+    third.push_back(backoff.delay(attempt, other));
+  }
+  EXPECT_NE(first, third);
+}
+
+TEST(BackoffTest, FullJitterSpreadsOverWindow) {
+  // Draws for one attempt should cover the window broadly, not cluster:
+  // with 512 draws from (0, 1024] expect both halves populated.
+  Backoff backoff{BackoffPolicy{1024, 1024}};
+  Xoshiro256 rng(99);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 512; ++i) {
+    const Nanos delay = backoff.delay(1, rng);
+    (delay <= 512 ? low : high)++;
+  }
+  EXPECT_GT(low, 100);
+  EXPECT_GT(high, 100);
+}
+
+}  // namespace
+}  // namespace horse::util
