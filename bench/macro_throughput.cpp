@@ -47,9 +47,23 @@
 // enforces. --no-admission runs the same sweep with cluster admission
 // off for the baseline column.
 //
+// Crash mode (--kill-host ID@N / --crash-sweep, cluster only) is the
+// E20 driver: phase-1 traffic crashes host ID after N submissions
+// (--crash-sweep defaults to host 0 at the halfway point), the lease
+// failure detector declares it dead and re-dispatches its backlog and
+// in-flight orphans through the dedup ledger, the host restarts after
+// --restart-after-us and rejoins through a half-open probe, then a
+// phase-2 burst measures the post-failover warm-hit rate on the killed
+// host. The run FAILS on any lost or double-executed submission;
+// --crash-sweep additionally runs a --no-rehydrate baseline and FAILS
+// unless warm rejoin rehydration strictly beats it on post-failover
+// warm hits. The report includes the recovery counter table (detection
+// latency, orphans re-dispatched, duplicates suppressed, rejoins).
+//
 // CI runs single-host --threads 1/8 plus a --hosts 4 cluster smoke in
 // both dispatch modes, archiving the CSVs.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -95,6 +109,20 @@ struct Options {
   bool overload_sweep = false;
   /// Cluster admission control (--no-admission turns it off: baseline).
   bool admission = true;
+  // --- crash tolerance (cluster mode) --------------------------------------
+  /// --kill-host ID@N: crash host ID after N total submissions; the
+  /// failure detector declares it dead and recovers the orphans.
+  bool kill = false;
+  std::size_t kill_host = 0;
+  std::size_t kill_after = 0;
+  /// The crashed host's process comes back this long after the crash
+  /// (the half-open probe path rejoins it).
+  std::uint64_t restart_after_us = 2000;
+  /// E20: run the crash once with warm rejoin rehydration and once
+  /// without, and gate on rehydration winning post-failover warm hits.
+  bool crash_sweep = false;
+  /// --no-rehydrate: disable rejoin rehydration (the baseline column).
+  bool rehydrate = true;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -106,7 +134,9 @@ Options parse_args(int argc, char** argv) {
                  "    [--hosts H] [--workers-per-host W]\n"
                  "    [--policy rr|least_loaded|most_warm]\n"
                  "    [--dispatch push|pull] [--skew] [--seed S]\n"
-                 "    [--deadline-us D] [--overload-sweep] [--no-admission]\n";
+                 "    [--deadline-us D] [--overload-sweep] [--no-admission]\n"
+                 "    [--kill-host ID@N] [--restart-after-us U]\n"
+                 "    [--crash-sweep] [--no-rehydrate]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -161,8 +191,48 @@ Options parse_args(int argc, char** argv) {
       options.overload_sweep = true;
     } else if (arg == "--no-admission") {
       options.admission = false;
+    } else if (arg == "--kill-host") {
+      const char* value = next();
+      char* end = nullptr;
+      options.kill_host = std::strtoull(value, &end, 10);
+      if (end == nullptr || *end != '@') {
+        std::cerr << "--kill-host wants ID@N (host id, '@', submission "
+                     "index)\n";
+        std::exit(2);
+      }
+      options.kill_after = std::strtoull(end + 1, nullptr, 10);
+      options.kill = true;
+    } else if (arg == "--restart-after-us") {
+      options.restart_after_us = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--crash-sweep") {
+      options.crash_sweep = true;
+    } else if (arg == "--no-rehydrate") {
+      options.rehydrate = false;
     } else {
       usage();
+    }
+  }
+  if (options.crash_sweep || options.kill) {
+    if (options.hosts < 2) {
+      std::cerr << "--crash-sweep / --kill-host require --hosts >= 2 "
+                   "(somewhere for the orphans to go)\n";
+      std::exit(2);
+    }
+    if (options.overload_sweep) {
+      std::cerr << "--crash-sweep and --overload-sweep are exclusive\n";
+      std::exit(2);
+    }
+    if (options.kill && options.kill_host >= options.hosts) {
+      std::cerr << "--kill-host id " << options.kill_host
+                << " out of range (hosts=" << options.hosts << ")\n";
+      std::exit(2);
+    }
+    if (options.kill &&
+        options.kill_after >=
+            std::max<std::size_t>(1, options.threads) * options.per_thread) {
+      std::cerr << "--kill-host @N must land inside the run "
+                   "(N < threads * per-thread)\n";
+      std::exit(2);
     }
   }
   if (options.overload_sweep) {
@@ -374,6 +444,24 @@ int setup_cluster(const Options& options,
   // The skewed mix cold-starts one function in volume; parked sandboxes
   // beyond the cap would fail the park and pollute the outcome counts.
   config.platform.warm_pool.max_per_function = 1 << 16;
+  if (options.kill || options.crash_sweep) {
+    // Failure-detector timing tuned for a bench run: a crashed host is
+    // declared dead within ~1 ms and probed every few hundred µs, so
+    // the restart window (--restart-after-us) dominates the measured
+    // recovery time instead of detector defaults sized for production.
+    config.health.lease_duration = 500 * util::kMicrosecond;
+    config.health.missed_to_death = 2;
+    config.health.sweep_period = 200 * util::kMicrosecond;
+    config.health.probe_backoff_base = 200 * util::kMicrosecond;
+    config.health.probe_backoff_cap = 2 * util::kMillisecond;
+    // Rehydrate every function the keep-alive policy remembers: the
+    // sweep's gate compares post-failover warm hits against the
+    // --no-rehydrate baseline, so the treatment arm should cover the
+    // whole working set.
+    config.health.rehydrate_top_k =
+        options.rehydrate ? std::max<std::size_t>(2, options.functions) : 0;
+    config.health.rehydrate_per_function = 1;
+  }
 
   try {
     cluster_storage.emplace(config);
@@ -837,12 +925,358 @@ int run_overload_sweep(const Options& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Crash recovery (--kill-host / --crash-sweep): the E20 driver.
+// ---------------------------------------------------------------------------
+
+struct CrashRow {
+  bool rehydrate = false;
+  std::uint64_t submitted = 0;      // phase-1 + phase-2
+  std::uint64_t outcomes = 0;       // drain() results (completions + sheds)
+  std::uint64_t completed_ok = 0;
+  std::uint64_t lost = 0;           // submitted - outcomes (must be 0)
+  std::uint64_t double_executed = 0;  // duplicate idempotency keys (must be 0)
+  cluster::ClusterCounters counters;
+  double detection_ms = 0.0;   // crash() -> declared dead
+  double recovery_ms = 0.0;    // crash() -> rejoined rotation
+  std::uint64_t victim_invocations = 0;  // phase-2 serves on the killed host
+  std::uint64_t victim_warm_hits = 0;    // ... at kWarm or kHorse
+  double warm_hit_rate = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// One crash/recover run: phase-1 traffic with a mid-run host kill, a
+/// timed restart, a rejoin wait, then a phase-2 burst whose warm-hit
+/// rate on the killed host isolates what rejoin rehydration bought.
+int run_crash_once(const Options& options, bool rehydrate, CrashRow& row) {
+  Options local = options;
+  local.rehydrate = rehydrate;
+  std::optional<cluster::ClusterScheduler> cluster_storage;
+  std::vector<ClusterFn> functions;
+  if (const int rc = setup_cluster(local, cluster_storage, functions);
+      rc != 0) {
+    return rc;
+  }
+  cluster::ClusterScheduler& sched = *cluster_storage;
+
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  const std::uint64_t phase1 =
+      static_cast<std::uint64_t>(threads) * options.per_thread;
+  const std::uint64_t kill_after =
+      options.kill ? options.kill_after : phase1 / 2;
+  const std::size_t victim = options.kill ? options.kill_host : 0;
+  const util::Nanos restart_delay =
+      static_cast<util::Nanos>(options.restart_after_us) * util::kMicrosecond;
+
+  std::atomic<std::uint64_t> submit_count{0};
+  std::atomic<util::Nanos> crashed_at{0};
+
+  // The "operator": the moment the crash fires, schedule the process
+  // restart; the scheduler's half-open probes then rejoin the host.
+  std::jthread restarter([&sched, &crashed_at, restart_delay, victim] {
+    while (crashed_at.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(restart_delay));
+    sched.host(victim).restart();
+  });
+
+  const util::Nanos started = util::monotonic_now();
+  {
+    std::vector<std::jthread> submitters;
+    for (std::size_t t = 0; t < threads; ++t) {
+      submitters.emplace_back(
+          [&sched, &functions, &options, &submit_count, &crashed_at,
+           kill_after, victim, t] {
+            for (std::size_t i = 0; i < options.per_thread; ++i) {
+              const std::uint64_t n =
+                  submit_count.fetch_add(1, std::memory_order_relaxed);
+              if (n == kill_after) {
+                // Kill the host wholesale mid-traffic: queued work will
+                // be stolen at declared death, in-flight work finishes
+                // as zombies the dedup ledger must suppress.
+                sched.host(victim).crash();
+                crashed_at.store(util::monotonic_now(),
+                                 std::memory_order_release);
+              }
+              const ClusterFn& fn = functions[(t + i) % functions.size()];
+              const faas::StartMode mode =
+                  i % 64 == 63 ? faas::StartMode::kCold
+                               : (fn.ull ? faas::StartMode::kHorse
+                                         : faas::StartMode::kWarm);
+              sched.submit(fn.id,
+                           fn.ull ? packet_request() : filter_request(), mode,
+                           0);
+            }
+          });
+    }
+  }  // join phase-1
+
+  const util::Nanos crash_time = crashed_at.load(std::memory_order_acquire);
+  if (crash_time == 0) {
+    std::cerr << "crash run: the kill never fired\n";
+    return 1;
+  }
+
+  // Wait for the ladder to complete: declared dead -> restarted ->
+  // probed back into rotation. Bounded so a detector regression fails
+  // loudly instead of hanging CI.
+  const util::Nanos wait_start = util::monotonic_now();
+  util::Nanos rejoin_time = 0;
+  while (true) {
+    if (sched.counters().hosts_rejoined >= 1) {
+      rejoin_time = util::monotonic_now();
+      break;
+    }
+    if (util::monotonic_now() - wait_start > 10 * util::kSecond) {
+      std::cerr << "crash run: host " << victim
+                << " never rejoined within 10 s\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // Quiesce phase-1 (drain arithmetic: every submission plus every
+  // re-dispatched orphan yields a host outcome or a shed) so zombie
+  // completions cannot pollute the phase-2 warm-hit snapshot.
+  while (true) {
+    const cluster::ClusterCounters c = sched.counters();
+    if (c.completed + c.shed >= phase1 + c.orphans_redispatched) {
+      break;
+    }
+    if (util::monotonic_now() - wait_start > 30 * util::kSecond) {
+      std::cerr << "crash run: phase-1 never quiesced\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  // Phase 2: a post-failover burst. The victim's platform counters
+  // record the mode each invocation was actually served at, so the
+  // delta across this burst IS the post-failover warm-hit rate.
+  const faas::PlatformCounters before = sched.host(victim).platform().counters();
+  const std::size_t phase2_per_thread =
+      std::max<std::size_t>(64, options.per_thread / 8);
+  {
+    std::vector<std::jthread> submitters;
+    for (std::size_t t = 0; t < threads; ++t) {
+      submitters.emplace_back(
+          [&sched, &functions, phase2_per_thread, t] {
+            for (std::size_t i = 0; i < phase2_per_thread; ++i) {
+              const ClusterFn& fn = functions[(t + i) % functions.size()];
+              sched.submit(fn.id,
+                           fn.ull ? packet_request() : filter_request(),
+                           fn.ull ? faas::StartMode::kHorse
+                                  : faas::StartMode::kWarm,
+                           0);
+            }
+          });
+    }
+  }  // join phase-2
+  const auto outcomes = sched.drain();
+  row.wall_seconds =
+      static_cast<double>(util::monotonic_now() - started) / 1e9;
+  const faas::PlatformCounters after = sched.host(victim).platform().counters();
+
+  row.rehydrate = rehydrate;
+  row.submitted =
+      phase1 + static_cast<std::uint64_t>(threads) * phase2_per_thread;
+  row.outcomes = outcomes.size();
+  row.lost =
+      row.submitted > outcomes.size() ? row.submitted - outcomes.size() : 0;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) {
+    keys.push_back(outcome.key);
+    if (outcome.status.is_ok()) {
+      ++row.completed_ok;
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] == keys[i - 1]) {
+      ++row.double_executed;
+    }
+  }
+  row.counters = sched.counters();
+  row.detection_ms =
+      static_cast<double>(sched.last_detection_latency()) / 1e6;
+  row.recovery_ms = static_cast<double>(rejoin_time - crash_time) / 1e6;
+  row.victim_invocations = after.invocations - before.invocations;
+  row.victim_warm_hits =
+      (after.warm + after.horse) - (before.warm + before.horse);
+  row.warm_hit_rate =
+      row.victim_invocations > 0
+          ? static_cast<double>(row.victim_warm_hits) /
+                static_cast<double>(row.victim_invocations)
+          : 0.0;
+  if (row.victim_invocations == 0) {
+    std::cerr << "crash run: the rejoined host received no phase-2 traffic "
+                 "— the warm-hit comparison is meaningless\n";
+    return 1;
+  }
+  return 0;
+}
+
+int report_crash_rows(const Options& options,
+                      const std::vector<CrashRow>& rows) {
+  metrics::TextTable table(
+      "Macro: host-crash recovery, hosts=" + std::to_string(options.hosts) +
+          " dispatch=" + std::string(cluster::to_string(options.dispatch)) +
+          " restart-after=" + std::to_string(options.restart_after_us) + "us",
+      {"rehydrate", "submitted", "outcomes", "ok", "shed", "lost", "dup",
+       "detect", "recover", "orphans", "suppressed", "rehydrated sb",
+       "victim inv", "warm-hit"});
+  for (const CrashRow& row : rows) {
+    table.add_row(
+        {row.rehydrate ? "on" : "off", std::to_string(row.submitted),
+         std::to_string(row.outcomes), std::to_string(row.completed_ok),
+         std::to_string(row.counters.shed), std::to_string(row.lost),
+         std::to_string(row.double_executed),
+         metrics::format_nanos(row.detection_ms * 1e6),
+         metrics::format_nanos(row.recovery_ms * 1e6),
+         std::to_string(row.counters.orphans_redispatched),
+         std::to_string(row.counters.duplicates_suppressed),
+         std::to_string(row.counters.rehydrated_sandboxes),
+         std::to_string(row.victim_invocations),
+         metrics::format_percent(row.warm_hit_rate)});
+  }
+  table.print(std::cout);
+  for (const CrashRow& row : rows) {
+    // The recovery accounting next to the latency table, in the shared
+    // counter format every fault experiment logs.
+    metrics::counters_table(
+        std::string("Cluster crash-recovery counters (rehydrate=") +
+            (row.rehydrate ? "on)" : "off)"),
+        {{"host_crashes", row.counters.host_crashes},
+         {"missed_heartbeats", row.counters.missed_heartbeats},
+         {"hosts_declared_dead", row.counters.hosts_declared_dead},
+         {"probes", row.counters.probes},
+         {"hosts_rejoined", row.counters.hosts_rejoined},
+         {"backlog_redispatched", row.counters.redispatched},
+         {"orphans_redispatched", row.counters.orphans_redispatched},
+         {"duplicates_suppressed", row.counters.duplicates_suppressed},
+         {"rehydrated_sandboxes", row.counters.rehydrated_sandboxes},
+         {"forced_routes", row.counters.forced_routes},
+         {"victim_warm_hits", row.victim_warm_hits}})
+        .print(std::cout);
+  }
+
+  if (!options.csv_path.empty()) {
+    metrics::CsvWriter csv(
+        {"hosts", "policy", "dispatch", "rehydrate", "restart_after_us",
+         "submitted", "outcomes", "completed_ok", "shed", "lost",
+         "double_executed", "host_crashes", "missed_heartbeats",
+         "hosts_declared_dead", "probes", "hosts_rejoined",
+         "orphans_redispatched", "duplicates_suppressed",
+         "rehydrated_sandboxes", "forced_routes", "detection_ms",
+         "recovery_ms", "victim_invocations", "victim_warm_hits",
+         "warm_hit_rate", "wall_seconds"});
+    for (const CrashRow& row : rows) {
+      csv.add_row(
+          {std::to_string(options.hosts),
+           std::string(cluster::to_string(options.policy)),
+           std::string(cluster::to_string(options.dispatch)),
+           row.rehydrate ? "1" : "0",
+           std::to_string(options.restart_after_us),
+           std::to_string(row.submitted), std::to_string(row.outcomes),
+           std::to_string(row.completed_ok),
+           std::to_string(row.counters.shed), std::to_string(row.lost),
+           std::to_string(row.double_executed),
+           std::to_string(row.counters.host_crashes),
+           std::to_string(row.counters.missed_heartbeats),
+           std::to_string(row.counters.hosts_declared_dead),
+           std::to_string(row.counters.probes),
+           std::to_string(row.counters.hosts_rejoined),
+           std::to_string(row.counters.orphans_redispatched),
+           std::to_string(row.counters.duplicates_suppressed),
+           std::to_string(row.counters.rehydrated_sandboxes),
+           std::to_string(row.counters.forced_routes),
+           metrics::format_double(row.detection_ms, 3),
+           metrics::format_double(row.recovery_ms, 3),
+           std::to_string(row.victim_invocations),
+           std::to_string(row.victim_warm_hits),
+           metrics::format_double(row.warm_hit_rate, 4),
+           metrics::format_double(row.wall_seconds, 6)});
+    }
+    if (const auto status = csv.write_file(options.csv_path);
+        !status.is_ok()) {
+      std::cerr << "csv write failed: " << status.to_report() << "\n";
+      return 1;
+    }
+  }
+
+  // The exactly-once gate: a crash may shed work (typed) but may never
+  // lose a submission or execute one twice.
+  for (const CrashRow& row : rows) {
+    if (row.lost != 0 || row.double_executed != 0) {
+      std::cerr << "crash gate FAILED (rehydrate="
+                << (row.rehydrate ? "on" : "off") << "): " << row.lost
+                << " lost, " << row.double_executed
+                << " double-executed submissions\n";
+      return 1;
+    }
+  }
+  std::cout << "crash gate passed: zero lost, zero double-executed across "
+            << rows.size() << " run(s)\n";
+  return 0;
+}
+
+int run_crash_single(const Options& options) {
+  CrashRow row;
+  if (const int rc = run_crash_once(options, options.rehydrate, row);
+      rc != 0) {
+    return rc;
+  }
+  return report_crash_rows(options, {row});
+}
+
+int run_crash_sweep(const Options& options) {
+  // Treatment arm first (warm rejoin rehydration on), then the
+  // --no-rehydrate baseline: same traffic, same kill, same restart.
+  CrashRow with_rehydrate;
+  if (const int rc = run_crash_once(options, true, with_rehydrate);
+      rc != 0) {
+    return rc;
+  }
+  CrashRow baseline;
+  if (const int rc = run_crash_once(options, false, baseline); rc != 0) {
+    return rc;
+  }
+  if (const int rc = report_crash_rows(options, {with_rehydrate, baseline});
+      rc != 0) {
+    return rc;
+  }
+  // The rehydration gate: warm rejoin must strictly beat the cold
+  // baseline on post-failover warm hits, or the subsystem is dead
+  // weight.
+  if (with_rehydrate.warm_hit_rate <= baseline.warm_hit_rate) {
+    std::cerr << "rehydration gate FAILED: post-failover warm-hit rate "
+              << metrics::format_percent(with_rehydrate.warm_hit_rate)
+              << " (rehydrate) is not above "
+              << metrics::format_percent(baseline.warm_hit_rate)
+              << " (baseline)\n";
+    return 1;
+  }
+  std::cout << "rehydration gate passed: post-failover warm-hit rate "
+            << metrics::format_percent(with_rehydrate.warm_hit_rate)
+            << " (rehydrate) > "
+            << metrics::format_percent(baseline.warm_hit_rate)
+            << " (baseline)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
   if (options.overload_sweep) {
     return run_overload_sweep(options);
+  }
+  if (options.crash_sweep) {
+    return run_crash_sweep(options);
+  }
+  if (options.kill) {
+    return run_crash_single(options);
   }
   return options.hosts == 0 ? run_single_host(options) : run_cluster(options);
 }

@@ -41,8 +41,13 @@ void Host::submit(faas::Submission task) {
   // Re-dispatched submissions are exempt: a task stolen off a stalled host
   // must not stall its rescue host too, or an always-armed stall site
   // would steal/re-dispatch the same task forever without executing it.
-  if (!task.redispatched && healthy() && HORSE_FAULT_POINT("cluster.host_stall")) {
-    stall();
+  // Same for crashes — re-dispatched orphans must land somewhere.
+  if (!task.redispatched && healthy()) {
+    if (HORSE_FAULT_POINT("cluster.host_crash")) {
+      crash();
+    } else if (HORSE_FAULT_POINT("cluster.host_stall")) {
+      stall();
+    }
   }
   dispatched_.fetch_add(1, std::memory_order_relaxed);
   // The task is accepted even when the stall just fired: it sits in the
@@ -81,9 +86,74 @@ std::vector<faas::Submission> Host::quarantine() {
 }
 
 void Host::force_recover() {
+  crashed_.store(false, std::memory_order_release);
   stalled_.store(false, std::memory_order_release);
   healthy_.store(true, std::memory_order_release);
   dispatcher_.resume();
+}
+
+void Host::crash() {
+  // Order matters: probes must start failing before the warm state goes,
+  // so a concurrent health sweep never sees a responsive host with an
+  // empty pool mid-crash.
+  crashed_.store(true, std::memory_order_release);
+  crashed_at_.store(util::monotonic_now(), std::memory_order_release);
+  crash_count_.fetch_add(1, std::memory_order_relaxed);
+  dispatcher_.pause();
+  // A dead host's warm state is gone. Workers mid-task keep running (the
+  // dispatcher always finishes a dequeued task) — those become the
+  // zombie completions the orphan ledger dedups.
+  platform_.clear_warm_pools();
+}
+
+void Host::restart() {
+  crashed_.store(false, std::memory_order_release);
+  stalled_.store(false, std::memory_order_release);
+  dispatcher_.resume();
+  // healthy_ is NOT touched: if the scheduler declared this host dead,
+  // only its half-open probe path may put it back in rotation (and
+  // rehydrate it first).
+}
+
+void Host::mark_dead() {
+  healthy_.store(false, std::memory_order_release);
+  // No dispatcher_.resume(), unlike quarantine(): the workers are not
+  // merely parked behind a stall — the host is gone until restart().
+}
+
+bool Host::probe() {
+  if (crashed()) {
+    return false;
+  }
+  // Alive (possibly stalled-and-recovered, possibly restarted after a
+  // crash): clear the stall and get the workers moving again. The caller
+  // flips healthy_ once rehydration is done.
+  stalled_.store(false, std::memory_order_release);
+  dispatcher_.resume();
+  return true;
+}
+
+std::vector<faas::Submission> Host::take_inflight() {
+  std::vector<faas::Submission> orphans;
+  std::lock_guard lock(inflight_mutex_);
+  orphans.reserve(inflight_.size());
+  for (auto& [key, task] : inflight_) {
+    orphans.push_back(std::move(task));
+  }
+  inflight_.clear();
+  return orphans;
+}
+
+util::Status Host::rehydrate_warm(std::size_t top_k,
+                                  std::size_t per_function) {
+  util::Status first_error = util::Status::ok();
+  for (const faas::FunctionId function : platform_.recently_invoked(top_k)) {
+    const util::Status status = platform_.rehydrate(function, per_function);
+    if (!status.is_ok() && first_error.is_ok()) {
+      first_error = status;  // keep going: partial warmth beats none
+    }
+  }
+  return first_error;
 }
 
 metrics::Histogram Host::dispatch_latency() const {
@@ -92,14 +162,24 @@ metrics::Histogram Host::dispatch_latency() const {
 }
 
 void Host::run_task(faas::Submission task, faas::SubmissionOutcome& outcome) {
-  // Pull mode has no submit path on the host, so the stall is probed at
-  // task pickup instead: the host finishes this task, then stops pulling.
-  // Re-dispatched tasks are exempt, as on the push path.
-  if (pull_mode_ && !task.redispatched && healthy() &&
-      HORSE_FAULT_POINT("cluster.host_stall")) {
-    stall();
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
-  } else if (pull_mode_) {
+  // Register the task in the in-flight set BEFORE any fault probe: if the
+  // crash fires right here, this task is already tracked, so it becomes
+  // the guaranteed orphan/zombie pair the dedup ledger exists for.
+  {
+    std::lock_guard lock(inflight_mutex_);
+    inflight_.insert_or_assign(task.key, task);
+  }
+  // Pull mode has no submit path on the host, so the stall/crash is
+  // probed at task pickup instead: the host finishes this task, then
+  // stops pulling. Re-dispatched tasks are exempt, as on the push path.
+  if (pull_mode_) {
+    if (!task.redispatched && healthy()) {
+      if (HORSE_FAULT_POINT("cluster.host_crash")) {
+        crash();
+      } else if (HORSE_FAULT_POINT("cluster.host_stall")) {
+        stall();
+      }
+    }
     dispatched_.fetch_add(1, std::memory_order_relaxed);
   }
   outcome.host = id_;
@@ -123,6 +203,13 @@ void Host::run_task(faas::Submission task, faas::SubmissionOutcome& outcome) {
   } else {
     outcome.status = result.status();
     outcome.reject = controls.reject;
+  }
+  // Done (the outcome is about to be recorded): leave the in-flight set.
+  // If the health sweep stole the set first, this erase is a no-op and
+  // the completion surfaces as a zombie the ledger dedups.
+  {
+    std::lock_guard lock(inflight_mutex_);
+    inflight_.erase(task.key);
   }
 }
 

@@ -18,16 +18,31 @@
 //     pull mode, at task pickup. Firing parks the host's workers after
 //     their current task; queued work stays put until the scheduler's
 //     health sweep quarantines the host and re-dispatches the backlog.
+//   * cluster.host_crash — same probe points, but the host dies
+//     wholesale: workers park, the warm pools are destroyed, and the
+//     host stops answering probes until restart(). crash() itself is a
+//     public method (not fault-gated) so release-build benches can kill
+//     hosts too.
+//
+// Crash model: a crash cannot kill a worker mid-task — the dispatcher
+// guarantees a dequeued task is always finished — so a task in flight at
+// crash time completes anyway and surfaces as a LATE (zombie) outcome.
+// The host therefore tracks its in-flight set (inflight_): the scheduler
+// steals it at declared death, re-dispatches each orphan, and dedups the
+// zombie's completion against the re-dispatched copy by idempotency key.
 //
 // Thread-safety: submit() under the cluster's dispatch lock; snapshot()
-// and the health accessors from any thread; quarantine transitions are
-// serialised by the scheduler's health sweep.
+// and the health accessors from any thread; quarantine/crash/rejoin
+// transitions are serialised by the scheduler's health sweep. inflight_
+// has its own leaf mutex (worker threads and the health sweep touch it);
+// it nests inside everything and takes nothing.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/load_balance.hpp"
@@ -78,9 +93,54 @@ class Host {
   /// backlog for re-dispatch, and restart the workers so in-flight work
   /// (and any later forced routing) still completes.
   [[nodiscard]] std::vector<faas::Submission> quarantine();
-  /// Degradation-ladder escape hatch: forcibly clear the stall and mark
-  /// the host healthy again so traffic can be routed somewhere.
+  /// Degradation-ladder escape hatch: forcibly clear the stall (and any
+  /// crash) and mark the host healthy again so traffic can be routed
+  /// somewhere.
   void force_recover();
+
+  // --- crash model ---------------------------------------------------------
+
+  [[nodiscard]] bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_acquire);
+  }
+  /// Does the host answer a liveness probe right now? (The failure
+  /// detector renews a host's lease on this; a crashed host flunks it.)
+  [[nodiscard]] bool responsive() const noexcept { return !crashed(); }
+  /// Kill the host wholesale: workers park after their current task, the
+  /// warm pools are destroyed, probes fail. Public (not fault-gated) so
+  /// release-build benches can kill hosts; the cluster.host_crash fault
+  /// site calls this too.
+  void crash();
+  /// Bring a crashed host's process back: workers resume, probes answer
+  /// again. The host stays OUT of rotation (healthy_ false if the
+  /// scheduler declared it dead) until a half-open probe rejoins it.
+  void restart();
+  /// Failure-detector verdict: mark the host dead WITHOUT restarting its
+  /// workers (unlike quarantine() — there is nothing to restart, the
+  /// host is gone until restart()).
+  void mark_dead();
+  /// One half-open liveness probe: false while crashed; otherwise clears
+  /// any stall, resumes the workers, and reports the host fit to rejoin.
+  [[nodiscard]] bool probe();
+  /// Steal the in-flight set (the tasks workers were executing when the
+  /// host was declared dead). Each entry is a full Submission copy, ready
+  /// to re-dispatch; late (zombie) completions of the originals are
+  /// deduped by the scheduler's orphan ledger.
+  [[nodiscard]] std::vector<faas::Submission> take_inflight();
+  /// Warm rejoin: top the pools back up for the top-k most recently
+  /// invoked functions (per_function sandboxes each) so post-failover
+  /// traffic lands kWarm/kHorse instead of kCold. Returns the first
+  /// error; later functions are still attempted.
+  util::Status rehydrate_warm(std::size_t top_k, std::size_t per_function);
+
+  [[nodiscard]] std::uint64_t crash_faults() const noexcept {
+    return crash_count_.load(std::memory_order_relaxed);
+  }
+  /// Monotonic instant of the most recent crash (0 = never crashed);
+  /// detection latency = declared-dead time minus this.
+  [[nodiscard]] util::Nanos crashed_at() const noexcept {
+    return crashed_at_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] std::uint64_t dispatched() const noexcept {
     return dispatched_.load(std::memory_order_relaxed);
@@ -118,8 +178,15 @@ class Host {
   const bool pull_mode_;
   std::atomic<bool> healthy_{true};
   std::atomic<bool> stalled_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<util::Nanos> crashed_at_{0};
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::uint64_t> stall_count_{0};
+  std::atomic<std::uint64_t> crash_count_{0};
+  /// Tasks currently inside run_task, keyed by idempotency key. Leaf
+  /// lock: taken by workers (insert/erase) and the health sweep (steal).
+  mutable std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, faas::Submission> inflight_;
   mutable std::mutex latency_mutex_;
   metrics::Histogram dispatch_latency_;
   std::atomic<util::Nanos> queueing_ewma_{0};

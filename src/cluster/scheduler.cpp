@@ -1,6 +1,7 @@
 #include "cluster/scheduler.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,7 +22,13 @@ util::Expected<DispatchMode> parse_dispatch_mode(std::string_view name) {
 }
 
 ClusterScheduler::ClusterScheduler(ClusterConfig config)
-    : config_(std::move(config)), policy_(make_policy(config_.policy)) {
+    : config_(std::move(config)),
+      policy_(make_policy(config_.policy)),
+      probe_backoff_(util::BackoffPolicy{config_.health.probe_backoff_base,
+                                         config_.health.probe_backoff_cap}),
+      // Decorrelated from the per-host platform streams (they offset by
+      // id * 7919); same cluster seed → same probe schedule.
+      probe_rng_(config_.platform.seed + 0x9e3779b9ULL) {
   if (config_.num_hosts == 0) {
     config_.num_hosts = 1;
   }
@@ -42,9 +49,35 @@ ClusterScheduler::ClusterScheduler(ClusterConfig config)
                                             pull_queue_.get(), max_sojourn));
   }
   policy_decisions_.assign(hosts_.size(), 0);
+  leases_.resize(hosts_.size());
+  if (config_.health.sweep_period > 0) {
+    // Time-based health-sweep fallback: submission-driven sweeps only run
+    // under traffic, so an idle cluster would never notice a dead host.
+    sweeper_ = std::jthread([this](const std::stop_token& stoken) {
+      const auto period = std::chrono::nanoseconds(config_.health.sweep_period);
+      std::mutex mutex;
+      std::condition_variable_any wakeup;
+      std::unique_lock lock(mutex);
+      while (!stoken.stop_requested()) {
+        // The predicate never passes: the wait ends on the period elapsing
+        // or on request_stop (which also makes the loop exit).
+        wakeup.wait_for(lock, stoken, period, [] { return false; });
+        if (stoken.stop_requested()) {
+          break;
+        }
+        check_health();
+      }
+    });
+  }
 }
 
 ClusterScheduler::~ClusterScheduler() {
+  // Sweeper first: a health sweep must not run against hosts mid-teardown
+  // or re-dispatch into a closing pull queue.
+  if (sweeper_.joinable()) {
+    sweeper_.request_stop();
+    sweeper_.join();
+  }
   if (pull_queue_) {
     // Unblocks every pull worker; remaining queued tasks are drained and
     // executed before the hosts (declared after the queue, destroyed
@@ -123,6 +156,9 @@ void ClusterScheduler::submit(faas::FunctionId function,
   task.enqueued_at = util::monotonic_now();
   task.deadline = deadline;
   task.seq = seq;
+  // Idempotency key, assigned exactly once at the front door and carried
+  // through every re-dispatch: the orphan ledger dedups on it.
+  task.key = seq;
   if (config_.admission.enabled) {
     // Fault site first: a spurious shed exercises the whole typed-refusal
     // path (outcome, counters, drain accounting) without real overload.
@@ -172,6 +208,7 @@ void ClusterScheduler::record_shed(const faas::Submission& task,
   outcome.function = task.function;
   outcome.mode = task.mode;
   outcome.seq = task.seq;
+  outcome.key = task.key;
   outcome.status = util::Status{reject == faas::SubmissionReject::kQueueFull
                                     ? util::StatusCode::kResourceExhausted
                                     : util::StatusCode::kUnavailable,
@@ -207,6 +244,7 @@ void ClusterScheduler::dispatch(faas::Submission task) {
       meta.function = task.function;
       meta.mode = task.mode;
       meta.seq = task.seq;
+      meta.key = task.key;
       if (!pull_queue_->try_push(std::move(task))) {
         shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
         record_shed(meta, faas::SubmissionReject::kQueueFull,
@@ -236,9 +274,13 @@ Host& ClusterScheduler::select_host_locked(faas::FunctionId function) {
   if (healthy.empty()) {
     // Bottom ladder rung: never drop a request. Force-recover host 0 and
     // route there; the stall model means the host works again once its
-    // workers are unparked.
+    // workers are unparked (a crashed host's restart is forced too).
     forced_routes_.fetch_add(1, std::memory_order_relaxed);
     hosts_.front()->force_recover();
+    // The recovered host leaves the out-of-rotation set, so the gauge
+    // comes down with it (identity: quarantine events == gauge + rejoins
+    // + forced routes).
+    gauge_decrement_quarantined();
     policy_decisions_.front()++;
     return *hosts_.front();
   }
@@ -255,10 +297,48 @@ Host& ClusterScheduler::select_host_locked(faas::FunctionId function) {
 
 void ClusterScheduler::check_health() {
   std::lock_guard guard(health_mutex_);
-  for (auto& host : hosts_) {
-    if (host->stalled() && host->healthy()) {
+  const util::Nanos now = util::monotonic_now();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    Host& host = *hosts_[i];
+    HostLease& lease = leases_[i];
+    if (!host.healthy()) {
+      // Out of rotation: half-open probe on the backoff schedule. A host
+      // that answers (stall cleared, or crashed host restart()ed) is
+      // rehydrated and rejoined; one that doesn't backs off further.
+      if (now >= lease.next_probe) {
+        probes_.fetch_add(1, std::memory_order_relaxed);
+        if (host.probe()) {
+          rejoin_locked(i, now);
+        } else {
+          ++lease.probe_streak;
+          lease.next_probe =
+              now + probe_backoff_.delay(lease.probe_streak, probe_rng_);
+        }
+      }
+      continue;
+    }
+    // Lease renewal: completion progress or a live (responsive) process
+    // both count as a heartbeat — only a CRASHED host can ever miss, so
+    // stall semantics are untouched by the detector.
+    const std::uint64_t completed = host.completed();
+    if (completed != lease.last_completed || host.responsive()) {
+      lease.last_completed = completed;
+      lease.missed = 0;
+      lease.deadline = now + config_.health.lease_duration;
+    } else if (now >= lease.deadline) {
+      ++lease.missed;
+      missed_heartbeats_.fetch_add(1, std::memory_order_relaxed);
+      lease.deadline = now + config_.health.lease_duration;
+      if (lease.missed >= config_.health.missed_to_death) {
+        declare_dead_locked(i, now);
+        continue;
+      }
+    }
+    // Stall fast path (PR5 semantics): a stalled host is still responsive,
+    // so it is quarantined immediately rather than waiting out a lease.
+    if (host.stalled()) {
       hosts_quarantined_.fetch_add(1, std::memory_order_relaxed);
-      std::vector<faas::Submission> backlog = host->quarantine();
+      std::vector<faas::Submission> backlog = host.quarantine();
       for (auto& task : backlog) {
         // Exactly once: steal_pending removed these from the stalled
         // host atomically, and the redispatched flag exempts them from
@@ -267,16 +347,92 @@ void ClusterScheduler::check_health() {
         redispatched_.fetch_add(1, std::memory_order_relaxed);
         dispatch(std::move(task));
       }
+      lease.probe_streak = 1;
+      lease.next_probe = now + probe_backoff_.delay(1, probe_rng_);
     }
+  }
+}
+
+void ClusterScheduler::declare_dead_locked(std::size_t index, util::Nanos now) {
+  Host& host = *hosts_[index];
+  HostLease& lease = leases_[index];
+  hosts_declared_dead_.fetch_add(1, std::memory_order_relaxed);
+  hosts_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  host.mark_dead();
+  const util::Nanos crashed_at = host.crashed_at();
+  if (crashed_at != 0 && now > crashed_at) {
+    last_detection_latency_.store(now - crashed_at,
+                                  std::memory_order_relaxed);
+  }
+  // Queued backlog first: these never started, so plain exactly-once
+  // re-dispatch (same as the stall path) covers them.
+  for (auto& task : host.dispatcher().steal_pending()) {
+    task.redispatched = true;
+    redispatched_.fetch_add(1, std::memory_order_relaxed);
+    dispatch(std::move(task));
+  }
+  // In-flight orphans: the dispatcher always finishes a dequeued task, so
+  // each of these WILL surface a late (zombie) completion. Register the
+  // key in the ledger and re-dispatch a copy — drain() keeps whichever
+  // outcome lands first and suppresses the other.
+  for (auto& task : host.take_inflight()) {
+    if (task.redispatched) {
+      // Already a re-dispatched copy (stolen off an earlier death): its
+      // zombie completion is the one surviving outcome for its key.
+      // Re-dispatching again would mint a THIRD outcome and break the
+      // drain arithmetic (submitted + orphans_redispatched).
+      continue;
+    }
+    orphan_keys_.insert(task.key);
+    orphans_redispatched_.fetch_add(1, std::memory_order_relaxed);
+    task.redispatched = true;
+    dispatch(std::move(task));
+  }
+  lease.probe_streak = 1;
+  lease.next_probe = now + probe_backoff_.delay(1, probe_rng_);
+}
+
+void ClusterScheduler::rejoin_locked(std::size_t index, util::Nanos now) {
+  Host& host = *hosts_[index];
+  HostLease& lease = leases_[index];
+  if (config_.health.rehydrate_top_k != 0) {
+    // Warm rejoin BEFORE re-entering rotation (the health mutex keeps the
+    // half-rejoined host invisible to routing): restore pooled sandboxes
+    // for the top-k recently-invoked functions so post-failover traffic
+    // resumes kWarm/kHorse instead of kCold. Best-effort — a failed
+    // restore must not keep an otherwise-live host out of the cluster.
+    (void)host.rehydrate_warm(config_.health.rehydrate_top_k,
+                              config_.health.rehydrate_per_function);
+  }
+  host.force_recover();
+  gauge_decrement_quarantined();
+  hosts_rejoined_.fetch_add(1, std::memory_order_relaxed);
+  lease.missed = 0;
+  lease.probe_streak = 0;
+  lease.last_completed = host.completed();
+  lease.deadline = now + config_.health.lease_duration;
+}
+
+void ClusterScheduler::gauge_decrement_quarantined() {
+  std::uint64_t current = hosts_quarantined_.load(std::memory_order_relaxed);
+  while (current > 0 &&
+         !hosts_quarantined_.compare_exchange_weak(
+             current, current - 1, std::memory_order_relaxed)) {
   }
 }
 
 std::vector<faas::SubmissionOutcome> ClusterScheduler::drain() {
   while (true) {
     check_health();
-    const std::uint64_t target = submitted_.load(std::memory_order_acquire);
+    // Each in-flight orphan re-dispatched off a declared-dead host yields
+    // exactly TWO host outcomes (the zombie completion plus the copy), so
+    // the target grows with the ledger. Both terms are re-read every
+    // iteration — the sweep above can declare further deaths mid-drain.
+    const std::uint64_t target =
+        submitted_.load(std::memory_order_acquire) +
+        orphans_redispatched_.load(std::memory_order_acquire);
     // Shed submissions never reach a host; their typed outcomes complete
-    // the accounting (completed + shed == submitted when idle).
+    // the accounting (completed + shed == submitted + orphans when idle).
     std::uint64_t done = shed_count_.load(std::memory_order_acquire);
     for (const auto& host : hosts_) {
       done += host->completed();
@@ -287,13 +443,27 @@ std::vector<faas::SubmissionOutcome> ClusterScheduler::drain() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   std::vector<faas::SubmissionOutcome> out;
-  for (auto& host : hosts_) {
-    std::vector<faas::SubmissionOutcome> outcomes =
-        host->dispatcher().take_outcomes();
-    for (auto& outcome : outcomes) {
-      out.push_back(std::move(outcome));
+  std::uint64_t suppressed = 0;
+  {
+    // Ledger consultation only — no dispatching happens under this hold,
+    // so the health → dispatch lock edge is not exercised here.
+    std::lock_guard guard(health_mutex_);
+    for (auto& host : hosts_) {
+      for (auto& outcome : host->dispatcher().take_outcomes()) {
+        if (outcome.key != 0 && orphan_keys_.contains(outcome.key) &&
+            !delivered_orphans_.insert(outcome.key).second) {
+          // Second sighting of an orphaned key: zombie vs re-dispatched
+          // copy, whichever landed later. Suppressed as a typed
+          // kDuplicateSuppressed — counted, never surfaced, so every
+          // submission completes exactly once.
+          ++suppressed;
+          continue;
+        }
+        out.push_back(std::move(outcome));
+      }
     }
   }
+  duplicates_suppressed_.fetch_add(suppressed, std::memory_order_relaxed);
   {
     std::lock_guard lock(shed_mutex_);
     for (auto& outcome : shed_outcomes_) {
@@ -311,6 +481,9 @@ ClusterCounters ClusterScheduler::counters() const {
     counters.completed += host->completed();
     counters.host_stalls += host->stall_faults();
     counters.expired += host->expired();
+    counters.host_crashes += host->crash_faults();
+    counters.rehydrated_sandboxes +=
+        host->platform().counters().rehydrated_sandboxes;
   }
   counters.shed = shed_count_.load(std::memory_order_acquire);
   counters.shed_queue_full =
@@ -321,6 +494,16 @@ ClusterCounters ClusterScheduler::counters() const {
   counters.redispatched = redispatched_.load(std::memory_order_relaxed);
   counters.dispatch_drops = dispatch_drops_.load(std::memory_order_relaxed);
   counters.forced_routes = forced_routes_.load(std::memory_order_relaxed);
+  counters.missed_heartbeats =
+      missed_heartbeats_.load(std::memory_order_relaxed);
+  counters.hosts_declared_dead =
+      hosts_declared_dead_.load(std::memory_order_relaxed);
+  counters.probes = probes_.load(std::memory_order_relaxed);
+  counters.hosts_rejoined = hosts_rejoined_.load(std::memory_order_relaxed);
+  counters.orphans_redispatched =
+      orphans_redispatched_.load(std::memory_order_relaxed);
+  counters.duplicates_suppressed =
+      duplicates_suppressed_.load(std::memory_order_relaxed);
   counters.degraded_single_host =
       degraded_single_host_.load(std::memory_order_acquire);
   return counters;
@@ -346,6 +529,8 @@ ClusterStats ClusterScheduler::stats() const {
     entry.completed = host.completed();
     entry.policy_decisions = decisions[i];
     entry.stall_faults = host.stall_faults();
+    entry.crashed = host.crashed();
+    entry.crash_faults = host.crash_faults();
     entry.expired = host.expired();
     entry.queueing_ewma = host.queueing_ewma();
     const HostSnapshot snapshot = host.snapshot(0, false);

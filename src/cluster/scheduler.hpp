@@ -23,25 +23,60 @@
 //
 // Health & degradation ladder (extends DESIGN.md §5.2 to the cluster):
 // a host whose cluster.host_stall fault fires parks its workers. The
-// health sweep (every `health_check_interval` submissions, at drain
-// start, and while drain waits) quarantines it: out of policy rotation,
-// queued backlog stolen and re-dispatched EXACTLY ONCE to healthy hosts
-// (re-dispatched submissions are exempt from the dispatch fault sites,
-// so a request can be re-routed at most once per stall and once per
-// drop). When quarantines leave a single healthy host the cluster
-// degrades to single-host routing (sticky `degraded_single_host`
-// counter); when none remain, the bottom rung force-recovers one host
-// and routes there (`forced_routes`) — requests are never dropped.
+// health sweep (every `health_check_interval` submissions, on the
+// background sweeper's timer tick, at drain start, and while drain
+// waits) quarantines it: out of policy rotation, queued backlog stolen
+// and re-dispatched EXACTLY ONCE to healthy hosts (re-dispatched
+// submissions are exempt from the dispatch fault sites, so a request
+// can be re-routed at most once per stall and once per drop). When
+// quarantines leave a single healthy host the cluster degrades to
+// single-host routing (sticky `degraded_single_host` flag); when none
+// remain, the bottom rung force-recovers one host and routes there
+// (`forced_routes`) — requests are never dropped.
 //
-// Fault sites: cluster.host_stall (see host.hpp) and
-// cluster.dispatch_drop — a modelled lost dispatch, detected and
+// Crash tolerance (DESIGN.md §5.7) extends the ladder to hosts that
+// DIE rather than stall:
+//   * Failure detection — per-host leases (HostLease). A host renews by
+//     making completion progress or answering a liveness probe; a
+//     non-responsive host misses its lease deadline, and after
+//     `missed_to_death` consecutive misses the sweep declares it dead.
+//     A background sweeper thread ticks every `sweep_period` so an IDLE
+//     cluster notices dead hosts too (sweeps used to run only on
+//     submission activity).
+//   * Exactly-once orphan recovery — declared death steals both the
+//     dead host's queued backlog AND its in-flight set. In-flight
+//     orphans are re-dispatched through a dedup ledger keyed on the
+//     submission's idempotency key: the dispatcher always finishes a
+//     dequeued task, so the dead host eventually emits a LATE (zombie)
+//     completion for each orphan — drain() surfaces exactly one of
+//     {zombie, re-dispatched copy} per key and suppresses the other as
+//     kDuplicateSuppressed. Property: every submission completes
+//     exactly once XOR is shed with a typed outcome — never zero,
+//     never twice.
+//   * Rejoin — quarantine is no longer sticky. Unhealthy hosts get
+//     half-open liveness probes on a full-jitter util::Backoff
+//     schedule; a probe that answers (stall cleared, or crashed host
+//     restart()ed) rehydrates the host's warm pools for its top-k
+//     recently-invoked functions (Platform::rehydrate — post-failover
+//     traffic resumes kWarm/kHorse, not kCold) and only THEN returns
+//     it to rotation. `hosts_quarantined` is a gauge (decrements on
+//     rejoin); `degraded_single_host` stays sticky as a "this
+//     happened" flag but no longer blocks recovery.
+//
+// Fault sites: cluster.host_stall, cluster.host_crash (see host.hpp)
+// and cluster.dispatch_drop — a modelled lost dispatch, detected and
 // retried through the policy immediately (the retry is the
 // re-dispatch; `dispatch_drops` counts the losses).
 //
 // Lock hierarchy (extends the platform's, left before right):
 //   health sweep mutex → cluster dispatch mutex → host dispatcher worker
 //   mutex → [Platform: shard → resume → manager → queue → load]
-// drain() takes none of these while waiting; it polls host counters.
+// The health mutex also directly precedes the platform shard mutexes on
+// the rejoin path (rehydration runs under the sweep so a half-rejoined
+// host is never routed to); the host's in-flight set has its own leaf
+// mutex below all of these. drain() polls host counters with no lock
+// held while waiting; its merge takes the health mutex only to consult
+// the dedup ledger.
 //
 // Thread-safety: submit() from any thread; drain() single-drainer, and
 // it must not run concurrently with submit() (same contract as
@@ -55,6 +90,8 @@
 #include <memory>
 #include <mutex>
 #include <string_view>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/host.hpp"
@@ -62,6 +99,8 @@
 #include "faas/platform.hpp"
 #include "faas/submission.hpp"
 #include "metrics/histogram.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
 
 namespace horse::cluster {
 
@@ -85,6 +124,31 @@ struct ClusterAdmissionConfig {
   util::Nanos max_sojourn = 0;
 };
 
+/// Lease/heartbeat failure detector + rejoin knobs.
+struct FailureDetectorConfig {
+  /// Lease a renewing host holds. A healthy host renews by making
+  /// completion progress or answering a liveness probe; once the lease
+  /// expires with neither, each subsequent sweep past the deadline
+  /// counts one missed heartbeat. 0 = every no-progress sweep of a
+  /// non-responsive host is a miss (deterministic tests).
+  util::Nanos lease_duration = 5 * util::kMillisecond;
+  /// Consecutive missed heartbeats before a host is declared dead.
+  std::size_t missed_to_death = 3;
+  /// Background sweeper period — the time-based fallback that lets an
+  /// IDLE cluster notice dead hosts (submission-driven sweeps only fire
+  /// under traffic). 0 disables the sweeper thread.
+  util::Nanos sweep_period = 1 * util::kMillisecond;
+  /// Half-open probe schedule for unhealthy hosts: full-jitter
+  /// util::Backoff over the consecutive-failed-probe streak.
+  util::Nanos probe_backoff_base = 1 * util::kMillisecond;
+  util::Nanos probe_backoff_cap = 50 * util::kMillisecond;
+  /// Warm rejoin: rehydrate this many most-recently-invoked functions,
+  /// this many pooled sandboxes each, before re-entering rotation.
+  /// rehydrate_top_k = 0 disables rehydration (rejoin lands cold).
+  std::size_t rehydrate_top_k = 4;
+  std::size_t rehydrate_per_function = 1;
+};
+
 struct ClusterConfig {
   std::size_t num_hosts = 1;
   /// Worker slots per host; 0 = max(2, platform.num_cpus / 2).
@@ -96,6 +160,7 @@ struct ClusterConfig {
   /// Submissions between health sweeps (drain always sweeps too).
   std::size_t health_check_interval = 64;
   ClusterAdmissionConfig admission;
+  FailureDetectorConfig health;
   /// Per-host platform template; host i runs it with seed + i*7919.
   faas::PlatformConfig platform;
 };
@@ -106,7 +171,10 @@ struct ClusterCounters {
   std::uint64_t completed = 0;
   /// Stall faults fired across hosts (cluster.host_stall).
   std::uint64_t host_stalls = 0;
-  /// Hosts taken out of rotation by the health sweep.
+  /// GAUGE: hosts currently out of rotation (quarantined or declared
+  /// dead). Increments on quarantine/declared death, decrements when a
+  /// half-open probe rejoins the host or a forced route recovers it —
+  /// quarantine is no longer sticky.
   std::uint64_t hosts_quarantined = 0;
   /// Backlog submissions re-routed off quarantined hosts (each exactly
   /// once per stall).
@@ -128,7 +196,29 @@ struct ClusterCounters {
   std::uint64_t expired = 0;
   /// admission.spurious_shed fault fires (each one also counts in shed).
   std::uint64_t spurious_sheds = 0;
-  /// Sticky: the quarantine ladder reached single-host routing.
+  // --- crash tolerance -----------------------------------------------------
+  /// Host crash events (cluster.host_crash fires + bench crash() calls).
+  std::uint64_t host_crashes = 0;
+  /// Lease deadlines missed by non-responsive hosts (detector ticks).
+  std::uint64_t missed_heartbeats = 0;
+  /// Hosts the failure detector declared dead (cumulative).
+  std::uint64_t hosts_declared_dead = 0;
+  /// Half-open liveness probes sent to unhealthy hosts.
+  std::uint64_t probes = 0;
+  /// Hosts returned to rotation by a successful probe (cumulative).
+  std::uint64_t hosts_rejoined = 0;
+  /// In-flight submissions re-dispatched off declared-dead hosts. Each
+  /// adds one EXTRA expected outcome (the zombie completion) to drain's
+  /// accounting; the duplicate is suppressed at merge.
+  std::uint64_t orphans_redispatched = 0;
+  /// Late zombie completions dropped by the dedup ledger
+  /// (kDuplicateSuppressed — counted, typed, never surfaced).
+  std::uint64_t duplicates_suppressed = 0;
+  /// Sandboxes restored into warm pools by rejoin rehydration (summed
+  /// over host platforms).
+  std::uint64_t rehydrated_sandboxes = 0;
+  /// Sticky: the quarantine ladder reached single-host routing ("this
+  /// happened" flag; does NOT block rejoin).
   bool degraded_single_host = false;
 };
 
@@ -139,6 +229,9 @@ struct HostStats {
   std::uint64_t completed = 0;
   std::uint64_t policy_decisions = 0;
   std::uint64_t stall_faults = 0;
+  /// Crash model: is the host currently dead, and how often has it died.
+  bool crashed = false;
+  std::uint64_t crash_faults = 0;
   std::size_t queued = 0;
   std::size_t in_flight = 0;
   std::size_t free_slots = 0;
@@ -219,7 +312,27 @@ class ClusterScheduler {
   /// Recomputed from host state at call time (nothing cached).
   [[nodiscard]] ClusterStats stats() const;
 
+  /// Detection latency of the most recent declared death: declared-dead
+  /// instant minus the host's crashed_at() (0 = no death declared yet).
+  [[nodiscard]] util::Nanos last_detection_latency() const noexcept {
+    return last_detection_latency_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Per-host lease state (all fields under health_mutex_).
+  struct HostLease {
+    /// Monotonic deadline of the current lease (0 = not yet armed).
+    util::Nanos deadline = 0;
+    /// Host completion count at the last renewal (progress detector).
+    std::uint64_t last_completed = 0;
+    /// Consecutive missed heartbeats; reset on renewal.
+    std::size_t missed = 0;
+    /// Consecutive failed half-open probes (backoff attempt number).
+    std::size_t probe_streak = 0;
+    /// Earliest instant the next half-open probe may fire.
+    util::Nanos next_probe = 0;
+  };
+
   void dispatch(faas::Submission task);
   /// Healthy-host selection + policy bookkeeping; handles the
   /// degradation ladder. Returns the chosen host.
@@ -229,6 +342,17 @@ class ClusterScheduler {
   /// from drain() like any completion.
   void record_shed(const faas::Submission& task, faas::SubmissionReject reject,
                    std::string_view detail);
+  /// Failure-detector verdict (health_mutex_ held): mark the host dead,
+  /// steal its backlog + in-flight set, re-dispatch orphans through the
+  /// ledger, and arm the half-open probe schedule.
+  void declare_dead_locked(std::size_t index, util::Nanos now);
+  /// Successful half-open probe (health_mutex_ held): rehydrate warm
+  /// pools, return the host to rotation, reset its lease.
+  void rejoin_locked(std::size_t index, util::Nanos now);
+  /// Guarded decrement of the hosts_quarantined_ gauge (never
+  /// underflows — a forced route may recover a host that was never
+  /// counted into the gauge).
+  void gauge_decrement_quarantined();
 
   ClusterConfig config_;
   std::unique_ptr<LoadBalancePolicy> policy_;
@@ -253,6 +377,31 @@ class ClusterScheduler {
   std::atomic<std::uint64_t> shed_count_{0};
   std::atomic<std::uint64_t> shed_queue_full_{0};
   std::atomic<std::uint64_t> spurious_sheds_{0};
+
+  // --- crash tolerance (DESIGN.md §5.7) ------------------------------------
+  /// Per-host leases; indexed like hosts_. Guarded by health_mutex_.
+  std::vector<HostLease> leases_;
+  /// Orphan ledger (health_mutex_): keys of in-flight submissions stolen
+  /// off declared-dead hosts. delivered_orphans_ records which of those
+  /// keys already surfaced one outcome — the second one is suppressed.
+  std::unordered_set<std::uint64_t> orphan_keys_;
+  std::unordered_set<std::uint64_t> delivered_orphans_;
+  /// Half-open probe schedule; rng state guarded by health_mutex_.
+  util::Backoff probe_backoff_;
+  util::Xoshiro256 probe_rng_;
+
+  std::atomic<std::uint64_t> missed_heartbeats_{0};
+  std::atomic<std::uint64_t> hosts_declared_dead_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> hosts_rejoined_{0};
+  std::atomic<std::uint64_t> orphans_redispatched_{0};
+  std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<util::Nanos> last_detection_latency_{0};
+
+  /// Background sweeper: the time-based health-sweep fallback. Declared
+  /// LAST so it stops before any state it sweeps is torn down; the dtor
+  /// additionally stops it before closing the pull queue.
+  std::jthread sweeper_;
 };
 
 }  // namespace horse::cluster

@@ -69,6 +69,15 @@ util::Nanos SimCluster::queue_delay_estimate() const {
 
 void SimCluster::record_rejection(const Task& task, util::Nanos at,
                                   faas::SubmissionReject reject) {
+  // The ledger covers rejections too: if an orphan's re-dispatched copy
+  // expires at dequeue AFTER its zombie already completed (or vice
+  // versa), the second typed outcome is suppressed — exactly one outcome
+  // per seq, whatever its kind.
+  if (orphan_seqs_.contains(task.seq) &&
+      !delivered_orphans_.insert(task.seq).second) {
+    ++duplicates_suppressed_;
+    return;
+  }
   SimRejection rejection;
   rejection.seq = task.seq;
   rejection.function = task.function;
@@ -87,6 +96,10 @@ bool SimCluster::expire_if_due(const Task& task, util::Nanos at) {
 
 void SimCluster::start_on(HostId id, Task task, util::Nanos at) {
   SimHost& host = hosts_[id];
+  // In-flight registration BEFORE the service field is rewritten below:
+  // the stolen copy keeps the nominal (pre-scaling) service time so a
+  // re-dispatched orphan re-scales on its rescue host, as in reality.
+  host.running.emplace(task.seq, task);
   // Same α = 1/8 update the real Host applies at task pickup.
   host.queueing_ewma += ((at - task.arrival) - host.queueing_ewma) / 8;
   ++host.in_flight;
@@ -192,6 +205,7 @@ void SimCluster::complete_due(util::Nanos now) {
     finishes_.pop();
     SimHost& host = hosts_[finish.host];
     --host.in_flight;
+    host.running.erase(finish.task.seq);  // no-op if declare_dead stole it
     SimCompletion done;
     done.seq = finish.task.seq;
     done.function = finish.task.function;
@@ -200,7 +214,15 @@ void SimCluster::complete_due(util::Nanos now) {
     done.finish = finish.time;
     done.start = finish.time - finish.task.service;
     done.deadline = finish.task.deadline;
-    completions_.push_back(done);
+    // Dedup ledger: an orphaned seq delivers exactly one completion —
+    // zombie or re-dispatched copy, whichever finishes first; the second
+    // sighting is suppressed (the scheduler's drain()-merge mirror).
+    if (orphan_seqs_.contains(done.seq) &&
+        !delivered_orphans_.insert(done.seq).second) {
+      ++duplicates_suppressed_;
+    } else {
+      completions_.push_back(done);
+    }
     if (params_.dispatch == DispatchMode::kPush) {
       // The freed slot starts the host's own backlog head (push keeps
       // per-host FIFO order). Unhealthy hosts still finish in-flight work
@@ -310,6 +332,81 @@ void SimCluster::redispatch(std::uint64_t seq, util::Nanos at) {
     pull_try_bind(at);
   } else {
     push_dispatch(std::move(task), at);
+  }
+}
+
+void SimCluster::crash_host(HostId host, util::Nanos at) {
+  advance_to(at);
+  SimHost& victim = hosts_.at(host);
+  victim.crashed = true;
+  victim.healthy = false;
+  victim.params.warm_slots = 0;  // a dead host's warm state is gone
+  SimDecision event;
+  event.time = at;
+  event.host = host;
+  event.kind = SimEventKind::kCrash;
+  decisions_.push_back(std::move(event));
+}
+
+std::vector<std::uint64_t> SimCluster::declare_dead(HostId host,
+                                                    util::Nanos at) {
+  advance_to(at);
+  SimHost& victim = hosts_.at(host);
+  victim.healthy = false;
+  std::vector<std::uint64_t> seqs;
+  // Queued backlog: never started, so plain exactly-once re-dispatch.
+  for (Task& task : victim.queue) {
+    seqs.push_back(task.seq);
+    task.redispatched = true;
+    stolen_.push_back(std::move(task));
+  }
+  victim.queue.clear();
+  // In-flight orphans: their Finish entries stay scheduled (the host
+  // always finishes a started task — the zombie), and a fresh copy goes
+  // through the ledger so exactly one completion per seq survives.
+  // Sorted by seq: unordered_map iteration order must not leak into the
+  // stolen set, or seed replay would stop being bit-identical.
+  std::vector<Task> orphans;
+  orphans.reserve(victim.running.size());
+  for (auto& [seq, task] : victim.running) {
+    orphans.push_back(std::move(task));
+  }
+  victim.running.clear();
+  std::sort(orphans.begin(), orphans.end(),
+            [](const Task& a, const Task& b) { return a.seq < b.seq; });
+  for (Task& task : orphans) {
+    if (task.redispatched) {
+      // A copy already re-dispatched off an earlier death: its zombie IS
+      // the surviving outcome; a second copy would make three sightings.
+      continue;
+    }
+    orphan_seqs_.insert(task.seq);
+    seqs.push_back(task.seq);
+    task.redispatched = true;
+    stolen_.push_back(std::move(task));
+  }
+  SimDecision event;
+  event.time = at;
+  event.host = host;
+  event.kind = SimEventKind::kDeclareDead;
+  decisions_.push_back(std::move(event));
+  return seqs;
+}
+
+void SimCluster::recover_host(HostId host, util::Nanos at,
+                              std::size_t rehydrated_warm_slots) {
+  advance_to(at);
+  SimHost& revived = hosts_.at(host);
+  revived.crashed = false;
+  revived.healthy = true;
+  revived.params.warm_slots = rehydrated_warm_slots;
+  SimDecision event;
+  event.time = at;
+  event.host = host;
+  event.kind = SimEventKind::kRejoin;
+  decisions_.push_back(std::move(event));
+  if (params_.dispatch == DispatchMode::kPull) {
+    pull_try_bind(at);  // the rejoined host's slots are pullable again
   }
 }
 

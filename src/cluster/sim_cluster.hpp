@@ -28,12 +28,26 @@
 // warm-aware policy. Every decision records the candidate snapshot vector
 // it was made from, so invariants ("never picked a strictly-more-loaded
 // host") are checked against the exact evidence the policy saw.
+//
+// Crash mirror (the real scheduler's §5.7 model in virtual time):
+// crash_host() kills a host wholesale — out of rotation, warm slots gone,
+// but tasks already started STILL finish (the dispatcher-always-finishes
+// rule) and surface as zombie completions. declare_dead() steals the
+// queued backlog AND the in-flight orphans (the caller re-dispatches, as
+// the scheduler does) and registers the orphan seqs in a dedup ledger:
+// exactly one of {zombie, re-dispatched copy} lands in completions(); the
+// other bumps duplicates_suppressed(). recover_host() models restart +
+// warm rejoin (rehydrated warm slots restored). All three log typed
+// events (SimEventKind) into the decision log, so a seed's crash/recover
+// schedule replays bit-identically with everything else.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/load_balance.hpp"
@@ -75,7 +89,17 @@ struct SimClusterParams {
   std::vector<SimHostParams> hosts;
 };
 
-/// One routing decision, with the evidence it was made from.
+/// What a decision-log entry records: a routing decision, or one of the
+/// crash-tolerance lifecycle events (which carry host + time only).
+enum class SimEventKind : std::uint8_t {
+  kDispatch,
+  kCrash,
+  kDeclareDead,
+  kRejoin,
+};
+
+/// One routing decision (or lifecycle event), with the evidence it was
+/// made from.
 struct SimDecision {
   std::uint64_t seq = 0;
   util::Nanos time = 0;
@@ -88,6 +112,9 @@ struct SimDecision {
   std::vector<HostSnapshot> candidates;
   /// No healthy host existed; the ladder forced host 0.
   bool forced = false;
+  /// kDispatch for routing decisions; crash/declare-dead/rejoin events
+  /// interleave in the same log so seed replay covers the full schedule.
+  SimEventKind kind = SimEventKind::kDispatch;
 };
 
 struct SimCompletion {
@@ -153,6 +180,37 @@ class SimCluster {
   /// Re-dispatch a stolen task (by its original seq) at time `at`.
   void redispatch(std::uint64_t seq, util::Nanos at);
 
+  // --- crash mirror --------------------------------------------------------
+
+  /// Kill a host wholesale at `at`: out of rotation, warm slots gone.
+  /// Tasks it already started still run to completion (zombies); its
+  /// queued backlog stays put until declare_dead().
+  void crash_host(HostId host, util::Nanos at);
+
+  /// The failure detector's verdict, in virtual time: steal the dead
+  /// host's queued backlog AND its in-flight orphans into the stolen set,
+  /// register the orphan seqs in the dedup ledger, and return every seq
+  /// for the caller to redispatch() — exactly what the scheduler does at
+  /// declared death. Orphans' zombie completions are then deduped:
+  /// exactly one outcome per seq survives.
+  [[nodiscard]] std::vector<std::uint64_t> declare_dead(HostId host,
+                                                        util::Nanos at);
+
+  /// Restart + warm rejoin: the host re-enters rotation with
+  /// `rehydrated_warm_slots` modelled warm slots (the SnapshotManager
+  /// rehydration, seen through the MostWarmSlots policy's eyes).
+  void recover_host(HostId host, util::Nanos at,
+                    std::size_t rehydrated_warm_slots);
+
+  [[nodiscard]] bool host_crashed(HostId host) const {
+    return hosts_.at(host).crashed;
+  }
+  /// Zombie completions dropped by the dedup ledger (each orphaned seq
+  /// completes exactly once; the other sighting lands here).
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const noexcept {
+    return duplicates_suppressed_;
+  }
+
   /// Pre-load `count` synthetic tasks of `service` each onto a host at the
   /// current virtual time, bypassing the policy (occupancy control).
   void occupy(HostId host, std::size_t count, util::Nanos service);
@@ -191,8 +249,12 @@ class SimCluster {
   struct SimHost {
     SimHostParams params;
     bool healthy = true;
+    bool crashed = false;
     std::size_t in_flight = 0;
     std::deque<Task> queue;  // push-mode backlog
+    /// Tasks started but not finished, keyed by seq (pre-scaling service
+    /// copies) — the in-flight set declare_dead() steals orphans from.
+    std::unordered_map<std::uint64_t, Task> running;
     std::uint64_t dispatched = 0;
     /// Virtual-time queueing EWMA (α = 1/8), the admission estimate —
     /// the mirror of Host::queueing_ewma().
@@ -233,6 +295,11 @@ class SimCluster {
   std::vector<SimCompletion> completions_;
   std::vector<SimRejection> rejections_;
   std::vector<Task> stolen_;  // parked between steal_backlog and redispatch
+  /// Dedup ledger, mirroring the scheduler's: seqs orphaned off dead
+  /// hosts, and which of those already delivered their one completion.
+  std::unordered_set<std::uint64_t> orphan_seqs_;
+  std::unordered_set<std::uint64_t> delivered_orphans_;
+  std::uint64_t duplicates_suppressed_ = 0;
   util::Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_order_ = 0;

@@ -67,6 +67,10 @@ enum class SubmissionReject : std::uint8_t {
   kBreakerOpen,
   /// Ladder escalation to kRestore/kCold denied: host retry budget empty.
   kRetryBudgetExhausted,
+  /// A late completion from a declared-dead (zombie) host whose orphaned
+  /// submission was already re-dispatched and delivered: the duplicate is
+  /// counted, typed, and dropped so every idempotency key surfaces once.
+  kDuplicateSuppressed,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(
@@ -79,6 +83,7 @@ enum class SubmissionReject : std::uint8_t {
     case SubmissionReject::kShardOverload: return "shard_overload";
     case SubmissionReject::kBreakerOpen: return "breaker_open";
     case SubmissionReject::kRetryBudgetExhausted: return "retry_budget";
+    case SubmissionReject::kDuplicateSuppressed: return "duplicate_suppressed";
   }
   return "unknown";
 }

@@ -131,6 +131,7 @@ void Dispatcher::execute_and_record(Worker& worker, Submission task) {
   outcome.function = task.function;
   outcome.mode = task.mode;
   outcome.seq = task.seq;
+  outcome.key = task.key;
   // One clock read covers the queueing measurement, the deadline check,
   // and the sojourn check; the executor's own timing is the record's
   // business.

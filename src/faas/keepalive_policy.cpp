@@ -104,4 +104,9 @@ std::size_t HybridHistogramPolicy::oob_count(FunctionId function) const {
   return it == histories_.end() ? 0 : static_cast<std::size_t>(it->second.oob);
 }
 
+util::Nanos HybridHistogramPolicy::last_arrival(FunctionId function) const {
+  const auto it = histories_.find(function);
+  return it == histories_.end() ? -1 : it->second.last_arrival;
+}
+
 }  // namespace horse::faas

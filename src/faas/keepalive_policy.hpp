@@ -72,6 +72,11 @@ class HybridHistogramPolicy {
   [[nodiscard]] std::size_t sample_count(FunctionId function) const;
   [[nodiscard]] std::size_t oob_count(FunctionId function) const;
 
+  /// Most recent invocation arrival recorded for `function`, or -1 if it
+  /// has never been invoked. Warm-rejoin rehydration ranks functions by
+  /// this to pick the top-k recently-routed ones worth restoring first.
+  [[nodiscard]] util::Nanos last_arrival(FunctionId function) const;
+
   [[nodiscard]] const KeepAlivePolicyConfig& config() const noexcept {
     return config_;
   }

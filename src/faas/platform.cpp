@@ -169,6 +169,86 @@ util::Status Platform::ensure_snapshot_on(ControlShard& shard,
   return vanilla_->destroy(*sandbox);
 }
 
+void Platform::clear_warm_pools() {
+  // Shard-by-shard, like advance_time: no global pause, each pool is
+  // flushed under its own mutex and every evicted sandbox gets the full
+  // engine teardown (untrack + dequeue).
+  for (auto& shard_ptr : shards_) {
+    ControlShard& shard = *shard_ptr;
+    ShardLock lock(shard.mutex, shard.meter);
+    for (auto& sandbox : shard.pool.evict_all()) {
+      destroy_pooled(shard, *sandbox);
+    }
+  }
+}
+
+util::Status Platform::rehydrate(FunctionId function, std::size_t target) {
+  const std::size_t shard_index = shard_of(function);
+  ControlShard& s = *shards_[shard_index];
+  ShardLock lock(s.mutex, s.meter);
+  const auto spec = registry_.find(function);
+  if (!spec) {
+    return spec.status();
+  }
+  if (s.pool.available(function) >= target) {
+    return util::Status::ok();  // warm state intact (stall, not crash)
+  }
+  HORSE_RETURN_IF_ERROR(ensure_snapshot_on(s, shard_index, function));
+  while (s.pool.available(function) < target) {
+    // The kRestore recipe (see try_start_on), ending in the pool instead
+    // of an invocation: restore from the cached snapshot, start through
+    // the right engine, pause back into the warm pool.
+    auto restored = s.snapshots.restore(
+        s.snapshot_store.at(function),
+        next_sandbox_id_.fetch_add(1, std::memory_order_relaxed));
+    if (!restored) {
+      s.snapshot_store.erase(function);
+      return restored.status();
+    }
+    std::unique_ptr<vmm::Sandbox> sandbox = std::move(restored->sandbox);
+    if ((*spec)->sandbox.ull) {
+      HORSE_RETURN_IF_ERROR(horse_affine(shard_index).start(*sandbox));
+    } else {
+      HORSE_RETURN_IF_ERROR(vanilla_->start(*sandbox));
+    }
+    HORSE_RETURN_IF_ERROR(
+        pause_and_pool(s, shard_index, function, std::move(sandbox)));
+    ++s.counters.rehydrated_sandboxes;
+  }
+  return util::Status::ok();
+}
+
+std::vector<FunctionId> Platform::recently_invoked(std::size_t k) const {
+  // Rank every registered function by its keep-alive last-arrival time
+  // (recorded on every invocation regardless of adaptive_keep_alive).
+  // Ties — common when logical time never advances — break toward higher
+  // FunctionId, which is arbitrary but deterministic.
+  std::vector<std::pair<util::Nanos, FunctionId>> ranked;
+  const std::size_t num_functions = registry_.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ControlShard& shard = *shards_[s];
+    ShardLock lock(shard.mutex, shard.meter);
+    for (FunctionId id = static_cast<FunctionId>(s); id < num_functions;
+         id += static_cast<FunctionId>(shards_.size())) {
+      const util::Nanos last = shard.keep_alive.last_arrival(id);
+      if (last >= 0) {
+        ranked.emplace_back(last, id);
+      }
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a > b; });
+  if (ranked.size() > k) {
+    ranked.resize(k);
+  }
+  std::vector<FunctionId> out;
+  out.reserve(ranked.size());
+  for (const auto& [last, id] : ranked) {
+    out.push_back(id);
+  }
+  return out;
+}
+
 util::Expected<InvocationRecord> Platform::invoke(FunctionId function,
                                                   workloads::Request request,
                                                   StartMode mode) {

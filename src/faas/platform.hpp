@@ -158,6 +158,9 @@ struct PlatformCounters {
   /// Invocations refused because their deadline had already passed when
   /// the shard picked them up.
   std::uint64_t deadline_rejections = 0;
+  // --- crash-tolerance counters --------------------------------------------
+  /// Sandboxes restored into the warm pool by rehydrate() (warm rejoin).
+  std::uint64_t rehydrated_sandboxes = 0;
 
   PlatformCounters& operator+=(const PlatformCounters& other) noexcept {
     invocations += other.invocations;
@@ -175,6 +178,7 @@ struct PlatformCounters {
     breaker_opens += other.breaker_opens;
     budget_denied_escalations += other.budget_denied_escalations;
     deadline_rejections += other.deadline_rejections;
+    rehydrated_sandboxes += other.rehydrated_sandboxes;
     return *this;
   }
 };
@@ -358,6 +362,28 @@ class Platform {
   [[nodiscard]] CircuitBreaker::State breaker_state(FunctionId function) const;
   /// Aggregated breaker stats for `function` (zeros when none exists).
   [[nodiscard]] CircuitBreaker::Stats breaker_stats(FunctionId function) const;
+
+  // --- crash tolerance / warm rejoin ---------------------------------------
+
+  /// Crash model: destroy every pooled warm sandbox on every shard — a
+  /// host that dies loses its warm state wholesale. Provisioned floors
+  /// and keep-alive overrides survive (policy, not state), so a later
+  /// rehydrate() can build the pools back up.
+  void clear_warm_pools();
+
+  /// Warm-rejoin rehydration: top `function`'s warm pool back up to
+  /// `target` paused sandboxes by restoring from its snapshot (taken
+  /// first if none exists) — the kRestore recipe, ending in the pool
+  /// instead of an invocation. Idempotent: a pool already at/above
+  /// `target` is left untouched, so rejoin after a mere stall (warm state
+  /// intact) restores nothing.
+  util::Status rehydrate(FunctionId function, std::size_t target);
+
+  /// The up-to-k most recently invoked registered functions, most recent
+  /// first, ranked by the keep-alive history's last-arrival time. This is
+  /// what warm rejoin rehydrates: the functions traffic was actually
+  /// routing here before the crash.
+  [[nodiscard]] std::vector<FunctionId> recently_invoked(std::size_t k) const;
 
   // --- shard observability ------------------------------------------------
 

@@ -50,6 +50,13 @@ struct Submission {
   util::Nanos deadline = 0;
   /// Frontend-assigned identity (1-based per frontend; 0 = untagged).
   std::uint64_t seq = 0;
+  /// Stable idempotency key, assigned once at the frontend and preserved
+  /// across every re-dispatch of the same logical submission. The crash
+  /// dedup ledger keys on it: a late completion from a declared-dead host
+  /// and the completion of its re-dispatched copy carry the SAME key, so
+  /// exactly one of them surfaces. 0 = untagged (single-host Invoker
+  /// paths that never re-dispatch).
+  std::uint64_t key = 0;
   /// Set when a cluster re-dispatches after a stall/drop: re-dispatched
   /// submissions are exempt from the dispatch faults, which is what makes
   /// "re-dispatched exactly once" a structural property.
@@ -63,6 +70,7 @@ struct SubmissionOutcome {
   InvocationRecord record;   // valid when status.is_ok()
   util::Nanos queueing = 0;  // submit-to-start wait (monotonic clock)
   std::uint64_t seq = 0;     // copied from the Submission
+  std::uint64_t key = 0;     // idempotency key, copied from the Submission
   std::size_t host = 0;      // executing host (cluster mode; 0 single-host)
   /// Why the submission was refused, when it was (status not OK and no
   /// record). kNone for completed work AND for ordinary invocation

@@ -68,6 +68,18 @@ std::vector<std::unique_ptr<vmm::Sandbox>> WarmPool::evict_expired(
   return evicted;
 }
 
+std::vector<std::unique_ptr<vmm::Sandbox>> WarmPool::evict_all() {
+  std::vector<std::unique_ptr<vmm::Sandbox>> evicted;
+  for (auto& [function, pool] : pools_) {
+    for (Entry& entry : pool) {
+      evicted.push_back(std::move(entry.sandbox));
+      --total_;
+    }
+    pool.clear();
+  }
+  return evicted;
+}
+
 std::size_t WarmPool::available(FunctionId function) const {
   const auto it = pools_.find(function);
   return it == pools_.end() ? 0 : it->second.size();

@@ -81,6 +81,13 @@ class WarmPool {
   /// Returns the evicted sandboxes (caller destroys them properly).
   std::vector<std::unique_ptr<vmm::Sandbox>> evict_expired(util::Nanos now);
 
+  /// Evict EVERY pooled sandbox, ignoring keep-alive and provisioned
+  /// floors — the crash model: a dead host's warm state is gone, full
+  /// stop. Floors and keep-alive overrides survive (they are policy, not
+  /// state) so a rejoining host can be rehydrated back up to them.
+  /// Returns the evicted sandboxes (caller destroys them properly).
+  std::vector<std::unique_ptr<vmm::Sandbox>> evict_all();
+
   [[nodiscard]] std::size_t available(FunctionId function) const;
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
 

@@ -1,14 +1,19 @@
-// Cluster fault-ladder tests: the cluster.host_stall and
-// cluster.dispatch_drop sites drive quarantine, exactly-once re-dispatch,
-// and the degrade-to-single-host / force-recover rungs. Compiled only
-// with HORSE_FAULT_INJECTION (the binary is gated in CMake).
+// Cluster fault-ladder tests: the cluster.host_stall, cluster.host_crash
+// and cluster.dispatch_drop sites drive quarantine, declared death,
+// exactly-once re-dispatch (including orphan recovery with zombie
+// dedup), rejoin, and the degrade-to-single-host / force-recover rungs.
+// Compiled only with HORSE_FAULT_INJECTION (the binary is gated in
+// CMake).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "cluster/scheduler.hpp"
 #include "util/fault_injection.hpp"
 #include "workloads/array_filter.hpp"
+#include "workloads/cpu_burner.hpp"
 
 namespace horse::cluster {
 namespace {
@@ -43,6 +48,11 @@ class ClusterFaultTest : public ::testing::Test {
     config.policy = PolicyKind::kRoundRobin;
     config.health_check_interval = 4;
     config.platform.num_cpus = 4;
+    // Quarantine is unsticky now (half-open probes rejoin hosts), so
+    // tests asserting on the hosts_quarantined GAUGE push the first
+    // probe far past their own lifetime. Rejoin tests override this.
+    config.health.probe_backoff_base = 3600 * util::kSecond;
+    config.health.probe_backoff_cap = 3600 * util::kSecond;
     return config;
   }
 
@@ -96,7 +106,12 @@ TEST_F(ClusterFaultTest, StallLadderDegradesToSingleHostThenForcedRoute) {
   }
   expect_exactly_once(cluster.drain(), 12);
   const ClusterCounters counters = cluster.counters();
-  EXPECT_GE(counters.hosts_quarantined, 2u);
+  // hosts_quarantined is a gauge now; quarantine EVENTS = gauge +
+  // rejoins + forced routes (each forced route force-recovers exactly
+  // one counted-out host).
+  EXPECT_GE(counters.hosts_quarantined + counters.hosts_rejoined +
+                counters.forced_routes,
+            2u);
   EXPECT_TRUE(counters.degraded_single_host);
   EXPECT_GE(counters.forced_routes, 1u);
   EXPECT_EQ(counters.completed, 12u);
@@ -160,6 +175,188 @@ TEST_F(ClusterFaultTest, QuarantinedHostKeepsItsHealthFlagUntilRecovered) {
   // Dirigent-style: the only cluster record of the quarantine is the
   // host's own flag, and it survives into stats().
   EXPECT_EQ(unhealthy, 1u);
+}
+
+// --- crash tolerance (cluster.host_crash, §5.7) ----------------------------
+
+faas::FunctionSpec burner_spec() {
+  faas::FunctionSpec spec;
+  spec.name = "burner";
+  spec.implementation = std::make_shared<workloads::CpuBurnerFunction>();
+  spec.sandbox.name = "burner-sb";
+  spec.sandbox.num_vcpus = 1;
+  spec.sandbox.memory_mb = 1;
+  spec.sandbox.ull = true;
+  return spec;
+}
+
+TEST_F(ClusterFaultTest, CrashedHostIsDeclaredDeadAndBacklogRedispatched) {
+  ClusterConfig config = make_config(2, DispatchMode::kPush);
+  // Deterministic detector: every no-progress sweep of the dead host is a
+  // missed heartbeat, and two misses kill it — drain's sweeps get there
+  // without wall-clock tuning.
+  config.health.lease_duration = 0;
+  config.health.missed_to_death = 2;
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  // The first submission's host dies at the submit probe: its queue keeps
+  // accepting work (routing still sees it healthy) until the detector
+  // declares it dead and the backlog re-dispatches.
+  const auto fault = util::ScopedFault::nth("cluster.host_crash", 1);
+  for (int i = 0; i < 20; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 20);
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.host_crashes, 1u);
+  EXPECT_GE(counters.missed_heartbeats, 2u);
+  EXPECT_EQ(counters.hosts_declared_dead, 1u);
+  EXPECT_GE(counters.redispatched, 1u);
+  EXPECT_EQ(counters.duplicates_suppressed, counters.orphans_redispatched)
+      << "every orphan's zombie completion must be suppressed exactly once";
+}
+
+TEST_F(ClusterFaultTest, ZombieCompletionIsSuppressedExactlyOnce) {
+  ClusterConfig config = make_config(2, DispatchMode::kPull);
+  config.health_check_interval = 0;  // sweeps are driven manually below
+  config.health.sweep_period = 0;
+  config.health.lease_duration = 0;
+  config.health.missed_to_death = 1;
+  ClusterScheduler cluster(config);
+  const auto burner = cluster.register_function(burner_spec);
+  ASSERT_TRUE(burner);
+  // Pull mode probes the crash at task PICKUP — after the in-flight
+  // registration — so the crashing host is mid-execution of a long
+  // burner task: the canonical zombie.
+  const auto fault = util::ScopedFault::nth("cluster.host_crash", 1);
+  workloads::Request slow;
+  slow.threshold = 500'000;  // prime-search bound: tens of ms of work
+  cluster.submit(*burner, std::move(slow), faas::StartMode::kCold);
+  // The crash flag is set synchronously at pickup, well before the burner
+  // finishes; once visible, the task is guaranteed still in flight.
+  while (cluster.counters().host_crashes == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // First sweep may renew on completion progress; the second must miss
+  // (missed_to_death = 1) and declare death, stealing the orphan.
+  cluster.check_health();
+  cluster.check_health();
+  const std::vector<faas::SubmissionOutcome> outcomes = cluster.drain();
+  // Exactly ONE outcome surfaces for the single submission, even though
+  // two completions happened (zombie + re-dispatched copy).
+  expect_exactly_once(outcomes, 1);
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.hosts_declared_dead, 1u);
+  EXPECT_EQ(counters.orphans_redispatched, 1u);
+  EXPECT_EQ(counters.duplicates_suppressed, 1u);
+  EXPECT_EQ(counters.completed, 2u) << "zombie + copy both ran to completion";
+}
+
+TEST_F(ClusterFaultTest, CrashLadderServesDeadlineTrafficViaForcedRoutes) {
+  // PR6 × PR5 × crash interaction: every fresh submission kills its host,
+  // deadlines and admission stay active, and the zero-healthy rung must
+  // still route — every submission ends completed XOR typed-shed.
+  ClusterConfig config = make_config(2, DispatchMode::kPush);
+  config.health_check_interval = 1;
+  config.health.lease_duration = 0;
+  config.health.missed_to_death = 1;
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  const auto fault = util::ScopedFault::always("cluster.host_crash");
+  constexpr int kTotal = 12;
+  for (int i = 0; i < kTotal; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold,
+                   util::monotonic_now() + 10 * util::kSecond);
+  }
+  const std::vector<faas::SubmissionOutcome> outcomes = cluster.drain();
+  std::set<std::uint64_t> seqs;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(seqs.insert(outcome.seq).second)
+        << "seq " << outcome.seq << " surfaced twice";
+    if (outcome.status.is_ok()) {
+      ++ok;
+    } else {
+      EXPECT_NE(outcome.reject, faas::SubmissionReject::kNone)
+          << "failed outcome must carry a typed reject";
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, static_cast<std::size_t>(kTotal));
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_GE(counters.host_crashes, 1u);
+  EXPECT_GE(counters.forced_routes, 1u);
+}
+
+TEST_F(ClusterFaultTest, RestartedHostRejoinsWarmThroughHalfOpenProbe) {
+  ClusterConfig config = make_config(2, DispatchMode::kPush);
+  config.health_check_interval = 0;  // manual sweeps: deterministic steps
+  config.health.sweep_period = 0;
+  config.health.lease_duration = 0;
+  config.health.missed_to_death = 1;
+  config.health.probe_backoff_base = 1;  // probes due immediately
+  config.health.probe_backoff_cap = 2;
+  config.health.rehydrate_top_k = 2;
+  config.health.rehydrate_per_function = 1;
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  // Warm-up traffic: records recent invocations (the rehydration ranking)
+  // and builds the snapshots rehydrate() restores from.
+  for (int i = 0; i < 16; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  (void)cluster.drain();
+  cluster.host(0).crash();
+  cluster.check_health();  // may renew on warm-up progress
+  cluster.check_health();  // no progress, not responsive: declared dead
+  ASSERT_EQ(cluster.counters().hosts_declared_dead, 1u);
+  EXPECT_FALSE(cluster.host(0).healthy());
+  // Dead host flunks its probes; the gauge holds.
+  cluster.check_health();
+  EXPECT_EQ(cluster.counters().hosts_rejoined, 0u);
+  // Process restart: the next probe answers, rehydration runs, and only
+  // then does the host rejoin rotation — warm, not cold.
+  cluster.host(0).restart();
+  cluster.check_health();
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.hosts_rejoined, 1u);
+  EXPECT_EQ(counters.hosts_quarantined, 0u) << "gauge decrements on rejoin";
+  EXPECT_TRUE(cluster.host(0).healthy());
+  EXPECT_GE(counters.rehydrated_sandboxes, 1u);
+  EXPECT_GE(cluster.host(0).platform().warm_pool().available(*filter), 1u)
+      << "post-failover traffic must find warm sandboxes, not cold starts";
+}
+
+TEST_F(ClusterFaultTest, StalledHostRejoinsAndGaugeDecrements) {
+  // Unsticky quarantine for plain stalls too: a stalled-then-quarantined
+  // host answers its half-open probe (the process never died) and comes
+  // back without force_recover.
+  ClusterConfig config = make_config(3, DispatchMode::kPush);
+  config.health.probe_backoff_base = 1;
+  config.health.probe_backoff_cap = 2;
+  config.health.rehydrate_top_k = 0;  // rejoin ladder works without warmth
+  ClusterScheduler cluster(config);
+  const auto filter = cluster.register_function(filter_spec);
+  ASSERT_TRUE(filter);
+  const auto fault = util::ScopedFault::nth("cluster.host_stall", 1);
+  for (int i = 0; i < 12; ++i) {
+    cluster.submit(*filter, filter_request(), faas::StartMode::kCold);
+  }
+  expect_exactly_once(cluster.drain(), 12);
+  // The probe is due (1-2 ns backoff): one sweep rejoins the host.
+  cluster.check_health();
+  const ClusterCounters counters = cluster.counters();
+  EXPECT_EQ(counters.host_stalls, 1u);
+  EXPECT_GE(counters.hosts_rejoined, 1u);
+  EXPECT_EQ(counters.hosts_quarantined, 0u);
+  EXPECT_FALSE(counters.degraded_single_host);
+  for (std::size_t i = 0; i < cluster.num_hosts(); ++i) {
+    EXPECT_TRUE(cluster.host(i).healthy()) << "host " << i;
+  }
 }
 
 }  // namespace
