@@ -81,6 +81,7 @@
 #include "util/rng.hpp"
 #include "util/time.hpp"
 #include "workloads/array_filter.hpp"
+#include "workloads/firewall.hpp"
 #include "workloads/nat.hpp"
 
 namespace {
@@ -123,6 +124,13 @@ struct Options {
   bool crash_sweep = false;
   /// --no-rehydrate: disable rejoin rehydration (the baseline column).
   bool rehydrate = true;
+  // --- workflow chains (single-host) ----------------------------------------
+  /// E21: comma-separated stage workloads (firewall|nat|array_filter),
+  /// e.g. --chain firewall,nat,array_filter. Measures the same chain
+  /// fused (one kHorse resume), unfused (per-hop dispatch), and
+  /// cross-sandbox (shape-mismatched stages, planner splits) and gates on
+  /// fused strictly beating unfused p99.
+  std::string chain;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -136,7 +144,8 @@ Options parse_args(int argc, char** argv) {
                  "    [--dispatch push|pull] [--skew] [--seed S]\n"
                  "    [--deadline-us D] [--overload-sweep] [--no-admission]\n"
                  "    [--kill-host ID@N] [--restart-after-us U]\n"
-                 "    [--crash-sweep] [--no-rehydrate]\n";
+                 "    [--crash-sweep] [--no-rehydrate]\n"
+                 "    [--chain w1,w2,... (firewall|nat|array_filter)]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -208,6 +217,8 @@ Options parse_args(int argc, char** argv) {
       options.crash_sweep = true;
     } else if (arg == "--no-rehydrate") {
       options.rehydrate = false;
+    } else if (arg == "--chain") {
+      options.chain = next();
     } else {
       usage();
     }
@@ -243,6 +254,13 @@ Options parse_args(int argc, char** argv) {
     if (options.deadline_us == 0) {
       options.deadline_us = 5000;  // 5 ms of slack by default
     }
+  }
+  if (!options.chain.empty() &&
+      (options.hosts != 0 || options.overload_sweep || options.kill ||
+       options.crash_sweep)) {
+    std::cerr << "--chain is a single-host mode (no --hosts/--overload-sweep/"
+                 "--kill-host/--crash-sweep)\n";
+    std::exit(2);
   }
   return options;
 }
@@ -1265,10 +1283,295 @@ int run_crash_sweep(const Options& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Workflow chains (--chain w1,w2,...): the E21 driver. The same stage list
+// is measured three ways on a fresh platform each:
+//   * fused         — all-uLL, same sandbox shape: the planner fuses the
+//                     whole chain into ONE kHorse resume (one pool take,
+//                     one resume prologue, in-sandbox handoff);
+//   * unfused       — identical stages, dispatched per hop: every stage
+//                     pays its own pool take + resume prologue (what a
+//                     chain cost before platform-side fusion);
+//   * cross-sandbox — identical stages but mismatched sandbox shapes
+//                     (memory grows per stage), so no edge is fusable and
+//                     invoke_chain degrades to per-stage segments.
+// The gate: fused p99 must be strictly below unfused p99, or fusion is
+// dead weight and the run exits non-zero.
+// ---------------------------------------------------------------------------
+
+struct ChainStageKind {
+  std::string name;
+  std::shared_ptr<workloads::Function> (*make)();
+};
+
+std::shared_ptr<workloads::Function> make_firewall() {
+  return std::make_shared<workloads::FirewallFunction>(256);
+}
+std::shared_ptr<workloads::Function> make_nat() {
+  return std::make_shared<workloads::NatFunction>(64);
+}
+std::shared_ptr<workloads::Function> make_array_filter() {
+  return std::make_shared<workloads::ArrayFilterFunction>();
+}
+
+std::vector<ChainStageKind> parse_chain_stages(const std::string& spec) {
+  std::vector<ChainStageKind> stages;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string name =
+        spec.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    if (name == "firewall") {
+      stages.push_back({name, &make_firewall});
+    } else if (name == "nat") {
+      stages.push_back({name, &make_nat});
+    } else if (name == "array_filter") {
+      stages.push_back({name, &make_array_filter});
+    } else {
+      std::cerr << "--chain: unknown workload '" << name
+                << "' (want firewall|nat|array_filter)\n";
+      std::exit(2);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return stages;
+}
+
+workloads::Request chain_request() {
+  workloads::Request request = packet_request();
+  request.payload = {5, 10, 15, 20};
+  request.threshold = 7;
+  return request;
+}
+
+struct ChainVariantResult {
+  std::string variant;
+  std::uint64_t iterations = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t fused_segments = 0;
+  std::uint64_t fallback_stages = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// One variant on a fresh platform: register the stages (same shape when
+/// `same_shape`, growing memory footprints otherwise), provision + snapshot
+/// every stage, then time `iterations` end-to-end chain executions.
+/// `per_hop` dispatches stage by stage through Platform::invoke (the
+/// pre-fusion baseline); otherwise the chain goes through invoke_chain and
+/// the planner decides.
+int run_chain_variant(const Options& options, const char* variant,
+                      const std::vector<ChainStageKind>& kinds,
+                      bool same_shape, bool per_hop,
+                      ChainVariantResult& result) {
+  faas::PlatformConfig config;
+  config.num_cpus = options.cpus;
+  config.horse.num_ull_runqueues = options.ull_queues;
+  std::optional<faas::Platform> platform_storage;
+  try {
+    platform_storage.emplace(config);
+  } catch (const std::exception& error) {
+    std::cerr << "invalid configuration: " << error.what() << "\n";
+    return 2;
+  }
+  faas::Platform& platform = *platform_storage;
+
+  faas::WorkflowSpec workflow;
+  workflow.name = "bench-chain";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    faas::FunctionSpec spec;
+    spec.name = std::string(variant) + "-" + kinds[i].name + "-" +
+                std::to_string(i);
+    spec.implementation = kinds[i].make();
+    spec.sandbox.name = spec.name + "-sb";
+    spec.sandbox.num_vcpus = 1;
+    // Same shape → every adjacent uLL pair fuses; growing footprint →
+    // no downstream stage fits the upstream sandbox, planner splits.
+    spec.sandbox.memory_mb = same_shape ? 1 : (1u << i);
+    spec.sandbox.ull = true;
+    const auto id = platform.registry().add(std::move(spec));
+    if (!id) {
+      std::cerr << "register failed: " << id.status().to_report() << "\n";
+      return 1;
+    }
+    workflow.stages.push_back(*id);
+    // The unfused/cross-sandbox variants resume every stage from its own
+    // pool; the fused variant only ever takes the entry sandbox, but
+    // provisioning all keeps the three platforms identically prepared.
+    if (!platform.provision(*id, std::max<std::size_t>(1, options.provision))
+             .is_ok() ||
+        !platform.ensure_snapshot(*id).is_ok()) {
+      std::cerr << "provision failed for stage " << kinds[i].name << "\n";
+      return 1;
+    }
+  }
+  const auto workflow_id = platform.registry().add_workflow(workflow);
+  if (!workflow_id) {
+    std::cerr << "workflow registration failed: "
+              << workflow_id.status().to_report() << "\n";
+    return 1;
+  }
+  const faas::WorkflowSpec& spec = **platform.registry().find_workflow(
+      *workflow_id);
+
+  const std::size_t warmup = 64;
+  const std::size_t iterations = std::max<std::size_t>(1, options.per_thread);
+  metrics::Histogram latency;
+  std::uint64_t failed = 0;
+  for (std::size_t i = 0; i < warmup + iterations; ++i) {
+    const util::Stopwatch watch;
+    bool ok = true;
+    if (per_hop) {
+      // The pre-fusion shape: each hop is its own dispatch (pool take,
+      // resume prologue, pause-and-pool), edges applied by the caller.
+      workloads::Request request = chain_request();
+      for (std::size_t hop = 0; hop < spec.stages.size(); ++hop) {
+        const auto record = platform.invoke(spec.stages[hop], request,
+                                            faas::StartMode::kHorse);
+        if (!record) {
+          ok = false;
+          break;
+        }
+        if (hop + 1 < spec.stages.size() &&
+            !faas::apply_edge(spec.edges[hop], record->response, request)) {
+          break;  // gated (never fires for these workloads' requests)
+        }
+      }
+    } else {
+      const auto chain = platform.invoke_chain(*workflow_id, chain_request(),
+                                               faas::StartMode::kHorse);
+      ok = chain.has_value();
+    }
+    if (i < warmup) {
+      continue;
+    }
+    if (ok) {
+      latency.record(watch.elapsed());
+    } else {
+      ++failed;
+    }
+  }
+
+  const faas::PlatformCounters counters = platform.counters();
+  result.variant = variant;
+  result.iterations = iterations;
+  result.failed = failed;
+  result.fused_segments = counters.fused_segments;
+  result.fallback_stages = counters.chain_fallback_stages;
+  result.p50 = latency.p50();
+  result.p99 = latency.p99();
+  if (failed == iterations) {
+    std::cerr << "chain variant '" << variant << "' never completed\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_chain(const Options& options) {
+  const std::vector<ChainStageKind> kinds = parse_chain_stages(options.chain);
+  if (kinds.size() < 2) {
+    std::cerr << "--chain wants at least two stages\n";
+    return 2;
+  }
+
+  ChainVariantResult fused;
+  ChainVariantResult unfused;
+  ChainVariantResult cross;
+  if (const int rc = run_chain_variant(options, "fused", kinds,
+                                       /*same_shape=*/true, /*per_hop=*/false,
+                                       fused);
+      rc != 0) {
+    return rc;
+  }
+  if (const int rc = run_chain_variant(options, "unfused", kinds,
+                                       /*same_shape=*/true, /*per_hop=*/true,
+                                       unfused);
+      rc != 0) {
+    return rc;
+  }
+  if (const int rc = run_chain_variant(options, "cross-sandbox", kinds,
+                                       /*same_shape=*/false,
+                                       /*per_hop=*/false, cross);
+      rc != 0) {
+    return rc;
+  }
+  // The fused arm must actually have fused (one segment per iteration,
+  // none fell back) and the cross-sandbox arm must NOT have.
+  if (fused.fused_segments == 0) {
+    std::cerr << "chain gate FAILED: the fused variant never produced a "
+                 "fused segment (planner split an all-uLL same-shape "
+                 "chain)\n";
+    return 1;
+  }
+  if (cross.fused_segments != 0) {
+    std::cerr << "chain gate FAILED: the cross-sandbox variant fused "
+                 "despite mismatched sandbox shapes\n";
+    return 1;
+  }
+
+  metrics::TextTable table(
+      "Macro: workflow chain [" + options.chain + "], " +
+          std::to_string(kinds.size()) + " stages, kHorse",
+      {"variant", "iterations", "failed", "fused segs", "fallback stages",
+       "p50", "p99"});
+  for (const ChainVariantResult* row : {&fused, &unfused, &cross}) {
+    table.add_row({row->variant, std::to_string(row->iterations),
+                   std::to_string(row->failed),
+                   std::to_string(row->fused_segments),
+                   std::to_string(row->fallback_stages),
+                   metrics::format_nanos(static_cast<double>(row->p50)),
+                   metrics::format_nanos(static_cast<double>(row->p99))});
+  }
+  table.print(std::cout);
+
+  if (!options.csv_path.empty()) {
+    metrics::CsvWriter csv({"chain", "stages", "variant", "iterations",
+                            "failed", "fused_segments", "fallback_stages",
+                            "p50_ns", "p99_ns"});
+    for (const ChainVariantResult* row : {&fused, &unfused, &cross}) {
+      csv.add_row({options.chain, std::to_string(kinds.size()), row->variant,
+                   std::to_string(row->iterations),
+                   std::to_string(row->failed),
+                   std::to_string(row->fused_segments),
+                   std::to_string(row->fallback_stages),
+                   std::to_string(row->p50), std::to_string(row->p99)});
+    }
+    if (const auto status = csv.write_file(options.csv_path);
+        !status.is_ok()) {
+      std::cerr << "csv write failed: " << status.to_report() << "\n";
+      return 1;
+    }
+  }
+
+  // The E21 gate: fusing the chain into one resume must strictly beat
+  // per-hop dispatch at the tail, or the fusion path is dead weight.
+  if (fused.p99 >= unfused.p99) {
+    std::cerr << "chain gate FAILED: fused p99 "
+              << metrics::format_nanos(static_cast<double>(fused.p99))
+              << " is not strictly below unfused per-hop p99 "
+              << metrics::format_nanos(static_cast<double>(unfused.p99))
+              << "\n";
+    return 1;
+  }
+  std::cout << "chain gate passed: fused p99 "
+            << metrics::format_nanos(static_cast<double>(fused.p99))
+            << " < unfused per-hop p99 "
+            << metrics::format_nanos(static_cast<double>(unfused.p99))
+            << " (cross-sandbox p99 "
+            << metrics::format_nanos(static_cast<double>(cross.p99)) << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options options = parse_args(argc, argv);
+  if (!options.chain.empty()) {
+    return run_chain(options);
+  }
   if (options.overload_sweep) {
     return run_overload_sweep(options);
   }

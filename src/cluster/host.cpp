@@ -196,13 +196,44 @@ void Host::run_task(faas::Submission task, faas::SubmissionOutcome& outcome) {
   faas::InvokeControls controls;
   controls.now = util::monotonic_now();
   controls.deadline = task.deadline;
-  auto result = platform_.invoke(task.function, std::move(task.request),
-                                 task.mode, controls);
-  if (result) {
-    outcome.record = std::move(*result);
+  if (task.workflow != faas::kNoWorkflow) {
+    // Chain submission: resume from the hop cursor and keep the in-flight
+    // copy's cursor at the frontier as stages complete. If this host is
+    // declared dead mid-chain, take_inflight() hands the scheduler the
+    // advanced copy, so the re-dispatch resumes where we stopped and
+    // completed stages never re-execute. The callback runs under the
+    // executing shard's mutex; inflight_mutex_ is a leaf, so this nesting
+    // is always safe.
+    controls.hop = task.hop;
+    controls.on_hop = [this, &task](std::uint32_t hop,
+                                    faas::FunctionId function) {
+      std::lock_guard lock(inflight_mutex_);
+      const auto it = inflight_.find(task.key);
+      if (it != inflight_.end()) {
+        it->second.hop = hop;
+        it->second.function = function;
+      }
+    };
+    outcome.workflow = task.workflow;
+    outcome.chain_first_hop = task.hop;
+    auto result = platform_.invoke_chain(
+        task.workflow, std::move(task.request), task.mode, controls);
+    outcome.chain_stages = controls.hops_completed;
+    if (result) {
+      outcome.record = std::move(result->record);
+    } else {
+      outcome.status = result.status();
+      outcome.reject = controls.reject;
+    }
   } else {
-    outcome.status = result.status();
-    outcome.reject = controls.reject;
+    auto result = platform_.invoke(task.function, std::move(task.request),
+                                   task.mode, controls);
+    if (result) {
+      outcome.record = std::move(*result);
+    } else {
+      outcome.status = result.status();
+      outcome.reject = controls.reject;
+    }
   }
   // Done (the outcome is about to be recorded): leave the in-flight set.
   // If the health sweep stole the set first, this erase is a no-op and

@@ -107,6 +107,27 @@ util::Expected<faas::FunctionId> ClusterScheduler::register_function(
   return agreed;
 }
 
+util::Expected<faas::WorkflowId> ClusterScheduler::register_workflow(
+    const faas::WorkflowSpec& spec) {
+  bool first = true;
+  faas::WorkflowId agreed = 0;
+  for (auto& host : hosts_) {
+    auto result = host->platform().registry().add_workflow(spec);
+    if (!result) {
+      return result.status();
+    }
+    if (first) {
+      agreed = *result;
+      first = false;
+    } else if (*result != agreed) {
+      return util::Status{
+          util::StatusCode::kInternal,
+          "cluster: hosts disagree on workflow id (registries diverged)"};
+    }
+  }
+  return agreed;
+}
+
 util::Status ClusterScheduler::provision(faas::FunctionId function,
                                          std::size_t count) {
   for (auto& host : hosts_) {
@@ -143,21 +164,48 @@ void ClusterScheduler::submit(faas::FunctionId function,
 void ClusterScheduler::submit(faas::FunctionId function,
                               workloads::Request request, faas::StartMode mode,
                               util::Nanos deadline) {
+  faas::Submission task;
+  task.function = function;
+  task.mode = mode;
+  task.request = std::move(request);
+  task.deadline = deadline;
+  admit_and_dispatch(std::move(task));
+}
+
+void ClusterScheduler::submit_chain(faas::WorkflowId workflow,
+                                    workloads::Request request,
+                                    faas::StartMode mode,
+                                    util::Nanos deadline) {
+  faas::Submission task;
+  task.workflow = workflow;
+  task.hop = 0;
+  // Mirror the entry stage in `function` so routing policies and the
+  // per-shard dispatch paths see the chain under its first stage's
+  // identity. Unknown workflows keep function 0 and surface a typed
+  // NotFound outcome at the executing host — same late-failure contract
+  // as an unknown function id.
+  const auto spec =
+      hosts_.front()->platform().registry().find_workflow(workflow);
+  task.function = spec ? (*spec)->stages.front() : 0;
+  task.mode = mode;
+  task.request = std::move(request);
+  task.deadline = deadline;
+  admit_and_dispatch(std::move(task));
+}
+
+void ClusterScheduler::admit_and_dispatch(faas::Submission task) {
   const std::uint64_t seq =
       submitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (config_.health_check_interval != 0 &&
       seq % config_.health_check_interval == 0) {
     check_health();
   }
-  faas::Submission task;
-  task.function = function;
-  task.mode = mode;
-  task.request = std::move(request);
   task.enqueued_at = util::monotonic_now();
-  task.deadline = deadline;
   task.seq = seq;
   // Idempotency key, assigned exactly once at the front door and carried
-  // through every re-dispatch: the orphan ledger dedups on it.
+  // through every re-dispatch: the orphan ledger dedups on it. A chain
+  // carries ONE key (and one deadline) end-to-end — re-dispatches move
+  // its hop cursor, never mint a new identity.
   task.key = seq;
   if (config_.admission.enabled) {
     // Fault site first: a spurious shed exercises the whole typed-refusal
@@ -209,6 +257,8 @@ void ClusterScheduler::record_shed(const faas::Submission& task,
   outcome.mode = task.mode;
   outcome.seq = task.seq;
   outcome.key = task.key;
+  outcome.workflow = task.workflow;
+  outcome.chain_first_hop = task.hop;
   outcome.status = util::Status{reject == faas::SubmissionReject::kQueueFull
                                     ? util::StatusCode::kResourceExhausted
                                     : util::StatusCode::kUnavailable,

@@ -294,6 +294,20 @@ class ClusterScheduler {
   void submit(faas::FunctionId function, workloads::Request request,
               faas::StartMode mode, util::Nanos deadline);
 
+  /// Register the same workflow chain on every host (stage ids must
+  /// already agree across hosts — register_function guarantees that).
+  /// All hosts must agree on the workflow id.
+  [[nodiscard]] util::Expected<faas::WorkflowId> register_workflow(
+      const faas::WorkflowSpec& spec);
+
+  /// Submit a workflow chain as ONE routed unit: one submission, one
+  /// idempotency key, one deadline. The chain is dispatched under its
+  /// entry stage's identity; the executing host advances the hop cursor
+  /// as stages complete, so orphan recovery re-dispatches a mid-chain
+  /// casualty from its frontier and never re-executes completed stages.
+  void submit_chain(faas::WorkflowId workflow, workloads::Request request,
+                    faas::StartMode mode, util::Nanos deadline = 0);
+
   /// The admission check's queue-delay estimate: minimum dispatch-latency
   /// EWMA over healthy hosts (optimistic — the cluster sheds only when
   /// EVERY healthy host is already backed up past the slack).
@@ -333,6 +347,10 @@ class ClusterScheduler {
     util::Nanos next_probe = 0;
   };
 
+  /// Common front door for submit()/submit_chain(): assign seq + key,
+  /// run the periodic health check, apply admission (spurious-shed fault
+  /// site, deadline-slack shed), then dispatch.
+  void admit_and_dispatch(faas::Submission task);
   void dispatch(faas::Submission task);
   /// Healthy-host selection + policy bookkeeping; handles the
   /// degradation ladder. Returns the chosen host.

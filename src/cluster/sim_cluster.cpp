@@ -96,6 +96,7 @@ bool SimCluster::expire_if_due(const Task& task, util::Nanos at) {
 
 void SimCluster::start_on(HostId id, Task task, util::Nanos at) {
   SimHost& host = hosts_[id];
+  task.started_at = at;
   // In-flight registration BEFORE the service field is rewritten below:
   // the stolen copy keeps the nominal (pre-scaling) service time so a
   // re-dispatched orphan re-scales on its rescue host, as in reality.
@@ -103,8 +104,20 @@ void SimCluster::start_on(HostId id, Task task, util::Nanos at) {
   // Same α = 1/8 update the real Host applies at task pickup.
   host.queueing_ewma += ((at - task.arrival) - host.queueing_ewma) / 8;
   ++host.in_flight;
-  const auto scaled = static_cast<util::Nanos>(
-      static_cast<double>(task.service) * host.params.speed);
+  // Chains scale stage-by-stage so the finish time equals the last stage
+  // boundary exactly — declare_dead's hop arithmetic and the finish heap
+  // must place the same boundaries or a completed stage could look
+  // un-run (and re-execute) after an orphan re-dispatch.
+  util::Nanos scaled = 0;
+  if (task.stage_services.empty()) {
+    scaled = static_cast<util::Nanos>(
+        static_cast<double>(task.service) * host.params.speed);
+  } else {
+    for (std::size_t i = task.hop; i < task.stage_services.size(); ++i) {
+      scaled += static_cast<util::Nanos>(
+          static_cast<double>(task.stage_services[i]) * host.params.speed);
+    }
+  }
   Finish finish;
   finish.time = at + host.params.overhead + scaled;
   finish.order = next_order_++;
@@ -214,6 +227,9 @@ void SimCluster::complete_due(util::Nanos now) {
     done.finish = finish.time;
     done.start = finish.time - finish.task.service;
     done.deadline = finish.task.deadline;
+    done.chain_hop = finish.task.hop;
+    done.chain_stages =
+        static_cast<std::uint32_t>(finish.task.stage_services.size());
     // Dedup ledger: an orphaned seq delivers exactly one completion —
     // zombie or re-dispatched copy, whichever finishes first; the second
     // sighting is suppressed (the scheduler's drain()-merge mirror).
@@ -268,8 +284,56 @@ void SimCluster::submit(util::Nanos at, faas::FunctionId function,
                                      // stream stays a pure function of the
                                      // submission sequence
   task.deadline = deadline;
-  if (params_.admission && deadline != 0) {
-    const util::Nanos slack = deadline > at ? deadline - at : 0;
+  admit_or_dispatch(std::move(task), at);
+}
+
+void SimCluster::submit_chain(util::Nanos at, faas::FunctionId function,
+                              const std::vector<util::Nanos>& stage_services,
+                              util::Nanos deadline) {
+  if (stage_services.empty()) {
+    throw std::invalid_argument("SimCluster: chain needs at least one stage");
+  }
+  advance_to(at);
+  Task task;
+  task.seq = next_seq_++;
+  task.function = function;
+  task.arrival = at;
+  task.deadline = deadline;
+  // ONE jitter draw scales the whole chain (drawn before any shed, like
+  // submit): every submission — chain or plain — consumes exactly one
+  // draw, keeping the stream a pure function of the submission sequence.
+  util::Nanos total = 0;
+  for (const util::Nanos service : stage_services) {
+    total += service;
+  }
+  const util::Nanos jittered_total = jittered(total);
+  task.stage_services.reserve(stage_services.size());
+  if (total == 0) {
+    task.stage_services = stage_services;  // all-zero stages stay zero
+  } else {
+    // Distribute proportionally; the last stage absorbs rounding so the
+    // stage boundaries sum to the finish time exactly.
+    util::Nanos accumulated = 0;
+    for (std::size_t i = 0; i < stage_services.size(); ++i) {
+      util::Nanos share;
+      if (i + 1 == stage_services.size()) {
+        share = jittered_total - accumulated;
+      } else {
+        share = static_cast<util::Nanos>(
+            static_cast<double>(stage_services[i]) *
+            static_cast<double>(jittered_total) / static_cast<double>(total));
+      }
+      task.stage_services.push_back(share);
+      accumulated += share;
+    }
+  }
+  task.service = jittered_total;
+  admit_or_dispatch(std::move(task), at);
+}
+
+void SimCluster::admit_or_dispatch(Task task, util::Nanos at) {
+  if (params_.admission && task.deadline != 0) {
+    const util::Nanos slack = task.deadline > at ? task.deadline - at : 0;
     if (slack == 0 || queue_delay_estimate() > slack) {
       record_rejection(task, at, faas::SubmissionReject::kQueueShed);
       return;
@@ -379,6 +443,32 @@ std::vector<std::uint64_t> SimCluster::declare_dead(HostId host,
       // A copy already re-dispatched off an earlier death: its zombie IS
       // the surviving outcome; a second copy would make three sightings.
       continue;
+    }
+    if (!task.stage_services.empty()) {
+      // Chain orphan: advance the stolen copy's hop cursor past every
+      // stage whose boundary the dying host had reached by `at` — the
+      // re-dispatch resumes from the frontier and never re-executes a
+      // completed stage. Boundaries are rebuilt with the dying host's own
+      // speed/overhead, per-stage, exactly as start_on scheduled them.
+      // (advance_to(at) above already completed anything fully done, so
+      // at least one stage always remains.)
+      util::Nanos boundary = task.started_at + victim.params.overhead;
+      std::uint32_t hop = task.hop;
+      while (hop < task.stage_services.size()) {
+        boundary += static_cast<util::Nanos>(
+            static_cast<double>(task.stage_services[hop]) *
+            victim.params.speed);
+        if (boundary > at) {
+          break;
+        }
+        ++hop;
+      }
+      task.hop = hop;
+      util::Nanos remaining = 0;
+      for (std::size_t i = hop; i < task.stage_services.size(); ++i) {
+        remaining += task.stage_services[i];
+      }
+      task.service = remaining;
     }
     orphan_seqs_.insert(task.seq);
     seqs.push_back(task.seq);

@@ -125,6 +125,13 @@ struct SimCompletion {
   util::Nanos start = 0;
   util::Nanos finish = 0;
   util::Nanos deadline = 0;  // absolute; 0 = none
+  /// Chain accounting (submit_chain submissions; both 0 for plain tasks):
+  /// the hop cursor this EXECUTION started from — nonzero means an
+  /// orphan-recovery re-dispatch resumed mid-chain — and the chain's
+  /// total stage count. This execution ran stages [chain_hop,
+  /// chain_stages), which is what the no-stage-re-executed sweep checks.
+  std::uint32_t chain_hop = 0;
+  std::uint32_t chain_stages = 0;
 
   [[nodiscard]] util::Nanos queueing() const noexcept { return start - arrival; }
   [[nodiscard]] util::Nanos latency() const noexcept { return finish - arrival; }
@@ -160,6 +167,20 @@ class SimCluster {
   /// rejections() exactly once.
   void submit(util::Nanos at, faas::FunctionId function, util::Nanos service,
               util::Nanos deadline);
+
+  /// Submit a workflow chain as ONE routed unit (the submit_chain mirror):
+  /// `function` is the chain's entry-stage identity (what routing sees),
+  /// `stage_services` the nominal per-stage service times. One jitter
+  /// draw scales the whole chain, so chain and plain submissions each
+  /// consume exactly one draw and the RNG stream stays aligned with the
+  /// submission sequence. The chain carries one seq and one deadline;
+  /// declare_dead() advances an in-flight chain orphan's hop cursor past
+  /// the stages its dying host completed, so the re-dispatched copy runs
+  /// only the remainder — no stage ever executes twice across the
+  /// surviving outcome.
+  void submit_chain(util::Nanos at, faas::FunctionId function,
+                    const std::vector<util::Nanos>& stage_services,
+                    util::Nanos deadline = 0);
 
   /// Advance virtual time, processing completions (and pull bindings) due
   /// by `now`. submit() calls this implicitly.
@@ -241,9 +262,17 @@ class SimCluster {
     faas::FunctionId function = 0;
     util::Nanos arrival = 0;
     /// Post-jitter nominal service time (host speed applied at start).
+    /// For chains: the sum of the REMAINING stages from `hop`.
     util::Nanos service = 0;
     util::Nanos deadline = 0;  // absolute; 0 = none
     bool redispatched = false;
+    /// Chain mirror: post-jitter nominal per-stage services (empty =
+    /// plain task), the hop cursor (first stage still to run), and the
+    /// virtual time the current execution started (set by start_on; what
+    /// declare_dead uses to place the dying host's stage boundaries).
+    std::vector<util::Nanos> stage_services;
+    std::uint32_t hop = 0;
+    util::Nanos started_at = 0;
   };
 
   struct SimHost {
@@ -272,6 +301,9 @@ class SimCluster {
   };
 
   [[nodiscard]] HostSnapshot snapshot_of(HostId id) const;
+  /// Shared tail of submit()/submit_chain(): admission (deadline-slack
+  /// shed, bounded pull queue), then dispatch by mode.
+  void admit_or_dispatch(Task task, util::Nanos at);
   void start_on(HostId id, Task task, util::Nanos at);
   void push_dispatch(Task task, util::Nanos at);
   void pull_try_bind(util::Nanos at);

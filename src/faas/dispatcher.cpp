@@ -132,6 +132,10 @@ void Dispatcher::execute_and_record(Worker& worker, Submission task) {
   outcome.mode = task.mode;
   outcome.seq = task.seq;
   outcome.key = task.key;
+  // Chain identity rides along so even an expire-at-dequeue refusal below
+  // reports which workflow (and frontier hop) it refused.
+  outcome.workflow = task.workflow;
+  outcome.chain_first_hop = task.hop;
   // One clock read covers the queueing measurement, the deadline check,
   // and the sojourn check; the executor's own timing is the record's
   // business.

@@ -13,6 +13,23 @@ Dispatcher::Options invoker_options(Platform& platform, std::size_t workers) {
     InvokeControls controls;
     controls.now = util::monotonic_now();
     controls.deadline = task.deadline;
+    if (task.workflow != kNoWorkflow) {
+      // Chain submission: the workflow is the routed unit; `function`
+      // only carried the entry stage for shard-affine routing.
+      controls.hop = task.hop;
+      outcome.workflow = task.workflow;
+      outcome.chain_first_hop = task.hop;
+      auto result = platform.invoke_chain(
+          task.workflow, std::move(task.request), task.mode, controls);
+      outcome.chain_stages = controls.hops_completed;
+      if (result) {
+        outcome.record = std::move(result->record);
+      } else {
+        outcome.status = result.status();
+        outcome.reject = controls.reject;  // kNone for ordinary failures
+      }
+      return;
+    }
     auto result = platform.invoke(task.function, std::move(task.request),
                                   task.mode, controls);
     if (result) {
@@ -46,6 +63,24 @@ void Invoker::submit(FunctionId function, workloads::Request request,
                      StartMode mode, util::Nanos deadline) {
   Submission task;
   task.function = function;
+  task.mode = mode;
+  task.request = std::move(request);
+  task.enqueued_at = util::monotonic_now();
+  task.deadline = deadline;
+  task.seq = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  dispatcher_.submit(std::move(task));
+}
+
+void Invoker::submit_chain(WorkflowId workflow, workloads::Request request,
+                           StartMode mode, util::Nanos deadline) {
+  Submission task;
+  task.workflow = workflow;
+  task.hop = 0;
+  // Mirror the entry stage in `function` so shard-affine routing sees the
+  // chain under its first stage's identity (unknown workflows fall to
+  // worker 0 and fail with a typed NotFound outcome at execution).
+  const auto spec = platform_.registry().find_workflow(workflow);
+  task.function = spec ? (*spec)->stages.front() : 0;
   task.mode = mode;
   task.request = std::move(request);
   task.enqueued_at = util::monotonic_now();

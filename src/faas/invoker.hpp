@@ -55,6 +55,13 @@ class Invoker {
   void submit(FunctionId function, workloads::Request request, StartMode mode,
               util::Nanos deadline);
 
+  /// Submit a registered workflow chain as one routed unit: one
+  /// submission, one idempotency scope, one deadline for the whole chain.
+  /// Routed under the entry stage's identity; executed via
+  /// Platform::invoke_chain (fused where the planner allows).
+  void submit_chain(WorkflowId workflow, workloads::Request request,
+                    StartMode mode, util::Nanos deadline = 0);
+
   /// Wait for all submitted invocations and take their outcomes.
   [[nodiscard]] std::vector<Outcome> drain() { return dispatcher_.drain(); }
 

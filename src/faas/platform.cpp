@@ -335,6 +335,382 @@ util::Expected<InvocationRecord> Platform::invoke(FunctionId function,
   return result;
 }
 
+namespace {
+
+/// Fold one executed segment's record into the chain aggregate: the first
+/// segment contributes the chain's start decomposition wholesale, later
+/// segments add their own init/exec on top, and the response always
+/// tracks the most recently completed stage.
+void fold_segment_record(InvocationRecord& total, const InvocationRecord& part,
+                         bool first) {
+  if (first) {
+    total = part;
+    return;
+  }
+  total.fallbacks += part.fallbacks;
+  total.retry_backoff += part.retry_backoff;
+  total.init_time += part.init_time;
+  total.init_modelled += part.init_modelled;
+  total.exec_time += part.exec_time;
+  total.response = part.response;
+}
+
+}  // namespace
+
+util::Expected<ChainRecord> Platform::invoke_chain(WorkflowId workflow,
+                                                   workloads::Request request,
+                                                   StartMode mode) {
+  InvokeControls controls;  // no deadline, hop 0, every admission gate passes
+  return invoke_chain(workflow, std::move(request), mode, controls);
+}
+
+util::Expected<ChainRecord> Platform::invoke_chain(WorkflowId workflow,
+                                                   workloads::Request request,
+                                                   StartMode mode,
+                                                   InvokeControls& controls) {
+  controls.reject = SubmissionReject::kNone;
+  controls.hops_completed = 0;
+  const auto workflow_lookup = registry_.find_workflow(workflow);
+  if (!workflow_lookup) {
+    return workflow_lookup.status();
+  }
+  const WorkflowSpec& spec = **workflow_lookup;
+  const auto num_stages = static_cast<std::uint32_t>(spec.stages.size());
+  if (controls.hop >= num_stages) {
+    return util::Status{util::StatusCode::kInvalidArgument,
+                        "invoke_chain: hop cursor past the last stage"};
+  }
+
+  ChainRecord chain;
+  chain.first_hop = controls.hop;
+  // Plan from the cursor: an orphan-recovery re-dispatch partitions only
+  // the REMAINING stages and never revisits completed ones. The plan is a
+  // pure function of the registered edge flags, so every re-dispatch of
+  // the same chain plans identically.
+  const std::vector<ChainSegment> plan = plan_fusion(spec, controls.hop);
+  const util::Stopwatch chain_watch;
+  const StartMode requested = mode;
+  bool first_segment = true;
+
+  // One deadline for the whole chain: remaining slack is re-evaluated
+  // before every hop against the caller's `now` plus the time this chain
+  // has measurably consumed so far.
+  const auto slack_expired = [&]() -> bool {
+    return controls.deadline != 0 &&
+           controls.now + chain_watch.elapsed() >= controls.deadline;
+  };
+  const auto refuse_deadline = [&](std::uint32_t hop) -> util::Status {
+    controls.reject = SubmissionReject::kDeadlineExpired;
+    shard(spec.stages[hop])
+        .deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+    return util::Status{util::StatusCode::kDeadlineExceeded,
+                        "invoke_chain: deadline expired at hop " +
+                            std::to_string(hop)};
+  };
+  // Advance the hop cursor past a completed stage: plumb its response
+  // into the next stage's request, notify the caller's cursor callback,
+  // and note a kGated early stop.
+  const auto advance_hop = [&](const workloads::Response& response) {
+    const std::uint32_t done = controls.hop;
+    bool keep_going = true;
+    if (done + 1 < num_stages) {
+      keep_going = apply_edge(spec.edges[done], response, request);
+    }
+    controls.hop = done + 1;
+    controls.hops_completed = controls.hop - chain.first_hop;
+    if (controls.on_hop) {
+      controls.on_hop(controls.hop,
+                      spec.stages[std::min(controls.hop, num_stages - 1)]);
+    }
+    if (!keep_going) {
+      chain.gated_early = true;
+    }
+  };
+
+  const auto run = [&]() -> util::Expected<ChainRecord> {
+    for (const ChainSegment& segment : plan) {
+      if (controls.hop >= segment.end || chain.gated_early) {
+        continue;
+      }
+      if (slack_expired()) {
+        return refuse_deadline(controls.hop);
+      }
+      bool fused_done = false;
+      if (segment.fused) {
+        auto fused = invoke_fused_segment(spec, segment, request, mode,
+                                          controls, chain_watch, chain);
+        if (fused) {
+          fold_segment_record(chain.record, *fused, first_segment);
+          first_segment = false;
+          fused_done = true;
+        } else if (controls.reject != SubmissionReject::kNone) {
+          // Typed overload refusal: surfaces as the chain's outcome with
+          // the cursor at the frontier, like any mid-chain refusal.
+          return fused.status();
+        }
+        // Untyped failure (the segment's start ladder exhausted, or a
+        // re-pool failed mid-run): the SEGMENT is demoted to per-stage
+        // dispatch from the frontier — the chain itself keeps going
+        // through the full admission machinery below.
+      }
+      if (!fused_done) {
+        while (controls.hop < segment.end && !chain.gated_early) {
+          const std::uint32_t stage_hop = controls.hop;
+          if (slack_expired()) {
+            return refuse_deadline(stage_hop);
+          }
+          InvokeControls stage_controls;
+          stage_controls.now = controls.now + chain_watch.elapsed();
+          stage_controls.deadline = controls.deadline;
+          auto staged = invoke(spec.stages[stage_hop], request, requested,
+                               stage_controls);
+          if (!staged) {
+            controls.reject = stage_controls.reject;
+            return staged.status();
+          }
+          fold_segment_record(chain.record, *staged, first_segment);
+          first_segment = false;
+          ++chain.stages_executed;
+          ++chain.per_stage_dispatches;
+          advance_hop(staged->response);
+        }
+      }
+      if (chain.gated_early) {
+        break;
+      }
+    }
+    return chain;
+  };
+
+  auto result = run();
+  {
+    // Chain-shaped bookkeeping lands on the shard of the stage the chain
+    // ENTERED at, win or lose, so chains_invoked counts each routed chain
+    // exactly once.
+    ControlShard& entry = shard(spec.stages[chain.first_hop]);
+    ShardLock lock(entry.mutex, entry.meter);
+    ++entry.counters.chains_invoked;
+    entry.counters.chain_stages_executed += chain.stages_executed;
+    entry.counters.chain_fallback_stages += chain.per_stage_dispatches;
+    if (chain.gated_early) {
+      ++entry.counters.chains_gated_early;
+    }
+  }
+  return result;
+}
+
+util::Expected<InvocationRecord> Platform::invoke_fused_segment(
+    const WorkflowSpec& workflow, const ChainSegment& segment,
+    workloads::Request& request, StartMode mode, InvokeControls& controls,
+    const util::Stopwatch& chain_watch, ChainRecord& chain) {
+  const FunctionId entry = workflow.stages[segment.begin];
+  const std::size_t shard_index = shard_of(entry);
+  ControlShard& s = *shards_[shard_index];
+  const AdmissionConfig& admission = config_.admission;
+
+  // A fused segment is ONE admission unit, charged to its entry stage's
+  // shard — the same pre-lock high-water gate as invoke().
+  if (admission.shard_high_water != 0 &&
+      s.inflight.load(std::memory_order_acquire) >=
+          admission.shard_high_water) {
+    controls.reject = SubmissionReject::kShardOverload;
+    s.overload_rejections.fetch_add(1, std::memory_order_relaxed);
+    return util::Status{
+        util::StatusCode::kResourceExhausted,
+        "invoke_chain: control shard above high-water occupancy"};
+  }
+
+  s.inflight.fetch_add(1, std::memory_order_acq_rel);
+  util::Expected<InvocationRecord> result =
+      util::Status{util::StatusCode::kInternal, "invoke_chain: unreachable"};
+  {
+    ShardLock lock(s.mutex, s.meter);
+
+    // Entry-function circuit breaker, evaluated at the chain's current
+    // (elapsed-adjusted) timestamp.
+    if (admission.breaker_enabled) {
+      auto it = s.breakers.find(entry);
+      if (it != s.breakers.end() &&
+          !it->second.allow(controls.now + chain_watch.elapsed(), s.rng)) {
+        ++s.counters.breaker_rejections;
+        s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+        controls.reject = SubmissionReject::kBreakerOpen;
+        return util::Status{util::StatusCode::kUnavailable,
+                            "invoke_chain: circuit breaker open"};
+      }
+    }
+    if (admission.retry_budget_enabled) {
+      retry_budget_.deposit();
+    }
+
+    result = fused_segment_on_shard(s, shard_index, workflow, segment, request,
+                                    mode, controls, chain_watch, chain);
+    if (result) {
+      // The whole fused segment books as ONE invocation, by the mode its
+      // single start actually completed with.
+      ++s.counters.invocations;
+      switch (result->mode) {
+        case StartMode::kCold: ++s.counters.cold; break;
+        case StartMode::kRestore: ++s.counters.restore; break;
+        case StartMode::kWarm: ++s.counters.warm; break;
+        case StartMode::kHorse: ++s.counters.horse; break;
+      }
+      if (result->mode != result->requested) {
+        ++s.counters.degraded_invocations;
+      }
+    } else {
+      ++s.counters.failed;
+    }
+  }
+  s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+  return result;
+}
+
+util::Expected<InvocationRecord> Platform::fused_segment_on_shard(
+    ControlShard& shard, std::size_t shard_index, const WorkflowSpec& workflow,
+    const ChainSegment& segment, workloads::Request& request, StartMode mode,
+    InvokeControls& controls, const util::Stopwatch& chain_watch,
+    ChainRecord& chain) {
+  const FunctionId entry = workflow.stages[segment.begin];
+  const auto num_stages = static_cast<std::uint32_t>(workflow.stages.size());
+  const auto spec_lookup = registry_.find(entry);
+  if (!spec_lookup) {
+    return spec_lookup.status();
+  }
+  const FunctionSpec& entry_spec = **spec_lookup;
+  const AdmissionConfig& admission = config_.admission;
+
+  // One keep-alive arrival, for the ENTRY function only: interior stages
+  // never take a pool slot in a fused run, so recording them would
+  // inflate their pre-warm ranking without a pooled sandbox ever serving
+  // them.
+  shard.keep_alive.record_invocation(entry, logical_now());
+
+  const auto breaker_for = [&]() -> CircuitBreaker& {
+    return shard.breakers.try_emplace(entry, admission.breaker).first->second;
+  };
+
+  // --- segment start ladder: the per-function ladder verbatim, applied
+  // to the segment's entry stage. A demotion demotes THIS SEGMENT only
+  // (it still runs fused, just from a colder start); the caller's later
+  // segments start at the originally requested mode again.
+  const StartMode requested = mode;
+  const DegradationPolicy& ladder = config_.degradation;
+  const util::Backoff backoff{
+      util::BackoffPolicy{ladder.retry_backoff_base, ladder.retry_backoff_cap}};
+  InvocationRecord record;
+  std::unique_ptr<vmm::Sandbox> sandbox;
+  std::uint32_t fallbacks = 0;
+  util::Nanos backoff_total = 0;
+  std::size_t attempt = 0;
+  while (true) {
+    ++attempt;
+    record = {};
+    record.requested = requested;
+    record.mode = mode;
+    record.fallbacks = fallbacks;
+    auto started =
+        try_start_on(shard, shard_index, entry, entry_spec, mode, record);
+    const bool resume_rung =
+        mode == StartMode::kWarm || mode == StartMode::kHorse;
+    if (started) {
+      if (admission.breaker_enabled && resume_rung) {
+        breaker_for().on_success(controls.now);
+      }
+      sandbox = std::move(*started);
+      break;
+    }
+    if (admission.breaker_enabled && resume_rung &&
+        started.status().code() != util::StatusCode::kUnavailable) {
+      breaker_for().on_failure(controls.now, shard.rng);
+    }
+    const bool exhausted = !ladder.enabled || attempt >= ladder.max_attempts ||
+                           mode == StartMode::kCold;
+    if (exhausted) {
+      return started.status();
+    }
+    const StartMode colder = next_colder(mode);
+    if (admission.retry_budget_enabled &&
+        (colder == StartMode::kRestore || colder == StartMode::kCold) &&
+        !retry_budget_.try_withdraw()) {
+      ++shard.counters.budget_denied_escalations;
+      controls.reject = SubmissionReject::kRetryBudgetExhausted;
+      return util::Status{
+          util::StatusCode::kResourceExhausted,
+          "invoke_chain: retry budget exhausted, escalation denied"};
+    }
+    mode = colder;
+    ++fallbacks;
+    ++shard.counters.rung_fallbacks;
+    backoff_total += backoff.delay(attempt, shard.rng);
+  }
+  record.retry_backoff = backoff_total;
+  record.init_modelled += backoff_total;
+  record.init_time += backoff_total;
+
+  // --- run the segment's stage bodies back-to-back in the one resumed
+  // sandbox, handing each stage's output to the next via edge plumbing.
+  // Interior bodies run under the ENTRY stage's shard mutex (never a
+  // nested shard lock), so an interior function may execute here
+  // concurrently with its own standalone invocations on its home shard —
+  // the fusion-safety rule callers accept by registering a workflow (see
+  // DESIGN.md §5.8).
+  while (controls.hop < segment.end) {
+    const std::uint32_t hop = controls.hop;
+    // Per-hop slack inside the fused run too: a chain must not keep
+    // burning stages after its one deadline has passed. The sandbox is
+    // healthy, so it returns to the pool; the refusal is typed.
+    if (hop != segment.begin && controls.deadline != 0 &&
+        controls.now + chain_watch.elapsed() >= controls.deadline) {
+      HORSE_RETURN_IF_ERROR(
+          pause_and_pool(shard, shard_index, entry, std::move(sandbox)));
+      controls.reject = SubmissionReject::kDeadlineExpired;
+      shard.deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+      return util::Status{util::StatusCode::kDeadlineExceeded,
+                          "invoke_chain: deadline expired mid-segment at hop " +
+                              std::to_string(hop)};
+    }
+    const FunctionSpec* stage_spec = &entry_spec;
+    if (hop != segment.begin) {
+      const auto stage_lookup = registry_.find(workflow.stages[hop]);
+      if (!stage_lookup) {
+        // Stage ids are validated at add_workflow, so this is effectively
+        // unreachable — but pool the healthy sandbox before surfacing.
+        HORSE_RETURN_IF_ERROR(
+            pause_and_pool(shard, shard_index, entry, std::move(sandbox)));
+        return stage_lookup.status();
+      }
+      stage_spec = *stage_lookup;
+    }
+    util::Stopwatch exec_watch;
+    record.response = stage_spec->implementation->invoke(request);
+    record.exec_time += exec_watch.elapsed();
+    ++chain.stages_executed;
+    bool keep_going = true;
+    if (hop + 1 < num_stages) {
+      keep_going = apply_edge(workflow.edges[hop], record.response, request);
+    }
+    controls.hop = hop + 1;
+    controls.hops_completed = controls.hop - chain.first_hop;
+    if (controls.on_hop) {
+      controls.on_hop(controls.hop,
+                      workflow.stages[std::min(controls.hop, num_stages - 1)]);
+    }
+    if (!keep_going) {
+      chain.gated_early = true;
+      break;
+    }
+  }
+  ++chain.fused_segments;
+  ++shard.counters.fused_segments;
+
+  // One re-pause for the whole segment: keep-alive pools the sandbox
+  // under the entry function, where the one pool take came from.
+  HORSE_RETURN_IF_ERROR(
+      pause_and_pool(shard, shard_index, entry, std::move(sandbox)));
+  return record;
+}
+
 void Platform::handle_resume_failure(ControlShard& shard, FunctionId function,
                                      std::unique_ptr<vmm::Sandbox> sandbox) {
   const sched::SandboxId id = sandbox->id();

@@ -52,6 +52,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -161,6 +162,21 @@ struct PlatformCounters {
   // --- crash-tolerance counters --------------------------------------------
   /// Sandboxes restored into the warm pool by rehydrate() (warm rejoin).
   std::uint64_t rehydrated_sandboxes = 0;
+  // --- workflow-chain counters ---------------------------------------------
+  /// Chains that ran to an outcome through invoke_chain (success, gated
+  /// early-exit, or failure mid-way — each counted once, on the shard of
+  /// the stage the chain entered at).
+  std::uint64_t chains_invoked = 0;
+  /// Total chain stages whose bodies actually executed.
+  std::uint64_t chain_stages_executed = 0;
+  /// Fused segments executed as a single resume (each also counts as one
+  /// invocation, attributed to its entry stage's mode).
+  std::uint64_t fused_segments = 0;
+  /// Chain stages dispatched per-stage (planner split, or fallback after
+  /// a fused segment failed to start).
+  std::uint64_t chain_fallback_stages = 0;
+  /// Chains that completed early on a kGated edge (success outcome).
+  std::uint64_t chains_gated_early = 0;
 
   PlatformCounters& operator+=(const PlatformCounters& other) noexcept {
     invocations += other.invocations;
@@ -179,6 +195,11 @@ struct PlatformCounters {
     budget_denied_escalations += other.budget_denied_escalations;
     deadline_rejections += other.deadline_rejections;
     rehydrated_sandboxes += other.rehydrated_sandboxes;
+    chains_invoked += other.chains_invoked;
+    chain_stages_executed += other.chain_stages_executed;
+    fused_segments += other.fused_segments;
+    chain_fallback_stages += other.chain_fallback_stages;
+    chains_gated_early += other.chains_gated_early;
     return *this;
   }
 };
@@ -232,11 +253,50 @@ struct InvokeControls {
   /// cooldowns are evaluated against it; the platform never reads a clock
   /// for these, keeping SimCluster reproduction exact).
   util::Nanos now = 0;
-  /// Absolute monotonic deadline; 0 = none.
+  /// Absolute monotonic deadline; 0 = none. For chains this is the ONE
+  /// deadline the whole chain carries: invoke_chain re-checks the
+  /// remaining slack before every hop against `now` plus the time the
+  /// chain has measurably consumed so far.
   util::Nanos deadline = 0;
   /// OUT: why overload control refused (kNone on success or on ordinary
   /// invocation failure).
   SubmissionReject reject = SubmissionReject::kNone;
+  /// IN (invoke_chain only): hop cursor — the first chain stage this call
+  /// still has to run. 0 for a fresh chain; an orphan-recovery
+  /// re-dispatch passes the frontier its dead host had reached. OUT: left
+  /// at the frontier on return, so a failed chain reports exactly where
+  /// it stopped.
+  std::uint32_t hop = 0;
+  /// OUT (invoke_chain only): stages completed by THIS call
+  /// (hop_on_return - hop_on_entry).
+  std::uint32_t hops_completed = 0;
+  /// Optional (invoke_chain only): called after each stage completes with
+  /// the advanced cursor and the function at that cursor (the last
+  /// stage's id again once the chain is done). Invoked while the
+  /// executing shard's mutex is held — the callback must only touch leaf
+  /// state (the cluster Host updates its in-flight ledger entry, a leaf
+  /// lock, so orphan recovery re-dispatches from the frontier).
+  std::function<void(std::uint32_t hop, FunctionId function)> on_hop;
+};
+
+/// Outcome of invoke_chain: one aggregated InvocationRecord (the chain's
+/// latency decomposition: first segment's start cost, summed exec and any
+/// later segments' start costs, final stage's response) plus chain-shaped
+/// accounting the per-function record cannot express.
+struct ChainRecord {
+  InvocationRecord record;
+  /// The hop cursor this call started from.
+  std::uint32_t first_hop = 0;
+  /// Stages whose bodies ran in this call.
+  std::uint32_t stages_executed = 0;
+  /// How many fused segments (multi-stage single-resume runs) ran.
+  std::uint32_t fused_segments = 0;
+  /// Stages that went through ordinary per-stage dispatch instead
+  /// (planner split or fused-start fallback).
+  std::uint32_t per_stage_dispatches = 0;
+  /// The chain stopped early on a kGated edge (success: the gating
+  /// stage's response is the chain's response).
+  bool gated_early = false;
 };
 
 class Platform;
@@ -330,6 +390,25 @@ class Platform {
   [[nodiscard]] util::Expected<InvocationRecord> invoke(
       FunctionId function, workloads::Request request, StartMode mode,
       InvokeControls& controls);
+
+  /// Invoke a registered workflow chain as one routed unit, starting from
+  /// controls.hop. The fusion planner partitions the remaining stages
+  /// into maximal runs of adjacent uLL-fusable stages; each fused run
+  /// executes as a SINGLE warm/horse resume (one pool take, one resume
+  /// prologue, stage outputs handed off in-sandbox), and everything else
+  /// falls back to ordinary per-stage invoke() through the full
+  /// admission machinery. Remaining deadline slack is re-checked before
+  /// every hop; a mid-chain refusal or failure surfaces with controls.hop
+  /// at the frontier so the caller can re-dispatch without re-executing
+  /// completed stages. The resume ladder demotes a failing SEGMENT, never
+  /// the whole chain.
+  [[nodiscard]] util::Expected<ChainRecord> invoke_chain(
+      WorkflowId workflow, workloads::Request request, StartMode mode,
+      InvokeControls& controls);
+
+  /// Convenience overload with default controls (no deadline, hop 0).
+  [[nodiscard]] util::Expected<ChainRecord> invoke_chain(
+      WorkflowId workflow, workloads::Request request, StartMode mode);
 
   /// Logical platform clock for keep-alive accounting; advanced by the
   /// caller (experiments drive it from their own schedule).
@@ -485,6 +564,27 @@ class Platform {
   [[nodiscard]] util::Expected<std::unique_ptr<vmm::Sandbox>> try_start_on(
       ControlShard& shard, std::size_t shard_index, FunctionId function,
       const FunctionSpec& spec, StartMode mode, InvocationRecord& record);
+
+  /// Admission wrapper for one fused segment: entry-shard high-water and
+  /// breaker gates, then fused_segment_on_shard under the entry shard's
+  /// mutex. A typed refusal sets controls.reject; an untyped failure lets
+  /// invoke_chain fall back to per-stage dispatch of the same stages.
+  util::Expected<InvocationRecord> invoke_fused_segment(
+      const WorkflowSpec& workflow, const ChainSegment& segment,
+      workloads::Request& request, StartMode mode, InvokeControls& controls,
+      const util::Stopwatch& chain_watch, ChainRecord& chain);
+
+  /// The fused-execution path proper (entry shard mutex held): one start
+  /// ladder for the segment's entry stage, then every stage body in the
+  /// segment back-to-back inside that one sandbox with edge plumbing
+  /// between them, one re-pause at the end. Only the ENTRY stage records
+  /// a keep-alive arrival — interior stages never take a pool slot, so
+  /// counting them would inflate their pre-warm ranking.
+  util::Expected<InvocationRecord> fused_segment_on_shard(
+      ControlShard& shard, std::size_t shard_index,
+      const WorkflowSpec& workflow, const ChainSegment& segment,
+      workloads::Request& request, StartMode mode, InvokeControls& controls,
+      const util::Stopwatch& chain_watch, ChainRecord& chain);
 
   /// Health bookkeeping for a pooled sandbox whose resume failed: strike
   /// its failure counter; quarantine (untrack + destroy) at the

@@ -36,10 +36,22 @@
 namespace horse::faas {
 
 /// One queued invocation, independent of which host/worker executes it.
+/// A submission names either a plain function (workflow == kNoWorkflow)
+/// or a workflow chain — in the latter case `function` mirrors the stage
+/// at the hop cursor so shard-affine routing and per-function dispatch
+/// policies see the chain under its current stage's identity, and the
+/// chain still carries exactly one key and one deadline end-to-end.
 struct Submission {
   FunctionId function = 0;
   StartMode mode = StartMode::kCold;
   workloads::Request request;
+  /// Chain identity; kNoWorkflow for a plain function submission.
+  WorkflowId workflow = kNoWorkflow;
+  /// Hop cursor: the first chain stage this dispatch still has to run.
+  /// Advanced in place by the executing host as stages complete, so an
+  /// orphan-recovery re-dispatch resumes from the frontier and never
+  /// re-executes a completed stage.
+  std::uint32_t hop = 0;
   /// Monotonic clock at submit; queueing latency is measured against it.
   util::Nanos enqueued_at = 0;
   /// Absolute monotonic deadline; 0 = none. A deadline is both an expiry
@@ -72,6 +84,13 @@ struct SubmissionOutcome {
   std::uint64_t seq = 0;     // copied from the Submission
   std::uint64_t key = 0;     // idempotency key, copied from the Submission
   std::size_t host = 0;      // executing host (cluster mode; 0 single-host)
+  /// Chain identity, copied from the Submission (kNoWorkflow = plain).
+  WorkflowId workflow = kNoWorkflow;
+  /// Hop cursor this execution STARTED from (0 unless the chain was
+  /// re-dispatched mid-way by orphan recovery).
+  std::uint32_t chain_first_hop = 0;
+  /// Stages this execution actually ran (0 for plain submissions).
+  std::uint32_t chain_stages = 0;
   /// Why the submission was refused, when it was (status not OK and no
   /// record). kNone for completed work AND for ordinary invocation
   /// failures — `reject != kNone` identifies overload-control refusals

@@ -23,6 +23,9 @@ struct SeededWorkload {
   std::vector<util::Nanos> times;
   std::vector<faas::FunctionId> functions;
   std::vector<util::Nanos> services;
+  /// Chain length per arrival: 0 = plain submission, N > 0 = an N-stage
+  /// workflow chain whose total nominal service is `services[i]`.
+  std::vector<std::uint32_t> chain_stages;
 
   [[nodiscard]] std::size_t size() const noexcept { return times.size(); }
 };
@@ -36,6 +39,12 @@ struct WorkloadParams {
   util::Nanos long_service = util::kMillisecond;
   /// Fraction of arrivals drawing the long service time.
   double long_fraction = 0.1;
+  /// Fraction of arrivals submitted as workflow chains. Kept at 0 by
+  /// default so pre-chain workloads stay byte-identical: the chain draw
+  /// is short-circuited (no RNG consumed) when the fraction is zero.
+  double chain_fraction = 0.0;
+  /// Stages per chain arrival.
+  std::uint32_t chain_length = 3;
 };
 
 inline SeededWorkload make_workload(std::uint64_t seed,
@@ -52,14 +61,42 @@ inline SeededWorkload make_workload(std::uint64_t seed,
     out.services.push_back(rng.uniform01() < params.long_fraction
                                ? params.long_service
                                : params.short_service);
+    out.chain_stages.push_back(params.chain_fraction > 0 &&
+                                       rng.uniform01() < params.chain_fraction
+                                   ? params.chain_length
+                                   : 0);
   }
   return out;
 }
 
+/// Split a chain's total service across its stages: equal shares, the
+/// last stage absorbing the rounding remainder (total preserved exactly).
+inline std::vector<util::Nanos> stage_split(util::Nanos total,
+                                            std::uint32_t stages) {
+  std::vector<util::Nanos> services(stages, total / stages);
+  services.back() += total - (total / stages) * stages;
+  return services;
+}
+
+/// Submit arrival `i` of the workload — a plain submission or, when the
+/// workload marks it as a chain, one chain submission (one seq, one key,
+/// one deadline for the whole chain).
+inline void submit_one(SimCluster& cluster, const SeededWorkload& workload,
+                       std::size_t i, util::Nanos deadline = 0) {
+  if (i < workload.chain_stages.size() && workload.chain_stages[i] > 0) {
+    cluster.submit_chain(workload.times[i], workload.functions[i],
+                         stage_split(workload.services[i],
+                                     workload.chain_stages[i]),
+                         deadline);
+  } else {
+    cluster.submit(workload.times[i], workload.functions[i],
+                   workload.services[i], deadline);
+  }
+}
+
 inline void feed(SimCluster& cluster, const SeededWorkload& workload) {
   for (std::size_t i = 0; i < workload.size(); ++i) {
-    cluster.submit(workload.times[i], workload.functions[i],
-                   workload.services[i]);
+    submit_one(cluster, workload, i);
   }
 }
 

@@ -58,6 +58,11 @@ struct RunResult {
 RunResult run_seed(std::uint64_t seed, DispatchMode dispatch) {
   test_harness::WorkloadParams shape;
   shape.count = kSubmissions;
+  // A quarter of the traffic arrives as 3-stage workflow chains, so the
+  // crash/steal/re-dispatch machinery is exercised against hop cursors:
+  // an orphaned chain resumes from the frontier its dead host reached,
+  // never re-executing completed stages.
+  shape.chain_fraction = 0.25;
   const test_harness::SeededWorkload workload =
       test_harness::make_workload(seed, shape);
   const CrashPlan plan = plan_for(seed);
@@ -69,6 +74,13 @@ RunResult run_seed(std::uint64_t seed, DispatchMode dispatch) {
   params.seed = seed;
   params.defaults.slots = 2;
   params.defaults.jitter = 0.15;
+  // Heterogeneous host speeds: when a slow host dies, the re-dispatched
+  // orphan on a faster host can finish BEFORE the victim's zombie, so the
+  // dedup ledger is exercised in both landing orders (and resumed chains
+  // become observable on delivered completions).
+  params.hosts = {params.defaults, params.defaults, params.defaults};
+  params.hosts[0].speed = 1.4;
+  params.hosts[2].speed = 0.8;
   SimCluster sim(params);
 
   for (std::size_t i = 0; i < workload.size(); ++i) {
@@ -88,7 +100,7 @@ RunResult run_seed(std::uint64_t seed, DispatchMode dispatch) {
     // expiry paths interleave with the crash machinery too.
     const util::Nanos deadline =
         i % 5 == 0 ? at + 10 * util::kMillisecond : 0;
-    sim.submit(at, workload.functions[i], workload.services[i], deadline);
+    test_harness::submit_one(sim, workload, i, deadline);
   }
   sim.run_to_completion();
 
@@ -124,6 +136,17 @@ void assert_exactly_once(const RunResult& result, std::uint64_t seed,
     ASSERT_TRUE(seen.contains(seq))
         << label << " seed " << seed << ": seq " << seq << " vanished";
   }
+  // Chain completions must carry a cursor inside the stage list; the
+  // delivered execution ran exactly the stages [chain_hop, chain_stages),
+  // so a cursor at or past the end would mean a stage ran twice or a
+  // chain completed with nothing left to run.
+  for (const SimCompletion& done : result.completions) {
+    if (done.chain_stages > 0) {
+      ASSERT_LT(done.chain_hop, done.chain_stages)
+          << label << " seed " << seed << ": seq " << done.seq
+          << " chain cursor past the last stage";
+    }
+  }
 }
 
 bool same_decisions(const std::vector<SimDecision>& a,
@@ -149,7 +172,9 @@ bool same_completions(const std::vector<SimCompletion>& a,
   }
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].seq != b[i].seq || a[i].host != b[i].host ||
-        a[i].start != b[i].start || a[i].finish != b[i].finish) {
+        a[i].start != b[i].start || a[i].finish != b[i].finish ||
+        a[i].chain_hop != b[i].chain_hop ||
+        a[i].chain_stages != b[i].chain_stages) {
       return false;
     }
   }
@@ -161,9 +186,13 @@ class CrashRecoveryProperty : public ::testing::TestWithParam<DispatchMode> {};
 TEST_P(CrashRecoveryProperty, EverySubmissionHasExactlyOneOutcome) {
   const DispatchMode dispatch = GetParam();
   std::uint64_t runs_with_suppression = 0;
+  std::uint64_t resumed_chains = 0;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     const RunResult result = run_seed(seed, dispatch);
     assert_exactly_once(result, seed, to_string(dispatch).data());
+    for (const SimCompletion& done : result.completions) {
+      resumed_chains += done.chain_stages > 0 && done.chain_hop > 0 ? 1 : 0;
+    }
     // The decision log carries the full lifecycle: one crash, one
     // declared death, one rejoin, in that order.
     std::vector<SimEventKind> lifecycle;
@@ -184,6 +213,11 @@ TEST_P(CrashRecoveryProperty, EverySubmissionHasExactlyOneOutcome) {
   EXPECT_GT(runs_with_suppression, kSeeds / 16)
       << "crash schedule almost never produced a zombie — the sweep is "
          "not testing orphan recovery";
+  // The sweep must actually resume chains mid-way: at least some orphaned
+  // chains were re-dispatched from an advanced hop cursor (completed
+  // stages skipped, not re-executed).
+  EXPECT_GT(resumed_chains, 0u)
+      << "no orphaned chain ever resumed from a non-zero hop cursor";
 }
 
 TEST_P(CrashRecoveryProperty, SeedReplayIsBitIdentical) {

@@ -46,8 +46,8 @@ void feed_with_deadlines(SimCluster& sim,
                          const test_harness::SeededWorkload& workload,
                          DeadlineMix mix) {
   for (std::size_t i = 0; i < workload.size(); ++i) {
-    sim.submit(workload.times[i], workload.functions[i], workload.services[i],
-               deadline_for(mix, workload.times[i]));
+    test_harness::submit_one(sim, workload, i,
+                             deadline_for(mix, workload.times[i]));
   }
 }
 
@@ -126,6 +126,40 @@ TEST(OverloadPropertySweepTest, ExactlyOneOutcomeAcrossAllConfigurations) {
       }
     }
   }
+}
+
+TEST(OverloadPropertySweepTest, ExactlyOneOutcomeWithChainMixes) {
+  // The tentpole invariant extends to workflow chains: a chain is ONE
+  // routed unit — one seq, one deadline — so mixing ~30% chains into the
+  // sweep must leave the outcome partition intact, and every delivered
+  // chain completion must carry a cursor inside its stage list.
+  const DispatchMode modes[] = {DispatchMode::kPush, DispatchMode::kPull};
+  const DeadlineMix mixes[] = {DeadlineMix::kNone, DeadlineMix::kTight,
+                               DeadlineMix::kLoose};
+  std::uint64_t chain_completions = 0;
+  for (const DispatchMode mode : modes) {
+    for (const DeadlineMix mix : mixes) {
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        SimCluster sim(
+            sweep_params(mode, PolicyKind::kLeastLoaded, seed));
+        test_harness::WorkloadParams shape = sweep_workload();
+        shape.chain_fraction = 0.3;
+        const auto workload = make_workload(seed, shape);
+        feed_with_deadlines(sim, workload, mix);
+        sim.run_to_completion();
+        assert_exactly_one_outcome(sim, workload.size(), seed, "chain-mix");
+        for (const SimCompletion& done : sim.completions()) {
+          if (done.chain_stages > 0) {
+            ASSERT_LT(done.chain_hop, done.chain_stages)
+                << "chain cursor past the last stage at seed " << seed;
+            ++chain_completions;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(chain_completions, 0u)
+      << "the chain mix never delivered a chain completion";
 }
 
 TEST(OverloadPropertySweepTest, DeadlineFreeTrafficUnchangedByAdmission) {
