@@ -4,14 +4,17 @@
 // Paper bands: coal improves the vanilla resume by 16-20%, ppsm by
 // 55-69%, HORSE by up to 85% (7.16x) with a flat O(1) curve (~150 ns on
 // the authors' Xeon; absolute values here are this host's).
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <new>
 
 #include "core/horse_resume.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/reporter.hpp"
 #include "metrics/stats.hpp"
+#include "util/alloc_counter.hpp"
 
 namespace {
 
@@ -20,8 +23,19 @@ using namespace horse;
 constexpr int kRepetitions = 31;
 const std::vector<std::uint32_t> kVcpuSweep{1, 2, 4, 8, 16, 24, 32, 36};
 
-/// Median resume latency for one engine/feature setup at `vcpus`.
-double measure(vmm::ResumeEngine& engine, std::uint32_t vcpus, bool ull) {
+// --strict-alloc: gate the full-HORSE resume on zero heap allocations.
+// Only meaningful when util/alloc_hook.cpp is compiled into this binary
+// (the build does that for fig3; a canary check verifies it is live).
+bool g_strict_alloc = false;
+std::uint64_t g_strict_checked = 0;
+std::uint64_t g_strict_violations = 0;
+
+/// Median resume latency for one engine/feature setup at `vcpus`. With
+/// `strict`, every resume after the first is asserted allocation-free
+/// (rep 0 is the warm-up rep: first-touch growth of reusable buffers is
+/// allowed there, steady state is what the 150 ns claim is about).
+double measure(vmm::ResumeEngine& engine, std::uint32_t vcpus, bool ull,
+               bool strict = false) {
   vmm::SandboxConfig config;
   config.name = "probe";
   config.num_vcpus = vcpus;
@@ -33,7 +47,18 @@ double measure(vmm::ResumeEngine& engine, std::uint32_t vcpus, bool ull) {
   for (int rep = 0; rep < kRepetitions; ++rep) {
     (void)engine.pause(sandbox);
     vmm::ResumeBreakdown bd;
+    const std::uint64_t allocs_before = util::thread_alloc_count();
     (void)engine.resume(sandbox, &bd);
+    const std::uint64_t allocs_after = util::thread_alloc_count();
+    if (strict && g_strict_alloc && rep > 0) {
+      ++g_strict_checked;
+      if (allocs_after != allocs_before) {
+        ++g_strict_violations;
+        std::cerr << "strict-alloc violation: " << (allocs_after - allocs_before)
+                  << " allocation(s) in resume (vcpus=" << vcpus
+                  << " rep=" << rep << ")\n";
+      }
+    }
     samples.add(static_cast<double>(bd.total()));
   }
   (void)engine.destroy(sandbox);
@@ -49,7 +74,26 @@ void add_background(vmm::ResumeEngine& engine, vmm::Sandbox& background) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict-alloc") == 0) {
+      g_strict_alloc = true;
+    }
+  }
+  if (g_strict_alloc) {
+    // Canary: a zero reading is only trustworthy if the counting
+    // operator new is actually linked into this binary. Call operator
+    // new through a volatile pointer so -O3 cannot elide the paired
+    // new/delete the way it can for a make_unique expression.
+    const std::uint64_t before = util::thread_alloc_count();
+    void* (*volatile raw_new)(std::size_t) = ::operator new;
+    ::operator delete(raw_new(sizeof(int)));
+    if (util::thread_alloc_count() == before) {
+      std::cerr << "--strict-alloc: alloc hook not live in this binary\n";
+      return 2;
+    }
+  }
+
   const auto profile = vmm::VmmProfile::firecracker();
   vmm::SandboxConfig bg_config;
   bg_config.name = "background";
@@ -66,7 +110,7 @@ int main() {
   std::vector<Setup> setups;
 
   auto add_setup = [&](const std::string& name, bool horse_engine,
-                       core::HorseFeatures features) {
+                       core::HorseFeatures features, bool strict = false) {
     Setup setup;
     setup.name = name;
     setup.topology = std::make_unique<sched::CpuTopology>(8);
@@ -80,8 +124,8 @@ int main() {
     add_background(*setup.engine, *setup.background);
     const bool ull = horse_engine;
     vmm::ResumeEngine* engine = setup.engine.get();
-    setup.measure = [engine, ull](std::uint32_t vcpus) {
-      return measure(*engine, vcpus, ull);
+    setup.measure = [engine, ull, strict](std::uint32_t vcpus) {
+      return measure(*engine, vcpus, ull, strict);
     };
     setups.push_back(std::move(setup));
   };
@@ -89,7 +133,7 @@ int main() {
   add_setup("vanil", false, {});
   add_setup("coal", true, core::HorseFeatures::coalescing_only());
   add_setup("ppsm", true, core::HorseFeatures::ppsm_only());
-  add_setup("horse", true, core::HorseFeatures::all());
+  add_setup("horse", true, core::HorseFeatures::all(), /*strict=*/true);
 
   // The full-HORSE engine, for the degraded-resume accounting: a fallback
   // merge means a sample was NOT the O(1) splice (stale/poisoned index) —
@@ -162,5 +206,14 @@ int main() {
             << metrics::format_double(flatness, 2)
             << "\nPaper bands: coal 16-20%, ppsm 55-69%, horse up to 85% "
                "(7.16x); horse flat across vCPUs.\n";
+
+  if (g_strict_alloc) {
+    std::cout << "\nstrict-alloc: " << g_strict_checked
+              << " steady-state HORSE resumes checked, " << g_strict_violations
+              << " violation(s)\n";
+    if (g_strict_checked == 0 || g_strict_violations != 0) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -77,6 +77,7 @@
 #include "cluster/scheduler.hpp"
 #include "faas/platform.hpp"
 #include "metrics/csv.hpp"
+#include "metrics/histogram.hpp"
 #include "metrics/reporter.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -380,11 +381,21 @@ int run_single_host(const Options& options) {
           ? static_cast<double>(counters.invocations) / wall_seconds
           : 0.0;
 
+  // Fast-path cycle accounting, aggregated across the sharded engines
+  // (PR 10): p99 of whole-resume TSC cycles, 0 when cycle timing is off
+  // or no HORSE resume ran.
+  metrics::Histogram resume_cycles;
+  for (const auto& engine : platform.horse_engines()) {
+    resume_cycles.merge(engine->cycle_stats().total_cycles);
+  }
+  const double resume_cycles_p99 =
+      static_cast<double>(resume_cycles.p99());
+
   metrics::TextTable table(
       "Macro: closed-loop control-plane throughput",
       {"threads", "invocations", "wall (s)", "inv/s", "cold", "restore",
        "warm", "horse", "failed", "shard contended", "ull contended",
-       "ull paused"});
+       "ull paused", "resume cycles p99"});
   table.add_row({std::to_string(threads), std::to_string(counters.invocations),
                  metrics::format_double(wall_seconds, 3),
                  metrics::format_double(inv_per_sec, 1),
@@ -397,14 +408,15 @@ int run_single_host(const Options& options) {
                      plane.shard_contention.contended_fraction(), 4),
                  metrics::format_double(
                      plane.ull.contention.contended_fraction(), 4),
-                 std::to_string(ull_paused)});
+                 std::to_string(ull_paused),
+                 metrics::format_double(resume_cycles_p99, 0)});
   table.print(std::cout);
 
   if (!options.csv_path.empty()) {
     metrics::CsvWriter csv(
         {"threads", "invocations", "wall_seconds", "inv_per_sec", "cold",
          "restore", "warm", "horse", "failed", "shard_contended_fraction",
-         "ull_contended_fraction", "ull_paused"});
+         "ull_contended_fraction", "ull_paused", "resume_cycles_p99"});
     csv.add_numeric_row({static_cast<double>(threads),
                          static_cast<double>(counters.invocations),
                          wall_seconds, inv_per_sec,
@@ -415,7 +427,8 @@ int run_single_host(const Options& options) {
                          static_cast<double>(counters.failed),
                          plane.shard_contention.contended_fraction(),
                          plane.ull.contention.contended_fraction(),
-                         static_cast<double>(ull_paused)});
+                         static_cast<double>(ull_paused),
+                         resume_cycles_p99});
     if (const auto status = csv.write_file(options.csv_path);
         !status.is_ok()) {
       std::cerr << "csv write failed: " << status.to_report() << "\n";

@@ -66,7 +66,7 @@ int main() {
   metrics::TextTable table(
       "Macro: 1 h trace, keep-alive policy x HORSE",
       {"keep-alive", "horse", "cold %", "uLL init p50", "long init p50",
-       "init p99", "e2e p99", "warm sandbox-hours", "evictions"});
+       "init p99", "e2e p99", "e2e p999", "warm sandbox-hours", "evictions"});
 
   for (const bool adaptive : {false, true}) {
     for (const bool horse : {false, true}) {
@@ -90,6 +90,8 @@ int main() {
                static_cast<double>(report.init_latency.p99())),
            metrics::format_nanos(
                static_cast<double>(report.end_to_end_latency.p99())),
+           metrics::format_nanos(
+               static_cast<double>(report.end_to_end_latency.p999())),
            metrics::format_double(report.warm_sandbox_seconds / 3600.0, 2),
            std::to_string(report.evictions)});
     }
@@ -112,7 +114,8 @@ int main() {
   metrics::TextTable cluster_table(
       "Macro: same hour split across 4 hosts by routing policy (HORSE on, "
       "adaptive keep-alive)",
-      {"policy", "host", "share %", "cold %", "e2e p99", "warm sb-hours"});
+      {"policy", "host", "share %", "cold %", "e2e p99", "e2e p999",
+       "warm sb-hours"});
   for (const cluster::PolicyKind kind :
        {cluster::PolicyKind::kRoundRobin, cluster::PolicyKind::kLeastLoaded,
         cluster::PolicyKind::kMostWarmSlots}) {
@@ -145,6 +148,8 @@ int main() {
            metrics::format_percent(report.cold_fraction()),
            metrics::format_nanos(
                static_cast<double>(report.end_to_end_latency.p99())),
+           metrics::format_nanos(
+               static_cast<double>(report.end_to_end_latency.p999())),
            metrics::format_double(report.warm_sandbox_seconds / 3600.0, 2)});
     }
   }

@@ -42,6 +42,22 @@ struct HorseConfig {
   static constexpr std::uint32_t kInlineSpliceAuto = ~std::uint32_t{0};
   std::uint32_t inline_splice_max_runs = kInlineSpliceAuto;
 
+  // --- resume hot-path tuning (E22 ablation arms flip these off) ---------
+
+  /// Time resume stages with util::CycleClock (fenced rdtsc, one
+  /// calibrated multiply per stage) instead of std::chrono reads, and
+  /// record the per-stage ResumeCycleStats breakdown.
+  bool cycle_timing = true;
+  /// Branchless/SIMD credit comparisons: hybrid anchor search in the
+  /// 𝒫²𝒮ℳ merge path, and the single-lock prefetching merge walk for the
+  /// vanilla sorted-walk fallback (RunQueue::merge_sorted) instead of the
+  /// per-vCPU insert_sorted loop.
+  bool branchless_walk = true;
+  /// Retire untracked 𝒫²𝒮ℳ run nodes to the per-queue epoch reclaimer
+  /// (freed later in maintenance) instead of destroying them inline under
+  /// the ull-manager mutex on the resume path.
+  bool epoch_reclaim = true;
+
   [[nodiscard]] std::size_t effective_crew_size() const {
     if (crew_size != 0) {
       return crew_size;

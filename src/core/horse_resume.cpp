@@ -1,8 +1,11 @@
 #include "core/horse_resume.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "core/splice_calibration.hpp"
+#include "util/cycle_clock.hpp"
+#include "util/epoch.hpp"
 #include "util/fault_injection.hpp"
 
 namespace horse::core {
@@ -17,6 +20,7 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
       ull_(owned_ull_.get()),
       coalescer_(topology.queue(0).pelt().params()) {
   config_.validate();
+  cycle_timing_ = config_.cycle_timing;
   // Standalone shape: this engine serves every reserved queue.
   for (const sched::CpuId cpu : ull_->ull_cpus()) {
     ull_->bind_engine(cpu, this);
@@ -43,6 +47,7 @@ HorseResumeEngine::HorseResumeEngine(sched::CpuTopology& topology,
       ull_(&shared_manager),
       coalescer_(topology.queue(0).pelt().params()) {
   config_.validate();
+  cycle_timing_ = config_.cycle_timing;
   ull_->bind_engine(bound_cpu, this);
   if (config_.merge_mode == MergeMode::kParallel) {
     auto crew = std::make_unique<ParallelMergeCrew>(
@@ -77,6 +82,11 @@ void HorseResumeEngine::disarm_crew() noexcept {
   if (crew_ != nullptr) {
     crew_->disarm();
   }
+}
+
+ResumeCycleStats HorseResumeEngine::cycle_stats() const {
+  util::LockGuard guard(cycle_stats_lock_);
+  return cycle_stats_;
 }
 
 ResumeDegradationStats HorseResumeEngine::degradation_stats() const noexcept {
@@ -192,12 +202,21 @@ util::Status HorseResumeEngine::resume_fallback_merge(
   // degradation rung when the 𝒫²𝒮ℳ index cannot be trusted — the queue
   // stays sorted and the single-queue placement keeps the coalesced
   // step-⑤ update exact in both cases.
-  util::Stopwatch watch;
+  vmm::StageTimer watch(cycle_timing_);
   sched::RunQueue& queue = topology_.queue(cpu);
-  while (!sandbox.merge_vcpus().empty()) {
-    sched::Vcpu& vcpu = sandbox.merge_vcpus().pop_front();
+  if (config_.branchless_walk) {
+    // One lock hold, one monotone branch-free scan over the whole
+    // pre-sorted merge list (RunQueue::merge_sorted is element-equivalent
+    // to the per-vCPU loop below and publishes a single journal batch).
     util::LockGuard guard(queue.lock());
-    queue.insert_sorted(vcpu);
+    queue.merge_sorted(sandbox.merge_vcpus());
+  } else {
+    // Scalar baseline arm: n lock round-trips, n O(|queue|) walks.
+    while (!sandbox.merge_vcpus().empty()) {
+      sched::Vcpu& vcpu = sandbox.merge_vcpus().pop_front();
+      util::LockGuard guard(queue.lock());
+      queue.insert_sorted(vcpu);
+    }
   }
   breakdown.merge += watch.elapsed() +
                      static_cast<util::Nanos>(sandbox.num_vcpus()) *
@@ -230,21 +249,38 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
   vmm::ResumeBreakdown& bd = breakdown != nullptr ? *breakdown : local;
   bd = {};
 
-  HORSE_RETURN_IF_ERROR(run_prologue(sandbox, bd));
+  // Per-stage cycle boundaries (tentpole item 1): five fenced rdtsc reads
+  // on the fast path, off when the baseline arm disables cycle_timing or
+  // the target has no usable counter.
+  const bool cycle_accounting = cycle_timing_ && util::CycleClock::available();
+  const std::uint64_t c0 = cycle_accounting ? util::CycleClock::now() : 0;
 
-  const auto assignment = ull_->assignment(sandbox.id());
-  if (!assignment) {
+  HORSE_RETURN_IF_ERROR(run_prologue(sandbox, bd));
+  const std::uint64_t c1 = cycle_accounting ? util::CycleClock::now() : 0;
+
+  // ONE manager-lock acquisition for assignment + index (pre-PR-10 code
+  // paid two: assignment() here and index_of() inside step ④). The queue's
+  // reclamation epoch is pinned INSIDE that hold, while the node is still
+  // tracked: a concurrent untrack (rogue destroy racing this resume) can
+  // only retire the node after the pin is visible, so the reclaimer
+  // cannot free it until the guard unpins. Pinning after lookup() returns
+  // would leave a window where maintenance pumps advance the epoch and
+  // free the index under step ④.
+  std::optional<util::EpochReclaimer::ReadGuard> epoch_pin;
+  const auto looked = ull_->lookup(sandbox.id(), &epoch_pin);
+  if (!looked) {
     resume_lock_.unlock();
-    return assignment.status();
+    return looked.status();
   }
-  const sched::CpuId cpu = *assignment;
+  const sched::CpuId cpu = (*looked).cpu;
   sched::RunQueue& queue = topology_.queue(cpu);
   const std::uint32_t n = sandbox.num_vcpus();
+  const std::uint64_t c2 = cycle_accounting ? util::CycleClock::now() : 0;
 
   // --- step ④: one 𝒫²𝒮ℳ merge, degrading to the vanilla sorted walk ------
   if (features_.use_p2sm) {
-    util::Stopwatch watch;
-    P2smIndex* index = ull_->index_of(sandbox.id());
+    vmm::StageTimer watch(cycle_timing_);
+    P2smIndex* index = (*looked).index;
     if (index == nullptr) {
       resume_lock_.unlock();
       return {util::StatusCode::kFailedPrecondition,
@@ -325,9 +361,14 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
     }
   }
 
+  // Step ④ done: the index pointer is dead from here on, so drop the pin
+  // before step ⑤ — a long load update must not hold the epoch back.
+  epoch_pin.reset();
+  const std::uint64_t c3 = cycle_accounting ? util::CycleClock::now() : 0;
+
   // --- step ⑤: load update, coalesced or iterative ------------------------
   {
-    util::Stopwatch watch;
+    vmm::StageTimer watch(cycle_timing_);
     if (features_.use_coalescing) {
       const vmm::CoalescePrecompute& pre = sandbox.coalesce();
       if (pre.valid) {
@@ -354,6 +395,19 @@ util::Status HorseResumeEngine::resume(vmm::Sandbox& sandbox,
   ull_->untrack(sandbox.id());
 
   run_epilogue(sandbox, bd);
+  const std::uint64_t c4 = cycle_accounting ? util::CycleClock::now() : 0;
+
+  if (cycle_accounting) {
+    // Off the timed path (after c4); the spinlock is a leaf lock held for
+    // five adds and one allocation-free histogram record.
+    util::LockGuard guard(cycle_stats_lock_);
+    ++cycle_stats_.resumes;
+    cycle_stats_.prologue_cycles += c1 - c0;
+    cycle_stats_.lookup_cycles += c2 - c1;
+    cycle_stats_.splice_cycles += c3 - c2;
+    cycle_stats_.publish_cycles += c4 - c3;
+    cycle_stats_.total_cycles.record(static_cast<util::Nanos>(c4 - c0));
+  }
 
   // Off-hot-path repair for whatever degraded this resume (no-op when the
   // fast path ran). After the epilogue: the caller's measured latency

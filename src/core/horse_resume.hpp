@@ -24,6 +24,8 @@
 #include "core/config.hpp"
 #include "core/merge_crew.hpp"
 #include "core/ull_manager.hpp"
+#include "metrics/histogram.hpp"
+#include "util/spinlock.hpp"
 #include "vmm/resume_engine.hpp"
 
 namespace horse::core {
@@ -35,6 +37,25 @@ struct HorseFeatures {
   [[nodiscard]] static HorseFeatures all() { return {true, true}; }
   [[nodiscard]] static HorseFeatures ppsm_only() { return {true, false}; }
   [[nodiscard]] static HorseFeatures coalescing_only() { return {false, true}; }
+};
+
+/// Per-stage cycle accounting for the HORSE fast path. Recorded only when
+/// HorseConfig::cycle_timing is on AND CycleClock has a real counter; the
+/// stage sums are raw TSC cycles (convert with CycleClock::cycles_to_nanos
+/// for reporting). Stage boundaries:
+///   prologue   — steps ①-③ (parse, lock, sanity)
+///   lookup     — the single manager-lock assignment+index fetch
+///   splice     — step ④ (𝒫²𝒮ℳ merge or the fallback walk) + vCPU state
+///   publish    — step ⑤ load update, untrack/retire, step ⑥ epilogue
+/// total_cycles is the whole-resume distribution (recorded in cycles, so
+/// its quantiles are cycle counts, not nanoseconds).
+struct ResumeCycleStats {
+  std::uint64_t resumes = 0;
+  std::uint64_t prologue_cycles = 0;
+  std::uint64_t lookup_cycles = 0;
+  std::uint64_t splice_cycles = 0;
+  std::uint64_t publish_cycles = 0;
+  metrics::Histogram total_cycles;
 };
 
 /// Counters for the engine's degradation rungs (monotonic; snapshot via
@@ -97,6 +118,10 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
 
   [[nodiscard]] ResumeDegradationStats degradation_stats() const noexcept;
 
+  /// Snapshot of the per-stage cycle accounting (copy under an internal
+  /// spinlock; ~10 KB, so call this from reporting paths, not hot loops).
+  [[nodiscard]] ResumeCycleStats cycle_stats() const;
+
   /// Pre-arm / disarm the parallel crew around a resume burst (no-op in
   /// sequential mode).
   void arm_crew() noexcept;
@@ -153,6 +178,12 @@ class HorseResumeEngine final : public vmm::ResumeEngine {
   SequentialMergeExecutor inline_executor_;
   std::uint32_t inline_splice_threshold_ = 0;
   std::atomic<std::uint64_t> inline_splices_{0};
+
+  // Cycle accounting. The recording site runs after the epilogue released
+  // resume_lock_, so a spinlock (last in the lock hierarchy, leaf-only)
+  // serialises engine-local recording against cycle_stats() snapshots.
+  mutable util::Spinlock cycle_stats_lock_;
+  ResumeCycleStats cycle_stats_;
 
   // Degradation bookkeeping. needs_refresh_ is set inside the timed path
   // (one relaxed store) and consumed after the epilogue.

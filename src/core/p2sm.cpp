@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "sched/credit_scan.hpp"
 #include "util/dcheck.hpp"
 #include "util/fault_injection.hpp"
 
@@ -28,7 +29,16 @@ const P2smIndex::RunEntry* P2smIndex::RunsView::find(
 
 P2smIndex::AnchorIndex P2smIndex::anchor_for(sched::Credit credit) const noexcept {
   // First element of B strictly greater than `credit`; everything before
-  // it is <= credit, so the anchor is the element just before it.
+  // it is <= credit, so the anchor is the element just before it. The
+  // hybrid scan counts <=credit linearly (SIMD/branch-free) on the short
+  // snapshots the hot path sees and falls back to a cmov binary search on
+  // long ones; identical result to std::upper_bound on sorted creditsB.
+  if (branchless_) {
+    return static_cast<AnchorIndex>(
+               sched::credit_scan::credit_upper_bound(credits_b_, b_size_,
+                                                      credit)) -
+           1;
+  }
   const auto it = std::upper_bound(credits_b_, credits_b_ + b_size_, credit);
   return static_cast<AnchorIndex>(it - credits_b_) - 1;
 }
@@ -76,6 +86,13 @@ void P2smIndex::rebuild(sched::VcpuList& a, sched::RunQueue& b) {
   pos_a_.clear();
   if (pos_a_.capacity() < a.size()) {
     pos_a_.reserve(a.size());
+  }
+  // Pre-size the splice buffer HERE (pause-time) so merge()'s reserve is
+  // a guaranteed no-op: the resume hot path must stay allocation-free
+  // even on the first merge of a freshly built index (fig3
+  // --strict-alloc gates on this).
+  if (task_buffer_.capacity() < a.size()) {
+    task_buffer_.reserve(a.size());
   }
   for (sched::Vcpu& vcpu : a) {
     const AnchorIndex anchor = anchor_for(vcpu.credit);
@@ -179,8 +196,12 @@ bool P2smIndex::apply_remove_delta(const sched::QueueDelta& delta) {
     // Remove-by-node: resolve the position from the credit (binary search)
     // plus the hook identity among equal credits.
     const sched::Credit c = delta.credit;
-    auto* it = std::lower_bound(credits_b_, credits_b_ + b_size_, c);
-    std::size_t i = static_cast<std::size_t>(it - credits_b_);
+    std::size_t i =
+        branchless_
+            ? sched::credit_scan::branchless_lower_bound(credits_b_, b_size_, c)
+            : static_cast<std::size_t>(
+                  std::lower_bound(credits_b_, credits_b_ + b_size_, c) -
+                  credits_b_);
     while (i < b_size_ && credits_b_[i] == c && hooks_b_[i] != delta.hook) {
       ++i;
     }
@@ -519,11 +540,26 @@ util::Status P2smIndex::merge(sched::VcpuList& a, sched::RunQueue& b,
   HORSE_DCHECK_OK(audit(a, b));
 
   // Materialise the splice set. task_buffer_ is reused so the steady-state
-  // merge allocates nothing.
+  // merge allocates nothing. The loop streams the repacked RunEntry table
+  // (two entries per cache line) and prefetches one entry ahead plus the
+  // anchor hook that entry will dereference, so the splice build never
+  // stalls on a cold arrayB node.
   task_buffer_.clear();
   task_buffer_.reserve(pos_a_.size());
   std::size_t total = 0;
-  for (const auto& [anchor, run] : runs()) {
+  const RunEntry* entries = pos_a_.data();
+  const std::size_t n_runs = pos_a_.size();
+  for (std::size_t r = 0; r < n_runs; ++r) {
+    if (r + 1 < n_runs) {
+      sched::credit_scan::prefetch(entries + r + 1);
+      const AnchorIndex next_anchor = entries[r + 1].anchor;
+      if (next_anchor != kBeforeHead) {
+        sched::credit_scan::prefetch(
+            hooks_b_[static_cast<std::size_t>(next_anchor)]);
+      }
+    }
+    const AnchorIndex anchor = entries[r].anchor;
+    const Run& run = entries[r].run;
     util::ListHook* anchor_hook =
         anchor == kBeforeHead ? b.list().sentinel()
                               : hooks_b_[static_cast<std::size_t>(anchor)];

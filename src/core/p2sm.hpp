@@ -41,6 +41,7 @@
 #include "core/merge_crew.hpp"
 #include "sched/run_queue.hpp"
 #include "sched/vcpu.hpp"
+#include "util/align.hpp"
 #include "util/status.hpp"
 
 namespace horse::core {
@@ -76,10 +77,26 @@ class P2smIndex {
   /// One run-table entry: anchor plus its run, stored contiguously in
   /// anchor order. Structured bindings decompose it exactly like the old
   /// map's value_type: `for (const auto& [anchor, run] : index.runs())`.
-  struct RunEntry {
-    AnchorIndex anchor = kBeforeHead;
-    Run run;
+  ///
+  /// Layout is load-bearing: the merge loop streams these sequentially and
+  /// touches every field of every entry, so the entry is packed to exactly
+  /// half a cache line and aligned to its own size — two entries per line,
+  /// no entry ever straddling a line boundary, and the next-line prefetch
+  /// in merge() always covers whole entries. The anchor leads because the
+  /// splice-task build reads it first (it selects the anchor hook).
+  struct alignas(32) RunEntry {
+    AnchorIndex anchor = kBeforeHead;  // 8B: read first, selects anchor hook
+    Run run;                           // 24B: head, tail, count
   };
+  static_assert(sizeof(RunEntry) == 32,
+                "RunEntry must stay exactly half a cache line: the merge "
+                "loop's prefetch stride and the two-entries-per-line packing "
+                "both assume 32 bytes");
+  static_assert(alignof(RunEntry) == 32,
+                "RunEntry must be self-aligned so no entry straddles a "
+                "cache-line boundary");
+  static_assert(util::kCacheLineSize % sizeof(RunEntry) == 0,
+                "a cache line must hold a whole number of RunEntries");
 
   /// Opaque, container-agnostic view over the run table in anchor order.
   /// Callers iterate RunEntry values or look up by anchor; the backing
@@ -207,6 +224,14 @@ class P2smIndex {
     return {pos_a_.data(), pos_a_.size()};
   }
 
+  /// Select the credit-comparison strategy for the anchor search and the
+  /// delta-replay position searches: branchless/SIMD hybrid (default) or
+  /// the plain std:: binary searches (the E22 scalar baseline arm). Both
+  /// produce identical results on sorted input — asserted by the 1024-seed
+  /// equivalence sweep.
+  void set_branchless(bool branchless) noexcept { branchless_ = branchless; }
+  [[nodiscard]] bool branchless() const noexcept { return branchless_; }
+
  private:
   /// Largest index i with creditsB[i] <= credit, or kBeforeHead.
   [[nodiscard]] AnchorIndex anchor_for(sched::Credit credit) const noexcept;
@@ -242,6 +267,7 @@ class P2smIndex {
   std::uint64_t built_version_ = 0;
   bool built_ = false;
   bool poisoned_ = false;
+  bool branchless_ = true;
   P2smStats stats_;
 };
 

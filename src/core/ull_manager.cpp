@@ -14,7 +14,9 @@ using ManagerLock = metrics::MeteredLock<std::mutex>;
 
 UllRunQueueManager::UllRunQueueManager(sched::CpuTopology& topology,
                                        const HorseConfig& config)
-    : topology_(topology) {
+    : topology_(topology),
+      epoch_reclaim_(config.epoch_reclaim),
+      branchless_walk_(config.branchless_walk) {
   config.validate();
   if (config.num_ull_runqueues >= topology.num_cpus()) {
     throw std::invalid_argument(
@@ -27,6 +29,24 @@ UllRunQueueManager::UllRunQueueManager(sched::CpuTopology& topology,
     ull_cpus_.push_back(cpu);
   }
   occupancy_.assign(ull_cpus_.size(), 0);
+}
+
+UllRunQueueManager::~UllRunQueueManager() {
+  // Still-tracked nodes are owned by the map; retired ones by the queue
+  // reclaimers. Drain the latter too — by the time the manager dies the
+  // platform guarantees no resume is in flight, so no reader can be
+  // pinned, and leaving garbage for the topology's (later) destruction
+  // would just hide leaks from the sanitizer runs.
+  for (auto& [id, node] : tracked_) {
+    delete node;
+  }
+  for (const sched::CpuId cpu : ull_cpus_) {
+    topology_.queue(cpu).epoch().drain();
+  }
+}
+
+void UllRunQueueManager::pump_reclaim(sched::CpuId cpu) noexcept {
+  topology_.queue(cpu).epoch().try_reclaim();
 }
 
 std::size_t& UllRunQueueManager::occupancy_slot(sched::CpuId cpu) {
@@ -73,34 +93,65 @@ util::Expected<sched::CpuId> UllRunQueueManager::assignment(
 }
 
 util::Status UllRunQueueManager::track(vmm::Sandbox& sandbox) {
-  ManagerLock lock(mutex_, meter_);
-  const auto it = assignments_.find(sandbox.id());
-  if (it == assignments_.end()) {
-    return {util::StatusCode::kFailedPrecondition,
-            "ull: assign() before track()"};
-  }
-  if (sandbox.merge_vcpus().size() == 0) {
-    return {util::StatusCode::kFailedPrecondition,
-            "ull: sandbox has no parked vCPUs (not paused?)"};
-  }
-  Tracked tracked;
-  tracked.sandbox = &sandbox;
-  tracked.cpu = it->second;
-  tracked.index = std::make_unique<P2smIndex>();
+  sched::CpuId cpu;
   {
-    // The build reads the target queue's structure; hold its lock so a
-    // concurrent resume splicing into the same queue cannot interleave.
-    sched::RunQueue& queue = topology_.queue(tracked.cpu);
-    util::LockGuard guard(queue.lock());
-    tracked.index->rebuild(sandbox.merge_vcpus(), queue);
+    ManagerLock lock(mutex_, meter_);
+    const auto it = assignments_.find(sandbox.id());
+    if (it == assignments_.end()) {
+      return {util::StatusCode::kFailedPrecondition,
+              "ull: assign() before track()"};
+    }
+    if (sandbox.merge_vcpus().size() == 0) {
+      return {util::StatusCode::kFailedPrecondition,
+              "ull: sandbox has no parked vCPUs (not paused?)"};
+    }
+    auto* node = new TrackedNode;
+    node->sandbox = &sandbox;
+    node->cpu = cpu = it->second;
+    node->index.set_branchless(branchless_walk_);
+    node->retire.owner = node;
+    node->retire.destroy = &destroy_node;
+    {
+      // The build reads the target queue's structure; hold its lock so a
+      // concurrent resume splicing into the same queue cannot interleave.
+      sched::RunQueue& queue = topology_.queue(node->cpu);
+      util::LockGuard guard(queue.lock());
+      node->index.rebuild(sandbox.merge_vcpus(), queue);
+    }
+    TrackedNode*& slot = tracked_[sandbox.id()];
+    if (slot != nullptr) {
+      // Re-track without an intervening untrack: the old node follows the
+      // same retire-or-delete path an untrack would have taken.
+      if (epoch_reclaim_) {
+        topology_.queue(slot->cpu).epoch().retire(&slot->retire);
+      } else {
+        delete slot;
+      }
+    }
+    slot = node;
   }
-  tracked_[sandbox.id()] = std::move(tracked);
+  // Pause-time maintenance is where retired garbage gets freed — off the
+  // resume path, holding neither the manager mutex nor any queue lock.
+  pump_reclaim(cpu);
   return util::Status::ok();
 }
 
 void UllRunQueueManager::untrack(sched::SandboxId id) {
   ManagerLock lock(mutex_, meter_);
-  tracked_.erase(id);
+  if (const auto it = tracked_.find(id); it != tracked_.end()) {
+    TrackedNode* node = it->second;
+    // Erase first: after this no new reader can look the node up, so the
+    // epoch protocol only has to cover readers already holding a pointer.
+    // Those readers were pinned inside lookup(), under this same mutex —
+    // i.e. strictly before this retire — so the reclaimer cannot free the
+    // node under them.
+    tracked_.erase(it);
+    if (epoch_reclaim_) {
+      topology_.queue(node->cpu).epoch().retire(&node->retire);
+    } else {
+      delete node;
+    }
+  }
   if (const auto it = assignments_.find(id); it != assignments_.end()) {
     --occupancy_slot(it->second);
     assignments_.erase(it);
@@ -108,27 +159,37 @@ void UllRunQueueManager::untrack(sched::SandboxId id) {
 }
 
 std::size_t UllRunQueueManager::refresh() {
-  ManagerLock lock(mutex_, meter_);
   std::size_t refreshed = 0;
-  for (auto& [id, tracked] : tracked_) {
-    sched::RunQueue& queue = topology_.queue(tracked.cpu);
-    util::LockGuard guard(queue.lock());
-    P2smIndex& index = *tracked.index;
-    if (index.fresh(queue) && !index.poisoned()) {
-      continue;
-    }
-    // Incremental first: replay the queue's mutation journal in
-    // O(runs + delta). This is what kills the rebuild storm — N
-    // co-resident indexes used to pay O(N·(|A|+|B|)) per queue mutation.
-    if (index.built() && !index.poisoned() &&
-        index.repair(tracked.sandbox->merge_vcpus(), queue).is_ok()) {
+  std::vector<sched::CpuId> cpus;
+  {
+    ManagerLock lock(mutex_, meter_);
+    cpus = ull_cpus_;
+    for (auto& [id, node] : tracked_) {
+      sched::RunQueue& queue = topology_.queue(node->cpu);
+      util::LockGuard guard(queue.lock());
+      P2smIndex& index = node->index;
+      if (index.fresh(queue) && !index.poisoned()) {
+        continue;
+      }
+      // Incremental first: replay the queue's mutation journal in
+      // O(runs + delta). This is what kills the rebuild storm — N
+      // co-resident indexes used to pay O(N·(|A|+|B|)) per queue mutation.
+      if (index.built() && !index.poisoned() &&
+          index.repair(node->sandbox->merge_vcpus(), queue).is_ok()) {
+        ++refreshed;
+        continue;
+      }
+      // Journal gap, poisoning, or a failed audit: the O(|A|+|B|) fallback
+      // cures every repair failure mode.
+      index.rebuild(node->sandbox->merge_vcpus(), queue);
       ++refreshed;
-      continue;
     }
-    // Journal gap, poisoning, or a failed audit: the O(|A|+|B|) fallback
-    // cures every repair failure mode.
-    index.rebuild(tracked.sandbox->merge_vcpus(), queue);
-    ++refreshed;
+  }
+  // The refresh sweep doubles as the reclaim pump for every reserved
+  // queue (refresh runs from ticks/deferred-refresh, never from the
+  // timed resume window).
+  for (const sched::CpuId cpu : cpus) {
+    pump_reclaim(cpu);
   }
   return refreshed;
 }
@@ -136,7 +197,32 @@ std::size_t UllRunQueueManager::refresh() {
 P2smIndex* UllRunQueueManager::index_of(sched::SandboxId id) {
   ManagerLock lock(mutex_, meter_);
   const auto it = tracked_.find(id);
-  return it == tracked_.end() ? nullptr : it->second.index.get();
+  return it == tracked_.end() ? nullptr : &it->second->index;
+}
+
+util::Expected<UllRunQueueManager::LookupResult> UllRunQueueManager::lookup(
+    sched::SandboxId id,
+    std::optional<util::EpochReclaimer::ReadGuard>* epoch_pin) {
+  ManagerLock lock(mutex_, meter_);
+  const auto assigned = assignments_.find(id);
+  if (assigned == assignments_.end()) {
+    return util::Status{util::StatusCode::kNotFound,
+                        "ull: sandbox has no queue assignment"};
+  }
+  LookupResult result;
+  result.cpu = assigned->second;
+  const auto it = tracked_.find(id);
+  result.index = it == tracked_.end() ? nullptr : &it->second->index;
+  // Pin while the node is still in tracked_, i.e. before any untrack can
+  // retire it: retire() runs only under this mutex, so once the pin is
+  // published here no subsequent retirement of this node can be freed
+  // until the caller drops the guard (the reclaimer cannot advance two
+  // epochs past a pinned reader). Pin/unpin are lock-free, so this adds
+  // two atomics to the mutex hold, never a wait.
+  if (epoch_pin != nullptr && epoch_reclaim_ && result.index != nullptr) {
+    epoch_pin->emplace(topology_.queue(result.cpu).epoch());
+  }
+  return result;
 }
 
 std::size_t UllRunQueueManager::tracked_count() const {
@@ -252,8 +338,8 @@ util::Status UllRunQueueManager::shrink() {
 std::size_t UllRunQueueManager::total_index_bytes() const {
   ManagerLock lock(mutex_, meter_);
   std::size_t total = 0;
-  for (const auto& [id, tracked] : tracked_) {
-    total += tracked.index->memory_bytes() + sizeof(Tracked);
+  for (const auto& [id, node] : tracked_) {
+    total += node->index.memory_bytes() + sizeof(TrackedNode);
   }
   return total;
 }

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "core/p2sm.hpp"
 #include "metrics/contention.hpp"
 #include "sched/topology.hpp"
+#include "util/epoch.hpp"
 #include "util/status.hpp"
 #include "vmm/sandbox.hpp"
 
@@ -63,6 +65,8 @@ class UllRunQueueManager {
     return ull_cpus_;
   }
 
+  ~UllRunQueueManager();
+
   /// Pause-time assignment: least-occupied reserved queue, decided from
   /// the per-queue counters (O(#queues), not O(#tracked)).
   [[nodiscard]] sched::CpuId assign(vmm::Sandbox& sandbox);
@@ -71,13 +75,40 @@ class UllRunQueueManager {
   [[nodiscard]] util::Expected<sched::CpuId> assignment(
       sched::SandboxId id) const;
 
+  /// assignment() + index_of() under ONE mutex hold — the resume fast
+  /// path's single manager-lock acquisition. `index` is nullptr when the
+  /// sandbox is assigned but not tracked (e.g. 𝒫²𝒮ℳ disabled). The
+  /// pointer-validity contract of index_of() applies unless the caller
+  /// passes `epoch_pin`: then, when epoch reclamation is on and an index
+  /// was found, the target queue's epoch is pinned INSIDE the mutex hold,
+  /// while the node is still reachable. retire() only ever runs under
+  /// this same mutex (untrack/re-track), so a racing untrack either
+  /// completed before the lookup (index comes back nullptr) or starts
+  /// after the pin is visible — the reclaimer can then never advance far
+  /// enough to free the node until the guard is dropped. Pinning after
+  /// lookup() returns would leave a window where maintenance pumps free
+  /// the node under the caller.
+  struct LookupResult {
+    sched::CpuId cpu = 0;
+    P2smIndex* index = nullptr;
+  };
+  [[nodiscard]] util::Expected<LookupResult> lookup(
+      sched::SandboxId id,
+      std::optional<util::EpochReclaimer::ReadGuard>* epoch_pin = nullptr);
+
   /// Register a paused sandbox and build its 𝒫²𝒮ℳ index against its
   /// assigned queue (under that queue's lock). Requires merge_vcpus to be
   /// populated (post-pause).
   util::Status track(vmm::Sandbox& sandbox);
 
   /// Drop tracking (after resume or destroy); releases the sandbox's
-  /// occupancy slot.
+  /// occupancy slot. With `HorseConfig::epoch_reclaim` the tracked node
+  /// (and its 𝒫²𝒮ℳ index) is NOT destroyed here: it is retired lock-free
+  /// to the target queue's epoch reclaimer, and freed later by the
+  /// try_reclaim() pump in track()/refresh() — the resume path never pays
+  /// heap frees under the manager mutex, and a racing reader stays safe
+  /// because its pin was published inside lookup(), under this same
+  /// mutex, while the node was still tracked.
   void untrack(sched::SandboxId id);
 
   /// Bring every index whose target queue changed since it was built (or
@@ -151,11 +182,23 @@ class UllRunQueueManager {
   util::Status shrink();
 
  private:
-  struct Tracked {
+  /// Heap-allocated tracking record. Owned by tracked_ while live; after
+  /// untrack() ownership passes to the target queue's epoch reclaimer
+  /// (via `retire`), which destroys it through destroy_node(). The index
+  /// lives inline so node + run table share one lifetime.
+  struct TrackedNode {
     vmm::Sandbox* sandbox = nullptr;
     sched::CpuId cpu = 0;
-    std::unique_ptr<P2smIndex> index;
+    P2smIndex index;
+    util::EpochRetireNode retire;
   };
+  static void destroy_node(void* owner) noexcept {
+    delete static_cast<TrackedNode*>(owner);
+  }
+
+  /// Free whatever garbage the reclaimer of `cpu`'s queue has matured.
+  /// Maintenance-path only: must not hold any queue lock.
+  void pump_reclaim(sched::CpuId cpu) noexcept;
 
   [[nodiscard]] std::size_t& occupancy_slot(sched::CpuId cpu);
 
@@ -167,7 +210,9 @@ class UllRunQueueManager {
   /// updated on assign/untrack (and re-assign), consulted by assign() and
   /// shrink() instead of scanning tracked_.
   std::vector<std::size_t> occupancy_;
-  std::unordered_map<sched::SandboxId, Tracked> tracked_;
+  std::unordered_map<sched::SandboxId, TrackedNode*> tracked_;
+  const bool epoch_reclaim_;
+  const bool branchless_walk_;
   std::unordered_map<sched::SandboxId, sched::CpuId> assignments_;
   std::unordered_map<sched::CpuId, HorseResumeEngine*> engines_;
 };

@@ -77,12 +77,17 @@ ColocationResult ColocationExperiment::run(
     }
   }
 
-  sched::Credit2Scheduler scheduler(topology);
+  sched::Credit2Params sched_params;
+  sched_params.short_function_first = params_.short_function_first;
+  sched_params.preemption_resistance = params_.preemption_resistance;
+  sched::Credit2Scheduler scheduler(topology, sched_params);
   sim::CpuExecutor executor(sim, scheduler);
+  executor.set_wake_preemption(params_.wake_preemption);
   util::Xoshiro256 rng(params_.seed);
   trace::DurationSampler durations(params_.thumbnail_durations,
                                    params_.seed + 1);
   metrics::SampleStats latencies;
+  metrics::SampleStats ull_latencies;
 
   // Live vCPU storage: one per in-flight task, reclaimed on completion.
   std::unordered_map<sched::Vcpu*, std::unique_ptr<sched::Vcpu>> live;
@@ -146,7 +151,7 @@ ColocationResult ColocationExperiment::run(
       const util::Nanos when =
           static_cast<util::Nanos>(s) * util::kSecond +
           static_cast<util::Nanos>(rng.uniform01() * 0.9 * util::kSecond);
-      sim.schedule_at(when, [&] {
+      sim.schedule_at(when, [&, when] {
         ++ull_triggers;
         if (horse) {
           const util::Nanos resume = costs_.horse_resume(params_.ull_vcpus);
@@ -159,10 +164,15 @@ ColocationResult ColocationExperiment::run(
             const auto victim = general_cpus[rng.bounded(general_cpus.size())];
             executor.block_cpu(victim, params_.merge_preempt_cost);
           }
-          sim.schedule_after(resume, [&, target] {
+          sim.schedule_after(resume, [&, target, when] {
             sched::Vcpu& vcpu = make_vcpu();
+            vcpu.ull = true;
             executor.submit(vcpu, target, params_.ull_exec,
-                            [&](sched::Vcpu& done) { live.erase(&done); });
+                            [&, when](sched::Vcpu& done) {
+                              ull_latencies.add(
+                                  static_cast<double>(sim.now() - when));
+                              live.erase(&done);
+                            });
           });
         } else {
           const util::Nanos resume = costs_.init_warm(params_.ull_vcpus);
@@ -176,10 +186,15 @@ ColocationResult ColocationExperiment::run(
                                share);
           }
           const sched::CpuId cpu = pick_general();
-          sim.schedule_after(resume, [&, cpu] {
+          sim.schedule_after(resume, [&, cpu, when] {
             sched::Vcpu& vcpu = make_vcpu();
+            vcpu.ull = true;
             executor.submit(vcpu, cpu, params_.ull_exec,
-                            [&](sched::Vcpu& done) { live.erase(&done); });
+                            [&, when](sched::Vcpu& done) {
+                              ull_latencies.add(
+                                  static_cast<double>(sim.now() - when));
+                              live.erase(&done);
+                            });
           });
         }
       });
@@ -225,6 +240,9 @@ ColocationResult ColocationExperiment::run(
   result.completed = latencies.size();
   result.preemptions = executor.preemptions();
   result.ull_triggers = ull_triggers;
+  result.ull_mean_ns = ull_latencies.summarize().mean;
+  result.ull_p99_ns = ull_latencies.percentile(99.0);
+  result.ull_completed = ull_latencies.size();
 
   sched::EnergyModel energy;
   double joules = 0.0;

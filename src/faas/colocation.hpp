@@ -59,6 +59,21 @@ struct ColocationParams {
       .tail_max = 5 * util::kSecond,
       .tail_alpha = 1.5,
   };
+  /// Consult Credit2Scheduler::should_preempt() on every submit and let a
+  /// winning candidate cancel the running slice (CpuExecutor wake
+  /// preemption). Off by default: the historical run-to-slice-end
+  /// executor behaviour, bit-identical results for existing arms.
+  bool wake_preemption = false;
+  /// Wake-preemption resistance handed to Credit2Params. The default
+  /// matches the scheduler's own; raise it above `reset_credit` to damp
+  /// credit-based wake preemption entirely — the regime where only the
+  /// SFS bypass can get a short function onto a busy CPU.
+  std::int64_t preemption_resistance = 500 * util::kMicrosecond;
+  /// The SFS knob under test (Credit2Params::short_function_first): uLL
+  /// candidates bypass preemption resistance — and the credit compare —
+  /// against non-uLL runners. Only observable with wake_preemption on;
+  /// sweep it with wake_preemption held constant to isolate the knob.
+  bool short_function_first = false;
   std::uint64_t seed = 99;
 };
 
@@ -75,6 +90,12 @@ struct ColocationResult {
   /// governor.
   double energy_joules = 0.0;
   double mean_freq_khz = 0.0;
+  /// uLL end-to-end latency (trigger → function completion, resume
+  /// included) — the quantity the SFS knob is supposed to improve without
+  /// regressing the thumbnail p99 above.
+  double ull_mean_ns = 0.0;
+  double ull_p99_ns = 0.0;
+  std::size_t ull_completed = 0;
 };
 
 class ColocationExperiment {

@@ -37,6 +37,7 @@ class Histogram {
   [[nodiscard]] util::Nanos p50() const noexcept { return quantile(0.50); }
   [[nodiscard]] util::Nanos p95() const noexcept { return quantile(0.95); }
   [[nodiscard]] util::Nanos p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] util::Nanos p999() const noexcept { return quantile(0.999); }
 
   void clear() noexcept;
 

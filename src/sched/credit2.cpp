@@ -66,6 +66,12 @@ void Credit2Scheduler::charge_and_requeue(Vcpu& vcpu, util::Nanos ran,
   }
 }
 
+void Credit2Scheduler::dispatch_direct(Vcpu& vcpu, CpuId cpu) {
+  vcpu.last_cpu = cpu;
+  vcpu.state = VcpuState::kRunning;
+  trace_event(TraceEvent::kDispatch, cpu, &vcpu);
+}
+
 Credit2Scheduler::WakeResult Credit2Scheduler::wake(
     Vcpu& vcpu, const Vcpu* running_on_target) {
   WakeResult result;

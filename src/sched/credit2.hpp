@@ -32,6 +32,12 @@ struct Credit2Params {
   /// Credit advantage a waking vCPU needs before it preempts the running
   /// one (credit2's "migration resistance" against ping-ponging).
   Credit preemption_resistance = 500 * util::kMicrosecond;
+  /// SFS-style short-function-first (PAPERS.md): when set, a uLL candidate
+  /// bypasses `preemption_resistance` — and the credit comparison — against
+  /// a non-uLL runner. A sub-microsecond slice should never wait out a
+  /// long tenant's multi-millisecond slice; the runner loses at most ~1 µs
+  /// of its slice. uLL-vs-uLL and everything else keep stock semantics.
+  bool short_function_first = false;
 
   void validate() const {
     if (reset_credit <= 0 || default_slice <= 0 || ull_slice <= 0) {
@@ -84,6 +90,12 @@ class Credit2Scheduler {
     if (candidate.priority != running.priority) {
       return candidate.priority > running.priority;
     }
+    // SFS: a short (uLL) candidate immediately preempts a long (non-uLL)
+    // runner regardless of credit — long tenants burn credit downward, so
+    // a fresh uLL vCPU would otherwise never clear the resistance bar.
+    if (params_.short_function_first && candidate.ull && !running.ull) {
+      return true;
+    }
     return candidate.credit + params_.preemption_resistance < running.credit;
   }
 
@@ -95,6 +107,14 @@ class Credit2Scheduler {
     bool preempt = false;
   };
   WakeResult wake(Vcpu& vcpu, const Vcpu* running_on_target = nullptr);
+
+  /// Hand `cpu` directly to a preemption winner that was never enqueued
+  /// (SFS wake preemption). Dispatch is lowest-credit-first and long
+  /// runners burn credit downward, so requeue-then-schedule() would give
+  /// the CPU straight back to the just-preempted victim; the executor
+  /// instead dispatches the winner in place. Sets running state and
+  /// traces the dispatch; the caller must have requeued the victim.
+  void dispatch_direct(Vcpu& vcpu, CpuId cpu);
 
   [[nodiscard]] std::uint64_t credit_resets() const noexcept { return credit_resets_; }
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "sched/credit_scan.hpp"
 #include "util/dcheck.hpp"
 #include "util/yield_point.hpp"
 
@@ -23,6 +24,51 @@ void RunQueue::insert_sorted(Vcpu& vcpu) noexcept {
   HORSE_YIELD_POINT("runq.bump_version");
   journal_record(QueueDelta::Kind::kInsert, position, vcpu.credit, &vcpu.hook);
   HORSE_DCHECK_OK(check_invariants(/*require_sorted=*/false));
+}
+
+std::size_t RunQueue::merge_sorted(VcpuList& incoming) noexcept {
+  auto it = queue_.begin();
+  const auto end = queue_.end();
+  std::int32_t position = 0;
+  Credit prev_key = 0;
+  bool first = true;
+  std::size_t merged = 0;
+
+  while (!incoming.empty()) {
+    Vcpu& vcpu = incoming.pop_front();
+    const Credit key = vcpu.credit;
+    if (!first && key < prev_key) {
+      // Out-of-order element: restart from the head so the placement (and
+      // tie order) matches what insert_sorted() would have produced.
+      it = queue_.begin();
+      position = 0;
+    }
+    while (it != end && it->credit <= key) {
+      HORSE_YIELD_POINT("runq.merge_scan");
+      // Pull the node after next into cache while we compare this one;
+      // harmless when it resolves past the sentinel (prefetch never
+      // faults).
+      credit_scan::prefetch(VcpuList::from_hook(it->hook.next));
+      ++it;
+      ++position;
+    }
+    HORSE_YIELD_POINT("runq.merge_link");
+    queue_.insert(it, vcpu);
+    vcpu.state = VcpuState::kRunnable;
+    vcpu.last_cpu = cpu_;
+    stage_delta(merged, QueueDelta::Kind::kInsert, position, key, &vcpu.hook);
+    ++position;  // the inserted node now precedes `it`
+    prev_key = key;
+    first = false;
+    ++merged;
+  }
+
+  if (merged > 0) {
+    HORSE_YIELD_POINT("runq.bump_version");
+    publish_staged_deltas(merged);
+  }
+  HORSE_DCHECK_OK(check_invariants(/*require_sorted=*/false));
+  return merged;
 }
 
 void RunQueue::push_back(Vcpu& vcpu) noexcept {

@@ -18,6 +18,7 @@
 
 #include "sched/pelt.hpp"
 #include "sched/vcpu.hpp"
+#include "util/epoch.hpp"
 #include "util/spinlock.hpp"
 #include "util/status.hpp"
 
@@ -61,6 +62,17 @@ class RunQueue {
   /// element with a larger credit. O(n) in the queue length.
   void insert_sorted(Vcpu& vcpu) noexcept;
 
+  /// Single-pass fallback merge (the optimized vanilla sorted walk): moves
+  /// every vCPU from `incoming` into the queue under ONE lock hold of the
+  /// caller, scanning forward monotonically while incoming credits are
+  /// non-decreasing (the common case — merge lists are kept sorted) and
+  /// restarting from the head only on an out-of-order element. Element-
+  /// for-element equivalent to calling insert_sorted() on each vCPU in
+  /// list order — same final ordering, same journal positions — but with
+  /// one journal publish, software prefetch of the next node, and no
+  /// per-element lock traffic. Returns the number of vCPUs merged.
+  std::size_t merge_sorted(VcpuList& incoming) noexcept;
+
   /// Append without ordering (used when the caller already knows the
   /// position, e.g. credit refill rebuilds).
   void push_back(Vcpu& vcpu) noexcept;
@@ -103,6 +115,15 @@ class RunQueue {
   // --- locking -----------------------------------------------------------
 
   util::Spinlock& lock() noexcept { return lock_; }
+
+  // --- deferred reclamation ----------------------------------------------
+
+  /// Per-queue epoch reclaimer for retired 𝒫²𝒮ℳ run nodes. The resume
+  /// path pins it while reading an index and the ull-manager retires
+  /// untracked nodes to it instead of freeing under its mutex; actual
+  /// frees happen in maintenance (track/refresh) via try_reclaim(). See
+  /// util/epoch.hpp for the protocol and its place in the lock hierarchy.
+  [[nodiscard]] util::EpochReclaimer& epoch() noexcept { return epoch_; }
 
   // --- load tracking (step ⑤) --------------------------------------------
 
@@ -201,6 +222,8 @@ class RunQueue {
   mutable util::Spinlock load_lock_;
   double load_ = 0.0;
   PeltLoadTracker pelt_;
+
+  util::EpochReclaimer epoch_;
 };
 
 }  // namespace horse::sched

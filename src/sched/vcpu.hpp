@@ -41,6 +41,11 @@ struct Vcpu {
   /// given the highest priority to preempt any task").
   std::uint8_t priority = 0;
   static constexpr std::uint8_t kBoostPriority = 255;
+  /// Marks a vCPU belonging to an ultra-low-latency function. Consulted
+  /// only by the credit2 `short_function_first` knob (SFS, PAPERS.md):
+  /// a uLL candidate may bypass preemption resistance against a non-uLL
+  /// runner so sub-microsecond slices never wait behind long tenants.
+  bool ull = false;
   VcpuState state = VcpuState::kOffline;
   CpuId last_cpu = 0;
 

@@ -15,6 +15,23 @@ void CpuExecutor::submit(sched::Vcpu& vcpu, sched::CpuId cpu, util::Nanos work,
                          CompletionFn on_done) {
   assert(work > 0);
   tasks_[&vcpu] = Task{work, std::move(on_done)};
+  if (wake_preemption_) {
+    CpuState& state = cpus_.at(cpu);
+    if (state.busy && state.running != nullptr &&
+        state.blackout_until <= sim_.now() &&
+        scheduler_.should_preempt(*state.running, vcpu)) {
+      // Install the winner before the victim's completion (if any) runs:
+      // a completion callback may submit/kick more work, and it must see
+      // the CPU busy with the winner, not mid-handoff idle.
+      const std::function<void()> victim_done = preempt_running(cpu);
+      scheduler_.dispatch_direct(vcpu, cpu);
+      run_now(cpu, vcpu);
+      if (victim_done) {
+        victim_done();
+      }
+      return;
+    }
+  }
   scheduler_.enqueue(vcpu, cpu);
   kick(cpu);
 }
@@ -44,6 +61,55 @@ void CpuExecutor::block_cpu(sched::CpuId cpu, util::Nanos duration) {
   }
 }
 
+std::function<void()> CpuExecutor::preempt_running(sched::CpuId cpu) {
+  CpuState& state = cpus_.at(cpu);
+  sched::Vcpu* victim = state.running;
+  sim_.cancel(state.slice_event);
+  const util::Nanos executed = std::clamp<util::Nanos>(
+      sim_.now() - state.slice_started, 0, state.slice_run);
+  state.busy = false;
+  state.running = nullptr;
+  state.slice_event = 0;
+  ++preemptions_;
+
+  const auto it = tasks_.find(victim);
+  if (it == tasks_.end()) {
+    return {};
+  }
+  Task& task = it->second;
+  task.remaining -= executed;
+  const bool done = task.remaining <= 0;
+  scheduler_.charge_and_requeue(*victim, executed, /*still_runnable=*/!done);
+  if (!done) {
+    return {};
+  }
+  // Preempted at the exact instant its work ran out: complete as usual,
+  // but deferred — the caller runs this after the winner owns the CPU.
+  CompletionFn on_done = std::move(task.on_done);
+  tasks_.erase(it);
+  if (!on_done) {
+    return {};
+  }
+  return [on_done = std::move(on_done), victim] { on_done(*victim); };
+}
+
+void CpuExecutor::run_now(sched::CpuId cpu, sched::Vcpu& vcpu) {
+  CpuState& state = cpus_.at(cpu);
+  assert(!state.busy);
+  const auto it = tasks_.find(&vcpu);
+  assert(it != tasks_.end());
+  const util::Nanos run =
+      std::min(scheduler_.slice_for(cpu), it->second.remaining);
+  state.busy = true;
+  state.running = &vcpu;
+  state.slice_started = sim_.now();
+  state.slice_run = run;
+  state.slice_end = sim_.now() + run;
+  ++dispatches_;
+  state.slice_event =
+      sim_.schedule_at(state.slice_end, [this, cpu] { finish_slice(cpu); });
+}
+
 void CpuExecutor::kick(sched::CpuId cpu) {
   CpuState& state = cpus_.at(cpu);
   if (state.busy) {
@@ -58,29 +124,18 @@ void CpuExecutor::kick(sched::CpuId cpu) {
 }
 
 void CpuExecutor::dispatch(sched::CpuId cpu) {
-  CpuState& state = cpus_.at(cpu);
   sched::Vcpu* vcpu = scheduler_.schedule(cpu);
   if (vcpu == nullptr) {
     return;  // idle
   }
-  const auto it = tasks_.find(vcpu);
-  if (it == tasks_.end()) {
+  if (tasks_.find(vcpu) == tasks_.end()) {
     // A vCPU with no pending work (e.g. a resumed-but-idle uLL vCPU):
     // charge nothing, drop it from the queue, look for the next one.
     vcpu->state = sched::VcpuState::kOffline;
     dispatch(cpu);
     return;
   }
-  Task& task = it->second;
-  const util::Nanos run = std::min(scheduler_.slice_for(cpu), task.remaining);
-  state.busy = true;
-  state.running = vcpu;
-  state.slice_started = sim_.now();
-  state.slice_run = run;
-  state.slice_end = sim_.now() + run;
-  ++dispatches_;
-  state.slice_event =
-      sim_.schedule_at(state.slice_end, [this, cpu] { finish_slice(cpu); });
+  run_now(cpu, *vcpu);
 }
 
 void CpuExecutor::finish_slice(sched::CpuId cpu) {

@@ -46,6 +46,19 @@ class CpuExecutor {
   /// next dispatch on `cpu` by `duration`.
   void block_cpu(sched::CpuId cpu, util::Nanos duration);
 
+  /// Opt-in wake preemption (SFS colocation experiments): when enabled,
+  /// submit() compares the new vCPU against the slice running on the
+  /// target CPU with Credit2Scheduler::should_preempt(); a winning
+  /// candidate cancels the victim's slice mid-flight (only the executed
+  /// fraction is charged, the rest requeues) and takes the CPU
+  /// immediately via dispatch_direct(). Default OFF: the executor keeps
+  /// its historical run-to-slice-end behaviour, so existing experiments
+  /// are bit-identical unless they ask for this.
+  void set_wake_preemption(bool on) noexcept { wake_preemption_ = on; }
+  [[nodiscard]] bool wake_preemption() const noexcept {
+    return wake_preemption_;
+  }
+
   [[nodiscard]] bool idle(sched::CpuId cpu) const {
     return !cpus_.at(cpu).busy;
   }
@@ -70,11 +83,24 @@ class CpuExecutor {
   void kick(sched::CpuId cpu);
   void dispatch(sched::CpuId cpu);
   void finish_slice(sched::CpuId cpu);
+  /// Cancel the slice running on `cpu`, charge the victim for what it
+  /// actually executed, and requeue (or complete) it. Leaves the CPU
+  /// idle; callers dispatch the winner themselves. When the preemption
+  /// lands at the exact instant the victim's work ran out, its
+  /// completion callback is NOT invoked here — it is returned for the
+  /// caller to run after the winner has taken the CPU, so a callback
+  /// that submits new work never sees the CPU in its transient idle
+  /// state (run_now() asserts !busy).
+  [[nodiscard]] std::function<void()> preempt_running(sched::CpuId cpu);
+  /// Start a slice for `vcpu` on the (idle) `cpu` without going through
+  /// the scheduler's head pick.
+  void run_now(sched::CpuId cpu, sched::Vcpu& vcpu);
 
   Simulation& sim_;
   sched::Credit2Scheduler& scheduler_;
   std::unordered_map<sched::Vcpu*, Task> tasks_;
   std::vector<CpuState> cpus_;
+  bool wake_preemption_ = false;
   std::uint64_t dispatches_ = 0;
   std::uint64_t preemptions_ = 0;
 };

@@ -1,0 +1,40 @@
+#include "util/cycle_clock.hpp"
+
+namespace horse::util {
+namespace {
+
+// One-shot calibration: sample (steady_clock, counter) twice across a
+// ~1 ms spin and take the ratio. The TSC on anything this code targets is
+// invariant/constant-rate, so a single window is enough; we only need the
+// ratio to convert stage budgets, not to replace wall clocks.
+double calibrate_ns_per_cycle() noexcept {
+  if (!CycleClock::available()) return 1.0;
+
+  const Nanos wall_start = monotonic_now();
+  const std::uint64_t cycles_start = CycleClock::now();
+  Nanos wall_end = wall_start;
+  // Spin on the wall clock, not the counter, so a stuck counter cannot
+  // hang calibration.
+  constexpr Nanos kCalibrationWindow = 1'000'000;  // 1 ms
+  while (wall_end - wall_start < kCalibrationWindow) {
+    wall_end = monotonic_now();
+  }
+  const std::uint64_t cycles_end = CycleClock::now();
+
+  if (cycles_end <= cycles_start) return 1.0;  // counter not advancing
+  const double ratio = static_cast<double>(wall_end - wall_start) /
+                       static_cast<double>(cycles_end - cycles_start);
+  // An implausible ratio (sub-0.01 ns or >100 ns per tick) means the
+  // counter is not usable as a timebase; fall back to identity.
+  if (ratio < 0.01 || ratio > 100.0) return 1.0;
+  return ratio;
+}
+
+}  // namespace
+
+double CycleClock::ns_per_cycle() noexcept {
+  static const double ratio = calibrate_ns_per_cycle();
+  return ratio;
+}
+
+}  // namespace horse::util

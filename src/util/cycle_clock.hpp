@@ -1,0 +1,96 @@
+// Cycle-accurate timing for the resume hot path.
+//
+// The paper's kHorse resume is a ~150 ns operation; timing it (and its
+// internal stages) with std::chrono costs ~20-25 ns per read through the
+// vDSO, so a six-read breakdown can easily outweigh the thing measured.
+// CycleClock reads the TSC directly — `lfence; rdtsc` on x86-64, which
+// orders the read against earlier loads without the full pipeline drain of
+// cpuid — and converts to nanoseconds with a ratio calibrated once against
+// steady_clock. Reading is ~10 ns and conversion is one multiply, paid at
+// reporting time, not inside the measured window.
+//
+// Fallback: on architectures without a usable counter (or when the TSC
+// does not advance), now() degrades to monotonic_now() and the calibrated
+// ratio is exactly 1.0, so cycles_to_nanos() stays an identity and every
+// caller keeps working — just at chrono precision.
+//
+// Calibration is lazy (first call to ns_per_cycle()/cycles_to_nanos())
+// and spins for ~1 ms once per process. Hot paths that convert inline
+// should call CycleClock::calibrate() at setup so the spin never lands in
+// a measured region; now() itself never calibrates.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define HORSE_CYCLE_CLOCK_TSC 1
+#include <x86intrin.h>
+#elif defined(__aarch64__)
+#define HORSE_CYCLE_CLOCK_CNTVCT 1
+#endif
+
+namespace horse::util {
+
+class CycleClock {
+ public:
+  /// True when now() is backed by a real cycle counter (TSC / CNTVCT)
+  /// rather than the chrono fallback.
+  [[nodiscard]] static bool available() noexcept {
+#if defined(HORSE_CYCLE_CLOCK_TSC) || defined(HORSE_CYCLE_CLOCK_CNTVCT)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Current cycle count (or nanoseconds in the fallback). Fenced against
+  /// earlier loads so a stage boundary cannot drift into the stage it ends.
+  [[nodiscard]] static std::uint64_t now() noexcept {
+#if defined(HORSE_CYCLE_CLOCK_TSC)
+    _mm_lfence();
+    return __rdtsc();
+#elif defined(HORSE_CYCLE_CLOCK_CNTVCT)
+    std::uint64_t virtual_timer = 0;
+    asm volatile("isb; mrs %0, cntvct_el0" : "=r"(virtual_timer));
+    return virtual_timer;
+#else
+    return static_cast<std::uint64_t>(monotonic_now());
+#endif
+  }
+
+  /// Nanoseconds per cycle, calibrated once against steady_clock. 1.0 in
+  /// the fallback (now() already returns nanoseconds) and whenever the
+  /// counter turns out not to advance.
+  [[nodiscard]] static double ns_per_cycle() noexcept;
+
+  /// Force the one-time calibration now (outside any measured window).
+  static void calibrate() noexcept { (void)ns_per_cycle(); }
+
+  [[nodiscard]] static Nanos cycles_to_nanos(std::uint64_t cycles) noexcept {
+    return static_cast<Nanos>(static_cast<double>(cycles) * ns_per_cycle());
+  }
+};
+
+/// Drop-in Stopwatch replacement over CycleClock: elapsed() still reports
+/// Nanos, but each read is one fenced counter read instead of a chrono
+/// call. Callers must have run CycleClock::calibrate() (engines do it at
+/// construction) if the first elapsed() matters.
+class CycleStopwatch {
+ public:
+  CycleStopwatch() noexcept : start_(CycleClock::now()) {}
+
+  void restart() noexcept { start_ = CycleClock::now(); }
+  [[nodiscard]] std::uint64_t elapsed_cycles() const noexcept {
+    return CycleClock::now() - start_;
+  }
+  [[nodiscard]] Nanos elapsed() const noexcept {
+    return CycleClock::cycles_to_nanos(elapsed_cycles());
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace horse::util

@@ -28,6 +28,9 @@ ResumeEngine::ResumeEngine(sched::CpuTopology& topology, VmmProfile profile)
   if (profile_.kind == VmmKind::kXen) {
     xenstore_ = std::make_shared<XenStore>();
   }
+  // Pay the one-time TSC↔wall-clock calibration spin here so the first
+  // timed resume reads a settled ratio instead of stalling ~1 ms.
+  util::CycleClock::calibrate();
 }
 
 void ResumeEngine::record_state(const Sandbox& sandbox,
@@ -112,7 +115,7 @@ bool ResumeEngine::parse_resume_command(const Sandbox& sandbox) const {
 
 util::Status ResumeEngine::run_prologue(Sandbox& sandbox,
                                         ResumeBreakdown& breakdown) {
-  util::Stopwatch watch;
+  StageTimer watch(cycle_timing_);
 
   // ① parse. The fault site models a malformed resume request: fails
   // before the global lock is taken, sandbox state untouched.
@@ -150,7 +153,7 @@ util::Status ResumeEngine::run_prologue(Sandbox& sandbox,
 }
 
 void ResumeEngine::run_epilogue(Sandbox& sandbox, ResumeBreakdown& breakdown) {
-  util::Stopwatch watch;
+  StageTimer watch(cycle_timing_);
   sandbox.set_state(SandboxState::kRunning);
   record_state(sandbox, "running");
   resume_lock_.unlock();
@@ -167,7 +170,7 @@ util::Status ResumeEngine::resume(Sandbox& sandbox,
 
   // ④+⑤: per-vCPU sorted merge and load update, interleaved exactly as in
   // the vanilla path but timed separately (as the paper's Figure 2 does).
-  util::Stopwatch watch;
+  StageTimer watch(cycle_timing_);
   while (!sandbox.merge_vcpus().empty()) {
     sched::Vcpu& vcpu = sandbox.merge_vcpus().pop_front();
 

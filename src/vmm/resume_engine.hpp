@@ -24,6 +24,7 @@
 
 #include "sched/credit2.hpp"
 #include "sched/topology.hpp"
+#include "util/cycle_clock.hpp"
 #include "util/spinlock.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
@@ -32,6 +33,34 @@
 #include "vmm/xenstore.hpp"
 
 namespace horse::vmm {
+
+/// Stage timer for the resume breakdown. With `cycles` (the default) each
+/// boundary read is one fenced rdtsc (~10 ns) converted by a calibrated
+/// multiply; without it, the original std::chrono reads (~20-25 ns each
+/// through the vDSO) — the E22 scalar baseline arm, and the automatic
+/// behaviour on targets where CycleClock has no counter. With ~12 reads
+/// on a full resume, the timing source alone is worth >100 ns of measured
+/// path.
+class StageTimer {
+ public:
+  explicit StageTimer(bool cycles) noexcept : cycles_(cycles) { restart(); }
+
+  void restart() noexcept {
+    start_ = cycles_ ? util::CycleClock::now()
+                     : static_cast<std::uint64_t>(util::monotonic_now());
+  }
+  [[nodiscard]] util::Nanos elapsed() const noexcept {
+    if (cycles_) {
+      return util::CycleClock::cycles_to_nanos(util::CycleClock::now() -
+                                               start_);
+    }
+    return util::monotonic_now() - static_cast<util::Nanos>(start_);
+  }
+
+ private:
+  bool cycles_;
+  std::uint64_t start_;
+};
 
 /// Per-step timing of one resume call, in nanoseconds. Field names follow
 /// the paper's circled step numbers.
@@ -157,6 +186,11 @@ class ResumeEngine {
   VmmProfile profile_;
   util::Spinlock resume_lock_;  // step ②: one resume at a time (per engine)
   std::shared_ptr<XenStore> xenstore_;  // shared across sharded engines
+  /// Timing source for ResumeBreakdown stage boundaries (see StageTimer).
+  /// Derived engines flip this off (HorseConfig::cycle_timing = false) to
+  /// reproduce the chrono-timed baseline arm; the constructor calibrates
+  /// CycleClock once so the first timed resume pays no calibration stall.
+  bool cycle_timing_ = true;
 };
 
 }  // namespace horse::vmm

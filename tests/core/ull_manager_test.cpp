@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
+#include "util/epoch.hpp"
 #include "vmm/resume_engine.hpp"
 
 namespace horse::core {
@@ -136,6 +138,59 @@ TEST_F(UllManagerTest, UntrackDropsState) {
   EXPECT_EQ(manager.tracked_count(), 0u);
   EXPECT_EQ(manager.index_of(sandbox->id()), nullptr);
   EXPECT_FALSE(manager.assignment(sandbox->id()).has_value());
+}
+
+TEST_F(UllManagerTest, LookupPinProtectsIndexAcrossUntrackAndReclaim) {
+  // Regression: the resume path's pin must be published inside lookup(),
+  // under the manager mutex, while the node is still tracked. Pinning
+  // after lookup() returned left a window where a concurrent untrack plus
+  // maintenance reclaim pumps freed the index under the reader.
+  HorseConfig cfg = config(1);
+  cfg.epoch_reclaim = true;
+  UllRunQueueManager manager(topology_, cfg);
+  auto sandbox = paused_sandbox(2);
+  (void)manager.assign(*sandbox);
+  ASSERT_TRUE(manager.track(*sandbox).is_ok());
+
+  util::EpochReclaimer& epoch = topology_.queue(7).epoch();
+  std::optional<util::EpochReclaimer::ReadGuard> pin;
+  const auto looked = manager.lookup(sandbox->id(), &pin);
+  ASSERT_TRUE(looked.has_value());
+  ASSERT_NE((*looked).index, nullptr);
+  ASSERT_TRUE(pin.has_value());
+
+  // Rogue destroy racing the resume: the node is retired, but no number
+  // of reclaim attempts may free it while the lookup's pin is live.
+  manager.untrack(sandbox->id());
+  EXPECT_EQ(epoch.pending(), 1u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(epoch.try_reclaim(), 0u);
+  }
+  // Still dereferenceable — the ASan preset turns a stale free here into
+  // a hard use-after-free failure.
+  EXPECT_TRUE((*looked).index->built());
+
+  pin.reset();
+  std::size_t freed = 0;
+  for (int i = 0; i < 3 && freed == 0; ++i) {
+    freed = epoch.try_reclaim();
+  }
+  EXPECT_EQ(freed, 1u);
+  EXPECT_EQ(epoch.pending(), 0u);
+}
+
+TEST_F(UllManagerTest, LookupWithoutEpochReclaimLeavesPinEmpty) {
+  HorseConfig cfg = config(1);
+  cfg.epoch_reclaim = false;
+  UllRunQueueManager manager(topology_, cfg);
+  auto sandbox = paused_sandbox(1);
+  (void)manager.assign(*sandbox);
+  ASSERT_TRUE(manager.track(*sandbox).is_ok());
+  std::optional<util::EpochReclaimer::ReadGuard> pin;
+  const auto looked = manager.lookup(sandbox->id(), &pin);
+  ASSERT_TRUE(looked.has_value());
+  EXPECT_NE((*looked).index, nullptr);
+  EXPECT_FALSE(pin.has_value());
 }
 
 TEST_F(UllManagerTest, MemoryAccountingGrowsWithSandboxes) {

@@ -19,6 +19,7 @@
 #include "harness/schedule_explorer.hpp"
 #include "sched/run_queue.hpp"
 #include "sched/vcpu.hpp"
+#include "util/epoch.hpp"
 #include "util/spinlock.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
@@ -433,6 +434,99 @@ TEST(ExplorerScenarioTest, WarmPoolConcurrentAcquireRelease) {
   base.change_point_horizon = 256;
   const auto result =
       ScheduleExplorer::explore(base, 60, run_warm_pool_acquire_release);
+  EXPECT_FALSE(result.violation_found)
+      << "seed " << result.failing_seed << ": " << result.message;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5 — epoch-based reclamation: pinned reader vs retire+reclaim.
+//
+// A reader pins the queue's reclaimer and dereferences a shared node while
+// an owner thread unpublishes it, retires it, and hammers try_reclaim; a
+// third thread contends on the reclaim lock. The EBR claim under test:
+// no interleaving — including preemptions inside pin's publish-then-verify
+// window and reclaim's slot scan (the epoch.* yield points) — may destroy
+// the node while the reader still holds its pin. Destruction is modelled
+// as a flag flip, not a free, so a violation is detected, not UB.
+// ---------------------------------------------------------------------------
+
+util::Status run_epoch_pin_vs_reclaim(const ExplorerOptions& options) {
+  struct Node {
+    std::atomic<bool> alive{true};
+    util::EpochRetireNode retire;
+  };
+  auto node = std::make_unique<Node>();
+  node->retire.owner = node.get();
+  node->retire.destroy = [](void* owner) {
+    static_cast<Node*>(owner)->alive.store(false);
+  };
+
+  util::EpochReclaimer reclaimer;
+  std::atomic<Node*> published{node.get()};
+  std::atomic<bool> read_after_free{false};
+
+  InterleavingSchedule schedule(options);
+  schedule.spawn("reader", [&reclaimer, &published, &read_after_free] {
+    util::EpochReclaimer::ReadGuard guard(reclaimer);
+    // Pin BEFORE the lookup extracts the pointer — the ordering resume()
+    // gets from UllRunQueueManager::lookup(), which pins under the
+    // manager mutex while the node is still reachable. A pointer
+    // obtained after pinning must stay dereferenceable until unpin.
+    Node* node = published.load();
+    if (node == nullptr) {
+      return;  // unpublished before our lookup; nothing to protect
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (!node->alive.load()) {
+        read_after_free.store(true);
+      }
+      util::yield_point("scenario.epoch_read");
+    }
+  });
+  schedule.spawn("owner", [&reclaimer, &published, &node] {
+    // Unpublish first (the map erase), then retire — the protocol's
+    // precondition that epochs only cover already-looked-up readers.
+    published.store(nullptr);
+    util::yield_point("scenario.epoch_unpublish");
+    reclaimer.retire(&node->retire);
+    for (int i = 0; i < 6; ++i) {
+      (void)reclaimer.try_reclaim();
+      util::yield_point("scenario.epoch_owner_reclaim");
+    }
+  });
+  schedule.spawn("reclaimer", [&reclaimer] {
+    for (int i = 0; i < 2; ++i) {
+      (void)reclaimer.try_reclaim();  // contends on the reclaim lock
+      util::yield_point("scenario.epoch_contender");
+    }
+  });
+
+  const auto report = schedule.run();
+  if (!report.completed) {
+    return violation("epoch-pin: schedule hit the step cap");
+  }
+  if (read_after_free.load()) {
+    return violation("epoch-pin: node destroyed under a live pin");
+  }
+  // No reader pinned anymore: a bounded number of advances must free it.
+  for (int i = 0; i < 3 && node->alive.load(); ++i) {
+    (void)reclaimer.try_reclaim();
+  }
+  if (node->alive.load()) {
+    return violation("epoch-pin: node never reclaimed after quiescence");
+  }
+  if (reclaimer.pending() != 0) {
+    return violation("epoch-pin: reclaimer accounting did not reach zero");
+  }
+  return util::Status::ok();
+}
+
+TEST(ExplorerScenarioTest, EpochPinProtectsReadersFromReclaim) {
+  ExplorerOptions base;
+  base.seed = 500;
+  base.change_point_horizon = 256;
+  const auto result =
+      ScheduleExplorer::explore(base, 60, run_epoch_pin_vs_reclaim);
   EXPECT_FALSE(result.violation_found)
       << "seed " << result.failing_seed << ": " << result.message;
 }

@@ -94,6 +94,48 @@ TEST_F(WakePreemptTest, WakeReportsPreemptionAgainstRunning) {
   EXPECT_FALSE(no_preempt.preempt);
 }
 
+TEST_F(WakePreemptTest, ShortFunctionFirstBypassesResistance) {
+  // SFS knob (PR 10): with the knob on, a uLL candidate preempts a
+  // non-uLL runner regardless of the credit margin; uLL-vs-uLL and
+  // non-uLL-vs-anything keep the normal resistance rule.
+  Credit2Params params;
+  params.short_function_first = true;
+  Credit2Scheduler sfs(topology_, params);
+
+  Vcpu& long_runner = make_vcpu(0);  // best possible credit
+  Vcpu& ull = make_vcpu(1'000'000);
+  ull.ull = true;
+  EXPECT_TRUE(sfs.should_preempt(long_runner, ull));
+  EXPECT_FALSE(scheduler_.should_preempt(long_runner, ull));  // knob off
+
+  Vcpu& ull_runner = make_vcpu(0);
+  ull_runner.ull = true;
+  EXPECT_FALSE(sfs.should_preempt(ull_runner, ull));  // uLL vs uLL: normal
+  Vcpu& plain = make_vcpu(1'000'000);
+  EXPECT_FALSE(sfs.should_preempt(long_runner, plain));  // non-uLL: normal
+}
+
+TEST_F(WakePreemptTest, ShortFunctionFirstNeverOutranksPriority) {
+  Credit2Params params;
+  params.short_function_first = true;
+  Credit2Scheduler sfs(topology_, params);
+  Vcpu& merge = make_vcpu(1'000'000'000, Vcpu::kBoostPriority);
+  Vcpu& ull = make_vcpu(0);
+  ull.ull = true;
+  // A boosted merge thread is still unpreemptable by an SFS candidate.
+  EXPECT_FALSE(sfs.should_preempt(merge, ull));
+}
+
+TEST_F(WakePreemptTest, DispatchDirectMarksRunningWithoutQueueing) {
+  Vcpu& winner = make_vcpu(500);
+  scheduler_.dispatch_direct(winner, 2);
+  EXPECT_EQ(winner.state, VcpuState::kRunning);
+  EXPECT_EQ(winner.last_cpu, 2u);
+  // The point of the direct path: the winner never touched a run queue
+  // (enqueue-then-schedule would let a burned-down victim win it back).
+  EXPECT_EQ(topology_.queue(2).size(), 0u);
+}
+
 TEST_F(WakePreemptTest, MergeThreadModelPreemptsEverything) {
   // §4.1.3's merge threads: boosted priority wakes preempt any normal
   // vCPU no matter how favourable its credit.

@@ -116,6 +116,37 @@ TEST_F(CpuExecutorTest, UllQueueUsesMicrosecondSlices) {
   EXPECT_GE(executor_.dispatches(), 3u);
 }
 
+TEST_F(CpuExecutorTest, PreemptionAtWorkExhaustionDefersCompletionPastHandoff) {
+  // Regression: a victim preempted at the exact instant its work ran out
+  // completes during the preemption, and its completion callback may
+  // submit new work to the same CPU. The callback must observe the
+  // winner already installed — never the transient idle CPU mid-handoff,
+  // where a dispatch would double-book the slice (run_now asserts !busy).
+  executor_.set_wake_preemption(true);
+  sched::Vcpu& victim = make_vcpu(1'000'000'000);
+  sched::Vcpu& winner = make_vcpu(0);
+  sched::Vcpu& followup = make_vcpu(2'000'000'000);
+  util::Nanos victim_done = -1;
+  util::Nanos followup_done = -1;
+  executor_.submit(victim, 0, 1000, [&](sched::Vcpu&) {
+    victim_done = sim_.now();
+    executor_.submit(followup, 0, 500,
+                     [&](sched::Vcpu&) { followup_done = sim_.now(); });
+  });
+  // Blackout stretches the victim's 1000 ns slice to wall-clock 1500:
+  // between 1000 and 1500 the executed work has already hit the full
+  // 1000 while the slice is still nominally running, so a preemption in
+  // that window lands exactly at work exhaustion.
+  executor_.block_cpu(0, 500);
+  sim_.schedule_at(1200, [&] { executor_.submit(winner, 0, 300, nullptr); });
+  sim_.run();
+  EXPECT_EQ(victim_done, 1200);
+  EXPECT_GE(executor_.preemptions(), 1u);
+  // The follow-up queued behind the winner and still ran to completion.
+  EXPECT_GT(followup_done, victim_done);
+  EXPECT_TRUE(executor_.idle(0));
+}
+
 TEST_F(CpuExecutorTest, ManyTasksAllComplete) {
   int completed = 0;
   for (int i = 0; i < 50; ++i) {

@@ -1,0 +1,74 @@
+#include "util/cycle_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/time.hpp"
+
+namespace horse::util {
+namespace {
+
+TEST(CycleClockTest, NowIsNonDecreasing) {
+  std::uint64_t previous = CycleClock::now();
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t current = CycleClock::now();
+    ASSERT_GE(current, previous);
+    previous = current;
+  }
+}
+
+TEST(CycleClockTest, CalibratedRatioIsPlausible) {
+  CycleClock::calibrate();
+  const double ratio = CycleClock::ns_per_cycle();
+  if (CycleClock::available()) {
+    // Anything from a 100 GHz counter to a 10 MHz one; outside that the
+    // calibration is supposed to have fallen back to identity.
+    EXPECT_GT(ratio, 0.0);
+    EXPECT_LE(ratio, 100.0);
+  } else {
+    EXPECT_DOUBLE_EQ(ratio, 1.0);  // now() already returns nanoseconds
+  }
+}
+
+TEST(CycleClockTest, CalibrationIsStableAcrossCalls) {
+  const double first = CycleClock::ns_per_cycle();
+  const double second = CycleClock::ns_per_cycle();
+  EXPECT_DOUBLE_EQ(first, second);  // one-time magic static, never re-spun
+}
+
+TEST(CycleClockTest, CyclesToNanosTracksSteadyClock) {
+  CycleClock::calibrate();
+  // Time the same ~2 ms sleep with both clocks; the conversions must agree
+  // to well within 2x (generous: CI boxes sleep long, never short).
+  const Stopwatch chrono_watch;
+  const std::uint64_t start = CycleClock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::uint64_t cycles = CycleClock::now() - start;
+  const Nanos chrono_ns = chrono_watch.elapsed();
+  const Nanos cycle_ns = CycleClock::cycles_to_nanos(cycles);
+
+  EXPECT_GE(cycle_ns, chrono_ns / 2);
+  EXPECT_LE(cycle_ns, chrono_ns * 2);
+}
+
+TEST(CycleClockTest, CyclesToNanosIsMonotoneInCycles) {
+  EXPECT_EQ(CycleClock::cycles_to_nanos(0), 0);
+  EXPECT_LE(CycleClock::cycles_to_nanos(100), CycleClock::cycles_to_nanos(200));
+}
+
+TEST(CycleStopwatchTest, ElapsedGrowsAndRestartResets) {
+  CycleClock::calibrate();
+  CycleStopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const Nanos first = watch.elapsed();
+  EXPECT_GT(first, 0);
+  watch.restart();
+  const Nanos after_restart = watch.elapsed();
+  // A fresh start cannot carry the slept interval.
+  EXPECT_LT(after_restart, first);
+}
+
+}  // namespace
+}  // namespace horse::util
